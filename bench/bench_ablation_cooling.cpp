@@ -1,0 +1,47 @@
+// Ablation: cooling efficiency sensitivity.
+//
+// The paper fixes COP = 2.5 (after Garg [29]) while citing Greenberg's
+// survey [32] that real facilities span COP 0.6 .. 3.5. We sweep that
+// range: the *absolute* bill scales with (1 + 1/COP); the relative iScope
+// saving persists across the whole range, shrinking somewhat at very poor
+// COP because the inflated demand leaves less wind headroom for ScanFair's
+// deferral to exploit.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "power/cooling.hpp"
+#include "sim/simulator.hpp"
+
+int main() {
+  using namespace iscope;
+  bench::print_banner("Ablation (cooling)",
+                      "COP sweep over the Greenberg survey range");
+
+  const ExperimentContext ctx(bench::bench_config());
+  const std::vector<Task> tasks = ctx.make_tasks(0.3);
+  const HybridSupply supply = ctx.make_supply(true);
+
+  TextTable table;
+  table.set_header({"COP", "overhead factor", "BinRan USD", "ScanFair USD",
+                    "iScope saving"});
+  for (const double cop : {0.6, 1.0, 1.5, 2.5, 3.5}) {
+    SimConfig sim = ctx.config().sim;
+    sim.cooling_cop = cop;
+    sim.seed = 99;
+    const SimResult base = run_scheme(ctx.cluster(), Scheme::kBinRan,
+                                      &ctx.profile_db(), supply, tasks, sim);
+    const SimResult fair = run_scheme(ctx.cluster(), Scheme::kScanFair,
+                                      &ctx.profile_db(), supply, tasks, sim);
+    table.add_row({TextTable::num(cop, 1),
+                   TextTable::num(CoolingModel(cop).overhead_factor(), 2),
+                   TextTable::num(base.cost_usd, 2),
+                   TextTable::num(fair.cost_usd, 2),
+                   TextTable::pct(1.0 - fair.cost_usd / base.cost_usd)});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: a wasteful facility (COP 0.6 burns ~2.7x IT power)\n"
+               "pays proportionally more everywhere; the profile-guided\n"
+               "saving persists across the range, eroding somewhat at poor\n"
+               "COP where inflated demand leaves less wind headroom.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Ablation: what is wind foresight worth to ScanFair?
+//
+// ScanFair's deferral is a bet that wind returns before the deadline.
+// We attach forecasters of increasing skill and measure the bill:
+//   blind        -- always take the bet (the base design);
+//   climatology  -- long-run mean (site knowledge only);
+//   persistence  -- "the next hours look like now" (no-skill baseline);
+//   blended      -- persistence decaying to climatology (~NWP stand-in);
+//   oracle       -- perfect foresight (upper bound on forecast value).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "energy/forecast.hpp"
+#include "sim/simulator.hpp"
+
+int main() {
+  using namespace iscope;
+  bench::print_banner("Ablation (forecast)",
+                      "value of wind foresight for ScanFair's deferral");
+
+  const ExperimentContext ctx(bench::bench_config());
+  const std::vector<Task> tasks = ctx.make_tasks(0.3);
+  const HybridSupply supply = ctx.make_supply(true);
+
+  const ClimatologyForecaster climatology(&supply);
+  const PersistenceForecaster persistence(&supply);
+  const BlendedForecaster blended(&supply);
+  const OracleForecaster oracle(&supply);
+  const struct {
+    const char* name;
+    const WindForecaster* forecaster;
+  } variants[] = {{"blind (base)", nullptr},
+                  {"climatology", &climatology},
+                  {"persistence", &persistence},
+                  {"blended", &blended},
+                  {"oracle", &oracle}};
+
+  const Knowledge knowledge(&ctx.cluster(), KnowledgeSource::kScan,
+                            &ctx.profile_db());
+  TextTable table;
+  table.set_header({"forecaster", "utility kWh", "wind kWh", "cost USD",
+                    "misses", "mean wait min"});
+  for (const auto& v : variants) {
+    SimConfig sim = ctx.config().sim;
+    sim.seed = 99;
+    DatacenterSim dcsim(&knowledge, PlacementRule::kFair, &supply, sim,
+                        v.forecaster);
+    const SimResult r = dcsim.run(tasks);
+    table.add_row({v.name, TextTable::num(r.energy.utility_kwh(), 1),
+                   TextTable::num(r.energy.wind_kwh(), 1),
+                   TextTable::num(r.cost_usd, 2),
+                   std::to_string(r.deadline_misses),
+                   TextTable::num(r.mean_wait_s / 60.0, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: skillful forecasts trim the cost of deferrals\n"
+               "that never pay off (calms outlasting the slack); the gap\n"
+               "between blind and oracle bounds what any forecast can add.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Ablation: scanner search strategy and test kind -- the cost/accuracy
+// frontier of in-cloud profiling.
+//
+// The paper's Sec. VI-E prices the full linear sweep (5 bins x 10 voltage
+// points). A bisecting scanner visits O(log n) points per level, and the
+// 29 s functional failing test is ~20x cheaper than the 10-minute stress
+// test; combined they shrink a fleet campaign from hours to minutes of
+// per-chip test time at the same discovered map (up to grid resolution).
+#include <iostream>
+#include <numeric>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "profiling/scanner.hpp"
+
+int main() {
+  using namespace iscope;
+  bench::print_banner("Ablation (scan strategy)",
+                      "linear vs binary search, stress vs SBFFT");
+
+  ExperimentConfig config = bench::bench_config();
+  config.cluster.num_processors = std::min<std::size_t>(
+      config.cluster.num_processors, 96);
+  const Cluster cluster = build_cluster(config.cluster);
+  const std::size_t top = cluster.levels().count() - 1;
+
+  TextTable table;
+  table.set_header({"strategy", "test", "grid", "trials/chip",
+                    "time/chip min", "energy/chip kWh", "mean MinVdd err mV"});
+  const struct {
+    SearchStrategy strategy;
+    TestKind kind;
+    std::size_t points;
+  } variants[] = {
+      {SearchStrategy::kLinearDescent, TestKind::kStress, 10},
+      {SearchStrategy::kLinearDescent, TestKind::kFunctionalFailing, 10},
+      {SearchStrategy::kBinarySearch, TestKind::kFunctionalFailing, 10},
+      {SearchStrategy::kBinarySearch, TestKind::kFunctionalFailing, 40},
+  };
+  for (const auto& v : variants) {
+    ScanConfig scan;
+    scan.strategy = v.strategy;
+    scan.kind = v.kind;
+    scan.voltage_points = v.points;
+    const Scanner scanner(&cluster, scan);
+    Rng rng(11);
+    RunningStats trials, time_s, energy, err_mv;
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      const ChipProfile p = scanner.scan_chip(i, 0.0, rng);
+      trials.add(static_cast<double>(p.trials));
+      time_s.add(p.scan_time_s);
+      energy.add(p.scan_energy_j);
+      err_mv.add((p.chip_vdd.vdd(top) - cluster.true_vdd(i, top)) * 1e3);
+    }
+    table.add_row(
+        {v.strategy == SearchStrategy::kLinearDescent ? "linear" : "binary",
+         v.kind == TestKind::kStress ? "stress 10min" : "SBFFT 29s",
+         std::to_string(v.points), TextTable::num(trials.mean(), 1),
+         TextTable::num(time_s.mean() / 60.0, 1),
+         TextTable::num(energy.mean() / 3.6e6, 3),
+         TextTable::num(err_mv.mean(), 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: bisection + the functional failing test reaches\n"
+               "the same (or finer) MinVdd map at a fraction of the paper's\n"
+               "already-negligible campaign cost.\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Ablation: the scheduler's two tuning knobs.
+//
+//  * efficient_pool_fraction -- how much of the cluster Effi is willing to
+//    wait for. Small pools concentrate load on the best chips (max energy
+//    savings, worst lifetime balance); a pool of 1.0 degenerates to
+//    "best idle now".
+//  * deadline_patience_s -- how close to the last feasible start a waiting
+//    task is forced onto whatever is idle. Short patience risks start
+//    contention (deadline misses); long patience gives up deferral value.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "sim/simulator.hpp"
+
+int main() {
+  using namespace iscope;
+  bench::print_banner("Ablation (scheduler)",
+                      "efficient-pool fraction and deadline patience");
+
+  const ExperimentContext ctx(bench::bench_config());
+  const std::vector<Task> tasks = ctx.make_tasks(0.3);
+  const HybridSupply supply = ctx.make_supply(true);
+
+  {
+    TextTable table;
+    table.set_title("ScanEffi vs pool fraction");
+    table.set_header({"pool", "utility kWh", "cost USD", "misses",
+                      "busy var [h^2]", "mean wait min"});
+    for (const double pool : {0.15, 0.25, 0.35, 0.5, 0.75, 1.0}) {
+      SimConfig sim = ctx.config().sim;
+      sim.efficient_pool_fraction = pool;
+      sim.seed = 7;
+      const SimResult r = run_scheme(ctx.cluster(), Scheme::kScanEffi,
+                                     &ctx.profile_db(), supply, tasks, sim);
+      table.add_row({TextTable::num(pool, 2),
+                     TextTable::num(r.energy.utility_kwh(), 1),
+                     TextTable::num(r.cost_usd, 2),
+                     std::to_string(r.deadline_misses),
+                     TextTable::num(r.busy_variance_h2, 2),
+                     TextTable::num(r.mean_wait_s / 60.0, 1)});
+    }
+    table.print(std::cout);
+  }
+
+  {
+    TextTable table;
+    table.set_title("ScanFair vs deadline patience");
+    table.set_header({"patience min", "utility kWh", "wind kWh", "cost USD",
+                      "misses"});
+    for (const double patience_min : {5.0, 10.0, 20.0, 40.0, 80.0}) {
+      SimConfig sim = ctx.config().sim;
+      sim.deadline_patience_s = patience_min * 60.0;
+      sim.seed = 7;
+      const SimResult r = run_scheme(ctx.cluster(), Scheme::kScanFair,
+                                     &ctx.profile_db(), supply, tasks, sim);
+      table.add_row({TextTable::num(patience_min, 0),
+                     TextTable::num(r.energy.utility_kwh(), 1),
+                     TextTable::num(r.energy.wind_kwh(), 1),
+                     TextTable::num(r.cost_usd, 2),
+                     std::to_string(r.deadline_misses)});
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Ablation: shared chip voltage domain vs per-core voltage domains
+// (DESIGN.md choice #2; paper Sec. III-B cites per-core domains reaching
+// >20% savings over a single power domain).
+//
+// Three designs over the same fabricated population, all at the true
+// (scanned) operating points:
+//   * stock      -- every chip at the level's stock voltage (no scanning);
+//   * chip       -- shared domain at the chip worst-case Min Vdd;
+//   * per-core   -- on-chip LDOs give each core its own Min Vdd.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace iscope;
+  bench::print_banner("Ablation (voltage domains)",
+                      "stock vs chip-domain vs per-core-domain power");
+
+  const ExperimentContext ctx(bench::bench_config());
+  const Cluster& cluster = ctx.cluster();
+  const FreqLevels& levels = cluster.levels();
+
+  TextTable table;
+  table.set_header({"level", "GHz", "stock kW", "chip-domain kW",
+                    "per-core kW", "chip vs stock", "per-core vs chip"});
+  for (std::size_t l = 0; l < levels.count(); ++l) {
+    double stock = 0.0, chip = 0.0, per_core = 0.0;
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      stock += cluster.power_w(i, l, levels.vdd_nom[l]);
+      chip += cluster.power_w(i, l, cluster.true_vdd(i, l));
+      per_core += cluster.power_w_per_core_domains(i, l);
+    }
+    table.add_row({std::to_string(l), TextTable::num(levels.freq_ghz[l], 2),
+                   TextTable::num(stock / 1e3, 2),
+                   TextTable::num(chip / 1e3, 2),
+                   TextTable::num(per_core / 1e3, 2),
+                   TextTable::pct(1.0 - chip / stock),
+                   TextTable::pct(1.0 - per_core / chip)});
+  }
+  table.print(std::cout);
+  std::cout << "\nChip-domain scanning already recovers most of the stock\n"
+               "guardband; per-core regulators squeeze out the residual\n"
+               "core-to-core spread inside each chip.\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 10: the profiling opportunity -- percentage of processors demanded
+// per minute over one day, and how much contiguous low-utilization time is
+// available for in-cloud scans.
+//
+// Paper numbers: demand below 30% of processors for 27.2% of the day, in
+// contiguous (not scattered) stretches -- ample for the 10-minute stress
+// test, let alone the 29-second functional failing test.
+#include "bench_util.hpp"
+#include "common/units.hpp"
+#include "profiling/failing_test.hpp"
+#include "profiling/opportunistic.hpp"
+#include "workload/synthetic.hpp"
+
+int main() {
+  using namespace iscope;
+  bench::print_banner("Fig.10", "per-minute CPU demand and profiling windows");
+
+  const ExperimentConfig config = bench::bench_config();
+  const ExperimentContext ctx(config);
+  const std::vector<Task> tasks = ctx.make_tasks(0.3);
+
+  const double day = units::kSecondsPerDay;
+  const auto demand = demanded_cpu_fraction_per_minute(
+      tasks, ctx.cluster().size(), day);
+
+  // Hourly profile of the day (mean of each hour's 60 minutes).
+  TextTable table;
+  table.set_title("demanded CPU fraction by hour of day");
+  table.set_header({"hour", "mean demand", "min", "max"});
+  for (std::size_t h = 0; h < 24; ++h) {
+    double sum = 0.0, lo = 1.0, hi = 0.0;
+    for (std::size_t m = h * 60; m < (h + 1) * 60 && m < demand.size(); ++m) {
+      sum += demand[m];
+      lo = std::min(lo, demand[m]);
+      hi = std::max(hi, demand[m]);
+    }
+    table.add_row({std::to_string(h), TextTable::pct(sum / 60.0),
+                   TextTable::pct(lo), TextTable::pct(hi)});
+  }
+  table.print(std::cout);
+
+  const IdleWindowStats stats = analyze_idle_windows(demand, 0.30);
+  std::cout << "\nTime with demand < 30%: " << TextTable::pct(stats.idle_fraction)
+            << " of the day (paper: 27.2%)\n"
+            << "Contiguous idle windows: " << stats.window_count
+            << ", longest " << TextTable::num(stats.longest_window_s / 60.0, 0)
+            << " min, mean " << TextTable::num(stats.mean_window_s / 60.0, 0)
+            << " min\n"
+            << "(stress test needs " << test_duration_s(TestKind::kStress) / 60
+            << " min/point; functional failing test "
+            << test_duration_s(TestKind::kFunctionalFailing) << " s/point)\n";
+
+  // Plan an actual campaign into those windows.
+  OpportunisticConfig opp;
+  opp.scan_time_per_proc_s = 5 * test_duration_s(TestKind::kFunctionalFailing);
+  opp.domain_size = 8;
+  std::vector<std::size_t> all(ctx.cluster().size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  const HybridSupply supply = ctx.make_supply(true);
+  const ProfilingPlan plan = plan_profiling(demand, supply, all, opp);
+  std::cout << "Opportunistic plan: " << plan.placed_count() << "/"
+            << all.size() << " processors scanned within one day across "
+            << plan.windows.size() << " windows ("
+            << plan.unplaced.size() << " deferred to the next day)\n";
+  return 0;
+}

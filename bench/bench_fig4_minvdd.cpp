@@ -1,0 +1,72 @@
+// Figure 4: minimum Vdd of four AMD A10-5800K quad-core processors
+// (16 cores) at the nominal 3.8 GHz, discovered by stress-test profiling.
+//   (A) integrated GPU disabled -- paper: 1.19 .. 1.25 V, mean 1.219 V
+//   (B) integrated GPU enabled  -- paper: 1.206 .. 1.2506 V, mean 1.232 V
+//
+// We fabricate four chips from the A10-calibrated variation model and run
+// the scanner with a fine voltage grid, exactly the workflow of Sec. V-A.
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "hardware/cluster.hpp"
+#include "profiling/scanner.hpp"
+#include "variation/varius.hpp"
+
+int main() {
+  using namespace iscope;
+  std::cout << "\n### Fig.4: Min Vdd of 4x AMD A10-5800K (16 cores) at 3.8 GHz\n";
+
+  // The A10 testbed: one frequency point (nominal 3.8 GHz at 1.375 V).
+  ClusterConfig cfg;
+  cfg.num_processors = 4;
+  cfg.varius = a10_params();
+  cfg.levels = FreqLevels{{3.8}, {1.375}};
+  cfg.num_bins = 1;
+  cfg.intrinsic_guardband = 0.0;
+  cfg.seed = 20150419;
+  const Cluster cluster = build_cluster(cfg);
+
+  ScanConfig scan;
+  scan.kind = TestKind::kStress;
+  scan.voltage_points = 60;   // ~3 mV grid over the sweep range
+  scan.sweep_depth = 0.18;
+  scan.safety_margin = 0.0;
+  const Scanner scanner(&cluster, scan);
+  Rng rng(7);
+
+  for (const bool gpu_on : {false, true}) {
+    TextTable table;
+    table.set_title(gpu_on ? "(B) integrated GPU enabled"
+                           : "(A) integrated GPU disabled");
+    table.set_header({"chip", "core", "discovered MinVdd [V]",
+                      "true MinVdd [V]"});
+    RunningStats stats;
+    for (std::size_t chip = 0; chip < cluster.size(); ++chip) {
+      const ChipProfile profile = scanner.scan_chip(chip, 0.0, rng);
+      for (std::size_t core = 0; core < profile.core_vdd.size(); ++core) {
+        double v = profile.core_vdd[core].vdd(0);
+        double v_true = cluster.proc(chip).core_truth[core].vdd(0);
+        if (gpu_on) {
+          v *= kIntegratedGpuPenalty;
+          v_true *= kIntegratedGpuPenalty;
+        }
+        stats.add(v);
+        table.add_row({std::to_string(chip), std::to_string(core),
+                       TextTable::num(v, 4), TextTable::num(v_true, 4)});
+      }
+    }
+    table.print(std::cout);
+    std::cout << "range [" << TextTable::num(stats.min(), 3) << ", "
+              << TextTable::num(stats.max(), 3) << "] V, mean "
+              << TextTable::num(stats.mean(), 4) << " V  (paper: "
+              << (gpu_on ? "[1.206, 1.2506], mean 1.232"
+                         : "[1.19, 1.25], mean 1.219")
+              << ")\n\n";
+  }
+  std::cout << "All cores run reliably ~9% below the 1.375 V nominal "
+               "(paper Sec. II-B), and enabling the iGPU raises Min Vdd by "
+            << TextTable::pct(kIntegratedGpuPenalty - 1.0) << ".\n";
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Figure 5(A): utility-power-only datacenter -- utility energy consumption
+// vs the percentage of High Urgency jobs, for all five schemes.
+//
+// Paper shapes: Effi < Ran everywhere; Scan ~10% below Bin; Effi energy
+// rises with %HU (deadline pressure forces inefficient CPUs), Ran flat.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace iscope;
+  bench::print_banner("Fig.5A", "utility energy vs %HU (utility-only)");
+
+  const ExperimentContext ctx(bench::bench_config());
+  const std::vector<double> hu = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+  const auto points = sweep_hu(ctx, hu, /*with_wind=*/false);
+
+  bench::print_sweep(points, "HU frac", "utility energy [kWh]",
+                     [](const SimResult& r) { return r.energy.utility_kwh(); });
+  bench::print_sweep(points, "HU frac", "deadline misses",
+                     [](const SimResult& r) {
+                       return static_cast<double>(r.deadline_misses);
+                     }, 0);
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Figure 5(B): utility-power-only datacenter -- utility energy consumption
+// vs job arrival rate (1x..5x), for all five schemes.
+//
+// Paper shapes: Ran roughly flat with rising arrival rate (same total work);
+// Effi energy climbs (bursts force energy-inefficient CPUs into service).
+#include "bench_util.hpp"
+
+int main() {
+  using namespace iscope;
+  bench::print_banner("Fig.5B", "utility energy vs arrival rate (utility-only)");
+
+  const ExperimentContext ctx(bench::bench_config());
+  const std::vector<double> rates = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto points = sweep_arrival(ctx, rates, /*with_wind=*/false);
+
+  bench::print_sweep(points, "rate", "utility energy [kWh]",
+                     [](const SimResult& r) { return r.energy.utility_kwh(); });
+  bench::print_sweep(points, "rate", "deadline misses",
+                     [](const SimResult& r) {
+                       return static_cast<double>(r.deadline_misses);
+                     }, 0);
+  return 0;
+}

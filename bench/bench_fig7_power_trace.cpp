@@ -1,0 +1,65 @@
+// Figure 7(A-C): real-time power traces of ScanRan, ScanEffi and ScanFair,
+// sampled every 350 seconds like the paper.
+//
+// Paper shapes: ScanRan burns utility power when wind fades; ScanEffi
+// minimizes power but cannot fill high wind; ScanFair tracks the wind curve
+// by switching between efficient and inefficient processors.
+#include <algorithm>
+
+#include "bench_util.hpp"
+#include "common/ascii_chart.hpp"
+
+int main() {
+  using namespace iscope;
+  bench::print_banner("Fig.7", "power traces of the three Scan schemes");
+
+  const ExperimentContext ctx(bench::bench_config());
+  const auto traces = power_traces(ctx);
+
+  // Chart each scheme's demand against the wind curve, plus tracking
+  // metrics; full-resolution CSVs go to ISCOPE_CSV_DIR if set.
+  for (const auto& point : traces) {
+    const auto& trace = point.result.trace;
+    ChartSeries wind{"wind available [kW]", {}, '.'};
+    ChartSeries demand{"facility demand [kW]", {}, '#'};
+    std::vector<std::vector<double>> csv_rows;
+    for (const PowerSample& s : trace) {
+      wind.values.push_back(s.wind_avail_w / 1e3);
+      demand.values.push_back(s.demand_w / 1e3);
+      csv_rows.push_back({s.time_s, s.wind_avail_w, s.demand_w, s.wind_w,
+                          s.utility_w});
+    }
+    ChartOptions opts;
+    opts.x_label = "time (full run, 350 s samples)";
+    opts.y_label = std::string("== ") + scheme_name(point.scheme) +
+                   " == [kW]";
+    std::cout << render_chart({wind, demand}, opts);
+    bench::maybe_export_csv(
+        std::string("fig7_trace_") + scheme_name(point.scheme),
+        {"time_s", "wind_avail_w", "demand_w", "wind_w", "utility_w"},
+        csv_rows);
+
+    // Tracking summary: how well demand follows the wind curve while wind
+    // is present, and how much utility is drawn at wind lows.
+    double abs_gap = 0.0, utility_at_low = 0.0, fill_at_high = 0.0;
+    std::size_t low_n = 0, high_n = 0;
+    for (const PowerSample& s : trace) {
+      abs_gap += std::abs(s.demand_w - s.wind_avail_w);
+      if (s.wind_avail_w < 0.2 * ctx.wind_trace().mean_w()) {
+        utility_at_low += s.utility_w;
+        ++low_n;
+      } else if (s.wind_avail_w > 1.5 * ctx.wind_trace().mean_w()) {
+        fill_at_high += s.wind_w / std::max(s.wind_avail_w, 1.0);
+        ++high_n;
+      }
+    }
+    std::cout << scheme_name(point.scheme) << ": mean |demand-wind| = "
+              << TextTable::num(abs_gap / trace.size() / 1e3, 2)
+              << " kW; mean utility draw at wind lows = "
+              << TextTable::num(low_n ? utility_at_low / low_n / 1e3 : 0.0, 2)
+              << " kW; mean wind-fill at wind highs = "
+              << TextTable::pct(high_n ? fill_at_high / high_n : 0.0)
+              << "\n\n";
+  }
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Figure 9: variance of per-processor utilization time vs wind strength
+// (SWP factor 1.0 .. 1.8), for all five schemes.
+//
+// Paper shapes: Effi schemes have by far the highest variance (they hammer
+// the efficient chips); Ran schemes the lowest; ScanFair sits in between
+// and its variance *falls* as wind grows (abundant wind biases it toward
+// the fairness rule).
+#include "bench_util.hpp"
+
+int main() {
+  using namespace iscope;
+  bench::print_banner("Fig.9", "CPU utilization-time variance vs SWP factor");
+
+  const ExperimentContext ctx(bench::bench_config());
+  const std::vector<double> factors = {1.0, 1.2, 1.4, 1.6, 1.8};
+  const auto points = sweep_wind_strength(ctx, factors);
+
+  bench::print_sweep(points, "SWP", "busy-time variance [h^2]",
+                     [](const SimResult& r) { return r.busy_variance_h2; }, 3);
+  bench::print_sweep(points, "SWP", "energy cost [USD]",
+                     [](const SimResult& r) { return r.cost_usd; }, 2);
+  return 0;
+}

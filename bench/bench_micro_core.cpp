@@ -1,0 +1,181 @@
+// Microbenchmarks of the hot paths (google-benchmark), plus the DESIGN.md
+// ablation of the voltage-extended Eq-1 power model.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "energy/forecast.hpp"
+#include "energy/wind_model.hpp"
+#include "hardware/cluster.hpp"
+#include "profiling/scanner.hpp"
+#include "sched/power_matcher.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "variation/gaussian_field.hpp"
+#include "workload/synthetic.hpp"
+#include "workload/urgency.hpp"
+
+namespace {
+
+using namespace iscope;
+
+void BM_EventQueue(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    EventQueue q;
+    Rng rng(1);
+    std::size_t fired = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      q.schedule(rng.uniform(0.0, 1e6), [&fired] { ++fired; });
+    q.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueue)->Arg(1000)->Arg(10000);
+
+void BM_GaussianFieldSample(benchmark::State& state) {
+  const GaussianField field(quad_core_layout(), 0.5);
+  Rng rng(2);
+  for (auto _ : state) {
+    auto s = field.sample(rng);
+    benchmark::DoNotOptimize(s.data());
+  }
+}
+BENCHMARK(BM_GaussianFieldSample);
+
+void BM_ClusterFabrication(benchmark::State& state) {
+  ClusterConfig cfg;
+  cfg.num_processors = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const Cluster c = build_cluster(cfg);
+    benchmark::DoNotOptimize(c.size());
+  }
+}
+BENCHMARK(BM_ClusterFabrication)->Arg(64)->Arg(512);
+
+void BM_ScanChip(benchmark::State& state) {
+  ClusterConfig cfg;
+  cfg.num_processors = 16;
+  const Cluster cluster = build_cluster(cfg);
+  const Scanner scanner(&cluster, ScanConfig{});
+  Rng rng(3);
+  std::size_t chip = 0;
+  for (auto _ : state) {
+    const ChipProfile p = scanner.scan_chip(chip, 0.0, rng);
+    benchmark::DoNotOptimize(p.trials);
+    chip = (chip + 1) % cluster.size();
+  }
+}
+BENCHMARK(BM_ScanChip);
+
+void BM_PowerMatcher(benchmark::State& state) {
+  ClusterConfig cfg;
+  cfg.num_processors = 256;
+  const Cluster cluster = build_cluster(cfg);
+  const Knowledge knowledge(&cluster, KnowledgeSource::kBin);
+  const PowerMatcher matcher(&knowledge, 1.4);
+  Rng rng(4);
+  std::vector<ActiveTask> tasks(static_cast<std::size_t>(state.range(0)));
+  std::size_t next_proc = 0;
+  for (auto& t : tasks) {
+    t.remaining_work_s = rng.uniform(100.0, 5000.0);
+    t.deadline_s = t.remaining_work_s * rng.uniform(2.0, 12.0);
+    t.gamma = rng.uniform(0.5, 1.0);
+    for (int k = 0; k < 4; ++k)
+      t.procs.push_back(next_proc++ % cluster.size());
+  }
+  for (auto _ : state) {
+    auto copy = tasks;
+    const MatchResult r = matcher.match(copy, 5e3, 0.0);
+    benchmark::DoNotOptimize(r.demand_w);
+  }
+}
+BENCHMARK(BM_PowerMatcher)->Arg(16)->Arg(64);
+
+void BM_WindTraceDay(benchmark::State& state) {
+  WindFarmConfig cfg;
+  for (auto _ : state) {
+    const SupplyTrace t = generate_wind_days(cfg, 1.0);
+    benchmark::DoNotOptimize(t.samples());
+  }
+}
+BENCHMARK(BM_WindTraceDay);
+
+// Ablation (DESIGN.md choice #1): the voltage-extended Eq-1 vs the paper's
+// literal Eq-1. Measures the energy delta the voltage term captures -- the
+// entire Bin-vs-Scan effect -- at a scanned chip's Min Vdd.
+void BM_Eq1VoltageAblation(benchmark::State& state) {
+  ClusterConfig cfg;
+  cfg.num_processors = 128;
+  const Cluster cluster = build_cluster(cfg);
+  const std::size_t top = cluster.levels().count() - 1;
+  double delta_sum = 0.0;
+  for (auto _ : state) {
+    double eq1 = 0.0, extended = 0.0;
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      const auto& c = cluster.proc(i).coeffs;
+      eq1 += cluster.power_model().power_eq1_w(c,
+                                               cluster.levels().freq_ghz[top]);
+      extended += cluster.power_w(i, top, cluster.true_vdd(i, top));
+    }
+    delta_sum = 1.0 - extended / eq1;
+    benchmark::DoNotOptimize(delta_sum);
+  }
+  state.counters["scan_power_saving_frac"] = delta_sum;
+}
+BENCHMARK(BM_Eq1VoltageAblation);
+
+void BM_KnowledgeRefresh(benchmark::State& state) {
+  ClusterConfig cfg;
+  cfg.num_processors = static_cast<std::size_t>(state.range(0));
+  const Cluster cluster = build_cluster(cfg);
+  Knowledge knowledge(&cluster, KnowledgeSource::kBin);
+  for (auto _ : state) {
+    knowledge.refresh();
+    benchmark::DoNotOptimize(knowledge.efficiency(0));
+  }
+}
+BENCHMARK(BM_KnowledgeRefresh)->Arg(256)->Arg(1024);
+
+void BM_OracleForecast(benchmark::State& state) {
+  WindFarmConfig wind;
+  const HybridSupply supply(generate_wind_days(wind, 7.0));
+  const OracleForecaster oracle(&supply);
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.forecast_mean_w(t, 6.0 * 3600.0));
+    t += 601.0;
+    if (t > 5.0 * 86400.0) t = 0.0;
+  }
+}
+BENCHMARK(BM_OracleForecast);
+
+void BM_FullSimulation(benchmark::State& state) {
+  // End-to-end throughput of the datacenter simulator: one scheme over a
+  // synthetic day on a small facility.
+  ClusterConfig cfg;
+  cfg.num_processors = 64;
+  const Cluster cluster = build_cluster(cfg);
+  const Knowledge knowledge(&cluster, KnowledgeSource::kBin);
+  const HybridSupply supply(generate_wind_days(WindFarmConfig{}, 2.0));
+  SyntheticWorkloadConfig wl;
+  wl.num_jobs = static_cast<std::size_t>(state.range(0));
+  wl.max_cpus = 16;
+  wl.mean_interarrival_s = 200.0;
+  std::vector<Task> tasks = generate_workload(wl);
+  UrgencyConfig urgency;
+  assign_deadlines(tasks, urgency);
+  for (auto _ : state) {
+    DatacenterSim sim(&knowledge, PlacementRule::kFair, &supply, SimConfig{});
+    const SimResult r = sim.run(tasks);
+    benchmark::DoNotOptimize(r.energy.total_j());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FullSimulation)->Arg(100)->Arg(400);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Table 1: factory speed binning.
+//
+// The paper's Table 1 lists the three bins of the AMD Opteron 6300 line
+// (static data, reproduced below). We then run our own binning over a
+// fabricated population and report each bin's population and worst-case
+// voltages -- the conservative guardband the Bin* schemes must live with,
+// and the headroom the scanner recovers.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "variation/binning.hpp"
+#include "variation/population_stats.hpp"
+
+int main() {
+  using namespace iscope;
+  bench::print_banner("Table 1", "speed bins: AMD data + our fabricated population");
+
+  {
+    TextTable amd;
+    amd.set_title("AMD Opteron 6300 bins (paper Table 1, static data)");
+    amd.set_header({"model", "cores/cache MB", "nominal GHz", "max GHz",
+                    "price USD"});
+    amd.add_row({"6376", "16/16", "2.3", "3.2", "703"});
+    amd.add_row({"6378", "16/16", "2.4", "3.3", "876"});
+    amd.add_row({"6380", "16/16", "2.5", "3.4", "1088"});
+    amd.print(std::cout);
+  }
+
+  const ExperimentContext ctx(bench::bench_config());
+  const Cluster& cluster = ctx.cluster();
+  const BinningResult& binning = cluster.binning();
+  const FreqLevels& levels = cluster.levels();
+  const std::size_t top = levels.count() - 1;
+
+  // Per bin: population, worst-case Vdd at the top level, and the mean
+  // headroom the scanner recovers (bin voltage - true chip Min Vdd).
+  TextTable table;
+  table.set_title("our population (" + std::to_string(cluster.size()) +
+                  " chips, 3 bins by efficiency)");
+  table.set_header({"bin", "chips", "bin Vdd@" +
+                               TextTable::num(levels.freq_ghz[top], 2) + "GHz",
+                    "mean true MinVdd", "mean headroom mV"});
+  for (int b = 0; b < binning.bins(); ++b) {
+    double sum_true = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      if (binning.bin_of_chip[i] != b) continue;
+      sum_true += cluster.proc(i).chip_truth.vdd(top);
+      ++n;
+    }
+    const double bin_vdd = binning.bin_curve[static_cast<std::size_t>(b)].vdd(top);
+    const double mean_true = n ? sum_true / static_cast<double>(n) : 0.0;
+    table.add_row({std::to_string(b), std::to_string(n),
+                   TextTable::num(bin_vdd, 4) + " V",
+                   TextTable::num(mean_true, 4) + " V",
+                   TextTable::num((bin_vdd - mean_true) * 1e3, 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\npopulation variation (vs the paper's cited magnitudes):\n"
+            << measure_population(cluster.varius(), cluster.size(),
+                                  ctx.config().seed)
+                   .summary();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// A full green-datacenter day: all five schemes (Table 2 of the paper)
+// compete on the same wind trace and workload; the example prints an
+// operator-style report -- energy mix, cost, QoS, lifetime balance -- and
+// a coarse hour-by-hour view of how iScope's default (ScanFair) tracks
+// the wind.
+#include <algorithm>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+
+int main() {
+  using namespace iscope;
+
+  ExperimentConfig config = ExperimentConfig::paper_small();
+  const ExperimentContext ctx(config);
+  std::cout << "Green datacenter: " << ctx.cluster().size()
+            << " CPUs, wind farm mean "
+            << TextTable::num(ctx.wind_trace().mean_w() / 1e3, 1)
+            << " kW (peak demand "
+            << TextTable::num(
+                   estimated_peak_demand_w(config.cluster,
+                                           config.sim.cooling_cop) / 1e3, 1)
+            << " kW)\n\n";
+
+  const std::vector<Task> tasks = ctx.make_tasks(/*hu_fraction=*/0.3);
+  const HybridSupply supply = ctx.make_supply(/*with_wind=*/true);
+
+  TextTable report;
+  report.set_title("one day, five schemes");
+  report.set_header({"scheme", "wind kWh", "utility kWh", "wind share",
+                     "cost USD", "misses", "mean wait min",
+                     "busy var [h^2]"});
+  for (const Scheme scheme : kAllSchemes) {
+    const SimResult r = ctx.run(scheme, tasks, supply);
+    const double share =
+        r.energy.total_kwh() > 0.0 ? r.energy.wind_kwh() / r.energy.total_kwh()
+                                   : 0.0;
+    report.add_row({scheme_name(scheme), TextTable::num(r.energy.wind_kwh(), 1),
+                    TextTable::num(r.energy.utility_kwh(), 1),
+                    TextTable::pct(share), TextTable::num(r.cost_usd, 2),
+                    std::to_string(r.deadline_misses),
+                    TextTable::num(r.mean_wait_s / 60.0, 1),
+                    TextTable::num(r.busy_variance_h2, 2)});
+  }
+  report.print(std::cout);
+
+  // Hour-by-hour tracking view for the iScope default.
+  const SimResult fair = ctx.run(Scheme::kScanFair, tasks, supply, true);
+  std::cout << "\nScanFair wind tracking (hourly means, kW):\n";
+  TextTable track;
+  track.set_header({"hour", "wind avail", "demand", "utility"});
+  const auto& trace = fair.trace;
+  const double hours = trace.empty() ? 0.0 : trace.back().time_s / 3600.0;
+  for (int h = 0; h < std::min(24, static_cast<int>(hours)); ++h) {
+    double wind = 0.0, demand = 0.0, utility = 0.0;
+    int n = 0;
+    for (const PowerSample& s : trace) {
+      if (s.time_s >= h * 3600.0 && s.time_s < (h + 1) * 3600.0) {
+        wind += s.wind_avail_w;
+        demand += s.demand_w;
+        utility += s.utility_w;
+        ++n;
+      }
+    }
+    if (n == 0) continue;
+    track.add_row({std::to_string(h), TextTable::num(wind / n / 1e3, 1),
+                   TextTable::num(demand / n / 1e3, 1),
+                   TextTable::num(utility / n / 1e3, 1)});
+  }
+  track.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,246 @@
+// iscope_cli -- command-line driver for the iScope toolkit.
+//
+// Subcommands:
+//   wind      --days N [--seed S] [--mean-kw X] --out trace.csv
+//   solar     --days N [--seed S] [--peak-kw X] --out trace.csv
+//   workload  --jobs N [--seed S] [--max-cpus N] [--hu F] --out trace.swf
+//   stats     --swf trace.swf [--cpus N]
+//   scan      --procs N [--seed S] --out profiles.csv
+//   simulate  --scheme NAME [--procs N] [--jobs N] [--hu F] [--rate R]
+//             [--wind trace.csv | --no-wind] [--battery-kwh X]
+//             [--timeline out.csv]
+//
+// Every subcommand is a thin shell over the public library API; exit code
+// 0 on success, 1 on usage errors (message on stderr).
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <numeric>
+#include <optional>
+#include <string>
+
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+#include "energy/solar_model.hpp"
+#include "profiling/scanner.hpp"
+#include "sim/timeline.hpp"
+#include "workload/swf.hpp"
+#include "workload/trace_stats.hpp"
+#include "workload/urgency.hpp"
+
+namespace {
+
+using namespace iscope;
+
+/// Minimal --flag value parser: every flag takes exactly one value.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0)
+        throw InvalidArgument(std::string("expected a --flag, got ") +
+                              argv[i]);
+      values_[argv[i] + 2] = argv[i + 1];
+    }
+    if ((argc - first) % 2 != 0) {
+      // Allow a trailing boolean-style flag (e.g. --no-wind true omitted).
+      const char* last = argv[argc - 1];
+      if (std::strncmp(last, "--", 2) == 0) values_[last + 2] = "true";
+    }
+  }
+
+  std::optional<std::string> get(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+  std::string require(const std::string& key) const {
+    const auto v = get(key);
+    if (!v) throw InvalidArgument("missing required flag --" + key);
+    return *v;
+  }
+  double number(const std::string& key, double fallback) const {
+    const auto v = get(key);
+    return v ? std::stod(*v) : fallback;
+  }
+  std::uint64_t integer(const std::string& key, std::uint64_t fallback) const {
+    const auto v = get(key);
+    return v ? std::stoull(*v) : fallback;
+  }
+  bool flag(const std::string& key) const { return get(key).has_value(); }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int cmd_wind(const Args& args) {
+  WindFarmConfig cfg;
+  cfg.seed = args.integer("seed", cfg.seed);
+  SupplyTrace trace = generate_wind_days(cfg, args.number("days", 7.0));
+  if (args.get("mean-kw"))
+    trace = trace.scaled_to_mean(args.number("mean-kw", 0.0) * 1e3);
+  trace.save_csv(args.require("out"));
+  std::cout << "wrote " << trace.samples() << " samples (mean "
+            << TextTable::num(trace.mean_w() / 1e3, 1) << " kW) to "
+            << args.require("out") << "\n";
+  return 0;
+}
+
+int cmd_solar(const Args& args) {
+  SolarFarmConfig cfg;
+  cfg.seed = args.integer("seed", cfg.seed);
+  cfg.peak_w = args.number("peak-kw", cfg.peak_w / 1e3) * 1e3;
+  const SupplyTrace trace =
+      generate_solar_days(cfg, args.number("days", 7.0));
+  trace.save_csv(args.require("out"));
+  std::cout << "wrote " << trace.samples() << " samples (mean "
+            << TextTable::num(trace.mean_w() / 1e3, 1) << " kW) to "
+            << args.require("out") << "\n";
+  return 0;
+}
+
+int cmd_workload(const Args& args) {
+  SyntheticWorkloadConfig cfg;
+  cfg.num_jobs = static_cast<std::size_t>(args.integer("jobs", 1000));
+  cfg.max_cpus = static_cast<std::size_t>(args.integer("max-cpus", 512));
+  cfg.seed = args.integer("seed", cfg.seed);
+  std::vector<Task> tasks = generate_workload(cfg);
+  UrgencyConfig urgency;
+  urgency.hu_fraction = args.number("hu", 0.3);
+  assign_deadlines(tasks, urgency);
+  std::ofstream(args.require("out")) << tasks_to_swf(tasks);
+  std::cout << "wrote " << tasks.size() << " jobs to " << args.require("out")
+            << "\n"
+            << compute_trace_stats(tasks).summary();
+  return 0;
+}
+
+int cmd_stats(const Args& args) {
+  const auto jobs = read_swf_file(args.require("swf"));
+  const auto tasks = swf_to_tasks(jobs);
+  const TraceStats stats = compute_trace_stats(tasks);
+  std::cout << stats.summary();
+  if (args.get("cpus")) {
+    const auto cpus = static_cast<std::size_t>(args.integer("cpus", 1));
+    std::cout << "offered utilization on " << cpus << " CPUs: "
+              << TextTable::pct(offered_utilization(stats, cpus)) << "\n";
+  }
+  return 0;
+}
+
+int cmd_scan(const Args& args) {
+  ClusterConfig cfg;
+  cfg.num_processors = static_cast<std::size_t>(args.integer("procs", 64));
+  cfg.seed = args.integer("seed", cfg.seed);
+  const Cluster cluster = build_cluster(cfg);
+  const Scanner scanner(&cluster, ScanConfig{});
+  ProfileDb db(cluster.size());
+  Rng rng(cfg.seed + 1);
+  std::vector<std::size_t> all(cluster.size());
+  std::iota(all.begin(), all.end(), 0);
+  scanner.scan_domain(all, 0.0, rng, db);
+  db.save_csv(args.require("out"));
+  std::cout << "scanned " << db.profiled_count() << " chips ("
+            << db.total_trials() << " trials, "
+            << TextTable::num(db.total_scan_energy_j() / 3.6e6, 2)
+            << " kWh) -> " << args.require("out") << "\n";
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  const Scheme scheme = scheme_from_name(args.get("scheme").value_or(
+      "ScanFair"));
+
+  ExperimentConfig config = ExperimentConfig::paper_small();
+  if (args.get("procs"))
+    config.cluster.num_processors =
+        static_cast<std::size_t>(args.integer("procs", 480));
+  if (args.get("jobs"))
+    config.workload.num_jobs = static_cast<std::size_t>(
+        args.integer("jobs", 800));
+  config.workload.max_cpus = config.cluster.num_processors / 4;
+  if (args.get("battery-kwh")) {
+    const double peak_kw =
+        estimated_peak_demand_w(config.cluster, config.sim.cooling_cop) / 1e3;
+    config.sim.battery =
+        BatteryConfig::make(args.number("battery-kwh", 0.0), peak_kw);
+  }
+  config.sim.record_timeline = args.flag("timeline");
+
+  const ExperimentContext ctx(config);
+  const std::vector<Task> tasks =
+      ctx.make_tasks(args.number("hu", 0.3), args.number("rate", 1.0));
+
+  HybridSupply supply;
+  if (args.get("wind")) {
+    supply = HybridSupply(SupplyTrace::load_csv(args.require("wind")));
+  } else if (!args.flag("no-wind")) {
+    supply = ctx.make_supply(true);
+  }
+
+  const SimResult r = ctx.run(scheme, tasks, supply);
+  TextTable out;
+  out.set_title(std::string("simulate ") + scheme_name(scheme));
+  out.set_header({"metric", "value"});
+  out.add_row({"tasks completed", std::to_string(r.tasks_completed)});
+  out.add_row({"deadline misses", std::to_string(r.deadline_misses)});
+  out.add_row({"wind energy", TextTable::num(r.energy.wind_kwh(), 1) + " kWh"});
+  out.add_row({"utility energy",
+               TextTable::num(r.energy.utility_kwh(), 1) + " kWh"});
+  out.add_row({"energy cost", TextTable::num(r.cost_usd, 2) + " USD"});
+  out.add_row({"busy-time variance",
+               TextTable::num(r.busy_variance_h2, 2) + " h^2"});
+  out.add_row({"mean wait", TextTable::num(r.mean_wait_s / 60.0, 1) + " min"});
+  out.print(std::cout);
+
+  if (args.flag("timeline")) {
+    // run() above discards the timeline unless re-run through the sim;
+    // rerun with the recording config through the low-level API.
+    const Knowledge knowledge(&ctx.cluster(), scheme_knowledge(scheme),
+                              scheme_uses_scan(scheme) ? &ctx.profile_db()
+                                                       : nullptr);
+    SimConfig sim_cfg = config.sim;
+    sim_cfg.record_timeline = true;
+    DatacenterSim sim(&knowledge, scheme_rule(scheme), &supply, sim_cfg);
+    const SimResult detailed = sim.run(tasks);
+    save_timeline_csv(args.require("timeline"), detailed.timeline);
+    std::cout << "timeline (" << detailed.timeline.size() << " events) -> "
+              << args.require("timeline") << "\n";
+  }
+  return 0;
+}
+
+int usage() {
+  std::cerr <<
+      "usage: iscope_cli <command> [--flag value ...]\n"
+      "  wind      --days N [--seed S] [--mean-kw X] --out trace.csv\n"
+      "  solar     --days N [--seed S] [--peak-kw X] --out trace.csv\n"
+      "  workload  --jobs N [--seed S] [--max-cpus N] [--hu F] --out t.swf\n"
+      "  stats     --swf trace.swf [--cpus N]\n"
+      "  scan      --procs N [--seed S] --out profiles.csv\n"
+      "  simulate  [--scheme ScanFair] [--procs N] [--jobs N] [--hu F]\n"
+      "            [--rate R] [--wind trace.csv | --no-wind]\n"
+      "            [--battery-kwh X] [--timeline out.csv]\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    const Args args(argc, argv, 2);
+    if (cmd == "wind") return cmd_wind(args);
+    if (cmd == "solar") return cmd_solar(args);
+    if (cmd == "workload") return cmd_workload(args);
+    if (cmd == "stats") return cmd_stats(args);
+    if (cmd == "scan") return cmd_scan(args);
+    if (cmd == "simulate") return cmd_simulate(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

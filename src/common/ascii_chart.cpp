@@ -1,0 +1,85 @@
+#include "common/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace iscope {
+
+std::string render_chart(const std::vector<ChartSeries>& series,
+                         const ChartOptions& options) {
+  ISCOPE_CHECK_ARG(!series.empty(), "render_chart: no series");
+  ISCOPE_CHECK_ARG(options.width >= 8 && options.height >= 4,
+                   "render_chart: chart too small");
+  for (const auto& s : series)
+    ISCOPE_CHECK_ARG(!s.values.empty(), "render_chart: empty series");
+
+  double y_max = options.y_max;
+  if (y_max <= options.y_min) {
+    y_max = options.y_min;
+    for (const auto& s : series)
+      for (const double v : s.values) y_max = std::max(y_max, v);
+    if (y_max == options.y_min) y_max = options.y_min + 1.0;
+  }
+
+  // Canvas of rows x cols; row 0 is the top.
+  std::vector<std::string> canvas(options.height,
+                                  std::string(options.width, ' '));
+  auto y_to_row = [&](double v) {
+    const double frac =
+        (v - options.y_min) / (y_max - options.y_min);
+    const double clamped = std::min(1.0, std::max(0.0, frac));
+    return static_cast<std::size_t>(
+        std::llround((1.0 - clamped) *
+                     static_cast<double>(options.height - 1)));
+  };
+
+  for (const auto& s : series) {
+    for (std::size_t col = 0; col < options.width; ++col) {
+      // Average the series slice that maps onto this column.
+      const double t0 = static_cast<double>(col) /
+                        static_cast<double>(options.width) *
+                        static_cast<double>(s.values.size());
+      const double t1 = static_cast<double>(col + 1) /
+                        static_cast<double>(options.width) *
+                        static_cast<double>(s.values.size());
+      const auto i0 = static_cast<std::size_t>(t0);
+      const auto i1 = std::max(i0 + 1, static_cast<std::size_t>(t1));
+      double sum = 0.0;
+      std::size_t n = 0;
+      for (std::size_t i = i0; i < i1 && i < s.values.size(); ++i) {
+        sum += s.values[i];
+        ++n;
+      }
+      if (n == 0) continue;
+      canvas[y_to_row(sum / static_cast<double>(n))][col] = s.mark;
+    }
+  }
+
+  std::ostringstream out;
+  if (!options.y_label.empty()) out << options.y_label << '\n';
+  for (std::size_t row = 0; row < options.height; ++row) {
+    const double v =
+        y_max - (y_max - options.y_min) * static_cast<double>(row) /
+                    static_cast<double>(options.height - 1);
+    std::string label = TextTable::num(v, 1);
+    if (label.size() < 9) label = std::string(9 - label.size(), ' ') + label;
+    out << label << " |" << canvas[row] << '\n';
+  }
+  out << std::string(10, ' ') << '+' << std::string(options.width, '-')
+      << '\n';
+  if (!options.x_label.empty())
+    out << std::string(11, ' ') << options.x_label << '\n';
+  out << "  legend: ";
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (i) out << ", ";
+    out << series[i].mark << " = " << series[i].name;
+  }
+  out << '\n';
+  return out.str();
+}
+
+}  // namespace iscope

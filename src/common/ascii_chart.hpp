@@ -1,0 +1,35 @@
+// Terminal time-series charts.
+//
+// The figure benches render their series directly in the terminal so a
+// reproduction run can be eyeballed against the paper's plots without any
+// plotting toolchain (gnuplot-ready CSVs are also exported; see
+// bench_util.hpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace iscope {
+
+struct ChartSeries {
+  std::string name;
+  std::vector<double> values;
+  char mark = '*';
+};
+
+struct ChartOptions {
+  std::size_t width = 72;   ///< plot columns (x is resampled to fit)
+  std::size_t height = 16;  ///< plot rows
+  double y_min = 0.0;       ///< lower bound; NaN-free data assumed
+  /// Upper bound; <= y_min means auto (max over all series).
+  double y_max = -1.0;
+  std::string x_label;
+  std::string y_label;
+};
+
+/// Render one or more series on a shared axis. Series may have different
+/// lengths; each is resampled to the chart width independently.
+std::string render_chart(const std::vector<ChartSeries>& series,
+                         const ChartOptions& options = {});
+
+}  // namespace iscope

@@ -1,0 +1,160 @@
+#include "common/csv.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace iscope {
+
+std::size_t CsvDocument::column(std::string_view name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  throw ParseError("CSV column not found: " + std::string(name));
+}
+
+CsvDocument parse_csv(std::string_view text, bool has_header) {
+  CsvDocument doc;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool row_has_content = false;
+  bool line_is_comment = false;
+
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+  };
+  auto end_row = [&] {
+    if (line_is_comment) {
+      row.clear();
+      field.clear();
+    } else if (row_has_content || !row.empty()) {
+      end_field();
+      if (!(row.size() == 1 && row[0].empty())) {
+        if (has_header && doc.header.empty() && doc.rows.empty()) {
+          doc.header = std::move(row);
+        } else {
+          doc.rows.push_back(std::move(row));
+        }
+      }
+      row.clear();
+    }
+    row_has_content = false;
+    line_is_comment = false;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    if (c == '#' && field.empty() && row.empty() && !row_has_content) {
+      line_is_comment = true;
+    }
+    if (line_is_comment) {
+      if (c == '\n') end_row();
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        row_has_content = true;
+        break;
+      case ',':
+        end_field();
+        row_has_content = true;
+        break;
+      case '\r':
+        break;
+      case '\n':
+        end_row();
+        break;
+      default:
+        field.push_back(c);
+        row_has_content = true;
+    }
+  }
+  if (in_quotes) throw ParseError("CSV: unterminated quoted field");
+  if (row_has_content || !row.empty() || !field.empty()) end_row();
+  return doc;
+}
+
+CsvDocument read_csv_file(const std::string& path, bool has_header) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ParseError("cannot open CSV file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_csv(ss.str(), has_header);
+}
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quote) return std::string(field);
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << csv_escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row_numeric(const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (const double v : values) {
+    std::ostringstream ss;
+    ss.precision(12);
+    ss << v;
+    fields.push_back(ss.str());
+  }
+  write_row(fields);
+}
+
+double parse_double(std::string_view s) {
+  if (s.empty()) throw ParseError("empty numeric field");
+  const std::string tmp(s);
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(tmp.c_str(), &end);
+  if (end != tmp.c_str() + tmp.size() || errno == ERANGE)
+    throw ParseError("bad double: '" + tmp + "'");
+  return v;
+}
+
+long long parse_int(std::string_view s) {
+  if (s.empty()) throw ParseError("empty integer field");
+  const std::string tmp(s);
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(tmp.c_str(), &end, 10);
+  if (end != tmp.c_str() + tmp.size() || errno == ERANGE)
+    throw ParseError("bad integer: '" + tmp + "'");
+  return v;
+}
+
+}  // namespace iscope

@@ -1,0 +1,52 @@
+// Minimal CSV reader/writer for traces (wind power, workload, profiles).
+//
+// Supports the subset of RFC 4180 we need: comma separation, double-quoted
+// fields containing commas/quotes/newlines, `#` comment lines, and an
+// optional header row. All trace formats in iScope are plain CSV so that
+// users can feed in real NREL / PWA-derived data without extra tooling.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iscope {
+
+/// A parsed CSV document: optional header plus data rows.
+struct CsvDocument {
+  std::vector<std::string> header;               ///< empty if has_header=false
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a named column; throws ParseError if absent.
+  std::size_t column(std::string_view name) const;
+};
+
+/// Parse CSV text. Lines starting with '#' (outside quotes) are skipped.
+CsvDocument parse_csv(std::string_view text, bool has_header);
+
+/// Read and parse a CSV file; throws ParseError on I/O failure.
+CsvDocument read_csv_file(const std::string& path, bool has_header);
+
+/// Incremental CSV writer.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void write_row(const std::vector<std::string>& fields);
+  /// Convenience: formats doubles with enough digits to round-trip.
+  void write_row_numeric(const std::vector<double>& values);
+
+ private:
+  std::ostream& out_;
+};
+
+/// Quote a field if it contains a comma, quote, or newline.
+std::string csv_escape(std::string_view field);
+
+/// Strict double parser; throws ParseError on trailing garbage.
+double parse_double(std::string_view s);
+/// Strict integer parser; throws ParseError on trailing garbage.
+long long parse_int(std::string_view s);
+
+}  // namespace iscope

@@ -1,0 +1,33 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace iscope {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+namespace detail {
+void log_write(LogLevel level, const std::string& msg) {
+  std::clog << "[iscope " << level_name(level) << "] " << msg << '\n';
+}
+}  // namespace detail
+
+}  // namespace iscope

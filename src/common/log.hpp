@@ -1,0 +1,36 @@
+// Tiny leveled logger. Default level is WARN so library code stays quiet in
+// tests and benches; examples turn on INFO to narrate what they do.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace iscope {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold (process-wide; not thread-safe to mutate while
+/// logging from other threads -- set it once at startup).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_write(LogLevel level, const std::string& msg);
+}
+
+}  // namespace iscope
+
+#define ISCOPE_LOG(level, expr)                                      \
+  do {                                                               \
+    if (static_cast<int>(level) >=                                   \
+        static_cast<int>(::iscope::log_level())) {                   \
+      std::ostringstream iscope_log_ss;                              \
+      iscope_log_ss << expr;                                         \
+      ::iscope::detail::log_write(level, iscope_log_ss.str());       \
+    }                                                                \
+  } while (false)
+
+#define ISCOPE_DEBUG(expr) ISCOPE_LOG(::iscope::LogLevel::kDebug, expr)
+#define ISCOPE_INFO(expr) ISCOPE_LOG(::iscope::LogLevel::kInfo, expr)
+#define ISCOPE_WARN(expr) ISCOPE_LOG(::iscope::LogLevel::kWarn, expr)
+#define ISCOPE_ERROR(expr) ISCOPE_LOG(::iscope::LogLevel::kError, expr)

@@ -1,0 +1,99 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace iscope {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+namespace {
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+}  // namespace
+
+Rng Rng::fork(std::string_view tag) const {
+  return Rng(splitmix64(seed_ ^ fnv1a(tag)));
+}
+
+double Rng::uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  ISCOPE_CHECK_ARG(lo <= hi, "uniform: lo must be <= hi");
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  ISCOPE_CHECK_ARG(lo <= hi, "uniform_int: lo must be <= hi");
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  ISCOPE_CHECK_ARG(stddev >= 0.0, "normal: stddev must be >= 0");
+  if (stddev == 0.0) return mean;
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+double Rng::truncated_normal(double mean, double stddev, double lo, double hi) {
+  ISCOPE_CHECK_ARG(lo < hi, "truncated_normal: lo must be < hi");
+  ISCOPE_CHECK_ARG(stddev >= 0.0, "truncated_normal: stddev must be >= 0");
+  if (stddev == 0.0) return std::min(std::max(mean, lo), hi);
+  // Rejection sampling with a clamp fallback: if the window is many sigmas
+  // away from the mean, rejection would stall, so after a bounded number of
+  // attempts we fall back to clamping (bias is negligible for our usage).
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const double x = normal(mean, stddev);
+    if (x >= lo && x <= hi) return x;
+  }
+  return std::min(std::max(mean, lo), hi);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  ISCOPE_CHECK_ARG(sigma >= 0.0, "lognormal: sigma must be >= 0");
+  return std::lognormal_distribution<double>(mu, sigma)(engine_);
+}
+
+double Rng::exponential(double rate) {
+  ISCOPE_CHECK_ARG(rate > 0.0, "exponential: rate must be > 0");
+  return std::exponential_distribution<double>(rate)(engine_);
+}
+
+std::int64_t Rng::poisson(double mean) {
+  ISCOPE_CHECK_ARG(mean >= 0.0, "poisson: mean must be >= 0");
+  if (mean == 0.0) return 0;
+  return std::poisson_distribution<std::int64_t>(mean)(engine_);
+}
+
+double Rng::weibull(double shape, double scale) {
+  ISCOPE_CHECK_ARG(shape > 0.0 && scale > 0.0,
+                   "weibull: shape and scale must be > 0");
+  return std::weibull_distribution<double>(shape, scale)(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  ISCOPE_CHECK_ARG(p >= 0.0 && p <= 1.0, "bernoulli: p must be in [0,1]");
+  return uniform() < p;
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  shuffle(idx);
+  return idx;
+}
+
+}  // namespace iscope

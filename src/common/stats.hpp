@@ -1,0 +1,66 @@
+// Descriptive statistics used by the evaluation harnesses and the scheduler.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace iscope {
+
+/// Single-pass running mean/variance (Welford). O(1) memory, numerically
+/// stable; used for per-CPU utilization-time variance (paper Fig. 9) and for
+/// the metric collectors in the simulator.
+class RunningStats {
+ public:
+  void add(double x);
+  /// Merge another accumulator into this one (parallel reduction friendly).
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Population variance (divide by n). Returns 0 for n < 1.
+  double variance() const;
+  /// Sample variance (divide by n-1). Returns 0 for n < 2.
+  double sample_variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Batch helpers over a vector of samples.
+double mean(const std::vector<double>& xs);
+double variance(const std::vector<double>& xs);  ///< population variance
+double stddev(const std::vector<double>& xs);
+/// Linear-interpolated percentile, p in [0,100]. Throws on empty input.
+double percentile(std::vector<double> xs, double p);
+/// Coefficient of variation (stddev/mean); 0 if mean == 0.
+double coeff_of_variation(const std::vector<double>& xs);
+
+/// Fixed-width histogram over [lo, hi); values outside are clamped into the
+/// first/last bin. Used for Min Vdd population plots and report rendering.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const;
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace iscope

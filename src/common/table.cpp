@@ -1,0 +1,67 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace iscope {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (!header_.empty())
+    ISCOPE_CHECK_ARG(row.size() == header_.size(),
+                     "TextTable: row width must match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::num(double v, int digits) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(digits) << v;
+  return ss.str();
+}
+
+std::string TextTable::pct(double fraction, int digits) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(digits) << fraction * 100.0 << '%';
+  return ss.str();
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths;
+  auto widen = [&](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::ostringstream out;
+  if (!title_.empty()) out << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out << "  ";
+      out << std::left << std::setw(static_cast<int>(widths[i])) << row[i];
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < widths.size(); ++i)
+      total += widths[i] + (i ? 2 : 0);
+    out << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+  return out.str();
+}
+
+void TextTable::print(std::ostream& out) const { out << render(); }
+
+}  // namespace iscope

@@ -1,0 +1,35 @@
+// Aligned plain-text table rendering for the benchmark harnesses.
+//
+// Every figure/table reproduction prints its rows through this so that the
+// bench output is stable, diff-able, and directly comparable to the paper.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace iscope {
+
+/// Column-aligned text table. Add a header once, then rows; `render` pads
+/// columns to the widest cell and draws a separator under the header.
+class TextTable {
+ public:
+  void set_title(std::string title) { title_ = std::move(title); }
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  /// Format a double with `digits` significant decimal places.
+  static std::string num(double v, int digits = 3);
+  /// Format a percentage like "12.3%".
+  static std::string pct(double fraction, int digits = 1);
+
+  std::string render() const;
+  void print(std::ostream& out) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace iscope

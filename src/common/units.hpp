@@ -1,0 +1,38 @@
+// Physical units and conversion helpers used throughout iScope.
+//
+// We deliberately keep quantities as plain `double` in natural SI-ish units
+// (seconds, watts, joules, volts, gigahertz) and rely on naming conventions
+// (`_s`, `_w`, `_j`, `_v`, `_ghz` suffixes) instead of heavyweight unit types:
+// the simulator's hot loops multiply these values billions of times and the
+// models mix units freely (e.g. Eq-1 of the paper takes f in GHz).
+#pragma once
+
+namespace iscope::units {
+
+// --- time -------------------------------------------------------------
+inline constexpr double kSecondsPerMinute = 60.0;
+inline constexpr double kSecondsPerHour = 3600.0;
+inline constexpr double kSecondsPerDay = 86400.0;
+
+constexpr double minutes(double m) { return m * kSecondsPerMinute; }
+constexpr double hours(double h) { return h * kSecondsPerHour; }
+constexpr double days(double d) { return d * kSecondsPerDay; }
+
+// --- energy -----------------------------------------------------------
+inline constexpr double kJoulesPerKwh = 3.6e6;
+
+/// Joules -> kilowatt-hours.
+constexpr double joules_to_kwh(double joules) { return joules / kJoulesPerKwh; }
+/// Kilowatt-hours -> joules.
+constexpr double kwh_to_joules(double kwh) { return kwh * kJoulesPerKwh; }
+
+// --- power ------------------------------------------------------------
+constexpr double kilowatts(double kw) { return kw * 1e3; }
+constexpr double megawatts(double mw) { return mw * 1e6; }
+constexpr double watts_to_kw(double w) { return w / 1e3; }
+
+// --- frequency --------------------------------------------------------
+constexpr double mhz_to_ghz(double mhz) { return mhz / 1e3; }
+constexpr double ghz_to_mhz(double ghz) { return ghz * 1e3; }
+
+}  // namespace iscope::units

@@ -1,0 +1,56 @@
+// Experiment configuration: one struct that wires every subsystem together.
+//
+// The paper's full facility is 4800 CPUs driven by the LLNL Thunder trace
+// and NREL wind data; that scale runs, but the default experiment config is
+// a proportionally reduced facility so the whole evaluation suite finishes
+// in seconds. Set the ISCOPE_SCALE environment variable (or call
+// `scaled(f)`) to grow it -- every reported *shape* is scale-invariant.
+#pragma once
+
+#include <cstdint>
+
+#include "energy/wind_model.hpp"
+#include "hardware/cluster.hpp"
+#include "profiling/scanner.hpp"
+#include "sim/simulator.hpp"
+#include "workload/synthetic.hpp"
+#include "workload/urgency.hpp"
+
+namespace iscope {
+
+struct ExperimentConfig {
+  ClusterConfig cluster;
+  SyntheticWorkloadConfig workload;
+  UrgencyConfig urgency;
+  WindFarmConfig wind;
+  ScanConfig scan;
+  SimConfig sim;
+  /// Wind trace is rescaled so its mean equals this fraction of the
+  /// facility's peak demand (the paper scales NREL data to 3.5% for the
+  /// same purpose: a farm commensurate with the facility). At ~40% average
+  /// utilization this puts the wind level in the regime where it crosses
+  /// the demand curve frequently -- the Fig. 7 matching regime.
+  double wind_mean_fraction_of_peak = 0.5;
+  std::uint64_t seed = 2015;
+
+  void validate() const;
+
+  /// Reduced-scale defaults: 480 CPUs / 800 jobs (1:10 of the paper).
+  static ExperimentConfig paper_small();
+
+  /// The paper's full scale: 4800 CPUs, Thunder-sized workload.
+  static ExperimentConfig paper_full();
+
+  /// Multiply processor and job counts by `factor` (>= keeps proportions).
+  ExperimentConfig scaled(double factor) const;
+};
+
+/// Read ISCOPE_SCALE from the environment (default 1.0, clamped to
+/// [0.1, 20]). Benches multiply `paper_small()` by this.
+double env_scale();
+
+/// Estimated peak facility demand [W]: every CPU at the top level and
+/// stock voltage, plus cooling.
+double estimated_peak_demand_w(const ClusterConfig& cluster, double cop);
+
+}  // namespace iscope

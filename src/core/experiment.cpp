@@ -1,0 +1,165 @@
+#include "core/experiment.hpp"
+
+#include <numeric>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "profiling/scanner.hpp"
+#include "sim/simulator.hpp"
+#include "workload/urgency.hpp"
+
+namespace iscope {
+
+ExperimentContext::ExperimentContext(const ExperimentConfig& config)
+    : config_(config) {
+  config_.validate();
+
+  // Fabricate the cluster.
+  cluster_ = std::make_unique<Cluster>(build_cluster(config_.cluster));
+
+  // Full in-cloud scan (the Scan schemes' knowledge). The overhead of this
+  // campaign is analyzed separately (Sec. VI-E / bench_overhead_profiling).
+  db_ = std::make_unique<ProfileDb>(cluster_->size());
+  const Scanner scanner(cluster_.get(), config_.scan);
+  Rng scan_rng = Rng(config_.seed).fork("scan");
+  std::vector<std::size_t> all(cluster_->size());
+  std::iota(all.begin(), all.end(), 0);
+  scanner.scan_domain(all, 0.0, scan_rng, *db_);
+  ISCOPE_INFO("scanned " << db_->profiled_count() << " processors, "
+                         << db_->total_trials() << " trials");
+
+  // Wind trace, scaled relative to facility peak demand (the paper's 3.5%
+  // NREL down-scaling plays the same role).
+  WindFarmConfig wind = config_.wind;
+  wind.seed = Rng(config_.seed).fork("wind").seed();
+  SupplyTrace raw = generate_wind_days(wind, 7.0);
+  const double peak =
+      estimated_peak_demand_w(config_.cluster, config_.sim.cooling_cop);
+  wind_trace_ = raw.scaled_to_mean(config_.wind_mean_fraction_of_peak * peak);
+}
+
+std::vector<Task> ExperimentContext::make_tasks(double hu_fraction,
+                                                double arrival_rate) const {
+  SyntheticWorkloadConfig wl = config_.workload;
+  wl.max_cpus = std::min(wl.max_cpus, cluster_->size());
+  std::vector<Task> tasks = generate_workload(wl);
+  UrgencyConfig urgency = config_.urgency;
+  urgency.hu_fraction = hu_fraction;
+  assign_deadlines(tasks, urgency);
+  if (arrival_rate != 1.0)
+    tasks = scale_arrival_rate(std::move(tasks), arrival_rate);
+  return tasks;
+}
+
+HybridSupply ExperimentContext::make_supply(bool with_wind,
+                                            double strength) const {
+  if (!with_wind) return HybridSupply();
+  return HybridSupply(wind_trace_, strength);
+}
+
+SimResult ExperimentContext::run(Scheme scheme, const std::vector<Task>& tasks,
+                                 const HybridSupply& supply,
+                                 bool record_trace) const {
+  SimConfig sim = config_.sim;
+  sim.record_trace = record_trace;
+  // Fork by placement *rule*, not scheme: BinRan and ScanRan then share the
+  // same random placement stream, so their comparison isolates the
+  // knowledge difference (paired-run variance reduction).
+  sim.seed = Rng(config_.seed)
+                 .fork(placement_rule_name(scheme_rule(scheme)))
+                 .seed();
+  return run_scheme(*cluster_, scheme, db_.get(), supply, tasks, sim);
+}
+
+std::vector<SweepPoint> sweep_hu(const ExperimentContext& ctx,
+                                 const std::vector<double>& hu_fractions,
+                                 bool with_wind) {
+  std::vector<SweepPoint> out;
+  const HybridSupply supply = ctx.make_supply(with_wind);
+  for (const double hu : hu_fractions) {
+    const std::vector<Task> tasks = ctx.make_tasks(hu);
+    for (const Scheme scheme : kAllSchemes) {
+      SweepPoint p;
+      p.scheme = scheme;
+      p.x = hu;
+      p.result = ctx.run(scheme, tasks, supply);
+      out.push_back(std::move(p));
+    }
+  }
+  return out;
+}
+
+std::vector<SweepPoint> sweep_arrival(const ExperimentContext& ctx,
+                                      const std::vector<double>& rates,
+                                      bool with_wind) {
+  std::vector<SweepPoint> out;
+  const HybridSupply supply = ctx.make_supply(with_wind);
+  const double hu = ctx.config().urgency.hu_fraction;
+  for (const double rate : rates) {
+    const std::vector<Task> tasks = ctx.make_tasks(hu, rate);
+    for (const Scheme scheme : kAllSchemes) {
+      SweepPoint p;
+      p.scheme = scheme;
+      p.x = rate;
+      p.result = ctx.run(scheme, tasks, supply);
+      out.push_back(std::move(p));
+    }
+  }
+  return out;
+}
+
+std::vector<SweepPoint> sweep_wind_strength(
+    const ExperimentContext& ctx, const std::vector<double>& factors) {
+  std::vector<SweepPoint> out;
+  const double hu = ctx.config().urgency.hu_fraction;
+  const std::vector<Task> tasks = ctx.make_tasks(hu);
+  for (const double f : factors) {
+    const HybridSupply supply = ctx.make_supply(true, f);
+    for (const Scheme scheme : kAllSchemes) {
+      SweepPoint p;
+      p.scheme = scheme;
+      p.x = f;
+      p.result = ctx.run(scheme, tasks, supply);
+      out.push_back(std::move(p));
+    }
+  }
+  return out;
+}
+
+std::vector<SweepPoint> power_traces(const ExperimentContext& ctx) {
+  const std::array<Scheme, 3> scan_schemes = {
+      Scheme::kScanRan, Scheme::kScanEffi, Scheme::kScanFair};
+  const double hu = ctx.config().urgency.hu_fraction;
+  const std::vector<Task> tasks = ctx.make_tasks(hu);
+  const HybridSupply supply = ctx.make_supply(true);
+  std::vector<SweepPoint> out;
+  for (const Scheme scheme : scan_schemes) {
+    SweepPoint p;
+    p.scheme = scheme;
+    p.result = ctx.run(scheme, tasks, supply, /*record_trace=*/true);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+std::vector<CostRow> energy_costs(const ExperimentContext& ctx) {
+  const double hu = ctx.config().urgency.hu_fraction;
+  const std::vector<Task> tasks = ctx.make_tasks(hu);
+  std::vector<CostRow> rows;
+  for (const bool with_wind : {false, true}) {
+    const HybridSupply supply = ctx.make_supply(with_wind);
+    for (const Scheme scheme : kAllSchemes) {
+      const SimResult r = ctx.run(scheme, tasks, supply);
+      CostRow row;
+      row.scheme = scheme;
+      row.with_wind = with_wind;
+      row.cost_usd = r.cost_usd;
+      row.utility_kwh = r.energy.utility_kwh();
+      row.wind_kwh = r.energy.wind_kwh();
+      rows.push_back(row);
+    }
+  }
+  return rows;
+}
+
+}  // namespace iscope

@@ -1,0 +1,107 @@
+// The iScope framework facade -- the paper's two automated processes as a
+// long-lived service object:
+//
+//   1. *Dynamic hardware scanning* (Sec. III): maintain a Min Vdd profile
+//      database over the fleet, plan opportunistic scans into
+//      low-utilization windows, and re-scan periodically because chips
+//      drift as they age.
+//   2. *Variation-aware scheduling* (Sec. IV): run workloads under any of
+//      the Table-2 schemes against a hybrid wind+utility supply.
+//
+// A typical operator loop:
+//
+//   IScope::Options opt;
+//   IScope iscope(opt);
+//   iscope.execute_plan(iscope.plan_scans(demand, supply), now);   // scan
+//   SimResult day = iscope.schedule(Scheme::kScanFair, tasks, supply);
+//   iscope.apply_wear(day.busy_time_s);                            // age
+//   // ...next day: stale chips get re-planned automatically.
+//
+// The facade owns the cluster (which it ages in place), the profile
+// database, and the scanner; scheduling runs are side-effect-free apart
+// from the returned metrics.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "energy/forecast.hpp"
+#include "energy/hybrid_supply.hpp"
+#include "hardware/aging.hpp"
+#include "hardware/cluster.hpp"
+#include "profiling/opportunistic.hpp"
+#include "profiling/profile_db.hpp"
+#include "profiling/scanner.hpp"
+#include "sched/scheme.hpp"
+#include "sim/simulator.hpp"
+
+namespace iscope {
+
+class IScope {
+ public:
+  struct Options {
+    ClusterConfig cluster;
+    ScanConfig scan;
+    SimConfig sim;
+    OpportunisticConfig opportunistic;
+    AgingParams aging;
+    /// Profiles older than this are treated as stale and re-planned
+    /// (paper Sec. III-C: periodic profiling).
+    double rescan_period_s = 30.0 * 86400.0;
+    std::uint64_t seed = 2015;
+
+    Options();  ///< fills opportunistic.scan_time_per_proc_s from `scan`
+  };
+
+  explicit IScope(const Options& options);
+
+  // --- scanner side -----------------------------------------------------
+  const ProfileDb& profiles() const { return db_; }
+  /// Processors never profiled or last profiled before now - rescan_period.
+  std::vector<std::size_t> stale_processors(double now_s) const;
+  /// Plan scans of the stale processors into low-utilization windows of
+  /// the given per-minute demand signal.
+  ProfilingPlan plan_scans(const std::vector<double>& demand_fraction,
+                           const HybridSupply& supply, double now_s) const;
+  /// Execute a plan against the (current) silicon; profiles are stamped at
+  /// each window's start time.
+  void execute_plan(const ProfilingPlan& plan);
+  /// Scan every processor immediately (commissioning).
+  void scan_all(double now_s);
+
+  // --- hardware lifecycle -------------------------------------------------
+  /// Age the fleet by per-processor activity (seconds of busy time). The
+  /// profile database keeps its (now slightly stale) entries -- that gap
+  /// is what `undervolt_violations` measures and periodic re-scanning
+  /// closes.
+  void apply_wear(const std::vector<double>& busy_time_s);
+  /// Latent stability violations if the current profile map were applied
+  /// to the current (aged) silicon.
+  std::size_t undervolt_violations() const;
+
+  // --- scheduler side -----------------------------------------------------
+  /// Run a workload under a Table-2 scheme. `forecaster` optionally
+  /// informs ScanFair's deferral.
+  SimResult schedule(Scheme scheme, const std::vector<Task>& tasks,
+                     const HybridSupply& supply,
+                     const WindForecaster* forecaster = nullptr) const;
+  /// Run with in-band opportunistic profiling windows.
+  SimResult schedule_with_profiling(Scheme scheme,
+                                    const std::vector<Task>& tasks,
+                                    const HybridSupply& supply,
+                                    const ProfilingPlan& plan) const;
+
+  const Cluster& cluster() const { return *cluster_; }
+  const Options& options() const { return options_; }
+  double total_wear_s(std::size_t proc) const;
+
+ private:
+  Options options_;
+  std::unique_ptr<Cluster> cluster_;
+  ProfileDb db_;
+  Rng scan_rng_;
+  std::vector<double> cumulative_wear_s_;
+};
+
+}  // namespace iscope

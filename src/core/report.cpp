@@ -1,0 +1,65 @@
+#include "core/report.hpp"
+
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace iscope {
+
+void MarkdownReport::heading(int level, const std::string& text) {
+  ISCOPE_CHECK_ARG(level >= 1 && level <= 6, "report: heading level 1..6");
+  if (!out_.empty()) out_ += '\n';
+  out_ += std::string(static_cast<std::size_t>(level), '#') + ' ' + text +
+          "\n\n";
+}
+
+void MarkdownReport::paragraph(const std::string& text) {
+  out_ += text + "\n\n";
+}
+
+void MarkdownReport::bullet(const std::string& text) {
+  out_ += "* " + text + "\n";
+}
+
+void MarkdownReport::table(
+    const std::vector<std::string>& header,
+    const std::vector<std::vector<std::string>>& rows) {
+  ISCOPE_CHECK_ARG(!header.empty(), "report: table needs a header");
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    out_ += '|';
+    for (const auto& c : cells) out_ += ' ' + c + " |";
+    out_ += '\n';
+  };
+  emit_row(header);
+  out_ += '|';
+  for (std::size_t i = 0; i < header.size(); ++i) out_ += "---|";
+  out_ += '\n';
+  for (const auto& row : rows) {
+    ISCOPE_CHECK_ARG(row.size() == header.size(),
+                     "report: row width must match header");
+    emit_row(row);
+  }
+  out_ += '\n';
+}
+
+void MarkdownReport::code_block(const std::string& text,
+                                const std::string& lang) {
+  out_ += "```" + lang + "\n" + text;
+  if (text.empty() || text.back() != '\n') out_ += '\n';
+  out_ += "```\n\n";
+}
+
+void MarkdownReport::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw ParseError("cannot open for write: " + path);
+  out << out_;
+}
+
+std::string md_num(double v, int digits) { return TextTable::num(v, digits); }
+
+std::string md_pct(double fraction, int digits) {
+  return TextTable::pct(fraction, digits);
+}
+
+}  // namespace iscope

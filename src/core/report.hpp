@@ -1,0 +1,36 @@
+// Markdown report builder.
+//
+// Backs `bench_make_experiments_report`, which regenerates EXPERIMENTS.md
+// from live runs: the paper-vs-measured record is produced by code, not
+// transcribed by hand, so it cannot silently drift from the
+// implementation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace iscope {
+
+class MarkdownReport {
+ public:
+  /// `#`-style heading; level 1..6.
+  void heading(int level, const std::string& text);
+  void paragraph(const std::string& text);
+  void bullet(const std::string& text);
+  /// GitHub-style table.
+  void table(const std::vector<std::string>& header,
+             const std::vector<std::vector<std::string>>& rows);
+  void code_block(const std::string& text, const std::string& lang = "");
+
+  const std::string& str() const { return out_; }
+  void save(const std::string& path) const;
+
+ private:
+  std::string out_;
+};
+
+/// Format helpers shared by report writers.
+std::string md_num(double v, int digits = 1);
+std::string md_pct(double fraction, int digits = 1);
+
+}  // namespace iscope

@@ -1,0 +1,74 @@
+#include "energy/battery.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace iscope {
+
+void BatteryConfig::validate() const {
+  ISCOPE_CHECK_ARG(capacity_j >= 0.0, "battery: negative capacity");
+  ISCOPE_CHECK_ARG(max_charge_w > 0.0 && max_discharge_w > 0.0,
+                   "battery: power limits must be > 0");
+  ISCOPE_CHECK_ARG(charge_efficiency > 0.0 && charge_efficiency <= 1.0,
+                   "battery: charge efficiency in (0,1]");
+  ISCOPE_CHECK_ARG(discharge_efficiency > 0.0 && discharge_efficiency <= 1.0,
+                   "battery: discharge efficiency in (0,1]");
+  ISCOPE_CHECK_ARG(initial_soc >= 0.0 && initial_soc <= 1.0,
+                   "battery: initial SoC in [0,1]");
+}
+
+BatteryConfig BatteryConfig::make(double capacity_kwh, double power_kw) {
+  BatteryConfig cfg;
+  cfg.capacity_j = units::kwh_to_joules(capacity_kwh);
+  cfg.max_charge_w = power_kw * 1e3;
+  cfg.max_discharge_w = power_kw * 1e3;
+  return cfg;
+}
+
+BatteryBank::BatteryBank(const BatteryConfig& config) : config_(config) {
+  config_.validate();
+  stored_j_ = config_.capacity_j * config_.initial_soc;
+}
+
+double BatteryBank::charge(double offered_w, double dt_s) {
+  ISCOPE_CHECK_ARG(offered_w >= 0.0, "battery: negative offered power");
+  ISCOPE_CHECK_ARG(dt_s >= 0.0, "battery: negative time step");
+  if (!present() || dt_s == 0.0 || offered_w == 0.0) return 0.0;
+  const double headroom_j = config_.capacity_j - stored_j_;
+  if (headroom_j <= 0.0) return 0.0;
+  // AC power limited by the charger; cell intake limited by headroom.
+  const double ac_w = std::min(offered_w, config_.max_charge_w);
+  const double cell_w = ac_w * config_.charge_efficiency;
+  const double cell_j = std::min(cell_w * dt_s, headroom_j);
+  stored_j_ += cell_j;
+  const double ac_j = cell_j / config_.charge_efficiency;
+  absorbed_j_ += ac_j;
+  return ac_j / dt_s;
+}
+
+double BatteryBank::discharge(double requested_w, double dt_s) {
+  ISCOPE_CHECK_ARG(requested_w >= 0.0, "battery: negative request");
+  ISCOPE_CHECK_ARG(dt_s >= 0.0, "battery: negative time step");
+  if (!present() || dt_s == 0.0 || requested_w == 0.0) return 0.0;
+  if (stored_j_ <= 0.0) return 0.0;
+  const double ac_w = std::min(requested_w, config_.max_discharge_w);
+  const double cell_j_needed = ac_w * dt_s / config_.discharge_efficiency;
+  const double cell_j = std::min(cell_j_needed, stored_j_);
+  stored_j_ -= cell_j;
+  const double ac_j = cell_j * config_.discharge_efficiency;
+  delivered_j_ += ac_j;
+  return ac_j / dt_s;
+}
+
+double BatteryBank::soc() const {
+  return present() ? stored_j_ / config_.capacity_j : 0.0;
+}
+
+double BatteryBank::losses_j() const {
+  // Absorbed at AC minus (still stored beyond initial + delivered at AC).
+  const double initial = config_.capacity_j * config_.initial_soc;
+  return absorbed_j_ - delivered_j_ - (stored_j_ - initial);
+}
+
+}  // namespace iscope

@@ -1,0 +1,64 @@
+// On-site battery storage.
+//
+// The paper dismisses heavy reliance on "large-scale onsite battery" as
+// inefficient and costly (Sec. II-A, refs [1,10]) -- iScope's scheduling is
+// the alternative. This module makes that claim testable: a round-trip-
+// lossy, power-limited battery bank can be attached to the simulator, and
+// the bench ablation sweeps its capacity against ScanFair's deferral to
+// show how much storage one scheduling policy is worth.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace iscope {
+
+struct BatteryConfig {
+  double capacity_j = 0.0;        ///< usable energy capacity [J] (0 = none)
+  double max_charge_w = 1e9;      ///< charge power limit
+  double max_discharge_w = 1e9;   ///< discharge power limit
+  double charge_efficiency = 0.92;     ///< AC->cell
+  double discharge_efficiency = 0.92;  ///< cell->AC
+  double initial_soc = 0.5;       ///< initial state of charge (0..1)
+
+  void validate() const;
+
+  static BatteryConfig none() { return BatteryConfig{}; }
+  /// Convenience: capacity in kWh with symmetric power limit in kW.
+  static BatteryConfig make(double capacity_kwh, double power_kw);
+};
+
+class BatteryBank {
+ public:
+  explicit BatteryBank(const BatteryConfig& config = BatteryConfig::none());
+
+  bool present() const { return config_.capacity_j > 0.0; }
+
+  /// Offer `offered_w` of surplus power for `dt_s` seconds. Returns the
+  /// power actually absorbed at the AC side (0 when full or absent).
+  double charge(double offered_w, double dt_s);
+
+  /// Request `requested_w` for `dt_s` seconds. Returns the power actually
+  /// delivered at the AC side (0 when empty or absent).
+  double discharge(double requested_w, double dt_s);
+
+  /// Stored energy [J] (at the cell).
+  double stored_j() const { return stored_j_; }
+  /// State of charge (0..1); 0 for an absent battery.
+  double soc() const;
+  /// Total AC energy delivered over the bank's life [J].
+  double delivered_j() const { return delivered_j_; }
+  /// Total AC energy absorbed over the bank's life [J].
+  double absorbed_j() const { return absorbed_j_; }
+  /// Energy lost to round-trip inefficiency so far [J].
+  double losses_j() const;
+
+  const BatteryConfig& config() const { return config_; }
+
+ private:
+  BatteryConfig config_;
+  double stored_j_ = 0.0;
+  double delivered_j_ = 0.0;
+  double absorbed_j_ = 0.0;
+};
+
+}  // namespace iscope

@@ -1,0 +1,79 @@
+// Wind forecasting for deferral decisions.
+//
+// ScanFair defers slack-rich work through calms betting that wind returns
+// before the deadline (paper Sec. IV-B: the scheduler "adapts its policy
+// at run time"). That bet can be informed: this module provides forecast
+// models of the mean available wind power over a horizon, from the
+// trivial to the clairvoyant:
+//
+//  * ClimatologyForecaster -- the long-run mean, ignores current state;
+//  * PersistenceForecaster -- "the next hours look like right now", the
+//    standard no-skill baseline in wind forecasting;
+//  * BlendedForecaster     -- persistence decaying to climatology with an
+//    e-folding time (a cheap stand-in for a real NWP feed);
+//  * OracleForecaster      -- reads the future from the trace (upper
+//    bound; quantifies the value of perfect information).
+//
+// The simulator feeds the forecast into Fair's deferral rule; the
+// bench_ablation_forecast harness compares the four.
+#pragma once
+
+#include <memory>
+
+#include "energy/hybrid_supply.hpp"
+
+namespace iscope {
+
+class WindForecaster {
+ public:
+  virtual ~WindForecaster() = default;
+
+  /// Expected *mean* available wind power [W] over [now, now+horizon].
+  virtual double forecast_mean_w(double now_s, double horizon_s) const = 0;
+};
+
+/// Long-run mean of the supply, regardless of the current state.
+class ClimatologyForecaster final : public WindForecaster {
+ public:
+  explicit ClimatologyForecaster(const HybridSupply* supply);
+  double forecast_mean_w(double now_s, double horizon_s) const override;
+
+ private:
+  double mean_w_;
+};
+
+/// The current wind level persists across the horizon.
+class PersistenceForecaster final : public WindForecaster {
+ public:
+  explicit PersistenceForecaster(const HybridSupply* supply);
+  double forecast_mean_w(double now_s, double horizon_s) const override;
+
+ private:
+  const HybridSupply* supply_;  // non-owning
+};
+
+/// Persistence decaying exponentially toward climatology.
+class BlendedForecaster final : public WindForecaster {
+ public:
+  /// `decay_s`: e-folding time of the persistence signal (site-dependent;
+  /// a few hours for typical wind autocorrelation).
+  BlendedForecaster(const HybridSupply* supply, double decay_s = 4.0 * 3600.0);
+  double forecast_mean_w(double now_s, double horizon_s) const override;
+
+ private:
+  const HybridSupply* supply_;  // non-owning
+  double decay_s_;
+  double mean_w_;
+};
+
+/// Perfect foresight: integrates the actual trace over the horizon.
+class OracleForecaster final : public WindForecaster {
+ public:
+  explicit OracleForecaster(const HybridSupply* supply);
+  double forecast_mean_w(double now_s, double horizon_s) const override;
+
+ private:
+  const HybridSupply* supply_;  // non-owning
+};
+
+}  // namespace iscope

@@ -1,0 +1,19 @@
+#include "energy/hybrid_supply.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace iscope {
+
+HybridSupply::HybridSupply(SupplyTrace wind, double strength, bool wrap)
+    : wind_(std::move(wind)), strength_(strength), wrap_(wrap) {
+  ISCOPE_CHECK_ARG(strength >= 0.0, "HybridSupply: negative strength");
+}
+
+double HybridSupply::wind_available_w(double t_s) const {
+  if (wind_.empty()) return 0.0;
+  return strength_ * wind_.power_at(t_s, wrap_);
+}
+
+}  // namespace iscope

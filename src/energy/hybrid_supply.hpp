@@ -1,0 +1,36 @@
+// Hybrid wind + utility supply view (paper Sec. V-C).
+//
+// The datacenter always prefers wind; the utility grid is an unlimited but
+// expensive supplement. `strength` implements the Fig. 9 "SWP" sweep: the
+// standard wind power trace amplified by a factor in [1.0, 1.8].
+#pragma once
+
+#include "energy/supply_trace.hpp"
+
+namespace iscope {
+
+class HybridSupply {
+ public:
+  /// Utility-only supply (no wind at all).
+  HybridSupply() = default;
+
+  /// Wind trace plus utility backup. `strength` scales the trace (SWP
+  /// factor); `wrap` controls behaviour past the trace end.
+  explicit HybridSupply(SupplyTrace wind, double strength = 1.0,
+                        bool wrap = true);
+
+  bool has_wind() const { return !wind_.empty(); }
+
+  /// Wind power available at time t [W] (0 for utility-only).
+  double wind_available_w(double t_s) const;
+
+  double strength() const { return strength_; }
+  const SupplyTrace& wind_trace() const { return wind_; }
+
+ private:
+  SupplyTrace wind_;
+  double strength_ = 0.0;
+  bool wrap_ = true;
+};
+
+}  // namespace iscope

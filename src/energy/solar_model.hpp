@@ -1,0 +1,51 @@
+// Synthetic solar PV farm.
+//
+// The paper uses the NREL *Western Wind and Solar* Integration datasets and
+// builds on solar-driven designs (SolarCore [3], Parasol [11]). This module
+// provides the solar half: clear-sky irradiance from solar geometry (a
+// smooth half-sine day window) attenuated by an AR(1) cloud-cover process,
+// pushed through a PV array model. Output is a SupplyTrace on the same
+// 10-minute cadence as the wind model, so any experiment can swap or mix
+// the two sources.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "energy/supply_trace.hpp"
+
+namespace iscope {
+
+struct SolarFarmConfig {
+  double peak_w = 40e3;          ///< array output at full irradiance [W]
+  double sunrise_hour = 6.0;
+  double sunset_hour = 18.0;
+  /// Mean clear-sky fraction (1 = desert, ~0.5 = cloudy climate).
+  double clear_fraction = 0.7;
+  /// AR(1) coefficient of the cloud process per sample step.
+  double cloud_ar1 = 0.95;
+  /// Spread of the cloud attenuation process.
+  double cloud_sigma = 0.25;
+  double step_s = 600.0;         ///< 10-minute cadence like NREL
+  std::uint64_t seed = 77;
+
+  void validate() const;
+};
+
+/// Clear-sky output fraction (0..1) at an hour-of-day for the window
+/// [sunrise, sunset]: half-sine, zero at night.
+double clear_sky_fraction(double hour, double sunrise_hour,
+                          double sunset_hour);
+
+/// Generate `samples` steps of PV farm output.
+SupplyTrace generate_solar_trace(const SolarFarmConfig& config,
+                                 std::size_t samples);
+
+/// Convenience: a trace covering `days` days.
+SupplyTrace generate_solar_days(const SolarFarmConfig& config, double days);
+
+/// Element-wise sum of two supply traces (hybrid wind+solar farm). Both
+/// must share the sampling step; the result has the shorter length.
+SupplyTrace combine_supplies(const SupplyTrace& a, const SupplyTrace& b);
+
+}  // namespace iscope

@@ -1,0 +1,45 @@
+// Renewable supply characterization.
+//
+// The numbers a green-datacenter operator sizes against: capacity factor,
+// ramp-rate distribution (the paper's premise that wind "can change from
+// full grade to zero within minutes"), and the duration structure of calm
+// spells (which bounds how long ScanFair-style deferral must bridge and
+// how much battery would be needed instead).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "energy/supply_trace.hpp"
+
+namespace iscope {
+
+struct SupplyStats {
+  double mean_w = 0.0;
+  double max_w = 0.0;
+  /// mean / max -- the classic capacity factor when max is the nameplate.
+  double capacity_factor = 0.0;
+
+  /// Per-step power changes, normalized by the mean [1/step].
+  double mean_abs_ramp = 0.0;
+  double p95_abs_ramp = 0.0;
+
+  /// Spells below `calm_threshold * mean`.
+  double calm_fraction = 0.0;       ///< fraction of samples in calms
+  double mean_calm_spell_s = 0.0;
+  double longest_calm_spell_s = 0.0;
+  std::size_t calm_spells = 0;
+
+  /// Autocorrelation at one step (persistence forecastability).
+  double lag1_autocorrelation = 0.0;
+
+  std::string summary() const;
+};
+
+/// Characterize a trace. `calm_threshold` is the fraction of the mean
+/// below which a sample counts as calm (default 10%).
+SupplyStats compute_supply_stats(const SupplyTrace& trace,
+                                 double calm_threshold = 0.1);
+
+}  // namespace iscope

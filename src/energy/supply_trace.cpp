@@ -1,0 +1,116 @@
+#include "energy/supply_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+
+namespace iscope {
+
+SupplyTrace::SupplyTrace(double step_s, std::vector<double> power_w)
+    : step_s_(step_s), power_w_(std::move(power_w)) {
+  ISCOPE_CHECK_ARG(step_s > 0.0, "SupplyTrace: step must be > 0");
+  for (const double p : power_w_)
+    ISCOPE_CHECK_ARG(p >= 0.0, "SupplyTrace: negative power sample");
+}
+
+double SupplyTrace::duration_s() const {
+  return step_s_ * static_cast<double>(power_w_.size());
+}
+
+double SupplyTrace::power_at(double t_s, bool wrap) const {
+  ISCOPE_CHECK_ARG(t_s >= 0.0, "power_at: negative time");
+  if (power_w_.empty()) return 0.0;
+  double t = t_s;
+  const double dur = duration_s();
+  if (wrap) {
+    t = std::fmod(t, dur);
+  }
+  auto idx = static_cast<std::size_t>(t / step_s_);
+  idx = std::min(idx, power_w_.size() - 1);
+  return power_w_[idx];
+}
+
+double SupplyTrace::sample(std::size_t i) const {
+  ISCOPE_CHECK_ARG(i < power_w_.size(), "SupplyTrace: sample out of range");
+  return power_w_[i];
+}
+
+SupplyTrace SupplyTrace::scaled(double factor) const {
+  ISCOPE_CHECK_ARG(factor >= 0.0, "SupplyTrace: negative scale factor");
+  std::vector<double> scaled_w = power_w_;
+  for (auto& p : scaled_w) p *= factor;
+  return SupplyTrace(step_s_, std::move(scaled_w));
+}
+
+SupplyTrace SupplyTrace::scaled_to_mean(double target_mean_w) const {
+  ISCOPE_CHECK_ARG(target_mean_w >= 0.0, "SupplyTrace: negative target mean");
+  const double m = mean_w();
+  ISCOPE_CHECK_ARG(m > 0.0, "SupplyTrace: cannot rescale an all-zero trace");
+  return scaled(target_mean_w / m);
+}
+
+double SupplyTrace::mean_w() const {
+  if (power_w_.empty()) return 0.0;
+  double s = 0.0;
+  for (const double p : power_w_) s += p;
+  return s / static_cast<double>(power_w_.size());
+}
+
+double SupplyTrace::max_w() const {
+  double m = 0.0;
+  for (const double p : power_w_) m = std::max(m, p);
+  return m;
+}
+
+SupplyTrace SupplyTrace::resampled(double new_step_s) const {
+  ISCOPE_CHECK_ARG(new_step_s > 0.0, "resampled: step must be > 0");
+  ISCOPE_CHECK_ARG(!power_w_.empty(), "resampled: empty trace");
+  const auto n = static_cast<std::size_t>(
+      std::ceil(duration_s() / new_step_s));
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(power_at(static_cast<double>(i) * new_step_s, false));
+  return SupplyTrace(new_step_s, std::move(out));
+}
+
+SupplyTrace SupplyTrace::load_csv(const std::string& path) {
+  const CsvDocument doc = read_csv_file(path, /*has_header=*/true);
+  const std::size_t tcol = doc.column("time_s");
+  const std::size_t pcol = doc.column("power_w");
+  if (doc.rows.empty()) throw ParseError("supply trace CSV has no rows");
+  std::vector<double> power;
+  power.reserve(doc.rows.size());
+  double step = 0.0, prev_t = 0.0;
+  for (std::size_t i = 0; i < doc.rows.size(); ++i) {
+    const double t = parse_double(doc.rows[i][tcol]);
+    const double p = parse_double(doc.rows[i][pcol]);
+    if (p < 0.0) throw ParseError("supply trace: negative power sample");
+    if (i == 1) {
+      step = t - prev_t;
+      if (step <= 0.0) throw ParseError("supply trace: non-increasing time");
+    } else if (i > 1) {
+      const double dt = t - prev_t;
+      if (std::abs(dt - step) > 1e-6 * step)
+        throw ParseError("supply trace: non-uniform sampling step");
+    }
+    prev_t = t;
+    power.push_back(p);
+  }
+  if (power.size() == 1) step = 600.0;  // single sample: assume paper cadence
+  return SupplyTrace(step, std::move(power));
+}
+
+void SupplyTrace::save_csv(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw ParseError("cannot open for write: " + path);
+  CsvWriter w(out);
+  w.write_row({"time_s", "power_w"});
+  for (std::size_t i = 0; i < power_w_.size(); ++i)
+    w.write_row_numeric({static_cast<double>(i) * step_s_, power_w_[i]});
+}
+
+}  // namespace iscope

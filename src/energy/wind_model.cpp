@@ -1,0 +1,85 @@
+#include "energy/wind_model.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace iscope {
+
+void TurbineCurve::validate() const {
+  ISCOPE_CHECK_ARG(0.0 < cut_in_ms && cut_in_ms < rated_ms &&
+                       rated_ms < cut_out_ms,
+                   "TurbineCurve: need 0 < cut_in < rated < cut_out");
+  ISCOPE_CHECK_ARG(rated_w > 0.0, "TurbineCurve: rated power must be > 0");
+}
+
+double TurbineCurve::power_w(double v_ms) const {
+  ISCOPE_CHECK_ARG(v_ms >= 0.0, "TurbineCurve: negative wind speed");
+  if (v_ms < cut_in_ms || v_ms >= cut_out_ms) return 0.0;
+  if (v_ms >= rated_ms) return rated_w;
+  // Cubic ramp between cut-in and rated (power in the wind ~ v^3).
+  const double num = v_ms * v_ms * v_ms - cut_in_ms * cut_in_ms * cut_in_ms;
+  const double den =
+      rated_ms * rated_ms * rated_ms - cut_in_ms * cut_in_ms * cut_in_ms;
+  return rated_w * num / den;
+}
+
+void WindFarmConfig::validate() const {
+  ISCOPE_CHECK_ARG(weibull_shape > 0.0 && weibull_scale_ms > 0.0,
+                   "WindFarmConfig: Weibull parameters must be > 0");
+  ISCOPE_CHECK_ARG(ar1 >= 0.0 && ar1 < 1.0, "WindFarmConfig: ar1 in [0,1)");
+  ISCOPE_CHECK_ARG(step_s > 0.0, "WindFarmConfig: step must be > 0");
+  ISCOPE_CHECK_ARG(turbines > 0, "WindFarmConfig: need at least one turbine");
+  ISCOPE_CHECK_ARG(diurnal_amplitude >= 0.0 && diurnal_amplitude < 3.0,
+                   "WindFarmConfig: diurnal amplitude out of range");
+  turbine.validate();
+}
+
+namespace {
+/// Standard normal CDF.
+double phi(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+/// Inverse Weibull CDF.
+double weibull_quantile(double u, double shape, double scale) {
+  // Guard against u -> 1 producing inf.
+  u = std::min(std::max(u, 1e-12), 1.0 - 1e-12);
+  return scale * std::pow(-std::log(1.0 - u), 1.0 / shape);
+}
+}  // namespace
+
+SupplyTrace generate_wind_trace(const WindFarmConfig& config,
+                                std::size_t samples) {
+  config.validate();
+  ISCOPE_CHECK_ARG(samples > 0, "generate_wind_trace: need samples > 0");
+  Rng rng(config.seed);
+
+  // Latent AR(1): z_t = ar1 * z_{t-1} + sqrt(1-ar1^2) * eps, stationary N(0,1).
+  const double innov = std::sqrt(1.0 - config.ar1 * config.ar1);
+  double z = rng.normal(0.0, 1.0);
+
+  std::vector<double> power;
+  power.reserve(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double t_s = static_cast<double>(i) * config.step_s;
+    // Diurnal modulation: shift the latent mean so nights are windier.
+    const double phase = 2.0 * M_PI * t_s / units::kSecondsPerDay;
+    const double shift = config.diurnal_amplitude * std::cos(phase);
+    const double u = phi(z + shift);
+    const double v_ms =
+        weibull_quantile(u, config.weibull_shape, config.weibull_scale_ms);
+    power.push_back(static_cast<double>(config.turbines) *
+                    config.turbine.power_w(v_ms));
+    z = config.ar1 * z + innov * rng.normal(0.0, 1.0);
+  }
+  return SupplyTrace(config.step_s, std::move(power));
+}
+
+SupplyTrace generate_wind_days(const WindFarmConfig& config, double days) {
+  ISCOPE_CHECK_ARG(days > 0.0, "generate_wind_days: days must be > 0");
+  const auto samples = static_cast<std::size_t>(
+      std::ceil(days * units::kSecondsPerDay / config.step_s));
+  return generate_wind_trace(config, samples);
+}
+
+}  // namespace iscope

@@ -1,0 +1,60 @@
+// Processor aging (NBTI/PBTI-style wear).
+//
+// The paper's Sec. III-C argues for *periodic* re-profiling: "divergent
+// working conditions and utilization times wear out processors
+// differently, which can redistribute the variations among chips". This
+// module models that wear so the claim can be exercised end to end:
+//
+//   dVth(t) = vth_nominal * prefactor * (stress_hours / reference_hours)^n
+//
+// the classic reaction-diffusion power law (n ~ 0.16). Aged cores have a
+// higher threshold voltage -- they need a higher Min Vdd for the same
+// frequency (and leak slightly less). A datacenter that keeps scheduling
+// against stale profiles will eventually under-volt aged chips below
+// their true minimum: the bench_aging ablation quantifies both the energy
+// and the safety cost, motivating iScope's periodic scanning.
+#pragma once
+
+#include <vector>
+
+#include "hardware/cluster.hpp"
+#include "variation/varius.hpp"
+
+namespace iscope {
+
+struct AgingParams {
+  /// Vth shift after `reference_hours` of full stress, as a fraction of
+  /// nominal Vth (50 mV on a 300 mV device after ~5 years is typical).
+  double prefactor = 0.15;
+  double reference_hours = 43800.0;  ///< 5 years
+  double exponent = 0.16;            ///< reaction-diffusion time power law
+
+  void validate() const;
+
+  /// Threshold-voltage shift [V] after `stress_s` seconds of activity on a
+  /// device with nominal threshold `vth_nominal`.
+  double delta_vth(double stress_s, double vth_nominal) const;
+};
+
+/// Age one core by `stress_s` seconds of activity: Vth rises (slower,
+/// needs more voltage), leakage falls correspondingly.
+CoreVariation age_core(const CoreVariation& core, double stress_s,
+                       const AgingParams& params, const VariusParams& varius);
+
+/// Rebuild a cluster after wear: per-processor stress times (e.g. the
+/// busy_time_s of a simulation) age every core of the chip; ground-truth
+/// Min Vdd curves are recomputed. Factory binning is *kept as stamped* --
+/// the bins were assigned at t=0 and the physical chips drifted under
+/// them, which is precisely the hazard periodic profiling removes.
+Cluster aged_cluster(const Cluster& cluster,
+                     const std::vector<double>& stress_s,
+                     const AgingParams& params = {});
+
+/// Count (processor, level) pairs where an applied voltage map undervolts
+/// the (possibly aged) silicon truth: `applied(i, l) < true MinVdd(i, l)`.
+/// These are latent stability violations.
+std::size_t count_undervolt_violations(
+    const Cluster& cluster,
+    const std::vector<std::vector<double>>& applied_vdd);
+
+}  // namespace iscope

@@ -1,0 +1,107 @@
+#include "hardware/cluster.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace iscope {
+
+void ClusterConfig::validate() const {
+  ISCOPE_CHECK_ARG(num_processors > 0, "ClusterConfig: empty cluster");
+  ISCOPE_CHECK_ARG(num_bins >= 1, "ClusterConfig: need at least one bin");
+  ISCOPE_CHECK_ARG(intrinsic_guardband >= 0.0,
+                   "ClusterConfig: negative guardband");
+  layout.validate();
+  varius.validate();
+  power.validate();
+  levels.validate();
+}
+
+Cluster::Cluster(ClusterConfig config, std::vector<Processor> procs,
+                 BinningResult binning, VariusModel varius, CpuPowerModel power)
+    : config_(std::move(config)),
+      procs_(std::move(procs)),
+      binning_(std::move(binning)),
+      varius_(std::move(varius)),
+      power_(std::move(power)) {}
+
+const Processor& Cluster::proc(std::size_t i) const {
+  ISCOPE_CHECK_ARG(i < procs_.size(), "Cluster: processor index out of range");
+  return procs_[i];
+}
+
+double Cluster::power_w(std::size_t i, std::size_t level, double vdd) const {
+  const Processor& p = proc(i);
+  ISCOPE_CHECK_ARG(level < config_.levels.count(),
+                   "Cluster: level out of range");
+  return power_.power_w(p.coeffs, config_.levels.freq_ghz[level], vdd,
+                        config_.levels.vdd_nom[level],
+                        config_.levels.vdd_nom.back());
+}
+
+double Cluster::bin_vdd(std::size_t i, std::size_t level) const {
+  const Processor& p = proc(i);
+  ISCOPE_CHECK(p.bin >= 0 && p.bin < binning_.bins(),
+               "Cluster: processor has no valid bin");
+  return binning_.bin_curve[static_cast<std::size_t>(p.bin)].vdd(level);
+}
+
+double Cluster::true_vdd(std::size_t i, std::size_t level) const {
+  return proc(i).chip_truth.vdd(level);
+}
+
+double Cluster::power_w_per_core_domains(std::size_t i,
+                                         std::size_t level) const {
+  const Processor& p = proc(i);
+  ISCOPE_CHECK_ARG(level < config_.levels.count(),
+                   "Cluster: level out of range");
+  const double n = static_cast<double>(p.core_count());
+  // Split the chip's Eq-1 coefficients evenly across cores and evaluate
+  // each core at its own Min Vdd.
+  const PowerCoefficients per_core{p.coeffs.alpha / n, p.coeffs.beta / n};
+  double total = 0.0;
+  for (const MinVddCurve& core : p.core_truth) {
+    total += power_.power_w(per_core, config_.levels.freq_ghz[level],
+                            core.vdd(level), config_.levels.vdd_nom[level],
+                            config_.levels.vdd_nom.back());
+  }
+  return total;
+}
+
+Cluster build_cluster(const ClusterConfig& config) {
+  config.validate();
+  Rng rng(config.seed);
+  Rng chip_rng = rng.fork("chips");
+  Rng power_rng = rng.fork("power");
+
+  const VariusModel varius(config.varius, config.layout);
+  const CpuPowerModel power(config.power);
+
+  std::vector<Processor> procs;
+  procs.reserve(config.num_processors);
+  std::vector<MinVddCurve> chip_curves;
+  chip_curves.reserve(config.num_processors);
+
+  for (std::size_t i = 0; i < config.num_processors; ++i) {
+    Processor p;
+    p.id = i;
+    p.variation = varius.sample_chip(chip_rng);
+    p.coeffs = power.sample(power_rng);
+    p.core_truth.reserve(p.variation.cores.size());
+    for (const auto& core : p.variation.cores)
+      p.core_truth.push_back(build_core_curve(varius, core, config.levels,
+                                              config.intrinsic_guardband));
+    p.chip_truth = MinVddCurve::chip_worst_case(p.core_truth);
+    chip_curves.push_back(p.chip_truth);
+    procs.push_back(std::move(p));
+  }
+
+  BinningResult binning = speed_bin(chip_curves, config.num_bins);
+  for (std::size_t i = 0; i < procs.size(); ++i)
+    procs[i].bin = binning.bin_of_chip[i];
+
+  return Cluster(config, std::move(procs), std::move(binning), varius, power);
+}
+
+}  // namespace iscope

@@ -1,0 +1,78 @@
+// The datacenter's processor population.
+//
+// `build_cluster` fabricates N processors through the variation and power
+// models, derives every chip's ground-truth Min Vdd curves, and runs the
+// factory speed-binning (3 bins by default, mirroring the AMD Opteron 6300
+// line-up in the paper's Table 1).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hardware/processor.hpp"
+#include "power/cpu_power.hpp"
+#include "variation/binning.hpp"
+#include "variation/die_layout.hpp"
+#include "variation/varius.hpp"
+#include "variation/vdd_model.hpp"
+
+namespace iscope {
+
+struct ClusterConfig {
+  std::size_t num_processors = 4800;  ///< paper Sec. V-C: 4800 CPUs
+  DieLayout layout = quad_core_layout();
+  VariusParams varius;                ///< datacenter CPU defaults
+  PowerModelParams power;             ///< Eq-1 coefficient distributions
+  FreqLevels levels = FreqLevels::paper_default();
+  int num_bins = 3;
+  double intrinsic_guardband = 0.01;  ///< chip's own safety margin on MinVdd
+  std::uint64_t seed = 1;
+
+  void validate() const;
+};
+
+class Cluster {
+ public:
+  Cluster(ClusterConfig config, std::vector<Processor> procs,
+          BinningResult binning, VariusModel varius, CpuPowerModel power);
+
+  std::size_t size() const { return procs_.size(); }
+  const Processor& proc(std::size_t i) const;
+  const std::vector<Processor>& processors() const { return procs_; }
+
+  const FreqLevels& levels() const { return config_.levels; }
+  const BinningResult& binning() const { return binning_; }
+  const VariusModel& varius() const { return varius_; }
+  const CpuPowerModel& power_model() const { return power_; }
+  const ClusterConfig& config() const { return config_; }
+
+  /// Chip power [W] of processor `i` at `level` when supplied `vdd`.
+  double power_w(std::size_t i, std::size_t level, double vdd) const;
+
+  /// The factory-bin worst-case voltage of processor `i` at `level` --
+  /// what a Bin-scheme datacenter must apply.
+  double bin_vdd(std::size_t i, std::size_t level) const;
+
+  /// The ground-truth chip Min Vdd of processor `i` at `level` -- what a
+  /// perfect scanner would discover.
+  double true_vdd(std::size_t i, std::size_t level) const;
+
+  /// Chip power [W] under *per-core* voltage domains (paper Sec. III-B:
+  /// on-chip LDO regulators per core): every core runs at its own true
+  /// Min Vdd instead of the shared-domain worst case. Used by the
+  /// voltage-domain ablation (DESIGN.md choice #2).
+  double power_w_per_core_domains(std::size_t i, std::size_t level) const;
+
+ private:
+  ClusterConfig config_;
+  std::vector<Processor> procs_;
+  BinningResult binning_;
+  VariusModel varius_;
+  CpuPowerModel power_;
+};
+
+/// Fabricate the population deterministically from `config.seed`.
+Cluster build_cluster(const ClusterConfig& config);
+
+}  // namespace iscope

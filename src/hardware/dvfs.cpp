@@ -1,0 +1,39 @@
+#include "hardware/dvfs.hpp"
+
+#include "common/error.hpp"
+
+namespace iscope {
+
+DvfsState::DvfsState(const FreqLevels* levels) : levels_(levels) {
+  ISCOPE_CHECK_ARG(levels != nullptr, "DvfsState: null levels table");
+  levels->validate();
+}
+
+std::size_t DvfsState::level() const {
+  ISCOPE_CHECK_ARG(on_, "DvfsState: level queried while gated");
+  return level_;
+}
+
+double DvfsState::freq_ghz() const {
+  return on_ ? levels_->freq_ghz[level_] : 0.0;
+}
+
+void DvfsState::power_on(std::size_t level) {
+  ISCOPE_CHECK_ARG(level < levels_->count(), "DvfsState: level out of range");
+  on_ = true;
+  level_ = level;
+}
+
+void DvfsState::set_level(std::size_t level) {
+  ISCOPE_CHECK_ARG(on_, "DvfsState: set_level while gated");
+  ISCOPE_CHECK_ARG(level < levels_->count(), "DvfsState: level out of range");
+  level_ = level;
+}
+
+void DvfsState::power_off() { on_ = false; }
+
+std::size_t DvfsState::num_levels() const { return levels_->count(); }
+
+std::size_t DvfsState::top_level() const { return levels_->count() - 1; }
+
+}  // namespace iscope

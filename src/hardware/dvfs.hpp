@@ -1,0 +1,44 @@
+// Per-processor DVFS state machine.
+//
+// Each processor has an independent clock domain (paper Sec. III-B: per-core
+// PLLs are common; AMD Griffin / Intel Itanium II provide separated voltage
+// planes) and can be power-gated entirely when idle (DESIGN.md choice #3).
+#pragma once
+
+#include <cstddef>
+
+#include "variation/vdd_model.hpp"
+
+namespace iscope {
+
+/// Operating state of one processor's clock/voltage domain.
+class DvfsState {
+ public:
+  /// Starts power-gated (off).
+  explicit DvfsState(const FreqLevels* levels);
+
+  bool is_on() const { return on_; }
+  /// Current level index; only meaningful when on.
+  std::size_t level() const;
+  /// Current frequency [GHz]; 0 when gated.
+  double freq_ghz() const;
+
+  /// Power up at the given level.
+  void power_on(std::size_t level);
+  /// Change level while on.
+  void set_level(std::size_t level);
+  /// Power-gate (0 W).
+  void power_off();
+
+  /// Number of configured levels.
+  std::size_t num_levels() const;
+  /// Top (fastest) level index.
+  std::size_t top_level() const;
+
+ private:
+  const FreqLevels* levels_;  // non-owning; outlives the state
+  bool on_ = false;
+  std::size_t level_ = 0;
+};
+
+}  // namespace iscope

@@ -1,0 +1,4 @@
+#include "hardware/processor.hpp"
+
+// Processor is a plain data aggregate; this translation unit anchors the
+// header in the build (one .cpp per public header).

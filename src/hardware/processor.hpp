@@ -1,0 +1,30 @@
+// A fabricated processor: its (hidden) true variation characteristics and
+// the factory metadata visible without in-cloud profiling.
+//
+// The `core_truth` / `chip_truth` Min Vdd curves are the physical ground
+// truth. Schedulers never read them directly -- they see either the factory
+// bin's worst-case curve (Bin schemes) or the scanner's discovered curve
+// (Scan schemes); see sched/knowledge.hpp.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "power/cpu_power.hpp"
+#include "variation/varius.hpp"
+#include "variation/vdd_model.hpp"
+
+namespace iscope {
+
+struct Processor {
+  std::size_t id = 0;
+  ChipVariation variation;          ///< sampled Vth/speed/leakage per core
+  PowerCoefficients coeffs;         ///< Eq-1 alpha/beta of this chip
+  std::vector<MinVddCurve> core_truth;  ///< ground-truth Min Vdd per core
+  MinVddCurve chip_truth;           ///< shared-domain worst case over cores
+  int bin = -1;                     ///< factory bin (0 = most efficient)
+
+  std::size_t core_count() const { return variation.cores.size(); }
+};
+
+}  // namespace iscope

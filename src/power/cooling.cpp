@@ -1,0 +1,30 @@
+#include "power/cooling.hpp"
+
+#include "common/error.hpp"
+
+namespace iscope {
+
+CoolingModel::CoolingModel(double cop) : cop_(cop) {
+  ISCOPE_CHECK_ARG(cop > 0.0, "CoolingModel: COP must be > 0");
+}
+
+double CoolingModel::total_power_w(double compute_w) const {
+  ISCOPE_CHECK_ARG(compute_w >= 0.0, "total_power_w: negative compute power");
+  return compute_w * overhead_factor();
+}
+
+double CoolingModel::cooling_power_w(double compute_w) const {
+  ISCOPE_CHECK_ARG(compute_w >= 0.0, "cooling_power_w: negative compute power");
+  return compute_w / cop_;
+}
+
+double CoolingModel::overhead_factor() const { return 1.0 + 1.0 / cop_; }
+
+CoolingModel CoolingModel::sample_greenberg(Rng& rng) {
+  constexpr double kLo = 0.6, kHi = 3.5;
+  const double mean = 0.5 * (kLo + kHi);
+  const double sigma = (kHi - kLo) / 6.0;  // 3-sigma at the edges
+  return CoolingModel(rng.truncated_normal(mean, sigma, kLo, kHi));
+}
+
+}  // namespace iscope

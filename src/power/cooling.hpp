@@ -1,0 +1,38 @@
+// Cooling model -- the paper's Eq-2.
+//
+// Total energy = (1 + 1/COP) * E_cpu, where COP is the ratio of computing
+// power removed to cooling power spent. The paper fixes COP = 2.5 for the
+// datacenter experiments (after Garg et al. [29]); Greenberg et al. [32]
+// report COP distributed normally within [0.6, 3.5], which we expose for
+// sensitivity studies.
+#pragma once
+
+#include "common/rng.hpp"
+
+namespace iscope {
+
+class CoolingModel {
+ public:
+  /// `cop` must be positive; the paper's default is 2.5.
+  explicit CoolingModel(double cop = 2.5);
+
+  double cop() const { return cop_; }
+
+  /// Facility power [W] needed to run `compute_w` of IT load.
+  double total_power_w(double compute_w) const;
+
+  /// Cooling-only component [W].
+  double cooling_power_w(double compute_w) const;
+
+  /// Multiplier (1 + 1/COP).
+  double overhead_factor() const;
+
+  /// Draw a COP from the Greenberg survey distribution: normal over
+  /// [0.6, 3.5] (mean at the interval center, 3-sigma at the edges).
+  static CoolingModel sample_greenberg(Rng& rng);
+
+ private:
+  double cop_;
+};
+
+}  // namespace iscope

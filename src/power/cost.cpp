@@ -1,0 +1,5 @@
+#include "power/cost.hpp"
+
+// EnergyPrices is header-only; this translation unit exists so the power
+// library always has a .cpp per public header (build hygiene) and gives the
+// struct a home for future non-inline logic (tiered tariffs, demand charges).

@@ -1,0 +1,33 @@
+// Electricity pricing (paper Sec. VI-C).
+//
+// Utility power is priced at the California rate of 0.13 USD/kWh [29]; wind
+// at 0.05 USD/kWh [39]. The paper also projects a futuristic 0.005 USD/kWh
+// wind price [2], exposed as `future_wind()`.
+#pragma once
+
+#include "power/energy_meter.hpp"
+
+namespace iscope {
+
+struct EnergyPrices {
+  double utility_usd_per_kwh = 0.13;
+  double wind_usd_per_kwh = 0.05;
+
+  /// Cost in USD of a consumed energy split.
+  double cost_usd(const EnergySplit& split) const {
+    return split.utility_kwh() * utility_usd_per_kwh +
+           split.wind_kwh() * wind_usd_per_kwh;
+  }
+
+  /// Cost of `kwh` from the utility grid alone.
+  double utility_cost_usd(double kwh) const {
+    return kwh * utility_usd_per_kwh;
+  }
+
+  /// Paper's projected near-future wind price (ref [2]).
+  static EnergyPrices future_wind() {
+    return EnergyPrices{0.13, 0.005};
+  }
+};
+
+}  // namespace iscope

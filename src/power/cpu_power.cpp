@@ -1,0 +1,55 @@
+#include "power/cpu_power.hpp"
+
+#include "common/error.hpp"
+
+namespace iscope {
+
+void PowerModelParams::validate() const {
+  ISCOPE_CHECK_ARG(alpha_mean > 0.0, "alpha_mean must be > 0");
+  ISCOPE_CHECK_ARG(alpha_sigma >= 0.0, "alpha_sigma must be >= 0");
+  ISCOPE_CHECK_ARG(beta_mean >= 0.0, "beta_mean must be >= 0");
+  ISCOPE_CHECK_ARG(leakage_voltage_share >= 0.0 && leakage_voltage_share <= 1.0,
+                   "leakage_voltage_share must be in [0,1]");
+}
+
+CpuPowerModel::CpuPowerModel(const PowerModelParams& params) : params_(params) {
+  params_.validate();
+}
+
+PowerCoefficients CpuPowerModel::sample(Rng& rng) const {
+  PowerCoefficients c;
+  // Truncate alpha at 4 sigma (and away from zero) so a pathological draw
+  // cannot produce a negative-power chip.
+  c.alpha = rng.truncated_normal(
+      params_.alpha_mean, params_.alpha_sigma,
+      std::max(0.1, params_.alpha_mean - 4.0 * params_.alpha_sigma),
+      params_.alpha_mean + 4.0 * params_.alpha_sigma);
+  c.beta = static_cast<double>(rng.poisson(params_.beta_mean));
+  return c;
+}
+
+double CpuPowerModel::power_w(const PowerCoefficients& c, double f_ghz,
+                              double vdd, double vdd_nom,
+                              double vdd_ref) const {
+  ISCOPE_CHECK_ARG(f_ghz >= 0.0, "power_w: negative frequency");
+  ISCOPE_CHECK_ARG(vdd > 0.0 && vdd_nom > 0.0, "power_w: voltages must be > 0");
+  if (vdd_ref <= 0.0) vdd_ref = vdd_nom;
+  const double vr = vdd / vdd_nom;
+  const double s = params_.leakage_voltage_share;
+  const double static_factor = s * (vdd / vdd_ref) + (1.0 - s);
+  return c.alpha * f_ghz * f_ghz * f_ghz * vr * vr + c.beta * static_factor;
+}
+
+double CpuPowerModel::power_eq1_w(const PowerCoefficients& c,
+                                  double f_ghz) const {
+  ISCOPE_CHECK_ARG(f_ghz >= 0.0, "power_eq1_w: negative frequency");
+  return c.alpha * f_ghz * f_ghz * f_ghz + c.beta;
+}
+
+double CpuPowerModel::watts_per_ghz(const PowerCoefficients& c, double f_ghz,
+                                    double vdd, double vdd_nom) const {
+  ISCOPE_CHECK_ARG(f_ghz > 0.0, "watts_per_ghz: frequency must be > 0");
+  return power_w(c, f_ghz, vdd, vdd_nom) / f_ghz;
+}
+
+}  // namespace iscope

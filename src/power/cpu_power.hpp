@@ -1,0 +1,83 @@
+// CPU power model -- the paper's Eq-1 extended with explicit voltage.
+//
+// The paper models CPU power as  p = alpha * f^3 + beta  (f in GHz), with
+// per-chip  alpha ~ Normal(7.5, 0.75)  and  beta ~ Poisson(65)  following
+// Wang et al. [30] and VARIUS [36]. At the stock voltage this gives the
+// familiar 125 W at 2 GHz.
+//
+// Eq-1 hides supply voltage because the paper's authors fold V(f) into
+// alpha. The entire Bin-vs-Scan effect, however, *is* a voltage effect:
+// a scanned chip runs each frequency at its own Min Vdd instead of the
+// bin's worst case. We therefore evaluate
+//
+//   p(f, V) = alpha * f^3 * (V/Vnom(f))^2
+//           + beta * ( s * (V/Vref) + (1 - s) )
+//
+// Dynamic power scales with V^2 against the level's stock voltage. The
+// static term beta is split: a fraction `s` (leakage_voltage_share) is
+// chip leakage that scales with the *absolute* supply voltage (against a
+// single reference Vref, the top level's stock voltage -- leakage depends
+// on the physical V, not on which frequency the clock runs at), and the
+// rest is platform static power (board, DRAM, VRM losses) that does not
+// scale with CPU voltage at all. The paper's constant beta corresponds to
+// s = 0; a fully voltage-tracking leakage is s = 1; the default 0.5 keeps
+// Eq-1's race-to-idle economics while still rewarding undervolting.
+// At the top level's stock point the model reduces exactly to Eq-1
+// (DESIGN.md choice #1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace iscope {
+
+/// Per-chip Eq-1 coefficients.
+struct PowerCoefficients {
+  double alpha = 7.5;  ///< dynamic coefficient [W / GHz^3] at stock voltage
+  double beta = 65.0;  ///< static power [W] at stock voltage
+};
+
+/// Factory distribution of Eq-1 coefficients (paper Sec. V-B).
+struct PowerModelParams {
+  double alpha_mean = 7.5;
+  double alpha_sigma = 0.75;
+  double beta_mean = 65.0;  ///< Poisson mean
+  /// Fraction of beta that is voltage-scaling chip leakage (the rest is
+  /// fixed platform power). See the file comment.
+  double leakage_voltage_share = 0.5;
+
+  void validate() const;
+};
+
+class CpuPowerModel {
+ public:
+  explicit CpuPowerModel(const PowerModelParams& params = {});
+
+  /// Sample one chip's coefficients.
+  PowerCoefficients sample(Rng& rng) const;
+
+  /// Chip power [W] at frequency `f_ghz` and supply voltage `vdd`, where
+  /// `vdd_nom` is the stock voltage of that frequency level and `vdd_ref`
+  /// the leakage reference voltage (defaults to `vdd_nom`; pass the top
+  /// level's stock voltage when evaluating a multi-level table so leakage
+  /// tracks absolute voltage).
+  double power_w(const PowerCoefficients& c, double f_ghz, double vdd,
+                 double vdd_nom, double vdd_ref = 0.0) const;
+
+  /// Paper's original Eq-1 (voltage folded in): alpha * f^3 + beta.
+  double power_eq1_w(const PowerCoefficients& c, double f_ghz) const;
+
+  /// Energy efficiency metric used by the Effi/Fair schedulers: power per
+  /// unit of compute throughput [W / GHz]. Lower is better.
+  double watts_per_ghz(const PowerCoefficients& c, double f_ghz, double vdd,
+                       double vdd_nom) const;
+
+  const PowerModelParams& params() const { return params_; }
+
+ private:
+  PowerModelParams params_;
+};
+
+}  // namespace iscope

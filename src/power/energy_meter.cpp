@@ -1,0 +1,46 @@
+#include "power/energy_meter.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace iscope {
+
+EnergySplit EnergyMeter::accrue(double demand_w, double wind_avail_w,
+                                double dt_s) {
+  ISCOPE_CHECK_ARG(demand_w >= 0.0, "accrue: negative demand");
+  ISCOPE_CHECK_ARG(wind_avail_w >= 0.0, "accrue: negative wind power");
+  ISCOPE_CHECK_ARG(dt_s >= 0.0, "accrue: negative time step");
+  const double wind_used_w = std::min(demand_w, wind_avail_w);
+  EnergySplit step;
+  step.wind_j = wind_used_w * dt_s;
+  step.utility_j = (demand_w - wind_used_w) * dt_s;
+  total_ += step;
+  wind_curtailed_j_ += (wind_avail_w - wind_used_w) * dt_s;
+  return step;
+}
+
+void EnergyMeter::add_split(const EnergySplit& split, double curtailed_j) {
+  ISCOPE_CHECK_ARG(split.wind_j >= 0.0 && split.utility_j >= 0.0,
+                   "add_split: negative energy");
+  ISCOPE_CHECK_ARG(curtailed_j >= 0.0, "add_split: negative curtailment");
+  total_ += split;
+  wind_curtailed_j_ += curtailed_j;
+}
+
+void EnergyMeter::record_sample(const PowerSample& sample) {
+  trace_.push_back(sample);
+}
+
+double EnergyMeter::wind_fraction() const {
+  const double t = total_.total_j();
+  return t == 0.0 ? 0.0 : total_.wind_j / t;
+}
+
+void EnergyMeter::reset() {
+  total_ = EnergySplit{};
+  wind_curtailed_j_ = 0.0;
+  trace_.clear();
+}
+
+}  // namespace iscope

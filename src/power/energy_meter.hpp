@@ -1,0 +1,72 @@
+// Energy accounting split by supply source.
+//
+// The simulator integrates facility power over time and attributes every
+// joule to either the wind farm or the utility grid (wind first, utility as
+// the supplement -- paper Sec. V-C). The meter also keeps a sampled power
+// trace for the Fig. 7 style plots.
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace iscope {
+
+/// Energy drawn from each source [J].
+struct EnergySplit {
+  double wind_j = 0.0;
+  double utility_j = 0.0;
+
+  double total_j() const { return wind_j + utility_j; }
+  double wind_kwh() const { return units::joules_to_kwh(wind_j); }
+  double utility_kwh() const { return units::joules_to_kwh(utility_j); }
+  double total_kwh() const { return units::joules_to_kwh(total_j()); }
+
+  EnergySplit& operator+=(const EnergySplit& o) {
+    wind_j += o.wind_j;
+    utility_j += o.utility_j;
+    return *this;
+  }
+};
+
+/// One sample of the facility power state (for trace plots).
+struct PowerSample {
+  double time_s = 0.0;
+  double demand_w = 0.0;   ///< total facility demand (IT + cooling)
+  double wind_w = 0.0;     ///< wind power actually consumed
+  double utility_w = 0.0;  ///< utility power actually consumed
+  double wind_avail_w = 0.0;  ///< wind power available (consumed or not)
+};
+
+class EnergyMeter {
+ public:
+  /// Account `demand_w` of facility power over `dt_s` seconds against
+  /// `wind_avail_w` of available wind power: wind covers as much as it can,
+  /// the utility grid supplies the rest. Returns the split for this step.
+  EnergySplit accrue(double demand_w, double wind_avail_w, double dt_s);
+
+  /// Account a pre-computed split (used by battery-aware callers that
+  /// divide the flows themselves), plus explicitly-curtailed wind energy.
+  void add_split(const EnergySplit& split, double curtailed_j);
+
+  /// Record a trace sample (caller controls the sampling cadence).
+  void record_sample(const PowerSample& sample);
+
+  const EnergySplit& total() const { return total_; }
+  const std::vector<PowerSample>& trace() const { return trace_; }
+
+  /// Wind energy that was available but not consumed [J] (curtailment).
+  double wind_curtailed_j() const { return wind_curtailed_j_; }
+
+  /// Fraction of consumed energy that came from wind; 0 if nothing consumed.
+  double wind_fraction() const;
+
+  void reset();
+
+ private:
+  EnergySplit total_;
+  double wind_curtailed_j_ = 0.0;
+  std::vector<PowerSample> trace_;
+};
+
+}  // namespace iscope

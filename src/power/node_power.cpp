@@ -1,0 +1,72 @@
+#include "power/node_power.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace iscope {
+
+void NodeComponents::validate() const {
+  ISCOPE_CHECK_ARG(memory_idle_w >= 0.0 && memory_active_w >= memory_idle_w,
+                   "node: memory powers must satisfy 0 <= idle <= active");
+  ISCOPE_CHECK_ARG(disk_w >= 0.0 && nic_w >= 0.0 && board_w >= 0.0,
+                   "node: component powers must be >= 0");
+  ISCOPE_CHECK_ARG(psu_rated_w > 0.0, "node: PSU rating must be > 0");
+}
+
+NodePowerModel::NodePowerModel(const NodeComponents& components)
+    : components_(components) {
+  components_.validate();
+}
+
+double NodePowerModel::psu_efficiency(double load_fraction) const {
+  ISCOPE_CHECK_ARG(load_fraction >= 0.0, "psu: negative load");
+  // Piecewise-linear 80 PLUS Gold-like curve:
+  //   10% -> 0.80, 20% -> 0.87, 50% -> 0.92, 100% -> 0.89.
+  static constexpr double kLoad[] = {0.0, 0.10, 0.20, 0.50, 1.00};
+  static constexpr double kEff[] = {0.60, 0.80, 0.87, 0.92, 0.89};
+  const double x = std::min(load_fraction, 1.2);
+  double eff = kEff[4];
+  for (int i = 1; i < 5; ++i) {
+    if (x <= kLoad[i]) {
+      const double t = (x - kLoad[i - 1]) / (kLoad[i] - kLoad[i - 1]);
+      eff = kEff[i - 1] + t * (kEff[i] - kEff[i - 1]);
+      break;
+    }
+  }
+  return std::clamp(eff, 0.5, 0.99);
+}
+
+double NodePowerModel::dc_power_w(double cpu_w, double mem_activity,
+                                  const NodeVariation& variation) const {
+  ISCOPE_CHECK_ARG(cpu_w >= 0.0, "node: negative CPU power");
+  ISCOPE_CHECK_ARG(mem_activity >= 0.0 && mem_activity <= 1.0,
+                   "node: memory activity must be in [0,1]");
+  const double memory =
+      (components_.memory_idle_w +
+       mem_activity * (components_.memory_active_w - components_.memory_idle_w)) *
+      variation.memory_scale;
+  const double board = components_.board_w * variation.board_scale;
+  return cpu_w + memory + components_.disk_w + components_.nic_w + board;
+}
+
+double NodePowerModel::wall_power_w(double cpu_w, double mem_activity,
+                                    const NodeVariation& variation) const {
+  const double dc = dc_power_w(cpu_w, mem_activity, variation);
+  const double eff = std::clamp(
+      psu_efficiency(dc / components_.psu_rated_w) +
+          variation.psu_efficiency_shift,
+      0.5, 0.99);
+  return dc / eff;
+}
+
+NodeVariation NodePowerModel::sample_variation(Rng& rng) const {
+  NodeVariation v;
+  v.memory_scale = rng.truncated_normal(1.0, 0.08, 0.7, 1.3);
+  v.board_scale = rng.truncated_normal(1.0, 0.05, 0.8, 1.2);
+  v.psu_efficiency_shift = rng.truncated_normal(0.0, 0.01, -0.02, 0.02);
+  return v;
+}
+
+}  // namespace iscope

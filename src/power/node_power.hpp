@@ -1,0 +1,64 @@
+// Node-level power model.
+//
+// Paper Sec. IV-A: "If a workload is memory, I/O or network bounded, the
+// energy consumption may outweigh that of a processor. In this case a
+// node-level profiling is necessary if one wants to maximally release the
+// efficiency potential of the datacenter." The evaluation stays CPU-level;
+// this module supplies the node-level view the authors call for:
+// per-component power (DRAM activity-dependent, disk, NIC, board) behind a
+// load-dependent PSU efficiency curve, with per-node manufacturing
+// variation so a *node* scanner has something to discover.
+#pragma once
+
+#include "common/rng.hpp"
+
+namespace iscope {
+
+/// Nameplate component powers of one server node (one CPU package).
+struct NodeComponents {
+  double memory_idle_w = 8.0;    ///< DRAM background/refresh
+  double memory_active_w = 25.0; ///< DRAM at full access rate
+  double disk_w = 9.0;
+  double nic_w = 5.0;
+  double board_w = 18.0;         ///< VRM, fans, BMC, chipset
+  double psu_rated_w = 450.0;
+
+  void validate() const;
+};
+
+/// Per-node multiplicative variation (DRAM bins, PSU golden samples...).
+struct NodeVariation {
+  double memory_scale = 1.0;
+  double board_scale = 1.0;
+  double psu_efficiency_shift = 0.0;  ///< additive on the efficiency curve
+};
+
+class NodePowerModel {
+ public:
+  explicit NodePowerModel(const NodeComponents& components = {});
+
+  /// PSU efficiency at a DC load fraction of the rated power -- the
+  /// classic 80 PLUS bathtub: poor at trickle loads, peaking near 50%,
+  /// easing off toward full load. Clamped to [0.5, 0.99].
+  double psu_efficiency(double load_fraction) const;
+
+  /// DC-side (secondary) power of a node whose CPU draws `cpu_w` and whose
+  /// memory activity is `mem_activity` in [0,1].
+  double dc_power_w(double cpu_w, double mem_activity,
+                    const NodeVariation& variation = {}) const;
+
+  /// Wall (AC) power: DC power divided by the PSU efficiency at that load.
+  double wall_power_w(double cpu_w, double mem_activity,
+                      const NodeVariation& variation = {}) const;
+
+  /// Sample per-node variation: DRAM power spread ~ N(1, 0.08), board
+  /// ~ N(1, 0.05), PSU efficiency +- 2 points.
+  NodeVariation sample_variation(Rng& rng) const;
+
+  const NodeComponents& components() const { return components_; }
+
+ private:
+  NodeComponents components_;
+};
+
+}  // namespace iscope

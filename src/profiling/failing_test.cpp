@@ -1,0 +1,47 @@
+#include "profiling/failing_test.hpp"
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace iscope {
+
+double test_duration_s(TestKind kind) {
+  switch (kind) {
+    case TestKind::kStress:
+      return units::minutes(10.0);
+    case TestKind::kFunctionalFailing:
+      return 29.0;
+  }
+  throw InvalidArgument("unknown TestKind");
+}
+
+StabilityTester::StabilityTester(const Cluster* cluster, TestKind kind,
+                                 double noise_sigma)
+    : cluster_(cluster), kind_(kind), noise_sigma_(noise_sigma) {
+  ISCOPE_CHECK_ARG(cluster != nullptr, "StabilityTester: null cluster");
+  ISCOPE_CHECK_ARG(noise_sigma >= 0.0 && noise_sigma < 0.1,
+                   "StabilityTester: noise sigma out of range");
+}
+
+TrialResult StabilityTester::run(std::size_t proc, std::size_t core,
+                                 std::size_t level, double vdd,
+                                 Rng& rng) const {
+  const Processor& p = cluster_->proc(proc);
+  ISCOPE_CHECK_ARG(core < p.core_count(), "StabilityTester: bad core index");
+  ISCOPE_CHECK_ARG(vdd > 0.0, "StabilityTester: voltage must be > 0");
+
+  const double v_true = p.core_truth[core].vdd(level);
+  // The observed threshold wobbles slightly between runs.
+  const double v_observed =
+      v_true * (1.0 + rng.normal(0.0, noise_sigma_));
+
+  TrialResult r;
+  r.passed = vdd >= v_observed;
+  r.duration_s = test_duration_s(kind_);
+  // The chip under test burns power at the tested configuration for the
+  // whole trial (a failing run is detected only at result check).
+  r.energy_j = cluster_->power_w(proc, level, vdd) * r.duration_s;
+  return r;
+}
+
+}  // namespace iscope

@@ -1,0 +1,55 @@
+// Simulated software-based stability tests (paper Sec. III-A).
+//
+// The real iScope scanner runs either a 10-minute Mprime-style stress test
+// or a 29-second software-based functional failing test [20] on a core at a
+// chosen (frequency, voltage) point and observes pass/fail. Here the chip's
+// physical behaviour is the ground-truth Min Vdd curve: a trial passes iff
+// the applied voltage is at or above the core's true minimum, perturbed by
+// a small measurement noise (thermal/droop conditions vary run to run).
+//
+// The tester also accounts the time and energy each trial costs, feeding
+// the Sec. VI-E overhead analysis.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "hardware/cluster.hpp"
+
+namespace iscope {
+
+enum class TestKind : std::uint8_t {
+  kStress,            ///< Mprime-style stress test: 10 minutes / trial
+  kFunctionalFailing, ///< SBFFT of ref [20]: 29 seconds / trial
+};
+
+/// Trial duration [s] for a test kind (paper Sec. III-C / VI-E).
+double test_duration_s(TestKind kind);
+
+struct TrialResult {
+  bool passed = false;
+  double duration_s = 0.0;
+  double energy_j = 0.0;  ///< energy burned by the chip under test
+};
+
+class StabilityTester {
+ public:
+  /// `noise_sigma` is the relative run-to-run wobble of the observed
+  /// failure threshold (0 = noiseless oracle).
+  StabilityTester(const Cluster* cluster, TestKind kind,
+                  double noise_sigma = 0.002);
+
+  /// Run one trial on `core` of `proc` at frequency level `level` with
+  /// supply `vdd`. Deterministic given the RNG state.
+  TrialResult run(std::size_t proc, std::size_t core, std::size_t level,
+                  double vdd, Rng& rng) const;
+
+  TestKind kind() const { return kind_; }
+
+ private:
+  const Cluster* cluster_;  // non-owning
+  TestKind kind_;
+  double noise_sigma_;
+};
+
+}  // namespace iscope

@@ -1,0 +1,112 @@
+#include "profiling/opportunistic.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace iscope {
+
+void OpportunisticConfig::validate() const {
+  ISCOPE_CHECK_ARG(utilization_threshold > 0.0 && utilization_threshold <= 1.0,
+                   "opportunistic: threshold must be in (0,1]");
+  ISCOPE_CHECK_ARG(min_wind_w >= 0.0, "opportunistic: negative wind level");
+  ISCOPE_CHECK_ARG(scan_time_per_proc_s > 0.0,
+                   "opportunistic: scan time must be > 0");
+  ISCOPE_CHECK_ARG(domain_size > 0, "opportunistic: empty domain");
+}
+
+std::size_t ProfilingPlan::placed_count() const {
+  std::size_t n = 0;
+  for (const auto& w : windows) n += w.proc_ids.size();
+  return n;
+}
+
+IdleWindowStats analyze_idle_windows(const std::vector<double>& demand_fraction,
+                                     double threshold) {
+  ISCOPE_CHECK_ARG(threshold > 0.0 && threshold <= 1.0,
+                   "analyze_idle_windows: threshold in (0,1]");
+  IdleWindowStats stats;
+  if (demand_fraction.empty()) return stats;
+
+  std::size_t idle_minutes = 0;
+  double current_run = 0.0;
+  double total_run = 0.0;
+  for (const double d : demand_fraction) {
+    if (d < threshold) {
+      ++idle_minutes;
+      current_run += 60.0;
+    } else if (current_run > 0.0) {
+      stats.longest_window_s = std::max(stats.longest_window_s, current_run);
+      total_run += current_run;
+      ++stats.window_count;
+      current_run = 0.0;
+    }
+  }
+  if (current_run > 0.0) {
+    stats.longest_window_s = std::max(stats.longest_window_s, current_run);
+    total_run += current_run;
+    ++stats.window_count;
+  }
+  stats.idle_fraction = static_cast<double>(idle_minutes) /
+                        static_cast<double>(demand_fraction.size());
+  stats.mean_window_s = stats.window_count == 0
+                            ? 0.0
+                            : total_run / static_cast<double>(stats.window_count);
+  return stats;
+}
+
+ProfilingPlan plan_profiling(const std::vector<double>& demand_fraction,
+                             const HybridSupply& supply,
+                             std::vector<std::size_t> proc_ids,
+                             const OpportunisticConfig& config) {
+  config.validate();
+  ProfilingPlan plan;
+  if (proc_ids.empty()) return plan;
+
+  const double domain_time_s =
+      config.scan_time_per_proc_s * static_cast<double>(config.domain_size);
+
+  // Walk contiguous idle stretches; each stretch hosts as many whole
+  // domains as fit.
+  std::size_t next = 0;  // next unplaced processor
+  std::size_t m = 0;
+  while (m < demand_fraction.size() && next < proc_ids.size()) {
+    auto minute_ok = [&](std::size_t i) {
+      if (demand_fraction[i] >= config.utilization_threshold) return false;
+      if (config.require_wind &&
+          supply.wind_available_w(static_cast<double>(i) * 60.0) <
+              config.min_wind_w)
+        return false;
+      return true;
+    };
+    if (!minute_ok(m)) {
+      ++m;
+      continue;
+    }
+    std::size_t end = m;
+    while (end < demand_fraction.size() && minute_ok(end)) ++end;
+    double window_s = static_cast<double>(end - m) * 60.0;
+
+    double t = static_cast<double>(m) * 60.0;
+    while (window_s >= domain_time_s && next < proc_ids.size()) {
+      ProfilingWindow w;
+      w.start_s = t;
+      w.duration_s = domain_time_s;
+      const std::size_t take =
+          std::min(config.domain_size, proc_ids.size() - next);
+      w.proc_ids.assign(proc_ids.begin() + static_cast<std::ptrdiff_t>(next),
+                        proc_ids.begin() +
+                            static_cast<std::ptrdiff_t>(next + take));
+      next += take;
+      plan.windows.push_back(std::move(w));
+      t += domain_time_s;
+      window_s -= domain_time_s;
+    }
+    m = end;
+  }
+  plan.unplaced.assign(proc_ids.begin() + static_cast<std::ptrdiff_t>(next),
+                       proc_ids.end());
+  return plan;
+}
+
+}  // namespace iscope

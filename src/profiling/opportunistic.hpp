@@ -1,0 +1,67 @@
+// Opportunistic profiling planner (paper Sec. III-C, Fig. 10).
+//
+// Profiling must not hurt quality of service, so scans are placed into
+// windows where datacenter demand is low (below a threshold, 30% in the
+// paper) and -- when requested -- renewable generation is available. The
+// planner consumes a per-minute demand-fraction signal (measured or
+// forecast) and emits a profiling plan: which processors to isolate when.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "energy/hybrid_supply.hpp"
+
+namespace iscope {
+
+struct ProfilingWindow {
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  /// Processors scanned in this window (one profiling domain per window).
+  std::vector<std::size_t> proc_ids;
+};
+
+struct OpportunisticConfig {
+  /// Demand fraction below which a minute counts as idle-enough.
+  double utilization_threshold = 0.30;
+  /// Require renewable generation during the window (profiling-flow
+  /// stage 1: "when the renewable energy generation is available").
+  bool require_wind = false;
+  double min_wind_w = 0.0;  ///< wind level counting as "available"
+  /// Wall time needed to scan one processor [s].
+  double scan_time_per_proc_s = 0.0;
+  /// Processors per profiling domain (scanned back-to-back in one window).
+  std::size_t domain_size = 8;
+
+  void validate() const;
+};
+
+struct ProfilingPlan {
+  std::vector<ProfilingWindow> windows;
+  /// Processors that could not be placed within the horizon.
+  std::vector<std::size_t> unplaced;
+
+  std::size_t placed_count() const;
+};
+
+/// Statistics of the idle time available for profiling -- the paper's
+/// Fig. 10 analysis ("required processors < 30% accounts for 27.2% of one
+/// day" and the free time is contiguous, not scattered).
+struct IdleWindowStats {
+  double idle_fraction = 0.0;          ///< fraction of minutes below threshold
+  double longest_window_s = 0.0;       ///< longest contiguous idle stretch
+  double mean_window_s = 0.0;          ///< mean contiguous idle stretch
+  std::size_t window_count = 0;
+};
+
+IdleWindowStats analyze_idle_windows(const std::vector<double>& demand_fraction,
+                                     double threshold);
+
+/// Plan scans of `proc_ids` into idle windows of the given per-minute
+/// demand signal. Deterministic.
+ProfilingPlan plan_profiling(const std::vector<double>& demand_fraction,
+                             const HybridSupply& supply,
+                             std::vector<std::size_t> proc_ids,
+                             const OpportunisticConfig& config);
+
+}  // namespace iscope

@@ -1,0 +1,38 @@
+// Profiling overhead accounting (paper Sec. VI-E).
+//
+// The paper prices a full-facility profiling campaign by assuming every
+// processor burns its TDP (115 W, the Opteron 6300 maximum) for the whole
+// sweep of 5 frequency bins x 10 voltage points, under either the
+// 10-minute stress test (230 USD wind / 598 USD utility for 4800 CPUs) or
+// the 29-second functional failing test (11.2 / 28.9 USD).
+#pragma once
+
+#include <cstddef>
+
+#include "power/cost.hpp"
+#include "profiling/failing_test.hpp"
+
+namespace iscope {
+
+struct OverheadConfig {
+  std::size_t processors = 4800;
+  double tdp_w = 115.0;          ///< Opteron 6300 series max TDP
+  std::size_t freq_bins = 5;
+  std::size_t voltage_points = 10;
+  TestKind kind = TestKind::kStress;
+  EnergyPrices prices;
+
+  void validate() const;
+};
+
+struct OverheadReport {
+  double per_proc_time_s = 0.0;   ///< sweep wall time per processor
+  double total_energy_kwh = 0.0;  ///< facility-wide campaign energy
+  double cost_wind_usd = 0.0;     ///< campaign priced at the wind rate
+  double cost_utility_usd = 0.0;  ///< campaign priced at the utility rate
+};
+
+/// Closed-form campaign cost, exactly the paper's arithmetic.
+OverheadReport compute_overhead(const OverheadConfig& config);
+
+}  // namespace iscope

@@ -1,0 +1,135 @@
+#include "profiling/profile_db.hpp"
+
+#include <fstream>
+#include <map>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+
+namespace iscope {
+
+ProfileDb::ProfileDb(std::size_t num_processors)
+    : profiles_(num_processors) {
+  ISCOPE_CHECK_ARG(num_processors > 0, "ProfileDb: empty database");
+}
+
+bool ProfileDb::is_profiled(std::size_t proc_id) const {
+  ISCOPE_CHECK_ARG(proc_id < profiles_.size(), "ProfileDb: id out of range");
+  return profiles_[proc_id].has_value();
+}
+
+void ProfileDb::store(ChipProfile profile) {
+  ISCOPE_CHECK_ARG(profile.proc_id < profiles_.size(),
+                   "ProfileDb: id out of range");
+  if (!profiles_[profile.proc_id].has_value()) ++profiled_count_;
+  profiles_[profile.proc_id] = std::move(profile);
+}
+
+const ChipProfile* ProfileDb::find(std::size_t proc_id) const {
+  ISCOPE_CHECK_ARG(proc_id < profiles_.size(), "ProfileDb: id out of range");
+  return profiles_[proc_id].has_value() ? &*profiles_[proc_id] : nullptr;
+}
+
+const ChipProfile& ProfileDb::get(std::size_t proc_id) const {
+  const ChipProfile* p = find(proc_id);
+  if (p == nullptr)
+    throw InvalidArgument("ProfileDb: processor " + std::to_string(proc_id) +
+                          " has no profile");
+  return *p;
+}
+
+std::vector<std::size_t> ProfileDb::stale(double cutoff_s) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < profiles_.size(); ++i) {
+    if (!profiles_[i].has_value() || profiles_[i]->profiled_at_s < cutoff_s)
+      out.push_back(i);
+  }
+  return out;
+}
+
+double ProfileDb::total_scan_time_s() const {
+  double s = 0.0;
+  for (const auto& p : profiles_)
+    if (p) s += p->scan_time_s;
+  return s;
+}
+
+double ProfileDb::total_scan_energy_j() const {
+  double s = 0.0;
+  for (const auto& p : profiles_)
+    if (p) s += p->scan_energy_j;
+  return s;
+}
+
+std::size_t ProfileDb::total_trials() const {
+  std::size_t s = 0;
+  for (const auto& p : profiles_)
+    if (p) s += p->trials;
+  return s;
+}
+
+void ProfileDb::save_csv(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw ParseError("cannot open for write: " + path);
+  CsvWriter w(out);
+  w.write_row({"proc_id", "core", "level", "freq_ghz", "vdd", "profiled_at_s"});
+  for (const auto& p : profiles_) {
+    if (!p) continue;
+    for (std::size_t c = 0; c < p->core_vdd.size(); ++c) {
+      const MinVddCurve& curve = p->core_vdd[c];
+      for (std::size_t l = 0; l < curve.levels(); ++l) {
+        w.write_row_numeric({static_cast<double>(p->proc_id),
+                             static_cast<double>(c), static_cast<double>(l),
+                             curve.freq(l), curve.vdd(l), p->profiled_at_s});
+      }
+    }
+  }
+}
+
+ProfileDb ProfileDb::load_csv(const std::string& path,
+                              std::size_t num_processors) {
+  const CsvDocument doc = read_csv_file(path, /*has_header=*/true);
+  const std::size_t pid_col = doc.column("proc_id");
+  const std::size_t core_col = doc.column("core");
+  const std::size_t level_col = doc.column("level");
+  const std::size_t freq_col = doc.column("freq_ghz");
+  const std::size_t vdd_col = doc.column("vdd");
+  const std::size_t at_col = doc.column("profiled_at_s");
+
+  // Gather (proc, core) -> level-ordered samples.
+  struct CoreSamples {
+    std::map<std::size_t, std::pair<double, double>> by_level;  // freq, vdd
+  };
+  std::map<std::size_t, std::map<std::size_t, CoreSamples>> chips;
+  std::map<std::size_t, double> profiled_at;
+  for (const auto& row : doc.rows) {
+    const auto pid = static_cast<std::size_t>(parse_int(row[pid_col]));
+    const auto core = static_cast<std::size_t>(parse_int(row[core_col]));
+    const auto level = static_cast<std::size_t>(parse_int(row[level_col]));
+    chips[pid][core].by_level[level] = {parse_double(row[freq_col]),
+                                        parse_double(row[vdd_col])};
+    profiled_at[pid] = parse_double(row[at_col]);
+  }
+
+  ProfileDb db(num_processors);
+  for (auto& [pid, cores] : chips) {
+    ChipProfile profile;
+    profile.proc_id = pid;
+    profile.profiled_at_s = profiled_at[pid];
+    for (auto& [core_id, samples] : cores) {
+      (void)core_id;
+      std::vector<double> freqs, vdds;
+      for (auto& [level, fv] : samples.by_level) {
+        (void)level;
+        freqs.push_back(fv.first);
+        vdds.push_back(fv.second);
+      }
+      profile.core_vdd.emplace_back(std::move(freqs), std::move(vdds));
+    }
+    profile.chip_vdd = MinVddCurve::chip_worst_case(profile.core_vdd);
+    db.store(std::move(profile));
+  }
+  return db;
+}
+
+}  // namespace iscope

@@ -1,0 +1,63 @@
+// Profiling records database (paper Sec. III-C).
+//
+// The scanner reports discovered per-core Min Vdd values back to the
+// scheduler, which stores them here. The database tracks which processors
+// are adequately profiled, when they were last scanned (periodic
+// re-profiling guards against aging-induced drift), and serializes to CSV
+// so a datacenter can persist its variation map.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "variation/vdd_model.hpp"
+
+namespace iscope {
+
+/// Discovered characteristics of one processor.
+struct ChipProfile {
+  std::size_t proc_id = 0;
+  std::vector<MinVddCurve> core_vdd;  ///< discovered per-core curves
+  MinVddCurve chip_vdd;               ///< shared-domain worst case
+  double profiled_at_s = 0.0;         ///< simulation time of the scan
+  std::size_t trials = 0;             ///< pass/fail tests executed
+  double scan_time_s = 0.0;           ///< wall time the scan occupied
+  double scan_energy_j = 0.0;         ///< energy burned by the scan
+};
+
+class ProfileDb {
+ public:
+  explicit ProfileDb(std::size_t num_processors);
+
+  std::size_t size() const { return profiles_.size(); }
+
+  bool is_profiled(std::size_t proc_id) const;
+  /// Store/overwrite a processor's profile.
+  void store(ChipProfile profile);
+  /// Profile of a processor; nullopt if never scanned.
+  const ChipProfile* find(std::size_t proc_id) const;
+  /// Profile of a processor; throws if never scanned.
+  const ChipProfile& get(std::size_t proc_id) const;
+
+  std::size_t profiled_count() const { return profiled_count_; }
+  /// Processors never profiled, or last profiled before `cutoff_s`.
+  std::vector<std::size_t> stale(double cutoff_s) const;
+
+  /// Aggregate scan cost over all stored profiles.
+  double total_scan_time_s() const;
+  double total_scan_energy_j() const;
+  std::size_t total_trials() const;
+
+  /// CSV round-trip: proc_id, core, level, freq_ghz, vdd, profiled_at_s.
+  void save_csv(const std::string& path) const;
+  static ProfileDb load_csv(const std::string& path,
+                            std::size_t num_processors);
+
+ private:
+  std::vector<std::optional<ChipProfile>> profiles_;
+  std::size_t profiled_count_ = 0;
+};
+
+}  // namespace iscope

@@ -1,0 +1,123 @@
+#include "profiling/scanner.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace iscope {
+
+void ScanConfig::validate() const {
+  ISCOPE_CHECK_ARG(voltage_points >= 2, "ScanConfig: need >= 2 voltage points");
+  ISCOPE_CHECK_ARG(sweep_depth > 0.0 && sweep_depth < 0.6,
+                   "ScanConfig: sweep depth out of range");
+  ISCOPE_CHECK_ARG(safety_margin >= 0.0 && safety_margin < 0.1,
+                   "ScanConfig: safety margin out of range");
+  ISCOPE_CHECK_ARG(repeats >= 1, "ScanConfig: repeats must be >= 1");
+}
+
+Scanner::Scanner(const Cluster* cluster, const ScanConfig& config)
+    : cluster_(cluster), config_(config),
+      tester_(cluster, config.kind, config.noise_sigma) {
+  ISCOPE_CHECK_ARG(cluster != nullptr, "Scanner: null cluster");
+  config_.validate();
+}
+
+ChipProfile Scanner::scan_chip(std::size_t proc_id, double now_s,
+                               Rng& rng) const {
+  const Processor& p = cluster_->proc(proc_id);
+  const FreqLevels& levels = cluster_->levels();
+
+  ChipProfile profile;
+  profile.proc_id = proc_id;
+  profile.profiled_at_s = now_s;
+
+  double max_core_time_s = 0.0;
+  for (std::size_t core = 0; core < p.core_count(); ++core) {
+    std::vector<double> discovered(levels.count(), 0.0);
+    double core_time_s = 0.0;
+    for (std::size_t level = 0; level < levels.count(); ++level) {
+      const double v_hi = levels.vdd_nom[level];
+      const double v_lo = v_hi * (1.0 - config_.sweep_depth);
+      const double step =
+          (v_hi - v_lo) / static_cast<double>(config_.voltage_points - 1);
+
+      auto trial_passes = [&](double v) {
+        std::size_t passes = 0;
+        for (std::size_t r = 0; r < config_.repeats; ++r) {
+          const TrialResult trial = tester_.run(proc_id, core, level, v, rng);
+          core_time_s += trial.duration_s;
+          profile.scan_energy_j += trial.energy_j;
+          ++profile.trials;
+          if (trial.passed) ++passes;
+        }
+        return 2 * passes > config_.repeats;
+      };
+
+      auto grid_v = [&](std::size_t k) {
+        return v_hi - static_cast<double>(k) * step;
+      };
+
+      double lowest_pass;
+      if (!trial_passes(v_hi)) {
+        // The chip cannot sustain this frequency at stock voltage (a slow
+        // outlier): sweep *upward* until it passes, i.e. over-volt it.
+        // Guard the ascent so a broken part cannot loop forever.
+        double v = v_hi;
+        const double v_ceiling = v_hi * (1.0 + config_.sweep_depth);
+        while (v < v_ceiling && !trial_passes(v + step)) v += step;
+        lowest_pass = v + step;
+      } else if (config_.strategy == SearchStrategy::kBinarySearch) {
+        // Invariant: grid index lo passes, index hi fails (or is one past
+        // the bottom of the grid). Bisect the boundary.
+        std::size_t lo = 0;
+        std::size_t hi = config_.voltage_points;  // sentinel: below grid
+        if (trial_passes(grid_v(config_.voltage_points - 1))) {
+          lo = config_.voltage_points - 1;
+        } else {
+          hi = config_.voltage_points - 1;
+          while (hi - lo > 1) {
+            const std::size_t mid = lo + (hi - lo) / 2;
+            if (trial_passes(grid_v(mid))) lo = mid;
+            else hi = mid;
+          }
+        }
+        lowest_pass = grid_v(lo);
+      } else {
+        // Linear descent from stock voltage; the first failing grid point
+        // ends the sweep (lower voltages are forced-fail per the
+        // profiling flow).
+        lowest_pass = v_hi;
+        for (std::size_t k = 1; k < config_.voltage_points; ++k) {
+          if (!trial_passes(grid_v(k))) break;
+          lowest_pass = grid_v(k);
+        }
+      }
+      discovered[level] = lowest_pass * (1.0 + config_.safety_margin);
+    }
+    // Enforce monotonicity across levels (noise could produce a dip).
+    for (std::size_t level = 1; level < discovered.size(); ++level)
+      discovered[level] = std::max(discovered[level], discovered[level - 1]);
+    profile.core_vdd.emplace_back(levels.freq_ghz, std::move(discovered));
+    max_core_time_s = std::max(max_core_time_s, core_time_s);
+    if (!config_.parallel_cores) profile.scan_time_s += core_time_s;
+  }
+  if (config_.parallel_cores) profile.scan_time_s = max_core_time_s;
+
+  profile.chip_vdd = MinVddCurve::chip_worst_case(profile.core_vdd);
+  return profile;
+}
+
+double Scanner::scan_domain(const std::vector<std::size_t>& proc_ids,
+                            double now_s, Rng& rng, ProfileDb& db) const {
+  double wall_s = 0.0;
+  double t = now_s;
+  for (const std::size_t id : proc_ids) {
+    ChipProfile profile = scan_chip(id, t, rng);
+    wall_s += profile.scan_time_s;
+    t += profile.scan_time_s;
+    db.store(std::move(profile));
+  }
+  return wall_s;
+}
+
+}  // namespace iscope

@@ -1,0 +1,81 @@
+// The iScope scanner: master/slave dynamic hardware scanning
+// (paper Sec. III, Fig. 2/3).
+//
+// An idle master node drives each slave core in a *profiling domain*
+// through a voltage sweep at every frequency level: starting from the stock
+// voltage, the supply is gradually decreased (the paper's Sec. V-A
+// methodology) until the stability test fails; the lowest passing voltage,
+// plus a small safety margin, is recorded as the discovered Min Vdd. A
+// recorded "fail" forces all lower voltages at the same frequency bin to
+// "fail" (profiling-flow stage 6), so the sweep stops at the first failure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "profiling/failing_test.hpp"
+#include "profiling/profile_db.hpp"
+
+namespace iscope {
+
+/// How the scanner walks the voltage grid at each frequency level.
+enum class SearchStrategy : std::uint8_t {
+  /// The paper's flow: start at stock voltage and step down until the
+  /// first failure (a recorded fail forces all lower points to fail).
+  kLinearDescent,
+  /// Bisect the grid for the pass/fail boundary: O(log n) trials per
+  /// level instead of O(n). Assumes monotone pass/fail (true up to noise;
+  /// the safety margin covers the rest) -- the strategy real speed-debug
+  /// flows use, and the knob behind the cost table in
+  /// bench_ablation_scan_strategy.
+  kBinarySearch,
+};
+
+struct ScanConfig {
+  TestKind kind = TestKind::kFunctionalFailing;
+  SearchStrategy strategy = SearchStrategy::kLinearDescent;
+  /// Voltage grid points per frequency level (paper Sec. VI-E uses 10).
+  std::size_t voltage_points = 10;
+  /// The sweep spans [vdd_nom * (1 - sweep_depth), vdd_nom] at each level.
+  double sweep_depth = 0.25;
+  /// Safety margin added on top of the lowest passing voltage, as a
+  /// fraction (protects against run-to-run threshold wobble).
+  double safety_margin = 0.005;
+  /// Pass/fail trials per grid point (majority vote if > 1).
+  std::size_t repeats = 1;
+  /// Run-to-run wobble of the observed failure threshold (relative sigma;
+  /// see StabilityTester).
+  double noise_sigma = 0.002;
+  /// Cores scanned in parallel within a chip. All cores of a chip are
+  /// exercised concurrently by the real toolchain, so a chip scan's wall
+  /// time is the per-core sweep time, not the sum.
+  bool parallel_cores = true;
+
+  void validate() const;
+};
+
+class Scanner {
+ public:
+  Scanner(const Cluster* cluster, const ScanConfig& config);
+
+  /// Scan one processor: full V/F sweep on every core. `now_s` stamps the
+  /// resulting profile.
+  ChipProfile scan_chip(std::size_t proc_id, double now_s, Rng& rng) const;
+
+  /// Scan a profiling domain (a group of processors handled by one master);
+  /// results are stored into `db`. Returns aggregate wall time of the
+  /// domain scan (processors in a domain are scanned sequentially by the
+  /// single master).
+  double scan_domain(const std::vector<std::size_t>& proc_ids, double now_s,
+                     Rng& rng, ProfileDb& db) const;
+
+  const ScanConfig& config() const { return config_; }
+
+ private:
+  const Cluster* cluster_;  // non-owning
+  ScanConfig config_;
+  StabilityTester tester_;
+};
+
+}  // namespace iscope

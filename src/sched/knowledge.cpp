@@ -1,0 +1,90 @@
+#include "sched/knowledge.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace iscope {
+
+Knowledge::Knowledge(const Cluster* cluster, KnowledgeSource source,
+                     const ProfileDb* db)
+    : cluster_(cluster), source_(source), db_(db) {
+  ISCOPE_CHECK_ARG(cluster != nullptr, "Knowledge: null cluster");
+  if (source == KnowledgeSource::kScan)
+    ISCOPE_CHECK_ARG(db != nullptr, "Knowledge: Scan view needs a ProfileDb");
+  refresh();
+}
+
+std::size_t Knowledge::levels() const { return cluster_->levels().count(); }
+
+void Knowledge::refresh() {
+  const std::size_t n = cluster_->size();
+  const std::size_t nl = levels();
+  vdd_.assign(n, std::vector<double>(nl, 0.0));
+  power_.assign(n, std::vector<double>(nl, 0.0));
+  efficiency_.assign(n, 0.0);
+
+  const double f_top = cluster_->levels().freq_ghz[nl - 1];
+  // Bin-specified power: the population-mean Eq-1 chip at the bin voltage.
+  const PowerCoefficients spec{cluster_->power_model().params().alpha_mean,
+                               cluster_->power_model().params().beta_mean};
+  for (std::size_t i = 0; i < n; ++i) {
+    const ChipProfile* profile =
+        (source_ == KnowledgeSource::kScan && db_ != nullptr) ? db_->find(i)
+                                                              : nullptr;
+    for (std::size_t l = 0; l < nl; ++l) {
+      // The latest scan is the only *currently validated* safe bound: the
+      // factory bin spec was validated at t=0 and silicon drifts past it
+      // with age, so a discovered voltage above the bin spec must be
+      // trusted, not capped. (Grid quantization can leave the discovered
+      // value up to one grid step above the true minimum; keep the scan
+      // grid fine -- see ScanConfig -- rather than second-guessing it.)
+      const double v = profile != nullptr ? profile->chip_vdd.vdd(l)
+                                          : cluster_->bin_vdd(i, l);
+      vdd_[i][l] = v;
+      // True chip power at the applied voltage (what the meter sees).
+      power_[i][l] = cluster_->power_w(i, l, v);
+    }
+    if (profile != nullptr) {
+      // Scanned chip: measured power profile ranks it individually.
+      efficiency_[i] = power_[i][nl - 1] / f_top;
+    } else {
+      // Binned chip: only the bin's specified efficiency is known.
+      efficiency_[i] =
+          cluster_->power_model().power_w(spec,
+                                          cluster_->levels().freq_ghz[nl - 1],
+                                          cluster_->bin_vdd(i, nl - 1),
+                                          cluster_->levels().vdd_nom[nl - 1]) /
+          f_top;
+    }
+  }
+
+  efficiency_order_.resize(n);
+  std::iota(efficiency_order_.begin(), efficiency_order_.end(), 0);
+  std::sort(efficiency_order_.begin(), efficiency_order_.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (efficiency_[a] != efficiency_[b])
+                return efficiency_[a] < efficiency_[b];
+              return a < b;
+            });
+}
+
+double Knowledge::vdd(std::size_t i, std::size_t level) const {
+  ISCOPE_CHECK_ARG(i < vdd_.size(), "Knowledge: proc out of range");
+  ISCOPE_CHECK_ARG(level < vdd_[i].size(), "Knowledge: level out of range");
+  return vdd_[i][level];
+}
+
+double Knowledge::power_w(std::size_t i, std::size_t level) const {
+  ISCOPE_CHECK_ARG(i < power_.size(), "Knowledge: proc out of range");
+  ISCOPE_CHECK_ARG(level < power_[i].size(), "Knowledge: level out of range");
+  return power_[i][level];
+}
+
+double Knowledge::efficiency(std::size_t i) const {
+  ISCOPE_CHECK_ARG(i < efficiency_.size(), "Knowledge: proc out of range");
+  return efficiency_[i];
+}
+
+}  // namespace iscope

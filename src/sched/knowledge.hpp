@@ -1,0 +1,79 @@
+// Scheduler knowledge views (paper Table 2, the Bin/Scan axis).
+//
+// The physical cluster has ground-truth Min Vdd curves, but a scheduler can
+// only apply what it *knows*:
+//
+//  * kBin  -- factory binning only. Every chip runs each frequency level at
+//             its bin's worst-case voltage, and chips inside a bin are
+//             indistinguishable to the scheduler: the *believed* efficiency
+//             of a chip is its bin's specified (population-mean) power, so
+//             BinEffi can prefer better bins but cannot cherry-pick inside
+//             one ("the scheduler cannot leverage the fine-grained
+//             efficiency difference between processors in the same bin" --
+//             paper Sec. IV-B).
+//  * kScan -- in-cloud profiling. Each scanned chip runs at its own
+//             discovered Min Vdd, and its measured power profile ranks it
+//             individually; unscanned chips fall back to the bin view.
+//
+// `power_w` is always the chip's *true* power at the applied voltage --
+// that is what the facility's power sensors meter and what the supply-
+// demand matcher reacts to, whichever scheme is running. `efficiency` is
+// the scheduler's belief and differs between the views.
+//
+// The view precomputes per-(processor, level) applied power and the
+// efficiency score, since these are the scheduler's hot path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hardware/cluster.hpp"
+#include "profiling/profile_db.hpp"
+
+namespace iscope {
+
+enum class KnowledgeSource : std::uint8_t { kBin, kScan };
+
+class Knowledge {
+ public:
+  /// Factory-binning view. `db` may be null.
+  Knowledge(const Cluster* cluster, KnowledgeSource source,
+            const ProfileDb* db = nullptr);
+
+  KnowledgeSource source() const { return source_; }
+  std::size_t procs() const { return power_.size(); }
+  std::size_t levels() const;
+
+  /// Voltage the datacenter applies to processor `i` at `level`.
+  double vdd(std::size_t i, std::size_t level) const;
+
+  /// Chip power [W] of processor `i` at `level` under the applied voltage.
+  double power_w(std::size_t i, std::size_t level) const;
+
+  /// Believed efficiency score: W/GHz at the top level; lower is better.
+  /// The Effi and Fair schedulers rank processors by this. Under kBin all
+  /// chips of a bin share the score (specified, not measured, power).
+  double efficiency(std::size_t i) const;
+
+  /// Processor ids sorted by ascending efficiency score (best first).
+  const std::vector<std::size_t>& efficiency_order() const {
+    return efficiency_order_;
+  }
+
+  const Cluster& cluster() const { return *cluster_; }
+
+  /// Rebuild the cached tables (call after the ProfileDb gained profiles).
+  void refresh();
+
+ private:
+  const Cluster* cluster_;   // non-owning
+  KnowledgeSource source_;
+  const ProfileDb* db_;      // non-owning; may be null
+  std::vector<std::vector<double>> vdd_;    // [proc][level]
+  std::vector<std::vector<double>> power_;  // [proc][level]
+  std::vector<double> efficiency_;
+  std::vector<std::size_t> efficiency_order_;
+};
+
+}  // namespace iscope

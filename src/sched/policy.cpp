@@ -1,0 +1,112 @@
+#include "sched/policy.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace iscope {
+
+const char* placement_rule_name(PlacementRule rule) {
+  switch (rule) {
+    case PlacementRule::kRandom: return "Ran";
+    case PlacementRule::kEfficiency: return "Effi";
+    case PlacementRule::kFair: return "Fair";
+  }
+  return "?";
+}
+
+PlacementPolicy::PlacementPolicy(const Knowledge* knowledge,
+                                 PlacementRule rule, std::uint64_t seed,
+                                 double efficient_pool_fraction)
+    : knowledge_(knowledge),
+      rule_(rule),
+      rng_(seed),
+      pool_fraction_(efficient_pool_fraction) {
+  ISCOPE_CHECK_ARG(knowledge != nullptr, "PlacementPolicy: null knowledge");
+  ISCOPE_CHECK_ARG(efficient_pool_fraction > 0.0 &&
+                       efficient_pool_fraction <= 1.0,
+                   "PlacementPolicy: pool fraction must be in (0,1]");
+  rank_of_proc_.resize(knowledge->procs());
+  const auto& order = knowledge->efficiency_order();
+  for (std::size_t rank = 0; rank < order.size(); ++rank)
+    rank_of_proc_[order[rank]] = rank;
+}
+
+std::size_t PlacementPolicy::efficiency_rank(std::size_t proc) const {
+  ISCOPE_CHECK_ARG(proc < rank_of_proc_.size(),
+                   "PlacementPolicy: proc out of range");
+  return rank_of_proc_[proc];
+}
+
+std::optional<std::vector<std::size_t>> PlacementPolicy::choose_efficient(
+    std::size_t n, std::vector<std::size_t>& idle, bool forced) {
+  // Take the n most efficient idle processors.
+  std::partial_sort(idle.begin(), idle.begin() + static_cast<std::ptrdiff_t>(n),
+                    idle.end(), [&](std::size_t a, std::size_t b) {
+                      return rank_of_proc_[a] < rank_of_proc_[b];
+                    });
+  if (!forced) {
+    // Good enough only if the whole pick lies inside the efficient pool;
+    // otherwise keep waiting for efficient chips to free up.
+    const auto pool_limit = static_cast<std::size_t>(
+        pool_fraction_ * static_cast<double>(knowledge_->procs()));
+    if (rank_of_proc_[idle[n - 1]] >= pool_limit) return std::nullopt;
+  }
+  return std::vector<std::size_t>(idle.begin(),
+                                  idle.begin() + static_cast<std::ptrdiff_t>(n));
+}
+
+std::optional<std::vector<std::size_t>> PlacementPolicy::choose(
+    std::size_t n, std::vector<std::size_t>& idle,
+    const PlacementContext& ctx) {
+  ISCOPE_CHECK_ARG(n > 0, "PlacementPolicy: task needs at least one CPU");
+  if (idle.size() < n) return std::nullopt;
+
+  switch (rule_) {
+    case PlacementRule::kRandom: {
+      // Partial Fisher-Yates: the first n slots become a uniform sample.
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto j = static_cast<std::size_t>(rng_.uniform_int(
+            static_cast<std::int64_t>(i),
+            static_cast<std::int64_t>(idle.size()) - 1));
+        std::swap(idle[i], idle[j]);
+      }
+      return std::vector<std::size_t>(
+          idle.begin(), idle.begin() + static_cast<std::ptrdiff_t>(n));
+    }
+    case PlacementRule::kEfficiency:
+      return choose_efficient(n, idle, ctx.forced);
+    case PlacementRule::kFair: {
+      if (!ctx.has_wind) return choose_efficient(n, idle, ctx.forced);
+      if (!ctx.wind_abundant) {
+        // Wind scarce: defer deferrable work until wind returns; run only
+        // deadline-forced or tight-slack tasks, on the most efficient idle
+        // CPUs. Stop deferring once the backlog itself threatens deadlines,
+        // or when the forecast says the wind will not come back in time.
+        const bool forecast_promises_wind =
+            ctx.forecast_mean_w >=
+            kDeferForecastFraction * std::max(ctx.current_demand_w, 1.0);
+        if (!ctx.forced && ctx.slack_s > kMinDeferSlackS &&
+            ctx.queue_pressure < kMaxDeferBacklog && forecast_promises_wind)
+          return std::nullopt;
+        return choose_efficient(n, idle, /*forced=*/true);
+      }
+      // Abundant wind: balance lifetime -- least-used idle CPUs, start now.
+      ISCOPE_CHECK_ARG(ctx.busy_time_s != nullptr &&
+                           ctx.busy_time_s->size() == knowledge_->procs(),
+                       "PlacementPolicy: Fair needs busy-time state");
+      const std::vector<double>& busy = *ctx.busy_time_s;
+      std::partial_sort(idle.begin(),
+                        idle.begin() + static_cast<std::ptrdiff_t>(n),
+                        idle.end(), [&](std::size_t a, std::size_t b) {
+                          if (busy[a] != busy[b]) return busy[a] < busy[b];
+                          return a < b;
+                        });
+      return std::vector<std::size_t>(
+          idle.begin(), idle.begin() + static_cast<std::ptrdiff_t>(n));
+    }
+  }
+  throw InvalidArgument("unknown placement rule");
+}
+
+}  // namespace iscope

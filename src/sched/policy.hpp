@@ -1,0 +1,107 @@
+// Placement policies (paper Table 2, the Ran/Effi/Fair axis).
+//
+//  * Ran  -- workloads are assigned to idle CPUs uniformly at random and
+//            start as soon as enough CPUs are free.
+//  * Effi -- workloads always go to the CPUs with the best energy
+//            efficiency. A task *waits* for members of the efficient pool
+//            to free up while its deadline slack permits ("tasks can be
+//            queued up at the energy-efficient processors as long as the
+//            deadlines are not violated" -- paper Sec. VI-B); only deadline
+//            pressure forces it onto less efficient chips.
+//  * Fair -- ScanFair's rule: when wind is abundant, start immediately on
+//            the historically least-used CPUs, trading cheap wind energy
+//            for balanced processor lifetime. When wind is scarce, *defer*
+//            deferrable work (wind may return before the deadline) and run
+//            only deadline-forced tasks, on the most efficient idle CPUs,
+//            to save expensive utility energy. In a utility-only facility
+//            Fair degenerates to Effi (there is no wind to wait for).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sched/knowledge.hpp"
+
+namespace iscope {
+
+enum class PlacementRule : std::uint8_t { kRandom, kEfficiency, kFair };
+
+const char* placement_rule_name(PlacementRule rule);
+
+/// Datacenter state the policy consults when placing one task.
+struct PlacementContext {
+  /// Cumulative busy time per processor [s] (lifetime balance signal).
+  const std::vector<double>* busy_time_s = nullptr;
+  double now_s = 0.0;
+  /// True when the facility has a wind supply at all (Fair's deferral only
+  /// makes sense in a green datacenter).
+  bool has_wind = false;
+  /// True when wind generation exceeds current demand with headroom.
+  bool wind_abundant = false;
+  /// True when the task can no longer afford to wait for better CPUs.
+  bool forced = false;
+  /// Sum of waiting task widths over cluster size. Fair stops deferring
+  /// when the backlog would swamp the cluster at wind-return (the deferred
+  /// burst must still be serviceable within the deadlines).
+  double queue_pressure = 0.0;
+  /// Time until this task's last deadline-feasible start [s].
+  double slack_s = 0.0;
+  /// Expected mean wind power over this task's slack window [W]. Infinity
+  /// when no forecaster is attached ("assume the wind will come back" --
+  /// the unconditioned deferral of the base design).
+  double forecast_mean_w = std::numeric_limits<double>::infinity();
+  /// Current facility demand [W] (forecast deferral compares against it).
+  double current_demand_w = 0.0;
+};
+
+/// Backlog (waiting width / cluster size) beyond which Fair stops
+/// deferring work for wind.
+inline constexpr double kMaxDeferBacklog = 2.0;
+
+/// Fair defers a task for wind only when it can afford to wait at least
+/// this long -- tight (HU-style) tasks start immediately instead of
+/// gambling on the weather.
+inline constexpr double kMinDeferSlackS = 2.0 * 3600.0;
+
+/// With a forecaster attached, Fair defers only when the expected wind
+/// over the slack window is at least this fraction of current demand
+/// (below that, waiting just postpones the same utility burn).
+inline constexpr double kDeferForecastFraction = 0.3;
+
+class PlacementPolicy {
+ public:
+  /// `efficient_pool_fraction`: the share of the cluster (by efficiency
+  /// rank) Effi considers "good enough" to start on without deadline
+  /// pressure.
+  PlacementPolicy(const Knowledge* knowledge, PlacementRule rule,
+                  std::uint64_t seed, double efficient_pool_fraction = 0.35);
+
+  PlacementRule rule() const { return rule_; }
+
+  /// Choose `n` of the currently `idle` processors for a task, or return
+  /// nullopt to keep the task waiting (only non-forced Effi-style placements
+  /// wait; a forced task always starts if `idle.size() >= n`).
+  /// `idle` may be reordered by the call (it is scratch space).
+  std::optional<std::vector<std::size_t>> choose(std::size_t n,
+                                                 std::vector<std::size_t>& idle,
+                                                 const PlacementContext& ctx);
+
+  /// Efficiency rank of a processor (0 = most efficient).
+  std::size_t efficiency_rank(std::size_t proc) const;
+
+ private:
+  std::optional<std::vector<std::size_t>> choose_efficient(
+      std::size_t n, std::vector<std::size_t>& idle, bool forced);
+
+  const Knowledge* knowledge_;  // non-owning
+  PlacementRule rule_;
+  Rng rng_;
+  double pool_fraction_;
+  std::vector<std::size_t> rank_of_proc_;
+};
+
+}  // namespace iscope

@@ -1,0 +1,80 @@
+// Supply-demand power matching (paper Sec. V-C).
+//
+// "Our experiments try to maximally utilize the renewable energy. If the
+//  renewable power is not enough to run all the required processors at full
+//  speed, DVFS is applied to reduce the frequency and power demand. We stop
+//  lowering the frequency when some tasks are facing violation of their
+//  deadlines. If the renewable power is still not enough at that time, we
+//  will supplement utility power."
+//
+// The matcher re-decides every running task's DVFS level at each supply
+// epoch and on task start/completion, in two phases:
+//
+//  1. Baseline: each task gets its *energy-optimal deadline-feasible* level
+//     -- argmin over levels of  P(level) * slowdown(level)  (the energy to
+//     finish the remaining work). Static power (beta in Eq-1) makes
+//     crawling wasteful, so this is usually near, not at, the top level.
+//  2. Wind fitting: while facility demand exceeds the available wind power
+//     and wind is present at all, greedily take the DVFS down-step with the
+//     largest power saving among tasks still above their deadline floor.
+//     Any remaining gap is supplemented from the utility grid.
+//
+// With no wind at all (the paper's utility-only study) phase 2 is a no-op:
+// there is no budget to fit under, and stretching execution would only burn
+// more (expensive) static energy.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sched/knowledge.hpp"
+
+namespace iscope {
+
+/// A running task as the matcher sees it.
+struct ActiveTask {
+  double remaining_work_s = 0.0;  ///< work left, in seconds-at-Fmax
+  double deadline_s = 0.0;
+  double gamma = 1.0;             ///< CPU-boundness (Eq-3)
+  std::vector<std::size_t> procs; ///< processors it occupies
+  std::size_t level = 0;          ///< matcher output: assigned DVFS level
+};
+
+struct MatchResult {
+  double compute_w = 0.0;  ///< IT power after matching
+  double demand_w = 0.0;   ///< facility power (IT * cooling factor)
+  std::size_t steps = 0;   ///< phase-2 DVFS down-steps taken
+};
+
+class PowerMatcher {
+ public:
+  /// `cooling_factor` is (1 + 1/COP) from Eq-2.
+  PowerMatcher(const Knowledge* knowledge, double cooling_factor);
+
+  /// Lowest level at which `task` still meets its deadline starting `now_s`;
+  /// returns the top level if even that misses (run flat out, QoS best
+  /// effort).
+  std::size_t min_feasible_level(const ActiveTask& task, double now_s) const;
+
+  /// Energy-optimal level in [floor, top]: minimizes P(l) * slowdown(l).
+  std::size_t energy_optimal_level(const ActiveTask& task,
+                                   std::size_t floor) const;
+
+  /// Assign levels to all tasks; see file comment for the algorithm.
+  MatchResult match(std::vector<ActiveTask>& tasks, double wind_avail_w,
+                    double now_s) const;
+
+  /// IT power of one task at one level (sum over its processors).
+  double task_power_w(const ActiveTask& task, std::size_t level) const;
+
+  /// Eq-3 slowdown of a task at a level.
+  double slowdown(const ActiveTask& task, std::size_t level) const;
+
+  double cooling_factor() const { return cooling_factor_; }
+
+ private:
+  const Knowledge* knowledge_;  // non-owning
+  double cooling_factor_;
+};
+
+}  // namespace iscope

@@ -1,0 +1,55 @@
+#include "sched/scheme.hpp"
+
+#include "common/error.hpp"
+
+namespace iscope {
+
+const char* scheme_name(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kBinRan: return "BinRan";
+    case Scheme::kBinEffi: return "BinEffi";
+    case Scheme::kScanRan: return "ScanRan";
+    case Scheme::kScanEffi: return "ScanEffi";
+    case Scheme::kScanFair: return "ScanFair";
+  }
+  return "?";
+}
+
+Scheme scheme_from_name(const std::string& name) {
+  for (const Scheme s : kAllSchemes)
+    if (name == scheme_name(s)) return s;
+  throw InvalidArgument("unknown scheme name: " + name);
+}
+
+KnowledgeSource scheme_knowledge(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kBinRan:
+    case Scheme::kBinEffi:
+      return KnowledgeSource::kBin;
+    case Scheme::kScanRan:
+    case Scheme::kScanEffi:
+    case Scheme::kScanFair:
+      return KnowledgeSource::kScan;
+  }
+  throw InvalidArgument("unknown scheme");
+}
+
+PlacementRule scheme_rule(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kBinRan:
+    case Scheme::kScanRan:
+      return PlacementRule::kRandom;
+    case Scheme::kBinEffi:
+    case Scheme::kScanEffi:
+      return PlacementRule::kEfficiency;
+    case Scheme::kScanFair:
+      return PlacementRule::kFair;
+  }
+  throw InvalidArgument("unknown scheme");
+}
+
+bool scheme_uses_scan(Scheme scheme) {
+  return scheme_knowledge(scheme) == KnowledgeSource::kScan;
+}
+
+}  // namespace iscope

@@ -1,0 +1,42 @@
+// The five evaluated schemes (paper Table 2).
+//
+//   Name      Profiling  Scheduling algorithm
+//   BinRan    no         random
+//   BinEffi   no         minimize energy
+//   ScanRan   dynamic    random
+//   ScanEffi  dynamic    minimize energy
+//   ScanFair  dynamic    minimize energy + balance utilization (iScope default)
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "sched/knowledge.hpp"
+#include "sched/policy.hpp"
+
+namespace iscope {
+
+enum class Scheme : std::uint8_t {
+  kBinRan,
+  kBinEffi,
+  kScanRan,
+  kScanEffi,
+  kScanFair,
+};
+
+/// All five schemes in the paper's presentation order.
+inline constexpr std::array<Scheme, 5> kAllSchemes = {
+    Scheme::kBinRan, Scheme::kBinEffi, Scheme::kScanRan, Scheme::kScanEffi,
+    Scheme::kScanFair};
+
+const char* scheme_name(Scheme scheme);
+Scheme scheme_from_name(const std::string& name);
+
+KnowledgeSource scheme_knowledge(Scheme scheme);
+PlacementRule scheme_rule(Scheme scheme);
+
+/// True for schemes that run the in-cloud scanner.
+bool scheme_uses_scan(Scheme scheme);
+
+}  // namespace iscope

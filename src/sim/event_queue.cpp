@@ -1,0 +1,48 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace iscope {
+
+void EventQueue::schedule(double time_s, Handler fn) {
+  ISCOPE_CHECK_ARG(time_s >= now_ - 1e-9,
+                   "EventQueue: cannot schedule into the past");
+  ISCOPE_CHECK_ARG(static_cast<bool>(fn), "EventQueue: null handler");
+  heap_.push(Item{std::max(time_s, now_), seq_++, std::move(fn)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; move via const_cast is the standard
+  // idiom here and safe because we pop immediately after.
+  Item item = std::move(const_cast<Item&>(heap_.top()));
+  heap_.pop();
+  now_ = item.time;
+  item.fn();
+  return true;
+}
+
+std::size_t EventQueue::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+std::size_t EventQueue::run_until(double until_s) {
+  std::size_t n = 0;
+  while (!heap_.empty() && heap_.top().time <= until_s) {
+    step();
+    ++n;
+  }
+  now_ = std::max(now_, until_s);
+  return n;
+}
+
+double EventQueue::peek_time() const {
+  ISCOPE_CHECK_ARG(!heap_.empty(), "EventQueue: peek on empty queue");
+  return heap_.top().time;
+}
+
+}  // namespace iscope

@@ -1,0 +1,59 @@
+// Discrete-event simulation engine.
+//
+// A minimal, deterministic DES core: events are (time, handler) pairs; ties
+// run in insertion order (a monotone sequence number breaks them), which
+// keeps whole-simulation results bit-reproducible. Handlers may schedule
+// further events. Cancellation is by design left to the caller (version
+// counters on the payload) -- cheaper and simpler than tombstoning the heap.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace iscope {
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedule `fn` at absolute time `time_s` (>= now).
+  void schedule(double time_s, Handler fn);
+
+  /// Run the earliest event. Returns false if the queue is empty.
+  bool step();
+
+  /// Run events until the queue drains or `max_events` were processed.
+  /// Returns the number of events run.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  /// Run events with time <= `until_s`; the clock ends at `until_s` if the
+  /// queue drained earlier. Returns the number of events run.
+  std::size_t run_until(double until_s);
+
+  double now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+  /// Time of the earliest pending event; throws if empty.
+  double peek_time() const;
+
+ private:
+  struct Item {
+    double time;
+    std::uint64_t seq;
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Item, std::vector<Item>, Later> heap_;
+  double now_ = 0.0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace iscope

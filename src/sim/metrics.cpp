@@ -1,0 +1,25 @@
+#include "sim/metrics.hpp"
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+
+namespace iscope {
+
+void SimResult::finalize_busy_stats() {
+  if (busy_time_s.empty()) {
+    busy_variance_h2 = 0.0;
+    procs_used_fraction = 0.0;
+    return;
+  }
+  RunningStats stats;
+  std::size_t used = 0;
+  for (const double b : busy_time_s) {
+    stats.add(b / units::kSecondsPerHour);
+    if (b > 0.0) ++used;
+  }
+  busy_variance_h2 = stats.variance();
+  procs_used_fraction =
+      static_cast<double>(used) / static_cast<double>(busy_time_s.size());
+}
+
+}  // namespace iscope

@@ -1,0 +1,55 @@
+// Simulation outputs: everything the paper's evaluation section reports.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "power/cost.hpp"
+#include "power/energy_meter.hpp"
+#include "sim/timeline.hpp"
+
+namespace iscope {
+
+struct SimResult {
+  // --- energy & cost (Figs. 5, 6, 8) -----------------------------------
+  EnergySplit energy;            ///< consumed, split wind/utility
+  double cost_usd = 0.0;         ///< priced with the run's EnergyPrices
+  double wind_curtailed_kwh = 0.0;
+  /// Battery flows (0 when no battery is configured).
+  double battery_delivered_kwh = 0.0;
+  double battery_losses_kwh = 0.0;
+
+  // --- task outcomes ----------------------------------------------------
+  std::size_t tasks_completed = 0;
+  std::size_t deadline_misses = 0;
+  double mean_wait_s = 0.0;       ///< submit -> start
+  double makespan_s = 0.0;        ///< completion of the last task
+
+  // --- processor usage (Fig. 9) ----------------------------------------
+  std::vector<double> busy_time_s;     ///< per processor
+  /// Variance of per-processor utilization time [hours^2] -- the paper's
+  /// Fig. 9 metric.
+  double busy_variance_h2 = 0.0;
+  /// Fraction of processors that ever ran a task.
+  double procs_used_fraction = 0.0;
+
+  // --- power trace (Fig. 7) ---------------------------------------------
+  std::vector<PowerSample> trace;
+
+  // --- event timeline (when record_timeline is set) -----------------------
+  std::vector<TimelineEvent> timeline;
+
+  // --- in-band profiling (when a plan was supplied) -----------------------
+  std::size_t profiling_procs_scanned = 0;
+  std::size_t profiling_procs_skipped = 0;  ///< busy at window start (QoS)
+  double profiling_proc_seconds = 0.0;      ///< processor-seconds isolated
+
+  // --- bookkeeping --------------------------------------------------------
+  std::size_t dvfs_rematch_count = 0;
+  std::size_t events_processed = 0;
+
+  /// Fill the derived busy-time statistics from `busy_time_s`.
+  void finalize_busy_stats();
+};
+
+}  // namespace iscope

@@ -1,0 +1,457 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace iscope {
+
+void SimConfig::validate() const {
+  ISCOPE_CHECK_ARG(cooling_cop > 0.0, "SimConfig: COP must be > 0");
+  ISCOPE_CHECK_ARG(epoch_s > 0.0, "SimConfig: epoch must be > 0");
+  ISCOPE_CHECK_ARG(sample_interval_s > 0.0, "SimConfig: sample interval > 0");
+  ISCOPE_CHECK_ARG(wind_abundance_headroom >= 1.0,
+                   "SimConfig: headroom must be >= 1");
+  ISCOPE_CHECK_ARG(efficient_pool_fraction > 0.0 &&
+                       efficient_pool_fraction <= 1.0,
+                   "SimConfig: pool fraction must be in (0,1]");
+  ISCOPE_CHECK_ARG(deadline_patience_s >= 0.0,
+                   "SimConfig: negative deadline patience");
+  ISCOPE_CHECK_ARG(max_events > 0, "SimConfig: max_events must be > 0");
+  battery.validate();
+}
+
+DatacenterSim::DatacenterSim(const Knowledge* knowledge, PlacementRule rule,
+                             const HybridSupply* supply,
+                             const SimConfig& config,
+                             const WindForecaster* forecaster)
+    : knowledge_(knowledge),
+      supply_(supply),
+      forecaster_(forecaster),
+      config_(config),
+      policy_(knowledge, rule, config.seed, config.efficient_pool_fraction),
+      matcher_(knowledge, CoolingModel(config.cooling_cop).overhead_factor()),
+      cooling_(config.cooling_cop) {
+  ISCOPE_CHECK_ARG(knowledge != nullptr, "DatacenterSim: null knowledge");
+  ISCOPE_CHECK_ARG(supply != nullptr, "DatacenterSim: null supply");
+  config_.validate();
+}
+
+double DatacenterSim::fmax_ghz() const {
+  return knowledge_->cluster().levels().freq_ghz.back();
+}
+
+bool DatacenterSim::wind_abundant_now() const {
+  const double wind = supply_->wind_available_w(queue_.now());
+  if (wind <= 0.0) return false;
+  return wind > demand_w_ * config_.wind_abundance_headroom;
+}
+
+double DatacenterSim::latest_start(const SimTask& t) const {
+  return t.spec.latest_start_s(fmax_ghz(), fmax_ghz());
+}
+
+void DatacenterSim::accrue_to_now() {
+  const double now = queue_.now();
+  const double dt = now - last_accrual_s_;
+  if (dt > 0.0) {
+    if (!battery_.present()) {
+      meter_.accrue(demand_w_, segment_wind_w_, dt);
+    } else {
+      // Wind first; surplus charges the battery; deficits discharge it
+      // before the utility steps in. Wind is paid at absorption (so the
+      // round-trip losses land on the wind bill).
+      const double wind_used_w = std::min(demand_w_, segment_wind_w_);
+      const double surplus_w = segment_wind_w_ - wind_used_w;
+      const double deficit_w = demand_w_ - wind_used_w;
+      const double charged_w = battery_.charge(surplus_w, dt);
+      const double delivered_w = battery_.discharge(deficit_w, dt);
+      EnergySplit step;
+      step.wind_j = (wind_used_w + charged_w) * dt;
+      // max() guards the 1-ulp case where the battery's efficiency
+      // round-trip delivers epsilon more than requested.
+      step.utility_j = std::max(0.0, (deficit_w - delivered_w) * dt);
+      meter_.add_split(step, std::max(0.0, (surplus_w - charged_w) * dt));
+    }
+  }
+  last_accrual_s_ = now;
+  segment_wind_w_ = supply_->wind_available_w(now);
+}
+
+void DatacenterSim::rematch() {
+  accrue_to_now();
+  const double now = queue_.now();
+  ++rematch_count_;
+
+  // Integrate progress of running tasks up to now at their current levels.
+  const FreqLevels& levels = knowledge_->cluster().levels();
+  for (const std::size_t idx : running_) {
+    SimTask& t = tasks_[idx];
+    const double dt = now - t.last_update_s;
+    if (dt > 0.0) {
+      const double slowdown =
+          t.spec.slowdown(levels.freq_ghz[t.level], fmax_ghz());
+      t.remaining_work_s = std::max(0.0, t.remaining_work_s - dt / slowdown);
+    }
+    t.last_update_s = now;
+  }
+
+  // Build the matcher's view.
+  std::vector<ActiveTask> views;
+  views.reserve(running_.size());
+  for (const std::size_t idx : running_) {
+    const SimTask& t = tasks_[idx];
+    ActiveTask v;
+    v.remaining_work_s = t.remaining_work_s;
+    v.deadline_s = t.spec.deadline_s;
+    v.gamma = t.spec.gamma;
+    v.procs = t.procs;
+    views.push_back(std::move(v));
+  }
+
+  MatchResult match;
+  if (rush_mode_) {
+    // A deadline-forced task is starving for processors: run everything at
+    // the top level to free CPUs as soon as possible, whatever the wind.
+    const std::size_t top = knowledge_->levels() - 1;
+    double compute_w = 0.0;
+    for (auto& v : views) {
+      v.level = top;
+      compute_w += matcher_.task_power_w(v, top);
+    }
+    match.compute_w = compute_w;
+    match.demand_w = compute_w * matcher_.cooling_factor();
+  } else {
+    match = matcher_.match(views, supply_->wind_available_w(now), now);
+  }
+  // Active profiling scans draw power (and cooling) like any other load.
+  demand_w_ =
+      match.demand_w + reserved_power_w_ * matcher_.cooling_factor();
+
+  // Apply levels; reschedule completion events where the level changed
+  // (completion time is invariant when the level is unchanged).
+  for (std::size_t k = 0; k < running_.size(); ++k) {
+    const std::size_t idx = running_[k];
+    SimTask& t = tasks_[idx];
+    const std::size_t new_level = views[k].level;
+    const bool first_schedule = t.version == 0;
+    if (new_level != t.level || first_schedule) {
+      t.level = new_level;
+      ++t.version;
+      const double slowdown =
+          t.spec.slowdown(levels.freq_ghz[t.level], fmax_ghz());
+      const double completion = now + t.remaining_work_s * slowdown;
+      const std::uint64_t version = t.version;
+      queue_.schedule(completion,
+                      [this, idx, version] { on_completion(idx, version); });
+    }
+  }
+}
+
+void DatacenterSim::on_arrival(std::size_t idx) {
+  SimTask& t = tasks_[idx];
+  t.state = TaskState::kWaiting;
+  waiting_.push_back(idx);
+  log_event(TimelineKind::kArrival, t.spec.id,
+            static_cast<double>(t.spec.cpus));
+  // Wake up when deadline pressure forces this task onto whatever is idle.
+  const double force_at =
+      std::max(queue_.now(), latest_start(t) - config_.deadline_patience_s);
+  queue_.schedule(force_at, [this] { schedule_pass(); });
+  schedule_pass();
+}
+
+void DatacenterSim::schedule_pass() {
+  if (in_pass_ || waiting_.empty()) return;
+  in_pass_ = true;
+
+  // Snapshot idle processors (excluding any isolated for profiling).
+  idle_scratch_.clear();
+  for (std::size_t p = 0; p < proc_running_.size(); ++p)
+    if (proc_running_[p] == kNone && !reserved_[p]) idle_scratch_.push_back(p);
+
+  const double now = queue_.now();
+  double waiting_width = 0.0;
+  for (const std::size_t idx : waiting_)
+    waiting_width += static_cast<double>(tasks_[idx].spec.cpus);
+
+  PlacementContext ctx;
+  ctx.busy_time_s = &busy_time_s_;
+  ctx.now_s = now;
+  ctx.has_wind = supply_->has_wind();
+  ctx.queue_pressure =
+      waiting_width / static_cast<double>(proc_running_.size());
+
+  bool forced_blocked = false;
+  std::size_t i = 0;
+  while (i < waiting_.size()) {
+    const std::size_t idx = waiting_[i];
+    SimTask& t = tasks_[idx];
+    const bool forced =
+        now >= latest_start(t) - config_.deadline_patience_s;
+    if (t.spec.cpus > idle_scratch_.size()) {
+      // A forced task that cannot fit reserves the freed CPUs: stop the
+      // pass so backfill cannot starve it, and rush the running work.
+      if (forced) {
+        forced_blocked = true;
+        break;
+      }
+      ++i;
+      continue;
+    }
+    // Re-evaluate wind abundance as demand grows within the pass.
+    ctx.wind_abundant = wind_abundant_now();
+    ctx.forced = forced;
+    ctx.slack_s = latest_start(t) - now;
+    ctx.current_demand_w = demand_w_;
+    ctx.forecast_mean_w =
+        (forecaster_ != nullptr && ctx.slack_s > 0.0)
+            ? forecaster_->forecast_mean_w(now, ctx.slack_s)
+            : std::numeric_limits<double>::infinity();
+    auto choice = policy_.choose(t.spec.cpus, idle_scratch_, ctx);
+    if (!choice.has_value()) {
+      ++i;  // voluntarily waiting; backfill may proceed
+      continue;
+    }
+    // The chosen processors are the first n entries of idle_scratch_.
+    idle_scratch_.erase(
+        idle_scratch_.begin(),
+        idle_scratch_.begin() + static_cast<std::ptrdiff_t>(t.spec.cpus));
+    waiting_.erase(waiting_.begin() + static_cast<std::ptrdiff_t>(i));
+    start_task(idx, std::move(*choice));
+  }
+  in_pass_ = false;
+  if (forced_blocked != rush_mode_) {
+    rush_mode_ = forced_blocked;
+    log_event(rush_mode_ ? TimelineKind::kRushEnter : TimelineKind::kRushLeave,
+              -1, static_cast<double>(running_.size()));
+    rematch();  // enter/leave rush: re-decide all DVFS levels
+  }
+}
+
+void DatacenterSim::start_task(std::size_t idx, std::vector<std::size_t> procs) {
+  SimTask& t = tasks_[idx];
+  ISCOPE_CHECK(t.state == TaskState::kWaiting, "start_task: bad state");
+  const double now = queue_.now();
+  t.procs = std::move(procs);
+  for (const std::size_t p : t.procs) {
+    ISCOPE_CHECK(proc_running_[p] == kNone, "start_task: processor busy");
+    proc_running_[p] = idx;
+  }
+  t.state = TaskState::kRunning;
+  t.start_s = now;
+  t.last_update_s = now;
+  t.remaining_work_s = t.spec.runtime_s;
+  t.version = 0;
+  t.level = knowledge_->levels() - 1;
+  total_wait_s_ += now - t.spec.submit_s;
+  log_event(TimelineKind::kStart, t.spec.id, now - t.spec.submit_s);
+  running_.push_back(idx);
+  rematch();
+}
+
+void DatacenterSim::on_completion(std::size_t idx, std::uint64_t version) {
+  SimTask& t = tasks_[idx];
+  if (t.state != TaskState::kRunning || t.version != version) return;  // stale
+
+  const double now = queue_.now();
+  t.state = TaskState::kDone;
+  t.remaining_work_s = 0.0;
+  ++done_count_;
+  makespan_s_ = std::max(makespan_s_, now);
+  log_event(TimelineKind::kCompletion, t.spec.id, now - t.start_s);
+  if (now > t.spec.deadline_s + 1e-6) {
+    ++miss_count_;
+    log_event(TimelineKind::kDeadlineMiss, t.spec.id,
+              now - t.spec.deadline_s);
+  }
+
+  for (const std::size_t p : t.procs) {
+    ISCOPE_CHECK(proc_running_[p] == idx, "completion: processor mismatch");
+    proc_running_[p] = kNone;
+    busy_time_s_[p] += now - t.start_s;
+  }
+  running_.erase(std::find(running_.begin(), running_.end(), idx));
+
+  rematch();
+  schedule_pass();
+}
+
+void DatacenterSim::begin_profiling_window(const ProfilingWindow& window) {
+  // Isolate only processors that are idle right now: QoS comes first
+  // (paper Sec. III-C), busy chips are skipped and left for a later pass.
+  std::vector<std::size_t> taken;
+  const std::size_t top = knowledge_->levels() - 1;
+  for (const std::size_t p : window.proc_ids) {
+    ISCOPE_CHECK_ARG(p < proc_running_.size(),
+                     "profiling window: processor out of range");
+    if (proc_running_[p] != kNone || reserved_[p]) {
+      ++profiling_procs_skipped_;
+      continue;
+    }
+    reserved_[p] = true;
+    taken.push_back(p);
+    // Scan load: the chip under test runs at the top level's stock point.
+    reserved_power_w_ += knowledge_->cluster().power_w(
+        p, top, knowledge_->cluster().levels().vdd_nom[top]);
+  }
+  profiling_procs_scanned_ += taken.size();
+  log_event(TimelineKind::kProfilingBegin, -1,
+            static_cast<double>(taken.size()));
+  if (!taken.empty()) {
+    rematch();  // demand changed
+    const double started = queue_.now();
+    queue_.schedule(started + window.duration_s,
+                    [this, taken = std::move(taken), started] {
+                      end_profiling_window(taken, started);
+                    });
+  }
+}
+
+void DatacenterSim::end_profiling_window(const std::vector<std::size_t>& procs,
+                                         double started_s) {
+  const std::size_t top = knowledge_->levels() - 1;
+  for (const std::size_t p : procs) {
+    reserved_[p] = false;
+    reserved_power_w_ -= knowledge_->cluster().power_w(
+        p, top, knowledge_->cluster().levels().vdd_nom[top]);
+    profiling_proc_seconds_ += queue_.now() - started_s;
+  }
+  reserved_power_w_ = std::max(0.0, reserved_power_w_);
+  log_event(TimelineKind::kProfilingEnd, -1,
+            static_cast<double>(procs.size()));
+  rematch();
+  schedule_pass();  // the freed processors may admit waiting tasks
+}
+
+void DatacenterSim::schedule_epoch(double t) {
+  queue_.schedule(t, [this, t] {
+    rematch();
+    schedule_pass();  // wind regime change can unblock Fair/Effi waits
+    if (!all_done()) schedule_epoch(t + config_.epoch_s);
+  });
+}
+
+void DatacenterSim::schedule_sample(double t) {
+  queue_.schedule(t, [this, t] {
+    record_sample();
+    if (!all_done()) schedule_sample(t + config_.sample_interval_s);
+  });
+}
+
+void DatacenterSim::log_event(TimelineKind kind, std::int64_t task_id,
+                              double value) {
+  if (!config_.record_timeline) return;
+  timeline_.push_back(TimelineEvent{queue_.now(), kind, task_id, value});
+}
+
+void DatacenterSim::record_sample() {
+  PowerSample s;
+  s.time_s = queue_.now();
+  s.demand_w = demand_w_;
+  s.wind_avail_w = supply_->wind_available_w(s.time_s);
+  s.wind_w = std::min(s.demand_w, s.wind_avail_w);
+  s.utility_w = s.demand_w - s.wind_w;
+  meter_.record_sample(s);
+}
+
+SimResult DatacenterSim::run(std::vector<Task> tasks) {
+  return run(std::move(tasks), {});
+}
+
+SimResult DatacenterSim::run(std::vector<Task> tasks,
+                             const std::vector<ProfilingWindow>& profiling) {
+  validate_tasks(tasks);
+  const std::size_t nprocs = knowledge_->procs();
+  for (const Task& t : tasks)
+    ISCOPE_CHECK_ARG(t.cpus <= nprocs,
+                     "DatacenterSim: task wider than the cluster");
+  sort_by_submit(tasks);
+
+  // Reset state.
+  queue_ = EventQueue();
+  meter_.reset();
+  battery_ = BatteryBank(config_.battery);
+  tasks_.clear();
+  tasks_.reserve(tasks.size());
+  for (Task& t : tasks) {
+    SimTask st;
+    st.spec = std::move(t);
+    tasks_.push_back(std::move(st));
+  }
+  waiting_.clear();
+  proc_running_.assign(nprocs, kNone);
+  busy_time_s_.assign(nprocs, 0.0);
+  running_.clear();
+  demand_w_ = 0.0;
+  last_accrual_s_ = 0.0;
+  segment_wind_w_ = supply_->wind_available_w(0.0);
+  done_count_ = 0;
+  rematch_count_ = 0;
+  total_wait_s_ = 0.0;
+  miss_count_ = 0;
+  makespan_s_ = 0.0;
+  in_pass_ = false;
+  rush_mode_ = false;
+  timeline_.clear();
+  reserved_.assign(nprocs, false);
+  reserved_power_w_ = 0.0;
+  profiling_proc_seconds_ = 0.0;
+  profiling_procs_scanned_ = 0;
+  profiling_procs_skipped_ = 0;
+
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    const double at = tasks_[i].spec.submit_s;
+    queue_.schedule(at, [this, i] { on_arrival(i); });
+  }
+  for (const ProfilingWindow& w : profiling) {
+    ISCOPE_CHECK_ARG(w.start_s >= 0.0 && w.duration_s > 0.0,
+                     "profiling window: bad timing");
+    queue_.schedule(w.start_s, [this, w] { begin_profiling_window(w); });
+  }
+  if (!tasks_.empty() || !profiling.empty()) {
+    schedule_epoch(0.0);
+    if (config_.record_trace) schedule_sample(0.0);
+  }
+
+  const std::size_t events = queue_.run(config_.max_events);
+  ISCOPE_CHECK(all_done(), "DatacenterSim: event budget exhausted before "
+                           "all tasks completed");
+  accrue_to_now();
+
+  SimResult result;
+  result.energy = meter_.total();
+  result.cost_usd = config_.prices.cost_usd(result.energy);
+  result.wind_curtailed_kwh = units::joules_to_kwh(meter_.wind_curtailed_j());
+  result.battery_delivered_kwh = units::joules_to_kwh(battery_.delivered_j());
+  result.battery_losses_kwh = units::joules_to_kwh(battery_.losses_j());
+  result.tasks_completed = done_count_;
+  result.deadline_misses = miss_count_;
+  result.mean_wait_s =
+      tasks_.empty() ? 0.0
+                     : total_wait_s_ / static_cast<double>(tasks_.size());
+  result.makespan_s = makespan_s_;
+  result.busy_time_s = busy_time_s_;
+  result.finalize_busy_stats();
+  result.trace = meter_.trace();
+  result.timeline = timeline_;
+  result.profiling_procs_scanned = profiling_procs_scanned_;
+  result.profiling_procs_skipped = profiling_procs_skipped_;
+  result.profiling_proc_seconds = profiling_proc_seconds_;
+  result.dvfs_rematch_count = rematch_count_;
+  result.events_processed = events;
+  return result;
+}
+
+SimResult run_scheme(const Cluster& cluster, Scheme scheme,
+                     const ProfileDb* db, const HybridSupply& supply,
+                     const std::vector<Task>& tasks, const SimConfig& config) {
+  if (scheme_uses_scan(scheme))
+    ISCOPE_CHECK_ARG(db != nullptr, "run_scheme: Scan scheme needs a ProfileDb");
+  const Knowledge knowledge(&cluster, scheme_knowledge(scheme),
+                            scheme_uses_scan(scheme) ? db : nullptr);
+  DatacenterSim sim(&knowledge, scheme_rule(scheme), &supply, config);
+  return sim.run(tasks);
+}
+
+}  // namespace iscope

@@ -1,0 +1,175 @@
+// The green-datacenter discrete-event simulator (paper Secs. IV-V).
+//
+// Drives a task trace through a cluster under one of the five schemes:
+//
+//  * tasks wait in a central arrival-ordered queue; at every scheduling
+//    opportunity (arrival, completion, supply epoch, deadline-pressure
+//    wakeup) the placement policy picks idle CPUs for as many waiting
+//    tasks as it wants to start -- Effi-style policies may deliberately
+//    keep a task waiting for efficient CPUs while its deadline allows;
+//  * task start/completion and every 10-minute supply epoch re-run the
+//    power matcher, which re-decides DVFS levels against the current wind
+//    budget;
+//  * energy is integrated between events and attributed wind-first,
+//    utility-supplement (Sec. V-C), with cooling overhead per Eq-2.
+//
+// Determinism: same cluster, knowledge, tasks, supply, and seed => same
+// result, bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "energy/battery.hpp"
+#include "energy/forecast.hpp"
+#include "energy/hybrid_supply.hpp"
+#include "power/cooling.hpp"
+#include "profiling/opportunistic.hpp"
+#include "power/cost.hpp"
+#include "power/energy_meter.hpp"
+#include "sched/policy.hpp"
+#include "sched/power_matcher.hpp"
+#include "sched/scheme.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/metrics.hpp"
+#include "workload/task.hpp"
+
+namespace iscope {
+
+struct SimConfig {
+  double cooling_cop = 2.5;          ///< paper Sec. V-C
+  EnergyPrices prices;               ///< 0.13 / 0.05 USD per kWh
+  double epoch_s = 600.0;            ///< supply re-evaluation cadence
+  double sample_interval_s = 350.0;  ///< Fig. 7 trace sampling period
+  bool record_trace = false;
+  bool record_timeline = false;      ///< typed event log (sim/timeline.hpp)
+  /// Fair considers wind "abundant" when available wind exceeds current
+  /// demand by this factor.
+  double wind_abundance_headroom = 1.1;
+  /// Share of the cluster (by efficiency rank) Effi treats as the
+  /// "efficient pool" it is willing to wait for.
+  double efficient_pool_fraction = 0.35;
+  /// How long before the last feasible start a waiting task becomes
+  /// "forced" (starts on whatever is idle). Two supply epochs of headroom
+  /// absorb the start contention after a calm spell ends.
+  double deadline_patience_s = 1200.0;
+  std::uint64_t seed = 99;           ///< drives the Random placement
+  std::size_t max_events = 100'000'000;  ///< runaway guard
+  /// Optional on-site battery: surplus wind charges it, deficits discharge
+  /// it before the utility grid steps in. Default: absent. Wind energy is
+  /// paid at absorption, so round-trip losses are on the wind bill.
+  BatteryConfig battery;
+
+  void validate() const;
+};
+
+class DatacenterSim {
+ public:
+  /// All pointers are non-owning and must outlive the simulator.
+  /// `forecaster` (optional) informs Fair's deferral decisions; without
+  /// one, deferral assumes wind always returns within the slack.
+  DatacenterSim(const Knowledge* knowledge, PlacementRule rule,
+                const HybridSupply* supply, const SimConfig& config,
+                const WindForecaster* forecaster = nullptr);
+
+  /// Run the trace to completion and return the collected metrics.
+  /// Tasks must fit the cluster (width <= processor count).
+  SimResult run(std::vector<Task> tasks);
+
+  /// Run with an in-band opportunistic profiling plan (paper Sec. III-C):
+  /// at each window's start the listed processors are isolated from
+  /// service *if idle at that moment* (QoS first -- busy ones are skipped),
+  /// burn scan power at the top level's stock point for the window's
+  /// duration, then return to the pool. Scan power is metered like any
+  /// other facility load.
+  SimResult run(std::vector<Task> tasks,
+                const std::vector<ProfilingWindow>& profiling);
+
+ private:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  enum class TaskState : std::uint8_t { kPending, kWaiting, kRunning, kDone };
+
+  struct SimTask {
+    Task spec;
+    std::vector<std::size_t> procs;  ///< assigned at start
+    double remaining_work_s = 0.0;   ///< seconds-at-Fmax left
+    double last_update_s = 0.0;      ///< progress integrated up to here
+    std::size_t level = 0;
+    double start_s = -1.0;
+    std::uint64_t version = 0;       ///< invalidates stale completion events
+    TaskState state = TaskState::kPending;
+  };
+
+  void on_arrival(std::size_t idx);
+  /// Try to start waiting tasks on idle processors (with backfill past
+  /// voluntarily-waiting tasks; a *forced* task that cannot fit blocks the
+  /// pass so freed CPUs accumulate for it).
+  void schedule_pass();
+  void start_task(std::size_t idx, std::vector<std::size_t> procs);
+  void on_completion(std::size_t idx, std::uint64_t version);
+  /// Integrate energy up to now, then re-run the power matcher and
+  /// reschedule completion events whose level changed.
+  void rematch();
+  /// Integrate energy from the last accrual point to now.
+  void accrue_to_now();
+  void schedule_epoch(double t);
+  void schedule_sample(double t);
+  void begin_profiling_window(const ProfilingWindow& window);
+  void end_profiling_window(const std::vector<std::size_t>& procs,
+                            double started_s);
+  void record_sample();
+  void log_event(TimelineKind kind, std::int64_t task_id, double value);
+  double fmax_ghz() const;
+  bool wind_abundant_now() const;
+  /// Latest deadline-feasible start of a task at the top frequency.
+  double latest_start(const SimTask& t) const;
+  bool all_done() const { return done_count_ == tasks_.size(); }
+
+  const Knowledge* knowledge_;
+  const HybridSupply* supply_;
+  const WindForecaster* forecaster_;  // may be null
+  SimConfig config_;
+  PlacementPolicy policy_;
+  PowerMatcher matcher_;
+  CoolingModel cooling_;
+
+  EventQueue queue_;
+  EnergyMeter meter_;
+  BatteryBank battery_;
+  std::vector<SimTask> tasks_;
+  std::vector<std::size_t> waiting_;       ///< task indices, arrival order
+  std::vector<std::size_t> proc_running_;  ///< task idx or kNone
+  std::vector<double> busy_time_s_;
+  std::vector<std::size_t> running_;       ///< indices of running tasks
+  std::vector<std::size_t> idle_scratch_;
+  std::vector<bool> reserved_;             ///< isolated for profiling
+  double reserved_power_w_ = 0.0;          ///< IT power of active scans
+  double profiling_proc_seconds_ = 0.0;
+  std::size_t profiling_procs_scanned_ = 0;
+  std::size_t profiling_procs_skipped_ = 0;
+
+  std::vector<TimelineEvent> timeline_;
+  double demand_w_ = 0.0;
+  double last_accrual_s_ = 0.0;
+  double segment_wind_w_ = 0.0;  ///< wind available during current segment
+  std::size_t done_count_ = 0;
+  std::size_t rematch_count_ = 0;
+  double total_wait_s_ = 0.0;
+  std::size_t miss_count_ = 0;
+  double makespan_s_ = 0.0;
+  bool in_pass_ = false;  ///< re-entrancy guard for schedule_pass
+  /// Set while a deadline-forced task is blocked waiting for processors:
+  /// the matcher then rushes running tasks to the top level to free CPUs
+  /// ("we stop lowering the frequency when some tasks are facing violation
+  /// of their deadlines" -- paper Sec. V-C).
+  bool rush_mode_ = false;
+};
+
+/// Convenience wrapper: build knowledge for `scheme`, run the simulation,
+/// and price the result. `db` is required for Scan schemes.
+SimResult run_scheme(const Cluster& cluster, Scheme scheme,
+                     const ProfileDb* db, const HybridSupply& supply,
+                     const std::vector<Task>& tasks, const SimConfig& config);
+
+}  // namespace iscope

@@ -1,0 +1,36 @@
+#include "sim/timeline.hpp"
+
+#include <fstream>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+
+namespace iscope {
+
+const char* timeline_kind_name(TimelineKind kind) {
+  switch (kind) {
+    case TimelineKind::kArrival: return "arrival";
+    case TimelineKind::kStart: return "start";
+    case TimelineKind::kCompletion: return "completion";
+    case TimelineKind::kDeadlineMiss: return "deadline_miss";
+    case TimelineKind::kRushEnter: return "rush_enter";
+    case TimelineKind::kRushLeave: return "rush_leave";
+    case TimelineKind::kProfilingBegin: return "profiling_begin";
+    case TimelineKind::kProfilingEnd: return "profiling_end";
+  }
+  return "?";
+}
+
+void save_timeline_csv(const std::string& path,
+                       const std::vector<TimelineEvent>& events) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw ParseError("cannot open for write: " + path);
+  CsvWriter w(out);
+  w.write_row({"time_s", "kind", "task_id", "value"});
+  for (const TimelineEvent& e : events) {
+    w.write_row({std::to_string(e.time_s), timeline_kind_name(e.kind),
+                 std::to_string(e.task_id), std::to_string(e.value)});
+  }
+}
+
+}  // namespace iscope

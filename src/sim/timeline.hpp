@@ -1,0 +1,40 @@
+// Structured simulation timeline.
+//
+// When enabled (SimConfig::record_timeline) the simulator logs every
+// schedulable moment -- arrivals, gang starts, completions, misses, rush
+// transitions, profiling windows -- as typed events. The log is the
+// debugging surface for scheduling behaviour ("why did this task wait?")
+// and exports to CSV for external analysis.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace iscope {
+
+enum class TimelineKind : std::uint8_t {
+  kArrival,
+  kStart,
+  kCompletion,
+  kDeadlineMiss,
+  kRushEnter,
+  kRushLeave,
+  kProfilingBegin,
+  kProfilingEnd,
+};
+
+const char* timeline_kind_name(TimelineKind kind);
+
+struct TimelineEvent {
+  double time_s = 0.0;
+  TimelineKind kind = TimelineKind::kArrival;
+  std::int64_t task_id = -1;  ///< -1 for non-task events
+  double value = 0.0;         ///< kind-specific (width, wait, count...)
+};
+
+/// Write events as CSV: time_s,kind,task_id,value.
+void save_timeline_csv(const std::string& path,
+                       const std::vector<TimelineEvent>& events);
+
+}  // namespace iscope

@@ -1,0 +1,64 @@
+#include "variation/binning.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace iscope {
+
+BinningResult speed_bin(const std::vector<MinVddCurve>& chip_curves,
+                        int num_bins) {
+  ISCOPE_CHECK_ARG(!chip_curves.empty(), "speed_bin: no chips");
+  ISCOPE_CHECK_ARG(num_bins >= 1, "speed_bin: need at least one bin");
+  ISCOPE_CHECK_ARG(static_cast<std::size_t>(num_bins) <= chip_curves.size(),
+                   "speed_bin: more bins than chips");
+  const std::size_t n = chip_curves.size();
+  const std::size_t levels = chip_curves.front().levels();
+  for (const auto& c : chip_curves)
+    ISCOPE_CHECK_ARG(c.levels() == levels,
+                     "speed_bin: chips must share frequency levels");
+
+  // Order chips by efficiency: ascending Min Vdd at the top level.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double va = chip_curves[a].vdd(levels - 1);
+    const double vb = chip_curves[b].vdd(levels - 1);
+    if (va != vb) return va < vb;
+    return a < b;  // stable tiebreak for determinism
+  });
+
+  BinningResult result;
+  result.bin_of_chip.assign(n, 0);
+  result.bin_sizes.assign(static_cast<std::size_t>(num_bins), 0);
+
+  // Near-equal population split, best chips first.
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    const int bin = static_cast<int>(
+        (rank * static_cast<std::size_t>(num_bins)) / n);
+    result.bin_of_chip[order[rank]] = bin;
+    ++result.bin_sizes[static_cast<std::size_t>(bin)];
+  }
+
+  // Worst-case voltage per bin per level.
+  const auto& freqs = chip_curves.front().freqs();
+  std::vector<std::vector<double>> worst(
+      static_cast<std::size_t>(num_bins),
+      std::vector<double>(levels, 0.0));
+  for (std::size_t chip = 0; chip < n; ++chip) {
+    auto& w = worst[static_cast<std::size_t>(result.bin_of_chip[chip])];
+    for (std::size_t l = 0; l < levels; ++l)
+      w[l] = std::max(w[l], chip_curves[chip].vdd(l));
+  }
+  result.bin_curve.reserve(static_cast<std::size_t>(num_bins));
+  for (auto& w : worst) {
+    // A bin's worst-case curve can be non-monotone only if bins are empty
+    // (excluded above); still, enforce monotonicity defensively.
+    for (std::size_t l = 1; l < w.size(); ++l) w[l] = std::max(w[l], w[l - 1]);
+    result.bin_curve.emplace_back(freqs, std::move(w));
+  }
+  return result;
+}
+
+}  // namespace iscope

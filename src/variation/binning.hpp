@@ -1,0 +1,35 @@
+// Factory speed binning (paper Table 1 / Sec. V-B).
+//
+// Processors are graded into a small number of bins by their power
+// efficiency. All chips placed in a bin must run at the *worst-case* chip's
+// Min Vdd of that bin at every frequency level -- this is exactly the
+// conservative guardband the paper's `Bin*` schemes are stuck with, and the
+// efficiency headroom the `Scan*` schemes recover.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "variation/vdd_model.hpp"
+
+namespace iscope {
+
+struct BinningResult {
+  /// bin index per chip; bin 0 is the most efficient grade.
+  std::vector<int> bin_of_chip;
+  /// per bin, the worst-case (max) Min Vdd at each frequency level.
+  std::vector<MinVddCurve> bin_curve;
+  /// chips per bin.
+  std::vector<std::size_t> bin_sizes;
+
+  int bins() const { return static_cast<int>(bin_curve.size()); }
+};
+
+/// Grade `chip_curves` (chip-level Min Vdd curves) into `num_bins` bins of
+/// near-equal population by ascending Min Vdd at the top frequency level
+/// (a proxy for power efficiency, as in AMD's Opteron 6300 binning), then
+/// compute each bin's worst-case voltage curve.
+BinningResult speed_bin(const std::vector<MinVddCurve>& chip_curves,
+                        int num_bins);
+
+}  // namespace iscope

@@ -1,0 +1,47 @@
+// Die geometry for the process-variation model.
+//
+// A die is modeled as a unit square discretized into `grid_w x grid_h`
+// sample points. Cores tile the die as a `cores_x x cores_y` array of
+// rectangles; a core's parameter value is the mean of the field over the
+// grid points it covers. This mirrors the VARIUS observation that within-die
+// variation is spatially correlated and its chief impact manifests *across*
+// cores rather than within them (paper Sec. II-B, ref [15]).
+#pragma once
+
+#include <cstddef>
+
+#include "common/error.hpp"
+
+namespace iscope {
+
+struct DieLayout {
+  std::size_t grid_w = 8;   ///< field sample points per die edge (x)
+  std::size_t grid_h = 8;   ///< field sample points per die edge (y)
+  std::size_t cores_x = 2;  ///< cores per die edge (x)
+  std::size_t cores_y = 2;  ///< cores per die edge (y)
+
+  std::size_t grid_points() const { return grid_w * grid_h; }
+  std::size_t core_count() const { return cores_x * cores_y; }
+
+  void validate() const {
+    ISCOPE_CHECK_ARG(grid_w > 0 && grid_h > 0, "DieLayout: empty grid");
+    ISCOPE_CHECK_ARG(cores_x > 0 && cores_y > 0, "DieLayout: no cores");
+    ISCOPE_CHECK_ARG(grid_w % cores_x == 0 && grid_h % cores_y == 0,
+                     "DieLayout: cores must tile the grid evenly");
+  }
+
+  /// Grid x-coordinate in [0,1] of grid column i (cell center).
+  double grid_x(std::size_t i) const {
+    return (static_cast<double>(i) + 0.5) / static_cast<double>(grid_w);
+  }
+  /// Grid y-coordinate in [0,1] of grid row j (cell center).
+  double grid_y(std::size_t j) const {
+    return (static_cast<double>(j) + 0.5) / static_cast<double>(grid_h);
+  }
+};
+
+/// Quad-core die on an 8x8 field grid -- the default used for the paper's
+/// AMD A10-5800K quad-core experiments and the datacenter population.
+inline DieLayout quad_core_layout() { return DieLayout{8, 8, 2, 2}; }
+
+}  // namespace iscope

@@ -1,0 +1,87 @@
+#include "variation/gaussian_field.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace iscope {
+
+GaussianField::GaussianField(const DieLayout& layout, double phi, double nugget)
+    : layout_(layout), phi_(phi), n_(layout.grid_points()) {
+  layout_.validate();
+  ISCOPE_CHECK_ARG(phi > 0.0, "GaussianField: phi must be > 0");
+  ISCOPE_CHECK_ARG(nugget >= 0.0, "GaussianField: nugget must be >= 0");
+
+  // Build the covariance matrix over grid cell centers.
+  std::vector<double> cov(n_ * n_);
+  for (std::size_t a = 0; a < n_; ++a) {
+    const double xa = layout_.grid_x(a % layout_.grid_w);
+    const double ya = layout_.grid_y(a / layout_.grid_w);
+    for (std::size_t b = 0; b <= a; ++b) {
+      const double xb = layout_.grid_x(b % layout_.grid_w);
+      const double yb = layout_.grid_y(b / layout_.grid_w);
+      const double d = std::hypot(xa - xb, ya - yb);
+      double c = correlation(d);
+      if (a == b) c += nugget;
+      cov[a * n_ + b] = c;
+      cov[b * n_ + a] = c;
+    }
+  }
+
+  // In-place Cholesky (lower triangular). The matrix is small (grid is
+  // typically 8x8 = 64 points) so the O(n^3) cost is negligible and paid
+  // once per layout.
+  chol_.assign(n_ * n_, 0.0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double s = cov[i * n_ + j];
+      for (std::size_t k = 0; k < j; ++k)
+        s -= chol_[i * n_ + k] * chol_[j * n_ + k];
+      if (i == j) {
+        ISCOPE_CHECK(s > 0.0, "GaussianField: covariance not positive definite");
+        chol_[i * n_ + i] = std::sqrt(s);
+      } else {
+        chol_[i * n_ + j] = s / chol_[j * n_ + j];
+      }
+    }
+  }
+}
+
+double GaussianField::correlation(double d) const {
+  if (d >= phi_) return 0.0;
+  const double r = d / phi_;
+  return 1.0 - 1.5 * r + 0.5 * r * r * r;
+}
+
+std::vector<double> GaussianField::sample(Rng& rng) const {
+  std::vector<double> z(n_);
+  for (auto& v : z) v = rng.normal(0.0, 1.0);
+  std::vector<double> out(n_, 0.0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    double s = 0.0;
+    for (std::size_t k = 0; k <= i; ++k) s += chol_[i * n_ + k] * z[k];
+    out[i] = s;
+  }
+  return out;
+}
+
+std::vector<double> GaussianField::core_means(
+    const std::vector<double>& field) const {
+  ISCOPE_CHECK_ARG(field.size() == n_, "core_means: field size mismatch");
+  const std::size_t cw = layout_.grid_w / layout_.cores_x;
+  const std::size_t ch = layout_.grid_h / layout_.cores_y;
+  std::vector<double> out(layout_.core_count(), 0.0);
+  for (std::size_t cy = 0; cy < layout_.cores_y; ++cy) {
+    for (std::size_t cx = 0; cx < layout_.cores_x; ++cx) {
+      double s = 0.0;
+      for (std::size_t j = cy * ch; j < (cy + 1) * ch; ++j)
+        for (std::size_t i = cx * cw; i < (cx + 1) * cw; ++i)
+          s += field[j * layout_.grid_w + i];
+      out[cy * layout_.cores_x + cx] =
+          s / static_cast<double>(cw * ch);
+    }
+  }
+  return out;
+}
+
+}  // namespace iscope

@@ -1,0 +1,48 @@
+// Spatially correlated zero-mean unit-variance Gaussian random field over a
+// die grid, with the spherical correlation structure used by VARIUS
+// (Teodorescu et al., paper ref [36]).
+//
+//   rho(d) = 1 - 1.5 (d/phi) + 0.5 (d/phi)^3   for d < phi, else 0
+//
+// where d is Euclidean distance on the unit-square die and phi is the
+// correlation range. The field is sampled by Cholesky factorization of the
+// covariance matrix (computed once per layout and cached inside the object).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "variation/die_layout.hpp"
+
+namespace iscope {
+
+class GaussianField {
+ public:
+  /// `phi` is the correlation range as a fraction of the die edge (0.5 is
+  /// the canonical VARIUS value). A tiny nugget keeps the covariance matrix
+  /// numerically positive-definite.
+  GaussianField(const DieLayout& layout, double phi, double nugget = 1e-9);
+
+  /// Spherical correlation at distance d.
+  double correlation(double d) const;
+
+  /// Draw one realization: grid_points() standard-normal values with the
+  /// configured spatial correlation.
+  std::vector<double> sample(Rng& rng) const;
+
+  /// Average the field over each core's rectangle -> one value per core.
+  std::vector<double> core_means(const std::vector<double>& field) const;
+
+  const DieLayout& layout() const { return layout_; }
+  double phi() const { return phi_; }
+
+ private:
+  DieLayout layout_;
+  double phi_;
+  // Lower-triangular Cholesky factor, row-major, n x n.
+  std::vector<double> chol_;
+  std::size_t n_;
+};
+
+}  // namespace iscope

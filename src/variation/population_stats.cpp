@@ -1,0 +1,73 @@
+#include "variation/population_stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace iscope {
+
+PopulationStats measure_population(const VariusModel& model,
+                                   std::size_t chips, std::uint64_t seed) {
+  ISCOPE_CHECK_ARG(chips > 0, "measure_population: need chips > 0");
+  Rng rng(seed);
+
+  PopulationStats s;
+  s.chips = chips;
+  const double v_nom = model.params().v_nominal;
+  const double f_cal = model.params().f_nominal_ghz;
+
+  RunningStats fmax, minvdd, c2c;
+  double leak_lo = 1e300, leak_hi = 0.0;
+  for (std::size_t i = 0; i < chips; ++i) {
+    const ChipVariation chip = model.sample_chip(rng);
+    double chip_f_lo = 1e300, chip_f_hi = 0.0;
+    for (const CoreVariation& core : chip.cores) {
+      const double f = model.fmax_ghz(core, v_nom);
+      fmax.add(f);
+      chip_f_lo = std::min(chip_f_lo, f);
+      chip_f_hi = std::max(chip_f_hi, f);
+      leak_lo = std::min(leak_lo, core.leak_scale);
+      leak_hi = std::max(leak_hi, core.leak_scale);
+      minvdd.add(model.min_vdd(core, f_cal, 3.0));
+      ++s.cores;
+    }
+    if (chip_f_lo > 0.0) c2c.add((chip_f_hi - chip_f_lo) / chip_f_lo);
+  }
+
+  s.fmax_mean_ghz = fmax.mean();
+  s.fmax_min_ghz = fmax.min();
+  s.fmax_max_ghz = fmax.max();
+  s.fmax_spread_fraction =
+      fmax.mean() > 0.0 ? (fmax.max() - fmax.min()) / fmax.mean() : 0.0;
+  s.c2c_fmax_spread_fraction = c2c.mean();
+  s.leakage_spread_ratio = leak_lo > 0.0 ? leak_hi / leak_lo : 0.0;
+  s.min_vdd_mean = minvdd.mean();
+  s.min_vdd_spread_fraction =
+      minvdd.mean() > 0.0 ? (minvdd.max() - minvdd.min()) / minvdd.mean()
+                          : 0.0;
+  return s;
+}
+
+std::string PopulationStats::summary() const {
+  std::ostringstream out;
+  out << chips << " chips / " << cores << " cores at nominal voltage:\n"
+      << "fmax " << TextTable::num(fmax_mean_ghz, 2) << " GHz mean, ["
+      << TextTable::num(fmax_min_ghz, 2) << ", "
+      << TextTable::num(fmax_max_ghz, 2) << "] -> spread "
+      << TextTable::pct(fmax_spread_fraction)
+      << " (paper cites up to 30% [14])\n"
+      << "core-to-core fmax spread " << TextTable::pct(c2c_fmax_spread_fraction)
+      << " per chip (paper cites ~20% [8])\n"
+      << "leakage spread " << TextTable::num(leakage_spread_ratio, 1)
+      << "x (paper cites up to 20x [14])\n"
+      << "Min Vdd at calibration frequency: mean "
+      << TextTable::num(min_vdd_mean, 3) << " V, spread "
+      << TextTable::pct(min_vdd_spread_fraction) << "\n";
+  return out.str();
+}
+
+}  // namespace iscope

@@ -1,0 +1,50 @@
+// Population-level characterization of a fabricated chip sample.
+//
+// The paper motivates iScope with published variation figures: up to 30%
+// frequency deviation and 20x leakage spread within a process (Borkar
+// [14]), ~20% core-to-core frequency difference (Humenay [8]), ~5% Min Vdd
+// spread within a speed bin (Sec. II-B). This module measures exactly
+// those quantities on a sampled population so the model's realism is a
+// checked property, not an assumption.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "variation/die_layout.hpp"
+#include "variation/varius.hpp"
+
+namespace iscope {
+
+struct PopulationStats {
+  std::size_t chips = 0;
+  std::size_t cores = 0;
+
+  /// Max sustainable frequency at nominal voltage, across all cores [GHz].
+  double fmax_mean_ghz = 0.0;
+  double fmax_min_ghz = 0.0;
+  double fmax_max_ghz = 0.0;
+  /// (max - min) / mean -- compare to the cited ~30% process deviation.
+  double fmax_spread_fraction = 0.0;
+  /// Mean over chips of the within-chip core-to-core fmax spread --
+  /// compare to the ~20% C2C figure.
+  double c2c_fmax_spread_fraction = 0.0;
+
+  /// Leakage multiplier spread across all cores (max/min) -- compare to
+  /// the cited up-to-20x.
+  double leakage_spread_ratio = 0.0;
+
+  /// Min Vdd at the calibration frequency: population spread as a
+  /// fraction of the mean -- compare to the ~5% within-bin figure.
+  double min_vdd_mean = 0.0;
+  double min_vdd_spread_fraction = 0.0;
+
+  std::string summary() const;
+};
+
+/// Fabricate `chips` chips from the model and measure the population.
+PopulationStats measure_population(const VariusModel& model,
+                                   std::size_t chips, std::uint64_t seed);
+
+}  // namespace iscope

@@ -1,0 +1,101 @@
+#include "variation/vdd_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace iscope {
+
+void FreqLevels::validate() const {
+  ISCOPE_CHECK_ARG(!freq_ghz.empty(), "FreqLevels: need at least one level");
+  ISCOPE_CHECK_ARG(freq_ghz.size() == vdd_nom.size(),
+                   "FreqLevels: freq/vdd size mismatch");
+  for (std::size_t i = 0; i < freq_ghz.size(); ++i) {
+    ISCOPE_CHECK_ARG(freq_ghz[i] > 0.0 && vdd_nom[i] > 0.0,
+                     "FreqLevels: values must be positive");
+    if (i > 0) {
+      ISCOPE_CHECK_ARG(freq_ghz[i] > freq_ghz[i - 1],
+                       "FreqLevels: frequencies must ascend");
+      ISCOPE_CHECK_ARG(vdd_nom[i] >= vdd_nom[i - 1],
+                       "FreqLevels: stock voltages must be non-decreasing");
+    }
+  }
+}
+
+FreqLevels FreqLevels::paper_default() {
+  FreqLevels levels;
+  const int n = 5;
+  const double f_lo = 0.75, f_hi = 2.0;
+  const double v_lo = 0.85, v_hi = 1.30;
+  for (int i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / (n - 1);
+    levels.freq_ghz.push_back(f_lo + t * (f_hi - f_lo));
+    levels.vdd_nom.push_back(v_lo + t * (v_hi - v_lo));
+  }
+  return levels;
+}
+
+MinVddCurve::MinVddCurve(std::vector<double> freq_ghz, std::vector<double> vdd)
+    : freq_ghz_(std::move(freq_ghz)), vdd_(std::move(vdd)) {
+  ISCOPE_CHECK_ARG(freq_ghz_.size() == vdd_.size(),
+                   "MinVddCurve: freq/vdd size mismatch");
+  for (std::size_t i = 1; i < vdd_.size(); ++i) {
+    ISCOPE_CHECK_ARG(freq_ghz_[i] > freq_ghz_[i - 1],
+                     "MinVddCurve: frequencies must ascend");
+    ISCOPE_CHECK_ARG(vdd_[i] >= vdd_[i - 1],
+                     "MinVddCurve: MinVdd must be non-decreasing in f");
+  }
+}
+
+double MinVddCurve::freq(std::size_t level) const {
+  ISCOPE_CHECK_ARG(level < freq_ghz_.size(), "MinVddCurve: level out of range");
+  return freq_ghz_[level];
+}
+
+double MinVddCurve::vdd(std::size_t level) const {
+  ISCOPE_CHECK_ARG(level < vdd_.size(), "MinVddCurve: level out of range");
+  return vdd_[level];
+}
+
+MinVddCurve MinVddCurve::chip_worst_case(std::span<const MinVddCurve> cores) {
+  ISCOPE_CHECK_ARG(!cores.empty(), "chip_worst_case: no cores");
+  std::vector<double> vdd = cores.front().vdds();
+  const auto& freqs = cores.front().freqs();
+  for (const auto& c : cores.subspan(1)) {
+    ISCOPE_CHECK_ARG(c.freqs() == freqs,
+                     "chip_worst_case: cores must share frequency levels");
+    for (std::size_t i = 0; i < vdd.size(); ++i)
+      vdd[i] = std::max(vdd[i], c.vdd(i));
+  }
+  return MinVddCurve(freqs, std::move(vdd));
+}
+
+MinVddCurve MinVddCurve::scaled(double factor) const {
+  ISCOPE_CHECK_ARG(factor > 0.0, "MinVddCurve::scaled: factor must be > 0");
+  std::vector<double> vdd = vdd_;
+  for (auto& v : vdd) v *= factor;
+  return MinVddCurve(freq_ghz_, std::move(vdd));
+}
+
+MinVddCurve build_core_curve(const VariusModel& model, const CoreVariation& core,
+                             const FreqLevels& levels,
+                             double intrinsic_guardband) {
+  levels.validate();
+  ISCOPE_CHECK_ARG(intrinsic_guardband >= 0.0,
+                   "build_core_curve: guardband must be >= 0");
+  std::vector<double> vdd;
+  vdd.reserve(levels.count());
+  double prev = 0.0;
+  for (std::size_t i = 0; i < levels.count(); ++i) {
+    double v = model.min_vdd(core, levels.freq_ghz[i]) *
+               (1.0 + intrinsic_guardband);
+    // The retention floor can flatten the low-frequency end; keep the curve
+    // monotone non-decreasing.
+    v = std::max(v, prev);
+    prev = v;
+    vdd.push_back(v);
+  }
+  return MinVddCurve(levels.freq_ghz, std::move(vdd));
+}
+
+}  // namespace iscope

@@ -1,0 +1,68 @@
+// Min Vdd curves: the per-core / per-chip minimum safe supply voltage at
+// each DVFS frequency level. These are the *ground-truth* hardware
+// characteristics that the iScope scanner rediscovers through pass/fail
+// testing, and that the scheduler's knowledge views consume.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "variation/varius.hpp"
+
+namespace iscope {
+
+/// Ascending DVFS frequency levels [GHz] with their stock ("nominal")
+/// supply voltages. The paper's datacenter CPUs expose 5 levels spanning
+/// 750 MHz - 2 GHz (Sec. V-B).
+struct FreqLevels {
+  std::vector<double> freq_ghz;  ///< ascending
+  std::vector<double> vdd_nom;   ///< stock voltage per level
+
+  std::size_t count() const { return freq_ghz.size(); }
+  void validate() const;
+
+  /// The paper's 5-level table: 750 MHz .. 2 GHz, evenly spaced, with a
+  /// linear stock-voltage ramp 0.85 V .. 1.30 V.
+  static FreqLevels paper_default();
+};
+
+/// Min Vdd per frequency level for one core or one chip.
+class MinVddCurve {
+ public:
+  MinVddCurve() = default;
+  MinVddCurve(std::vector<double> freq_ghz, std::vector<double> vdd);
+
+  std::size_t levels() const { return freq_ghz_.size(); }
+  double freq(std::size_t level) const;
+  double vdd(std::size_t level) const;
+  const std::vector<double>& freqs() const { return freq_ghz_; }
+  const std::vector<double>& vdds() const { return vdd_; }
+
+  /// Chip-level curve under a shared voltage domain: per level, the max
+  /// over all member cores (the slowest core dictates the chip voltage --
+  /// paper Sec. III-B default).
+  static MinVddCurve chip_worst_case(std::span<const MinVddCurve> cores);
+
+  /// Scale all voltages by `factor` (e.g. the iGPU-enabled penalty of
+  /// Sec. V-A, or an extra guardband). Curve stays monotone.
+  MinVddCurve scaled(double factor) const;
+
+ private:
+  std::vector<double> freq_ghz_;
+  std::vector<double> vdd_;
+};
+
+/// Build the ground-truth Min Vdd curve of a core: alpha-power-law inversion
+/// at each level plus an intrinsic guardband (the chip's own safety margin
+/// for aging/noise, *not* the factory worst-case margin).
+MinVddCurve build_core_curve(const VariusModel& model, const CoreVariation& core,
+                             const FreqLevels& levels,
+                             double intrinsic_guardband = 0.01);
+
+/// Multiplier applied to Min Vdd when the integrated GPU is enabled.
+/// Calibrated so the 16-core mean moves 1.219 V -> 1.232 V as measured on
+/// the A10-5800K testbed (paper Fig. 4B): 1.232/1.219.
+inline constexpr double kIntegratedGpuPenalty = 1.232 / 1.219;
+
+}  // namespace iscope

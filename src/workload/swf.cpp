@@ -1,0 +1,91 @@
+#include "workload/swf.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace iscope {
+
+std::vector<SwfJob> parse_swf(const std::string& text) {
+  std::vector<SwfJob> jobs;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Strip CR and leading whitespace.
+    while (!line.empty() && (line.back() == '\r' || line.back() == '\n'))
+      line.pop_back();
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    if (line[first] == ';') continue;  // header/comment
+
+    std::istringstream fields(line);
+    std::vector<double> f;
+    double v;
+    while (fields >> v) f.push_back(v);
+    if (f.size() < 8) {
+      throw ParseError("SWF line " + std::to_string(lineno) +
+                       ": expected >= 8 fields, got " +
+                       std::to_string(f.size()));
+    }
+    SwfJob job;
+    job.job_id = static_cast<std::int64_t>(f[0]);
+    job.submit_s = f[1];
+    job.wait_s = f[2];
+    job.runtime_s = f[3];
+    job.allocated_procs = static_cast<std::int64_t>(f[4]);
+    job.requested_procs = static_cast<std::int64_t>(f[7]);
+    if (f.size() > 8) job.requested_time_s = f[8];
+    if (f.size() > 10) job.status = static_cast<std::int64_t>(f[10]);
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+std::vector<SwfJob> read_swf_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ParseError("cannot open SWF file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_swf(ss.str());
+}
+
+std::vector<Task> swf_to_tasks(const std::vector<SwfJob>& jobs) {
+  std::vector<Task> tasks;
+  tasks.reserve(jobs.size());
+  double first_submit = -1.0;
+  for (const SwfJob& j : jobs) {
+    // Width preference: allocated (what actually ran), else requested.
+    const std::int64_t procs =
+        j.allocated_procs > 0 ? j.allocated_procs : j.requested_procs;
+    if (j.runtime_s <= 0.0 || procs <= 0) continue;
+    if (first_submit < 0.0) first_submit = j.submit_s;
+    Task t;
+    t.id = j.job_id;
+    t.submit_s = std::max(0.0, j.submit_s - first_submit);
+    t.cpus = static_cast<std::size_t>(procs);
+    t.runtime_s = j.runtime_s;
+    // Deadline is assigned later by the urgency model; keep it provisional
+    // but valid so validate_tasks passes on raw conversions.
+    t.deadline_s = t.submit_s + 12.0 * t.runtime_s;
+    tasks.push_back(t);
+  }
+  return tasks;
+}
+
+std::string tasks_to_swf(const std::vector<Task>& tasks) {
+  std::ostringstream out;
+  out << "; SWF exported by iScope\n";
+  out << "; fields: job submit wait runtime procs cpu_used mem procs_req "
+         "time_req mem_req status uid gid exe queue part prev think\n";
+  for (const Task& t : tasks) {
+    out << t.id << ' ' << t.submit_s << " 0 " << t.runtime_s << ' ' << t.cpus
+        << " -1 -1 " << t.cpus << " -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n";
+  }
+  return out.str();
+}
+
+}  // namespace iscope

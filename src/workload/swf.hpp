@@ -1,0 +1,47 @@
+// Standard Workload Format (SWF) parser.
+//
+// The paper's workload is the LLNL Thunder trace from the Parallel Workloads
+// Archive (Sec. V-D). SWF is the archive's line format: `;` comment header
+// followed by rows of 18 whitespace-separated integer fields. We read the
+// fields the experiments need:
+//
+//   1 job number, 2 submit time [s], 4 run time [s],
+//   5 allocated processors, 8 requested processors.
+//
+// Jobs with unknown (-1) or zero runtime/width are skipped, as is standard
+// practice when replaying archive traces.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/task.hpp"
+
+namespace iscope {
+
+struct SwfJob {
+  std::int64_t job_id = 0;
+  double submit_s = 0.0;
+  double wait_s = 0.0;
+  double runtime_s = 0.0;
+  std::int64_t allocated_procs = 0;
+  std::int64_t requested_procs = 0;
+  double requested_time_s = 0.0;
+  std::int64_t status = 0;
+};
+
+/// Parse SWF text. Comment lines start with ';'. Returns jobs in file order.
+std::vector<SwfJob> parse_swf(const std::string& text);
+
+/// Read and parse an SWF file.
+std::vector<SwfJob> read_swf_file(const std::string& path);
+
+/// Convert archive jobs to schedulable tasks (deadlines unset -- apply
+/// `assign_deadlines` afterwards). Jobs with non-positive runtime or width
+/// are dropped; submit times are rebased so the first job arrives at t=0.
+std::vector<Task> swf_to_tasks(const std::vector<SwfJob>& jobs);
+
+/// Serialize tasks back to SWF (for interoperability tests and tooling).
+std::string tasks_to_swf(const std::vector<Task>& tasks);
+
+}  // namespace iscope

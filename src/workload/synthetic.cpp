@@ -1,0 +1,112 @@
+#include "workload/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace iscope {
+
+void SyntheticWorkloadConfig::validate() const {
+  ISCOPE_CHECK_ARG(num_jobs > 0, "workload: need at least one job");
+  ISCOPE_CHECK_ARG(max_cpus > 0, "workload: max_cpus must be > 0");
+  ISCOPE_CHECK_ARG(mean_interarrival_s > 0.0,
+                   "workload: interarrival must be > 0");
+  ISCOPE_CHECK_ARG(diurnal_amplitude >= 0.0 && diurnal_amplitude < 1.0,
+                   "workload: diurnal amplitude must be in [0,1)");
+  ISCOPE_CHECK_ARG(peak_hour >= 0.0 && peak_hour < 24.0,
+                   "workload: peak hour out of range");
+  ISCOPE_CHECK_ARG(runtime_log_sigma >= 0.0, "workload: negative sigma");
+  ISCOPE_CHECK_ARG(pow2_fraction >= 0.0 && pow2_fraction <= 1.0,
+                   "workload: pow2 fraction in [0,1]");
+  ISCOPE_CHECK_ARG(width_decay > 0.0 && width_decay < 1.0,
+                   "workload: width decay in (0,1)");
+  ISCOPE_CHECK_ARG(0.0 <= gamma_lo && gamma_lo <= gamma_hi && gamma_hi <= 1.0,
+                   "workload: need 0 <= gamma_lo <= gamma_hi <= 1");
+}
+
+namespace {
+/// Thinning: draw the next arrival of an inhomogeneous Poisson process with
+/// diurnal rate modulation.
+double next_arrival(double t, const SyntheticWorkloadConfig& cfg, Rng& rng) {
+  const double lambda_max =
+      (1.0 + cfg.diurnal_amplitude) / cfg.mean_interarrival_s;
+  for (;;) {
+    t += rng.exponential(lambda_max);
+    const double hour = std::fmod(t / units::kSecondsPerHour, 24.0);
+    const double phase = 2.0 * M_PI * (hour - cfg.peak_hour) / 24.0;
+    const double lambda =
+        (1.0 + cfg.diurnal_amplitude * std::cos(phase)) /
+        cfg.mean_interarrival_s;
+    if (rng.uniform() * lambda_max <= lambda) return t;
+  }
+}
+
+std::size_t draw_width(const SyntheticWorkloadConfig& cfg, Rng& rng) {
+  // Power-of-two widths with geometric exponent decay, else uniform small.
+  const auto max_exp = static_cast<int>(std::floor(
+      std::log2(static_cast<double>(cfg.max_cpus))));
+  if (rng.bernoulli(cfg.pow2_fraction)) {
+    int e = 0;
+    while (e < max_exp && rng.bernoulli(cfg.width_decay)) ++e;
+    return std::min(cfg.max_cpus, static_cast<std::size_t>(1) << e);
+  }
+  const auto cap = std::min<std::size_t>(cfg.max_cpus, 64);
+  return static_cast<std::size_t>(
+      rng.uniform_int(1, static_cast<std::int64_t>(cap)));
+}
+}  // namespace
+
+std::vector<Task> generate_workload(const SyntheticWorkloadConfig& config) {
+  config.validate();
+  Rng rng(config.seed);
+  Rng arrival_rng = rng.fork("arrivals");
+  Rng shape_rng = rng.fork("shapes");
+
+  std::vector<Task> tasks;
+  tasks.reserve(config.num_jobs);
+  double t = 0.0;
+  for (std::size_t i = 0; i < config.num_jobs; ++i) {
+    t = next_arrival(t, config, arrival_rng);
+    Task task;
+    task.id = static_cast<std::int64_t>(i) + 1;
+    task.submit_s = t;
+    task.cpus = draw_width(config, shape_rng);
+    task.runtime_s = std::max(
+        1.0, shape_rng.lognormal(config.runtime_log_mu,
+                                 config.runtime_log_sigma));
+    task.gamma = shape_rng.uniform(config.gamma_lo, config.gamma_hi);
+    task.deadline_s = task.submit_s + 12.0 * task.runtime_s;  // provisional
+    tasks.push_back(task);
+  }
+  return tasks;
+}
+
+std::vector<double> demanded_cpu_fraction_per_minute(
+    const std::vector<Task>& tasks, std::size_t total_cpus,
+    double horizon_s) {
+  ISCOPE_CHECK_ARG(total_cpus > 0, "demanded_cpu_fraction: no CPUs");
+  ISCOPE_CHECK_ARG(horizon_s > 0.0, "demanded_cpu_fraction: empty horizon");
+  const auto minutes =
+      static_cast<std::size_t>(std::ceil(horizon_s / 60.0));
+  std::vector<double> demand(minutes, 0.0);
+  for (const Task& t : tasks) {
+    const double start = t.submit_s;
+    const double end = t.submit_s + t.runtime_s;
+    if (start >= horizon_s) continue;
+    const auto m0 = static_cast<std::size_t>(start / 60.0);
+    // End is exclusive: a job ending exactly on a minute boundary does not
+    // occupy that minute.
+    auto m1 = static_cast<std::size_t>(
+        std::min(std::max(end - 1e-9, start), horizon_s - 1e-9) / 60.0);
+    m1 = std::min(m1, minutes - 1);
+    for (std::size_t m = m0; m <= m1; ++m)
+      demand[m] += static_cast<double>(t.cpus);
+  }
+  for (auto& d : demand)
+    d = std::min(1.0, d / static_cast<double>(total_cpus));
+  return demand;
+}
+
+}  // namespace iscope

@@ -1,0 +1,55 @@
+// Thunder-calibrated synthetic workload generator.
+//
+// Substitute for the LLNL Thunder trace (Parallel Workloads Archive): the
+// generator reproduces the statistics the paper's experiments exercise --
+// a large-cluster parallel workload with power-of-two-leaning job widths,
+// heavy-tailed (lognormal) runtimes, and a diurnal arrival cycle (the
+// Fig. 10 profiling-window experiment depends on the day/night demand
+// swing). Real SWF traces can be used instead via workload/swf.hpp.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "workload/task.hpp"
+
+namespace iscope {
+
+struct SyntheticWorkloadConfig {
+  std::size_t num_jobs = 2000;
+  /// Width cap; Thunder had 4096 processors.
+  std::size_t max_cpus = 4096;
+  /// Mean inter-arrival time at the diurnal average [s].
+  double mean_interarrival_s = 40.0;
+  /// Day/night arrival-rate swing: rate(t) = mean * (1 + a*sin(...)).
+  double diurnal_amplitude = 0.75;
+  /// Hour of peak demand (0-24).
+  double peak_hour = 14.0;
+  /// Lognormal runtime: ln T ~ Normal(mu, sigma). Defaults give a median
+  /// of ~15 min and a tail past several hours, Thunder-like.
+  double runtime_log_mu = 6.8;
+  double runtime_log_sigma = 1.4;
+  /// Fraction of jobs whose width is a power of two.
+  double pow2_fraction = 0.75;
+  /// Geometric-ish decay of width exponent (bigger -> narrower jobs).
+  double width_decay = 0.55;
+  /// CPU-boundness gamma ~ Uniform(lo, hi).
+  double gamma_lo = 0.5;
+  double gamma_hi = 1.0;
+  std::uint64_t seed = 7;
+
+  void validate() const;
+};
+
+/// Generate jobs sorted by submit time. Deadlines are provisional (12x) --
+/// apply `assign_deadlines` to set the HU/LU mix of an experiment.
+std::vector<Task> generate_workload(const SyntheticWorkloadConfig& config);
+
+/// Per-minute demanded-CPU fraction over the trace's span, assuming every
+/// job runs exactly [submit, submit+runtime) on its requested CPUs. This is
+/// the "required number of nodes" signal of the paper's Fig. 10.
+std::vector<double> demanded_cpu_fraction_per_minute(
+    const std::vector<Task>& tasks, std::size_t total_cpus,
+    double horizon_s);
+
+}  // namespace iscope

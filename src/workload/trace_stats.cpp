@@ -1,0 +1,78 @@
+#include "workload/trace_stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace iscope {
+
+TraceStats compute_trace_stats(const std::vector<Task>& tasks) {
+  ISCOPE_CHECK_ARG(!tasks.empty(), "trace stats: empty trace");
+  TraceStats s;
+  s.jobs = tasks.size();
+
+  double first = tasks.front().submit_s, last = tasks.front().submit_s;
+  std::vector<double> widths, runtimes;
+  widths.reserve(tasks.size());
+  runtimes.reserve(tasks.size());
+  std::size_t pow2 = 0, hu = 0;
+  double mult_sum = 0.0;
+  for (const Task& t : tasks) {
+    first = std::min(first, t.submit_s);
+    last = std::max(last, t.submit_s);
+    widths.push_back(static_cast<double>(t.cpus));
+    runtimes.push_back(t.runtime_s);
+    s.max_width = std::max(s.max_width, t.cpus);
+    if ((t.cpus & (t.cpus - 1)) == 0) ++pow2;
+    if (t.urgency == Urgency::kHigh) ++hu;
+    s.total_cpu_seconds += static_cast<double>(t.cpus) * t.runtime_s;
+    mult_sum += (t.deadline_s - t.submit_s) / t.runtime_s;
+  }
+  s.span_s = last - first;
+  s.mean_interarrival_s =
+      tasks.size() > 1 ? s.span_s / static_cast<double>(tasks.size() - 1) : 0.0;
+  s.mean_width = mean(widths);
+  s.p50_width = percentile(widths, 50.0);
+  s.p95_width = percentile(widths, 95.0);
+  s.pow2_width_fraction =
+      static_cast<double>(pow2) / static_cast<double>(tasks.size());
+  s.mean_runtime_s = mean(runtimes);
+  s.p50_runtime_s = percentile(runtimes, 50.0);
+  s.p95_runtime_s = percentile(runtimes, 95.0);
+  // Offered CPUs over the busy horizon (span plus the tail of the last job).
+  const double horizon = std::max(s.span_s + s.mean_runtime_s, 1.0);
+  s.offered_cpus = s.total_cpu_seconds / horizon;
+  s.hu_fraction = static_cast<double>(hu) / static_cast<double>(tasks.size());
+  s.mean_deadline_multiplier =
+      mult_sum / static_cast<double>(tasks.size());
+  return s;
+}
+
+double offered_utilization(const TraceStats& stats, std::size_t num_cpus) {
+  ISCOPE_CHECK_ARG(num_cpus > 0, "offered_utilization: no CPUs");
+  return stats.offered_cpus / static_cast<double>(num_cpus);
+}
+
+std::string TraceStats::summary() const {
+  std::ostringstream out;
+  out << jobs << " jobs over " << TextTable::num(span_s / 3600.0, 1)
+      << " h (mean interarrival " << TextTable::num(mean_interarrival_s, 0)
+      << " s)\n"
+      << "widths: mean " << TextTable::num(mean_width, 1) << ", p50 "
+      << TextTable::num(p50_width, 0) << ", p95 "
+      << TextTable::num(p95_width, 0) << ", max " << max_width << " ("
+      << TextTable::pct(pow2_width_fraction) << " power-of-two)\n"
+      << "runtimes: mean " << TextTable::num(mean_runtime_s / 60.0, 1)
+      << " min, p50 " << TextTable::num(p50_runtime_s / 60.0, 1)
+      << " min, p95 " << TextTable::num(p95_runtime_s / 60.0, 1) << " min\n"
+      << "offered load: " << TextTable::num(offered_cpus, 1)
+      << " CPUs on average; HU share " << TextTable::pct(hu_fraction)
+      << ", mean deadline multiplier "
+      << TextTable::num(mean_deadline_multiplier, 1) << "x\n";
+  return out.str();
+}
+
+}  // namespace iscope

@@ -1,0 +1,49 @@
+// Descriptive statistics of a task trace.
+//
+// Trace characterization is half of any scheduling study: these are the
+// numbers one checks before trusting a run (offered load vs capacity, HU
+// share, width/runtime distributions) and the numbers our synthetic
+// generator is calibrated against (the LLNL Thunder profile).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/task.hpp"
+
+namespace iscope {
+
+struct TraceStats {
+  std::size_t jobs = 0;
+  double span_s = 0.0;            ///< first submit .. last submit
+  double mean_interarrival_s = 0.0;
+
+  double mean_width = 0.0;
+  double p50_width = 0.0;
+  double p95_width = 0.0;
+  std::size_t max_width = 0;
+  double pow2_width_fraction = 0.0;
+
+  double mean_runtime_s = 0.0;
+  double p50_runtime_s = 0.0;
+  double p95_runtime_s = 0.0;
+
+  double total_cpu_seconds = 0.0;
+  /// Average demanded CPUs assuming each job runs [submit, submit+runtime).
+  double offered_cpus = 0.0;
+
+  double hu_fraction = 0.0;
+  double mean_deadline_multiplier = 0.0;
+
+  /// Human-readable multi-line summary.
+  std::string summary() const;
+};
+
+/// Compute statistics; throws on an empty trace.
+TraceStats compute_trace_stats(const std::vector<Task>& tasks);
+
+/// Offered utilization against a cluster of `num_cpus`: offered_cpus /
+/// num_cpus. The stable-queue regime needs this comfortably below 1.
+double offered_utilization(const TraceStats& stats, std::size_t num_cpus);
+
+}  // namespace iscope

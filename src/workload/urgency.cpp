@@ -1,0 +1,41 @@
+#include "workload/urgency.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace iscope {
+
+void UrgencyConfig::validate() const {
+  ISCOPE_CHECK_ARG(hu_fraction >= 0.0 && hu_fraction <= 1.0,
+                   "urgency: hu_fraction must be in [0,1]");
+  ISCOPE_CHECK_ARG(hu_mean > 1.0 && lu_mean > 1.0,
+                   "urgency: multiplier means must exceed 1");
+  ISCOPE_CHECK_ARG(variance >= 0.0, "urgency: negative variance");
+  ISCOPE_CHECK_ARG(min_multiplier >= 1.0,
+                   "urgency: min multiplier must be >= 1");
+}
+
+void assign_deadlines(std::vector<Task>& tasks, const UrgencyConfig& config) {
+  config.validate();
+  Rng rng(config.seed);
+  const double sigma = std::sqrt(config.variance);
+  for (Task& t : tasks) {
+    const bool high = rng.bernoulli(config.hu_fraction);
+    t.urgency = high ? Urgency::kHigh : Urgency::kLow;
+    const double mean = high ? config.hu_mean : config.lu_mean;
+    const double m = rng.truncated_normal(mean, sigma, config.min_multiplier,
+                                          mean + 6.0 * (sigma + 1.0));
+    t.deadline_s = t.submit_s + m * t.runtime_s;
+  }
+}
+
+double hu_fraction(const std::vector<Task>& tasks) {
+  if (tasks.empty()) return 0.0;
+  std::size_t hu = 0;
+  for (const Task& t : tasks)
+    if (t.urgency == Urgency::kHigh) ++hu;
+  return static_cast<double>(hu) / static_cast<double>(tasks.size());
+}
+
+}  // namespace iscope

@@ -1,0 +1,35 @@
+// Deadline assignment by urgency class (paper Sec. V-D, after Garg [29]).
+//
+// Each task is High Urgency (HU) or Low Urgency (LU). The deadline is
+// submit + runtime * m, with the multiplier m drawn from Normal(4, var 2)
+// for HU and Normal(12, var 2) for LU, truncated below so every deadline is
+// achievable at the top frequency (m >= min_multiplier).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "workload/task.hpp"
+
+namespace iscope {
+
+struct UrgencyConfig {
+  double hu_fraction = 0.3;      ///< fraction of HU tasks
+  double hu_mean = 4.0;          ///< HU deadline multiplier mean
+  double lu_mean = 12.0;         ///< LU deadline multiplier mean
+  double variance = 2.0;         ///< multiplier variance (both classes)
+  double min_multiplier = 1.05;  ///< floor: keep deadlines feasible at Fmax
+  std::uint64_t seed = 11;
+
+  void validate() const;
+};
+
+/// Assign urgency classes and deadlines in place. Deterministic for a given
+/// (tasks, config) pair.
+void assign_deadlines(std::vector<Task>& tasks, const UrgencyConfig& config);
+
+/// Fraction of tasks labeled HU (for assertions/reporting).
+double hu_fraction(const std::vector<Task>& tasks);
+
+}  // namespace iscope

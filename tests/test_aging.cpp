@@ -1,0 +1,146 @@
+#include "hardware/aging.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace iscope {
+namespace {
+
+Cluster small_cluster(std::size_t n = 12, std::uint64_t seed = 1) {
+  ClusterConfig cfg;
+  cfg.num_processors = n;
+  cfg.seed = seed;
+  return build_cluster(cfg);
+}
+
+TEST(AgingParams, DeltaVthPowerLaw) {
+  AgingParams p;
+  EXPECT_DOUBLE_EQ(p.delta_vth(0.0, 0.3), 0.0);
+  const double ref_s = p.reference_hours * units::kSecondsPerHour;
+  // At the reference age the shift equals prefactor * vth.
+  EXPECT_NEAR(p.delta_vth(ref_s, 0.3), p.prefactor * 0.3, 1e-12);
+  // Sub-linear growth: doubling the age grows the shift by 2^n < 2.
+  const double d1 = p.delta_vth(ref_s, 0.3);
+  const double d2 = p.delta_vth(2.0 * ref_s, 0.3);
+  EXPECT_GT(d2, d1);
+  EXPECT_LT(d2, 2.0 * d1);
+  EXPECT_NEAR(d2 / d1, std::pow(2.0, p.exponent), 1e-9);
+}
+
+TEST(AgingParams, Validation) {
+  AgingParams p;
+  p.exponent = 1.5;
+  EXPECT_THROW(p.validate(), InvalidArgument);
+  p = AgingParams{};
+  p.prefactor = -0.1;
+  EXPECT_THROW(p.validate(), InvalidArgument);
+  EXPECT_THROW(AgingParams{}.delta_vth(-1.0, 0.3), InvalidArgument);
+}
+
+TEST(AgeCore, RaisesVthLowersLeakage) {
+  const VariusParams varius;
+  CoreVariation core;
+  core.vth = varius.vth_nominal;
+  core.speed_k = 5.0;
+  core.leak_scale = 1.0;
+  const CoreVariation aged =
+      age_core(core, units::days(365.0), AgingParams{}, varius);
+  EXPECT_GT(aged.vth, core.vth);
+  EXPECT_LT(aged.leak_scale, core.leak_scale);
+  EXPECT_EQ(aged.speed_k, core.speed_k);
+}
+
+TEST(AgeCore, ZeroStressIsIdentity) {
+  const VariusParams varius;
+  CoreVariation core;
+  core.vth = 0.31;
+  core.speed_k = 5.0;
+  core.leak_scale = 0.9;
+  const CoreVariation aged = age_core(core, 0.0, AgingParams{}, varius);
+  EXPECT_EQ(aged.vth, core.vth);
+  EXPECT_EQ(aged.leak_scale, core.leak_scale);
+}
+
+TEST(AgedCluster, MinVddRises) {
+  const Cluster fresh = small_cluster();
+  const std::vector<double> stress(fresh.size(), units::days(2.0 * 365.0));
+  const Cluster aged = aged_cluster(fresh, stress);
+  const std::size_t top = fresh.levels().count() - 1;
+  for (std::size_t i = 0; i < fresh.size(); ++i)
+    EXPECT_GT(aged.true_vdd(i, top), fresh.true_vdd(i, top));
+}
+
+TEST(AgedCluster, UnstressedChipsUnchanged) {
+  const Cluster fresh = small_cluster();
+  std::vector<double> stress(fresh.size(), 0.0);
+  stress[3] = units::days(1000.0);
+  const Cluster aged = aged_cluster(fresh, stress);
+  const std::size_t top = fresh.levels().count() - 1;
+  EXPECT_DOUBLE_EQ(aged.true_vdd(0, top), fresh.true_vdd(0, top));
+  EXPECT_GT(aged.true_vdd(3, top), fresh.true_vdd(3, top));
+}
+
+TEST(AgedCluster, KeepsFactoryBinsAndCoefficients) {
+  const Cluster fresh = small_cluster();
+  const std::vector<double> stress(fresh.size(), units::days(500.0));
+  const Cluster aged = aged_cluster(fresh, stress);
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    EXPECT_EQ(aged.proc(i).bin, fresh.proc(i).bin);
+    EXPECT_EQ(aged.proc(i).coeffs.alpha, fresh.proc(i).coeffs.alpha);
+    EXPECT_EQ(aged.bin_vdd(i, 0), fresh.bin_vdd(i, 0));
+  }
+}
+
+TEST(AgedCluster, MoreStressMeansMoreDriftPerChip) {
+  // The paper's Sec. III-C claim: different utilization times redistribute
+  // the variation map. For any given chip, more stress means more drift
+  // (across chips the sensitivity varies with each chip's own Vth).
+  const Cluster fresh = small_cluster(10, 2);
+  const std::size_t top = fresh.levels().count() - 1;
+  const Cluster light = aged_cluster(
+      fresh, std::vector<double>(fresh.size(), units::days(200.0)));
+  const Cluster heavy = aged_cluster(
+      fresh, std::vector<double>(fresh.size(), units::days(2000.0)));
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    const double d_light = light.true_vdd(i, top) - fresh.true_vdd(i, top);
+    const double d_heavy = heavy.true_vdd(i, top) - fresh.true_vdd(i, top);
+    EXPECT_GT(d_light, 0.0);
+    EXPECT_GT(d_heavy, d_light);
+  }
+}
+
+TEST(AgedCluster, StressSizeMismatchThrows) {
+  const Cluster fresh = small_cluster();
+  EXPECT_THROW(aged_cluster(fresh, std::vector<double>(3, 0.0)),
+               InvalidArgument);
+}
+
+TEST(UndervoltViolations, DetectsStaleKnowledge) {
+  const Cluster fresh = small_cluster(8, 3);
+  // Applied map = the fresh truth (a perfect scan at t=0).
+  std::vector<std::vector<double>> applied(fresh.size());
+  for (std::size_t i = 0; i < fresh.size(); ++i)
+    for (std::size_t l = 0; l < fresh.levels().count(); ++l)
+      applied[i].push_back(fresh.true_vdd(i, l));
+
+  EXPECT_EQ(count_undervolt_violations(fresh, applied), 0u);
+
+  // After five years of wear the stale map undervolts the silicon.
+  const Cluster aged = aged_cluster(
+      fresh, std::vector<double>(fresh.size(), units::days(5 * 365.0)));
+  EXPECT_GT(count_undervolt_violations(aged, applied), 0u);
+}
+
+TEST(UndervoltViolations, ShapeValidation) {
+  const Cluster fresh = small_cluster();
+  std::vector<std::vector<double>> wrong_rows(2);
+  EXPECT_THROW(count_undervolt_violations(fresh, wrong_rows), InvalidArgument);
+  std::vector<std::vector<double>> wrong_cols(fresh.size(),
+                                              std::vector<double>(2, 1.0));
+  EXPECT_THROW(count_undervolt_violations(fresh, wrong_cols), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace iscope

@@ -1,0 +1,96 @@
+#include "common/ascii_chart.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace iscope {
+namespace {
+
+TEST(AsciiChart, RendersMarksAndLegend) {
+  ChartSeries s{"demand", {1.0, 2.0, 3.0, 2.0, 1.0}, '#'};
+  const std::string out = render_chart({s});
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find("# = demand"), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);  // axis corner
+}
+
+TEST(AsciiChart, HeightAndWidthRespected) {
+  ChartSeries s{"x", {0.0, 1.0}, '*'};
+  ChartOptions opts;
+  opts.width = 20;
+  opts.height = 6;
+  const std::string out = render_chart({s}, opts);
+  std::istringstream in(out);
+  std::string line;
+  std::size_t plot_rows = 0;
+  while (std::getline(in, line))
+    if (line.find('|') != std::string::npos) ++plot_rows;
+  EXPECT_EQ(plot_rows, 6u);
+}
+
+TEST(AsciiChart, ConstantSeriesSitsOnOneRow) {
+  ChartSeries s{"flat", std::vector<double>(50, 5.0), 'o'};
+  ChartOptions opts;
+  opts.y_min = 0.0;
+  opts.y_max = 10.0;
+  const std::string out = render_chart({s}, opts);
+  // All marks on the same (middle) row.
+  std::istringstream in(out);
+  std::string line;
+  std::size_t rows_with_marks = 0;
+  while (std::getline(in, line)) {
+    if (line.find('|') != std::string::npos &&
+        line.find('o') != std::string::npos)
+      ++rows_with_marks;
+  }
+  EXPECT_EQ(rows_with_marks, 1u);
+}
+
+TEST(AsciiChart, AutoScaleCoversMax) {
+  ChartSeries s{"ramp", {0.0, 100.0}, '*'};
+  const std::string out = render_chart({s});
+  EXPECT_NE(out.find("100.0"), std::string::npos);
+}
+
+TEST(AsciiChart, MultipleSeriesShareAxis) {
+  ChartSeries hi{"hi", std::vector<double>(10, 9.0), 'h'};
+  ChartSeries lo{"lo", std::vector<double>(10, 1.0), 'l'};
+  ChartOptions opts;
+  opts.y_min = 0.0;
+  opts.y_max = 10.0;
+  const std::string out = render_chart({hi, lo}, opts);
+  // 'h' appears above 'l'.
+  EXPECT_LT(out.find('h'), out.find('l'));
+}
+
+TEST(AsciiChart, SeriesLongerThanWidthIsAveraged) {
+  std::vector<double> long_series(1000, 3.0);
+  ChartSeries s{"long", std::move(long_series), '*'};
+  EXPECT_NO_THROW(render_chart({s}));
+}
+
+TEST(AsciiChart, Validation) {
+  EXPECT_THROW(render_chart({}), InvalidArgument);
+  ChartSeries empty{"e", {}, '*'};
+  EXPECT_THROW(render_chart({empty}), InvalidArgument);
+  ChartSeries ok{"ok", {1.0}, '*'};
+  ChartOptions tiny;
+  tiny.width = 2;
+  EXPECT_THROW(render_chart({ok}, tiny), InvalidArgument);
+}
+
+TEST(AsciiChart, LabelsShown) {
+  ChartSeries s{"s", {1.0, 2.0}, '*'};
+  ChartOptions opts;
+  opts.x_label = "time";
+  opts.y_label = "power";
+  const std::string out = render_chart({s}, opts);
+  EXPECT_NE(out.find("time"), std::string::npos);
+  EXPECT_NE(out.find("power"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iscope

@@ -1,0 +1,116 @@
+#include "energy/battery.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace iscope {
+namespace {
+
+TEST(Battery, AbsentBankDoesNothing) {
+  BatteryBank bank;
+  EXPECT_FALSE(bank.present());
+  EXPECT_DOUBLE_EQ(bank.charge(1000.0, 60.0), 0.0);
+  EXPECT_DOUBLE_EQ(bank.discharge(1000.0, 60.0), 0.0);
+  EXPECT_DOUBLE_EQ(bank.soc(), 0.0);
+}
+
+TEST(Battery, MakeHelper) {
+  const BatteryConfig cfg = BatteryConfig::make(10.0, 5.0);
+  EXPECT_DOUBLE_EQ(cfg.capacity_j, 3.6e7);
+  EXPECT_DOUBLE_EQ(cfg.max_charge_w, 5000.0);
+  EXPECT_DOUBLE_EQ(cfg.max_discharge_w, 5000.0);
+}
+
+TEST(Battery, ChargeStoresWithEfficiency) {
+  BatteryConfig cfg = BatteryConfig::make(100.0, 1000.0);
+  cfg.initial_soc = 0.0;
+  cfg.charge_efficiency = 0.9;
+  BatteryBank bank(cfg);
+  const double absorbed_w = bank.charge(1000.0, 3600.0);
+  EXPECT_DOUBLE_EQ(absorbed_w, 1000.0);
+  // 1 kWh AC in -> 0.9 kWh at the cell.
+  EXPECT_NEAR(bank.stored_j(), 0.9 * 3.6e6, 1.0);
+}
+
+TEST(Battery, ChargePowerLimited) {
+  BatteryConfig cfg = BatteryConfig::make(1000.0, 10.0);  // 10 kW limit
+  cfg.initial_soc = 0.0;
+  BatteryBank bank(cfg);
+  EXPECT_DOUBLE_EQ(bank.charge(50e3, 60.0), 10e3);
+}
+
+TEST(Battery, ChargeStopsAtCapacity) {
+  BatteryConfig cfg = BatteryConfig::make(1.0, 1000.0);  // 1 kWh
+  cfg.initial_soc = 0.0;
+  cfg.charge_efficiency = 1.0;
+  BatteryBank bank(cfg);
+  // Offer far more than fits in one hour.
+  bank.charge(100e3, 3600.0);
+  EXPECT_NEAR(bank.soc(), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(bank.charge(100e3, 3600.0), 0.0);
+}
+
+TEST(Battery, DischargeDeliversWithEfficiency) {
+  BatteryConfig cfg = BatteryConfig::make(100.0, 1e6);
+  cfg.initial_soc = 1.0;
+  cfg.discharge_efficiency = 0.9;
+  BatteryBank bank(cfg);
+  const double delivered_w = bank.discharge(1000.0, 3600.0);
+  EXPECT_DOUBLE_EQ(delivered_w, 1000.0);
+  // 1 kWh AC out drains 1/0.9 kWh from the cell.
+  EXPECT_NEAR(bank.stored_j(), 100.0 * 3.6e6 - 3.6e6 / 0.9, 10.0);
+}
+
+TEST(Battery, DischargeStopsWhenEmpty) {
+  BatteryConfig cfg = BatteryConfig::make(1.0, 1e6);
+  cfg.initial_soc = 1.0;
+  cfg.discharge_efficiency = 1.0;
+  BatteryBank bank(cfg);
+  const double got_w = bank.discharge(10e3, 3600.0);
+  EXPECT_NEAR(got_w * 3600.0, 3.6e6, 1.0);  // exactly the stored kWh
+  EXPECT_DOUBLE_EQ(bank.discharge(10e3, 60.0), 0.0);
+}
+
+TEST(Battery, RoundTripLossesAccounted) {
+  BatteryConfig cfg = BatteryConfig::make(100.0, 1e6);
+  cfg.initial_soc = 0.0;
+  cfg.charge_efficiency = 0.9;
+  cfg.discharge_efficiency = 0.9;
+  BatteryBank bank(cfg);
+  bank.charge(10e3, 3600.0);       // 10 kWh in -> 9 kWh stored
+  bank.discharge(100e3, 3600.0);   // drain it: 8.1 kWh out
+  EXPECT_NEAR(bank.delivered_j() / 3.6e6, 8.1, 0.01);
+  EXPECT_NEAR(bank.losses_j() / 3.6e6, 1.9, 0.01);
+}
+
+TEST(Battery, ConservationInvariant) {
+  // absorbed = delivered + losses + delta(stored).
+  BatteryConfig cfg = BatteryConfig::make(50.0, 20.0);
+  cfg.initial_soc = 0.3;
+  BatteryBank bank(cfg);
+  const double initial = bank.stored_j();
+  for (int i = 0; i < 50; ++i) {
+    bank.charge((i % 3) * 5e3, 600.0);
+    bank.discharge((i % 5) * 3e3, 600.0);
+  }
+  EXPECT_NEAR(bank.absorbed_j(),
+              bank.delivered_j() + bank.losses_j() +
+                  (bank.stored_j() - initial),
+              1e-6);
+}
+
+TEST(Battery, Validation) {
+  BatteryConfig bad;
+  bad.capacity_j = -1.0;
+  EXPECT_THROW(BatteryBank{bad}, InvalidArgument);
+  bad = BatteryConfig{};
+  bad.charge_efficiency = 1.5;
+  EXPECT_THROW(BatteryBank{bad}, InvalidArgument);
+  BatteryBank bank(BatteryConfig::make(1.0, 1.0));
+  EXPECT_THROW(bank.charge(-1.0, 1.0), InvalidArgument);
+  EXPECT_THROW(bank.discharge(1.0, -1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace iscope

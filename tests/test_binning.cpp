@@ -1,0 +1,122 @@
+#include "variation/binning.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "variation/varius.hpp"
+
+namespace iscope {
+namespace {
+
+std::vector<MinVddCurve> sample_population(std::size_t n, std::uint64_t seed) {
+  const VariusModel m(VariusParams{}, quad_core_layout());
+  const FreqLevels levels = FreqLevels::paper_default();
+  Rng rng(seed);
+  std::vector<MinVddCurve> chips;
+  for (std::size_t i = 0; i < n; ++i) {
+    const ChipVariation chip = m.sample_chip(rng);
+    std::vector<MinVddCurve> cores;
+    for (const auto& c : chip.cores)
+      cores.push_back(build_core_curve(m, c, levels));
+    chips.push_back(MinVddCurve::chip_worst_case(cores));
+  }
+  return chips;
+}
+
+TEST(SpeedBin, NearEqualPopulation) {
+  const auto chips = sample_population(90, 1);
+  const BinningResult r = speed_bin(chips, 3);
+  EXPECT_EQ(r.bin_sizes.size(), 3u);
+  for (const std::size_t s : r.bin_sizes) EXPECT_EQ(s, 30u);
+}
+
+TEST(SpeedBin, UnevenPopulationStillCovered) {
+  const auto chips = sample_population(10, 2);
+  const BinningResult r = speed_bin(chips, 3);
+  std::size_t total = 0;
+  for (const std::size_t s : r.bin_sizes) total += s;
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(SpeedBin, BinVoltageDominatesMembers) {
+  const auto chips = sample_population(60, 3);
+  const BinningResult r = speed_bin(chips, 3);
+  for (std::size_t i = 0; i < chips.size(); ++i) {
+    const auto& bin = r.bin_curve[static_cast<std::size_t>(r.bin_of_chip[i])];
+    for (std::size_t l = 0; l < chips[i].levels(); ++l)
+      EXPECT_GE(bin.vdd(l), chips[i].vdd(l));
+  }
+}
+
+TEST(SpeedBin, BinsOrderedByEfficiency) {
+  const auto chips = sample_population(60, 4);
+  const BinningResult r = speed_bin(chips, 3);
+  const std::size_t top = chips.front().levels() - 1;
+  // Every chip in bin 0 needs at most the voltage of every chip in bin 2.
+  double bin0_max = 0.0, bin2_min = 1e9;
+  for (std::size_t i = 0; i < chips.size(); ++i) {
+    if (r.bin_of_chip[i] == 0)
+      bin0_max = std::max(bin0_max, chips[i].vdd(top));
+    if (r.bin_of_chip[i] == 2)
+      bin2_min = std::min(bin2_min, chips[i].vdd(top));
+  }
+  EXPECT_LE(bin0_max, bin2_min);
+}
+
+TEST(SpeedBin, BinCurvesMonotone) {
+  const auto chips = sample_population(40, 5);
+  const BinningResult r = speed_bin(chips, 3);
+  for (const auto& bin : r.bin_curve)
+    for (std::size_t l = 1; l < bin.levels(); ++l)
+      EXPECT_GE(bin.vdd(l), bin.vdd(l - 1));
+}
+
+TEST(SpeedBin, SingleBinIsGlobalWorstCase) {
+  const auto chips = sample_population(25, 6);
+  const BinningResult r = speed_bin(chips, 1);
+  const std::size_t top = chips.front().levels() - 1;
+  double worst = 0.0;
+  for (const auto& c : chips) worst = std::max(worst, c.vdd(top));
+  EXPECT_DOUBLE_EQ(r.bin_curve[0].vdd(top), worst);
+}
+
+TEST(SpeedBin, OneBinPerChipHasZeroHeadroom) {
+  const auto chips = sample_population(8, 7);
+  const BinningResult r = speed_bin(chips, 8);
+  for (std::size_t i = 0; i < chips.size(); ++i) {
+    const auto& bin = r.bin_curve[static_cast<std::size_t>(r.bin_of_chip[i])];
+    for (std::size_t l = 0; l < chips[i].levels(); ++l)
+      EXPECT_DOUBLE_EQ(bin.vdd(l), chips[i].vdd(l));
+  }
+}
+
+TEST(SpeedBin, Deterministic) {
+  const auto chips = sample_population(30, 8);
+  const BinningResult a = speed_bin(chips, 3);
+  const BinningResult b = speed_bin(chips, 3);
+  EXPECT_EQ(a.bin_of_chip, b.bin_of_chip);
+}
+
+TEST(SpeedBin, Errors) {
+  const std::vector<MinVddCurve> none;
+  EXPECT_THROW(speed_bin(none, 3), InvalidArgument);
+  const auto chips = sample_population(5, 9);
+  EXPECT_THROW(speed_bin(chips, 0), InvalidArgument);
+  EXPECT_THROW(speed_bin(chips, 6), InvalidArgument);
+}
+
+TEST(SpeedBin, MeanHeadroomPositive) {
+  // The scanner's payoff: the average chip sits below its bin's voltage.
+  const auto chips = sample_population(120, 10);
+  const BinningResult r = speed_bin(chips, 3);
+  const std::size_t top = chips.front().levels() - 1;
+  double headroom = 0.0;
+  for (std::size_t i = 0; i < chips.size(); ++i)
+    headroom += r.bin_curve[static_cast<std::size_t>(r.bin_of_chip[i])].vdd(top) -
+                chips[i].vdd(top);
+  EXPECT_GT(headroom / static_cast<double>(chips.size()), 0.005);
+}
+
+}  // namespace
+}  // namespace iscope

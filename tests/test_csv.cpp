@@ -1,0 +1,113 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace iscope {
+namespace {
+
+TEST(CsvParse, SimpleRows) {
+  const auto doc = parse_csv("a,b,c\n1,2,3\n4,5,6\n", true);
+  ASSERT_EQ(doc.header.size(), 3u);
+  EXPECT_EQ(doc.header[1], "b");
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[1][2], "6");
+}
+
+TEST(CsvParse, NoHeader) {
+  const auto doc = parse_csv("1,2\n3,4\n", false);
+  EXPECT_TRUE(doc.header.empty());
+  ASSERT_EQ(doc.rows.size(), 2u);
+}
+
+TEST(CsvParse, QuotedFieldsWithCommasAndQuotes) {
+  const auto doc = parse_csv("x,y\n\"a,b\",\"he said \"\"hi\"\"\"\n", true);
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][0], "a,b");
+  EXPECT_EQ(doc.rows[0][1], "he said \"hi\"");
+}
+
+TEST(CsvParse, QuotedNewline) {
+  const auto doc = parse_csv("x\n\"line1\nline2\"\n", true);
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][0], "line1\nline2");
+}
+
+TEST(CsvParse, CommentsSkipped) {
+  const auto doc = parse_csv("# comment\na,b\n# another\n1,2\n", true);
+  EXPECT_EQ(doc.header[0], "a");
+  ASSERT_EQ(doc.rows.size(), 1u);
+}
+
+TEST(CsvParse, CrLfHandled) {
+  const auto doc = parse_csv("a,b\r\n1,2\r\n", true);
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][1], "2");
+}
+
+TEST(CsvParse, MissingFinalNewline) {
+  const auto doc = parse_csv("a\n42", true);
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][0], "42");
+}
+
+TEST(CsvParse, EmptyFieldsPreserved) {
+  const auto doc = parse_csv("a,b,c\n1,,3\n", true);
+  ASSERT_EQ(doc.rows[0].size(), 3u);
+  EXPECT_EQ(doc.rows[0][1], "");
+}
+
+TEST(CsvParse, UnterminatedQuoteThrows) {
+  EXPECT_THROW(parse_csv("a\n\"oops\n", true), ParseError);
+}
+
+TEST(CsvDocument, ColumnLookup) {
+  const auto doc = parse_csv("time_s,power_w\n0,1\n", true);
+  EXPECT_EQ(doc.column("power_w"), 1u);
+  EXPECT_THROW(doc.column("nope"), ParseError);
+}
+
+TEST(CsvEscape, OnlyWhenNeeded) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("q\"q"), "\"q\"\"q\"");
+  EXPECT_EQ(csv_escape("nl\n"), "\"nl\n\"");
+}
+
+TEST(CsvWriter, RoundTrip) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write_row({"a", "b,c"});
+  w.write_row({"1", "2"});
+  const auto doc = parse_csv(out.str(), true);
+  EXPECT_EQ(doc.header[1], "b,c");
+  EXPECT_EQ(doc.rows[0][1], "2");
+}
+
+TEST(CsvWriter, NumericPrecisionRoundTrips) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write_row_numeric({1.0 / 3.0, 6.02e23});
+  const auto doc = parse_csv(out.str(), false);
+  EXPECT_NEAR(parse_double(doc.rows[0][0]), 1.0 / 3.0, 1e-11);
+  EXPECT_NEAR(parse_double(doc.rows[0][1]) / 6.02e23, 1.0, 1e-11);
+}
+
+TEST(ParseNumbers, Strict) {
+  EXPECT_DOUBLE_EQ(parse_double("3.25"), 3.25);
+  EXPECT_EQ(parse_int("-42"), -42);
+  EXPECT_THROW(parse_double(""), ParseError);
+  EXPECT_THROW(parse_double("1.2x"), ParseError);
+  EXPECT_THROW(parse_int("3.5"), ParseError);
+  EXPECT_THROW(parse_int(""), ParseError);
+}
+
+TEST(CsvFile, MissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/path.csv", true), ParseError);
+}
+
+}  // namespace
+}  // namespace iscope

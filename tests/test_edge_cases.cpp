@@ -1,0 +1,157 @@
+// Cross-cutting edge cases and failure injection that the per-module
+// suites do not reach.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "core/iscope.hpp"
+#include "energy/solar_model.hpp"
+#include "energy/wind_model.hpp"
+#include "profiling/scanner.hpp"
+#include "sim/simulator.hpp"
+
+namespace iscope {
+namespace {
+
+struct Fixture {
+  Cluster cluster;
+  ProfileDb db;
+  Knowledge knowledge;
+
+  Fixture()
+      : cluster(build_cluster([] {
+          ClusterConfig cfg;
+          cfg.num_processors = 8;
+          cfg.seed = 99;
+          return cfg;
+        }())),
+        db(cluster.size()),
+        knowledge(&cluster, KnowledgeSource::kBin) {
+    const Scanner scanner(&cluster, ScanConfig{});
+    Rng rng(1);
+    std::vector<std::size_t> all(cluster.size());
+    std::iota(all.begin(), all.end(), 0);
+    scanner.scan_domain(all, 0.0, rng, db);
+  }
+};
+
+Task task_at(double submit, std::size_t cpus, double runtime,
+             double mult = 12.0) {
+  static std::int64_t next_id = 1;
+  Task t;
+  t.id = next_id++;
+  t.submit_s = submit;
+  t.cpus = cpus;
+  t.runtime_s = runtime;
+  t.gamma = 1.0;
+  t.deadline_s = submit + mult * runtime;
+  return t;
+}
+
+TEST(EdgeCases, SupplyTraceNoWrapThroughHybrid) {
+  const SupplyTrace t(600.0, {100.0, 200.0});
+  const HybridSupply wrap(t, 1.0, /*wrap=*/true);
+  const HybridSupply hold(t, 1.0, /*wrap=*/false);
+  EXPECT_DOUBLE_EQ(wrap.wind_available_w(1200.0), 100.0);  // wraps
+  EXPECT_DOUBLE_EQ(hold.wind_available_w(1200.0), 200.0);  // holds last
+}
+
+TEST(EdgeCases, BatteryWindAndProfilingTogether) {
+  // All three simulator extensions active in one run: battery-buffered
+  // fluctuating wind, in-band profiling window, normal workload.
+  Fixture f;
+  std::vector<double> pattern;
+  for (int i = 0; i < 100; ++i) pattern.push_back(i % 2 ? 0.0 : 2500.0);
+  const HybridSupply supply(SupplyTrace(600.0, pattern));
+  SimConfig cfg;
+  cfg.battery = BatteryConfig::make(20.0, 10.0);
+  cfg.record_timeline = true;
+  DatacenterSim sim(&f.knowledge, PlacementRule::kFair, &supply, cfg);
+
+  ProfilingWindow w;
+  w.start_s = 100.0;
+  w.duration_s = 500.0;
+  w.proc_ids = {6, 7};
+  const SimResult r = sim.run({task_at(1000.0, 2, 800.0),
+                               task_at(1500.0, 4, 600.0)},
+                              {w});
+  EXPECT_EQ(r.tasks_completed, 2u);
+  EXPECT_EQ(r.profiling_procs_scanned, 2u);
+  EXPECT_GT(r.battery_delivered_kwh, 0.0);
+  EXPECT_FALSE(r.timeline.empty());
+}
+
+TEST(EdgeCases, SingleCpuClusterWorks) {
+  ClusterConfig cfg;
+  cfg.num_processors = 1;
+  cfg.num_bins = 1;
+  const Cluster cluster = build_cluster(cfg);
+  const Knowledge knowledge(&cluster, KnowledgeSource::kBin);
+  const HybridSupply supply;
+  DatacenterSim sim(&knowledge, PlacementRule::kEfficiency, &supply,
+                    SimConfig{});
+  const SimResult r = sim.run({task_at(0.0, 1, 100.0),
+                               task_at(0.0, 1, 100.0)});
+  EXPECT_EQ(r.tasks_completed, 2u);
+  EXPECT_GT(r.mean_wait_s, 0.0);  // the second had to queue
+}
+
+TEST(EdgeCases, ZeroDurationWindBetweenTasks) {
+  // Tasks separated by more than the trace: wrap keeps the supply defined
+  // arbitrarily far out.
+  Fixture f;
+  const HybridSupply supply(SupplyTrace(600.0, {500.0}), 1.0, true);
+  DatacenterSim sim(&f.knowledge, PlacementRule::kRandom, &supply,
+                    SimConfig{});
+  const SimResult r = sim.run({task_at(0.0, 1, 50.0),
+                               task_at(1e6, 1, 50.0)});
+  EXPECT_EQ(r.tasks_completed, 2u);
+}
+
+TEST(EdgeCases, ScannerAllRepeatsMajority) {
+  // Even repeats: ties are a fail (2*passes > repeats is strict).
+  const Fixture f;
+  ScanConfig cfg;
+  cfg.repeats = 2;
+  cfg.noise_sigma = 0.0;
+  EXPECT_NO_THROW(Scanner(&f.cluster, cfg));
+  Rng rng(3);
+  const ChipProfile p = Scanner(&f.cluster, cfg).scan_chip(0, 0.0, rng);
+  // Still discovers something sane.
+  for (std::size_t l = 0; l < p.chip_vdd.levels(); ++l)
+    EXPECT_GE(p.chip_vdd.vdd(l), f.cluster.true_vdd(0, l) * 0.99);
+}
+
+TEST(EdgeCases, CombineManyDaysOfHybridSupply) {
+  SolarFarmConfig solar;
+  WindFarmConfig wind;
+  const SupplyTrace s = generate_solar_days(solar, 30.0);
+  const SupplyTrace w = generate_wind_days(wind, 30.0);
+  const SupplyTrace h = combine_supplies(s, w);
+  EXPECT_EQ(h.samples(), std::min(s.samples(), w.samples()));
+  for (std::size_t i = 0; i < h.samples(); i += 37)
+    EXPECT_DOUBLE_EQ(h.sample(i), s.sample(i) + w.sample(i));
+}
+
+TEST(EdgeCases, IScopePlanRespectsDomainSize) {
+  IScope::Options opt;
+  opt.cluster.num_processors = 12;
+  opt.opportunistic.domain_size = 5;
+  IScope fleet(opt);
+  const std::vector<double> idle(14 * 1440, 0.0);
+  const ProfilingPlan plan = fleet.plan_scans(idle, HybridSupply{}, 0.0);
+  for (const auto& w : plan.windows) EXPECT_LE(w.proc_ids.size(), 5u);
+}
+
+TEST(EdgeCases, TaskExactlyAtClusterWidth) {
+  Fixture f;
+  const HybridSupply supply;
+  DatacenterSim sim(&f.knowledge, PlacementRule::kFair, &supply, SimConfig{});
+  const SimResult r = sim.run({task_at(0.0, 8, 200.0)});
+  EXPECT_EQ(r.tasks_completed, 1u);
+  EXPECT_DOUBLE_EQ(r.procs_used_fraction, 1.0);
+}
+
+}  // namespace
+}  // namespace iscope

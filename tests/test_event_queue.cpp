@@ -1,0 +1,111 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace iscope {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(3.0, [&] { fired.push_back(3); });
+  q.schedule(1.0, [&] { fired.push_back(1); });
+  q.schedule(2.0, [&] { fired.push_back(2); });
+  q.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, TiesRunInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i)
+    q.schedule(5.0, [&fired, i] { fired.push_back(i); });
+  q.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, HandlersCanScheduleMore) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    if (count < 5) q.schedule(q.now() + 1.0, chain);
+  };
+  q.schedule(0.0, chain);
+  q.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(q.now(), 4.0);
+}
+
+TEST(EventQueue, SchedulingIntoPastThrows) {
+  EventQueue q;
+  q.schedule(10.0, [] {});
+  q.step();
+  EXPECT_THROW(q.schedule(5.0, [] {}), InvalidArgument);
+  // Same-time scheduling is fine.
+  EXPECT_NO_THROW(q.schedule(10.0, [] {}));
+}
+
+TEST(EventQueue, NullHandlerThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule(1.0, EventQueue::Handler{}), InvalidArgument);
+}
+
+TEST(EventQueue, RunRespectsBudget) {
+  EventQueue q;
+  for (int i = 0; i < 10; ++i) q.schedule(i, [] {});
+  EXPECT_EQ(q.run(4), 4u);
+  EXPECT_EQ(q.pending(), 6u);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0})
+    q.schedule(t, [&fired, &q] { fired.push_back(q.now()); });
+  EXPECT_EQ(q.run_until(2.5), 2u);
+  EXPECT_EQ(fired.size(), 2u);
+  EXPECT_DOUBLE_EQ(q.now(), 2.5);  // clock advanced to the boundary
+  EXPECT_EQ(q.pending(), 2u);
+}
+
+TEST(EventQueue, RunUntilOnEmptyAdvancesClock) {
+  EventQueue q;
+  q.run_until(100.0);
+  EXPECT_DOUBLE_EQ(q.now(), 100.0);
+}
+
+TEST(EventQueue, PeekTime) {
+  EventQueue q;
+  q.schedule(7.0, [] {});
+  EXPECT_DOUBLE_EQ(q.peek_time(), 7.0);
+  q.step();
+  EXPECT_THROW(q.peek_time(), InvalidArgument);
+}
+
+TEST(EventQueue, StepOnEmptyReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.step());
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, LargeVolumeStaysOrdered) {
+  EventQueue q;
+  double last = -1.0;
+  bool ordered = true;
+  for (int i = 0; i < 10000; ++i) {
+    const double t = static_cast<double>((i * 7919) % 10007);
+    q.schedule(t, [&, t] {
+      if (t < last) ordered = false;
+      last = t;
+    });
+  }
+  q.run();
+  EXPECT_TRUE(ordered);
+}
+
+}  // namespace
+}  // namespace iscope

@@ -1,0 +1,132 @@
+#include "energy/forecast.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/simulator.hpp"
+#include "profiling/scanner.hpp"
+
+#include <numeric>
+
+namespace iscope {
+namespace {
+
+// Square-wave supply: 1 kW for the first hour, 0 for the second, repeat.
+HybridSupply square_supply() {
+  std::vector<double> p;
+  for (int i = 0; i < 48; ++i) p.push_back((i / 6) % 2 == 0 ? 1000.0 : 0.0);
+  return HybridSupply(SupplyTrace(600.0, std::move(p)));
+}
+
+TEST(Climatology, ReturnsGlobalMean) {
+  const HybridSupply supply = square_supply();
+  const ClimatologyForecaster f(&supply);
+  EXPECT_NEAR(f.forecast_mean_w(0.0, 3600.0), 500.0, 1e-9);
+  EXPECT_NEAR(f.forecast_mean_w(99999.0, 60.0), 500.0, 1e-9);
+}
+
+TEST(Climatology, UtilityOnlyIsZero) {
+  const HybridSupply none;
+  const ClimatologyForecaster f(&none);
+  EXPECT_DOUBLE_EQ(f.forecast_mean_w(0.0, 3600.0), 0.0);
+}
+
+TEST(Persistence, TracksCurrentValue) {
+  const HybridSupply supply = square_supply();
+  const PersistenceForecaster f(&supply);
+  EXPECT_DOUBLE_EQ(f.forecast_mean_w(0.0, 3600.0), 1000.0);    // windy now
+  EXPECT_DOUBLE_EQ(f.forecast_mean_w(3600.0, 3600.0), 0.0);    // calm now
+}
+
+TEST(Blended, InterpolatesPersistenceToClimatology) {
+  const HybridSupply supply = square_supply();
+  const BlendedForecaster f(&supply, /*decay_s=*/1800.0);
+  // Short horizon ~ persistence; long horizon ~ climatology.
+  const double shortf = f.forecast_mean_w(0.0, 60.0);
+  const double longf = f.forecast_mean_w(0.0, 24.0 * 3600.0);
+  EXPECT_GT(shortf, 950.0);
+  EXPECT_NEAR(longf, 500.0, 60.0);
+  // During a calm the ordering flips.
+  const double calm_short = f.forecast_mean_w(3600.0, 60.0);
+  const double calm_long = f.forecast_mean_w(3600.0, 24.0 * 3600.0);
+  EXPECT_LT(calm_short, 50.0);
+  EXPECT_GT(calm_long, 400.0);
+}
+
+TEST(Oracle, IntegratesTheActualFuture) {
+  const HybridSupply supply = square_supply();
+  const OracleForecaster f(&supply);
+  // First hour windy: mean over 1 h = 1000.
+  EXPECT_NEAR(f.forecast_mean_w(0.0, 3600.0), 1000.0, 1e-6);
+  // Over 2 h (one windy + one calm) = 500.
+  EXPECT_NEAR(f.forecast_mean_w(0.0, 7200.0), 500.0, 1e-6);
+  // Starting at the calm hour, 1 h ahead = 0.
+  EXPECT_NEAR(f.forecast_mean_w(3600.0, 3600.0), 0.0, 1e-6);
+}
+
+TEST(Oracle, PartialStepsWeighted) {
+  const HybridSupply supply = square_supply();
+  const OracleForecaster f(&supply);
+  // 90 minutes from t=0: 60 windy + 30 calm -> 666.7.
+  EXPECT_NEAR(f.forecast_mean_w(0.0, 5400.0), 1000.0 * 60.0 / 90.0, 1e-6);
+}
+
+TEST(Forecasters, Validation) {
+  EXPECT_THROW(ClimatologyForecaster(nullptr), InvalidArgument);
+  EXPECT_THROW(PersistenceForecaster(nullptr), InvalidArgument);
+  EXPECT_THROW(OracleForecaster(nullptr), InvalidArgument);
+  const HybridSupply supply = square_supply();
+  EXPECT_THROW(BlendedForecaster(&supply, 0.0), InvalidArgument);
+  const PersistenceForecaster f(&supply);
+  EXPECT_THROW(f.forecast_mean_w(0.0, 0.0), InvalidArgument);
+  EXPECT_THROW(f.forecast_mean_w(-1.0, 10.0), InvalidArgument);
+}
+
+TEST(ForecastInSim, OracleNeverWorseThanBlindOnUtility) {
+  // Informed deferral should not *increase* utility consumption compared
+  // to blind deferral on a supply with long dead calms.
+  ClusterConfig cfg;
+  cfg.num_processors = 16;
+  cfg.seed = 5;
+  const Cluster cluster = build_cluster(cfg);
+  ProfileDb db(cluster.size());
+  const Scanner scanner(&cluster, ScanConfig{});
+  Rng rng(3);
+  std::vector<std::size_t> all(cluster.size());
+  std::iota(all.begin(), all.end(), 0);
+  scanner.scan_domain(all, 0.0, rng, db);
+  const Knowledge knowledge(&cluster, KnowledgeSource::kScan, &db);
+
+  // Wind that dies at t=2h and never returns.
+  std::vector<double> p(12, 2000.0);
+  p.resize(200, 0.0);
+  const HybridSupply supply(SupplyTrace(600.0, std::move(p)), 1.0,
+                            /*wrap=*/false);
+
+  std::vector<Task> tasks;
+  for (int i = 0; i < 30; ++i) {
+    Task t;
+    t.id = i;
+    t.submit_s = 7200.0 + i * 200.0;  // all arrive after the wind dies
+    t.cpus = 2;
+    // Generous slack (>> kMinDeferSlackS) so blind Fair does defer.
+    t.runtime_s = 1500.0;
+    t.gamma = 1.0;
+    t.deadline_s = t.submit_s + 12.0 * t.runtime_s;
+    tasks.push_back(t);
+  }
+
+  const OracleForecaster oracle(&supply);
+  DatacenterSim blind(&knowledge, PlacementRule::kFair, &supply, SimConfig{});
+  DatacenterSim informed(&knowledge, PlacementRule::kFair, &supply,
+                         SimConfig{}, &oracle);
+  const SimResult b = blind.run(tasks);
+  const SimResult o = informed.run(tasks);
+  // The oracle knows the calm is permanent: it starts work immediately at
+  // efficient operating points instead of deferring to the deadline edge.
+  EXPECT_LE(o.energy.utility_kwh(), b.energy.utility_kwh() + 1e-9);
+  EXPECT_LT(o.mean_wait_s, b.mean_wait_s);
+}
+
+}  // namespace
+}  // namespace iscope

@@ -1,0 +1,129 @@
+#include "variation/gaussian_field.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace iscope {
+namespace {
+
+TEST(SphericalCorrelation, BoundaryValues) {
+  const GaussianField f(quad_core_layout(), 0.5);
+  EXPECT_DOUBLE_EQ(f.correlation(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(f.correlation(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(f.correlation(1.0), 0.0);
+}
+
+TEST(SphericalCorrelation, MonotoneDecreasing) {
+  const GaussianField f(quad_core_layout(), 0.5);
+  double prev = 1.0;
+  for (double d = 0.05; d < 0.5; d += 0.05) {
+    const double c = f.correlation(d);
+    EXPECT_LT(c, prev);
+    EXPECT_GE(c, 0.0);
+    prev = c;
+  }
+}
+
+TEST(GaussianField, SampleSizeMatchesGrid) {
+  const DieLayout layout{8, 8, 2, 2};
+  const GaussianField f(layout, 0.5);
+  Rng rng(1);
+  EXPECT_EQ(f.sample(rng).size(), 64u);
+}
+
+TEST(GaussianField, MarginalsAreStandardNormal) {
+  const GaussianField f(quad_core_layout(), 0.5);
+  Rng rng(2);
+  RunningStats s;
+  for (int i = 0; i < 400; ++i)
+    for (const double v : f.sample(rng)) s.add(v);
+  EXPECT_NEAR(s.mean(), 0.0, 0.03);
+  EXPECT_NEAR(s.variance(), 1.0, 0.05);
+}
+
+TEST(GaussianField, NearbyPointsMoreCorrelatedThanFar) {
+  const DieLayout layout{8, 8, 2, 2};
+  const GaussianField f(layout, 0.5);
+  Rng rng(3);
+  // Empirical correlation between neighbors (0,1) and far corners (0,63).
+  double near_sum = 0.0, far_sum = 0.0;
+  const int n = 3000;
+  for (int i = 0; i < n; ++i) {
+    const auto s = f.sample(rng);
+    near_sum += s[0] * s[1];
+    far_sum += s[0] * s[63];
+  }
+  EXPECT_GT(near_sum / n, 0.5);
+  EXPECT_LT(std::abs(far_sum / n), 0.15);
+}
+
+TEST(GaussianField, Deterministic) {
+  const GaussianField f(quad_core_layout(), 0.5);
+  Rng a(7), b(7);
+  EXPECT_EQ(f.sample(a), f.sample(b));
+}
+
+TEST(GaussianField, CoreMeansAverageRegions) {
+  const DieLayout layout{2, 2, 2, 2};  // one grid point per core
+  const GaussianField f(layout, 0.5);
+  const std::vector<double> field = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_EQ(f.core_means(field), field);
+}
+
+TEST(GaussianField, CoreMeansAveragesMultiplePoints) {
+  const DieLayout layout{4, 4, 2, 2};  // 2x2 grid points per core
+  const GaussianField f(layout, 0.5);
+  std::vector<double> field(16, 0.0);
+  // Top-left core covers grid (0,0),(1,0),(0,1),(1,1) = indices 0,1,4,5.
+  field[0] = 4.0;
+  field[1] = 0.0;
+  field[4] = 0.0;
+  field[5] = 0.0;
+  const auto means = f.core_means(field);
+  EXPECT_DOUBLE_EQ(means[0], 1.0);
+  EXPECT_DOUBLE_EQ(means[3], 0.0);
+}
+
+TEST(GaussianField, CoreMeansSizeValidation) {
+  const GaussianField f(quad_core_layout(), 0.5);
+  EXPECT_THROW(f.core_means(std::vector<double>(3)), InvalidArgument);
+}
+
+TEST(GaussianField, WiderPhiMeansMoreCoreCorrelation) {
+  const DieLayout layout{8, 8, 2, 2};
+  const GaussianField tight(layout, 0.2);
+  const GaussianField wide(layout, 1.2);
+  Rng r1(4), r2(4);
+  double tight_c = 0.0, wide_c = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const auto ct = tight.core_means(tight.sample(r1));
+    const auto cw = wide.core_means(wide.sample(r2));
+    tight_c += ct[0] * ct[3];  // diagonal cores
+    wide_c += cw[0] * cw[3];
+  }
+  EXPECT_GT(wide_c / n, tight_c / n);
+}
+
+TEST(GaussianField, InvalidParams) {
+  EXPECT_THROW(GaussianField(quad_core_layout(), 0.0), InvalidArgument);
+  EXPECT_THROW(GaussianField(quad_core_layout(), 0.5, -1.0), InvalidArgument);
+  DieLayout bad{7, 8, 2, 2};  // 7 not divisible by 2
+  EXPECT_THROW(GaussianField(bad, 0.5), InvalidArgument);
+}
+
+TEST(DieLayout, Accessors) {
+  const DieLayout l{8, 4, 4, 2};
+  EXPECT_EQ(l.grid_points(), 32u);
+  EXPECT_EQ(l.core_count(), 8u);
+  EXPECT_DOUBLE_EQ(l.grid_x(0), 0.0625);
+  EXPECT_DOUBLE_EQ(l.grid_y(3), 0.875);
+}
+
+}  // namespace
+}  // namespace iscope

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "hardware/cluster.hpp"
+#include "hardware/dvfs.hpp"
+
+namespace iscope {
+namespace {
+
+ClusterConfig small_config(std::size_t n = 32, std::uint64_t seed = 1) {
+  ClusterConfig cfg;
+  cfg.num_processors = n;
+  cfg.seed = seed;
+  return cfg;
+}
+
+// ------------------------------------------------------------------ DVFS
+
+TEST(Dvfs, StartsGated) {
+  const FreqLevels levels = FreqLevels::paper_default();
+  DvfsState s(&levels);
+  EXPECT_FALSE(s.is_on());
+  EXPECT_DOUBLE_EQ(s.freq_ghz(), 0.0);
+  EXPECT_THROW(s.level(), InvalidArgument);
+}
+
+TEST(Dvfs, PowerOnOffCycle) {
+  const FreqLevels levels = FreqLevels::paper_default();
+  DvfsState s(&levels);
+  s.power_on(2);
+  EXPECT_TRUE(s.is_on());
+  EXPECT_EQ(s.level(), 2u);
+  EXPECT_DOUBLE_EQ(s.freq_ghz(), levels.freq_ghz[2]);
+  s.set_level(4);
+  EXPECT_EQ(s.level(), 4u);
+  s.power_off();
+  EXPECT_FALSE(s.is_on());
+  EXPECT_DOUBLE_EQ(s.freq_ghz(), 0.0);
+}
+
+TEST(Dvfs, Validation) {
+  const FreqLevels levels = FreqLevels::paper_default();
+  EXPECT_THROW(DvfsState(nullptr), InvalidArgument);
+  DvfsState s(&levels);
+  EXPECT_THROW(s.power_on(99), InvalidArgument);
+  EXPECT_THROW(s.set_level(0), InvalidArgument);  // gated
+  s.power_on(0);
+  EXPECT_THROW(s.set_level(99), InvalidArgument);
+  EXPECT_EQ(s.num_levels(), 5u);
+  EXPECT_EQ(s.top_level(), 4u);
+}
+
+// ---------------------------------------------------------------- Cluster
+
+TEST(Cluster, BuildAssignsIdsAndBins) {
+  const Cluster c = build_cluster(small_config());
+  EXPECT_EQ(c.size(), 32u);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_EQ(c.proc(i).id, i);
+    EXPECT_GE(c.proc(i).bin, 0);
+    EXPECT_LT(c.proc(i).bin, 3);
+    EXPECT_EQ(c.proc(i).core_count(), 4u);  // quad-core layout
+  }
+}
+
+TEST(Cluster, TruthCurvesConsistent) {
+  const Cluster c = build_cluster(small_config());
+  const std::size_t levels = c.levels().count();
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const Processor& p = c.proc(i);
+    for (std::size_t l = 0; l < levels; ++l) {
+      // Chip truth is the max over cores.
+      double max_core = 0.0;
+      for (const auto& core : p.core_truth)
+        max_core = std::max(max_core, core.vdd(l));
+      EXPECT_DOUBLE_EQ(p.chip_truth.vdd(l), max_core);
+      EXPECT_DOUBLE_EQ(c.true_vdd(i, l), p.chip_truth.vdd(l));
+    }
+  }
+}
+
+TEST(Cluster, BinVoltageDominatesTruth) {
+  const Cluster c = build_cluster(small_config(64, 3));
+  for (std::size_t i = 0; i < c.size(); ++i)
+    for (std::size_t l = 0; l < c.levels().count(); ++l)
+      EXPECT_GE(c.bin_vdd(i, l), c.true_vdd(i, l));
+}
+
+TEST(Cluster, DeterministicAcrossBuilds) {
+  const Cluster a = build_cluster(small_config(16, 42));
+  const Cluster b = build_cluster(small_config(16, 42));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.proc(i).coeffs.alpha, b.proc(i).coeffs.alpha);
+    EXPECT_EQ(a.proc(i).coeffs.beta, b.proc(i).coeffs.beta);
+    EXPECT_EQ(a.proc(i).chip_truth.vdds(), b.proc(i).chip_truth.vdds());
+    EXPECT_EQ(a.proc(i).bin, b.proc(i).bin);
+  }
+}
+
+TEST(Cluster, SeedsChangePopulation) {
+  const Cluster a = build_cluster(small_config(16, 1));
+  const Cluster b = build_cluster(small_config(16, 2));
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a.proc(i).chip_truth.vdds() != b.proc(i).chip_truth.vdds())
+      any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Cluster, PowerMatchesModel) {
+  const Cluster c = build_cluster(small_config());
+  const std::size_t top = c.levels().count() - 1;
+  const Processor& p = c.proc(0);
+  const double v = c.levels().vdd_nom[top];
+  EXPECT_DOUBLE_EQ(c.power_w(0, top, v),
+                   c.power_model().power_eq1_w(p.coeffs,
+                                               c.levels().freq_ghz[top]));
+}
+
+TEST(Cluster, ScanVoltageCheaperThanBin) {
+  const Cluster c = build_cluster(small_config(64, 7));
+  const std::size_t top = c.levels().count() - 1;
+  double scan_total = 0.0, bin_total = 0.0;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    scan_total += c.power_w(i, top, c.true_vdd(i, top));
+    bin_total += c.power_w(i, top, c.bin_vdd(i, top));
+  }
+  EXPECT_LT(scan_total, bin_total);
+}
+
+TEST(Cluster, Validation) {
+  ClusterConfig cfg = small_config();
+  cfg.num_processors = 0;
+  EXPECT_THROW(build_cluster(cfg), InvalidArgument);
+  cfg = small_config();
+  cfg.num_bins = 0;
+  EXPECT_THROW(build_cluster(cfg), InvalidArgument);
+  const Cluster c = build_cluster(small_config());
+  EXPECT_THROW(c.proc(999), InvalidArgument);
+  EXPECT_THROW(c.power_w(0, 99, 1.0), InvalidArgument);
+}
+
+TEST(Cluster, BinPopulationsBalanced) {
+  const Cluster c = build_cluster(small_config(90, 5));
+  const auto& sizes = c.binning().bin_sizes;
+  ASSERT_EQ(sizes.size(), 3u);
+  for (const std::size_t s : sizes) EXPECT_EQ(s, 30u);
+}
+
+}  // namespace
+}  // namespace iscope

@@ -1,0 +1,205 @@
+#include "sched/knowledge.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "profiling/scanner.hpp"
+#include "sched/scheme.hpp"
+
+namespace iscope {
+namespace {
+
+struct Fixture {
+  Cluster cluster;
+  ProfileDb db;
+
+  explicit Fixture(std::size_t n = 24, std::uint64_t seed = 1)
+      : cluster(build_cluster([&] {
+          ClusterConfig cfg;
+          cfg.num_processors = n;
+          cfg.seed = seed;
+          return cfg;
+        }())),
+        db(n) {
+    const Scanner scanner(&cluster, ScanConfig{});
+    Rng rng(2);
+    std::vector<std::size_t> all(n);
+    std::iota(all.begin(), all.end(), 0);
+    scanner.scan_domain(all, 0.0, rng, db);
+  }
+};
+
+TEST(Knowledge, BinUsesBinVoltage) {
+  const Fixture f;
+  const Knowledge k(&f.cluster, KnowledgeSource::kBin);
+  for (std::size_t i = 0; i < k.procs(); ++i)
+    for (std::size_t l = 0; l < k.levels(); ++l)
+      EXPECT_DOUBLE_EQ(k.vdd(i, l), f.cluster.bin_vdd(i, l));
+}
+
+TEST(Knowledge, ScanUsesDiscoveredVoltage) {
+  // The latest scan is the currently-validated bound and is applied as-is
+  // (the factory bin spec only covers unscanned chips).
+  const Fixture f;
+  const Knowledge k(&f.cluster, KnowledgeSource::kScan, &f.db);
+  for (std::size_t i = 0; i < k.procs(); ++i)
+    for (std::size_t l = 0; l < k.levels(); ++l)
+      EXPECT_DOUBLE_EQ(k.vdd(i, l), f.db.get(i).chip_vdd.vdd(l));
+}
+
+TEST(Knowledge, ScanVoltageAtMostQuantizationAboveBin) {
+  // At t=0 the bin spec dominates every member's true Min Vdd, so a
+  // discovered value can exceed it only by scanner quantization: safety
+  // margin plus one grid step.
+  const Fixture f;
+  const Knowledge scan(&f.cluster, KnowledgeSource::kScan, &f.db);
+  const Knowledge bin(&f.cluster, KnowledgeSource::kBin);
+  const ScanConfig scan_cfg;  // the fixture's scanner settings
+  for (std::size_t i = 0; i < scan.procs(); ++i) {
+    for (std::size_t l = 0; l < scan.levels(); ++l) {
+      const double vnom = f.cluster.levels().vdd_nom[l];
+      const double step = vnom * scan_cfg.sweep_depth /
+                          static_cast<double>(scan_cfg.voltage_points - 1);
+      // discovered = grid_point*(1+margin); grid_point <= truth + step,
+      // plus one extra step of headroom for measurement noise stopping the
+      // sweep early.
+      EXPECT_LE(scan.vdd(i, l),
+                (bin.vdd(i, l) + 2.0 * step) * (1.0 + scan_cfg.safety_margin));
+    }
+  }
+}
+
+TEST(Knowledge, ScanFallsBackToBinForUnscanned) {
+  const Fixture f;
+  ProfileDb partial(f.cluster.size());
+  const Scanner scanner(&f.cluster, ScanConfig{});
+  Rng rng(3);
+  partial.store(scanner.scan_chip(0, 0.0, rng));
+  const Knowledge k(&f.cluster, KnowledgeSource::kScan, &partial);
+  EXPECT_DOUBLE_EQ(k.vdd(0, 0), partial.get(0).chip_vdd.vdd(0));
+  EXPECT_DOUBLE_EQ(k.vdd(1, 0), f.cluster.bin_vdd(1, 0));
+}
+
+TEST(Knowledge, BinChipsInSameBinShareEfficiency) {
+  const Fixture f;
+  const Knowledge k(&f.cluster, KnowledgeSource::kBin);
+  for (std::size_t a = 0; a < k.procs(); ++a)
+    for (std::size_t b = 0; b < k.procs(); ++b)
+      if (f.cluster.proc(a).bin == f.cluster.proc(b).bin)
+        EXPECT_DOUBLE_EQ(k.efficiency(a), k.efficiency(b));
+}
+
+TEST(Knowledge, BinBetterBinsScoreBetter) {
+  const Fixture f;
+  const Knowledge k(&f.cluster, KnowledgeSource::kBin);
+  for (std::size_t a = 0; a < k.procs(); ++a)
+    for (std::size_t b = 0; b < k.procs(); ++b)
+      if (f.cluster.proc(a).bin < f.cluster.proc(b).bin)
+        EXPECT_LE(k.efficiency(a), k.efficiency(b));
+}
+
+TEST(Knowledge, ScanDiscriminatesWithinBin) {
+  const Fixture f;
+  const Knowledge k(&f.cluster, KnowledgeSource::kScan, &f.db);
+  // Within some bin there should be chips with different scores.
+  bool found_diff = false;
+  for (std::size_t a = 0; a < k.procs() && !found_diff; ++a)
+    for (std::size_t b = a + 1; b < k.procs(); ++b)
+      if (f.cluster.proc(a).bin == f.cluster.proc(b).bin &&
+          k.efficiency(a) != k.efficiency(b))
+        found_diff = true;
+  EXPECT_TRUE(found_diff);
+}
+
+TEST(Knowledge, PowerIsTrueChipPowerAtAppliedVoltage) {
+  const Fixture f;
+  const Knowledge bin(&f.cluster, KnowledgeSource::kBin);
+  const Knowledge scan(&f.cluster, KnowledgeSource::kScan, &f.db);
+  for (std::size_t i = 0; i < bin.procs(); ++i) {
+    for (std::size_t l = 0; l < bin.levels(); ++l) {
+      EXPECT_DOUBLE_EQ(bin.power_w(i, l),
+                       f.cluster.power_w(i, l, bin.vdd(i, l)));
+      EXPECT_DOUBLE_EQ(scan.power_w(i, l),
+                       f.cluster.power_w(i, l, scan.vdd(i, l)));
+    }
+  }
+}
+
+TEST(Knowledge, ScanPowerNeverAboveBinPower) {
+  // Scanned voltage <= bin worst case (up to the scanner's safety margin),
+  // so power at any level is lower or equal.
+  const Fixture f;
+  const Knowledge bin(&f.cluster, KnowledgeSource::kBin);
+  const Knowledge scan(&f.cluster, KnowledgeSource::kScan, &f.db);
+  double bin_total = 0.0, scan_total = 0.0;
+  for (std::size_t i = 0; i < bin.procs(); ++i) {
+    bin_total += bin.power_w(i, bin.levels() - 1);
+    scan_total += scan.power_w(i, bin.levels() - 1);
+  }
+  EXPECT_LT(scan_total, bin_total);
+}
+
+TEST(Knowledge, EfficiencyOrderSorted) {
+  const Fixture f;
+  const Knowledge k(&f.cluster, KnowledgeSource::kScan, &f.db);
+  const auto& order = k.efficiency_order();
+  ASSERT_EQ(order.size(), k.procs());
+  for (std::size_t r = 1; r < order.size(); ++r)
+    EXPECT_LE(k.efficiency(order[r - 1]), k.efficiency(order[r]));
+}
+
+TEST(Knowledge, RefreshPicksUpNewProfiles) {
+  const Fixture f;
+  ProfileDb db(f.cluster.size());
+  Knowledge k(&f.cluster, KnowledgeSource::kScan, &db);
+  // Unscanned: bin-specified efficiency (shared within a bin).
+  const double eff_before = k.efficiency(0);
+  const Scanner scanner(&f.cluster, ScanConfig{});
+  Rng rng(4);
+  db.store(scanner.scan_chip(0, 0.0, rng));
+  k.refresh();
+  // Scanned: individually measured efficiency differs from the bin spec.
+  EXPECT_NE(k.efficiency(0), eff_before);
+}
+
+TEST(Knowledge, Validation) {
+  const Fixture f;
+  EXPECT_THROW(Knowledge(nullptr, KnowledgeSource::kBin), InvalidArgument);
+  EXPECT_THROW(Knowledge(&f.cluster, KnowledgeSource::kScan, nullptr),
+               InvalidArgument);
+  const Knowledge k(&f.cluster, KnowledgeSource::kBin);
+  EXPECT_THROW(k.vdd(999, 0), InvalidArgument);
+  EXPECT_THROW(k.power_w(0, 99), InvalidArgument);
+  EXPECT_THROW(k.efficiency(999), InvalidArgument);
+}
+
+// ------------------------------------------------------------------ Scheme
+
+TEST(Scheme, Table2Definitions) {
+  EXPECT_EQ(scheme_knowledge(Scheme::kBinRan), KnowledgeSource::kBin);
+  EXPECT_EQ(scheme_knowledge(Scheme::kBinEffi), KnowledgeSource::kBin);
+  EXPECT_EQ(scheme_knowledge(Scheme::kScanRan), KnowledgeSource::kScan);
+  EXPECT_EQ(scheme_knowledge(Scheme::kScanEffi), KnowledgeSource::kScan);
+  EXPECT_EQ(scheme_knowledge(Scheme::kScanFair), KnowledgeSource::kScan);
+  EXPECT_EQ(scheme_rule(Scheme::kBinRan), PlacementRule::kRandom);
+  EXPECT_EQ(scheme_rule(Scheme::kBinEffi), PlacementRule::kEfficiency);
+  EXPECT_EQ(scheme_rule(Scheme::kScanRan), PlacementRule::kRandom);
+  EXPECT_EQ(scheme_rule(Scheme::kScanEffi), PlacementRule::kEfficiency);
+  EXPECT_EQ(scheme_rule(Scheme::kScanFair), PlacementRule::kFair);
+}
+
+TEST(Scheme, NamesRoundTrip) {
+  for (const Scheme s : kAllSchemes)
+    EXPECT_EQ(scheme_from_name(scheme_name(s)), s);
+  EXPECT_THROW(scheme_from_name("Nope"), InvalidArgument);
+}
+
+TEST(Scheme, ScanFlag) {
+  EXPECT_FALSE(scheme_uses_scan(Scheme::kBinRan));
+  EXPECT_TRUE(scheme_uses_scan(Scheme::kScanFair));
+}
+
+}  // namespace
+}  // namespace iscope

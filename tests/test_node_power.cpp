@@ -1,0 +1,98 @@
+#include "power/node_power.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace iscope {
+namespace {
+
+TEST(PsuEfficiency, BathtubShape) {
+  const NodePowerModel m;
+  // Trickle loads are inefficient; the sweet spot is mid-load.
+  EXPECT_LT(m.psu_efficiency(0.05), m.psu_efficiency(0.2));
+  EXPECT_LT(m.psu_efficiency(0.2), m.psu_efficiency(0.5));
+  EXPECT_GT(m.psu_efficiency(0.5), m.psu_efficiency(1.0));
+  // Anchor points of the curve.
+  EXPECT_NEAR(m.psu_efficiency(0.10), 0.80, 1e-9);
+  EXPECT_NEAR(m.psu_efficiency(0.50), 0.92, 1e-9);
+}
+
+TEST(PsuEfficiency, ClampedAndValidated) {
+  const NodePowerModel m;
+  EXPECT_GE(m.psu_efficiency(0.0), 0.5);
+  EXPECT_LE(m.psu_efficiency(5.0), 0.99);
+  EXPECT_THROW(m.psu_efficiency(-0.1), InvalidArgument);
+}
+
+TEST(NodePower, DcComposition) {
+  NodeComponents c;
+  c.memory_idle_w = 10.0;
+  c.memory_active_w = 30.0;
+  c.disk_w = 5.0;
+  c.nic_w = 5.0;
+  c.board_w = 20.0;
+  const NodePowerModel m(c);
+  // Idle memory: cpu + 10 + 5 + 5 + 20.
+  EXPECT_DOUBLE_EQ(m.dc_power_w(100.0, 0.0), 140.0);
+  // Full memory activity adds the DRAM swing.
+  EXPECT_DOUBLE_EQ(m.dc_power_w(100.0, 1.0), 160.0);
+  // Halfway interpolates.
+  EXPECT_DOUBLE_EQ(m.dc_power_w(100.0, 0.5), 150.0);
+}
+
+TEST(NodePower, WallExceedsDc) {
+  const NodePowerModel m;
+  const double dc = m.dc_power_w(125.0, 0.5);
+  const double wall = m.wall_power_w(125.0, 0.5);
+  EXPECT_GT(wall, dc);
+  EXPECT_LT(wall, dc / 0.5);  // never worse than the efficiency floor
+}
+
+TEST(NodePower, MemoryBoundNodeOverheadDominates) {
+  // The paper's Sec. IV-A caveat: for memory-bound work the non-CPU share
+  // is substantial. At a low CPU power (memory-bound task on a slow DVFS
+  // level), the node overhead exceeds half the CPU draw.
+  const NodePowerModel m;
+  const double cpu_w = 70.0;  // low-level DVFS point
+  const double overhead = m.wall_power_w(cpu_w, 1.0) - cpu_w;
+  EXPECT_GT(overhead, 0.5 * cpu_w);
+}
+
+TEST(NodePower, VariationSampling) {
+  const NodePowerModel m;
+  Rng rng(1);
+  RunningStats mem;
+  for (int i = 0; i < 2000; ++i) {
+    const NodeVariation v = m.sample_variation(rng);
+    mem.add(v.memory_scale);
+    EXPECT_GE(v.memory_scale, 0.7);
+    EXPECT_LE(v.memory_scale, 1.3);
+    EXPECT_GE(v.psu_efficiency_shift, -0.02);
+    EXPECT_LE(v.psu_efficiency_shift, 0.02);
+  }
+  EXPECT_NEAR(mem.mean(), 1.0, 0.01);
+}
+
+TEST(NodePower, VariationChangesWallPower) {
+  const NodePowerModel m;
+  NodeVariation hot;
+  hot.memory_scale = 1.2;
+  hot.board_scale = 1.1;
+  hot.psu_efficiency_shift = -0.02;
+  EXPECT_GT(m.wall_power_w(100.0, 0.5, hot), m.wall_power_w(100.0, 0.5));
+}
+
+TEST(NodePower, Validation) {
+  NodeComponents bad;
+  bad.memory_active_w = 1.0;
+  bad.memory_idle_w = 5.0;  // idle > active
+  EXPECT_THROW(NodePowerModel{bad}, InvalidArgument);
+  const NodePowerModel m;
+  EXPECT_THROW(m.dc_power_w(-1.0, 0.5), InvalidArgument);
+  EXPECT_THROW(m.dc_power_w(1.0, 1.5), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace iscope

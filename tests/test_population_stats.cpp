@@ -1,0 +1,64 @@
+#include "variation/population_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace iscope {
+namespace {
+
+TEST(PopulationStats, MatchesPaperCitedMagnitudes) {
+  const VariusModel model(VariusParams{}, quad_core_layout());
+  const PopulationStats s = measure_population(model, 500, 1);
+  EXPECT_EQ(s.chips, 500u);
+  EXPECT_EQ(s.cores, 2000u);
+  // Frequency spread in the 10-60% band (paper cites up to 30%).
+  EXPECT_GT(s.fmax_spread_fraction, 0.10);
+  EXPECT_LT(s.fmax_spread_fraction, 0.8);
+  // Core-to-core spread present but smaller than the population spread.
+  EXPECT_GT(s.c2c_fmax_spread_fraction, 0.01);
+  EXPECT_LT(s.c2c_fmax_spread_fraction, s.fmax_spread_fraction);
+  // Multi-fold leakage spread (paper cites up to 20x).
+  EXPECT_GT(s.leakage_spread_ratio, 4.0);
+  // Min Vdd spread at the calibration point: several percent.
+  EXPECT_GT(s.min_vdd_spread_fraction, 0.03);
+  EXPECT_LT(s.min_vdd_spread_fraction, 0.5);
+}
+
+TEST(PopulationStats, Deterministic) {
+  const VariusModel model(VariusParams{}, quad_core_layout());
+  const PopulationStats a = measure_population(model, 50, 7);
+  const PopulationStats b = measure_population(model, 50, 7);
+  EXPECT_EQ(a.fmax_mean_ghz, b.fmax_mean_ghz);
+  EXPECT_EQ(a.leakage_spread_ratio, b.leakage_spread_ratio);
+}
+
+TEST(PopulationStats, TighterProcessSmallerSpread) {
+  VariusParams tight;
+  tight.sigma_d2d = 0.01;
+  tight.sigma_wid = 0.01;
+  VariusParams loose;
+  loose.sigma_d2d = 0.08;
+  loose.sigma_wid = 0.06;
+  const VariusModel tm(tight, quad_core_layout());
+  const VariusModel lm(loose, quad_core_layout());
+  const PopulationStats ts = measure_population(tm, 200, 3);
+  const PopulationStats ls = measure_population(lm, 200, 3);
+  EXPECT_LT(ts.fmax_spread_fraction, ls.fmax_spread_fraction);
+  EXPECT_LT(ts.leakage_spread_ratio, ls.leakage_spread_ratio);
+}
+
+TEST(PopulationStats, SummaryMentionsPaperReferences) {
+  const VariusModel model(VariusParams{}, quad_core_layout());
+  const std::string text = measure_population(model, 20, 5).summary();
+  EXPECT_NE(text.find("[14]"), std::string::npos);
+  EXPECT_NE(text.find("[8]"), std::string::npos);
+}
+
+TEST(PopulationStats, Validation) {
+  const VariusModel model(VariusParams{}, quad_core_layout());
+  EXPECT_THROW(measure_population(model, 0, 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace iscope

@@ -1,0 +1,401 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "hardware/cluster.hpp"
+#include "profiling/failing_test.hpp"
+#include "profiling/opportunistic.hpp"
+#include "profiling/overhead.hpp"
+#include "profiling/profile_db.hpp"
+#include "profiling/scanner.hpp"
+
+namespace iscope {
+namespace {
+
+Cluster small_cluster(std::size_t n = 8, std::uint64_t seed = 1) {
+  ClusterConfig cfg;
+  cfg.num_processors = n;
+  cfg.seed = seed;
+  return build_cluster(cfg);
+}
+
+// ------------------------------------------------------------ FailingTest
+
+TEST(FailingTest, Durations) {
+  // Sec. III-C: stress test 10 minutes, SBFFT 29 seconds.
+  EXPECT_DOUBLE_EQ(test_duration_s(TestKind::kStress), 600.0);
+  EXPECT_DOUBLE_EQ(test_duration_s(TestKind::kFunctionalFailing), 29.0);
+}
+
+TEST(FailingTest, NoiselessOracleMatchesTruth) {
+  const Cluster cluster = small_cluster();
+  const StabilityTester tester(&cluster, TestKind::kFunctionalFailing, 0.0);
+  Rng rng(1);
+  const double v_true = cluster.proc(0).core_truth[0].vdd(0);
+  EXPECT_TRUE(tester.run(0, 0, 0, v_true + 1e-6, rng).passed);
+  EXPECT_FALSE(tester.run(0, 0, 0, v_true - 1e-6, rng).passed);
+}
+
+TEST(FailingTest, AccountsTimeAndEnergy) {
+  const Cluster cluster = small_cluster();
+  const StabilityTester tester(&cluster, TestKind::kStress, 0.0);
+  Rng rng(2);
+  const TrialResult r = tester.run(0, 0, 2, 1.1, rng);
+  EXPECT_DOUBLE_EQ(r.duration_s, 600.0);
+  EXPECT_DOUBLE_EQ(r.energy_j, cluster.power_w(0, 2, 1.1) * 600.0);
+}
+
+TEST(FailingTest, Validation) {
+  const Cluster cluster = small_cluster();
+  EXPECT_THROW(StabilityTester(nullptr, TestKind::kStress), InvalidArgument);
+  EXPECT_THROW(StabilityTester(&cluster, TestKind::kStress, 0.5),
+               InvalidArgument);
+  const StabilityTester tester(&cluster, TestKind::kStress);
+  Rng rng(3);
+  EXPECT_THROW(tester.run(0, 99, 0, 1.0, rng), InvalidArgument);
+  EXPECT_THROW(tester.run(0, 0, 0, -1.0, rng), InvalidArgument);
+}
+
+// ---------------------------------------------------------------- Scanner
+
+TEST(Scanner, DiscoversTruthWithinGrid) {
+  const Cluster cluster = small_cluster(16, 5);
+  ScanConfig cfg;
+  cfg.voltage_points = 40;
+  cfg.safety_margin = 0.0;
+  const Scanner scanner(&cluster, cfg);
+  Rng rng(4);
+  for (std::size_t chip = 0; chip < 4; ++chip) {
+    const ChipProfile p = scanner.scan_chip(chip, 0.0, rng);
+    for (std::size_t core = 0; core < p.core_vdd.size(); ++core) {
+      for (std::size_t l = 0; l < p.core_vdd[core].levels(); ++l) {
+        const double truth = cluster.proc(chip).core_truth[core].vdd(l);
+        const double found = p.core_vdd[core].vdd(l);
+        const double vnom = cluster.levels().vdd_nom[l];
+        const double grid =
+            vnom * cfg.sweep_depth / static_cast<double>(cfg.voltage_points - 1);
+        // Discovered is never unsafely below truth and within ~2 grid
+        // steps above it (noise can stop the sweep one step early).
+        EXPECT_GE(found, truth - grid * 0.5);
+        EXPECT_LE(found, std::max(truth, vnom) + 2.0 * grid);
+      }
+    }
+  }
+}
+
+TEST(Scanner, DiscoveredCurvesMonotone) {
+  const Cluster cluster = small_cluster(8, 6);
+  const Scanner scanner(&cluster, ScanConfig{});
+  Rng rng(5);
+  const ChipProfile p = scanner.scan_chip(0, 0.0, rng);
+  for (const auto& curve : p.core_vdd)
+    for (std::size_t l = 1; l < curve.levels(); ++l)
+      EXPECT_GE(curve.vdd(l), curve.vdd(l - 1));
+}
+
+TEST(Scanner, OverVoltsSlowChips) {
+  // A chip whose true Min Vdd exceeds stock voltage must be discovered at
+  // an elevated (safe) voltage, not an unsafely low one.
+  ClusterConfig cfg;
+  cfg.num_processors = 64;
+  cfg.varius.sigma_d2d = 0.10;  // force slow outliers
+  cfg.seed = 9;
+  const Cluster cluster = build_cluster(cfg);
+  const std::size_t top = cluster.levels().count() - 1;
+  ScanConfig scan;
+  scan.safety_margin = 0.0;
+  const Scanner scanner(&cluster, scan);
+  Rng rng(6);
+  bool found_outlier = false;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    const double truth = cluster.true_vdd(i, top);
+    if (truth <= cluster.levels().vdd_nom[top]) continue;
+    found_outlier = true;
+    const ChipProfile p = scanner.scan_chip(i, 0.0, rng);
+    EXPECT_GE(p.chip_vdd.vdd(top), truth * 0.995);
+  }
+  EXPECT_TRUE(found_outlier) << "test population produced no slow outlier";
+}
+
+TEST(Scanner, ChipCurveIsWorstOfCores) {
+  const Cluster cluster = small_cluster();
+  const Scanner scanner(&cluster, ScanConfig{});
+  Rng rng(7);
+  const ChipProfile p = scanner.scan_chip(0, 0.0, rng);
+  for (std::size_t l = 0; l < p.chip_vdd.levels(); ++l) {
+    double worst = 0.0;
+    for (const auto& c : p.core_vdd) worst = std::max(worst, c.vdd(l));
+    EXPECT_DOUBLE_EQ(p.chip_vdd.vdd(l), worst);
+  }
+}
+
+TEST(Scanner, ParallelCoresTakeMaxTime) {
+  const Cluster cluster = small_cluster();
+  ScanConfig par;
+  par.parallel_cores = true;
+  ScanConfig seq;
+  seq.parallel_cores = false;
+  Rng r1(8), r2(8);
+  const ChipProfile p_par = Scanner(&cluster, par).scan_chip(0, 0.0, r1);
+  const ChipProfile p_seq = Scanner(&cluster, seq).scan_chip(0, 0.0, r2);
+  EXPECT_LT(p_par.scan_time_s, p_seq.scan_time_s);
+  EXPECT_GE(p_seq.scan_time_s, p_par.scan_time_s * 3.0);  // ~4 cores
+}
+
+TEST(Scanner, StressCostsMoreThanSbfft) {
+  const Cluster cluster = small_cluster();
+  ScanConfig stress;
+  stress.kind = TestKind::kStress;
+  ScanConfig sbfft;
+  sbfft.kind = TestKind::kFunctionalFailing;
+  Rng r1(9), r2(9);
+  const ChipProfile a = Scanner(&cluster, stress).scan_chip(0, 0.0, r1);
+  const ChipProfile b = Scanner(&cluster, sbfft).scan_chip(0, 0.0, r2);
+  EXPECT_GT(a.scan_time_s, b.scan_time_s * 10.0);
+  EXPECT_GT(a.scan_energy_j, b.scan_energy_j * 10.0);
+}
+
+TEST(Scanner, DomainScanStoresAll) {
+  const Cluster cluster = small_cluster(8, 2);
+  const Scanner scanner(&cluster, ScanConfig{});
+  ProfileDb db(cluster.size());
+  Rng rng(10);
+  const double wall = scanner.scan_domain({0, 2, 5}, 100.0, rng, db);
+  EXPECT_EQ(db.profiled_count(), 3u);
+  EXPECT_TRUE(db.is_profiled(2));
+  EXPECT_FALSE(db.is_profiled(1));
+  EXPECT_GT(wall, 0.0);
+  // Profiles are stamped sequentially within the domain.
+  EXPECT_GE(db.get(5).profiled_at_s, db.get(0).profiled_at_s);
+}
+
+TEST(Scanner, BinarySearchMatchesLinearNoiseless) {
+  // With a noiseless tester, bisection must find exactly the same grid
+  // boundary as the linear descent.
+  const Cluster cluster = small_cluster(12, 8);
+  ScanConfig linear;
+  linear.noise_sigma = 0.0;
+  linear.strategy = SearchStrategy::kLinearDescent;
+  ScanConfig binary = linear;
+  binary.strategy = SearchStrategy::kBinarySearch;
+  Rng r1(1), r2(1);
+  for (std::size_t chip = 0; chip < cluster.size(); ++chip) {
+    const ChipProfile a = Scanner(&cluster, linear).scan_chip(chip, 0.0, r1);
+    const ChipProfile b = Scanner(&cluster, binary).scan_chip(chip, 0.0, r2);
+    for (std::size_t c = 0; c < a.core_vdd.size(); ++c)
+      for (std::size_t l = 0; l < a.core_vdd[c].levels(); ++l)
+        EXPECT_NEAR(a.core_vdd[c].vdd(l), b.core_vdd[c].vdd(l), 1e-12);
+  }
+}
+
+TEST(Scanner, BinarySearchUsesFewerTrials) {
+  const Cluster cluster = small_cluster(8, 9);
+  ScanConfig linear;
+  linear.voltage_points = 40;
+  linear.noise_sigma = 0.0;
+  ScanConfig binary = linear;
+  binary.strategy = SearchStrategy::kBinarySearch;
+  Rng r1(2), r2(2);
+  std::size_t linear_trials = 0, binary_trials = 0;
+  for (std::size_t chip = 0; chip < cluster.size(); ++chip) {
+    linear_trials += Scanner(&cluster, linear).scan_chip(chip, 0.0, r1).trials;
+    binary_trials += Scanner(&cluster, binary).scan_chip(chip, 0.0, r2).trials;
+  }
+  EXPECT_LT(binary_trials, linear_trials / 2);
+}
+
+TEST(Scanner, BinarySearchHandlesSlowOutliers) {
+  ClusterConfig cfg;
+  cfg.num_processors = 64;
+  cfg.varius.sigma_d2d = 0.10;
+  cfg.seed = 9;
+  const Cluster cluster = build_cluster(cfg);
+  const std::size_t top = cluster.levels().count() - 1;
+  ScanConfig scan;
+  scan.strategy = SearchStrategy::kBinarySearch;
+  scan.safety_margin = 0.0;
+  const Scanner scanner(&cluster, scan);
+  Rng rng(6);
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    const double truth = cluster.true_vdd(i, top);
+    if (truth <= cluster.levels().vdd_nom[top]) continue;
+    const ChipProfile p = scanner.scan_chip(i, 0.0, rng);
+    EXPECT_GE(p.chip_vdd.vdd(top), truth * 0.995);
+  }
+}
+
+TEST(Scanner, ConfigValidation) {
+  const Cluster cluster = small_cluster();
+  ScanConfig bad;
+  bad.voltage_points = 1;
+  EXPECT_THROW(Scanner(&cluster, bad), InvalidArgument);
+  bad = ScanConfig{};
+  bad.sweep_depth = 0.9;
+  EXPECT_THROW(Scanner(&cluster, bad), InvalidArgument);
+  EXPECT_THROW(Scanner(nullptr, ScanConfig{}), InvalidArgument);
+}
+
+// --------------------------------------------------------------- ProfileDb
+
+TEST(ProfileDb, StoreFindGet) {
+  const Cluster cluster = small_cluster();
+  const Scanner scanner(&cluster, ScanConfig{});
+  ProfileDb db(cluster.size());
+  Rng rng(11);
+  EXPECT_EQ(db.find(0), nullptr);
+  EXPECT_THROW(db.get(0), InvalidArgument);
+  db.store(scanner.scan_chip(0, 42.0, rng));
+  EXPECT_NE(db.find(0), nullptr);
+  EXPECT_DOUBLE_EQ(db.get(0).profiled_at_s, 42.0);
+  EXPECT_EQ(db.profiled_count(), 1u);
+  // Overwrite does not double count.
+  db.store(scanner.scan_chip(0, 50.0, rng));
+  EXPECT_EQ(db.profiled_count(), 1u);
+  EXPECT_DOUBLE_EQ(db.get(0).profiled_at_s, 50.0);
+}
+
+TEST(ProfileDb, StaleTracking) {
+  const Cluster cluster = small_cluster(4, 3);
+  const Scanner scanner(&cluster, ScanConfig{});
+  ProfileDb db(4);
+  Rng rng(12);
+  db.store(scanner.scan_chip(0, 10.0, rng));
+  db.store(scanner.scan_chip(1, 100.0, rng));
+  const auto stale = db.stale(50.0);
+  // Chips 2 and 3 never scanned, chip 0 stale.
+  EXPECT_EQ(stale.size(), 3u);
+  EXPECT_EQ(stale[0], 0u);
+}
+
+TEST(ProfileDb, AggregateCosts) {
+  const Cluster cluster = small_cluster(4, 4);
+  const Scanner scanner(&cluster, ScanConfig{});
+  ProfileDb db(4);
+  Rng rng(13);
+  scanner.scan_domain({0, 1}, 0.0, rng, db);
+  EXPECT_GT(db.total_scan_time_s(), 0.0);
+  EXPECT_GT(db.total_scan_energy_j(), 0.0);
+  EXPECT_GT(db.total_trials(), 0u);
+}
+
+TEST(ProfileDb, CsvRoundTrip) {
+  const Cluster cluster = small_cluster(4, 5);
+  const Scanner scanner(&cluster, ScanConfig{});
+  ProfileDb db(4);
+  Rng rng(14);
+  scanner.scan_domain({0, 3}, 7.0, rng, db);
+  const std::string path = testing::TempDir() + "/profiles.csv";
+  db.save_csv(path);
+  const ProfileDb back = ProfileDb::load_csv(path, 4);
+  EXPECT_EQ(back.profiled_count(), 2u);
+  for (const std::size_t id : {0u, 3u}) {
+    const ChipProfile& a = db.get(id);
+    const ChipProfile& b = back.get(id);
+    ASSERT_EQ(a.core_vdd.size(), b.core_vdd.size());
+    for (std::size_t c = 0; c < a.core_vdd.size(); ++c)
+      for (std::size_t l = 0; l < a.core_vdd[c].levels(); ++l)
+        EXPECT_NEAR(a.core_vdd[c].vdd(l), b.core_vdd[c].vdd(l), 1e-9);
+  }
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------- Overhead
+
+TEST(Overhead, MatchesPaperStressNumbers) {
+  // 4800 CPUs x 115 W x 5 bins x 10 voltages x 10 min => 4600 kWh,
+  // 230 USD wind / 598 USD utility (Sec. VI-E).
+  OverheadConfig cfg;
+  cfg.kind = TestKind::kStress;
+  const OverheadReport r = compute_overhead(cfg);
+  EXPECT_NEAR(r.total_energy_kwh, 4600.0, 1.0);
+  EXPECT_NEAR(r.cost_wind_usd, 230.0, 0.5);
+  EXPECT_NEAR(r.cost_utility_usd, 598.0, 0.5);
+}
+
+TEST(Overhead, MatchesPaperSbfftNumbers) {
+  // 29 s test => 11.2 USD wind / 28.9 USD utility.
+  OverheadConfig cfg;
+  cfg.kind = TestKind::kFunctionalFailing;
+  const OverheadReport r = compute_overhead(cfg);
+  EXPECT_NEAR(r.cost_wind_usd, 11.2, 0.2);
+  EXPECT_NEAR(r.cost_utility_usd, 28.9, 0.2);
+}
+
+TEST(Overhead, Validation) {
+  OverheadConfig cfg;
+  cfg.processors = 0;
+  EXPECT_THROW(compute_overhead(cfg), InvalidArgument);
+}
+
+// ------------------------------------------------------------ Opportunistic
+
+TEST(IdleWindows, SquareWaveAnalysis) {
+  // 60 minutes idle, 60 busy, 60 idle.
+  std::vector<double> demand(180, 0.5);
+  for (int m = 0; m < 60; ++m) demand[static_cast<std::size_t>(m)] = 0.1;
+  for (int m = 120; m < 180; ++m) demand[static_cast<std::size_t>(m)] = 0.1;
+  const IdleWindowStats s = analyze_idle_windows(demand, 0.30);
+  EXPECT_NEAR(s.idle_fraction, 120.0 / 180.0, 1e-9);
+  EXPECT_EQ(s.window_count, 2u);
+  EXPECT_DOUBLE_EQ(s.longest_window_s, 3600.0);
+  EXPECT_DOUBLE_EQ(s.mean_window_s, 3600.0);
+}
+
+TEST(IdleWindows, AllBusy) {
+  const IdleWindowStats s = analyze_idle_windows({0.9, 0.8, 0.95}, 0.30);
+  EXPECT_DOUBLE_EQ(s.idle_fraction, 0.0);
+  EXPECT_EQ(s.window_count, 0u);
+}
+
+TEST(PlanProfiling, PlacesIntoIdleWindows) {
+  std::vector<double> demand(120, 0.9);
+  for (int m = 30; m < 90; ++m) demand[static_cast<std::size_t>(m)] = 0.05;
+  OpportunisticConfig cfg;
+  cfg.scan_time_per_proc_s = 60.0;
+  cfg.domain_size = 4;  // one domain = 4 min
+  std::vector<std::size_t> procs = {0, 1, 2, 3, 4, 5, 6, 7};
+  const ProfilingPlan plan =
+      plan_profiling(demand, HybridSupply{}, procs, cfg);
+  EXPECT_EQ(plan.placed_count(), 8u);
+  EXPECT_TRUE(plan.unplaced.empty());
+  for (const auto& w : plan.windows) {
+    EXPECT_GE(w.start_s, 30.0 * 60.0);
+    EXPECT_LE(w.start_s + w.duration_s, 90.0 * 60.0 + 1e-9);
+  }
+}
+
+TEST(PlanProfiling, DefersWhenNoRoom) {
+  const std::vector<double> demand(60, 0.9);  // always busy
+  OpportunisticConfig cfg;
+  cfg.scan_time_per_proc_s = 60.0;
+  const ProfilingPlan plan =
+      plan_profiling(demand, HybridSupply{}, {0, 1, 2}, cfg);
+  EXPECT_EQ(plan.placed_count(), 0u);
+  EXPECT_EQ(plan.unplaced.size(), 3u);
+}
+
+TEST(PlanProfiling, WindRequirementFilters) {
+  std::vector<double> demand(120, 0.05);  // always idle
+  OpportunisticConfig cfg;
+  cfg.scan_time_per_proc_s = 60.0;
+  cfg.domain_size = 2;
+  cfg.require_wind = true;
+  cfg.min_wind_w = 50.0;
+  // Wind only in the second hour.
+  SupplyTrace wind(3600.0, {0.0, 100.0});
+  const HybridSupply supply(wind);
+  const ProfilingPlan plan = plan_profiling(demand, supply, {0, 1}, cfg);
+  ASSERT_EQ(plan.windows.size(), 1u);
+  EXPECT_GE(plan.windows[0].start_s, 3600.0);
+}
+
+TEST(PlanProfiling, Validation) {
+  OpportunisticConfig cfg;  // scan_time_per_proc_s defaults to 0
+  EXPECT_THROW(plan_profiling({0.1}, HybridSupply{}, {0}, cfg),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace iscope

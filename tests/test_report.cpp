@@ -1,0 +1,72 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace iscope {
+namespace {
+
+TEST(MarkdownReport, Heading) {
+  MarkdownReport md;
+  md.heading(1, "Title");
+  md.heading(3, "Sub");
+  EXPECT_NE(md.str().find("# Title\n"), std::string::npos);
+  EXPECT_NE(md.str().find("### Sub\n"), std::string::npos);
+  EXPECT_THROW(md.heading(0, "x"), InvalidArgument);
+  EXPECT_THROW(md.heading(7, "x"), InvalidArgument);
+}
+
+TEST(MarkdownReport, TableSyntax) {
+  MarkdownReport md;
+  md.table({"a", "b"}, {{"1", "2"}, {"3", "4"}});
+  const std::string& s = md.str();
+  EXPECT_NE(s.find("| a | b |"), std::string::npos);
+  EXPECT_NE(s.find("|---|---|"), std::string::npos);
+  EXPECT_NE(s.find("| 3 | 4 |"), std::string::npos);
+}
+
+TEST(MarkdownReport, TableValidation) {
+  MarkdownReport md;
+  EXPECT_THROW(md.table({}, {}), InvalidArgument);
+  EXPECT_THROW(md.table({"a", "b"}, {{"only one"}}), InvalidArgument);
+}
+
+TEST(MarkdownReport, BulletsAndParagraphs) {
+  MarkdownReport md;
+  md.paragraph("Some prose.");
+  md.bullet("first");
+  md.bullet("second");
+  EXPECT_NE(md.str().find("Some prose.\n\n"), std::string::npos);
+  EXPECT_NE(md.str().find("* first\n* second\n"), std::string::npos);
+}
+
+TEST(MarkdownReport, CodeBlock) {
+  MarkdownReport md;
+  md.code_block("cmake -B build", "sh");
+  EXPECT_NE(md.str().find("```sh\ncmake -B build\n```"), std::string::npos);
+}
+
+TEST(MarkdownReport, SaveRoundTrip) {
+  MarkdownReport md;
+  md.heading(1, "X");
+  const std::string path = testing::TempDir() + "/report.md";
+  md.save(path);
+  std::ifstream in(path);
+  std::string first;
+  std::getline(in, first);
+  EXPECT_EQ(first, "# X");
+  std::remove(path.c_str());
+  EXPECT_THROW(md.save("/nonexistent/dir/report.md"), ParseError);
+}
+
+TEST(MarkdownReport, NumberHelpers) {
+  EXPECT_EQ(md_num(3.14159, 2), "3.14");
+  EXPECT_EQ(md_pct(0.125), "12.5%");
+}
+
+}  // namespace
+}  // namespace iscope

@@ -1,0 +1,182 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace iscope {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.uniform() == b.uniform()) ++equal;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng parent(7);
+  Rng c1 = parent.fork("wind");
+  Rng c2 = Rng(7).fork("wind");
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(c1.uniform(), c2.uniform());
+}
+
+TEST(Rng, ForkTagsGiveIndependentStreams) {
+  Rng parent(7);
+  Rng a = parent.fork("a");
+  Rng b = parent.fork("b");
+  EXPECT_NE(a.seed(), b.seed());
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.uniform() == b.uniform()) ++equal;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ForkDoesNotAdvanceParent) {
+  Rng a(9), b(9);
+  (void)a.fork("x");
+  EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(2.0, 5.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(4);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(1, 6));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(*seen.begin(), 1);
+  EXPECT_EQ(*seen.rbegin(), 6);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(5);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+TEST(Rng, NormalZeroSigmaIsDegenerate) {
+  Rng rng(6);
+  EXPECT_EQ(rng.normal(3.5, 0.0), 3.5);
+}
+
+TEST(Rng, TruncatedNormalRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.truncated_normal(0.0, 1.0, -0.5, 0.5);
+    EXPECT_GE(x, -0.5);
+    EXPECT_LE(x, 0.5);
+  }
+}
+
+TEST(Rng, TruncatedNormalFarWindowClamps) {
+  Rng rng(9);
+  // Window 100 sigmas away: rejection gives up and clamps.
+  const double x = rng.truncated_normal(0.0, 1.0, 100.0, 101.0);
+  EXPECT_GE(x, 100.0);
+  EXPECT_LE(x, 101.0);
+}
+
+TEST(Rng, PoissonMean) {
+  Rng rng(10);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(65.0));
+  EXPECT_NEAR(sum / n, 65.0, 0.5);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(11);
+  EXPECT_EQ(rng.poisson(0.0), 0);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(12);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(0.5);
+  EXPECT_NEAR(sum / n, 2.0, 0.1);
+}
+
+TEST(Rng, WeibullShape1IsExponential) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.weibull(1.0, 3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(14);
+  int heads = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (rng.bernoulli(0.3)) ++heads;
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.02);
+}
+
+TEST(Rng, PermutationIsValid) {
+  Rng rng(15);
+  const auto p = rng.permutation(100);
+  std::set<std::size_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(Rng, ShuffleKeepsElements) {
+  Rng rng(16);
+  std::vector<int> v = {1, 2, 3, 4, 5};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ArgumentValidation) {
+  Rng rng(17);
+  EXPECT_THROW(rng.uniform(5.0, 2.0), InvalidArgument);
+  EXPECT_THROW(rng.uniform_int(5, 2), InvalidArgument);
+  EXPECT_THROW(rng.normal(0.0, -1.0), InvalidArgument);
+  EXPECT_THROW(rng.exponential(0.0), InvalidArgument);
+  EXPECT_THROW(rng.poisson(-1.0), InvalidArgument);
+  EXPECT_THROW(rng.weibull(0.0, 1.0), InvalidArgument);
+  EXPECT_THROW(rng.bernoulli(1.5), InvalidArgument);
+}
+
+TEST(Rng, SplitMix64Avalanche) {
+  // Neighboring inputs produce wildly different outputs.
+  const std::uint64_t a = splitmix64(1);
+  const std::uint64_t b = splitmix64(2);
+  int diff_bits = 0;
+  for (std::uint64_t x = a ^ b; x != 0; x >>= 1) diff_bits += x & 1;
+  EXPECT_GT(diff_bits, 16);
+}
+
+}  // namespace
+}  // namespace iscope

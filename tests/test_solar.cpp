@@ -1,0 +1,109 @@
+#include "energy/solar_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace iscope {
+namespace {
+
+TEST(ClearSky, NightIsZero) {
+  EXPECT_DOUBLE_EQ(clear_sky_fraction(0.0, 6.0, 18.0), 0.0);
+  EXPECT_DOUBLE_EQ(clear_sky_fraction(5.9, 6.0, 18.0), 0.0);
+  EXPECT_DOUBLE_EQ(clear_sky_fraction(18.1, 6.0, 18.0), 0.0);
+  EXPECT_DOUBLE_EQ(clear_sky_fraction(23.5, 6.0, 18.0), 0.0);
+}
+
+TEST(ClearSky, NoonIsPeak) {
+  EXPECT_NEAR(clear_sky_fraction(12.0, 6.0, 18.0), 1.0, 1e-12);
+  EXPECT_GT(clear_sky_fraction(12.0, 6.0, 18.0),
+            clear_sky_fraction(8.0, 6.0, 18.0));
+  EXPECT_GT(clear_sky_fraction(12.0, 6.0, 18.0),
+            clear_sky_fraction(16.0, 6.0, 18.0));
+}
+
+TEST(ClearSky, SymmetricAroundNoon) {
+  EXPECT_NEAR(clear_sky_fraction(9.0, 6.0, 18.0),
+              clear_sky_fraction(15.0, 6.0, 18.0), 1e-12);
+}
+
+TEST(ClearSky, WrapsPast24Hours) {
+  EXPECT_NEAR(clear_sky_fraction(36.0, 6.0, 18.0),
+              clear_sky_fraction(12.0, 6.0, 18.0), 1e-12);
+}
+
+TEST(SolarFarm, BoundsAndDiurnalShape) {
+  SolarFarmConfig cfg;
+  const SupplyTrace t = generate_solar_days(cfg, 3.0);
+  double night_sum = 0.0, day_sum = 0.0;
+  for (std::size_t i = 0; i < t.samples(); ++i) {
+    const double p = t.sample(i);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, cfg.peak_w);
+    const double hour = std::fmod(
+        static_cast<double>(i) * cfg.step_s / units::kSecondsPerHour, 24.0);
+    if (hour < 5.0 || hour > 19.0) night_sum += p;
+    if (hour > 10.0 && hour < 14.0) day_sum += p;
+  }
+  EXPECT_DOUBLE_EQ(night_sum, 0.0);
+  EXPECT_GT(day_sum, 0.0);
+}
+
+TEST(SolarFarm, Deterministic) {
+  SolarFarmConfig cfg;
+  EXPECT_EQ(generate_solar_trace(cfg, 200).raw(),
+            generate_solar_trace(cfg, 200).raw());
+}
+
+TEST(SolarFarm, CloudierClimateYieldsLess) {
+  SolarFarmConfig sunny, cloudy;
+  sunny.clear_fraction = 0.9;
+  cloudy.clear_fraction = 0.4;
+  EXPECT_GT(generate_solar_days(sunny, 5.0).mean_w(),
+            generate_solar_days(cloudy, 5.0).mean_w());
+}
+
+TEST(SolarFarm, Validation) {
+  SolarFarmConfig cfg;
+  cfg.sunrise_hour = 20.0;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg = SolarFarmConfig{};
+  cfg.clear_fraction = 0.0;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg = SolarFarmConfig{};
+  EXPECT_THROW(generate_solar_trace(cfg, 0), InvalidArgument);
+}
+
+TEST(CombineSupplies, SumsElementwise) {
+  const SupplyTrace a(600.0, {1.0, 2.0, 3.0});
+  const SupplyTrace b(600.0, {10.0, 20.0});
+  const SupplyTrace c = combine_supplies(a, b);
+  ASSERT_EQ(c.samples(), 2u);  // shorter length wins
+  EXPECT_DOUBLE_EQ(c.sample(0), 11.0);
+  EXPECT_DOUBLE_EQ(c.sample(1), 22.0);
+}
+
+TEST(CombineSupplies, StepMismatchThrows) {
+  const SupplyTrace a(600.0, {1.0});
+  const SupplyTrace b(300.0, {1.0});
+  EXPECT_THROW(combine_supplies(a, b), InvalidArgument);
+  EXPECT_THROW(combine_supplies(a, SupplyTrace{}), InvalidArgument);
+}
+
+TEST(CombineSupplies, WindPlusSolarSmoothsNights) {
+  // A hybrid farm has generation at night (wind) and a midday boost
+  // (solar) -- the combination covers more hours than solar alone.
+  SolarFarmConfig solar;
+  const SupplyTrace s = generate_solar_days(solar, 2.0);
+  const SupplyTrace flat_wind(600.0,
+                              std::vector<double>(s.samples(), 5e3));
+  const SupplyTrace hybrid = combine_supplies(s, flat_wind);
+  std::size_t covered = 0;
+  for (std::size_t i = 0; i < hybrid.samples(); ++i)
+    if (hybrid.sample(i) > 1e3) ++covered;
+  EXPECT_EQ(covered, hybrid.samples());
+}
+
+}  // namespace
+}  // namespace iscope

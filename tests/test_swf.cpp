@@ -1,0 +1,85 @@
+#include "workload/swf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace iscope {
+namespace {
+
+const char* kSampleSwf =
+    "; SWF header comment\n"
+    ";   Computer: LLNL Thunder-like\n"
+    "1 100 5 3600 64 -1 -1 64 7200 -1 1 1 1 -1 1 -1 -1 -1\n"
+    "2 160 0 1800 16 -1 -1 32 3600 -1 1 2 1 -1 1 -1 -1 -1\n"
+    "3 200 0 -1 8 -1 -1 8 100 -1 0 3 1 -1 1 -1 -1 -1\n"
+    "4 220 0 600 0 -1 -1 0 100 -1 1 4 1 -1 1 -1 -1 -1\n";
+
+TEST(Swf, ParsesFields) {
+  const auto jobs = parse_swf(kSampleSwf);
+  ASSERT_EQ(jobs.size(), 4u);
+  EXPECT_EQ(jobs[0].job_id, 1);
+  EXPECT_DOUBLE_EQ(jobs[0].submit_s, 100.0);
+  EXPECT_DOUBLE_EQ(jobs[0].wait_s, 5.0);
+  EXPECT_DOUBLE_EQ(jobs[0].runtime_s, 3600.0);
+  EXPECT_EQ(jobs[0].allocated_procs, 64);
+  EXPECT_EQ(jobs[0].requested_procs, 64);
+  EXPECT_DOUBLE_EQ(jobs[0].requested_time_s, 7200.0);
+  EXPECT_EQ(jobs[0].status, 1);
+}
+
+TEST(Swf, CommentsSkipped) {
+  const auto jobs = parse_swf("; only comments\n;\n");
+  EXPECT_TRUE(jobs.empty());
+}
+
+TEST(Swf, ShortLineThrows) {
+  EXPECT_THROW(parse_swf("1 2 3\n"), ParseError);
+}
+
+TEST(Swf, AllocatedFallsBackToRequested) {
+  const auto jobs = parse_swf(kSampleSwf);
+  const auto tasks = swf_to_tasks(jobs);
+  // Job 2 allocated 16 (used over requested 32); job 3 dropped (runtime -1);
+  // job 4 dropped (0 procs).
+  ASSERT_EQ(tasks.size(), 2u);
+  EXPECT_EQ(tasks[0].cpus, 64u);
+  EXPECT_EQ(tasks[1].cpus, 16u);
+}
+
+TEST(Swf, SubmitTimesRebasedToZero) {
+  const auto tasks = swf_to_tasks(parse_swf(kSampleSwf));
+  EXPECT_DOUBLE_EQ(tasks[0].submit_s, 0.0);
+  EXPECT_DOUBLE_EQ(tasks[1].submit_s, 60.0);
+}
+
+TEST(Swf, TasksValidAfterConversion) {
+  const auto tasks = swf_to_tasks(parse_swf(kSampleSwf));
+  EXPECT_NO_THROW(validate_tasks(tasks));
+}
+
+TEST(Swf, ExportRoundTrip) {
+  const auto tasks = swf_to_tasks(parse_swf(kSampleSwf));
+  const std::string text = tasks_to_swf(tasks);
+  const auto back = swf_to_tasks(parse_swf(text));
+  ASSERT_EQ(back.size(), tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_EQ(back[i].cpus, tasks[i].cpus);
+    EXPECT_DOUBLE_EQ(back[i].runtime_s, tasks[i].runtime_s);
+    EXPECT_DOUBLE_EQ(back[i].submit_s, tasks[i].submit_s);
+  }
+}
+
+TEST(Swf, MissingFileThrows) {
+  EXPECT_THROW(read_swf_file("/nonexistent.swf"), ParseError);
+}
+
+TEST(Swf, WindowsLineEndings) {
+  const auto jobs =
+      parse_swf("1 0 0 100 4 -1 -1 4 -1 -1 1 1 1 -1 1 -1 -1 -1\r\n");
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_DOUBLE_EQ(jobs[0].runtime_s, 100.0);
+}
+
+}  // namespace
+}  // namespace iscope

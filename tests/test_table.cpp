@@ -1,0 +1,78 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace iscope {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t;
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TextTable, TitleShown) {
+  TextTable t;
+  t.set_title("My Title");
+  t.add_row({"x"});
+  EXPECT_NE(t.render().find("== My Title =="), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAligned) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  t.add_row({"longvalue", "1"});
+  t.add_row({"x", "2"});
+  std::istringstream in(t.render());
+  std::string header, sep, r1, r2;
+  std::getline(in, header);
+  std::getline(in, sep);
+  std::getline(in, r1);
+  std::getline(in, r2);
+  // "1" and "2" columns start at the same offset.
+  EXPECT_EQ(r1.find('1'), r2.find('2'));
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), InvalidArgument);
+}
+
+TEST(TextTable, NoHeaderAllowed) {
+  TextTable t;
+  t.add_row({"a", "b"});
+  t.add_row({"c"});  // ragged rows fine without a header
+  EXPECT_NE(t.render().find('c'), std::string::npos);
+}
+
+TEST(TextTable, NumFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+  EXPECT_EQ(TextTable::num(-1.5, 1), "-1.5");
+}
+
+TEST(TextTable, PctFormatting) {
+  EXPECT_EQ(TextTable::pct(0.1234), "12.3%");
+  EXPECT_EQ(TextTable::pct(1.0, 0), "100%");
+}
+
+TEST(TextTable, PrintMatchesRender) {
+  TextTable t;
+  t.add_row({"z"});
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_EQ(out.str(), t.render());
+}
+
+}  // namespace
+}  // namespace iscope

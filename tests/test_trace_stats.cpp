@@ -1,0 +1,112 @@
+#include "workload/trace_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "sim/timeline.hpp"
+#include "workload/synthetic.hpp"
+#include "workload/urgency.hpp"
+
+namespace iscope {
+namespace {
+
+std::vector<Task> tiny_trace() {
+  std::vector<Task> tasks;
+  for (int i = 0; i < 4; ++i) {
+    Task t;
+    t.id = i;
+    t.submit_s = i * 100.0;
+    t.cpus = (i == 3) ? 3 : 4;  // three pow2, one not
+    t.runtime_s = 600.0;
+    t.deadline_s = t.submit_s + 6.0 * t.runtime_s;
+    t.urgency = (i % 2 == 0) ? Urgency::kHigh : Urgency::kLow;
+    tasks.push_back(t);
+  }
+  return tasks;
+}
+
+TEST(TraceStats, BasicAggregates) {
+  const TraceStats s = compute_trace_stats(tiny_trace());
+  EXPECT_EQ(s.jobs, 4u);
+  EXPECT_DOUBLE_EQ(s.span_s, 300.0);
+  EXPECT_DOUBLE_EQ(s.mean_interarrival_s, 100.0);
+  EXPECT_DOUBLE_EQ(s.mean_width, 3.75);
+  EXPECT_EQ(s.max_width, 4u);
+  EXPECT_DOUBLE_EQ(s.pow2_width_fraction, 0.75);
+  EXPECT_DOUBLE_EQ(s.mean_runtime_s, 600.0);
+  EXPECT_DOUBLE_EQ(s.hu_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(s.mean_deadline_multiplier, 6.0);
+  EXPECT_DOUBLE_EQ(s.total_cpu_seconds, 15.0 * 600.0);
+}
+
+TEST(TraceStats, OfferedUtilization) {
+  const TraceStats s = compute_trace_stats(tiny_trace());
+  // 9000 CPU-seconds over (300 + 600) s horizon = 10 CPUs offered.
+  EXPECT_NEAR(s.offered_cpus, 10.0, 1e-9);
+  EXPECT_NEAR(offered_utilization(s, 40), 0.25, 1e-9);
+  EXPECT_THROW(offered_utilization(s, 0), InvalidArgument);
+}
+
+TEST(TraceStats, EmptyTraceThrows) {
+  EXPECT_THROW(compute_trace_stats({}), InvalidArgument);
+}
+
+TEST(TraceStats, SummaryMentionsKeyNumbers) {
+  const std::string text = compute_trace_stats(tiny_trace()).summary();
+  EXPECT_NE(text.find("4 jobs"), std::string::npos);
+  EXPECT_NE(text.find("75.0%"), std::string::npos);  // pow2 share
+}
+
+TEST(TraceStats, SyntheticGeneratorProfile) {
+  // The generator's output should land near its configured statistics.
+  SyntheticWorkloadConfig cfg;
+  cfg.num_jobs = 3000;
+  cfg.pow2_fraction = 0.85;
+  auto tasks = generate_workload(cfg);
+  UrgencyConfig urgency;
+  urgency.hu_fraction = 0.3;
+  assign_deadlines(tasks, urgency);
+  const TraceStats s = compute_trace_stats(tasks);
+  EXPECT_NEAR(s.mean_interarrival_s, cfg.mean_interarrival_s, 5.0);
+  EXPECT_GT(s.pow2_width_fraction, 0.8);
+  EXPECT_NEAR(s.hu_fraction, 0.3, 0.03);
+  // HU ~4x at 30%, LU ~12x at 70% -> mean multiplier ~9.6.
+  EXPECT_NEAR(s.mean_deadline_multiplier, 9.6, 0.5);
+}
+
+// ---------------------------------------------------------------- timeline
+
+TEST(Timeline, KindNames) {
+  EXPECT_STREQ(timeline_kind_name(TimelineKind::kArrival), "arrival");
+  EXPECT_STREQ(timeline_kind_name(TimelineKind::kDeadlineMiss),
+               "deadline_miss");
+  EXPECT_STREQ(timeline_kind_name(TimelineKind::kProfilingEnd),
+               "profiling_end");
+}
+
+TEST(Timeline, CsvExport) {
+  std::vector<TimelineEvent> events = {
+      {0.0, TimelineKind::kArrival, 1, 4.0},
+      {10.0, TimelineKind::kStart, 1, 10.0},
+      {100.0, TimelineKind::kCompletion, 1, 90.0},
+  };
+  const std::string path = testing::TempDir() + "/timeline.csv";
+  save_timeline_csv(path, events);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "time_s,kind,task_id,value");
+  std::getline(in, line);
+  EXPECT_NE(line.find("arrival"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Timeline, BadPathThrows) {
+  EXPECT_THROW(save_timeline_csv("/nonexistent/dir/x.csv", {}), ParseError);
+}
+
+}  // namespace
+}  // namespace iscope

@@ -1,0 +1,49 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+
+namespace iscope {
+namespace {
+
+TEST(Units, Time) {
+  EXPECT_DOUBLE_EQ(units::minutes(10.0), 600.0);
+  EXPECT_DOUBLE_EQ(units::hours(2.0), 7200.0);
+  EXPECT_DOUBLE_EQ(units::days(1.0), 86400.0);
+}
+
+TEST(Units, EnergyRoundTrip) {
+  EXPECT_DOUBLE_EQ(units::joules_to_kwh(3.6e6), 1.0);
+  EXPECT_DOUBLE_EQ(units::kwh_to_joules(units::joules_to_kwh(12345.0)),
+                   12345.0);
+}
+
+TEST(Units, Power) {
+  EXPECT_DOUBLE_EQ(units::kilowatts(2.5), 2500.0);
+  EXPECT_DOUBLE_EQ(units::megawatts(1.5), 1.5e6);
+  EXPECT_DOUBLE_EQ(units::watts_to_kw(500.0), 0.5);
+}
+
+TEST(Units, Frequency) {
+  EXPECT_DOUBLE_EQ(units::mhz_to_ghz(750.0), 0.75);
+  EXPECT_DOUBLE_EQ(units::ghz_to_mhz(2.0), 2000.0);
+}
+
+TEST(Units, PaperSanity) {
+  // Sec. VI-E arithmetic: 4800 CPUs x 115 W x 500 min = 4600 kWh.
+  const double joules = 4800.0 * 115.0 * units::minutes(500.0);
+  EXPECT_NEAR(units::joules_to_kwh(joules), 4600.0, 1.0);
+}
+
+TEST(Log, LevelGate) {
+  const LogLevel prev = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+  set_log_level(prev);
+}
+
+}  // namespace
+}  // namespace iscope

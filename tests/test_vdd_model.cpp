@@ -1,0 +1,116 @@
+#include "variation/vdd_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace iscope {
+namespace {
+
+TEST(FreqLevels, PaperDefaultMatchesSectionVB) {
+  const FreqLevels levels = FreqLevels::paper_default();
+  ASSERT_EQ(levels.count(), 5u);  // 5 DVFS levels
+  EXPECT_DOUBLE_EQ(levels.freq_ghz.front(), 0.75);  // 750 MHz
+  EXPECT_DOUBLE_EQ(levels.freq_ghz.back(), 2.0);    // 2 GHz
+  EXPECT_NO_THROW(levels.validate());
+}
+
+TEST(FreqLevels, ValidationRejectsBadTables) {
+  FreqLevels empty;
+  EXPECT_THROW(empty.validate(), InvalidArgument);
+
+  FreqLevels mismatch{{1.0, 2.0}, {1.0}};
+  EXPECT_THROW(mismatch.validate(), InvalidArgument);
+
+  FreqLevels descending{{2.0, 1.0}, {1.0, 1.1}};
+  EXPECT_THROW(descending.validate(), InvalidArgument);
+
+  FreqLevels vdd_drop{{1.0, 2.0}, {1.2, 1.0}};
+  EXPECT_THROW(vdd_drop.validate(), InvalidArgument);
+}
+
+TEST(MinVddCurve, AccessorsAndBounds) {
+  const MinVddCurve c({1.0, 2.0}, {0.9, 1.1});
+  EXPECT_EQ(c.levels(), 2u);
+  EXPECT_DOUBLE_EQ(c.freq(1), 2.0);
+  EXPECT_DOUBLE_EQ(c.vdd(0), 0.9);
+  EXPECT_THROW(c.freq(2), InvalidArgument);
+  EXPECT_THROW(c.vdd(2), InvalidArgument);
+}
+
+TEST(MinVddCurve, RejectsNonMonotone) {
+  EXPECT_THROW(MinVddCurve({2.0, 1.0}, {1.0, 1.1}), InvalidArgument);
+  EXPECT_THROW(MinVddCurve({1.0, 2.0}, {1.1, 1.0}), InvalidArgument);
+  EXPECT_THROW(MinVddCurve({1.0}, {1.0, 1.1}), InvalidArgument);
+}
+
+TEST(MinVddCurve, ChipWorstCaseTakesMax) {
+  const MinVddCurve a({1.0, 2.0}, {0.90, 1.10});
+  const MinVddCurve b({1.0, 2.0}, {0.95, 1.05});
+  const std::vector<MinVddCurve> cores = {a, b};
+  const MinVddCurve chip = MinVddCurve::chip_worst_case(cores);
+  EXPECT_DOUBLE_EQ(chip.vdd(0), 0.95);
+  EXPECT_DOUBLE_EQ(chip.vdd(1), 1.10);
+}
+
+TEST(MinVddCurve, ChipWorstCaseChecksInputs) {
+  const std::vector<MinVddCurve> none;
+  EXPECT_THROW(MinVddCurve::chip_worst_case(none), InvalidArgument);
+  const MinVddCurve a({1.0, 2.0}, {0.9, 1.1});
+  const MinVddCurve other({1.0, 3.0}, {0.9, 1.1});
+  const std::vector<MinVddCurve> mixed = {a, other};
+  EXPECT_THROW(MinVddCurve::chip_worst_case(mixed), InvalidArgument);
+}
+
+TEST(MinVddCurve, ScaledMultipliesVoltages) {
+  const MinVddCurve c({1.0, 2.0}, {1.0, 1.2});
+  const MinVddCurve s = c.scaled(1.1);
+  EXPECT_DOUBLE_EQ(s.vdd(0), 1.1);
+  EXPECT_NEAR(s.vdd(1), 1.32, 1e-12);
+  EXPECT_THROW(c.scaled(0.0), InvalidArgument);
+}
+
+TEST(BuildCoreCurve, MonotoneAndAboveFloor) {
+  const VariusModel m(VariusParams{}, quad_core_layout());
+  Rng rng(1);
+  const ChipVariation chip = m.sample_chip(rng);
+  const FreqLevels levels = FreqLevels::paper_default();
+  for (const auto& core : chip.cores) {
+    const MinVddCurve curve = build_core_curve(m, core, levels);
+    for (std::size_t l = 0; l < curve.levels(); ++l) {
+      EXPECT_GE(curve.vdd(l), m.params().v_floor);
+      if (l > 0) EXPECT_GE(curve.vdd(l), curve.vdd(l - 1));
+    }
+  }
+}
+
+TEST(BuildCoreCurve, GuardbandRaisesVoltage) {
+  const VariusModel m(VariusParams{}, quad_core_layout());
+  Rng rng(2);
+  const ChipVariation chip = m.sample_chip(rng);
+  const FreqLevels levels = FreqLevels::paper_default();
+  const MinVddCurve bare = build_core_curve(m, chip.cores[0], levels, 0.0);
+  const MinVddCurve guarded = build_core_curve(m, chip.cores[0], levels, 0.05);
+  const std::size_t top = levels.count() - 1;
+  EXPECT_GT(guarded.vdd(top), bare.vdd(top));
+  EXPECT_NEAR(guarded.vdd(top) / bare.vdd(top), 1.05, 1e-9);
+}
+
+TEST(BuildCoreCurve, NegativeGuardbandRejected) {
+  const VariusModel m(VariusParams{}, quad_core_layout());
+  Rng rng(3);
+  const ChipVariation chip = m.sample_chip(rng);
+  EXPECT_THROW(
+      build_core_curve(m, chip.cores[0], FreqLevels::paper_default(), -0.1),
+      InvalidArgument);
+}
+
+TEST(GpuPenalty, MatchesFigure4Ratio) {
+  // 1.232 V (GPU on) over 1.219 V (GPU off).
+  EXPECT_NEAR(kIntegratedGpuPenalty, 1.232 / 1.219, 1e-12);
+  EXPECT_GT(kIntegratedGpuPenalty, 1.0);
+}
+
+}  // namespace
+}  // namespace iscope

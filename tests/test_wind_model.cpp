@@ -1,0 +1,136 @@
+#include "energy/wind_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "common/units.hpp"
+
+namespace iscope {
+namespace {
+
+TEST(TurbineCurve, Regions) {
+  const TurbineCurve t;  // cut-in 3, rated 12, cut-out 25, 1.5 MW
+  EXPECT_DOUBLE_EQ(t.power_w(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(t.power_w(2.9), 0.0);        // below cut-in
+  EXPECT_GT(t.power_w(5.0), 0.0);               // ramp
+  EXPECT_LT(t.power_w(5.0), t.rated_w);
+  EXPECT_DOUBLE_EQ(t.power_w(12.0), t.rated_w); // rated
+  EXPECT_DOUBLE_EQ(t.power_w(20.0), t.rated_w); // still rated
+  EXPECT_DOUBLE_EQ(t.power_w(25.0), 0.0);       // cut-out
+  EXPECT_DOUBLE_EQ(t.power_w(30.0), 0.0);       // storm shutdown
+}
+
+TEST(TurbineCurve, RampIsMonotoneCubic) {
+  const TurbineCurve t;
+  double prev = 0.0;
+  for (double v = 3.0; v <= 12.0; v += 0.5) {
+    const double p = t.power_w(v);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+  // Exactly cubic between cut-in and rated.
+  const double mid = 7.5;
+  const double expected = t.rated_w *
+      (mid * mid * mid - 27.0) / (12.0 * 12.0 * 12.0 - 27.0);
+  EXPECT_NEAR(t.power_w(mid), expected, 1e-6);
+}
+
+TEST(TurbineCurve, Validation) {
+  TurbineCurve bad;
+  bad.cut_in_ms = 15.0;  // above rated
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  bad = TurbineCurve{};
+  bad.rated_w = 0.0;
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  EXPECT_THROW(TurbineCurve{}.power_w(-1.0), InvalidArgument);
+}
+
+TEST(WindFarm, TraceBounds) {
+  WindFarmConfig cfg;
+  cfg.turbines = 10;
+  const SupplyTrace t = generate_wind_trace(cfg, 500);
+  EXPECT_EQ(t.samples(), 500u);
+  EXPECT_DOUBLE_EQ(t.step_s(), 600.0);  // 10-minute NREL cadence
+  for (std::size_t i = 0; i < t.samples(); ++i) {
+    EXPECT_GE(t.sample(i), 0.0);
+    EXPECT_LE(t.sample(i), 10.0 * cfg.turbine.rated_w);
+  }
+}
+
+TEST(WindFarm, Deterministic) {
+  WindFarmConfig cfg;
+  const SupplyTrace a = generate_wind_trace(cfg, 100);
+  const SupplyTrace b = generate_wind_trace(cfg, 100);
+  EXPECT_EQ(a.raw(), b.raw());
+}
+
+TEST(WindFarm, SeedChangesTrace) {
+  WindFarmConfig a, b;
+  b.seed = a.seed + 1;
+  EXPECT_NE(generate_wind_trace(a, 100).raw(),
+            generate_wind_trace(b, 100).raw());
+}
+
+TEST(WindFarm, TemporalCorrelation) {
+  // Adjacent samples must correlate far more than samples a day apart.
+  WindFarmConfig cfg;
+  cfg.diurnal_amplitude = 0.0;  // isolate the AR(1) effect
+  const SupplyTrace t = generate_wind_trace(cfg, 2000);
+  RunningStats all;
+  for (std::size_t i = 0; i < t.samples(); ++i) all.add(t.sample(i));
+  const double mean = all.mean();
+  double adj = 0.0, far = 0.0;
+  std::size_t n_adj = 0, n_far = 0;
+  for (std::size_t i = 0; i + 144 < t.samples(); ++i) {
+    adj += (t.sample(i) - mean) * (t.sample(i + 1) - mean);
+    ++n_adj;
+    far += (t.sample(i) - mean) * (t.sample(i + 144) - mean);
+    ++n_far;
+  }
+  const double var = all.variance();
+  EXPECT_GT(adj / n_adj / var, 0.7);
+  EXPECT_LT(std::abs(far / n_far / var), 0.35);
+}
+
+TEST(WindFarm, VariabilityIsSubstantial) {
+  // The paper's premise: wind "can change from full grade to zero".
+  const SupplyTrace t = generate_wind_trace(WindFarmConfig{}, 2016);  // 2 weeks
+  EXPECT_GT(t.max_w(), 2.0 * t.mean_w() * 0.9);
+  std::size_t calm = 0;
+  for (std::size_t i = 0; i < t.samples(); ++i)
+    if (t.sample(i) < 0.05 * t.mean_w()) ++calm;
+  EXPECT_GT(calm, 0u);  // real calms occur
+  EXPECT_LT(static_cast<double>(calm) / t.samples(), 0.5);  // but not always
+}
+
+TEST(WindFarm, GenerateDays) {
+  WindFarmConfig cfg;
+  const SupplyTrace t = generate_wind_days(cfg, 2.0);
+  EXPECT_DOUBLE_EQ(t.duration_s(), 2.0 * units::kSecondsPerDay);
+}
+
+TEST(WindFarm, TurbineCountScalesOutput) {
+  WindFarmConfig one, many;
+  one.turbines = 1;
+  many.turbines = 30;
+  const double m1 = generate_wind_trace(one, 500).mean_w();
+  const double m30 = generate_wind_trace(many, 500).mean_w();
+  EXPECT_NEAR(m30 / m1, 30.0, 1e-9);
+}
+
+TEST(WindFarm, Validation) {
+  WindFarmConfig cfg;
+  cfg.ar1 = 1.0;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg = WindFarmConfig{};
+  cfg.turbines = 0;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg = WindFarmConfig{};
+  EXPECT_THROW(generate_wind_trace(cfg, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace iscope
