@@ -32,15 +32,20 @@ inline void maybe_export_csv(const std::string& name,
   std::cout << "(exported " << path << ")\n";
 }
 
-/// The standard experiment context: paper_small() scaled by ISCOPE_SCALE.
+/// The standard experiment context: paper_small() scaled by ISCOPE_SCALE,
+/// sweep workers from ISCOPE_PARALLEL (0 = one per hardware thread).
 inline ExperimentConfig bench_config() {
-  return ExperimentConfig::paper_small().scaled(env_scale());
+  ExperimentConfig cfg = ExperimentConfig::paper_small().scaled(env_scale());
+  cfg.parallelism = env_parallelism();
+  return cfg;
 }
 
 inline void print_banner(const char* id, const char* what) {
   std::cout << "\n### " << id << ": " << what << "\n"
             << "### facility: scale=" << env_scale()
-            << " (ISCOPE_SCALE env var; 1.0 = 1:10 of the paper's 4800 CPUs)\n";
+            << " (ISCOPE_SCALE env var; 1.0 = 1:10 of the paper's 4800 CPUs)"
+            << ", sweep workers=" << env_parallelism()
+            << " (ISCOPE_PARALLEL env var; 0 = hardware threads)\n";
 }
 
 /// Pivot sweep results into one row per x value, one column per scheme.

@@ -9,9 +9,12 @@
 //   simulate  --scheme NAME [--procs N] [--jobs N] [--hu F] [--rate R]
 //             [--wind trace.csv | --no-wind] [--battery-kwh X]
 //             [--timeline out.csv]
+//   sweep     --fig hu|arrival|wind [--points "a,b,c"] [--no-wind]
+//             [--parallel N] [--scale F]
 //
-// Every subcommand is a thin shell over the public library API; exit code
-// 0 on success, 1 on usage errors (message on stderr).
+// Every subcommand is a thin shell over the public library API -- simulate
+// and sweep route through the scenario-sweep engine (core/sweep.hpp); exit
+// code 0 on success, 1 on usage errors (message on stderr).
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -22,6 +25,7 @@
 
 #include "common/table.hpp"
 #include "core/experiment.hpp"
+#include "core/sweep.hpp"
 #include "energy/solar_model.hpp"
 #include "profiling/scanner.hpp"
 #include "sim/timeline.hpp"
@@ -169,19 +173,26 @@ int cmd_simulate(const Args& args) {
   config.sim.record_timeline = args.flag("timeline");
 
   const ExperimentContext ctx(config);
-  const std::vector<Task> tasks =
-      ctx.make_tasks(args.number("hu", 0.3), args.number("rate", 1.0));
 
-  HybridSupply supply;
+  // One ScenarioSpec through the sweep engine: the recorded timeline comes
+  // back with the result, so no second low-level rerun is needed.
+  ScenarioSpec spec;
+  spec.scheme = scheme;
+  spec.tasks = std::make_shared<const std::vector<Task>>(
+      ctx.make_tasks(args.number("hu", 0.3), args.number("rate", 1.0)));
   if (args.get("wind")) {
-    supply = HybridSupply(SupplyTrace::load_csv(args.require("wind")));
-  } else if (!args.flag("no-wind")) {
-    supply = ctx.make_supply(true);
+    spec.supply = std::make_shared<const HybridSupply>(
+        SupplyTrace::load_csv(args.require("wind")));
+  } else if (args.flag("no-wind")) {
+    spec.supply = std::make_shared<const HybridSupply>();
+  } else {
+    spec.supply = std::make_shared<const HybridSupply>(ctx.make_supply(true));
   }
+  spec.label = std::string("simulate ") + scheme_name(scheme);
 
-  const SimResult r = ctx.run(scheme, tasks, supply);
+  const SimResult r = SweepRunner(ctx, 1).run_one(spec);
   TextTable out;
-  out.set_title(std::string("simulate ") + scheme_name(scheme));
+  out.set_title(spec.label);
   out.set_header({"metric", "value"});
   out.add_row({"tasks completed", std::to_string(r.tasks_completed)});
   out.add_row({"deadline misses", std::to_string(r.deadline_misses)});
@@ -195,19 +206,79 @@ int cmd_simulate(const Args& args) {
   out.print(std::cout);
 
   if (args.flag("timeline")) {
-    // run() above discards the timeline unless re-run through the sim;
-    // rerun with the recording config through the low-level API.
-    const Knowledge knowledge(&ctx.cluster(), scheme_knowledge(scheme),
-                              scheme_uses_scan(scheme) ? &ctx.profile_db()
-                                                       : nullptr);
-    SimConfig sim_cfg = config.sim;
-    sim_cfg.record_timeline = true;
-    DatacenterSim sim(&knowledge, scheme_rule(scheme), &supply, sim_cfg);
-    const SimResult detailed = sim.run(tasks);
-    save_timeline_csv(args.require("timeline"), detailed.timeline);
-    std::cout << "timeline (" << detailed.timeline.size() << " events) -> "
+    save_timeline_csv(args.require("timeline"), r.timeline);
+    std::cout << "timeline (" << r.timeline.size() << " events) -> "
               << args.require("timeline") << "\n";
   }
+  return 0;
+}
+
+std::vector<double> parse_points(const std::string& csv) {
+  std::vector<double> points;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    std::size_t next = csv.find(',', pos);
+    if (next == std::string::npos) next = csv.size();
+    points.push_back(std::stod(csv.substr(pos, next - pos)));
+    pos = next + 1;
+  }
+  if (points.empty()) throw InvalidArgument("sweep: empty --points list");
+  return points;
+}
+
+int cmd_sweep(const Args& args) {
+  const std::string fig = args.get("fig").value_or("hu");
+  const bool with_wind = !args.flag("no-wind");
+
+  ExperimentConfig config =
+      ExperimentConfig::paper_small().scaled(args.number("scale", 1.0));
+  config.parallelism =
+      static_cast<std::size_t>(args.integer("parallel", env_parallelism()));
+  const ExperimentContext ctx(config);
+
+  std::vector<SweepPoint> points;
+  const char* x_name = nullptr;
+  if (fig == "hu") {
+    points = sweep_hu(ctx, parse_points(args.get("points").value_or(
+                               "0.0,0.2,0.4,0.6,0.8,1.0")),
+                      with_wind);
+    x_name = "HU frac";
+  } else if (fig == "arrival") {
+    points = sweep_arrival(ctx, parse_points(args.get("points").value_or(
+                                    "1.0,2.0,3.0,4.0,5.0")),
+                           with_wind);
+    x_name = "rate";
+  } else if (fig == "wind") {
+    points = sweep_wind_strength(ctx, parse_points(args.get("points").value_or(
+                                          "1.0,1.2,1.4,1.6,1.8")));
+    x_name = "SWP";
+  } else {
+    throw InvalidArgument("sweep: --fig must be hu, arrival or wind");
+  }
+
+  // Pivot: one row per swept value, one column pair per scheme.
+  TextTable table;
+  table.set_title(std::string("sweep ") + fig + " (" +
+                  std::to_string(SweepRunner(ctx).parallelism()) +
+                  " workers)");
+  std::vector<std::string> header = {x_name};
+  for (const Scheme s : kAllSchemes)
+    header.push_back(std::string(scheme_name(s)) + " kWh");
+  table.set_header(header);
+  std::vector<double> xs;
+  for (const SweepPoint& p : points)
+    if (xs.empty() || xs.back() != p.x) xs.push_back(p.x);
+  for (const double x : xs) {
+    std::vector<std::string> row = {TextTable::num(x, 2)};
+    for (const Scheme s : kAllSchemes)
+      for (const SweepPoint& p : points)
+        if (p.x == x && p.scheme == s) {
+          row.push_back(TextTable::num(p.result.energy.total_kwh(), 1));
+          break;
+        }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
   return 0;
 }
 
@@ -221,7 +292,9 @@ int usage() {
       "  scan      --procs N [--seed S] --out profiles.csv\n"
       "  simulate  [--scheme ScanFair] [--procs N] [--jobs N] [--hu F]\n"
       "            [--rate R] [--wind trace.csv | --no-wind]\n"
-      "            [--battery-kwh X] [--timeline out.csv]\n";
+      "            [--battery-kwh X] [--timeline out.csv]\n"
+      "  sweep     [--fig hu|arrival|wind] [--points \"a,b,c\"] [--no-wind]\n"
+      "            [--parallel N] [--scale F]\n";
   return 1;
 }
 
@@ -238,6 +311,7 @@ int main(int argc, char** argv) {
     if (cmd == "stats") return cmd_stats(args);
     if (cmd == "scan") return cmd_scan(args);
     if (cmd == "simulate") return cmd_simulate(args);
+    if (cmd == "sweep") return cmd_sweep(args);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -1,13 +1,10 @@
 #include "common/log.hpp"
 
-#include <atomic>
 #include <iostream>
 
 namespace iscope {
 
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
-
 const char* level_name(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug: return "DEBUG";
@@ -20,13 +17,18 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
-
-LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
-
 namespace detail {
 void log_write(LogLevel level, const std::string& msg) {
-  std::clog << "[iscope " << level_name(level) << "] " << msg << '\n';
+  // One insertion per line so concurrent loggers cannot interleave
+  // mid-line (see the policy in log.hpp).
+  std::string line;
+  line.reserve(msg.size() + 16);
+  line += "[iscope ";
+  line += level_name(level);
+  line += "] ";
+  line += msg;
+  line += '\n';
+  std::clog << line;
 }
 }  // namespace detail
 

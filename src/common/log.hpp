@@ -1,7 +1,20 @@
 // Tiny leveled logger. Default level is WARN so library code stays quiet in
 // tests and benches; examples turn on INFO to narrate what they do.
+//
+// Thread-safety policy (the sweep engine logs from pool workers):
+//  * The global threshold is a std::atomic read with relaxed ordering on
+//    every ISCOPE_* macro hit. Any thread may call set_log_level() at any
+//    time; concurrent loggers observe the new level promptly and without
+//    data races. Relaxed is enough -- the threshold only gates output, it
+//    never synchronizes other state.
+//  * Each log line is composed into one string and handed to std::clog in
+//    a single stream insertion (see detail::log_write), so concurrent
+//    lines never interleave mid-line: operations on the standard stream
+//    objects are data-race free, only character interleaving between
+//    separate insertions is possible.
 #pragma once
 
+#include <atomic>
 #include <sstream>
 #include <string>
 
@@ -9,13 +22,21 @@ namespace iscope {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Global log threshold (process-wide; not thread-safe to mutate while
-/// logging from other threads -- set it once at startup).
-void set_log_level(LogLevel level);
-LogLevel log_level();
-
 namespace detail {
+inline std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarn)};
+
 void log_write(LogLevel level, const std::string& msg);
+}  // namespace detail
+
+/// Global log threshold; safe to call from any thread at any time.
+inline void set_log_level(LogLevel level) {
+  detail::g_log_level.store(static_cast<int>(level),
+                            std::memory_order_relaxed);
+}
+
+inline LogLevel log_level() {
+  return static_cast<LogLevel>(
+      detail::g_log_level.load(std::memory_order_relaxed));
 }
 
 }  // namespace iscope

@@ -1,0 +1,50 @@
+#include "common/thread_pool.hpp"
+
+#include "common/error.hpp"
+
+namespace iscope {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  ISCOPE_CHECK_ARG(threads > 0, "ThreadPool: need at least one thread");
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this]() { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> job) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ISCOPE_CHECK_ARG(!stopping_, "ThreadPool: submit during destruction");
+    queue_.push(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this]() { return stopping_ || !queue_.empty(); });
+      // Stop only once the queue is empty so destruction drains it.
+      if (queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop();
+    }
+    // packaged_task catches the task's exceptions into its future; any
+    // escape here would terminate, so jobs are required to be noexcept at
+    // this boundary (submit() guarantees that).
+    job();
+  }
+}
+
+}  // namespace iscope

@@ -1,0 +1,74 @@
+// Fixed-size thread pool with future-based task submission.
+//
+// The sweep engine (core/sweep.hpp) fans independent simulations out over
+// this pool. Design constraints, in order:
+//
+//  * no external dependencies -- std::thread + a mutex-guarded FIFO queue;
+//  * deterministic client code -- submission order is preserved in the
+//    queue, and results come back through `std::future`s so callers can
+//    collect them in submission order regardless of completion order;
+//  * exceptions thrown by a task propagate through its future (via
+//    `std::packaged_task`), never terminate a worker;
+//  * destruction *drains* the queue: every task submitted before the
+//    destructor runs is executed before the workers join. Submitting from
+//    another thread while the pool is being destroyed is a caller bug and
+//    throws.
+//
+// There is no work stealing and no task priority: the intended workload is
+// a batch of coarse-grained, similar-cost jobs (one discrete-event
+// simulation each), where a plain FIFO keeps all workers busy to the end.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace iscope {
+
+class ThreadPool {
+ public:
+  /// Spawns exactly `threads` workers (>= 1).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains the queue (runs every pending task), then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a nullary callable; its result (or exception) is delivered
+  /// through the returned future.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    // shared_ptr because std::function requires a copyable callable and
+    // packaged_task is move-only.
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+ private:
+  void enqueue(std::function<void()> job);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace iscope

@@ -77,6 +77,14 @@ double env_scale() {
   return std::clamp(v, 0.1, 20.0);
 }
 
+std::size_t env_parallelism() {
+  const char* s = std::getenv("ISCOPE_PARALLEL");
+  if (s == nullptr || *s == '\0') return 0;
+  const long v = std::strtol(s, nullptr, 10);
+  if (v < 0) return 0;
+  return static_cast<std::size_t>(v);
+}
+
 double estimated_peak_demand_w(const ClusterConfig& cluster, double cop) {
   const double f_top = cluster.levels.freq_ghz.back();
   const double per_cpu =

@@ -32,6 +32,11 @@ struct ExperimentConfig {
   /// the demand curve frequently -- the Fig. 7 matching regime.
   double wind_mean_fraction_of_peak = 0.5;
   std::uint64_t seed = 2015;
+  /// Worker threads the sweep engine (core/sweep.hpp) fans scenario runs
+  /// out over. 0 = one worker per hardware thread (the default), 1 = the
+  /// legacy serial path (no thread pool at all). Results are bit-identical
+  /// at any setting; this knob only trades wall-clock for cores.
+  std::size_t parallelism = 0;
 
   void validate() const;
 
@@ -48,6 +53,11 @@ struct ExperimentConfig {
 /// Read ISCOPE_SCALE from the environment (default 1.0, clamped to
 /// [0.1, 20]). Benches multiply `paper_small()` by this.
 double env_scale();
+
+/// Read ISCOPE_PARALLEL from the environment (default 0 = one sweep worker
+/// per hardware thread; 1 = serial). Benches feed this into
+/// `ExperimentConfig::parallelism`.
+std::size_t env_parallelism();
 
 /// Estimated peak facility demand [W]: every CPU at the top level and
 /// stock voltage, plus cooling.

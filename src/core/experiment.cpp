@@ -1,6 +1,7 @@
 #include "core/experiment.hpp"
 
 #include <numeric>
+#include <sstream>
 
 #include "common/log.hpp"
 #include "common/rng.hpp"
@@ -9,6 +10,16 @@
 #include "workload/urgency.hpp"
 
 namespace iscope {
+
+namespace {
+
+std::string spec_label(Scheme scheme, const char* param, double x) {
+  std::ostringstream os;
+  os << scheme_name(scheme) << ' ' << param << '=' << x;
+  return os.str();
+}
+
+}  // namespace
 
 ExperimentContext::ExperimentContext(const ExperimentConfig& config)
     : config_(config) {
@@ -60,104 +71,137 @@ HybridSupply ExperimentContext::make_supply(bool with_wind,
 SimResult ExperimentContext::run(Scheme scheme, const std::vector<Task>& tasks,
                                  const HybridSupply& supply,
                                  bool record_trace) const {
-  SimConfig sim = config_.sim;
-  sim.record_trace = record_trace;
-  // Fork by placement *rule*, not scheme: BinRan and ScanRan then share the
-  // same random placement stream, so their comparison isolates the
-  // knowledge difference (paired-run variance reduction).
-  sim.seed = Rng(config_.seed)
-                 .fork(placement_rule_name(scheme_rule(scheme)))
-                 .seed();
-  return run_scheme(*cluster_, scheme, db_.get(), supply, tasks, sim);
+  ScenarioSpec spec;
+  spec.scheme = scheme;
+  spec.tasks = borrow(tasks);
+  spec.supply = borrow(supply);
+  spec.record_trace = record_trace;
+  return SweepRunner(*this, 1).run_one(spec);
 }
 
 std::vector<SweepPoint> sweep_hu(const ExperimentContext& ctx,
                                  const std::vector<double>& hu_fractions,
                                  bool with_wind) {
-  std::vector<SweepPoint> out;
-  const HybridSupply supply = ctx.make_supply(with_wind);
+  const auto supply =
+      std::make_shared<const HybridSupply>(ctx.make_supply(with_wind));
+  std::vector<ScenarioSpec> specs;
+  specs.reserve(hu_fractions.size() * kAllSchemes.size());
   for (const double hu : hu_fractions) {
-    const std::vector<Task> tasks = ctx.make_tasks(hu);
+    const auto tasks =
+        std::make_shared<const std::vector<Task>>(ctx.make_tasks(hu));
     for (const Scheme scheme : kAllSchemes) {
-      SweepPoint p;
-      p.scheme = scheme;
-      p.x = hu;
-      p.result = ctx.run(scheme, tasks, supply);
-      out.push_back(std::move(p));
+      ScenarioSpec s;
+      s.scheme = scheme;
+      s.tasks = tasks;
+      s.supply = supply;
+      s.x = hu;
+      s.label = spec_label(scheme, "hu", hu);
+      specs.push_back(std::move(s));
     }
   }
-  return out;
+  return SweepRunner(ctx).run_points(specs);
 }
 
 std::vector<SweepPoint> sweep_arrival(const ExperimentContext& ctx,
                                       const std::vector<double>& rates,
                                       bool with_wind) {
-  std::vector<SweepPoint> out;
-  const HybridSupply supply = ctx.make_supply(with_wind);
+  const auto supply =
+      std::make_shared<const HybridSupply>(ctx.make_supply(with_wind));
   const double hu = ctx.config().urgency.hu_fraction;
+  std::vector<ScenarioSpec> specs;
+  specs.reserve(rates.size() * kAllSchemes.size());
   for (const double rate : rates) {
-    const std::vector<Task> tasks = ctx.make_tasks(hu, rate);
+    const auto tasks =
+        std::make_shared<const std::vector<Task>>(ctx.make_tasks(hu, rate));
     for (const Scheme scheme : kAllSchemes) {
-      SweepPoint p;
-      p.scheme = scheme;
-      p.x = rate;
-      p.result = ctx.run(scheme, tasks, supply);
-      out.push_back(std::move(p));
+      ScenarioSpec s;
+      s.scheme = scheme;
+      s.tasks = tasks;
+      s.supply = supply;
+      s.x = rate;
+      s.label = spec_label(scheme, "rate", rate);
+      specs.push_back(std::move(s));
     }
   }
-  return out;
+  return SweepRunner(ctx).run_points(specs);
 }
 
 std::vector<SweepPoint> sweep_wind_strength(
     const ExperimentContext& ctx, const std::vector<double>& factors) {
-  std::vector<SweepPoint> out;
   const double hu = ctx.config().urgency.hu_fraction;
-  const std::vector<Task> tasks = ctx.make_tasks(hu);
+  const auto tasks =
+      std::make_shared<const std::vector<Task>>(ctx.make_tasks(hu));
+  std::vector<ScenarioSpec> specs;
+  specs.reserve(factors.size() * kAllSchemes.size());
   for (const double f : factors) {
-    const HybridSupply supply = ctx.make_supply(true, f);
+    const auto supply =
+        std::make_shared<const HybridSupply>(ctx.make_supply(true, f));
     for (const Scheme scheme : kAllSchemes) {
-      SweepPoint p;
-      p.scheme = scheme;
-      p.x = f;
-      p.result = ctx.run(scheme, tasks, supply);
-      out.push_back(std::move(p));
+      ScenarioSpec s;
+      s.scheme = scheme;
+      s.tasks = tasks;
+      s.supply = supply;
+      s.x = f;
+      s.label = spec_label(scheme, "swp", f);
+      specs.push_back(std::move(s));
     }
   }
-  return out;
+  return SweepRunner(ctx).run_points(specs);
 }
 
 std::vector<SweepPoint> power_traces(const ExperimentContext& ctx) {
   const std::array<Scheme, 3> scan_schemes = {
       Scheme::kScanRan, Scheme::kScanEffi, Scheme::kScanFair};
   const double hu = ctx.config().urgency.hu_fraction;
-  const std::vector<Task> tasks = ctx.make_tasks(hu);
-  const HybridSupply supply = ctx.make_supply(true);
-  std::vector<SweepPoint> out;
+  const auto tasks =
+      std::make_shared<const std::vector<Task>>(ctx.make_tasks(hu));
+  const auto supply = std::make_shared<const HybridSupply>(ctx.make_supply(true));
+  std::vector<ScenarioSpec> specs;
+  specs.reserve(scan_schemes.size());
   for (const Scheme scheme : scan_schemes) {
-    SweepPoint p;
-    p.scheme = scheme;
-    p.result = ctx.run(scheme, tasks, supply, /*record_trace=*/true);
-    out.push_back(std::move(p));
+    ScenarioSpec s;
+    s.scheme = scheme;
+    s.tasks = tasks;
+    s.supply = supply;
+    s.record_trace = true;
+    s.label = spec_label(scheme, "trace", 1.0);
+    specs.push_back(std::move(s));
   }
-  return out;
+  return SweepRunner(ctx).run_points(specs);
 }
 
 std::vector<CostRow> energy_costs(const ExperimentContext& ctx) {
   const double hu = ctx.config().urgency.hu_fraction;
-  const std::vector<Task> tasks = ctx.make_tasks(hu);
-  std::vector<CostRow> rows;
+  const auto tasks =
+      std::make_shared<const std::vector<Task>>(ctx.make_tasks(hu));
+  std::vector<ScenarioSpec> specs;
+  specs.reserve(2 * kAllSchemes.size());
   for (const bool with_wind : {false, true}) {
-    const HybridSupply supply = ctx.make_supply(with_wind);
+    const auto supply =
+        std::make_shared<const HybridSupply>(ctx.make_supply(with_wind));
     for (const Scheme scheme : kAllSchemes) {
-      const SimResult r = ctx.run(scheme, tasks, supply);
-      CostRow row;
-      row.scheme = scheme;
-      row.with_wind = with_wind;
-      row.cost_usd = r.cost_usd;
-      row.utility_kwh = r.energy.utility_kwh();
-      row.wind_kwh = r.energy.wind_kwh();
-      rows.push_back(row);
+      ScenarioSpec s;
+      s.scheme = scheme;
+      s.tasks = tasks;
+      s.supply = supply;
+      s.x = with_wind ? 1.0 : 0.0;
+      s.label = spec_label(scheme, "wind", s.x);
+      specs.push_back(std::move(s));
     }
+  }
+  const std::vector<SimResult> results = SweepRunner(ctx).run(specs);
+
+  std::vector<CostRow> rows;
+  rows.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const SimResult& r = results[i];
+    CostRow row;
+    row.scheme = specs[i].scheme;
+    row.with_wind = specs[i].x != 0.0;
+    row.cost_usd = r.cost_usd;
+    row.utility_kwh = r.energy.utility_kwh();
+    row.wind_kwh = r.energy.wind_kwh();
+    rows.push_back(row);
   }
   return rows;
 }

@@ -2,14 +2,17 @@
 //
 // `ExperimentContext` builds the expensive shared state once -- cluster
 // fabrication, the full in-cloud scan, the wind trace -- and the per-figure
-// functions sweep schemes and parameters over it. The bench binaries are
-// thin formatting wrappers around these.
+// functions are thin ScenarioSpec builders over the sweep engine
+// (core/sweep.hpp), which fans the (scheme x parameter) grid out over a
+// thread pool sized by `ExperimentConfig::parallelism`. The bench binaries
+// are thin formatting wrappers around these.
 #pragma once
 
 #include <memory>
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/sweep.hpp"
 #include "energy/hybrid_supply.hpp"
 #include "profiling/profile_db.hpp"
 #include "sched/scheme.hpp"
@@ -36,7 +39,8 @@ class ExperimentContext {
   /// utility-only facility.
   HybridSupply make_supply(bool with_wind, double strength = 1.0) const;
 
-  /// Run one scheme over one task set and supply.
+  /// Run one scheme over one task set and supply, in the caller's thread
+  /// (a single-spec convenience over `SweepRunner::run_one`).
   SimResult run(Scheme scheme, const std::vector<Task>& tasks,
                 const HybridSupply& supply, bool record_trace = false) const;
 
@@ -45,13 +49,6 @@ class ExperimentContext {
   std::unique_ptr<Cluster> cluster_;
   std::unique_ptr<ProfileDb> db_;
   SupplyTrace wind_trace_;
-};
-
-/// One sweep point of one scheme.
-struct SweepPoint {
-  Scheme scheme;
-  double x = 0.0;  ///< the swept parameter (HU fraction, rate, SWP factor)
-  SimResult result;
 };
 
 /// Fig. 5(A) / 6(A,C): utility (and wind) energy vs %HU for all 5 schemes.

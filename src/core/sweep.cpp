@@ -1,0 +1,78 @@
+#include "core/sweep.hpp"
+
+#include <future>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "core/experiment.hpp"
+
+namespace iscope {
+
+namespace {
+
+std::size_t resolve_parallelism(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+}  // namespace
+
+SweepRunner::SweepRunner(const ExperimentContext& ctx)
+    : SweepRunner(ctx, ctx.config().parallelism) {}
+
+SweepRunner::SweepRunner(const ExperimentContext& ctx, std::size_t parallelism)
+    : ctx_(&ctx), parallelism_(resolve_parallelism(parallelism)) {}
+
+SimResult SweepRunner::run_one(const ScenarioSpec& spec) const {
+  ISCOPE_CHECK_ARG(spec.tasks != nullptr, "ScenarioSpec: null task set");
+  ISCOPE_CHECK_ARG(spec.supply != nullptr, "ScenarioSpec: null supply");
+  SimConfig sim = spec.sim ? *spec.sim : ctx_->config().sim;
+  if (spec.record_trace) sim.record_trace = true;
+  sim.seed = spec.seed ? *spec.seed
+                       : Rng(ctx_->config().seed)
+                             .fork(placement_rule_name(scheme_rule(spec.scheme)))
+                             .seed();
+  return run_scheme(ctx_->cluster(), spec.scheme, &ctx_->profile_db(),
+                    *spec.supply, *spec.tasks, sim);
+}
+
+std::vector<SimResult> SweepRunner::run(
+    const std::vector<ScenarioSpec>& specs) const {
+  std::vector<SimResult> results(specs.size());
+  const std::size_t workers = std::min(parallelism_, specs.size());
+  if (workers <= 1) {
+    // Legacy serial path: no pool, no threads, same per-spec execution.
+    for (std::size_t i = 0; i < specs.size(); ++i)
+      results[i] = run_one(specs[i]);
+    return results;
+  }
+
+  std::vector<std::future<SimResult>> futures;
+  futures.reserve(specs.size());
+  {
+    ThreadPool pool(workers);
+    for (const ScenarioSpec& spec : specs)
+      futures.push_back(pool.submit([this, &spec]() { return run_one(spec); }));
+    // Pool destructor drains the queue, so every future below is ready and
+    // a throwing spec cannot leave workers touching `specs` after return.
+  }
+  for (std::size_t i = 0; i < specs.size(); ++i) results[i] = futures[i].get();
+  return results;
+}
+
+std::vector<SweepPoint> SweepRunner::run_points(
+    const std::vector<ScenarioSpec>& specs) const {
+  std::vector<SimResult> results = run(specs);
+  std::vector<SweepPoint> points(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    points[i].scheme = specs[i].scheme;
+    points[i].x = specs[i].x;
+    points[i].result = std::move(results[i]);
+  }
+  return points;
+}
+
+}  // namespace iscope

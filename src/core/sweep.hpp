@@ -1,0 +1,113 @@
+// Generic scenario-sweep engine.
+//
+// Every paper figure is a batch of independent (scheme x parameter)
+// simulation runs over state that is expensive to build once (fabricated
+// cluster, in-cloud scan, wind trace). `ScenarioSpec` names one such run;
+// `SweepRunner` executes a batch of specs -- serially or fanned out over a
+// ThreadPool -- and returns the results in spec order.
+//
+// Thread-safety contract: a run only *reads* the shared experiment state
+// (`Cluster`, `ProfileDb`, `HybridSupply`, the wind trace), all of which it
+// accesses through const references; every piece of mutable run state (the
+// per-run `Knowledge` tables, the placement RNG, meters, queues) is owned
+// by that run's `DatacenterSim`. Consequently:
+//
+//   serial (parallelism = 1) and parallel execution of the same specs
+//   produce bit-identical `SimResult`s at the same experiment seed.
+//
+// tests/test_sweep.cpp asserts this; run it under TSan (-DISCOPE_SANITIZE=
+// thread) to re-audit after touching the sim layers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "energy/hybrid_supply.hpp"
+#include "sched/scheme.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "workload/task.hpp"
+
+namespace iscope {
+
+class ExperimentContext;
+
+/// One simulation run: a scheme over a task set and a supply. Task sets
+/// and supplies are shared_ptrs so a sweep can share one instance across
+/// many specs (and across threads -- they are only read).
+struct ScenarioSpec {
+  Scheme scheme = Scheme::kScanFair;
+  std::shared_ptr<const std::vector<Task>> tasks;
+  std::shared_ptr<const HybridSupply> supply;
+
+  /// Base SimConfig override; when unset the context's config is used.
+  /// The override's `seed` is ignored unless `seed` below is also set.
+  std::optional<SimConfig> sim;
+
+  /// Explicit sim seed. When unset (the default), the seed is derived from
+  /// the experiment seed by placement *rule*, not scheme, so BinRan and
+  /// ScanRan share the same random placement stream and their comparison
+  /// isolates the knowledge difference (paired-run variance reduction) --
+  /// identical to the historical `ExperimentContext::run` behaviour.
+  std::optional<std::uint64_t> seed;
+
+  /// Record the Fig. 7 power trace for this run.
+  bool record_trace = false;
+
+  /// The swept parameter (HU fraction, arrival rate, SWP factor...);
+  /// carried through into the matching SweepPoint.
+  double x = 0.0;
+
+  /// Human-readable tag for progress/debug output, e.g. "ScanFair hu=0.3".
+  std::string label;
+};
+
+/// One sweep point of one scheme.
+struct SweepPoint {
+  Scheme scheme = Scheme::kScanFair;
+  double x = 0.0;  ///< the swept parameter (HU fraction, rate, SWP factor)
+  SimResult result;
+};
+
+/// Executes batches of ScenarioSpecs against one ExperimentContext.
+class SweepRunner {
+ public:
+  /// Worker count comes from `ctx.config().parallelism` (0 = one worker
+  /// per hardware thread, 1 = serial legacy path in the caller's thread).
+  explicit SweepRunner(const ExperimentContext& ctx);
+
+  /// Same, with an explicit worker count overriding the config knob.
+  SweepRunner(const ExperimentContext& ctx, std::size_t parallelism);
+
+  /// Resolved worker count (>= 1).
+  std::size_t parallelism() const { return parallelism_; }
+
+  /// Execute all specs and return results in spec order. With more than
+  /// one worker the specs run concurrently on a ThreadPool; a task-level
+  /// exception is rethrown here (after all runs finish or are drained).
+  std::vector<SimResult> run(const std::vector<ScenarioSpec>& specs) const;
+
+  /// `run`, with each result paired back to its spec's (scheme, x).
+  std::vector<SweepPoint> run_points(
+      const std::vector<ScenarioSpec>& specs) const;
+
+  /// Execute one spec in the caller's thread.
+  SimResult run_one(const ScenarioSpec& spec) const;
+
+ private:
+  const ExperimentContext* ctx_;  // non-owning
+  std::size_t parallelism_;
+};
+
+/// Non-owning shared_ptr view of caller-kept state (aliasing constructor;
+/// the referenced object must outlive the spec). Lets single-run callers
+/// build a ScenarioSpec without copying a task vector.
+template <typename T>
+std::shared_ptr<const T> borrow(const T& value) {
+  return std::shared_ptr<const T>(std::shared_ptr<const void>(), &value);
+}
+
+}  // namespace iscope

@@ -1,0 +1,95 @@
+// ThreadPool: submission, futures, exception propagation, drain-on-destroy.
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace iscope {
+namespace {
+
+TEST(ThreadPool, RejectsZeroThreads) {
+  EXPECT_THROW(ThreadPool(0), InvalidArgument);
+}
+
+TEST(ThreadPool, ReportsSize) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, ReturnsValuesThroughFutures) {
+  ThreadPool pool(2);
+  auto a = pool.submit([]() { return 7; });
+  auto b = pool.submit([]() { return std::string("hello"); });
+  auto c = pool.submit([]() { /* void task */ });
+  EXPECT_EQ(a.get(), 7);
+  EXPECT_EQ(b.get(), "hello");
+  EXPECT_NO_THROW(c.get());
+}
+
+TEST(ThreadPool, ManyTasksOnFewThreadsAllComplete) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  futures.reserve(100);
+  for (int i = 0; i < 100; ++i)
+    futures.push_back(pool.submit([i]() { return i * i; }));
+  // Collected in submission order regardless of completion order.
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(futures[i].get(), i * i);
+}
+
+TEST(ThreadPool, TasksRunOffTheCallerThread) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  auto worker = pool.submit([]() { return std::this_thread::get_id(); });
+  EXPECT_NE(worker.get(), caller);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFutures) {
+  ThreadPool pool(2);
+  auto bad = pool.submit([]() -> int {
+    throw std::runtime_error("task failed");
+  });
+  auto good = pool.submit([]() { return 1; });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // A throwing task must not take its worker down with it.
+  EXPECT_EQ(good.get(), 1);
+}
+
+TEST(ThreadPool, DestructionDrainsTheQueue) {
+  std::atomic<int> completed{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      futures.push_back(pool.submit([&completed]() {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        completed.fetch_add(1);
+      }));
+    }
+    // Destructor runs here with most of the queue still pending.
+  }
+  EXPECT_EQ(completed.load(), 50);
+  for (auto& f : futures) EXPECT_NO_THROW(f.get());
+}
+
+TEST(ThreadPool, SharedAccumulationIsComplete) {
+  // Not a determinism test (that lives in test_sweep.cpp) -- just checks
+  // no submitted work is lost under contention.
+  std::atomic<long> sum{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 1; i <= 200; ++i)
+      pool.submit([&sum, i]() { sum.fetch_add(i); });
+  }
+  EXPECT_EQ(sum.load(), 200L * 201L / 2L);
+}
+
+}  // namespace
+}  // namespace iscope
