@@ -52,7 +52,7 @@ int main() {
     for (const double b : run.busy_time_s) total_busy += b;
     const double scale =
         total_busy > 0.0
-            ? units::days(365.0) * static_cast<double>(worn.size()) * 0.4 /
+            ? units::days_to_s(365.0) * static_cast<double>(worn.size()) * 0.4 /
                   total_busy
             : 0.0;
     for (std::size_t i = 0; i < worn.size(); ++i)
@@ -78,7 +78,7 @@ int main() {
     double drift = 0.0;
     const Cluster pristine = build_cluster(config.cluster);
     for (std::size_t i = 0; i < worn.size(); ++i)
-      drift += (worn.true_vdd(i, top) - pristine.true_vdd(i, top)) * 1e3;
+      drift += (worn.true_vdd(i, top) - pristine.true_vdd(i, top)).millivolts();
     drift /= static_cast<double>(worn.size());
 
     table.add_row(

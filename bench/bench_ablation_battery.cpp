@@ -20,7 +20,7 @@ int main() {
 
   const SimResult fair = ctx.run(Scheme::kScanFair, tasks, supply);
   std::cout << "Battery-less ScanFair: "
-            << TextTable::num(fair.cost_usd, 2) << " USD, wind share "
+            << TextTable::num(fair.cost.dollars(), 2) << " USD, wind share "
             << TextTable::pct(fair.energy.wind_kwh() /
                               std::max(fair.energy.total_kwh(), 1e-9))
             << "\n\n";
@@ -29,8 +29,8 @@ int main() {
   table.set_header({"battery kWh", "BinRan cost USD", "wind kWh",
                     "battery out kWh", "losses kWh", "vs ScanFair"});
   const double peak_kw =
-      estimated_peak_demand_w(ctx.config().cluster,
-                              ctx.config().sim.cooling_cop) / 1e3;
+      estimated_peak_demand(ctx.config().cluster,
+                              ctx.config().sim.cooling_cop).watts() / 1e3;
   for (const double kwh : {0.0, 25.0, 50.0, 100.0, 200.0, 400.0}) {
     SimConfig sim = ctx.config().sim;
     sim.battery = kwh > 0.0 ? BatteryConfig::make(kwh, peak_kw)
@@ -38,11 +38,11 @@ int main() {
     sim.seed = 99;
     const SimResult r = run_scheme(ctx.cluster(), Scheme::kBinRan,
                                    &ctx.profile_db(), supply, tasks, sim);
-    table.add_row({TextTable::num(kwh, 0), TextTable::num(r.cost_usd, 2),
+    table.add_row({TextTable::num(kwh, 0), TextTable::num(r.cost.dollars(), 2),
                    TextTable::num(r.energy.wind_kwh(), 1),
-                   TextTable::num(r.battery_delivered_kwh, 1),
-                   TextTable::num(r.battery_losses_kwh, 1),
-                   r.cost_usd <= fair.cost_usd ? "matches/beats" : "worse"});
+                   TextTable::num(r.battery_delivered.kwh(), 1),
+                   TextTable::num(r.battery_losses.kwh(), 1),
+                   r.cost.dollars() <= fair.cost.dollars() ? "matches/beats" : "worse"});
   }
   table.print(std::cout);
   std::cout << "\nReading: the naive scheme needs a substantial (and lossy)\n"

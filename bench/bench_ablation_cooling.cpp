@@ -34,9 +34,9 @@ int main() {
                                       &ctx.profile_db(), supply, tasks, sim);
     table.add_row({TextTable::num(cop, 1),
                    TextTable::num(CoolingModel(cop).overhead_factor(), 2),
-                   TextTable::num(base.cost_usd, 2),
-                   TextTable::num(fair.cost_usd, 2),
-                   TextTable::pct(1.0 - fair.cost_usd / base.cost_usd)});
+                   TextTable::num(base.cost.dollars(), 2),
+                   TextTable::num(fair.cost.dollars(), 2),
+                   TextTable::pct(1.0 - fair.cost.dollars() / base.cost.dollars())});
   }
   table.print(std::cout);
   std::cout << "\nReading: a wasteful facility (COP 0.6 burns ~2.7x IT power)\n"

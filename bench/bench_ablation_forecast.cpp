@@ -48,9 +48,9 @@ int main() {
     const SimResult r = dcsim.run(tasks);
     table.add_row({v.name, TextTable::num(r.energy.utility_kwh(), 1),
                    TextTable::num(r.energy.wind_kwh(), 1),
-                   TextTable::num(r.cost_usd, 2),
+                   TextTable::num(r.cost.dollars(), 2),
                    std::to_string(r.deadline_misses),
-                   TextTable::num(r.mean_wait_s / 60.0, 1)});
+                   TextTable::num(r.mean_wait.seconds() / 60.0, 1)});
   }
   table.print(std::cout);
   std::cout << "\nReading: skillful forecasts trim the cost of deferrals\n"

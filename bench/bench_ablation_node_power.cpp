@@ -35,12 +35,14 @@ int main() {
     for (std::size_t l = 0; l < levels.count(); ++l) {
       double cpu_scan = 0.0, cpu_bin = 0.0, wall_scan = 0.0, wall_bin = 0.0;
       for (std::size_t i = 0; i < cluster.size(); ++i) {
-        const double p_scan = cluster.power_w(i, l, cluster.true_vdd(i, l));
-        const double p_bin = cluster.power_w(i, l, cluster.bin_vdd(i, l));
+        const double p_scan =
+            cluster.power(i, l, cluster.true_vdd(i, l)).watts();
+        const double p_bin =
+            cluster.power(i, l, cluster.bin_vdd(i, l)).watts();
         cpu_scan += p_scan;
         cpu_bin += p_bin;
-        wall_scan += node_model.wall_power_w(p_scan, mem, nodes[i]);
-        wall_bin += node_model.wall_power_w(p_bin, mem, nodes[i]);
+        wall_scan += node_model.wall_power(Watts{p_scan}, mem, nodes[i]).watts();
+        wall_bin += node_model.wall_power(Watts{p_bin}, mem, nodes[i]).watts();
       }
       table.add_row({std::to_string(l), TextTable::num(levels.freq_ghz[l], 2),
                      TextTable::num(cpu_scan / 1e3, 2),

@@ -50,7 +50,8 @@ int main() {
       trials.add(static_cast<double>(p.trials));
       time_s.add(p.scan_time_s);
       energy.add(p.scan_energy_j);
-      err_mv.add((p.chip_vdd.vdd(top) - cluster.true_vdd(i, top)) * 1e3);
+      err_mv.add(
+          (p.chip_vdd.vdd(top) - cluster.true_vdd(i, top).volts()) * 1e3);
     }
     table.add_row(
         {v.strategy == SearchStrategy::kLinearDescent ? "linear" : "binary",

@@ -34,10 +34,10 @@ int main() {
                                      &ctx.profile_db(), supply, tasks, sim);
       table.add_row({TextTable::num(pool, 2),
                      TextTable::num(r.energy.utility_kwh(), 1),
-                     TextTable::num(r.cost_usd, 2),
+                     TextTable::num(r.cost.dollars(), 2),
                      std::to_string(r.deadline_misses),
                      TextTable::num(r.busy_variance_h2, 2),
-                     TextTable::num(r.mean_wait_s / 60.0, 1)});
+                     TextTable::num(r.mean_wait.seconds() / 60.0, 1)});
     }
     table.print(std::cout);
   }
@@ -56,7 +56,7 @@ int main() {
       table.add_row({TextTable::num(patience_min, 0),
                      TextTable::num(r.energy.utility_kwh(), 1),
                      TextTable::num(r.energy.wind_kwh(), 1),
-                     TextTable::num(r.cost_usd, 2),
+                     TextTable::num(r.cost.dollars(), 2),
                      std::to_string(r.deadline_misses)});
     }
     table.print(std::cout);

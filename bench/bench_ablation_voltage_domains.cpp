@@ -26,9 +26,9 @@ int main() {
   for (std::size_t l = 0; l < levels.count(); ++l) {
     double stock = 0.0, chip = 0.0, per_core = 0.0;
     for (std::size_t i = 0; i < cluster.size(); ++i) {
-      stock += cluster.power_w(i, l, levels.vdd_nom[l]);
-      chip += cluster.power_w(i, l, cluster.true_vdd(i, l));
-      per_core += cluster.power_w_per_core_domains(i, l);
+      stock += cluster.power(i, l, Volts{levels.vdd_nom[l]}).watts();
+      chip += cluster.power(i, l, cluster.true_vdd(i, l)).watts();
+      per_core += cluster.power_per_core_domains(i, l).watts();
     }
     table.add_row({std::to_string(l), TextTable::num(levels.freq_ghz[l], 2),
                    TextTable::num(stock / 1e3, 2),

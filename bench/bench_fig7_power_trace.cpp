@@ -24,10 +24,11 @@ int main() {
     ChartSeries demand{"facility demand [kW]", {}, '#'};
     std::vector<std::vector<double>> csv_rows;
     for (const PowerSample& s : trace) {
-      wind.values.push_back(s.wind_avail_w / 1e3);
-      demand.values.push_back(s.demand_w / 1e3);
-      csv_rows.push_back({s.time_s, s.wind_avail_w, s.demand_w, s.wind_w,
-                          s.utility_w});
+      wind.values.push_back(s.wind_avail.watts() / 1e3);
+      demand.values.push_back(s.demand.watts() / 1e3);
+      csv_rows.push_back({s.time.seconds(), s.wind_avail.watts(),
+                          s.demand.watts(), s.wind.watts(),
+                          s.utility.watts()});
     }
     ChartOptions opts;
     opts.x_label = "time (full run, 350 s samples)";
@@ -44,21 +45,27 @@ int main() {
     double abs_gap = 0.0, utility_at_low = 0.0, fill_at_high = 0.0;
     std::size_t low_n = 0, high_n = 0;
     for (const PowerSample& s : trace) {
-      abs_gap += std::abs(s.demand_w - s.wind_avail_w);
-      if (s.wind_avail_w < 0.2 * ctx.wind_trace().mean_w()) {
-        utility_at_low += s.utility_w;
+      abs_gap += std::abs(s.demand.watts() - s.wind_avail.watts());
+      if (s.wind_avail.watts() < 0.2 * ctx.wind_trace().mean_power().watts()) {
+        utility_at_low += s.utility.watts();
         ++low_n;
-      } else if (s.wind_avail_w > 1.5 * ctx.wind_trace().mean_w()) {
-        fill_at_high += s.wind_w / std::max(s.wind_avail_w, 1.0);
+      } else if (s.wind_avail.watts() > 1.5 * ctx.wind_trace().mean_power().watts()) {
+        fill_at_high += s.wind.watts() / std::max(s.wind_avail.watts(), 1.0);
         ++high_n;
       }
     }
     std::cout << scheme_name(point.scheme) << ": mean |demand-wind| = "
-              << TextTable::num(abs_gap / trace.size() / 1e3, 2)
+              << TextTable::num(
+                     abs_gap / static_cast<double>(trace.size()) / 1e3, 2)
               << " kW; mean utility draw at wind lows = "
-              << TextTable::num(low_n ? utility_at_low / low_n / 1e3 : 0.0, 2)
+              << TextTable::num(
+                     low_n ? utility_at_low / static_cast<double>(low_n) / 1e3
+                           : 0.0,
+                     2)
               << " kW; mean wind-fill at wind highs = "
-              << TextTable::pct(high_n ? fill_at_high / high_n : 0.0)
+              << TextTable::pct(
+                     high_n ? fill_at_high / static_cast<double>(high_n)
+                            : 0.0)
               << "\n\n";
   }
   return 0;

@@ -19,15 +19,15 @@ int main() {
   table.set_header({"scheme", "wind?", "utility kWh", "wind kWh", "cost USD"});
   for (const CostRow& r : rows) {
     table.add_row({scheme_name(r.scheme), r.with_wind ? "yes" : "no",
-                   TextTable::num(r.utility_kwh, 1),
-                   TextTable::num(r.wind_kwh, 1),
-                   TextTable::num(r.cost_usd, 2)});
+                   TextTable::num(r.utility.kwh(), 1),
+                   TextTable::num(r.wind.kwh(), 1),
+                   TextTable::num(r.cost.dollars(), 2)});
   }
   table.print(std::cout);
 
   auto cost_of = [&](Scheme s, bool wind) {
     for (const CostRow& r : rows)
-      if (r.scheme == s && r.with_wind == wind) return r.cost_usd;
+      if (r.scheme == s && r.with_wind == wind) return r.cost.dollars();
     return 0.0;
   };
   const double binran_w = cost_of(Scheme::kBinRan, true);

@@ -18,6 +18,6 @@ int main() {
   bench::print_sweep(points, "SWP", "busy-time variance [h^2]",
                      [](const SimResult& r) { return r.busy_variance_h2; }, 3);
   bench::print_sweep(points, "SWP", "energy cost [USD]",
-                     [](const SimResult& r) { return r.cost_usd; }, 2);
+                     [](const SimResult& r) { return r.cost.dollars(); }, 2);
   return 0;
 }

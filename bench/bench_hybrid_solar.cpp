@@ -20,13 +20,13 @@ int main() {
 
   const double target_mean =
       ctx.config().wind_mean_fraction_of_peak *
-      estimated_peak_demand_w(ctx.config().cluster,
-                              ctx.config().sim.cooling_cop);
+      estimated_peak_demand(ctx.config().cluster,
+                              ctx.config().sim.cooling_cop).watts();
 
   SolarFarmConfig solar_cfg;
   solar_cfg.seed = 4242;
   const SupplyTrace solar =
-      generate_solar_days(solar_cfg, 7.0).scaled_to_mean(target_mean);
+      generate_solar_days(solar_cfg, 7.0).scaled_to_mean(Watts{target_mean});
   const SupplyTrace wind = ctx.wind_trace();  // already at target mean
   const SupplyTrace hybrid =
       combine_supplies(wind.scaled(0.5), solar.scaled(0.5));
@@ -45,8 +45,8 @@ int main() {
       table.add_row({farm.name, scheme_name(scheme),
                      TextTable::num(r.energy.wind_kwh(), 1),
                      TextTable::num(r.energy.utility_kwh(), 1),
-                     TextTable::num(r.wind_curtailed_kwh, 1),
-                     TextTable::num(r.cost_usd, 2)});
+                     TextTable::num(r.wind_curtailed.kwh(), 1),
+                     TextTable::num(r.cost.dollars(), 2)});
     }
   }
   table.print(std::cout);

@@ -204,9 +204,9 @@ int main(int argc, char** argv) {
       double abs_gap = 0.0, low_util = 0.0;
       std::size_t low_n = 0;
       for (const PowerSample& s : point.result.trace) {
-        abs_gap += std::abs(s.demand_w - s.wind_avail_w);
-        if (s.wind_avail_w < 0.2 * ctx.wind_trace().mean_w()) {
-          low_util += s.utility_w;
+        abs_gap += std::abs(s.demand.watts() - s.wind_avail.watts());
+        if (s.wind_avail.watts() < 0.2 * ctx.wind_trace().mean_power().watts()) {
+          low_util += s.utility.watts();
           ++low_n;
         }
       }
@@ -214,7 +214,9 @@ int main(int argc, char** argv) {
       gap[k++] = abs_gap;
       rows.push_back({scheme_name(point.scheme),
                       md_num(abs_gap / 1e3, 2) + " kW",
-                      md_num(low_n ? low_util / low_n / 1e3 : 0.0, 2) +
+                      md_num(low_n ? low_util / static_cast<double>(low_n) / 1e3
+                                   : 0.0,
+                             2) +
                           " kW"});
     }
     md.table({"scheme", "mean |demand − wind|", "utility draw at wind lows"},
@@ -233,13 +235,13 @@ int main(int argc, char** argv) {
     std::vector<std::vector<std::string>> cells;
     auto cost_of = [&](Scheme s, bool wind) {
       for (const CostRow& r : rows)
-        if (r.scheme == s && r.with_wind == wind) return r.cost_usd;
+        if (r.scheme == s && r.with_wind == wind) return r.cost.dollars();
       return 0.0;
     };
     for (const CostRow& r : rows)
       cells.push_back({scheme_name(r.scheme), r.with_wind ? "yes" : "no",
-                       md_num(r.utility_kwh, 1), md_num(r.wind_kwh, 1),
-                       md_num(r.cost_usd, 2)});
+                       md_num(r.utility.kwh(), 1), md_num(r.wind.kwh(), 1),
+                       md_num(r.cost.dollars(), 2)});
     md.table({"scheme", "wind?", "utility kWh", "wind kWh", "cost USD"},
              cells);
     const double se_vs_be =
@@ -314,11 +316,11 @@ int main(int argc, char** argv) {
     const OverheadReport b = compute_overhead(sbfft);
     md.table({"campaign", "paper (wind / utility USD)", "measured"},
              {{"stress test, 4800 CPUs, 5f x 10V", "230 / 598",
-               md_num(a.cost_wind_usd, 1) + " / " +
-                   md_num(a.cost_utility_usd, 1)},
+               md_num(a.cost_wind.dollars(), 1) + " / " +
+                   md_num(a.cost_utility.dollars(), 1)},
               {"functional failing test", "11.2 / 28.9",
-               md_num(b.cost_wind_usd, 1) + " / " +
-                   md_num(b.cost_utility_usd, 1)}});
+               md_num(b.cost_wind.dollars(), 1) + " / " +
+                   md_num(b.cost_utility.dollars(), 1)}});
   }
 
   // ------------------------------------------------------------ extras

@@ -87,8 +87,8 @@ void BM_PowerMatcher(benchmark::State& state) {
   }
   for (auto _ : state) {
     auto copy = tasks;
-    const MatchResult r = matcher.match(copy, 5e3, 0.0);
-    benchmark::DoNotOptimize(r.demand_w);
+    const MatchResult r = matcher.match(copy, Watts{5e3}, 0.0);
+    benchmark::DoNotOptimize(r.demand.watts());
   }
 }
 BENCHMARK(BM_PowerMatcher)->Arg(16)->Arg(64);
@@ -115,9 +115,10 @@ void BM_Eq1VoltageAblation(benchmark::State& state) {
     double eq1 = 0.0, extended = 0.0;
     for (std::size_t i = 0; i < cluster.size(); ++i) {
       const auto& c = cluster.proc(i).coeffs;
-      eq1 += cluster.power_model().power_eq1_w(c,
-                                               cluster.levels().freq_ghz[top]);
-      extended += cluster.power_w(i, top, cluster.true_vdd(i, top));
+      eq1 += cluster.power_model()
+                 .power_eq1(c, Gigahertz{cluster.levels().freq_ghz[top]})
+                 .watts();
+      extended += cluster.power(i, top, cluster.true_vdd(i, top)).watts();
     }
     delta_sum = 1.0 - extended / eq1;
     benchmark::DoNotOptimize(delta_sum);
@@ -144,7 +145,7 @@ void BM_OracleForecast(benchmark::State& state) {
   const OracleForecaster oracle(&supply);
   double t = 0.0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(oracle.forecast_mean_w(t, 6.0 * 3600.0));
+    benchmark::DoNotOptimize(oracle.forecast_mean(Seconds{t}, Seconds{6.0 * 3600.0}).watts());
     t += 601.0;
     if (t > 5.0 * 86400.0) t = 0.0;
   }
@@ -169,7 +170,7 @@ void BM_FullSimulation(benchmark::State& state) {
   for (auto _ : state) {
     DatacenterSim sim(&knowledge, PlacementRule::kFair, &supply, SimConfig{});
     const SimResult r = sim.run(tasks);
-    benchmark::DoNotOptimize(r.energy.total_j());
+    benchmark::DoNotOptimize(r.energy.total().joules());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           state.range(0));

@@ -24,10 +24,10 @@ int main() {
     const OverheadReport r = compute_overhead(cfg);
     const bool stress = kind == TestKind::kStress;
     table.add_row({stress ? "stress (10 min)" : "functional failing (29 s)",
-                   TextTable::num(r.per_proc_time_s / 60.0, 1) + " min",
-                   TextTable::num(r.total_energy_kwh, 0),
-                   TextTable::num(r.cost_wind_usd, 1),
-                   TextTable::num(r.cost_utility_usd, 1),
+                   TextTable::num(r.per_proc_time.seconds() / 60.0, 1) + " min",
+                   TextTable::num(r.total_energy.kwh(), 0),
+                   TextTable::num(r.cost_wind.dollars(), 1),
+                   TextTable::num(r.cost_utility.dollars(), 1),
                    stress ? "230 / 598" : "11.2 / 28.9"});
   }
   table.print(std::cout);

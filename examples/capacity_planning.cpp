@@ -31,10 +31,10 @@ int main() {
     const double share = fair.energy.total_kwh() > 0.0
                              ? fair.energy.wind_kwh() / fair.energy.total_kwh()
                              : 0.0;
-    table.add_row({TextTable::num(frac, 1), TextTable::num(base.cost_usd, 2),
-                   TextTable::num(fair.cost_usd, 2), TextTable::pct(share),
-                   TextTable::num(fair.wind_curtailed_kwh, 0),
-                   TextTable::pct(1.0 - fair.cost_usd / base.cost_usd)});
+    table.add_row({TextTable::num(frac, 1), TextTable::num(base.cost.dollars(), 2),
+                   TextTable::num(fair.cost.dollars(), 2), TextTable::pct(share),
+                   TextTable::num(fair.wind_curtailed.kwh(), 0),
+                   TextTable::pct(1.0 - fair.cost.dollars() / base.cost.dollars())});
   }
   table.print(std::cout);
   std::cout << "\nReading: savings grow with wind capacity but curtailment\n"

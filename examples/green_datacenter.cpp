@@ -16,11 +16,11 @@ int main() {
   const ExperimentContext ctx(config);
   std::cout << "Green datacenter: " << ctx.cluster().size()
             << " CPUs, wind farm mean "
-            << TextTable::num(ctx.wind_trace().mean_w() / 1e3, 1)
+            << TextTable::num(ctx.wind_trace().mean_power().watts() / 1e3, 1)
             << " kW (peak demand "
             << TextTable::num(
-                   estimated_peak_demand_w(config.cluster,
-                                           config.sim.cooling_cop) / 1e3, 1)
+                   estimated_peak_demand(config.cluster,
+                                           config.sim.cooling_cop).watts() / 1e3, 1)
             << " kW)\n\n";
 
   const std::vector<Task> tasks = ctx.make_tasks(/*hu_fraction=*/0.3);
@@ -38,9 +38,9 @@ int main() {
                                    : 0.0;
     report.add_row({scheme_name(scheme), TextTable::num(r.energy.wind_kwh(), 1),
                     TextTable::num(r.energy.utility_kwh(), 1),
-                    TextTable::pct(share), TextTable::num(r.cost_usd, 2),
+                    TextTable::pct(share), TextTable::num(r.cost.dollars(), 2),
                     std::to_string(r.deadline_misses),
-                    TextTable::num(r.mean_wait_s / 60.0, 1),
+                    TextTable::num(r.mean_wait.seconds() / 60.0, 1),
                     TextTable::num(r.busy_variance_h2, 2)});
   }
   report.print(std::cout);
@@ -51,15 +51,16 @@ int main() {
   TextTable track;
   track.set_header({"hour", "wind avail", "demand", "utility"});
   const auto& trace = fair.trace;
-  const double hours = trace.empty() ? 0.0 : trace.back().time_s / 3600.0;
+  const double hours =
+      trace.empty() ? 0.0 : trace.back().time.seconds() / 3600.0;
   for (int h = 0; h < std::min(24, static_cast<int>(hours)); ++h) {
     double wind = 0.0, demand = 0.0, utility = 0.0;
     int n = 0;
     for (const PowerSample& s : trace) {
-      if (s.time_s >= h * 3600.0 && s.time_s < (h + 1) * 3600.0) {
-        wind += s.wind_avail_w;
-        demand += s.demand_w;
-        utility += s.utility_w;
+      if (s.time.seconds() >= h * 3600.0 && s.time.seconds() < (h + 1) * 3600.0) {
+        wind += s.wind_avail.watts();
+        demand += s.demand.watts();
+        utility += s.utility.watts();
         ++n;
       }
     }

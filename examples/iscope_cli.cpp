@@ -83,10 +83,10 @@ int cmd_wind(const Args& args) {
   cfg.seed = args.integer("seed", cfg.seed);
   SupplyTrace trace = generate_wind_days(cfg, args.number("days", 7.0));
   if (args.get("mean-kw"))
-    trace = trace.scaled_to_mean(args.number("mean-kw", 0.0) * 1e3);
+    trace = trace.scaled_to_mean(Watts{args.number("mean-kw", 0.0) * 1e3});
   trace.save_csv(args.require("out"));
   std::cout << "wrote " << trace.samples() << " samples (mean "
-            << TextTable::num(trace.mean_w() / 1e3, 1) << " kW) to "
+            << TextTable::num(trace.mean_power().watts() / 1e3, 1) << " kW) to "
             << args.require("out") << "\n";
   return 0;
 }
@@ -94,12 +94,12 @@ int cmd_wind(const Args& args) {
 int cmd_solar(const Args& args) {
   SolarFarmConfig cfg;
   cfg.seed = args.integer("seed", cfg.seed);
-  cfg.peak_w = args.number("peak-kw", cfg.peak_w / 1e3) * 1e3;
+  cfg.peak = Watts{args.number("peak-kw", cfg.peak.watts() / 1e3) * 1e3};
   const SupplyTrace trace =
       generate_solar_days(cfg, args.number("days", 7.0));
   trace.save_csv(args.require("out"));
   std::cout << "wrote " << trace.samples() << " samples (mean "
-            << TextTable::num(trace.mean_w() / 1e3, 1) << " kW) to "
+            << TextTable::num(trace.mean_power().watts() / 1e3, 1) << " kW) to "
             << args.require("out") << "\n";
   return 0;
 }
@@ -166,7 +166,7 @@ int cmd_simulate(const Args& args) {
   config.workload.max_cpus = config.cluster.num_processors / 4;
   if (args.get("battery-kwh")) {
     const double peak_kw =
-        estimated_peak_demand_w(config.cluster, config.sim.cooling_cop) / 1e3;
+        estimated_peak_demand(config.cluster, config.sim.cooling_cop).watts() / 1e3;
     config.sim.battery =
         BatteryConfig::make(args.number("battery-kwh", 0.0), peak_kw);
   }
@@ -199,10 +199,10 @@ int cmd_simulate(const Args& args) {
   out.add_row({"wind energy", TextTable::num(r.energy.wind_kwh(), 1) + " kWh"});
   out.add_row({"utility energy",
                TextTable::num(r.energy.utility_kwh(), 1) + " kWh"});
-  out.add_row({"energy cost", TextTable::num(r.cost_usd, 2) + " USD"});
+  out.add_row({"energy cost", TextTable::num(r.cost.dollars(), 2) + " USD"});
   out.add_row({"busy-time variance",
                TextTable::num(r.busy_variance_h2, 2) + " h^2"});
-  out.add_row({"mean wait", TextTable::num(r.mean_wait_s / 60.0, 1) + " min"});
+  out.add_row({"mean wait", TextTable::num(r.mean_wait.seconds() / 60.0, 1) + " min"});
   out.print(std::cout);
 
   if (args.flag("timeline")) {

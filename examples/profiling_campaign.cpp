@@ -62,7 +62,8 @@ int main() {
   const std::size_t top = cluster.levels().count() - 1;
   for (std::size_t i = 0; i < cluster.size(); ++i) {
     if (!db.is_profiled(i)) continue;
-    err_mv.add((db.get(i).chip_vdd.vdd(top) - cluster.true_vdd(i, top)) * 1e3);
+    err_mv.add(
+        (db.get(i).chip_vdd.vdd(top) - cluster.true_vdd(i, top).volts()) * 1e3);
   }
   TextTable out;
   out.set_title("campaign results");

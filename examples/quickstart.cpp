@@ -37,7 +37,7 @@ int main() {
     table.add_row({scheme_name(scheme),
                    TextTable::num(r.energy.utility_kwh(), 1),
                    TextTable::num(r.energy.wind_kwh(), 1),
-                   TextTable::num(r.cost_usd, 2),
+                   TextTable::num(r.cost.dollars(), 2),
                    std::to_string(r.deadline_misses),
                    TextTable::num(r.busy_variance_h2, 3)});
   }
@@ -46,8 +46,8 @@ int main() {
   const SimResult base = ctx.run(Scheme::kBinRan, tasks, supply);
   const SimResult fair = ctx.run(Scheme::kScanFair, tasks, supply);
   std::cout << "\nScanFair saves "
-            << TextTable::pct(1.0 - fair.cost_usd / base.cost_usd)
+            << TextTable::pct(1.0 - fair.cost.dollars() / base.cost.dollars())
             << " of BinRan's energy cost on this run.\n";
-  std::cout << "mean wait " << base.mean_wait_s << "s / " << fair.mean_wait_s << "s, makespan " << base.makespan_s << "\n";
+  std::cout << "mean wait " << base.mean_wait.seconds() << "s / " << fair.mean_wait.seconds() << "s, makespan " << base.makespan.seconds() << "\n";
   return 0;
 }

@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
     const SimResult r = ctx.run(scheme, tasks, supply);
     table.add_row({scheme_name(scheme), TextTable::num(r.energy.wind_kwh(), 1),
                    TextTable::num(r.energy.utility_kwh(), 1),
-                   TextTable::num(r.cost_usd, 2),
+                   TextTable::num(r.cost.dollars(), 2),
                    std::to_string(r.deadline_misses)});
   }
   table.print(std::cout);

@@ -1,0 +1,36 @@
+// Debug-mode invariant auditor.
+//
+// ISCOPE_AUDIT_CHECK guards physical invariants that are *provable* from
+// the code but cheap to re-verify numerically -- above all energy
+// conservation at the meter boundaries (wind_used + utility_used equals the
+// demand integrated over the step, within float tolerance). These checks
+// sit inside hot accounting loops, so unlike ISCOPE_CHECK they compile away
+// in optimized builds: they are active when NDEBUG is off (Debug builds) or
+// when ISCOPE_AUDIT is defined (cmake -DISCOPE_AUDIT=ON forces them into
+// any build type).
+#pragma once
+
+#include "common/error.hpp"
+
+#if defined(ISCOPE_AUDIT) || !defined(NDEBUG)
+#define ISCOPE_AUDIT_ENABLED 1
+#define ISCOPE_AUDIT_CHECK(cond, msg) ISCOPE_CHECK(cond, msg)
+#else
+#define ISCOPE_AUDIT_ENABLED 0
+#define ISCOPE_AUDIT_CHECK(cond, msg) \
+  do {                                \
+  } while (false)
+#endif
+
+namespace iscope::audit {
+
+/// Tolerance for energy-conservation audits: relative to the magnitudes
+/// involved, floored for near-zero steps.
+constexpr bool close(double a, double b, double rel = 1e-9,
+                     double abs_floor = 1e-6) {
+  const double diff = a > b ? a - b : b - a;
+  const double mag = (a > 0 ? a : -a) + (b > 0 ? b : -b);
+  return diff <= abs_floor + rel * mag;
+}
+
+}  // namespace iscope::audit

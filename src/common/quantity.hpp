@@ -1,0 +1,351 @@
+// Compile-time dimensional analysis: zero-overhead strong unit types.
+//
+// Every headline number iScope produces -- Min Vdd per bin, Eq-1 CPU power,
+// the wind/utility energy split, the 30.7% cost saving -- is arithmetic over
+// physical quantities. Before this layer those lived in plain `double`s
+// whose units existed only in suffix conventions (`_s`, `_w`, `_j`, ...), so
+// a silent W-vs-kW or J-vs-kWh mixup would corrupt results without failing
+// a single test. `Quantity<Dim>` turns that class of bug into a compile
+// error:
+//
+//   * a dimension is a vector of integer exponents over the six base axes
+//     iScope cares about -- time [s], energy [J], voltage [V], frequency
+//     [GHz], temperature [degC] and money [USD]; power [W] is J/s;
+//   * arithmetic composes dimensions at compile time (W x s -> J,
+//     J / s -> W, USD / J x J -> USD) and same-dimension ratios collapse
+//     to plain `double`, so `a.cost / b.cost` is still just a number;
+//   * adding or comparing mismatched dimensions does not compile
+//     (see tests/test_quantity.cpp for the compile-fail harness);
+//   * the wrapper is one `double`, trivially copyable, with fully
+//     `constexpr` inline arithmetic -- hot loops compile to the identical
+//     scalar code (static_asserts below pin the layout).
+//
+// Interior hot-loop math may still drop to `.raw()` doubles where a loop
+// mixes many quantities; the rule (see DESIGN.md) is that *public
+// interfaces* speak typed quantities and `.raw()` escapes stay local to a
+// function body.
+//
+// Canonical storage units are SI-ish and match the old suffix conventions:
+// seconds, joules, watts, volts, gigahertz, degrees Celsius, US dollars.
+#pragma once
+
+#include <concepts>
+#include <type_traits>
+
+namespace iscope::units {
+
+// --- conversion constants (the single source of truth) -----------------
+inline constexpr double kSecondsPerMinute = 60.0;
+inline constexpr double kSecondsPerHour = 3600.0;
+inline constexpr double kSecondsPerDay = 86400.0;
+inline constexpr double kJoulesPerKwh = 3.6e6;
+inline constexpr double kWattsPerKilowatt = 1e3;
+inline constexpr double kWattsPerMegawatt = 1e6;
+inline constexpr double kVoltsPerMillivolt = 1e-3;
+inline constexpr double kGigahertzPerMegahertz = 1e-3;
+
+// --- dimensions ---------------------------------------------------------
+
+/// Exponent vector over the base axes (time, energy, voltage, frequency,
+/// temperature, money). Frequency is its own axis on purpose: Eq-1 takes f
+/// in GHz as a model input, and keeping GHz distinct from 1/s catches
+/// f-vs-period mixups that a physically-reduced system would let through.
+template <int TimeE, int EnergyE, int VoltageE, int FrequencyE,
+          int TemperatureE, int MoneyE>
+struct Dim {
+  static constexpr int time = TimeE;
+  static constexpr int energy = EnergyE;
+  static constexpr int voltage = VoltageE;
+  static constexpr int frequency = FrequencyE;
+  static constexpr int temperature = TemperatureE;
+  static constexpr int money = MoneyE;
+};
+
+using Dimensionless = Dim<0, 0, 0, 0, 0, 0>;
+using TimeDim = Dim<1, 0, 0, 0, 0, 0>;
+using EnergyDim = Dim<0, 1, 0, 0, 0, 0>;
+using VoltageDim = Dim<0, 0, 1, 0, 0, 0>;
+using FrequencyDim = Dim<0, 0, 0, 1, 0, 0>;
+using TemperatureDim = Dim<0, 0, 0, 0, 1, 0>;
+using MoneyDim = Dim<0, 0, 0, 0, 0, 1>;
+
+template <class A, class B>
+using DimMul =
+    Dim<A::time + B::time, A::energy + B::energy, A::voltage + B::voltage,
+        A::frequency + B::frequency, A::temperature + B::temperature,
+        A::money + B::money>;
+
+template <class A, class B>
+using DimDiv =
+    Dim<A::time - B::time, A::energy - B::energy, A::voltage - B::voltage,
+        A::frequency - B::frequency, A::temperature - B::temperature,
+        A::money - B::money>;
+
+template <class A>
+using DimInv = DimDiv<Dimensionless, A>;
+
+using PowerDim = DimDiv<EnergyDim, TimeDim>;               // J / s
+using PowerPerFreqDim = DimDiv<PowerDim, FrequencyDim>;    // W / GHz
+using PowerPerFreq3Dim =
+    DimDiv<PowerPerFreqDim, DimMul<FrequencyDim, FrequencyDim>>;  // W / GHz^3
+using MoneyPerEnergyDim = DimDiv<MoneyDim, EnergyDim>;     // USD / J
+
+// --- the quantity wrapper ----------------------------------------------
+
+template <class D>
+class Quantity {
+ public:
+  using dimension = D;
+
+  constexpr Quantity() = default;
+  explicit constexpr Quantity(double raw) : raw_(raw) {}
+
+  /// Escape hatch to the canonical-unit double. Keep uses local to a
+  /// function body (hot loops, formatting); interfaces stay typed.
+  [[nodiscard]] constexpr double raw() const { return raw_; }
+
+  // Same-dimension arithmetic -- mismatched dimensions do not compile.
+  friend constexpr Quantity operator+(Quantity a, Quantity b) {
+    return Quantity{a.raw_ + b.raw_};
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) {
+    return Quantity{a.raw_ - b.raw_};
+  }
+  constexpr Quantity operator-() const { return Quantity{-raw_}; }
+  constexpr Quantity& operator+=(Quantity o) {
+    raw_ += o.raw_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity o) {
+    raw_ -= o.raw_;
+    return *this;
+  }
+
+  // Dimensionless scaling.
+  friend constexpr Quantity operator*(Quantity q, double s) {
+    return Quantity{q.raw_ * s};
+  }
+  friend constexpr Quantity operator*(double s, Quantity q) {
+    return Quantity{s * q.raw_};
+  }
+  friend constexpr Quantity operator/(Quantity q, double s) {
+    return Quantity{q.raw_ / s};
+  }
+  constexpr Quantity& operator*=(double s) {
+    raw_ *= s;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double s) {
+    raw_ /= s;
+    return *this;
+  }
+
+  friend constexpr auto operator<=>(Quantity a, Quantity b) = default;
+
+  // Named accessors, enabled only on the matching dimension. Each returns
+  // the value expressed in that unit (storage is canonical).
+  [[nodiscard]] constexpr double seconds() const
+    requires std::same_as<D, TimeDim>
+  {
+    return raw_;
+  }
+  [[nodiscard]] constexpr double minutes() const
+    requires std::same_as<D, TimeDim>
+  {
+    return raw_ / kSecondsPerMinute;
+  }
+  [[nodiscard]] constexpr double hours() const
+    requires std::same_as<D, TimeDim>
+  {
+    return raw_ / kSecondsPerHour;
+  }
+  [[nodiscard]] constexpr double days() const
+    requires std::same_as<D, TimeDim>
+  {
+    return raw_ / kSecondsPerDay;
+  }
+
+  [[nodiscard]] constexpr double joules() const
+    requires std::same_as<D, EnergyDim>
+  {
+    return raw_;
+  }
+  [[nodiscard]] constexpr double kwh() const
+    requires std::same_as<D, EnergyDim>
+  {
+    return raw_ / kJoulesPerKwh;
+  }
+
+  [[nodiscard]] constexpr double watts() const
+    requires std::same_as<D, PowerDim>
+  {
+    return raw_;
+  }
+  [[nodiscard]] constexpr double kilowatts() const
+    requires std::same_as<D, PowerDim>
+  {
+    return raw_ / kWattsPerKilowatt;
+  }
+  [[nodiscard]] constexpr double megawatts() const
+    requires std::same_as<D, PowerDim>
+  {
+    return raw_ / kWattsPerMegawatt;
+  }
+
+  [[nodiscard]] constexpr double volts() const
+    requires std::same_as<D, VoltageDim>
+  {
+    return raw_;
+  }
+  [[nodiscard]] constexpr double millivolts() const
+    requires std::same_as<D, VoltageDim>
+  {
+    return raw_ / kVoltsPerMillivolt;
+  }
+
+  [[nodiscard]] constexpr double gigahertz() const
+    requires std::same_as<D, FrequencyDim>
+  {
+    return raw_;
+  }
+  [[nodiscard]] constexpr double megahertz() const
+    requires std::same_as<D, FrequencyDim>
+  {
+    return raw_ / kGigahertzPerMegahertz;
+  }
+
+  [[nodiscard]] constexpr double celsius() const
+    requires std::same_as<D, TemperatureDim>
+  {
+    return raw_;
+  }
+
+  [[nodiscard]] constexpr double dollars() const
+    requires std::same_as<D, MoneyDim>
+  {
+    return raw_;
+  }
+
+  [[nodiscard]] constexpr double usd_per_kwh() const
+    requires std::same_as<D, MoneyPerEnergyDim>
+  {
+    return raw_ * kJoulesPerKwh;
+  }
+
+  [[nodiscard]] constexpr double watts_per_ghz() const
+    requires std::same_as<D, PowerPerFreqDim>
+  {
+    return raw_;
+  }
+
+ private:
+  double raw_ = 0.0;
+};
+
+// Cross-dimension composition. Same-dimension ratios (and any product
+// whose exponents cancel) collapse to plain `double`.
+template <class DA, class DB>
+constexpr auto operator*(Quantity<DA> a, Quantity<DB> b) {
+  using R = DimMul<DA, DB>;
+  if constexpr (std::same_as<R, Dimensionless>) {
+    return a.raw() * b.raw();
+  } else {
+    return Quantity<R>{a.raw() * b.raw()};
+  }
+}
+
+template <class DA, class DB>
+constexpr auto operator/(Quantity<DA> a, Quantity<DB> b) {
+  using R = DimDiv<DA, DB>;
+  if constexpr (std::same_as<R, Dimensionless>) {
+    return a.raw() / b.raw();
+  } else {
+    return Quantity<R>{a.raw() / b.raw()};
+  }
+}
+
+template <class D>
+constexpr Quantity<DimInv<D>> operator/(double a, Quantity<D> b) {
+  return Quantity<DimInv<D>>{a / b.raw()};
+}
+
+template <class D>
+constexpr Quantity<D> abs(Quantity<D> q) {
+  return q.raw() < 0.0 ? -q : q;
+}
+
+// --- named aliases ------------------------------------------------------
+using Seconds = Quantity<TimeDim>;
+using Joules = Quantity<EnergyDim>;
+using Watts = Quantity<PowerDim>;
+using Volts = Quantity<VoltageDim>;
+using Gigahertz = Quantity<FrequencyDim>;
+using Celsius = Quantity<TemperatureDim>;
+using Usd = Quantity<MoneyDim>;
+using UsdPerJoule = Quantity<MoneyPerEnergyDim>;
+using WattsPerGigahertz = Quantity<PowerPerFreqDim>;
+using WattsPerCubicGigahertz = Quantity<PowerPerFreq3Dim>;
+
+// --- named constructors -------------------------------------------------
+constexpr Seconds seconds(double v) { return Seconds{v}; }
+constexpr Seconds minutes(double v) { return Seconds{v * kSecondsPerMinute}; }
+constexpr Seconds hours(double v) { return Seconds{v * kSecondsPerHour}; }
+constexpr Seconds days(double v) { return Seconds{v * kSecondsPerDay}; }
+
+constexpr Joules joules(double v) { return Joules{v}; }
+constexpr Joules kwh(double v) { return Joules{v * kJoulesPerKwh}; }
+
+constexpr Watts watts(double v) { return Watts{v}; }
+constexpr Watts kilowatts(double v) { return Watts{v * kWattsPerKilowatt}; }
+constexpr Watts megawatts(double v) { return Watts{v * kWattsPerMegawatt}; }
+
+constexpr Volts volts(double v) { return Volts{v}; }
+constexpr Volts millivolts(double v) { return Volts{v * kVoltsPerMillivolt}; }
+
+constexpr Gigahertz gigahertz(double v) { return Gigahertz{v}; }
+constexpr Gigahertz megahertz(double v) {
+  return Gigahertz{v * kGigahertzPerMegahertz};
+}
+
+constexpr Celsius celsius(double v) { return Celsius{v}; }
+
+constexpr Usd usd(double v) { return Usd{v}; }
+constexpr UsdPerJoule usd_per_kwh(double v) {
+  return UsdPerJoule{v / kJoulesPerKwh};
+}
+
+// --- zero-overhead guarantees -------------------------------------------
+static_assert(sizeof(Watts) == sizeof(double));
+static_assert(sizeof(Quantity<EnergyDim>) == sizeof(double));
+static_assert(std::is_trivially_copyable_v<Watts>);
+static_assert(std::is_trivially_destructible_v<Joules>);
+
+// --- dimension-composition guarantees -----------------------------------
+static_assert(std::same_as<decltype(Watts{2.0} * Seconds{3.0}), Joules>);
+static_assert(std::same_as<decltype(Joules{6.0} / Seconds{3.0}), Watts>);
+static_assert(std::same_as<decltype(Joules{6.0} / Watts{2.0}), Seconds>);
+static_assert(std::same_as<decltype(Joules{6.0} / Joules{2.0}), double>);
+static_assert(std::same_as<decltype(Usd{1.0} / Joules{2.0}), UsdPerJoule>);
+static_assert(std::same_as<decltype(usd_per_kwh(0.13) * kwh(2.0)), Usd>);
+static_assert(std::same_as<decltype(Watts{4.0} / Gigahertz{2.0}),
+                           WattsPerGigahertz>);
+static_assert((Watts{2.0} * Seconds{3.0}).joules() == 6.0);
+static_assert((usd_per_kwh(0.13) * kwh(2.0)).dollars() == 0.13 * 2.0);
+
+}  // namespace iscope::units
+
+// The aliases are the vocabulary of the whole codebase; export them into
+// the top-level namespace.
+namespace iscope {
+using units::Celsius;
+using units::Gigahertz;
+using units::Joules;
+using units::Quantity;
+using units::Seconds;
+using units::Usd;
+using units::UsdPerJoule;
+using units::Volts;
+using units::Watts;
+using units::WattsPerCubicGigahertz;
+using units::WattsPerGigahertz;
+}  // namespace iscope

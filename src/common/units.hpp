@@ -1,38 +1,46 @@
-// Physical units and conversion helpers used throughout iScope.
+// Physical units for iScope.
 //
-// We deliberately keep quantities as plain `double` in natural SI-ish units
-// (seconds, watts, joules, volts, gigahertz) and rely on naming conventions
-// (`_s`, `_w`, `_j`, `_v`, `_ghz` suffixes) instead of heavyweight unit types:
-// the simulator's hot loops multiply these values billions of times and the
-// models mix units freely (e.g. Eq-1 of the paper takes f in GHz).
+// The strong-type layer lives in common/quantity.hpp: `Quantity<Dim>`
+// wrappers (Watts, Joules, Seconds, ...) whose arithmetic composes
+// dimensions at compile time. This header re-exports it and additionally
+// provides the raw `double -> double` conversion kernel for code that is
+// deliberately unit-erased (CSV parsing, plotting buffers, hot-loop
+// interiors working through `.raw()`).
+//
+// Every raw conversion has a checked inverse (tests/test_units.cpp
+// round-trips each pair); the constants themselves are defined once, in
+// quantity.hpp, and shared with the typed accessors so the two layers can
+// never disagree.
 #pragma once
+
+#include "common/quantity.hpp"
 
 namespace iscope::units {
 
 // --- time -------------------------------------------------------------
-inline constexpr double kSecondsPerMinute = 60.0;
-inline constexpr double kSecondsPerHour = 3600.0;
-inline constexpr double kSecondsPerDay = 86400.0;
-
-constexpr double minutes(double m) { return m * kSecondsPerMinute; }
-constexpr double hours(double h) { return h * kSecondsPerHour; }
-constexpr double days(double d) { return d * kSecondsPerDay; }
+constexpr double minutes_to_s(double m) { return m * kSecondsPerMinute; }
+constexpr double s_to_minutes(double s) { return s / kSecondsPerMinute; }
+constexpr double hours_to_s(double h) { return h * kSecondsPerHour; }
+constexpr double s_to_hours(double s) { return s / kSecondsPerHour; }
+constexpr double days_to_s(double d) { return d * kSecondsPerDay; }
+constexpr double s_to_days(double s) { return s / kSecondsPerDay; }
 
 // --- energy -----------------------------------------------------------
-inline constexpr double kJoulesPerKwh = 3.6e6;
-
-/// Joules -> kilowatt-hours.
-constexpr double joules_to_kwh(double joules) { return joules / kJoulesPerKwh; }
-/// Kilowatt-hours -> joules.
-constexpr double kwh_to_joules(double kwh) { return kwh * kJoulesPerKwh; }
+constexpr double joules_to_kwh(double j) { return j / kJoulesPerKwh; }
+constexpr double kwh_to_joules(double k) { return k * kJoulesPerKwh; }
 
 // --- power ------------------------------------------------------------
-constexpr double kilowatts(double kw) { return kw * 1e3; }
-constexpr double megawatts(double mw) { return mw * 1e6; }
-constexpr double watts_to_kw(double w) { return w / 1e3; }
+constexpr double kw_to_watts(double kw) { return kw * kWattsPerKilowatt; }
+constexpr double watts_to_kw(double w) { return w / kWattsPerKilowatt; }
+constexpr double mw_to_watts(double mw) { return mw * kWattsPerMegawatt; }
+constexpr double watts_to_mw(double w) { return w / kWattsPerMegawatt; }
 
 // --- frequency --------------------------------------------------------
-constexpr double mhz_to_ghz(double mhz) { return mhz / 1e3; }
-constexpr double ghz_to_mhz(double ghz) { return ghz * 1e3; }
+constexpr double mhz_to_ghz(double mhz) {
+  return mhz * kGigahertzPerMegahertz;
+}
+constexpr double ghz_to_mhz(double ghz) {
+  return ghz / kGigahertzPerMegahertz;
+}
 
 }  // namespace iscope::units

@@ -85,10 +85,11 @@ std::size_t env_parallelism() {
   return static_cast<std::size_t>(v);
 }
 
-double estimated_peak_demand_w(const ClusterConfig& cluster, double cop) {
-  const double f_top = cluster.levels.freq_ghz.back();
-  const double per_cpu =
-      cluster.power.alpha_mean * f_top * f_top * f_top + cluster.power.beta_mean;
+Watts estimated_peak_demand(const ClusterConfig& cluster, double cop) {
+  const Gigahertz f_top{cluster.levels.freq_ghz.back()};
+  const Watts per_cpu =
+      WattsPerCubicGigahertz{cluster.power.alpha_mean} * f_top * f_top * f_top +
+      Watts{cluster.power.beta_mean};
   return per_cpu * static_cast<double>(cluster.num_processors) *
          CoolingModel(cop).overhead_factor();
 }

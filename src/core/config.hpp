@@ -59,8 +59,8 @@ double env_scale();
 /// `ExperimentConfig::parallelism`.
 std::size_t env_parallelism();
 
-/// Estimated peak facility demand [W]: every CPU at the top level and
-/// stock voltage, plus cooling.
-double estimated_peak_demand_w(const ClusterConfig& cluster, double cop);
+/// Estimated peak facility demand: every CPU at the top level and stock
+/// voltage, plus cooling.
+Watts estimated_peak_demand(const ClusterConfig& cluster, double cop);
 
 }  // namespace iscope

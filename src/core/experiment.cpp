@@ -44,8 +44,8 @@ ExperimentContext::ExperimentContext(const ExperimentConfig& config)
   WindFarmConfig wind = config_.wind;
   wind.seed = Rng(config_.seed).fork("wind").seed();
   SupplyTrace raw = generate_wind_days(wind, 7.0);
-  const double peak =
-      estimated_peak_demand_w(config_.cluster, config_.sim.cooling_cop);
+  const Watts peak =
+      estimated_peak_demand(config_.cluster, config_.sim.cooling_cop);
   wind_trace_ = raw.scaled_to_mean(config_.wind_mean_fraction_of_peak * peak);
 }
 
@@ -198,9 +198,9 @@ std::vector<CostRow> energy_costs(const ExperimentContext& ctx) {
     CostRow row;
     row.scheme = specs[i].scheme;
     row.with_wind = specs[i].x != 0.0;
-    row.cost_usd = r.cost_usd;
-    row.utility_kwh = r.energy.utility_kwh();
-    row.wind_kwh = r.energy.wind_kwh();
+    row.cost = r.cost;
+    row.utility = r.energy.utility;
+    row.wind = r.energy.wind;
     rows.push_back(row);
   }
   return rows;

@@ -72,9 +72,9 @@ std::vector<SweepPoint> power_traces(const ExperimentContext& ctx);
 struct CostRow {
   Scheme scheme;
   bool with_wind = false;
-  double cost_usd = 0.0;
-  double utility_kwh = 0.0;
-  double wind_kwh = 0.0;
+  Usd cost;
+  Joules utility;
+  Joules wind;
 };
 std::vector<CostRow> energy_costs(const ExperimentContext& ctx);
 

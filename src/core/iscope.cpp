@@ -74,7 +74,7 @@ std::size_t IScope::undervolt_violations() const {
     const ChipProfile* p = db_.find(i);
     for (std::size_t l = 0; l < cluster_->levels().count(); ++l) {
       applied[i].push_back(p != nullptr ? p->chip_vdd.vdd(l)
-                                        : cluster_->bin_vdd(i, l));
+                                        : cluster_->bin_vdd(i, l).volts());
     }
   }
   return count_undervolt_violations(*cluster_, applied);

@@ -7,8 +7,8 @@
 namespace iscope {
 
 void BatteryConfig::validate() const {
-  ISCOPE_CHECK_ARG(capacity_j >= 0.0, "battery: negative capacity");
-  ISCOPE_CHECK_ARG(max_charge_w > 0.0 && max_discharge_w > 0.0,
+  ISCOPE_CHECK_ARG(capacity.raw() >= 0.0, "battery: negative capacity");
+  ISCOPE_CHECK_ARG(max_charge.raw() > 0.0 && max_discharge.raw() > 0.0,
                    "battery: power limits must be > 0");
   ISCOPE_CHECK_ARG(charge_efficiency > 0.0 && charge_efficiency <= 1.0,
                    "battery: charge efficiency in (0,1]");
@@ -20,55 +20,55 @@ void BatteryConfig::validate() const {
 
 BatteryConfig BatteryConfig::make(double capacity_kwh, double power_kw) {
   BatteryConfig cfg;
-  cfg.capacity_j = units::kwh_to_joules(capacity_kwh);
-  cfg.max_charge_w = power_kw * 1e3;
-  cfg.max_discharge_w = power_kw * 1e3;
+  cfg.capacity = units::kwh(capacity_kwh);
+  cfg.max_charge = units::kilowatts(power_kw);
+  cfg.max_discharge = units::kilowatts(power_kw);
   return cfg;
 }
 
 BatteryBank::BatteryBank(const BatteryConfig& config) : config_(config) {
   config_.validate();
-  stored_j_ = config_.capacity_j * config_.initial_soc;
+  stored_ = config_.capacity * config_.initial_soc;
 }
 
-double BatteryBank::charge(double offered_w, double dt_s) {
-  ISCOPE_CHECK_ARG(offered_w >= 0.0, "battery: negative offered power");
-  ISCOPE_CHECK_ARG(dt_s >= 0.0, "battery: negative time step");
-  if (!present() || dt_s == 0.0 || offered_w == 0.0) return 0.0;
-  const double headroom_j = config_.capacity_j - stored_j_;
-  if (headroom_j <= 0.0) return 0.0;
+Watts BatteryBank::charge(Watts offered, Seconds dt) {
+  ISCOPE_CHECK_ARG(offered.raw() >= 0.0, "battery: negative offered power");
+  ISCOPE_CHECK_ARG(dt.raw() >= 0.0, "battery: negative time step");
+  if (!present() || dt.raw() == 0.0 || offered.raw() == 0.0) return Watts{};
+  const Joules headroom = config_.capacity - stored_;
+  if (headroom.raw() <= 0.0) return Watts{};
   // AC power limited by the charger; cell intake limited by headroom.
-  const double ac_w = std::min(offered_w, config_.max_charge_w);
-  const double cell_w = ac_w * config_.charge_efficiency;
-  const double cell_j = std::min(cell_w * dt_s, headroom_j);
-  stored_j_ += cell_j;
-  const double ac_j = cell_j / config_.charge_efficiency;
-  absorbed_j_ += ac_j;
-  return ac_j / dt_s;
+  const Watts ac = std::min(offered, config_.max_charge);
+  const Watts cell = ac * config_.charge_efficiency;
+  const Joules cell_energy = std::min(cell * dt, headroom);
+  stored_ += cell_energy;
+  const Joules ac_energy = cell_energy / config_.charge_efficiency;
+  absorbed_ += ac_energy;
+  return ac_energy / dt;
 }
 
-double BatteryBank::discharge(double requested_w, double dt_s) {
-  ISCOPE_CHECK_ARG(requested_w >= 0.0, "battery: negative request");
-  ISCOPE_CHECK_ARG(dt_s >= 0.0, "battery: negative time step");
-  if (!present() || dt_s == 0.0 || requested_w == 0.0) return 0.0;
-  if (stored_j_ <= 0.0) return 0.0;
-  const double ac_w = std::min(requested_w, config_.max_discharge_w);
-  const double cell_j_needed = ac_w * dt_s / config_.discharge_efficiency;
-  const double cell_j = std::min(cell_j_needed, stored_j_);
-  stored_j_ -= cell_j;
-  const double ac_j = cell_j * config_.discharge_efficiency;
-  delivered_j_ += ac_j;
-  return ac_j / dt_s;
+Watts BatteryBank::discharge(Watts requested, Seconds dt) {
+  ISCOPE_CHECK_ARG(requested.raw() >= 0.0, "battery: negative request");
+  ISCOPE_CHECK_ARG(dt.raw() >= 0.0, "battery: negative time step");
+  if (!present() || dt.raw() == 0.0 || requested.raw() == 0.0) return Watts{};
+  if (stored_.raw() <= 0.0) return Watts{};
+  const Watts ac = std::min(requested, config_.max_discharge);
+  const Joules cell_needed = ac * dt / config_.discharge_efficiency;
+  const Joules cell = std::min(cell_needed, stored_);
+  stored_ -= cell;
+  const Joules ac_energy = cell * config_.discharge_efficiency;
+  delivered_ += ac_energy;
+  return ac_energy / dt;
 }
 
 double BatteryBank::soc() const {
-  return present() ? stored_j_ / config_.capacity_j : 0.0;
+  return present() ? stored_ / config_.capacity : 0.0;
 }
 
-double BatteryBank::losses_j() const {
+Joules BatteryBank::losses() const {
   // Absorbed at AC minus (still stored beyond initial + delivered at AC).
-  const double initial = config_.capacity_j * config_.initial_soc;
-  return absorbed_j_ - delivered_j_ - (stored_j_ - initial);
+  const Joules initial = config_.capacity * config_.initial_soc;
+  return absorbed_ - delivered_ - (stored_ - initial);
 }
 
 }  // namespace iscope

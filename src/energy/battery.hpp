@@ -13,9 +13,9 @@
 namespace iscope {
 
 struct BatteryConfig {
-  double capacity_j = 0.0;        ///< usable energy capacity [J] (0 = none)
-  double max_charge_w = 1e9;      ///< charge power limit
-  double max_discharge_w = 1e9;   ///< discharge power limit
+  Joules capacity;                ///< usable energy capacity (0 = none)
+  Watts max_charge{1e9};          ///< charge power limit
+  Watts max_discharge{1e9};       ///< discharge power limit
   double charge_efficiency = 0.92;     ///< AC->cell
   double discharge_efficiency = 0.92;  ///< cell->AC
   double initial_soc = 0.5;       ///< initial state of charge (0..1)
@@ -31,34 +31,34 @@ class BatteryBank {
  public:
   explicit BatteryBank(const BatteryConfig& config = BatteryConfig::none());
 
-  bool present() const { return config_.capacity_j > 0.0; }
+  bool present() const { return config_.capacity.raw() > 0.0; }
 
-  /// Offer `offered_w` of surplus power for `dt_s` seconds. Returns the
-  /// power actually absorbed at the AC side (0 when full or absent).
-  double charge(double offered_w, double dt_s);
+  /// Offer `offered` surplus power for `dt`. Returns the power actually
+  /// absorbed at the AC side (0 when full or absent).
+  Watts charge(Watts offered, Seconds dt);
 
-  /// Request `requested_w` for `dt_s` seconds. Returns the power actually
+  /// Request `requested` power for `dt`. Returns the power actually
   /// delivered at the AC side (0 when empty or absent).
-  double discharge(double requested_w, double dt_s);
+  Watts discharge(Watts requested, Seconds dt);
 
-  /// Stored energy [J] (at the cell).
-  double stored_j() const { return stored_j_; }
+  /// Stored energy (at the cell).
+  Joules stored() const { return stored_; }
   /// State of charge (0..1); 0 for an absent battery.
   double soc() const;
-  /// Total AC energy delivered over the bank's life [J].
-  double delivered_j() const { return delivered_j_; }
-  /// Total AC energy absorbed over the bank's life [J].
-  double absorbed_j() const { return absorbed_j_; }
-  /// Energy lost to round-trip inefficiency so far [J].
-  double losses_j() const;
+  /// Total AC energy delivered over the bank's life.
+  Joules delivered() const { return delivered_; }
+  /// Total AC energy absorbed over the bank's life.
+  Joules absorbed() const { return absorbed_; }
+  /// Energy lost to round-trip inefficiency so far.
+  Joules losses() const;
 
   const BatteryConfig& config() const { return config_; }
 
  private:
   BatteryConfig config_;
-  double stored_j_ = 0.0;
-  double delivered_j_ = 0.0;
-  double absorbed_j_ = 0.0;
+  Joules stored_;
+  Joules delivered_;
+  Joules absorbed_;
 };
 
 }  // namespace iscope

@@ -7,25 +7,24 @@
 namespace iscope {
 
 namespace {
-double supply_mean_w(const HybridSupply* supply) {
+Watts supply_mean(const HybridSupply* supply) {
   ISCOPE_CHECK_ARG(supply != nullptr, "forecaster: null supply");
-  if (!supply->has_wind()) return 0.0;
-  return supply->strength() * supply->wind_trace().mean_w();
+  if (!supply->has_wind()) return Watts{};
+  return supply->strength() * supply->wind_trace().mean_power();
 }
 
-void check_window(double now_s, double horizon_s) {
-  ISCOPE_CHECK_ARG(now_s >= 0.0, "forecast: negative time");
-  ISCOPE_CHECK_ARG(horizon_s > 0.0, "forecast: horizon must be > 0");
+void check_window(Seconds now, Seconds horizon) {
+  ISCOPE_CHECK_ARG(now.raw() >= 0.0, "forecast: negative time");
+  ISCOPE_CHECK_ARG(horizon.raw() > 0.0, "forecast: horizon must be > 0");
 }
 }  // namespace
 
 ClimatologyForecaster::ClimatologyForecaster(const HybridSupply* supply)
-    : mean_w_(supply_mean_w(supply)) {}
+    : mean_(supply_mean(supply)) {}
 
-double ClimatologyForecaster::forecast_mean_w(double now_s,
-                                              double horizon_s) const {
-  check_window(now_s, horizon_s);
-  return mean_w_;
+Watts ClimatologyForecaster::forecast_mean(Seconds now, Seconds horizon) const {
+  check_window(now, horizon);
+  return mean_;
 }
 
 PersistenceForecaster::PersistenceForecaster(const HybridSupply* supply)
@@ -33,27 +32,24 @@ PersistenceForecaster::PersistenceForecaster(const HybridSupply* supply)
   ISCOPE_CHECK_ARG(supply != nullptr, "forecaster: null supply");
 }
 
-double PersistenceForecaster::forecast_mean_w(double now_s,
-                                              double horizon_s) const {
-  check_window(now_s, horizon_s);
-  return supply_->wind_available_w(now_s);
+Watts PersistenceForecaster::forecast_mean(Seconds now, Seconds horizon) const {
+  check_window(now, horizon);
+  return supply_->wind_available(now);
 }
 
-BlendedForecaster::BlendedForecaster(const HybridSupply* supply,
-                                     double decay_s)
-    : supply_(supply), decay_s_(decay_s), mean_w_(supply_mean_w(supply)) {
-  ISCOPE_CHECK_ARG(decay_s > 0.0, "forecaster: decay must be > 0");
+BlendedForecaster::BlendedForecaster(const HybridSupply* supply, Seconds decay)
+    : supply_(supply), decay_(decay), mean_(supply_mean(supply)) {
+  ISCOPE_CHECK_ARG(decay.raw() > 0.0, "forecaster: decay must be > 0");
 }
 
-double BlendedForecaster::forecast_mean_w(double now_s,
-                                          double horizon_s) const {
-  check_window(now_s, horizon_s);
-  const double current = supply_->wind_available_w(now_s);
+Watts BlendedForecaster::forecast_mean(Seconds now, Seconds horizon) const {
+  check_window(now, horizon);
+  const Watts current = supply_->wind_available(now);
   // Mean over the horizon of current*exp(-t/tau) + clim*(1 - exp(-t/tau)):
   // weight = (tau/h) * (1 - exp(-h/tau)).
   const double weight =
-      decay_s_ / horizon_s * (1.0 - std::exp(-horizon_s / decay_s_));
-  return current * weight + mean_w_ * (1.0 - weight);
+      decay_ / horizon * (1.0 - std::exp(-(horizon / decay_)));
+  return current * weight + mean_ * (1.0 - weight);
 }
 
 OracleForecaster::OracleForecaster(const HybridSupply* supply)
@@ -61,24 +57,23 @@ OracleForecaster::OracleForecaster(const HybridSupply* supply)
   ISCOPE_CHECK_ARG(supply != nullptr, "forecaster: null supply");
 }
 
-double OracleForecaster::forecast_mean_w(double now_s,
-                                         double horizon_s) const {
-  check_window(now_s, horizon_s);
-  if (!supply_->has_wind()) return 0.0;
+Watts OracleForecaster::forecast_mean(Seconds now, Seconds horizon) const {
+  check_window(now, horizon);
+  if (!supply_->has_wind()) return Watts{};
   // Integrate the step-function trace over the horizon at its own
   // resolution.
-  const double step = supply_->wind_trace().step_s();
+  const Seconds step = supply_->wind_trace().step();
   const auto samples =
-      static_cast<std::size_t>(std::ceil(horizon_s / step)) + 1;
-  double sum = 0.0;
-  double covered = 0.0;
-  for (std::size_t i = 0; i < samples && covered < horizon_s; ++i) {
-    const double t0 = now_s + static_cast<double>(i) * step;
-    const double dt = std::min(step, horizon_s - covered);
-    sum += supply_->wind_available_w(t0) * dt;
+      static_cast<std::size_t>(std::ceil(horizon / step)) + 1;
+  Joules sum;
+  Seconds covered;
+  for (std::size_t i = 0; i < samples && covered < horizon; ++i) {
+    const Seconds t0 = now + step * static_cast<double>(i);
+    const Seconds dt = std::min(step, horizon - covered);
+    sum += supply_->wind_available(t0) * dt;
     covered += dt;
   }
-  return sum / horizon_s;
+  return sum / horizon;
 }
 
 }  // namespace iscope

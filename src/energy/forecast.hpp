@@ -20,6 +20,7 @@
 
 #include <memory>
 
+#include "common/units.hpp"
 #include "energy/hybrid_supply.hpp"
 
 namespace iscope {
@@ -28,25 +29,25 @@ class WindForecaster {
  public:
   virtual ~WindForecaster() = default;
 
-  /// Expected *mean* available wind power [W] over [now, now+horizon].
-  virtual double forecast_mean_w(double now_s, double horizon_s) const = 0;
+  /// Expected *mean* available wind power over [now, now+horizon].
+  virtual Watts forecast_mean(Seconds now, Seconds horizon) const = 0;
 };
 
 /// Long-run mean of the supply, regardless of the current state.
 class ClimatologyForecaster final : public WindForecaster {
  public:
   explicit ClimatologyForecaster(const HybridSupply* supply);
-  double forecast_mean_w(double now_s, double horizon_s) const override;
+  Watts forecast_mean(Seconds now, Seconds horizon) const override;
 
  private:
-  double mean_w_;
+  Watts mean_;
 };
 
 /// The current wind level persists across the horizon.
 class PersistenceForecaster final : public WindForecaster {
  public:
   explicit PersistenceForecaster(const HybridSupply* supply);
-  double forecast_mean_w(double now_s, double horizon_s) const override;
+  Watts forecast_mean(Seconds now, Seconds horizon) const override;
 
  private:
   const HybridSupply* supply_;  // non-owning
@@ -55,22 +56,23 @@ class PersistenceForecaster final : public WindForecaster {
 /// Persistence decaying exponentially toward climatology.
 class BlendedForecaster final : public WindForecaster {
  public:
-  /// `decay_s`: e-folding time of the persistence signal (site-dependent;
+  /// `decay`: e-folding time of the persistence signal (site-dependent;
   /// a few hours for typical wind autocorrelation).
-  BlendedForecaster(const HybridSupply* supply, double decay_s = 4.0 * 3600.0);
-  double forecast_mean_w(double now_s, double horizon_s) const override;
+  BlendedForecaster(const HybridSupply* supply,
+                    Seconds decay = units::hours(4.0));
+  Watts forecast_mean(Seconds now, Seconds horizon) const override;
 
  private:
   const HybridSupply* supply_;  // non-owning
-  double decay_s_;
-  double mean_w_;
+  Seconds decay_;
+  Watts mean_;
 };
 
 /// Perfect foresight: integrates the actual trace over the horizon.
 class OracleForecaster final : public WindForecaster {
  public:
   explicit OracleForecaster(const HybridSupply* supply);
-  double forecast_mean_w(double now_s, double horizon_s) const override;
+  Watts forecast_mean(Seconds now, Seconds horizon) const override;
 
  private:
   const HybridSupply* supply_;  // non-owning

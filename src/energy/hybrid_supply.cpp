@@ -11,9 +11,9 @@ HybridSupply::HybridSupply(SupplyTrace wind, double strength, bool wrap)
   ISCOPE_CHECK_ARG(strength >= 0.0, "HybridSupply: negative strength");
 }
 
-double HybridSupply::wind_available_w(double t_s) const {
-  if (wind_.empty()) return 0.0;
-  return strength_ * wind_.power_at(t_s, wrap_);
+Watts HybridSupply::wind_available(Seconds t) const {
+  if (wind_.empty()) return Watts{};
+  return strength_ * wind_.power_at(t, wrap_);
 }
 
 }  // namespace iscope

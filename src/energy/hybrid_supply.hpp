@@ -21,8 +21,8 @@ class HybridSupply {
 
   bool has_wind() const { return !wind_.empty(); }
 
-  /// Wind power available at time t [W] (0 for utility-only).
-  double wind_available_w(double t_s) const;
+  /// Wind power available at time t (0 for utility-only).
+  Watts wind_available(Seconds t) const;
 
   double strength() const { return strength_; }
   const SupplyTrace& wind_trace() const { return wind_; }

@@ -9,7 +9,7 @@
 namespace iscope {
 
 void SolarFarmConfig::validate() const {
-  ISCOPE_CHECK_ARG(peak_w > 0.0, "solar: peak power must be > 0");
+  ISCOPE_CHECK_ARG(peak.raw() > 0.0, "solar: peak power must be > 0");
   ISCOPE_CHECK_ARG(0.0 <= sunrise_hour && sunrise_hour < sunset_hour &&
                        sunset_hour <= 24.0,
                    "solar: need 0 <= sunrise < sunset <= 24");
@@ -18,7 +18,7 @@ void SolarFarmConfig::validate() const {
   ISCOPE_CHECK_ARG(cloud_ar1 >= 0.0 && cloud_ar1 < 1.0,
                    "solar: cloud_ar1 must be in [0,1)");
   ISCOPE_CHECK_ARG(cloud_sigma >= 0.0, "solar: negative cloud sigma");
-  ISCOPE_CHECK_ARG(step_s > 0.0, "solar: step must be > 0");
+  ISCOPE_CHECK_ARG(step.raw() > 0.0, "solar: step must be > 0");
 }
 
 double clear_sky_fraction(double hour, double sunrise_hour,
@@ -46,35 +46,35 @@ SupplyTrace generate_solar_trace(const SolarFarmConfig& config,
   std::vector<double> power;
   power.reserve(samples);
   for (std::size_t i = 0; i < samples; ++i) {
-    const double t_s = static_cast<double>(i) * config.step_s;
-    const double hour = t_s / units::kSecondsPerHour;
-    const double clear =
-        clear_sky_fraction(hour, config.sunrise_hour, config.sunset_hour);
+    const Seconds t = config.step * static_cast<double>(i);
+    const double clear = clear_sky_fraction(t.hours(), config.sunrise_hour,
+                                            config.sunset_hour);
     const double attenuation = std::clamp(
         config.clear_fraction + config.cloud_sigma * z, 0.0, 1.0);
-    power.push_back(config.peak_w * clear * attenuation);
+    power.push_back((config.peak * clear * attenuation).watts());
     z = config.cloud_ar1 * z + innov * rng.normal(0.0, 1.0);
   }
-  return SupplyTrace(config.step_s, std::move(power));
+  return SupplyTrace(config.step, std::move(power));
 }
 
 SupplyTrace generate_solar_days(const SolarFarmConfig& config, double days) {
   ISCOPE_CHECK_ARG(days > 0.0, "generate_solar_days: days must be > 0");
   const auto samples = static_cast<std::size_t>(
-      std::ceil(days * units::kSecondsPerDay / config.step_s));
+      std::ceil(units::days(days) / config.step));
   return generate_solar_trace(config, samples);
 }
 
 SupplyTrace combine_supplies(const SupplyTrace& a, const SupplyTrace& b) {
   ISCOPE_CHECK_ARG(!a.empty() && !b.empty(),
                    "combine_supplies: empty input trace");
-  ISCOPE_CHECK_ARG(a.step_s() == b.step_s(),
+  ISCOPE_CHECK_ARG(a.step() == b.step(),
                    "combine_supplies: sampling steps must match");
   const std::size_t n = std::min(a.samples(), b.samples());
   std::vector<double> sum;
   sum.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) sum.push_back(a.sample(i) + b.sample(i));
-  return SupplyTrace(a.step_s(), std::move(sum));
+  for (std::size_t i = 0; i < n; ++i)
+    sum.push_back((a.sample(i) + b.sample(i)).watts());
+  return SupplyTrace(a.step(), std::move(sum));
 }
 
 }  // namespace iscope

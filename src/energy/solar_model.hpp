@@ -12,12 +12,13 @@
 #include <cstdint>
 
 #include "common/rng.hpp"
+#include "common/units.hpp"
 #include "energy/supply_trace.hpp"
 
 namespace iscope {
 
 struct SolarFarmConfig {
-  double peak_w = 40e3;          ///< array output at full irradiance [W]
+  Watts peak{40e3};              ///< array output at full irradiance
   double sunrise_hour = 6.0;
   double sunset_hour = 18.0;
   /// Mean clear-sky fraction (1 = desert, ~0.5 = cloudy climate).
@@ -26,7 +27,7 @@ struct SolarFarmConfig {
   double cloud_ar1 = 0.95;
   /// Spread of the cloud attenuation process.
   double cloud_sigma = 0.25;
-  double step_s = 600.0;         ///< 10-minute cadence like NREL
+  Seconds step{600.0};           ///< 10-minute cadence like NREL
   std::uint64_t seed = 77;
 
   void validate() const;

@@ -16,56 +16,59 @@ SupplyStats compute_supply_stats(const SupplyTrace& trace,
   ISCOPE_CHECK_ARG(calm_threshold >= 0.0 && calm_threshold < 1.0,
                    "supply stats: calm threshold in [0,1)");
   SupplyStats s;
-  s.mean_w = trace.mean_w();
-  s.max_w = trace.max_w();
-  s.capacity_factor = s.max_w > 0.0 ? s.mean_w / s.max_w : 0.0;
+  s.mean_power = trace.mean_power();
+  s.max_power = trace.max_power();
+  s.capacity_factor =
+      s.max_power.raw() > 0.0 ? s.mean_power / s.max_power : 0.0;
 
   // Ramps, normalized by the mean.
-  if (trace.samples() > 1 && s.mean_w > 0.0) {
+  if (trace.samples() > 1 && s.mean_power.raw() > 0.0) {
     std::vector<double> ramps;
     ramps.reserve(trace.samples() - 1);
     for (std::size_t i = 1; i < trace.samples(); ++i)
-      ramps.push_back(std::abs(trace.sample(i) - trace.sample(i - 1)) /
-                      s.mean_w);
+      ramps.push_back(units::abs(trace.sample(i) - trace.sample(i - 1)) /
+                      s.mean_power);
     s.mean_abs_ramp = mean(ramps);
     s.p95_abs_ramp = percentile(ramps, 95.0);
   }
 
   // Calm spell structure.
-  const double calm_w = calm_threshold * s.mean_w;
+  const Watts calm_power = calm_threshold * s.mean_power;
   std::size_t calm_samples = 0;
-  double run = 0.0, total_run = 0.0;
+  Seconds run, total_run;
   for (std::size_t i = 0; i < trace.samples(); ++i) {
-    if (trace.sample(i) <= calm_w) {
+    if (trace.sample(i) <= calm_power) {
       ++calm_samples;
-      run += trace.step_s();
-    } else if (run > 0.0) {
-      s.longest_calm_spell_s = std::max(s.longest_calm_spell_s, run);
+      run += trace.step();
+    } else if (run.raw() > 0.0) {
+      s.longest_calm_spell = std::max(s.longest_calm_spell, run);
       total_run += run;
       ++s.calm_spells;
-      run = 0.0;
+      run = Seconds{};
     }
   }
-  if (run > 0.0) {
-    s.longest_calm_spell_s = std::max(s.longest_calm_spell_s, run);
+  if (run.raw() > 0.0) {
+    s.longest_calm_spell = std::max(s.longest_calm_spell, run);
     total_run += run;
     ++s.calm_spells;
   }
   s.calm_fraction = static_cast<double>(calm_samples) /
                     static_cast<double>(trace.samples());
-  s.mean_calm_spell_s =
-      s.calm_spells > 0 ? total_run / static_cast<double>(s.calm_spells) : 0.0;
+  s.mean_calm_spell = s.calm_spells > 0
+                          ? total_run / static_cast<double>(s.calm_spells)
+                          : Seconds{};
 
   // Lag-1 autocorrelation.
   if (trace.samples() > 2) {
     RunningStats all;
-    for (std::size_t i = 0; i < trace.samples(); ++i) all.add(trace.sample(i));
+    for (std::size_t i = 0; i < trace.samples(); ++i)
+      all.add(trace.sample(i).watts());
     const double var = all.variance();
     if (var > 0.0) {
       double cov = 0.0;
       for (std::size_t i = 1; i < trace.samples(); ++i)
-        cov += (trace.sample(i) - all.mean()) *
-               (trace.sample(i - 1) - all.mean());
+        cov += (trace.sample(i).watts() - all.mean()) *
+               (trace.sample(i - 1).watts() - all.mean());
       s.lag1_autocorrelation =
           cov / static_cast<double>(trace.samples() - 1) / var;
     }
@@ -75,15 +78,15 @@ SupplyStats compute_supply_stats(const SupplyTrace& trace,
 
 std::string SupplyStats::summary() const {
   std::ostringstream out;
-  out << "mean " << TextTable::num(mean_w / 1e3, 1) << " kW, max "
-      << TextTable::num(max_w / 1e3, 1) << " kW (capacity factor "
+  out << "mean " << TextTable::num(mean_power.kilowatts(), 1) << " kW, max "
+      << TextTable::num(max_power.kilowatts(), 1) << " kW (capacity factor "
       << TextTable::pct(capacity_factor) << ")\n"
       << "ramps per step: mean " << TextTable::pct(mean_abs_ramp)
       << " of mean power, p95 " << TextTable::pct(p95_abs_ramp) << "\n"
       << "calms: " << TextTable::pct(calm_fraction) << " of samples in "
       << calm_spells << " spells (mean "
-      << TextTable::num(mean_calm_spell_s / 3600.0, 1) << " h, longest "
-      << TextTable::num(longest_calm_spell_s / 3600.0, 1) << " h)\n"
+      << TextTable::num(mean_calm_spell.hours(), 1) << " h, longest "
+      << TextTable::num(longest_calm_spell.hours(), 1) << " h)\n"
       << "lag-1 autocorrelation " << TextTable::num(lag1_autocorrelation, 2)
       << "\n";
   return out.str();

@@ -11,13 +11,14 @@
 #include <string>
 #include <vector>
 
+#include "common/units.hpp"
 #include "energy/supply_trace.hpp"
 
 namespace iscope {
 
 struct SupplyStats {
-  double mean_w = 0.0;
-  double max_w = 0.0;
+  Watts mean_power;
+  Watts max_power;
   /// mean / max -- the classic capacity factor when max is the nameplate.
   double capacity_factor = 0.0;
 
@@ -27,8 +28,8 @@ struct SupplyStats {
 
   /// Spells below `calm_threshold * mean`.
   double calm_fraction = 0.0;       ///< fraction of samples in calms
-  double mean_calm_spell_s = 0.0;
-  double longest_calm_spell_s = 0.0;
+  Seconds mean_calm_spell;
+  Seconds longest_calm_spell;
   std::size_t calm_spells = 0;
 
   /// Autocorrelation at one step (persistence forecastability).

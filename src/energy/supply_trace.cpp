@@ -9,72 +9,73 @@
 
 namespace iscope {
 
-SupplyTrace::SupplyTrace(double step_s, std::vector<double> power_w)
-    : step_s_(step_s), power_w_(std::move(power_w)) {
-  ISCOPE_CHECK_ARG(step_s > 0.0, "SupplyTrace: step must be > 0");
+SupplyTrace::SupplyTrace(Seconds step, std::vector<double> power_w)
+    : step_(step), power_w_(std::move(power_w)) {
+  ISCOPE_CHECK_ARG(step.raw() > 0.0, "SupplyTrace: step must be > 0");
   for (const double p : power_w_)
     ISCOPE_CHECK_ARG(p >= 0.0, "SupplyTrace: negative power sample");
 }
 
-double SupplyTrace::duration_s() const {
-  return step_s_ * static_cast<double>(power_w_.size());
+Seconds SupplyTrace::duration() const {
+  return step_ * static_cast<double>(power_w_.size());
 }
 
-double SupplyTrace::power_at(double t_s, bool wrap) const {
-  ISCOPE_CHECK_ARG(t_s >= 0.0, "power_at: negative time");
-  if (power_w_.empty()) return 0.0;
-  double t = t_s;
-  const double dur = duration_s();
+Watts SupplyTrace::power_at(Seconds t, bool wrap) const {
+  ISCOPE_CHECK_ARG(t.raw() >= 0.0, "power_at: negative time");
+  if (power_w_.empty()) return Watts{};
+  double ts = t.raw();
   if (wrap) {
-    t = std::fmod(t, dur);
+    ts = std::fmod(ts, duration().raw());
   }
-  auto idx = static_cast<std::size_t>(t / step_s_);
+  auto idx = static_cast<std::size_t>(ts / step_.raw());
   idx = std::min(idx, power_w_.size() - 1);
-  return power_w_[idx];
+  return Watts{power_w_[idx]};
 }
 
-double SupplyTrace::sample(std::size_t i) const {
+Watts SupplyTrace::sample(std::size_t i) const {
   ISCOPE_CHECK_ARG(i < power_w_.size(), "SupplyTrace: sample out of range");
-  return power_w_[i];
+  return Watts{power_w_[i]};
 }
 
 SupplyTrace SupplyTrace::scaled(double factor) const {
   ISCOPE_CHECK_ARG(factor >= 0.0, "SupplyTrace: negative scale factor");
   std::vector<double> scaled_w = power_w_;
   for (auto& p : scaled_w) p *= factor;
-  return SupplyTrace(step_s_, std::move(scaled_w));
+  return SupplyTrace(step_, std::move(scaled_w));
 }
 
-SupplyTrace SupplyTrace::scaled_to_mean(double target_mean_w) const {
-  ISCOPE_CHECK_ARG(target_mean_w >= 0.0, "SupplyTrace: negative target mean");
-  const double m = mean_w();
-  ISCOPE_CHECK_ARG(m > 0.0, "SupplyTrace: cannot rescale an all-zero trace");
-  return scaled(target_mean_w / m);
+SupplyTrace SupplyTrace::scaled_to_mean(Watts target_mean) const {
+  ISCOPE_CHECK_ARG(target_mean.raw() >= 0.0,
+                   "SupplyTrace: negative target mean");
+  const Watts m = mean_power();
+  ISCOPE_CHECK_ARG(m.raw() > 0.0,
+                   "SupplyTrace: cannot rescale an all-zero trace");
+  return scaled(target_mean / m);
 }
 
-double SupplyTrace::mean_w() const {
-  if (power_w_.empty()) return 0.0;
+Watts SupplyTrace::mean_power() const {
+  if (power_w_.empty()) return Watts{};
   double s = 0.0;
   for (const double p : power_w_) s += p;
-  return s / static_cast<double>(power_w_.size());
+  return Watts{s / static_cast<double>(power_w_.size())};
 }
 
-double SupplyTrace::max_w() const {
+Watts SupplyTrace::max_power() const {
   double m = 0.0;
   for (const double p : power_w_) m = std::max(m, p);
-  return m;
+  return Watts{m};
 }
 
-SupplyTrace SupplyTrace::resampled(double new_step_s) const {
-  ISCOPE_CHECK_ARG(new_step_s > 0.0, "resampled: step must be > 0");
+SupplyTrace SupplyTrace::resampled(Seconds new_step) const {
+  ISCOPE_CHECK_ARG(new_step.raw() > 0.0, "resampled: step must be > 0");
   ISCOPE_CHECK_ARG(!power_w_.empty(), "resampled: empty trace");
-  const auto n = static_cast<std::size_t>(
-      std::ceil(duration_s() / new_step_s));
+  const auto n =
+      static_cast<std::size_t>(std::ceil(duration() / new_step));
   std::vector<double> out;
   out.reserve(n);
   for (std::size_t i = 0; i < n; ++i)
-    out.push_back(power_at(static_cast<double>(i) * new_step_s, false));
-  return SupplyTrace(new_step_s, std::move(out));
+    out.push_back(power_at(new_step * static_cast<double>(i), false).watts());
+  return SupplyTrace(new_step, std::move(out));
 }
 
 SupplyTrace SupplyTrace::load_csv(const std::string& path) {
@@ -101,7 +102,7 @@ SupplyTrace SupplyTrace::load_csv(const std::string& path) {
     power.push_back(p);
   }
   if (power.size() == 1) step = 600.0;  // single sample: assume paper cadence
-  return SupplyTrace(step, std::move(power));
+  return SupplyTrace(Seconds{step}, std::move(power));
 }
 
 void SupplyTrace::save_csv(const std::string& path) const {
@@ -110,7 +111,8 @@ void SupplyTrace::save_csv(const std::string& path) const {
   CsvWriter w(out);
   w.write_row({"time_s", "power_w"});
   for (std::size_t i = 0; i < power_w_.size(); ++i)
-    w.write_row_numeric({static_cast<double>(i) * step_s_, power_w_[i]});
+    w.write_row_numeric(
+        {static_cast<double>(i) * step_.raw(), power_w_[i]});
 }
 
 }  // namespace iscope

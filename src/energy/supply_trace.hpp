@@ -4,48 +4,53 @@
 // dataset, sampled every 10 minutes and scaled down to 3.5% to match a
 // 4800-CPU facility (Sec. V-C). `SupplyTrace` is the common container: a
 // fixed-step step-function of available power, loadable from CSV (so real
-// NREL data can be dropped in) or synthesized by the wind model.
+// NREL data can be dropped in) or synthesized by the wind model. Samples
+// are stored as raw watt doubles (a plotting/IO buffer); the query
+// interface speaks typed quantities.
 #pragma once
 
 #include <cstddef>
 #include <string>
 #include <vector>
 
+#include "common/units.hpp"
+
 namespace iscope {
 
 class SupplyTrace {
  public:
   SupplyTrace() = default;
-  /// `step_s` seconds between samples; `power_w` holds one value per step.
-  SupplyTrace(double step_s, std::vector<double> power_w);
+  /// `step` seconds between samples; `power_w` holds one watt value per
+  /// step.
+  SupplyTrace(Seconds step, std::vector<double> power_w);
 
   std::size_t samples() const { return power_w_.size(); }
-  double step_s() const { return step_s_; }
-  /// Total covered time span [s].
-  double duration_s() const;
+  Seconds step() const { return step_; }
+  /// Total covered time span.
+  Seconds duration() const;
   bool empty() const { return power_w_.empty(); }
 
   /// Available power at time t (step function). If `wrap` is true, time
   /// wraps modulo the trace duration (lets a 1-day trace drive longer
   /// simulations); otherwise times past the end hold the last sample.
-  double power_at(double t_s, bool wrap = true) const;
+  Watts power_at(Seconds t, bool wrap = true) const;
 
-  /// Raw sample access.
-  double sample(std::size_t i) const;
+  Watts sample(std::size_t i) const;
+  /// Raw watt samples (plotting/IO buffer).
   const std::vector<double>& raw() const { return power_w_; }
 
   /// Multiply every sample by `factor` (the paper's 3.5% down-scaling and
   /// the Fig. 9 SWP strength sweep both use this).
   SupplyTrace scaled(double factor) const;
 
-  /// Scale so the trace *mean* equals `target_mean_w`.
-  SupplyTrace scaled_to_mean(double target_mean_w) const;
+  /// Scale so the trace *mean* equals `target_mean`.
+  SupplyTrace scaled_to_mean(Watts target_mean) const;
 
-  double mean_w() const;
-  double max_w() const;
+  Watts mean_power() const;
+  Watts max_power() const;
 
   /// Resample to a different step (piecewise-constant interpolation).
-  SupplyTrace resampled(double new_step_s) const;
+  SupplyTrace resampled(Seconds new_step) const;
 
   /// CSV with header `time_s,power_w`; step inferred from the first two
   /// rows and required to be uniform.
@@ -53,7 +58,7 @@ class SupplyTrace {
   void save_csv(const std::string& path) const;
 
  private:
-  double step_s_ = 600.0;
+  Seconds step_{600.0};
   std::vector<double> power_w_;
 };
 

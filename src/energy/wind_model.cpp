@@ -11,25 +11,25 @@ void TurbineCurve::validate() const {
   ISCOPE_CHECK_ARG(0.0 < cut_in_ms && cut_in_ms < rated_ms &&
                        rated_ms < cut_out_ms,
                    "TurbineCurve: need 0 < cut_in < rated < cut_out");
-  ISCOPE_CHECK_ARG(rated_w > 0.0, "TurbineCurve: rated power must be > 0");
+  ISCOPE_CHECK_ARG(rated.raw() > 0.0, "TurbineCurve: rated power must be > 0");
 }
 
-double TurbineCurve::power_w(double v_ms) const {
+Watts TurbineCurve::power(double v_ms) const {
   ISCOPE_CHECK_ARG(v_ms >= 0.0, "TurbineCurve: negative wind speed");
-  if (v_ms < cut_in_ms || v_ms >= cut_out_ms) return 0.0;
-  if (v_ms >= rated_ms) return rated_w;
+  if (v_ms < cut_in_ms || v_ms >= cut_out_ms) return Watts{};
+  if (v_ms >= rated_ms) return rated;
   // Cubic ramp between cut-in and rated (power in the wind ~ v^3).
   const double num = v_ms * v_ms * v_ms - cut_in_ms * cut_in_ms * cut_in_ms;
   const double den =
       rated_ms * rated_ms * rated_ms - cut_in_ms * cut_in_ms * cut_in_ms;
-  return rated_w * num / den;
+  return rated * (num / den);
 }
 
 void WindFarmConfig::validate() const {
   ISCOPE_CHECK_ARG(weibull_shape > 0.0 && weibull_scale_ms > 0.0,
                    "WindFarmConfig: Weibull parameters must be > 0");
   ISCOPE_CHECK_ARG(ar1 >= 0.0 && ar1 < 1.0, "WindFarmConfig: ar1 in [0,1)");
-  ISCOPE_CHECK_ARG(step_s > 0.0, "WindFarmConfig: step must be > 0");
+  ISCOPE_CHECK_ARG(step.raw() > 0.0, "WindFarmConfig: step must be > 0");
   ISCOPE_CHECK_ARG(turbines > 0, "WindFarmConfig: need at least one turbine");
   ISCOPE_CHECK_ARG(diurnal_amplitude >= 0.0 && diurnal_amplitude < 3.0,
                    "WindFarmConfig: diurnal amplitude out of range");
@@ -61,24 +61,24 @@ SupplyTrace generate_wind_trace(const WindFarmConfig& config,
   std::vector<double> power;
   power.reserve(samples);
   for (std::size_t i = 0; i < samples; ++i) {
-    const double t_s = static_cast<double>(i) * config.step_s;
+    const Seconds t = config.step * static_cast<double>(i);
     // Diurnal modulation: shift the latent mean so nights are windier.
-    const double phase = 2.0 * M_PI * t_s / units::kSecondsPerDay;
+    const double phase = 2.0 * M_PI * t.days();
     const double shift = config.diurnal_amplitude * std::cos(phase);
     const double u = phi(z + shift);
     const double v_ms =
         weibull_quantile(u, config.weibull_shape, config.weibull_scale_ms);
     power.push_back(static_cast<double>(config.turbines) *
-                    config.turbine.power_w(v_ms));
+                    config.turbine.power(v_ms).watts());
     z = config.ar1 * z + innov * rng.normal(0.0, 1.0);
   }
-  return SupplyTrace(config.step_s, std::move(power));
+  return SupplyTrace(config.step, std::move(power));
 }
 
 SupplyTrace generate_wind_days(const WindFarmConfig& config, double days) {
   ISCOPE_CHECK_ARG(days > 0.0, "generate_wind_days: days must be > 0");
   const auto samples = static_cast<std::size_t>(
-      std::ceil(days * units::kSecondsPerDay / config.step_s));
+      std::ceil(units::days(days) / config.step));
   return generate_wind_trace(config, samples);
 }
 

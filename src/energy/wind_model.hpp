@@ -13,20 +13,22 @@
 #include <cstdint>
 
 #include "common/rng.hpp"
+#include "common/units.hpp"
 #include "energy/supply_trace.hpp"
 
 namespace iscope {
 
-/// Power curve of a single turbine.
+/// Power curve of a single turbine. Wind speeds stay raw m/s doubles
+/// (`_ms`); speed is not one of iScope's typed axes.
 struct TurbineCurve {
   double cut_in_ms = 3.0;    ///< below: no generation
   double rated_ms = 12.0;    ///< at/above: rated power
   double cut_out_ms = 25.0;  ///< above: shut down (storm protection)
-  double rated_w = 1.5e6;    ///< rated output (GE 1.5 MW class)
+  Watts rated{1.5e6};        ///< rated output (GE 1.5 MW class)
 
   void validate() const;
-  /// Output power [W] at hub wind speed `v_ms`.
-  double power_w(double v_ms) const;
+  /// Output power at hub wind speed `v_ms`.
+  Watts power(double v_ms) const;
 };
 
 struct WindFarmConfig {
@@ -35,7 +37,7 @@ struct WindFarmConfig {
                                    ///< commercial-grade site; keeps calm
                                    ///< spells realistic but not dominant)
   double ar1 = 0.96;               ///< latent correlation per sample step
-  double step_s = 600.0;          ///< 10-minute cadence like NREL
+  Seconds step{600.0};             ///< 10-minute cadence like NREL
   std::size_t turbines = 30;
   TurbineCurve turbine;
   /// Optional diurnal modulation amplitude of the latent mean (0 = off);

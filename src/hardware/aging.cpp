@@ -74,7 +74,7 @@ std::size_t count_undervolt_violations(
     ISCOPE_CHECK_ARG(applied_vdd[i].size() == cluster.levels().count(),
                      "violations: one voltage per level required");
     for (std::size_t l = 0; l < applied_vdd[i].size(); ++l)
-      if (applied_vdd[i][l] < cluster.true_vdd(i, l)) ++count;
+      if (Volts{applied_vdd[i][l]} < cluster.true_vdd(i, l)) ++count;
   }
   return count;
 }

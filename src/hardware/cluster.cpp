@@ -31,28 +31,28 @@ const Processor& Cluster::proc(std::size_t i) const {
   return procs_[i];
 }
 
-double Cluster::power_w(std::size_t i, std::size_t level, double vdd) const {
+Watts Cluster::power(std::size_t i, std::size_t level, Volts vdd) const {
   const Processor& p = proc(i);
   ISCOPE_CHECK_ARG(level < config_.levels.count(),
                    "Cluster: level out of range");
-  return power_.power_w(p.coeffs, config_.levels.freq_ghz[level], vdd,
-                        config_.levels.vdd_nom[level],
-                        config_.levels.vdd_nom.back());
+  return power_.power(p.coeffs, Gigahertz{config_.levels.freq_ghz[level]},
+                      vdd, Volts{config_.levels.vdd_nom[level]},
+                      Volts{config_.levels.vdd_nom.back()});
 }
 
-double Cluster::bin_vdd(std::size_t i, std::size_t level) const {
+Volts Cluster::bin_vdd(std::size_t i, std::size_t level) const {
   const Processor& p = proc(i);
   ISCOPE_CHECK(p.bin >= 0 && p.bin < binning_.bins(),
                "Cluster: processor has no valid bin");
-  return binning_.bin_curve[static_cast<std::size_t>(p.bin)].vdd(level);
+  return Volts{binning_.bin_curve[static_cast<std::size_t>(p.bin)].vdd(level)};
 }
 
-double Cluster::true_vdd(std::size_t i, std::size_t level) const {
-  return proc(i).chip_truth.vdd(level);
+Volts Cluster::true_vdd(std::size_t i, std::size_t level) const {
+  return Volts{proc(i).chip_truth.vdd(level)};
 }
 
-double Cluster::power_w_per_core_domains(std::size_t i,
-                                         std::size_t level) const {
+Watts Cluster::power_per_core_domains(std::size_t i,
+                                      std::size_t level) const {
   const Processor& p = proc(i);
   ISCOPE_CHECK_ARG(level < config_.levels.count(),
                    "Cluster: level out of range");
@@ -60,11 +60,12 @@ double Cluster::power_w_per_core_domains(std::size_t i,
   // Split the chip's Eq-1 coefficients evenly across cores and evaluate
   // each core at its own Min Vdd.
   const PowerCoefficients per_core{p.coeffs.alpha / n, p.coeffs.beta / n};
-  double total = 0.0;
+  Watts total;
   for (const MinVddCurve& core : p.core_truth) {
-    total += power_.power_w(per_core, config_.levels.freq_ghz[level],
-                            core.vdd(level), config_.levels.vdd_nom[level],
-                            config_.levels.vdd_nom.back());
+    total += power_.power(per_core, Gigahertz{config_.levels.freq_ghz[level]},
+                          Volts{core.vdd(level)},
+                          Volts{config_.levels.vdd_nom[level]},
+                          Volts{config_.levels.vdd_nom.back()});
   }
   return total;
 }

@@ -47,22 +47,22 @@ class Cluster {
   const CpuPowerModel& power_model() const { return power_; }
   const ClusterConfig& config() const { return config_; }
 
-  /// Chip power [W] of processor `i` at `level` when supplied `vdd`.
-  double power_w(std::size_t i, std::size_t level, double vdd) const;
+  /// Chip power of processor `i` at `level` when supplied `vdd`.
+  Watts power(std::size_t i, std::size_t level, Volts vdd) const;
 
   /// The factory-bin worst-case voltage of processor `i` at `level` --
   /// what a Bin-scheme datacenter must apply.
-  double bin_vdd(std::size_t i, std::size_t level) const;
+  Volts bin_vdd(std::size_t i, std::size_t level) const;
 
   /// The ground-truth chip Min Vdd of processor `i` at `level` -- what a
   /// perfect scanner would discover.
-  double true_vdd(std::size_t i, std::size_t level) const;
+  Volts true_vdd(std::size_t i, std::size_t level) const;
 
-  /// Chip power [W] under *per-core* voltage domains (paper Sec. III-B:
+  /// Chip power under *per-core* voltage domains (paper Sec. III-B:
   /// on-chip LDO regulators per core): every core runs at its own true
   /// Min Vdd instead of the shared-domain worst case. Used by the
   /// voltage-domain ablation (DESIGN.md choice #2).
-  double power_w_per_core_domains(std::size_t i, std::size_t level) const;
+  Watts power_per_core_domains(std::size_t i, std::size_t level) const;
 
  private:
   ClusterConfig config_;

@@ -14,8 +14,8 @@ std::size_t DvfsState::level() const {
   return level_;
 }
 
-double DvfsState::freq_ghz() const {
-  return on_ ? levels_->freq_ghz[level_] : 0.0;
+Gigahertz DvfsState::freq() const {
+  return Gigahertz{on_ ? levels_->freq_ghz[level_] : 0.0};
 }
 
 void DvfsState::power_on(std::size_t level) {

@@ -7,6 +7,7 @@
 
 #include <cstddef>
 
+#include "common/units.hpp"
 #include "variation/vdd_model.hpp"
 
 namespace iscope {
@@ -20,8 +21,8 @@ class DvfsState {
   bool is_on() const { return on_; }
   /// Current level index; only meaningful when on.
   std::size_t level() const;
-  /// Current frequency [GHz]; 0 when gated.
-  double freq_ghz() const;
+  /// Current frequency; 0 when gated.
+  Gigahertz freq() const;
 
   /// Power up at the given level.
   void power_on(std::size_t level);

@@ -8,14 +8,15 @@ CoolingModel::CoolingModel(double cop) : cop_(cop) {
   ISCOPE_CHECK_ARG(cop > 0.0, "CoolingModel: COP must be > 0");
 }
 
-double CoolingModel::total_power_w(double compute_w) const {
-  ISCOPE_CHECK_ARG(compute_w >= 0.0, "total_power_w: negative compute power");
-  return compute_w * overhead_factor();
+Watts CoolingModel::total_power(Watts compute) const {
+  ISCOPE_CHECK_ARG(compute.raw() >= 0.0, "total_power: negative compute power");
+  return compute * overhead_factor();
 }
 
-double CoolingModel::cooling_power_w(double compute_w) const {
-  ISCOPE_CHECK_ARG(compute_w >= 0.0, "cooling_power_w: negative compute power");
-  return compute_w / cop_;
+Watts CoolingModel::cooling_power(Watts compute) const {
+  ISCOPE_CHECK_ARG(compute.raw() >= 0.0,
+                   "cooling_power: negative compute power");
+  return compute / cop_;
 }
 
 double CoolingModel::overhead_factor() const { return 1.0 + 1.0 / cop_; }

@@ -8,6 +8,7 @@
 #pragma once
 
 #include "common/rng.hpp"
+#include "common/units.hpp"
 
 namespace iscope {
 
@@ -18,11 +19,11 @@ class CoolingModel {
 
   double cop() const { return cop_; }
 
-  /// Facility power [W] needed to run `compute_w` of IT load.
-  double total_power_w(double compute_w) const;
+  /// Facility power needed to run `compute` of IT load.
+  Watts total_power(Watts compute) const;
 
-  /// Cooling-only component [W].
-  double cooling_power_w(double compute_w) const;
+  /// Cooling-only component.
+  Watts cooling_power(Watts compute) const;
 
   /// Multiplier (1 + 1/COP).
   double overhead_factor() const;

@@ -2,7 +2,8 @@
 //
 // Utility power is priced at the California rate of 0.13 USD/kWh [29]; wind
 // at 0.05 USD/kWh [39]. The paper also projects a futuristic 0.005 USD/kWh
-// wind price [2], exposed as `future_wind()`.
+// wind price [2], exposed as `future_wind()`. Rates are typed USD/J so a
+// rate times an energy is a cost by construction (USD/J x J -> USD).
 #pragma once
 
 #include "power/energy_meter.hpp"
@@ -10,23 +11,20 @@
 namespace iscope {
 
 struct EnergyPrices {
-  double utility_usd_per_kwh = 0.13;
-  double wind_usd_per_kwh = 0.05;
+  UsdPerJoule utility_rate = units::usd_per_kwh(0.13);
+  UsdPerJoule wind_rate = units::usd_per_kwh(0.05);
 
-  /// Cost in USD of a consumed energy split.
-  double cost_usd(const EnergySplit& split) const {
-    return split.utility_kwh() * utility_usd_per_kwh +
-           split.wind_kwh() * wind_usd_per_kwh;
+  /// Cost of a consumed energy split.
+  Usd cost(const EnergySplit& split) const {
+    return split.utility * utility_rate + split.wind * wind_rate;
   }
 
-  /// Cost of `kwh` from the utility grid alone.
-  double utility_cost_usd(double kwh) const {
-    return kwh * utility_usd_per_kwh;
-  }
+  /// Cost of `energy` from the utility grid alone.
+  Usd utility_cost(Joules energy) const { return energy * utility_rate; }
 
   /// Paper's projected near-future wind price (ref [2]).
   static EnergyPrices future_wind() {
-    return EnergyPrices{0.13, 0.005};
+    return EnergyPrices{units::usd_per_kwh(0.13), units::usd_per_kwh(0.005)};
   }
 };
 

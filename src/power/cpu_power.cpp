@@ -20,36 +20,36 @@ PowerCoefficients CpuPowerModel::sample(Rng& rng) const {
   PowerCoefficients c;
   // Truncate alpha at 4 sigma (and away from zero) so a pathological draw
   // cannot produce a negative-power chip.
-  c.alpha = rng.truncated_normal(
+  c.alpha = WattsPerCubicGigahertz{rng.truncated_normal(
       params_.alpha_mean, params_.alpha_sigma,
       std::max(0.1, params_.alpha_mean - 4.0 * params_.alpha_sigma),
-      params_.alpha_mean + 4.0 * params_.alpha_sigma);
-  c.beta = static_cast<double>(rng.poisson(params_.beta_mean));
+      params_.alpha_mean + 4.0 * params_.alpha_sigma)};
+  c.beta = Watts{static_cast<double>(rng.poisson(params_.beta_mean))};
   return c;
 }
 
-double CpuPowerModel::power_w(const PowerCoefficients& c, double f_ghz,
-                              double vdd, double vdd_nom,
-                              double vdd_ref) const {
-  ISCOPE_CHECK_ARG(f_ghz >= 0.0, "power_w: negative frequency");
-  ISCOPE_CHECK_ARG(vdd > 0.0 && vdd_nom > 0.0, "power_w: voltages must be > 0");
-  if (vdd_ref <= 0.0) vdd_ref = vdd_nom;
+Watts CpuPowerModel::power(const PowerCoefficients& c, Gigahertz f, Volts vdd,
+                           Volts vdd_nom, Volts vdd_ref) const {
+  ISCOPE_CHECK_ARG(f.raw() >= 0.0, "power: negative frequency");
+  ISCOPE_CHECK_ARG(vdd.raw() > 0.0 && vdd_nom.raw() > 0.0,
+                   "power: voltages must be > 0");
+  if (vdd_ref.raw() <= 0.0) vdd_ref = vdd_nom;
   const double vr = vdd / vdd_nom;
   const double s = params_.leakage_voltage_share;
   const double static_factor = s * (vdd / vdd_ref) + (1.0 - s);
-  return c.alpha * f_ghz * f_ghz * f_ghz * vr * vr + c.beta * static_factor;
+  return c.alpha * f * f * f * (vr * vr) + c.beta * static_factor;
 }
 
-double CpuPowerModel::power_eq1_w(const PowerCoefficients& c,
-                                  double f_ghz) const {
-  ISCOPE_CHECK_ARG(f_ghz >= 0.0, "power_eq1_w: negative frequency");
-  return c.alpha * f_ghz * f_ghz * f_ghz + c.beta;
+Watts CpuPowerModel::power_eq1(const PowerCoefficients& c, Gigahertz f) const {
+  ISCOPE_CHECK_ARG(f.raw() >= 0.0, "power_eq1: negative frequency");
+  return c.alpha * f * f * f + c.beta;
 }
 
-double CpuPowerModel::watts_per_ghz(const PowerCoefficients& c, double f_ghz,
-                                    double vdd, double vdd_nom) const {
-  ISCOPE_CHECK_ARG(f_ghz > 0.0, "watts_per_ghz: frequency must be > 0");
-  return power_w(c, f_ghz, vdd, vdd_nom) / f_ghz;
+WattsPerGigahertz CpuPowerModel::efficiency(const PowerCoefficients& c,
+                                            Gigahertz f, Volts vdd,
+                                            Volts vdd_nom) const {
+  ISCOPE_CHECK_ARG(f.raw() > 0.0, "efficiency: frequency must be > 0");
+  return power(c, f, vdd, vdd_nom) / f;
 }
 
 }  // namespace iscope

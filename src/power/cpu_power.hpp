@@ -30,13 +30,16 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/units.hpp"
 
 namespace iscope {
 
 /// Per-chip Eq-1 coefficients.
 struct PowerCoefficients {
-  double alpha = 7.5;  ///< dynamic coefficient [W / GHz^3] at stock voltage
-  double beta = 65.0;  ///< static power [W] at stock voltage
+  /// Dynamic coefficient at stock voltage; W/GHz^3 is a first-class
+  /// dimension so alpha * f^3 composes to Watts at compile time.
+  WattsPerCubicGigahertz alpha{7.5};
+  Watts beta{65.0};  ///< static power at stock voltage
 };
 
 /// Factory distribution of Eq-1 coefficients (paper Sec. V-B).
@@ -58,21 +61,21 @@ class CpuPowerModel {
   /// Sample one chip's coefficients.
   PowerCoefficients sample(Rng& rng) const;
 
-  /// Chip power [W] at frequency `f_ghz` and supply voltage `vdd`, where
-  /// `vdd_nom` is the stock voltage of that frequency level and `vdd_ref`
-  /// the leakage reference voltage (defaults to `vdd_nom`; pass the top
-  /// level's stock voltage when evaluating a multi-level table so leakage
-  /// tracks absolute voltage).
-  double power_w(const PowerCoefficients& c, double f_ghz, double vdd,
-                 double vdd_nom, double vdd_ref = 0.0) const;
+  /// Chip power at frequency `f` and supply voltage `vdd`, where `vdd_nom`
+  /// is the stock voltage of that frequency level and `vdd_ref` the leakage
+  /// reference voltage (defaults to `vdd_nom`; pass the top level's stock
+  /// voltage when evaluating a multi-level table so leakage tracks absolute
+  /// voltage).
+  Watts power(const PowerCoefficients& c, Gigahertz f, Volts vdd,
+              Volts vdd_nom, Volts vdd_ref = Volts{}) const;
 
   /// Paper's original Eq-1 (voltage folded in): alpha * f^3 + beta.
-  double power_eq1_w(const PowerCoefficients& c, double f_ghz) const;
+  Watts power_eq1(const PowerCoefficients& c, Gigahertz f) const;
 
   /// Energy efficiency metric used by the Effi/Fair schedulers: power per
-  /// unit of compute throughput [W / GHz]. Lower is better.
-  double watts_per_ghz(const PowerCoefficients& c, double f_ghz, double vdd,
-                       double vdd_nom) const;
+  /// unit of compute throughput. Lower is better.
+  WattsPerGigahertz efficiency(const PowerCoefficients& c, Gigahertz f,
+                               Volts vdd, Volts vdd_nom) const;
 
   const PowerModelParams& params() const { return params_; }
 

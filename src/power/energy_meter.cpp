@@ -2,30 +2,35 @@
 
 #include <algorithm>
 
+#include "common/audit.hpp"
 #include "common/error.hpp"
 
 namespace iscope {
 
-EnergySplit EnergyMeter::accrue(double demand_w, double wind_avail_w,
-                                double dt_s) {
-  ISCOPE_CHECK_ARG(demand_w >= 0.0, "accrue: negative demand");
-  ISCOPE_CHECK_ARG(wind_avail_w >= 0.0, "accrue: negative wind power");
-  ISCOPE_CHECK_ARG(dt_s >= 0.0, "accrue: negative time step");
-  const double wind_used_w = std::min(demand_w, wind_avail_w);
+EnergySplit EnergyMeter::accrue(Watts demand, Watts wind_avail, Seconds dt) {
+  ISCOPE_CHECK_ARG(demand.raw() >= 0.0, "accrue: negative demand");
+  ISCOPE_CHECK_ARG(wind_avail.raw() >= 0.0, "accrue: negative wind power");
+  ISCOPE_CHECK_ARG(dt.raw() >= 0.0, "accrue: negative time step");
+  const Watts wind_used = std::min(demand, wind_avail);
   EnergySplit step;
-  step.wind_j = wind_used_w * dt_s;
-  step.utility_j = (demand_w - wind_used_w) * dt_s;
+  step.wind = wind_used * dt;
+  step.utility = (demand - wind_used) * dt;
+  // Conservation at the meter boundary: every joule of demand is attributed
+  // to exactly one source.
+  ISCOPE_AUDIT_CHECK(
+      audit::close(step.total().joules(), (demand * dt).joules()),
+      "energy meter: wind + utility != demand over the step");
   total_ += step;
-  wind_curtailed_j_ += (wind_avail_w - wind_used_w) * dt_s;
+  wind_curtailed_ += (wind_avail - wind_used) * dt;
   return step;
 }
 
-void EnergyMeter::add_split(const EnergySplit& split, double curtailed_j) {
-  ISCOPE_CHECK_ARG(split.wind_j >= 0.0 && split.utility_j >= 0.0,
+void EnergyMeter::add_split(const EnergySplit& split, Joules curtailed) {
+  ISCOPE_CHECK_ARG(split.wind.raw() >= 0.0 && split.utility.raw() >= 0.0,
                    "add_split: negative energy");
-  ISCOPE_CHECK_ARG(curtailed_j >= 0.0, "add_split: negative curtailment");
+  ISCOPE_CHECK_ARG(curtailed.raw() >= 0.0, "add_split: negative curtailment");
   total_ += split;
-  wind_curtailed_j_ += curtailed_j;
+  wind_curtailed_ += curtailed;
 }
 
 void EnergyMeter::record_sample(const PowerSample& sample) {
@@ -33,13 +38,13 @@ void EnergyMeter::record_sample(const PowerSample& sample) {
 }
 
 double EnergyMeter::wind_fraction() const {
-  const double t = total_.total_j();
-  return t == 0.0 ? 0.0 : total_.wind_j / t;
+  const Joules t = total_.total();
+  return t.raw() == 0.0 ? 0.0 : total_.wind / t;
 }
 
 void EnergyMeter::reset() {
   total_ = EnergySplit{};
-  wind_curtailed_j_ = 0.0;
+  wind_curtailed_ = Joules{};
   trace_.clear();
 }
 

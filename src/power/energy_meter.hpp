@@ -3,7 +3,9 @@
 // The simulator integrates facility power over time and attributes every
 // joule to either the wind farm or the utility grid (wind first, utility as
 // the supplement -- paper Sec. V-C). The meter also keeps a sampled power
-// trace for the Fig. 7 style plots.
+// trace for the Fig. 7 style plots. All public quantities are strongly
+// typed (common/quantity.hpp); debug/audit builds additionally re-verify
+// energy conservation at every accrual step (common/audit.hpp).
 #pragma once
 
 #include <vector>
@@ -12,42 +14,42 @@
 
 namespace iscope {
 
-/// Energy drawn from each source [J].
+/// Energy drawn from each source.
 struct EnergySplit {
-  double wind_j = 0.0;
-  double utility_j = 0.0;
+  Joules wind;
+  Joules utility;
 
-  double total_j() const { return wind_j + utility_j; }
-  double wind_kwh() const { return units::joules_to_kwh(wind_j); }
-  double utility_kwh() const { return units::joules_to_kwh(utility_j); }
-  double total_kwh() const { return units::joules_to_kwh(total_j()); }
+  Joules total() const { return wind + utility; }
+  double wind_kwh() const { return wind.kwh(); }
+  double utility_kwh() const { return utility.kwh(); }
+  double total_kwh() const { return total().kwh(); }
 
   EnergySplit& operator+=(const EnergySplit& o) {
-    wind_j += o.wind_j;
-    utility_j += o.utility_j;
+    wind += o.wind;
+    utility += o.utility;
     return *this;
   }
 };
 
 /// One sample of the facility power state (for trace plots).
 struct PowerSample {
-  double time_s = 0.0;
-  double demand_w = 0.0;   ///< total facility demand (IT + cooling)
-  double wind_w = 0.0;     ///< wind power actually consumed
-  double utility_w = 0.0;  ///< utility power actually consumed
-  double wind_avail_w = 0.0;  ///< wind power available (consumed or not)
+  Seconds time;
+  Watts demand;      ///< total facility demand (IT + cooling)
+  Watts wind;        ///< wind power actually consumed
+  Watts utility;     ///< utility power actually consumed
+  Watts wind_avail;  ///< wind power available (consumed or not)
 };
 
 class EnergyMeter {
  public:
-  /// Account `demand_w` of facility power over `dt_s` seconds against
-  /// `wind_avail_w` of available wind power: wind covers as much as it can,
-  /// the utility grid supplies the rest. Returns the split for this step.
-  EnergySplit accrue(double demand_w, double wind_avail_w, double dt_s);
+  /// Account `demand` of facility power over `dt` against `wind_avail` of
+  /// available wind power: wind covers as much as it can, the utility grid
+  /// supplies the rest. Returns the split for this step.
+  EnergySplit accrue(Watts demand, Watts wind_avail, Seconds dt);
 
   /// Account a pre-computed split (used by battery-aware callers that
   /// divide the flows themselves), plus explicitly-curtailed wind energy.
-  void add_split(const EnergySplit& split, double curtailed_j);
+  void add_split(const EnergySplit& split, Joules curtailed);
 
   /// Record a trace sample (caller controls the sampling cadence).
   void record_sample(const PowerSample& sample);
@@ -55,8 +57,8 @@ class EnergyMeter {
   const EnergySplit& total() const { return total_; }
   const std::vector<PowerSample>& trace() const { return trace_; }
 
-  /// Wind energy that was available but not consumed [J] (curtailment).
-  double wind_curtailed_j() const { return wind_curtailed_j_; }
+  /// Wind energy that was available but not consumed (curtailment).
+  Joules wind_curtailed() const { return wind_curtailed_; }
 
   /// Fraction of consumed energy that came from wind; 0 if nothing consumed.
   double wind_fraction() const;
@@ -65,7 +67,7 @@ class EnergyMeter {
 
  private:
   EnergySplit total_;
-  double wind_curtailed_j_ = 0.0;
+  Joules wind_curtailed_;
   std::vector<PowerSample> trace_;
 };
 

@@ -8,11 +8,12 @@
 namespace iscope {
 
 void NodeComponents::validate() const {
-  ISCOPE_CHECK_ARG(memory_idle_w >= 0.0 && memory_active_w >= memory_idle_w,
-                   "node: memory powers must satisfy 0 <= idle <= active");
-  ISCOPE_CHECK_ARG(disk_w >= 0.0 && nic_w >= 0.0 && board_w >= 0.0,
+  ISCOPE_CHECK_ARG(
+      memory_idle.raw() >= 0.0 && memory_active >= memory_idle,
+      "node: memory powers must satisfy 0 <= idle <= active");
+  ISCOPE_CHECK_ARG(disk.raw() >= 0.0 && nic.raw() >= 0.0 && board.raw() >= 0.0,
                    "node: component powers must be >= 0");
-  ISCOPE_CHECK_ARG(psu_rated_w > 0.0, "node: PSU rating must be > 0");
+  ISCOPE_CHECK_ARG(psu_rated.raw() > 0.0, "node: PSU rating must be > 0");
 }
 
 NodePowerModel::NodePowerModel(const NodeComponents& components)
@@ -38,24 +39,24 @@ double NodePowerModel::psu_efficiency(double load_fraction) const {
   return std::clamp(eff, 0.5, 0.99);
 }
 
-double NodePowerModel::dc_power_w(double cpu_w, double mem_activity,
-                                  const NodeVariation& variation) const {
-  ISCOPE_CHECK_ARG(cpu_w >= 0.0, "node: negative CPU power");
+Watts NodePowerModel::dc_power(Watts cpu, double mem_activity,
+                               const NodeVariation& variation) const {
+  ISCOPE_CHECK_ARG(cpu.raw() >= 0.0, "node: negative CPU power");
   ISCOPE_CHECK_ARG(mem_activity >= 0.0 && mem_activity <= 1.0,
                    "node: memory activity must be in [0,1]");
-  const double memory =
-      (components_.memory_idle_w +
-       mem_activity * (components_.memory_active_w - components_.memory_idle_w)) *
+  const Watts memory =
+      (components_.memory_idle +
+       mem_activity * (components_.memory_active - components_.memory_idle)) *
       variation.memory_scale;
-  const double board = components_.board_w * variation.board_scale;
-  return cpu_w + memory + components_.disk_w + components_.nic_w + board;
+  const Watts board = components_.board * variation.board_scale;
+  return cpu + memory + components_.disk + components_.nic + board;
 }
 
-double NodePowerModel::wall_power_w(double cpu_w, double mem_activity,
-                                    const NodeVariation& variation) const {
-  const double dc = dc_power_w(cpu_w, mem_activity, variation);
+Watts NodePowerModel::wall_power(Watts cpu, double mem_activity,
+                                 const NodeVariation& variation) const {
+  const Watts dc = dc_power(cpu, mem_activity, variation);
   const double eff = std::clamp(
-      psu_efficiency(dc / components_.psu_rated_w) +
+      psu_efficiency(dc / components_.psu_rated) +
           variation.psu_efficiency_shift,
       0.5, 0.99);
   return dc / eff;

@@ -11,17 +11,18 @@
 #pragma once
 
 #include "common/rng.hpp"
+#include "common/units.hpp"
 
 namespace iscope {
 
 /// Nameplate component powers of one server node (one CPU package).
 struct NodeComponents {
-  double memory_idle_w = 8.0;    ///< DRAM background/refresh
-  double memory_active_w = 25.0; ///< DRAM at full access rate
-  double disk_w = 9.0;
-  double nic_w = 5.0;
-  double board_w = 18.0;         ///< VRM, fans, BMC, chipset
-  double psu_rated_w = 450.0;
+  Watts memory_idle{8.0};    ///< DRAM background/refresh
+  Watts memory_active{25.0}; ///< DRAM at full access rate
+  Watts disk{9.0};
+  Watts nic{5.0};
+  Watts board{18.0};         ///< VRM, fans, BMC, chipset
+  Watts psu_rated{450.0};
 
   void validate() const;
 };
@@ -42,14 +43,14 @@ class NodePowerModel {
   /// easing off toward full load. Clamped to [0.5, 0.99].
   double psu_efficiency(double load_fraction) const;
 
-  /// DC-side (secondary) power of a node whose CPU draws `cpu_w` and whose
+  /// DC-side (secondary) power of a node whose CPU draws `cpu` and whose
   /// memory activity is `mem_activity` in [0,1].
-  double dc_power_w(double cpu_w, double mem_activity,
-                    const NodeVariation& variation = {}) const;
+  Watts dc_power(Watts cpu, double mem_activity,
+                 const NodeVariation& variation = {}) const;
 
   /// Wall (AC) power: DC power divided by the PSU efficiency at that load.
-  double wall_power_w(double cpu_w, double mem_activity,
-                      const NodeVariation& variation = {}) const;
+  Watts wall_power(Watts cpu, double mem_activity,
+                   const NodeVariation& variation = {}) const;
 
   /// Sample per-node variation: DRAM power spread ~ N(1, 0.08), board
   /// ~ N(1, 0.05), PSU efficiency +- 2 points.

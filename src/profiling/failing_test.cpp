@@ -8,7 +8,7 @@ namespace iscope {
 double test_duration_s(TestKind kind) {
   switch (kind) {
     case TestKind::kStress:
-      return units::minutes(10.0);
+      return units::minutes_to_s(10.0);
     case TestKind::kFunctionalFailing:
       return 29.0;
   }
@@ -40,7 +40,9 @@ TrialResult StabilityTester::run(std::size_t proc, std::size_t core,
   r.duration_s = test_duration_s(kind_);
   // The chip under test burns power at the tested configuration for the
   // whole trial (a failing run is detected only at result check).
-  r.energy_j = cluster_->power_w(proc, level, vdd) * r.duration_s;
+  r.energy_j =
+      (cluster_->power(proc, level, Volts{vdd}) * Seconds{r.duration_s})
+          .joules();
   return r;
 }
 

@@ -9,7 +9,7 @@ namespace iscope {
 void OpportunisticConfig::validate() const {
   ISCOPE_CHECK_ARG(utilization_threshold > 0.0 && utilization_threshold <= 1.0,
                    "opportunistic: threshold must be in (0,1]");
-  ISCOPE_CHECK_ARG(min_wind_w >= 0.0, "opportunistic: negative wind level");
+  ISCOPE_CHECK_ARG(min_wind.raw() >= 0.0, "opportunistic: negative wind level");
   ISCOPE_CHECK_ARG(scan_time_per_proc_s > 0.0,
                    "opportunistic: scan time must be > 0");
   ISCOPE_CHECK_ARG(domain_size > 0, "opportunistic: empty domain");
@@ -74,8 +74,8 @@ ProfilingPlan plan_profiling(const std::vector<double>& demand_fraction,
     auto minute_ok = [&](std::size_t i) {
       if (demand_fraction[i] >= config.utilization_threshold) return false;
       if (config.require_wind &&
-          supply.wind_available_w(static_cast<double>(i) * 60.0) <
-              config.min_wind_w)
+          supply.wind_available(Seconds{static_cast<double>(i) * 60.0}) <
+              config.min_wind)
         return false;
       return true;
     };

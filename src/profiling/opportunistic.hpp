@@ -27,7 +27,7 @@ struct OpportunisticConfig {
   /// Require renewable generation during the window (profiling-flow
   /// stage 1: "when the renewable energy generation is available").
   bool require_wind = false;
-  double min_wind_w = 0.0;  ///< wind level counting as "available"
+  Watts min_wind;           ///< wind level counting as "available"
   /// Wall time needed to scan one processor [s].
   double scan_time_per_proc_s = 0.0;
   /// Processors per profiling domain (scanned back-to-back in one window).

@@ -7,7 +7,7 @@ namespace iscope {
 
 void OverheadConfig::validate() const {
   ISCOPE_CHECK_ARG(processors > 0, "overhead: no processors");
-  ISCOPE_CHECK_ARG(tdp_w > 0.0, "overhead: TDP must be > 0");
+  ISCOPE_CHECK_ARG(tdp.raw() > 0.0, "overhead: TDP must be > 0");
   ISCOPE_CHECK_ARG(freq_bins > 0 && voltage_points > 0,
                    "overhead: empty sweep grid");
 }
@@ -15,16 +15,13 @@ void OverheadConfig::validate() const {
 OverheadReport compute_overhead(const OverheadConfig& config) {
   config.validate();
   OverheadReport report;
-  const double trial_s = test_duration_s(config.kind);
-  report.per_proc_time_s =
-      trial_s * static_cast<double>(config.freq_bins * config.voltage_points);
-  const double total_j = report.per_proc_time_s * config.tdp_w *
-                         static_cast<double>(config.processors);
-  report.total_energy_kwh = units::joules_to_kwh(total_j);
-  report.cost_wind_usd =
-      report.total_energy_kwh * config.prices.wind_usd_per_kwh;
-  report.cost_utility_usd =
-      report.total_energy_kwh * config.prices.utility_usd_per_kwh;
+  const Seconds trial{test_duration_s(config.kind)};
+  report.per_proc_time =
+      trial * static_cast<double>(config.freq_bins * config.voltage_points);
+  report.total_energy = config.tdp * report.per_proc_time *
+                        static_cast<double>(config.processors);
+  report.cost_wind = report.total_energy * config.prices.wind_rate;
+  report.cost_utility = report.total_energy * config.prices.utility_rate;
   return report;
 }
 

@@ -16,7 +16,7 @@ namespace iscope {
 
 struct OverheadConfig {
   std::size_t processors = 4800;
-  double tdp_w = 115.0;          ///< Opteron 6300 series max TDP
+  Watts tdp{115.0};              ///< Opteron 6300 series max TDP
   std::size_t freq_bins = 5;
   std::size_t voltage_points = 10;
   TestKind kind = TestKind::kStress;
@@ -26,10 +26,10 @@ struct OverheadConfig {
 };
 
 struct OverheadReport {
-  double per_proc_time_s = 0.0;   ///< sweep wall time per processor
-  double total_energy_kwh = 0.0;  ///< facility-wide campaign energy
-  double cost_wind_usd = 0.0;     ///< campaign priced at the wind rate
-  double cost_utility_usd = 0.0;  ///< campaign priced at the utility rate
+  Seconds per_proc_time;   ///< sweep wall time per processor
+  Joules total_energy;     ///< facility-wide campaign energy
+  Usd cost_wind;           ///< campaign priced at the wind rate
+  Usd cost_utility;        ///< campaign priced at the utility rate
 };
 
 /// Closed-form campaign cost, exactly the paper's arithmetic.

@@ -25,10 +25,11 @@ void Knowledge::refresh() {
   power_.assign(n, std::vector<double>(nl, 0.0));
   efficiency_.assign(n, 0.0);
 
-  const double f_top = cluster_->levels().freq_ghz[nl - 1];
+  const Gigahertz f_top{cluster_->levels().freq_ghz[nl - 1]};
   // Bin-specified power: the population-mean Eq-1 chip at the bin voltage.
-  const PowerCoefficients spec{cluster_->power_model().params().alpha_mean,
-                               cluster_->power_model().params().beta_mean};
+  const PowerCoefficients spec{
+      WattsPerCubicGigahertz{cluster_->power_model().params().alpha_mean},
+      Watts{cluster_->power_model().params().beta_mean}};
   for (std::size_t i = 0; i < n; ++i) {
     const ChipProfile* profile =
         (source_ == KnowledgeSource::kScan && db_ != nullptr) ? db_->find(i)
@@ -40,23 +41,23 @@ void Knowledge::refresh() {
       // trusted, not capped. (Grid quantization can leave the discovered
       // value up to one grid step above the true minimum; keep the scan
       // grid fine -- see ScanConfig -- rather than second-guessing it.)
-      const double v = profile != nullptr ? profile->chip_vdd.vdd(l)
-                                          : cluster_->bin_vdd(i, l);
-      vdd_[i][l] = v;
+      const Volts v = profile != nullptr ? Volts{profile->chip_vdd.vdd(l)}
+                                         : cluster_->bin_vdd(i, l);
+      vdd_[i][l] = v.volts();
       // True chip power at the applied voltage (what the meter sees).
-      power_[i][l] = cluster_->power_w(i, l, v);
+      power_[i][l] = cluster_->power(i, l, v).watts();
     }
     if (profile != nullptr) {
       // Scanned chip: measured power profile ranks it individually.
-      efficiency_[i] = power_[i][nl - 1] / f_top;
+      efficiency_[i] = (Watts{power_[i][nl - 1]} / f_top).watts_per_ghz();
     } else {
       // Binned chip: only the bin's specified efficiency is known.
       efficiency_[i] =
-          cluster_->power_model().power_w(spec,
-                                          cluster_->levels().freq_ghz[nl - 1],
-                                          cluster_->bin_vdd(i, nl - 1),
-                                          cluster_->levels().vdd_nom[nl - 1]) /
-          f_top;
+          (cluster_->power_model().power(
+               spec, f_top, cluster_->bin_vdd(i, nl - 1),
+               Volts{cluster_->levels().vdd_nom[nl - 1]}) /
+           f_top)
+              .watts_per_ghz();
     }
   }
 
@@ -70,21 +71,21 @@ void Knowledge::refresh() {
             });
 }
 
-double Knowledge::vdd(std::size_t i, std::size_t level) const {
+Volts Knowledge::vdd(std::size_t i, std::size_t level) const {
   ISCOPE_CHECK_ARG(i < vdd_.size(), "Knowledge: proc out of range");
   ISCOPE_CHECK_ARG(level < vdd_[i].size(), "Knowledge: level out of range");
-  return vdd_[i][level];
+  return Volts{vdd_[i][level]};
 }
 
-double Knowledge::power_w(std::size_t i, std::size_t level) const {
+Watts Knowledge::power(std::size_t i, std::size_t level) const {
   ISCOPE_CHECK_ARG(i < power_.size(), "Knowledge: proc out of range");
   ISCOPE_CHECK_ARG(level < power_[i].size(), "Knowledge: level out of range");
-  return power_[i][level];
+  return Watts{power_[i][level]};
 }
 
-double Knowledge::efficiency(std::size_t i) const {
+WattsPerGigahertz Knowledge::efficiency(std::size_t i) const {
   ISCOPE_CHECK_ARG(i < efficiency_.size(), "Knowledge: proc out of range");
-  return efficiency_[i];
+  return WattsPerGigahertz{efficiency_[i]};
 }
 
 }  // namespace iscope

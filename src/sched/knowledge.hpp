@@ -15,7 +15,7 @@
 //             discovered Min Vdd, and its measured power profile ranks it
 //             individually; unscanned chips fall back to the bin view.
 //
-// `power_w` is always the chip's *true* power at the applied voltage --
+// `power` is always the chip's *true* power at the applied voltage --
 // that is what the facility's power sensors meter and what the supply-
 // demand matcher reacts to, whichever scheme is running. `efficiency` is
 // the scheduler's belief and differs between the views.
@@ -46,15 +46,15 @@ class Knowledge {
   std::size_t levels() const;
 
   /// Voltage the datacenter applies to processor `i` at `level`.
-  double vdd(std::size_t i, std::size_t level) const;
+  Volts vdd(std::size_t i, std::size_t level) const;
 
-  /// Chip power [W] of processor `i` at `level` under the applied voltage.
-  double power_w(std::size_t i, std::size_t level) const;
+  /// Chip power of processor `i` at `level` under the applied voltage.
+  Watts power(std::size_t i, std::size_t level) const;
 
   /// Believed efficiency score: W/GHz at the top level; lower is better.
   /// The Effi and Fair schedulers rank processors by this. Under kBin all
   /// chips of a bin share the score (specified, not measured, power).
-  double efficiency(std::size_t i) const;
+  WattsPerGigahertz efficiency(std::size_t i) const;
 
   /// Processor ids sorted by ascending efficiency score (best first).
   const std::vector<std::size_t>& efficiency_order() const {
@@ -70,6 +70,8 @@ class Knowledge {
   const Cluster* cluster_;   // non-owning
   KnowledgeSource source_;
   const ProfileDb* db_;      // non-owning; may be null
+  // Hot-path caches stay raw doubles (volts / watts / W-per-GHz); the
+  // typed accessors wrap them at the boundary.
   std::vector<std::vector<double>> vdd_;    // [proc][level]
   std::vector<std::vector<double>> power_;  // [proc][level]
   std::vector<double> efficiency_;

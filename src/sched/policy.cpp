@@ -84,8 +84,8 @@ std::optional<std::vector<std::size_t>> PlacementPolicy::choose(
         // CPUs. Stop deferring once the backlog itself threatens deadlines,
         // or when the forecast says the wind will not come back in time.
         const bool forecast_promises_wind =
-            ctx.forecast_mean_w >=
-            kDeferForecastFraction * std::max(ctx.current_demand_w, 1.0);
+            ctx.forecast_mean >=
+            kDeferForecastFraction * std::max(ctx.current_demand, Watts{1.0});
         if (!ctx.forced && ctx.slack_s > kMinDeferSlackS &&
             ctx.queue_pressure < kMaxDeferBacklog && forecast_promises_wind)
           return std::nullopt;

@@ -50,12 +50,12 @@ struct PlacementContext {
   double queue_pressure = 0.0;
   /// Time until this task's last deadline-feasible start [s].
   double slack_s = 0.0;
-  /// Expected mean wind power over this task's slack window [W]. Infinity
+  /// Expected mean wind power over this task's slack window. Infinity
   /// when no forecaster is attached ("assume the wind will come back" --
   /// the unconditioned deferral of the base design).
-  double forecast_mean_w = std::numeric_limits<double>::infinity();
-  /// Current facility demand [W] (forecast deferral compares against it).
-  double current_demand_w = 0.0;
+  Watts forecast_mean{std::numeric_limits<double>::infinity()};
+  /// Current facility demand (forecast deferral compares against it).
+  Watts current_demand;
 };
 
 /// Backlog (waiting width / cluster size) beyond which Fair stops

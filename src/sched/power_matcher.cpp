@@ -14,10 +14,10 @@ PowerMatcher::PowerMatcher(const Knowledge* knowledge, double cooling_factor)
                    "PowerMatcher: cooling factor must be >= 1");
 }
 
-double PowerMatcher::task_power_w(const ActiveTask& task,
-                                  std::size_t level) const {
-  double p = 0.0;
-  for (const std::size_t id : task.procs) p += knowledge_->power_w(id, level);
+Watts PowerMatcher::task_power(const ActiveTask& task,
+                               std::size_t level) const {
+  Watts p;
+  for (const std::size_t id : task.procs) p += knowledge_->power(id, level);
   return p;
 }
 
@@ -43,10 +43,10 @@ std::size_t PowerMatcher::energy_optimal_level(const ActiveTask& task,
   const std::size_t top = knowledge_->levels() - 1;
   ISCOPE_CHECK_ARG(floor <= top, "energy_optimal_level: floor out of range");
   std::size_t best = top;
-  double best_energy = task_power_w(task, top) * slowdown(task, top);
+  Watts best_energy = task_power(task, top) * slowdown(task, top);
   // Prefer the higher level on ties (finish sooner at equal energy).
   for (std::size_t l = top; l-- > floor;) {
-    const double e = task_power_w(task, l) * slowdown(task, l);
+    const Watts e = task_power(task, l) * slowdown(task, l);
     if (e < best_energy) {
       best_energy = e;
       best = l;
@@ -56,19 +56,19 @@ std::size_t PowerMatcher::energy_optimal_level(const ActiveTask& task,
 }
 
 MatchResult PowerMatcher::match(std::vector<ActiveTask>& tasks,
-                                double wind_avail_w, double now_s) const {
-  ISCOPE_CHECK_ARG(wind_avail_w >= 0.0, "PowerMatcher: negative wind");
+                                Watts wind_avail, double now_s) const {
+  ISCOPE_CHECK_ARG(wind_avail.raw() >= 0.0, "PowerMatcher: negative wind");
 
   MatchResult result;
   if (tasks.empty()) return result;
 
   // Phase 1: energy-optimal deadline-feasible baseline.
   std::vector<std::size_t> floor(tasks.size());
-  double compute_w = 0.0;
+  Watts compute;
   for (std::size_t i = 0; i < tasks.size(); ++i) {
     floor[i] = min_feasible_level(tasks[i], now_s);
     tasks[i].level = energy_optimal_level(tasks[i], floor[i]);
-    compute_w += task_power_w(tasks[i], tasks[i].level);
+    compute += task_power(tasks[i], tasks[i].level);
   }
 
   // Phase 2: fit under the wind budget with greedy best-saving down-steps.
@@ -76,45 +76,44 @@ MatchResult PowerMatcher::match(std::vector<ActiveTask>& tasks,
   // all-floors demand exceeds the wind, slowing down just moves the same
   // (utility-supplied) work later -- run the energy-optimal baseline
   // instead and wait for wind.
-  double floor_compute_w = 0.0;
+  Watts floor_compute;
   for (std::size_t i = 0; i < tasks.size(); ++i)
-    floor_compute_w += task_power_w(tasks[i], floor[i]);
-  if (wind_avail_w > 0.0 &&
-      wind_avail_w >= floor_compute_w * cooling_factor_) {
+    floor_compute += task_power(tasks[i], floor[i]);
+  if (wind_avail.raw() > 0.0 && wind_avail >= floor_compute * cooling_factor_) {
     struct Step {
-      double saving_w;
+      Watts saving;
       std::size_t task;
       std::size_t to_level;
     };
     auto cmp = [](const Step& a, const Step& b) {
-      if (a.saving_w != b.saving_w) return a.saving_w < b.saving_w;
+      if (a.saving != b.saving) return a.saving < b.saving;
       return a.task > b.task;  // deterministic tiebreak
     };
     std::priority_queue<Step, std::vector<Step>, decltype(cmp)> heap(cmp);
     auto push_step = [&](std::size_t i) {
       const std::size_t l = tasks[i].level;
       if (l == 0 || l <= floor[i]) return;
-      const double saving =
-          task_power_w(tasks[i], l) - task_power_w(tasks[i], l - 1);
+      const Watts saving =
+          task_power(tasks[i], l) - task_power(tasks[i], l - 1);
       heap.push(Step{saving, i, l - 1});
     };
     for (std::size_t i = 0; i < tasks.size(); ++i) push_step(i);
 
-    while (compute_w * cooling_factor_ > wind_avail_w && !heap.empty()) {
+    while (compute * cooling_factor_ > wind_avail && !heap.empty()) {
       const Step step = heap.top();
       heap.pop();
       // At most one live entry per task (re-pushed after applying), so a
       // level mismatch marks a stale entry.
       if (tasks[step.task].level != step.to_level + 1) continue;
       tasks[step.task].level = step.to_level;
-      compute_w -= step.saving_w;
+      compute -= step.saving;
       ++result.steps;
       push_step(step.task);
     }
   }
 
-  result.compute_w = compute_w;
-  result.demand_w = compute_w * cooling_factor_;
+  result.compute = compute;
+  result.demand = compute * cooling_factor_;
   return result;
 }
 

@@ -41,8 +41,8 @@ struct ActiveTask {
 };
 
 struct MatchResult {
-  double compute_w = 0.0;  ///< IT power after matching
-  double demand_w = 0.0;   ///< facility power (IT * cooling factor)
+  Watts compute;           ///< IT power after matching
+  Watts demand;            ///< facility power (IT * cooling factor)
   std::size_t steps = 0;   ///< phase-2 DVFS down-steps taken
 };
 
@@ -61,11 +61,11 @@ class PowerMatcher {
                                    std::size_t floor) const;
 
   /// Assign levels to all tasks; see file comment for the algorithm.
-  MatchResult match(std::vector<ActiveTask>& tasks, double wind_avail_w,
+  MatchResult match(std::vector<ActiveTask>& tasks, Watts wind_avail,
                     double now_s) const;
 
   /// IT power of one task at one level (sum over its processors).
-  double task_power_w(const ActiveTask& task, std::size_t level) const;
+  Watts task_power(const ActiveTask& task, std::size_t level) const;
 
   /// Eq-3 slowdown of a task at a level.
   double slowdown(const ActiveTask& task, std::size_t level) const;

@@ -13,17 +13,17 @@ namespace iscope {
 struct SimResult {
   // --- energy & cost (Figs. 5, 6, 8) -----------------------------------
   EnergySplit energy;            ///< consumed, split wind/utility
-  double cost_usd = 0.0;         ///< priced with the run's EnergyPrices
-  double wind_curtailed_kwh = 0.0;
+  Usd cost;                      ///< priced with the run's EnergyPrices
+  Joules wind_curtailed;
   /// Battery flows (0 when no battery is configured).
-  double battery_delivered_kwh = 0.0;
-  double battery_losses_kwh = 0.0;
+  Joules battery_delivered;
+  Joules battery_losses;
 
   // --- task outcomes ----------------------------------------------------
   std::size_t tasks_completed = 0;
   std::size_t deadline_misses = 0;
-  double mean_wait_s = 0.0;       ///< submit -> start
-  double makespan_s = 0.0;        ///< completion of the last task
+  Seconds mean_wait;              ///< submit -> start
+  Seconds makespan;               ///< completion of the last task
 
   // --- processor usage (Fig. 9) ----------------------------------------
   std::vector<double> busy_time_s;     ///< per processor

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/audit.hpp"
 #include "common/error.hpp"
 
 namespace iscope {
@@ -42,9 +43,9 @@ double DatacenterSim::fmax_ghz() const {
 }
 
 bool DatacenterSim::wind_abundant_now() const {
-  const double wind = supply_->wind_available_w(queue_.now());
-  if (wind <= 0.0) return false;
-  return wind > demand_w_ * config_.wind_abundance_headroom;
+  const Watts wind = supply_->wind_available(Seconds{queue_.now()});
+  if (wind.raw() <= 0.0) return false;
+  return wind > demand_ * config_.wind_abundance_headroom;
 }
 
 double DatacenterSim::latest_start(const SimTask& t) const {
@@ -53,29 +54,36 @@ double DatacenterSim::latest_start(const SimTask& t) const {
 
 void DatacenterSim::accrue_to_now() {
   const double now = queue_.now();
-  const double dt = now - last_accrual_s_;
-  if (dt > 0.0) {
+  const Seconds dt{now - last_accrual_s_};
+  if (dt.raw() > 0.0) {
     if (!battery_.present()) {
-      meter_.accrue(demand_w_, segment_wind_w_, dt);
+      meter_.accrue(demand_, segment_wind_, dt);
     } else {
       // Wind first; surplus charges the battery; deficits discharge it
       // before the utility steps in. Wind is paid at absorption (so the
       // round-trip losses land on the wind bill).
-      const double wind_used_w = std::min(demand_w_, segment_wind_w_);
-      const double surplus_w = segment_wind_w_ - wind_used_w;
-      const double deficit_w = demand_w_ - wind_used_w;
-      const double charged_w = battery_.charge(surplus_w, dt);
-      const double delivered_w = battery_.discharge(deficit_w, dt);
+      const Watts wind_used = std::min(demand_, segment_wind_);
+      const Watts surplus = segment_wind_ - wind_used;
+      const Watts deficit = demand_ - wind_used;
+      const Watts charged = battery_.charge(surplus, dt);
+      const Watts delivered = battery_.discharge(deficit, dt);
       EnergySplit step;
-      step.wind_j = (wind_used_w + charged_w) * dt;
+      step.wind = (wind_used + charged) * dt;
       // max() guards the 1-ulp case where the battery's efficiency
       // round-trip delivers epsilon more than requested.
-      step.utility_j = std::max(0.0, (deficit_w - delivered_w) * dt);
-      meter_.add_split(step, std::max(0.0, (surplus_w - charged_w) * dt));
+      step.utility = std::max(Joules{}, (deficit - delivered) * dt);
+      // Conservation at the meter boundary: what the facility demanded is
+      // what wind + battery + utility jointly supplied.
+      ISCOPE_AUDIT_CHECK(
+          audit::close(
+              (wind_used * dt + delivered * dt + step.utility).joules(),
+              (demand_ * dt).joules()),
+          "battery accrual must conserve demanded energy");
+      meter_.add_split(step, std::max(Joules{}, (surplus - charged) * dt));
     }
   }
   last_accrual_s_ = now;
-  segment_wind_w_ = supply_->wind_available_w(now);
+  segment_wind_ = supply_->wind_available(Seconds{now});
 }
 
 void DatacenterSim::rematch() {
@@ -114,19 +122,18 @@ void DatacenterSim::rematch() {
     // A deadline-forced task is starving for processors: run everything at
     // the top level to free CPUs as soon as possible, whatever the wind.
     const std::size_t top = knowledge_->levels() - 1;
-    double compute_w = 0.0;
+    Watts compute;
     for (auto& v : views) {
       v.level = top;
-      compute_w += matcher_.task_power_w(v, top);
+      compute += matcher_.task_power(v, top);
     }
-    match.compute_w = compute_w;
-    match.demand_w = compute_w * matcher_.cooling_factor();
+    match.compute = compute;
+    match.demand = compute * matcher_.cooling_factor();
   } else {
-    match = matcher_.match(views, supply_->wind_available_w(now), now);
+    match = matcher_.match(views, supply_->wind_available(Seconds{now}), now);
   }
   // Active profiling scans draw power (and cooling) like any other load.
-  demand_w_ =
-      match.demand_w + reserved_power_w_ * matcher_.cooling_factor();
+  demand_ = match.demand + reserved_power_ * matcher_.cooling_factor();
 
   // Apply levels; reschedule completion events where the level changed
   // (completion time is invariant when the level is unchanged).
@@ -203,11 +210,11 @@ void DatacenterSim::schedule_pass() {
     ctx.wind_abundant = wind_abundant_now();
     ctx.forced = forced;
     ctx.slack_s = latest_start(t) - now;
-    ctx.current_demand_w = demand_w_;
-    ctx.forecast_mean_w =
+    ctx.current_demand = demand_;
+    ctx.forecast_mean =
         (forecaster_ != nullptr && ctx.slack_s > 0.0)
-            ? forecaster_->forecast_mean_w(now, ctx.slack_s)
-            : std::numeric_limits<double>::infinity();
+            ? forecaster_->forecast_mean(Seconds{now}, Seconds{ctx.slack_s})
+            : Watts{std::numeric_limits<double>::infinity()};
     auto choice = policy_.choose(t.spec.cpus, idle_scratch_, ctx);
     if (!choice.has_value()) {
       ++i;  // voluntarily waiting; backfill may proceed
@@ -292,8 +299,8 @@ void DatacenterSim::begin_profiling_window(const ProfilingWindow& window) {
     reserved_[p] = true;
     taken.push_back(p);
     // Scan load: the chip under test runs at the top level's stock point.
-    reserved_power_w_ += knowledge_->cluster().power_w(
-        p, top, knowledge_->cluster().levels().vdd_nom[top]);
+    reserved_power_ += knowledge_->cluster().power(
+        p, top, Volts{knowledge_->cluster().levels().vdd_nom[top]});
   }
   profiling_procs_scanned_ += taken.size();
   log_event(TimelineKind::kProfilingBegin, -1,
@@ -313,11 +320,11 @@ void DatacenterSim::end_profiling_window(const std::vector<std::size_t>& procs,
   const std::size_t top = knowledge_->levels() - 1;
   for (const std::size_t p : procs) {
     reserved_[p] = false;
-    reserved_power_w_ -= knowledge_->cluster().power_w(
-        p, top, knowledge_->cluster().levels().vdd_nom[top]);
+    reserved_power_ -= knowledge_->cluster().power(
+        p, top, Volts{knowledge_->cluster().levels().vdd_nom[top]});
     profiling_proc_seconds_ += queue_.now() - started_s;
   }
-  reserved_power_w_ = std::max(0.0, reserved_power_w_);
+  reserved_power_ = std::max(Watts{}, reserved_power_);
   log_event(TimelineKind::kProfilingEnd, -1,
             static_cast<double>(procs.size()));
   rematch();
@@ -347,11 +354,11 @@ void DatacenterSim::log_event(TimelineKind kind, std::int64_t task_id,
 
 void DatacenterSim::record_sample() {
   PowerSample s;
-  s.time_s = queue_.now();
-  s.demand_w = demand_w_;
-  s.wind_avail_w = supply_->wind_available_w(s.time_s);
-  s.wind_w = std::min(s.demand_w, s.wind_avail_w);
-  s.utility_w = s.demand_w - s.wind_w;
+  s.time = Seconds{queue_.now()};
+  s.demand = demand_;
+  s.wind_avail = supply_->wind_available(s.time);
+  s.wind = std::min(s.demand, s.wind_avail);
+  s.utility = s.demand - s.wind;
   meter_.record_sample(s);
 }
 
@@ -383,9 +390,9 @@ SimResult DatacenterSim::run(std::vector<Task> tasks,
   proc_running_.assign(nprocs, kNone);
   busy_time_s_.assign(nprocs, 0.0);
   running_.clear();
-  demand_w_ = 0.0;
+  demand_ = Watts{};
   last_accrual_s_ = 0.0;
-  segment_wind_w_ = supply_->wind_available_w(0.0);
+  segment_wind_ = supply_->wind_available(Seconds{});
   done_count_ = 0;
   rematch_count_ = 0;
   total_wait_s_ = 0.0;
@@ -395,7 +402,7 @@ SimResult DatacenterSim::run(std::vector<Task> tasks,
   rush_mode_ = false;
   timeline_.clear();
   reserved_.assign(nprocs, false);
-  reserved_power_w_ = 0.0;
+  reserved_power_ = Watts{};
   profiling_proc_seconds_ = 0.0;
   profiling_procs_scanned_ = 0;
   profiling_procs_skipped_ = 0;
@@ -421,16 +428,16 @@ SimResult DatacenterSim::run(std::vector<Task> tasks,
 
   SimResult result;
   result.energy = meter_.total();
-  result.cost_usd = config_.prices.cost_usd(result.energy);
-  result.wind_curtailed_kwh = units::joules_to_kwh(meter_.wind_curtailed_j());
-  result.battery_delivered_kwh = units::joules_to_kwh(battery_.delivered_j());
-  result.battery_losses_kwh = units::joules_to_kwh(battery_.losses_j());
+  result.cost = config_.prices.cost(result.energy);
+  result.wind_curtailed = meter_.wind_curtailed();
+  result.battery_delivered = battery_.delivered();
+  result.battery_losses = battery_.losses();
   result.tasks_completed = done_count_;
   result.deadline_misses = miss_count_;
-  result.mean_wait_s =
+  result.mean_wait = Seconds{
       tasks_.empty() ? 0.0
-                     : total_wait_s_ / static_cast<double>(tasks_.size());
-  result.makespan_s = makespan_s_;
+                     : total_wait_s_ / static_cast<double>(tasks_.size())};
+  result.makespan = Seconds{makespan_s_};
   result.busy_time_s = busy_time_s_;
   result.finalize_busy_stats();
   result.trace = meter_.trace();

@@ -144,15 +144,15 @@ class DatacenterSim {
   std::vector<std::size_t> running_;       ///< indices of running tasks
   std::vector<std::size_t> idle_scratch_;
   std::vector<bool> reserved_;             ///< isolated for profiling
-  double reserved_power_w_ = 0.0;          ///< IT power of active scans
+  Watts reserved_power_;                   ///< IT power of active scans
   double profiling_proc_seconds_ = 0.0;
   std::size_t profiling_procs_scanned_ = 0;
   std::size_t profiling_procs_skipped_ = 0;
 
   std::vector<TimelineEvent> timeline_;
-  double demand_w_ = 0.0;
+  Watts demand_;
   double last_accrual_s_ = 0.0;
-  double segment_wind_w_ = 0.0;  ///< wind available during current segment
+  Watts segment_wind_;           ///< wind available during current segment
   std::size_t done_count_ = 0;
   std::size_t rematch_count_ = 0;
   double total_wait_s_ = 0.0;

@@ -46,7 +46,7 @@ TEST(AgeCore, RaisesVthLowersLeakage) {
   core.speed_k = 5.0;
   core.leak_scale = 1.0;
   const CoreVariation aged =
-      age_core(core, units::days(365.0), AgingParams{}, varius);
+      age_core(core, units::days_to_s(365.0), AgingParams{}, varius);
   EXPECT_GT(aged.vth, core.vth);
   EXPECT_LT(aged.leak_scale, core.leak_scale);
   EXPECT_EQ(aged.speed_k, core.speed_k);
@@ -65,7 +65,7 @@ TEST(AgeCore, ZeroStressIsIdentity) {
 
 TEST(AgedCluster, MinVddRises) {
   const Cluster fresh = small_cluster();
-  const std::vector<double> stress(fresh.size(), units::days(2.0 * 365.0));
+  const std::vector<double> stress(fresh.size(), units::days_to_s(2.0 * 365.0));
   const Cluster aged = aged_cluster(fresh, stress);
   const std::size_t top = fresh.levels().count() - 1;
   for (std::size_t i = 0; i < fresh.size(); ++i)
@@ -75,16 +75,17 @@ TEST(AgedCluster, MinVddRises) {
 TEST(AgedCluster, UnstressedChipsUnchanged) {
   const Cluster fresh = small_cluster();
   std::vector<double> stress(fresh.size(), 0.0);
-  stress[3] = units::days(1000.0);
+  stress[3] = units::days_to_s(1000.0);
   const Cluster aged = aged_cluster(fresh, stress);
   const std::size_t top = fresh.levels().count() - 1;
-  EXPECT_DOUBLE_EQ(aged.true_vdd(0, top), fresh.true_vdd(0, top));
+  EXPECT_DOUBLE_EQ(aged.true_vdd(0, top).volts(),
+                   fresh.true_vdd(0, top).volts());
   EXPECT_GT(aged.true_vdd(3, top), fresh.true_vdd(3, top));
 }
 
 TEST(AgedCluster, KeepsFactoryBinsAndCoefficients) {
   const Cluster fresh = small_cluster();
-  const std::vector<double> stress(fresh.size(), units::days(500.0));
+  const std::vector<double> stress(fresh.size(), units::days_to_s(500.0));
   const Cluster aged = aged_cluster(fresh, stress);
   for (std::size_t i = 0; i < fresh.size(); ++i) {
     EXPECT_EQ(aged.proc(i).bin, fresh.proc(i).bin);
@@ -100,12 +101,14 @@ TEST(AgedCluster, MoreStressMeansMoreDriftPerChip) {
   const Cluster fresh = small_cluster(10, 2);
   const std::size_t top = fresh.levels().count() - 1;
   const Cluster light = aged_cluster(
-      fresh, std::vector<double>(fresh.size(), units::days(200.0)));
+      fresh, std::vector<double>(fresh.size(), units::days_to_s(200.0)));
   const Cluster heavy = aged_cluster(
-      fresh, std::vector<double>(fresh.size(), units::days(2000.0)));
+      fresh, std::vector<double>(fresh.size(), units::days_to_s(2000.0)));
   for (std::size_t i = 0; i < fresh.size(); ++i) {
-    const double d_light = light.true_vdd(i, top) - fresh.true_vdd(i, top);
-    const double d_heavy = heavy.true_vdd(i, top) - fresh.true_vdd(i, top);
+    const double d_light =
+        (light.true_vdd(i, top) - fresh.true_vdd(i, top)).volts();
+    const double d_heavy =
+        (heavy.true_vdd(i, top) - fresh.true_vdd(i, top)).volts();
     EXPECT_GT(d_light, 0.0);
     EXPECT_GT(d_heavy, d_light);
   }
@@ -123,13 +126,13 @@ TEST(UndervoltViolations, DetectsStaleKnowledge) {
   std::vector<std::vector<double>> applied(fresh.size());
   for (std::size_t i = 0; i < fresh.size(); ++i)
     for (std::size_t l = 0; l < fresh.levels().count(); ++l)
-      applied[i].push_back(fresh.true_vdd(i, l));
+      applied[i].push_back(fresh.true_vdd(i, l).volts());
 
   EXPECT_EQ(count_undervolt_violations(fresh, applied), 0u);
 
   // After five years of wear the stale map undervolts the silicon.
   const Cluster aged = aged_cluster(
-      fresh, std::vector<double>(fresh.size(), units::days(5 * 365.0)));
+      fresh, std::vector<double>(fresh.size(), units::days_to_s(5 * 365.0)));
   EXPECT_GT(count_undervolt_violations(aged, applied), 0u);
 }
 

@@ -10,16 +10,16 @@ namespace {
 TEST(Battery, AbsentBankDoesNothing) {
   BatteryBank bank;
   EXPECT_FALSE(bank.present());
-  EXPECT_DOUBLE_EQ(bank.charge(1000.0, 60.0), 0.0);
-  EXPECT_DOUBLE_EQ(bank.discharge(1000.0, 60.0), 0.0);
+  EXPECT_DOUBLE_EQ(bank.charge(Watts{1000.0}, Seconds{60.0}).watts(), 0.0);
+  EXPECT_DOUBLE_EQ(bank.discharge(Watts{1000.0}, Seconds{60.0}).watts(), 0.0);
   EXPECT_DOUBLE_EQ(bank.soc(), 0.0);
 }
 
 TEST(Battery, MakeHelper) {
   const BatteryConfig cfg = BatteryConfig::make(10.0, 5.0);
-  EXPECT_DOUBLE_EQ(cfg.capacity_j, 3.6e7);
-  EXPECT_DOUBLE_EQ(cfg.max_charge_w, 5000.0);
-  EXPECT_DOUBLE_EQ(cfg.max_discharge_w, 5000.0);
+  EXPECT_DOUBLE_EQ(cfg.capacity.joules(), 3.6e7);
+  EXPECT_DOUBLE_EQ(cfg.max_charge.watts(), 5000.0);
+  EXPECT_DOUBLE_EQ(cfg.max_discharge.watts(), 5000.0);
 }
 
 TEST(Battery, ChargeStoresWithEfficiency) {
@@ -27,17 +27,17 @@ TEST(Battery, ChargeStoresWithEfficiency) {
   cfg.initial_soc = 0.0;
   cfg.charge_efficiency = 0.9;
   BatteryBank bank(cfg);
-  const double absorbed_w = bank.charge(1000.0, 3600.0);
+  const double absorbed_w = bank.charge(Watts{1000.0}, Seconds{3600.0}).watts();
   EXPECT_DOUBLE_EQ(absorbed_w, 1000.0);
   // 1 kWh AC in -> 0.9 kWh at the cell.
-  EXPECT_NEAR(bank.stored_j(), 0.9 * 3.6e6, 1.0);
+  EXPECT_NEAR(bank.stored().joules(), 0.9 * 3.6e6, 1.0);
 }
 
 TEST(Battery, ChargePowerLimited) {
   BatteryConfig cfg = BatteryConfig::make(1000.0, 10.0);  // 10 kW limit
   cfg.initial_soc = 0.0;
   BatteryBank bank(cfg);
-  EXPECT_DOUBLE_EQ(bank.charge(50e3, 60.0), 10e3);
+  EXPECT_DOUBLE_EQ(bank.charge(Watts{50e3}, Seconds{60.0}).watts(), 10e3);
 }
 
 TEST(Battery, ChargeStopsAtCapacity) {
@@ -46,9 +46,9 @@ TEST(Battery, ChargeStopsAtCapacity) {
   cfg.charge_efficiency = 1.0;
   BatteryBank bank(cfg);
   // Offer far more than fits in one hour.
-  bank.charge(100e3, 3600.0);
+  bank.charge(Watts{100e3}, Seconds{3600.0});
   EXPECT_NEAR(bank.soc(), 1.0, 1e-9);
-  EXPECT_DOUBLE_EQ(bank.charge(100e3, 3600.0), 0.0);
+  EXPECT_DOUBLE_EQ(bank.charge(Watts{100e3}, Seconds{3600.0}).watts(), 0.0);
 }
 
 TEST(Battery, DischargeDeliversWithEfficiency) {
@@ -56,10 +56,10 @@ TEST(Battery, DischargeDeliversWithEfficiency) {
   cfg.initial_soc = 1.0;
   cfg.discharge_efficiency = 0.9;
   BatteryBank bank(cfg);
-  const double delivered_w = bank.discharge(1000.0, 3600.0);
+  const double delivered_w = bank.discharge(Watts{1000.0}, Seconds{3600.0}).watts();
   EXPECT_DOUBLE_EQ(delivered_w, 1000.0);
   // 1 kWh AC out drains 1/0.9 kWh from the cell.
-  EXPECT_NEAR(bank.stored_j(), 100.0 * 3.6e6 - 3.6e6 / 0.9, 10.0);
+  EXPECT_NEAR(bank.stored().joules(), 100.0 * 3.6e6 - 3.6e6 / 0.9, 10.0);
 }
 
 TEST(Battery, DischargeStopsWhenEmpty) {
@@ -67,9 +67,9 @@ TEST(Battery, DischargeStopsWhenEmpty) {
   cfg.initial_soc = 1.0;
   cfg.discharge_efficiency = 1.0;
   BatteryBank bank(cfg);
-  const double got_w = bank.discharge(10e3, 3600.0);
+  const double got_w = bank.discharge(Watts{10e3}, Seconds{3600.0}).watts();
   EXPECT_NEAR(got_w * 3600.0, 3.6e6, 1.0);  // exactly the stored kWh
-  EXPECT_DOUBLE_EQ(bank.discharge(10e3, 60.0), 0.0);
+  EXPECT_DOUBLE_EQ(bank.discharge(Watts{10e3}, Seconds{60.0}).watts(), 0.0);
 }
 
 TEST(Battery, RoundTripLossesAccounted) {
@@ -78,10 +78,10 @@ TEST(Battery, RoundTripLossesAccounted) {
   cfg.charge_efficiency = 0.9;
   cfg.discharge_efficiency = 0.9;
   BatteryBank bank(cfg);
-  bank.charge(10e3, 3600.0);       // 10 kWh in -> 9 kWh stored
-  bank.discharge(100e3, 3600.0);   // drain it: 8.1 kWh out
-  EXPECT_NEAR(bank.delivered_j() / 3.6e6, 8.1, 0.01);
-  EXPECT_NEAR(bank.losses_j() / 3.6e6, 1.9, 0.01);
+  bank.charge(Watts{10e3}, Seconds{3600.0});  // 10 kWh in -> 9 kWh stored
+  bank.discharge(Watts{100e3}, Seconds{3600.0});  // drain it: 8.1 kWh out
+  EXPECT_NEAR(bank.delivered().joules() / 3.6e6, 8.1, 0.01);
+  EXPECT_NEAR(bank.losses().joules() / 3.6e6, 1.9, 0.01);
 }
 
 TEST(Battery, ConservationInvariant) {
@@ -89,27 +89,27 @@ TEST(Battery, ConservationInvariant) {
   BatteryConfig cfg = BatteryConfig::make(50.0, 20.0);
   cfg.initial_soc = 0.3;
   BatteryBank bank(cfg);
-  const double initial = bank.stored_j();
+  const double initial = bank.stored().joules();
   for (int i = 0; i < 50; ++i) {
-    bank.charge((i % 3) * 5e3, 600.0);
-    bank.discharge((i % 5) * 3e3, 600.0);
+    bank.charge(Watts{(i % 3) * 5e3}, Seconds{600.0});
+    bank.discharge(Watts{(i % 5) * 3e3}, Seconds{600.0});
   }
-  EXPECT_NEAR(bank.absorbed_j(),
-              bank.delivered_j() + bank.losses_j() +
-                  (bank.stored_j() - initial),
+  EXPECT_NEAR(bank.absorbed().joules(),
+              bank.delivered().joules() + bank.losses().joules() +
+                  (bank.stored().joules() - initial),
               1e-6);
 }
 
 TEST(Battery, Validation) {
   BatteryConfig bad;
-  bad.capacity_j = -1.0;
+  bad.capacity = Joules{-1.0};
   EXPECT_THROW(BatteryBank{bad}, InvalidArgument);
   bad = BatteryConfig{};
   bad.charge_efficiency = 1.5;
   EXPECT_THROW(BatteryBank{bad}, InvalidArgument);
   BatteryBank bank(BatteryConfig::make(1.0, 1.0));
-  EXPECT_THROW(bank.charge(-1.0, 1.0), InvalidArgument);
-  EXPECT_THROW(bank.discharge(1.0, -1.0), InvalidArgument);
+  EXPECT_THROW(bank.charge(Watts{-1.0}, Seconds{1.0}), InvalidArgument);
+  EXPECT_THROW(bank.discharge(Watts{1.0}, Seconds{-1.0}), InvalidArgument);
 }
 
 }  // namespace

@@ -50,11 +50,11 @@ Task task_at(double submit, std::size_t cpus, double runtime,
 }
 
 TEST(EdgeCases, SupplyTraceNoWrapThroughHybrid) {
-  const SupplyTrace t(600.0, {100.0, 200.0});
+  const SupplyTrace t(Seconds{600.0}, {100.0, 200.0});
   const HybridSupply wrap(t, 1.0, /*wrap=*/true);
   const HybridSupply hold(t, 1.0, /*wrap=*/false);
-  EXPECT_DOUBLE_EQ(wrap.wind_available_w(1200.0), 100.0);  // wraps
-  EXPECT_DOUBLE_EQ(hold.wind_available_w(1200.0), 200.0);  // holds last
+  EXPECT_DOUBLE_EQ(wrap.wind_available(Seconds{1200.0}).watts(), 100.0);  // wraps
+  EXPECT_DOUBLE_EQ(hold.wind_available(Seconds{1200.0}).watts(), 200.0);  // holds last
 }
 
 TEST(EdgeCases, BatteryWindAndProfilingTogether) {
@@ -63,7 +63,7 @@ TEST(EdgeCases, BatteryWindAndProfilingTogether) {
   Fixture f;
   std::vector<double> pattern;
   for (int i = 0; i < 100; ++i) pattern.push_back(i % 2 ? 0.0 : 2500.0);
-  const HybridSupply supply(SupplyTrace(600.0, pattern));
+  const HybridSupply supply(SupplyTrace(Seconds{600.0}, pattern));
   SimConfig cfg;
   cfg.battery = BatteryConfig::make(20.0, 10.0);
   cfg.record_timeline = true;
@@ -78,7 +78,7 @@ TEST(EdgeCases, BatteryWindAndProfilingTogether) {
                               {w});
   EXPECT_EQ(r.tasks_completed, 2u);
   EXPECT_EQ(r.profiling_procs_scanned, 2u);
-  EXPECT_GT(r.battery_delivered_kwh, 0.0);
+  EXPECT_GT(r.battery_delivered.kwh(), 0.0);
   EXPECT_FALSE(r.timeline.empty());
 }
 
@@ -94,14 +94,14 @@ TEST(EdgeCases, SingleCpuClusterWorks) {
   const SimResult r = sim.run({task_at(0.0, 1, 100.0),
                                task_at(0.0, 1, 100.0)});
   EXPECT_EQ(r.tasks_completed, 2u);
-  EXPECT_GT(r.mean_wait_s, 0.0);  // the second had to queue
+  EXPECT_GT(r.mean_wait.seconds(), 0.0);  // the second had to queue
 }
 
 TEST(EdgeCases, ZeroDurationWindBetweenTasks) {
   // Tasks separated by more than the trace: wrap keeps the supply defined
   // arbitrarily far out.
   Fixture f;
-  const HybridSupply supply(SupplyTrace(600.0, {500.0}), 1.0, true);
+  const HybridSupply supply(SupplyTrace(Seconds{600.0}, {500.0}), 1.0, true);
   DatacenterSim sim(&f.knowledge, PlacementRule::kRandom, &supply,
                     SimConfig{});
   const SimResult r = sim.run({task_at(0.0, 1, 50.0),
@@ -120,7 +120,7 @@ TEST(EdgeCases, ScannerAllRepeatsMajority) {
   const ChipProfile p = Scanner(&f.cluster, cfg).scan_chip(0, 0.0, rng);
   // Still discovers something sane.
   for (std::size_t l = 0; l < p.chip_vdd.levels(); ++l)
-    EXPECT_GE(p.chip_vdd.vdd(l), f.cluster.true_vdd(0, l) * 0.99);
+    EXPECT_GE(p.chip_vdd.vdd(l), f.cluster.true_vdd(0, l).volts() * 0.99);
 }
 
 TEST(EdgeCases, CombineManyDaysOfHybridSupply) {
@@ -131,7 +131,7 @@ TEST(EdgeCases, CombineManyDaysOfHybridSupply) {
   const SupplyTrace h = combine_supplies(s, w);
   EXPECT_EQ(h.samples(), std::min(s.samples(), w.samples()));
   for (std::size_t i = 0; i < h.samples(); i += 37)
-    EXPECT_DOUBLE_EQ(h.sample(i), s.sample(i) + w.sample(i));
+    EXPECT_DOUBLE_EQ(h.sample(i).watts(), s.sample(i).watts() + w.sample(i).watts());
 }
 
 TEST(EdgeCases, IScopePlanRespectsDomainSize) {

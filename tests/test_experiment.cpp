@@ -51,13 +51,13 @@ TEST(ExperimentConfig, PeakDemandEstimate) {
   // 125 W per CPU x N x 1.4 cooling.
   ClusterConfig cluster;
   cluster.num_processors = 100;
-  EXPECT_NEAR(estimated_peak_demand_w(cluster, 2.5), 125.0 * 100.0 * 1.4,
+  EXPECT_NEAR(estimated_peak_demand(cluster, 2.5).watts(), 125.0 * 100.0 * 1.4,
               1e-6);
 }
 
 TEST(ExperimentContext, BuildsScannedCluster) {
   EXPECT_EQ(ctx().profile_db().profiled_count(), ctx().cluster().size());
-  EXPECT_GT(ctx().wind_trace().mean_w(), 0.0);
+  EXPECT_GT(ctx().wind_trace().mean_power().watts(), 0.0);
 }
 
 TEST(ExperimentContext, TasksRespectHuFraction) {
@@ -76,8 +76,8 @@ TEST(ExperimentContext, ArrivalRateCompressesSubmits) {
 TEST(ExperimentContext, SupplyKinds) {
   EXPECT_FALSE(ctx().make_supply(false).has_wind());
   EXPECT_TRUE(ctx().make_supply(true).has_wind());
-  EXPECT_DOUBLE_EQ(ctx().make_supply(true, 1.8).wind_available_w(0.0),
-                   1.8 * ctx().make_supply(true, 1.0).wind_available_w(0.0));
+  EXPECT_DOUBLE_EQ(ctx().make_supply(true, 1.8).wind_available(Seconds{0.0}).watts(),
+                   1.8 * ctx().make_supply(true, 1.0).wind_available(Seconds{0.0}).watts());
 }
 
 // ------------------------------------------------ paper-shape assertions
@@ -112,9 +112,9 @@ TEST(PaperShapes, ScanFairCheapestWithWind) {
   double binran = 0.0, scanfair = 0.0, scaneffi = 0.0;
   for (const CostRow& r : rows) {
     if (!r.with_wind) continue;
-    if (r.scheme == Scheme::kBinRan) binran = r.cost_usd;
-    if (r.scheme == Scheme::kScanFair) scanfair = r.cost_usd;
-    if (r.scheme == Scheme::kScanEffi) scaneffi = r.cost_usd;
+    if (r.scheme == Scheme::kBinRan) binran = r.cost.dollars();
+    if (r.scheme == Scheme::kScanFair) scanfair = r.cost.dollars();
+    if (r.scheme == Scheme::kScanEffi) scaneffi = r.cost.dollars();
   }
   EXPECT_LT(scanfair, binran);
   EXPECT_LT(scaneffi, binran);
@@ -163,8 +163,10 @@ TEST(PaperShapes, EnergyCostsCoverBothSupplies) {
   const auto rows = energy_costs(ctx());
   EXPECT_EQ(rows.size(), 2u * kAllSchemes.size());
   for (const CostRow& r : rows) {
-    EXPECT_GT(r.cost_usd, 0.0);
-    if (!r.with_wind) EXPECT_DOUBLE_EQ(r.wind_kwh, 0.0);
+    EXPECT_GT(r.cost.dollars(), 0.0);
+    if (!r.with_wind) {
+      EXPECT_DOUBLE_EQ(r.wind.kwh(), 0.0);
+    }
   }
 }
 

@@ -15,40 +15,40 @@ namespace {
 HybridSupply square_supply() {
   std::vector<double> p;
   for (int i = 0; i < 48; ++i) p.push_back((i / 6) % 2 == 0 ? 1000.0 : 0.0);
-  return HybridSupply(SupplyTrace(600.0, std::move(p)));
+  return HybridSupply(SupplyTrace(Seconds{600.0}, std::move(p)));
 }
 
 TEST(Climatology, ReturnsGlobalMean) {
   const HybridSupply supply = square_supply();
   const ClimatologyForecaster f(&supply);
-  EXPECT_NEAR(f.forecast_mean_w(0.0, 3600.0), 500.0, 1e-9);
-  EXPECT_NEAR(f.forecast_mean_w(99999.0, 60.0), 500.0, 1e-9);
+  EXPECT_NEAR(f.forecast_mean(Seconds{0.0}, Seconds{3600.0}).watts(), 500.0, 1e-9);
+  EXPECT_NEAR(f.forecast_mean(Seconds{99999.0}, Seconds{60.0}).watts(), 500.0, 1e-9);
 }
 
 TEST(Climatology, UtilityOnlyIsZero) {
   const HybridSupply none;
   const ClimatologyForecaster f(&none);
-  EXPECT_DOUBLE_EQ(f.forecast_mean_w(0.0, 3600.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.forecast_mean(Seconds{0.0}, Seconds{3600.0}).watts(), 0.0);
 }
 
 TEST(Persistence, TracksCurrentValue) {
   const HybridSupply supply = square_supply();
   const PersistenceForecaster f(&supply);
-  EXPECT_DOUBLE_EQ(f.forecast_mean_w(0.0, 3600.0), 1000.0);    // windy now
-  EXPECT_DOUBLE_EQ(f.forecast_mean_w(3600.0, 3600.0), 0.0);    // calm now
+  EXPECT_DOUBLE_EQ(f.forecast_mean(Seconds{0.0}, Seconds{3600.0}).watts(), 1000.0);    // windy now
+  EXPECT_DOUBLE_EQ(f.forecast_mean(Seconds{3600.0}, Seconds{3600.0}).watts(), 0.0);    // calm now
 }
 
 TEST(Blended, InterpolatesPersistenceToClimatology) {
   const HybridSupply supply = square_supply();
-  const BlendedForecaster f(&supply, /*decay_s=*/1800.0);
+  const BlendedForecaster f(&supply, /*decay=*/Seconds{1800.0});
   // Short horizon ~ persistence; long horizon ~ climatology.
-  const double shortf = f.forecast_mean_w(0.0, 60.0);
-  const double longf = f.forecast_mean_w(0.0, 24.0 * 3600.0);
+  const double shortf = f.forecast_mean(Seconds{0.0}, Seconds{60.0}).watts();
+  const double longf = f.forecast_mean(Seconds{0.0}, Seconds{24.0 * 3600.0}).watts();
   EXPECT_GT(shortf, 950.0);
   EXPECT_NEAR(longf, 500.0, 60.0);
   // During a calm the ordering flips.
-  const double calm_short = f.forecast_mean_w(3600.0, 60.0);
-  const double calm_long = f.forecast_mean_w(3600.0, 24.0 * 3600.0);
+  const double calm_short = f.forecast_mean(Seconds{3600.0}, Seconds{60.0}).watts();
+  const double calm_long = f.forecast_mean(Seconds{3600.0}, Seconds{24.0 * 3600.0}).watts();
   EXPECT_LT(calm_short, 50.0);
   EXPECT_GT(calm_long, 400.0);
 }
@@ -57,18 +57,18 @@ TEST(Oracle, IntegratesTheActualFuture) {
   const HybridSupply supply = square_supply();
   const OracleForecaster f(&supply);
   // First hour windy: mean over 1 h = 1000.
-  EXPECT_NEAR(f.forecast_mean_w(0.0, 3600.0), 1000.0, 1e-6);
+  EXPECT_NEAR(f.forecast_mean(Seconds{0.0}, Seconds{3600.0}).watts(), 1000.0, 1e-6);
   // Over 2 h (one windy + one calm) = 500.
-  EXPECT_NEAR(f.forecast_mean_w(0.0, 7200.0), 500.0, 1e-6);
+  EXPECT_NEAR(f.forecast_mean(Seconds{0.0}, Seconds{7200.0}).watts(), 500.0, 1e-6);
   // Starting at the calm hour, 1 h ahead = 0.
-  EXPECT_NEAR(f.forecast_mean_w(3600.0, 3600.0), 0.0, 1e-6);
+  EXPECT_NEAR(f.forecast_mean(Seconds{3600.0}, Seconds{3600.0}).watts(), 0.0, 1e-6);
 }
 
 TEST(Oracle, PartialStepsWeighted) {
   const HybridSupply supply = square_supply();
   const OracleForecaster f(&supply);
   // 90 minutes from t=0: 60 windy + 30 calm -> 666.7.
-  EXPECT_NEAR(f.forecast_mean_w(0.0, 5400.0), 1000.0 * 60.0 / 90.0, 1e-6);
+  EXPECT_NEAR(f.forecast_mean(Seconds{0.0}, Seconds{5400.0}).watts(), 1000.0 * 60.0 / 90.0, 1e-6);
 }
 
 TEST(Forecasters, Validation) {
@@ -76,10 +76,11 @@ TEST(Forecasters, Validation) {
   EXPECT_THROW(PersistenceForecaster(nullptr), InvalidArgument);
   EXPECT_THROW(OracleForecaster(nullptr), InvalidArgument);
   const HybridSupply supply = square_supply();
-  EXPECT_THROW(BlendedForecaster(&supply, 0.0), InvalidArgument);
+  EXPECT_THROW(BlendedForecaster(&supply, Seconds{}), InvalidArgument);
   const PersistenceForecaster f(&supply);
-  EXPECT_THROW(f.forecast_mean_w(0.0, 0.0), InvalidArgument);
-  EXPECT_THROW(f.forecast_mean_w(-1.0, 10.0), InvalidArgument);
+  EXPECT_THROW(f.forecast_mean(Seconds{0.0}, Seconds{0.0}), InvalidArgument);
+  EXPECT_THROW(f.forecast_mean(Seconds{-1.0}, Seconds{10.0}),
+               InvalidArgument);
 }
 
 TEST(ForecastInSim, OracleNeverWorseThanBlindOnUtility) {
@@ -100,7 +101,7 @@ TEST(ForecastInSim, OracleNeverWorseThanBlindOnUtility) {
   // Wind that dies at t=2h and never returns.
   std::vector<double> p(12, 2000.0);
   p.resize(200, 0.0);
-  const HybridSupply supply(SupplyTrace(600.0, std::move(p)), 1.0,
+  const HybridSupply supply(SupplyTrace(Seconds{600.0}, std::move(p)), 1.0,
                             /*wrap=*/false);
 
   std::vector<Task> tasks;
@@ -125,7 +126,7 @@ TEST(ForecastInSim, OracleNeverWorseThanBlindOnUtility) {
   // The oracle knows the calm is permanent: it starts work immediately at
   // efficient operating points instead of deferring to the deadline edge.
   EXPECT_LE(o.energy.utility_kwh(), b.energy.utility_kwh() + 1e-9);
-  EXPECT_LT(o.mean_wait_s, b.mean_wait_s);
+  EXPECT_LT(o.mean_wait.seconds(), b.mean_wait.seconds());
 }
 
 }  // namespace

@@ -20,7 +20,7 @@ TEST(Dvfs, StartsGated) {
   const FreqLevels levels = FreqLevels::paper_default();
   DvfsState s(&levels);
   EXPECT_FALSE(s.is_on());
-  EXPECT_DOUBLE_EQ(s.freq_ghz(), 0.0);
+  EXPECT_DOUBLE_EQ(s.freq().gigahertz(), 0.0);
   EXPECT_THROW(s.level(), InvalidArgument);
 }
 
@@ -30,12 +30,12 @@ TEST(Dvfs, PowerOnOffCycle) {
   s.power_on(2);
   EXPECT_TRUE(s.is_on());
   EXPECT_EQ(s.level(), 2u);
-  EXPECT_DOUBLE_EQ(s.freq_ghz(), levels.freq_ghz[2]);
+  EXPECT_DOUBLE_EQ(s.freq().gigahertz(), levels.freq_ghz[2]);
   s.set_level(4);
   EXPECT_EQ(s.level(), 4u);
   s.power_off();
   EXPECT_FALSE(s.is_on());
-  EXPECT_DOUBLE_EQ(s.freq_ghz(), 0.0);
+  EXPECT_DOUBLE_EQ(s.freq().gigahertz(), 0.0);
 }
 
 TEST(Dvfs, Validation) {
@@ -74,7 +74,7 @@ TEST(Cluster, TruthCurvesConsistent) {
       for (const auto& core : p.core_truth)
         max_core = std::max(max_core, core.vdd(l));
       EXPECT_DOUBLE_EQ(p.chip_truth.vdd(l), max_core);
-      EXPECT_DOUBLE_EQ(c.true_vdd(i, l), p.chip_truth.vdd(l));
+      EXPECT_DOUBLE_EQ(c.true_vdd(i, l).volts(), p.chip_truth.vdd(l));
     }
   }
 }
@@ -112,9 +112,11 @@ TEST(Cluster, PowerMatchesModel) {
   const std::size_t top = c.levels().count() - 1;
   const Processor& p = c.proc(0);
   const double v = c.levels().vdd_nom[top];
-  EXPECT_DOUBLE_EQ(c.power_w(0, top, v),
-                   c.power_model().power_eq1_w(p.coeffs,
-                                               c.levels().freq_ghz[top]));
+  EXPECT_DOUBLE_EQ(
+      c.power(0, top, Volts{v}).watts(),
+      c.power_model()
+          .power_eq1(p.coeffs, Gigahertz{c.levels().freq_ghz[top]})
+          .watts());
 }
 
 TEST(Cluster, ScanVoltageCheaperThanBin) {
@@ -122,8 +124,8 @@ TEST(Cluster, ScanVoltageCheaperThanBin) {
   const std::size_t top = c.levels().count() - 1;
   double scan_total = 0.0, bin_total = 0.0;
   for (std::size_t i = 0; i < c.size(); ++i) {
-    scan_total += c.power_w(i, top, c.true_vdd(i, top));
-    bin_total += c.power_w(i, top, c.bin_vdd(i, top));
+    scan_total += c.power(i, top, c.true_vdd(i, top)).watts();
+    bin_total += c.power(i, top, c.bin_vdd(i, top)).watts();
   }
   EXPECT_LT(scan_total, bin_total);
 }
@@ -137,7 +139,7 @@ TEST(Cluster, Validation) {
   EXPECT_THROW(build_cluster(cfg), InvalidArgument);
   const Cluster c = build_cluster(small_config());
   EXPECT_THROW(c.proc(999), InvalidArgument);
-  EXPECT_THROW(c.power_w(0, 99, 1.0), InvalidArgument);
+  EXPECT_THROW(c.power(0, 99, Volts{1.0}), InvalidArgument);
 }
 
 TEST(Cluster, BinPopulationsBalanced) {

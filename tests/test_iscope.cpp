@@ -51,11 +51,11 @@ TEST(IScope, ScanAllProfilesEverything) {
 
 TEST(IScope, StalenessReappearsAfterRescanPeriod) {
   IScope::Options opt = small_options();
-  opt.rescan_period_s = units::days(30.0);
+  opt.rescan_period_s = units::days_to_s(30.0);
   IScope iscope(opt);
   iscope.scan_all(0.0);
-  EXPECT_TRUE(iscope.stale_processors(units::days(29.0)).empty());
-  EXPECT_EQ(iscope.stale_processors(units::days(31.0)).size(), 16u);
+  EXPECT_TRUE(iscope.stale_processors(units::days_to_s(29.0)).empty());
+  EXPECT_EQ(iscope.stale_processors(units::days_to_s(31.0)).size(), 16u);
 }
 
 TEST(IScope, PlanCoversOnlyStaleProcessors) {
@@ -95,12 +95,12 @@ TEST(IScope, WearCreatesViolationsRescanClearsThem) {
 
   // Five years of heavy wear with stale profiles.
   iscope.apply_wear(
-      std::vector<double>(iscope.cluster().size(), units::days(5 * 365.0)));
+      std::vector<double>(iscope.cluster().size(), units::days_to_s(5 * 365.0)));
   const std::size_t stale_violations = iscope.undervolt_violations();
   EXPECT_GT(stale_violations, 0u);
 
   // Periodic re-profiling closes the gap.
-  iscope.scan_all(units::days(5 * 365.0));
+  iscope.scan_all(units::days_to_s(5 * 365.0));
   EXPECT_LT(iscope.undervolt_violations(), stale_violations);
   EXPECT_EQ(iscope.undervolt_violations(), 0u);
 }
@@ -125,10 +125,10 @@ TEST(IScope, WearRaisesEnergyOfStaleScheduling) {
   const SimResult fresh = iscope.schedule(Scheme::kScanEffi, tasks,
                                           HybridSupply{});
   iscope.apply_wear(
-      std::vector<double>(iscope.cluster().size(), units::days(4 * 365.0)));
+      std::vector<double>(iscope.cluster().size(), units::days_to_s(4 * 365.0)));
   const SimResult stale = iscope.schedule(Scheme::kScanEffi, tasks,
                                           HybridSupply{});
-  EXPECT_GE(stale.energy.total_j(), fresh.energy.total_j() * 0.99);
+  EXPECT_GE(stale.energy.total().joules(), fresh.energy.total().joules() * 0.99);
 }
 
 TEST(IScope, ScheduleWithProfilingMetersScans) {
@@ -155,7 +155,7 @@ TEST(IScope, DeterministicAcrossInstances) {
   const auto tasks = burst(8);
   const SimResult ra = a.schedule(Scheme::kScanFair, tasks, HybridSupply{});
   const SimResult rb = b.schedule(Scheme::kScanFair, tasks, HybridSupply{});
-  EXPECT_EQ(ra.energy.utility_j, rb.energy.utility_j);
+  EXPECT_EQ(ra.energy.utility.joules(), rb.energy.utility.joules());
   EXPECT_EQ(ra.busy_time_s, rb.busy_time_s);
 }
 

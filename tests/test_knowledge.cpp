@@ -36,7 +36,7 @@ TEST(Knowledge, BinUsesBinVoltage) {
   const Knowledge k(&f.cluster, KnowledgeSource::kBin);
   for (std::size_t i = 0; i < k.procs(); ++i)
     for (std::size_t l = 0; l < k.levels(); ++l)
-      EXPECT_DOUBLE_EQ(k.vdd(i, l), f.cluster.bin_vdd(i, l));
+      EXPECT_DOUBLE_EQ(k.vdd(i, l).volts(), f.cluster.bin_vdd(i, l).volts());
 }
 
 TEST(Knowledge, ScanUsesDiscoveredVoltage) {
@@ -46,7 +46,7 @@ TEST(Knowledge, ScanUsesDiscoveredVoltage) {
   const Knowledge k(&f.cluster, KnowledgeSource::kScan, &f.db);
   for (std::size_t i = 0; i < k.procs(); ++i)
     for (std::size_t l = 0; l < k.levels(); ++l)
-      EXPECT_DOUBLE_EQ(k.vdd(i, l), f.db.get(i).chip_vdd.vdd(l));
+      EXPECT_DOUBLE_EQ(k.vdd(i, l).volts(), f.db.get(i).chip_vdd.vdd(l));
 }
 
 TEST(Knowledge, ScanVoltageAtMostQuantizationAboveBin) {
@@ -65,8 +65,9 @@ TEST(Knowledge, ScanVoltageAtMostQuantizationAboveBin) {
       // discovered = grid_point*(1+margin); grid_point <= truth + step,
       // plus one extra step of headroom for measurement noise stopping the
       // sweep early.
-      EXPECT_LE(scan.vdd(i, l),
-                (bin.vdd(i, l) + 2.0 * step) * (1.0 + scan_cfg.safety_margin));
+      EXPECT_LE(scan.vdd(i, l).volts(),
+                (bin.vdd(i, l).volts() + 2.0 * step) *
+                    (1.0 + scan_cfg.safety_margin));
     }
   }
 }
@@ -78,8 +79,8 @@ TEST(Knowledge, ScanFallsBackToBinForUnscanned) {
   Rng rng(3);
   partial.store(scanner.scan_chip(0, 0.0, rng));
   const Knowledge k(&f.cluster, KnowledgeSource::kScan, &partial);
-  EXPECT_DOUBLE_EQ(k.vdd(0, 0), partial.get(0).chip_vdd.vdd(0));
-  EXPECT_DOUBLE_EQ(k.vdd(1, 0), f.cluster.bin_vdd(1, 0));
+  EXPECT_DOUBLE_EQ(k.vdd(0, 0).volts(), partial.get(0).chip_vdd.vdd(0));
+  EXPECT_DOUBLE_EQ(k.vdd(1, 0).volts(), f.cluster.bin_vdd(1, 0).volts());
 }
 
 TEST(Knowledge, BinChipsInSameBinShareEfficiency) {
@@ -87,8 +88,10 @@ TEST(Knowledge, BinChipsInSameBinShareEfficiency) {
   const Knowledge k(&f.cluster, KnowledgeSource::kBin);
   for (std::size_t a = 0; a < k.procs(); ++a)
     for (std::size_t b = 0; b < k.procs(); ++b)
-      if (f.cluster.proc(a).bin == f.cluster.proc(b).bin)
-        EXPECT_DOUBLE_EQ(k.efficiency(a), k.efficiency(b));
+      if (f.cluster.proc(a).bin == f.cluster.proc(b).bin) {
+        EXPECT_DOUBLE_EQ(k.efficiency(a).watts_per_ghz(),
+                         k.efficiency(b).watts_per_ghz());
+      }
 }
 
 TEST(Knowledge, BinBetterBinsScoreBetter) {
@@ -96,8 +99,10 @@ TEST(Knowledge, BinBetterBinsScoreBetter) {
   const Knowledge k(&f.cluster, KnowledgeSource::kBin);
   for (std::size_t a = 0; a < k.procs(); ++a)
     for (std::size_t b = 0; b < k.procs(); ++b)
-      if (f.cluster.proc(a).bin < f.cluster.proc(b).bin)
-        EXPECT_LE(k.efficiency(a), k.efficiency(b));
+      if (f.cluster.proc(a).bin < f.cluster.proc(b).bin) {
+        EXPECT_LE(k.efficiency(a).watts_per_ghz(),
+                  k.efficiency(b).watts_per_ghz());
+      }
 }
 
 TEST(Knowledge, ScanDiscriminatesWithinBin) {
@@ -119,10 +124,10 @@ TEST(Knowledge, PowerIsTrueChipPowerAtAppliedVoltage) {
   const Knowledge scan(&f.cluster, KnowledgeSource::kScan, &f.db);
   for (std::size_t i = 0; i < bin.procs(); ++i) {
     for (std::size_t l = 0; l < bin.levels(); ++l) {
-      EXPECT_DOUBLE_EQ(bin.power_w(i, l),
-                       f.cluster.power_w(i, l, bin.vdd(i, l)));
-      EXPECT_DOUBLE_EQ(scan.power_w(i, l),
-                       f.cluster.power_w(i, l, scan.vdd(i, l)));
+      EXPECT_DOUBLE_EQ(bin.power(i, l).watts(),
+                       f.cluster.power(i, l, bin.vdd(i, l)).watts());
+      EXPECT_DOUBLE_EQ(scan.power(i, l).watts(),
+                       f.cluster.power(i, l, scan.vdd(i, l)).watts());
     }
   }
 }
@@ -135,8 +140,8 @@ TEST(Knowledge, ScanPowerNeverAboveBinPower) {
   const Knowledge scan(&f.cluster, KnowledgeSource::kScan, &f.db);
   double bin_total = 0.0, scan_total = 0.0;
   for (std::size_t i = 0; i < bin.procs(); ++i) {
-    bin_total += bin.power_w(i, bin.levels() - 1);
-    scan_total += scan.power_w(i, bin.levels() - 1);
+    bin_total += bin.power(i, bin.levels() - 1).watts();
+    scan_total += scan.power(i, bin.levels() - 1).watts();
   }
   EXPECT_LT(scan_total, bin_total);
 }
@@ -147,7 +152,8 @@ TEST(Knowledge, EfficiencyOrderSorted) {
   const auto& order = k.efficiency_order();
   ASSERT_EQ(order.size(), k.procs());
   for (std::size_t r = 1; r < order.size(); ++r)
-    EXPECT_LE(k.efficiency(order[r - 1]), k.efficiency(order[r]));
+    EXPECT_LE(k.efficiency(order[r - 1]).watts_per_ghz(),
+              k.efficiency(order[r]).watts_per_ghz());
 }
 
 TEST(Knowledge, RefreshPicksUpNewProfiles) {
@@ -155,13 +161,13 @@ TEST(Knowledge, RefreshPicksUpNewProfiles) {
   ProfileDb db(f.cluster.size());
   Knowledge k(&f.cluster, KnowledgeSource::kScan, &db);
   // Unscanned: bin-specified efficiency (shared within a bin).
-  const double eff_before = k.efficiency(0);
+  const double eff_before = k.efficiency(0).watts_per_ghz();
   const Scanner scanner(&f.cluster, ScanConfig{});
   Rng rng(4);
   db.store(scanner.scan_chip(0, 0.0, rng));
   k.refresh();
   // Scanned: individually measured efficiency differs from the bin spec.
-  EXPECT_NE(k.efficiency(0), eff_before);
+  EXPECT_NE(k.efficiency(0).watts_per_ghz(), eff_before);
 }
 
 TEST(Knowledge, Validation) {
@@ -171,7 +177,7 @@ TEST(Knowledge, Validation) {
                InvalidArgument);
   const Knowledge k(&f.cluster, KnowledgeSource::kBin);
   EXPECT_THROW(k.vdd(999, 0), InvalidArgument);
-  EXPECT_THROW(k.power_w(0, 99), InvalidArgument);
+  EXPECT_THROW(k.power(0, 99), InvalidArgument);
   EXPECT_THROW(k.efficiency(999), InvalidArgument);
 }
 

@@ -28,24 +28,24 @@ TEST(PsuEfficiency, ClampedAndValidated) {
 
 TEST(NodePower, DcComposition) {
   NodeComponents c;
-  c.memory_idle_w = 10.0;
-  c.memory_active_w = 30.0;
-  c.disk_w = 5.0;
-  c.nic_w = 5.0;
-  c.board_w = 20.0;
+  c.memory_idle = Watts{10.0};
+  c.memory_active = Watts{30.0};
+  c.disk = Watts{5.0};
+  c.nic = Watts{5.0};
+  c.board = Watts{20.0};
   const NodePowerModel m(c);
   // Idle memory: cpu + 10 + 5 + 5 + 20.
-  EXPECT_DOUBLE_EQ(m.dc_power_w(100.0, 0.0), 140.0);
+  EXPECT_DOUBLE_EQ(m.dc_power(Watts{100.0}, 0.0).watts(), 140.0);
   // Full memory activity adds the DRAM swing.
-  EXPECT_DOUBLE_EQ(m.dc_power_w(100.0, 1.0), 160.0);
+  EXPECT_DOUBLE_EQ(m.dc_power(Watts{100.0}, 1.0).watts(), 160.0);
   // Halfway interpolates.
-  EXPECT_DOUBLE_EQ(m.dc_power_w(100.0, 0.5), 150.0);
+  EXPECT_DOUBLE_EQ(m.dc_power(Watts{100.0}, 0.5).watts(), 150.0);
 }
 
 TEST(NodePower, WallExceedsDc) {
   const NodePowerModel m;
-  const double dc = m.dc_power_w(125.0, 0.5);
-  const double wall = m.wall_power_w(125.0, 0.5);
+  const double dc = m.dc_power(Watts{125.0}, 0.5).watts();
+  const double wall = m.wall_power(Watts{125.0}, 0.5).watts();
   EXPECT_GT(wall, dc);
   EXPECT_LT(wall, dc / 0.5);  // never worse than the efficiency floor
 }
@@ -56,7 +56,7 @@ TEST(NodePower, MemoryBoundNodeOverheadDominates) {
   // level), the node overhead exceeds half the CPU draw.
   const NodePowerModel m;
   const double cpu_w = 70.0;  // low-level DVFS point
-  const double overhead = m.wall_power_w(cpu_w, 1.0) - cpu_w;
+  const double overhead = m.wall_power(Watts{cpu_w}, 1.0).watts() - cpu_w;
   EXPECT_GT(overhead, 0.5 * cpu_w);
 }
 
@@ -81,17 +81,17 @@ TEST(NodePower, VariationChangesWallPower) {
   hot.memory_scale = 1.2;
   hot.board_scale = 1.1;
   hot.psu_efficiency_shift = -0.02;
-  EXPECT_GT(m.wall_power_w(100.0, 0.5, hot), m.wall_power_w(100.0, 0.5));
+  EXPECT_GT(m.wall_power(Watts{100.0}, 0.5, hot).watts(), m.wall_power(Watts{100.0}, 0.5).watts());
 }
 
 TEST(NodePower, Validation) {
   NodeComponents bad;
-  bad.memory_active_w = 1.0;
-  bad.memory_idle_w = 5.0;  // idle > active
+  bad.memory_active = Watts{1.0};
+  bad.memory_idle = Watts{5.0};  // idle > active
   EXPECT_THROW(NodePowerModel{bad}, InvalidArgument);
   const NodePowerModel m;
-  EXPECT_THROW(m.dc_power_w(-1.0, 0.5), InvalidArgument);
-  EXPECT_THROW(m.dc_power_w(1.0, 1.5), InvalidArgument);
+  EXPECT_THROW(m.dc_power(Watts{-1.0}, 0.5), InvalidArgument);
+  EXPECT_THROW(m.dc_power(Watts{1.0}, 1.5), InvalidArgument);
 }
 
 }  // namespace

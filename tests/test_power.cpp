@@ -18,27 +18,31 @@ namespace {
 TEST(CpuPower, Eq1AtNominalVoltage) {
   // With V == Vnom the extended model reduces exactly to Eq-1.
   const CpuPowerModel m;
-  const PowerCoefficients c{7.5, 65.0};
+  const PowerCoefficients c{WattsPerCubicGigahertz{7.5}, Watts{65.0}};
   for (const double f : {0.75, 1.375, 2.0})
-    EXPECT_DOUBLE_EQ(m.power_w(c, f, 1.2, 1.2), m.power_eq1_w(c, f));
+    EXPECT_DOUBLE_EQ(
+        m.power(c, Gigahertz{f}, Volts{1.2}, Volts{1.2}).watts(),
+        m.power_eq1(c, Gigahertz{f}).watts());
 }
 
 TEST(CpuPower, PaperHeadlineNumber) {
   // alpha=7.5, beta=65 at 2 GHz -> 125 W (the Eq-1 anchor).
   const CpuPowerModel m;
-  const PowerCoefficients c{7.5, 65.0};
-  EXPECT_DOUBLE_EQ(m.power_eq1_w(c, 2.0), 125.0);
+  const PowerCoefficients c{WattsPerCubicGigahertz{7.5}, Watts{65.0}};
+  EXPECT_DOUBLE_EQ(m.power_eq1(c, Gigahertz{2.0}).watts(), 125.0);
 }
 
 TEST(CpuPower, VoltageScaling) {
   const CpuPowerModel m;
-  const PowerCoefficients c{10.0, 0.0};  // pure dynamic
+  const PowerCoefficients c{WattsPerCubicGigahertz{10.0}, Watts{}};  // pure dynamic
   // Dynamic power scales with (V/Vnom)^2.
-  EXPECT_NEAR(m.power_w(c, 1.0, 0.9, 1.0), 10.0 * 0.81, 1e-12);
-  const PowerCoefficients s{0.0, 50.0};  // pure static
+  EXPECT_NEAR(m.power(c, Gigahertz{1.0}, Volts{0.9}, Volts{1.0}).watts(),
+              10.0 * 0.81, 1e-12);
+  const PowerCoefficients s{WattsPerCubicGigahertz{}, Watts{50.0}};  // pure static
   // Half of beta tracks voltage (leakage), half is fixed platform power:
   // 50 * (0.5 * 0.9 + 0.5) = 47.5.
-  EXPECT_NEAR(m.power_w(s, 1.0, 0.9, 1.0), 47.5, 1e-12);
+  EXPECT_NEAR(m.power(s, Gigahertz{1.0}, Volts{0.9}, Volts{1.0}).watts(),
+              47.5, 1e-12);
 }
 
 TEST(CpuPower, LeakageShareExtremes) {
@@ -46,31 +50,42 @@ TEST(CpuPower, LeakageShareExtremes) {
   all_leak.leakage_voltage_share = 1.0;
   PowerModelParams no_leak;
   no_leak.leakage_voltage_share = 0.0;
-  const PowerCoefficients s{0.0, 100.0};
+  const PowerCoefficients s{WattsPerCubicGigahertz{}, Watts{100.0}};
   // s=1: static fully tracks voltage; s=0: the paper's constant beta.
-  EXPECT_DOUBLE_EQ(CpuPowerModel(all_leak).power_w(s, 1.0, 0.8, 1.0), 80.0);
-  EXPECT_DOUBLE_EQ(CpuPowerModel(no_leak).power_w(s, 1.0, 0.8, 1.0), 100.0);
+  EXPECT_DOUBLE_EQ(
+      CpuPowerModel(all_leak)
+          .power(s, Gigahertz{1.0}, Volts{0.8}, Volts{1.0})
+          .watts(),
+      80.0);
+  EXPECT_DOUBLE_EQ(CpuPowerModel(no_leak)
+                       .power(s, Gigahertz{1.0}, Volts{0.8}, Volts{1.0})
+                       .watts(),
+                   100.0);
 }
 
 TEST(CpuPower, LowerVddAlwaysCheaper) {
   const CpuPowerModel m;
-  const PowerCoefficients c{7.5, 65.0};
-  EXPECT_LT(m.power_w(c, 2.0, 1.15, 1.30), m.power_w(c, 2.0, 1.30, 1.30));
+  const PowerCoefficients c{WattsPerCubicGigahertz{7.5}, Watts{65.0}};
+  EXPECT_LT(m.power(c, Gigahertz{2.0}, Volts{1.15}, Volts{1.30}),
+            m.power(c, Gigahertz{2.0}, Volts{1.30}, Volts{1.30}));
 }
 
 TEST(CpuPower, CubicInFrequency) {
   const CpuPowerModel m;
-  const PowerCoefficients c{8.0, 0.0};
-  const double p1 = m.power_eq1_w(c, 1.0);
-  const double p2 = m.power_eq1_w(c, 2.0);
+  const PowerCoefficients c{WattsPerCubicGigahertz{8.0}, Watts{}};
+  const double p1 = m.power_eq1(c, Gigahertz{1.0}).watts();
+  const double p2 = m.power_eq1(c, Gigahertz{2.0}).watts();
   EXPECT_DOUBLE_EQ(p2 / p1, 8.0);
 }
 
 TEST(CpuPower, WattsPerGhz) {
   const CpuPowerModel m;
-  const PowerCoefficients c{7.5, 65.0};
-  EXPECT_DOUBLE_EQ(m.watts_per_ghz(c, 2.0, 1.3, 1.3), 125.0 / 2.0);
-  EXPECT_THROW(m.watts_per_ghz(c, 0.0, 1.3, 1.3), InvalidArgument);
+  const PowerCoefficients c{WattsPerCubicGigahertz{7.5}, Watts{65.0}};
+  EXPECT_DOUBLE_EQ(
+      m.efficiency(c, Gigahertz{2.0}, Volts{1.3}, Volts{1.3}).watts_per_ghz(),
+      125.0 / 2.0);
+  EXPECT_THROW(m.efficiency(c, Gigahertz{}, Volts{1.3}, Volts{1.3}),
+               InvalidArgument);
 }
 
 TEST(CpuPower, SampleDistributions) {
@@ -79,10 +94,10 @@ TEST(CpuPower, SampleDistributions) {
   RunningStats alpha, beta;
   for (int i = 0; i < 5000; ++i) {
     const PowerCoefficients c = m.sample(rng);
-    alpha.add(c.alpha);
-    beta.add(c.beta);
-    EXPECT_GT(c.alpha, 0.0);
-    EXPECT_GE(c.beta, 0.0);
+    alpha.add(c.alpha.raw());
+    beta.add(c.beta.watts());
+    EXPECT_GT(c.alpha.raw(), 0.0);
+    EXPECT_GE(c.beta.watts(), 0.0);
   }
   EXPECT_NEAR(alpha.mean(), 7.5, 0.05);    // Normal(7.5, 0.75)
   EXPECT_NEAR(alpha.stddev(), 0.75, 0.05);
@@ -95,9 +110,11 @@ TEST(CpuPower, Validation) {
   bad.alpha_mean = -1.0;
   EXPECT_THROW(CpuPowerModel{bad}, InvalidArgument);
   const CpuPowerModel m;
-  const PowerCoefficients c{7.5, 65.0};
-  EXPECT_THROW(m.power_w(c, -1.0, 1.0, 1.0), InvalidArgument);
-  EXPECT_THROW(m.power_w(c, 1.0, 0.0, 1.0), InvalidArgument);
+  const PowerCoefficients c{WattsPerCubicGigahertz{7.5}, Watts{65.0}};
+  EXPECT_THROW(m.power(c, Gigahertz{-1.0}, Volts{1.0}, Volts{1.0}),
+               InvalidArgument);
+  EXPECT_THROW(m.power(c, Gigahertz{1.0}, Volts{}, Volts{1.0}),
+               InvalidArgument);
 }
 
 // ---------------------------------------------------------------- Cooling
@@ -105,8 +122,8 @@ TEST(CpuPower, Validation) {
 TEST(Cooling, Eq2Factor) {
   const CoolingModel cop25(2.5);
   EXPECT_DOUBLE_EQ(cop25.overhead_factor(), 1.4);
-  EXPECT_DOUBLE_EQ(cop25.total_power_w(100.0), 140.0);
-  EXPECT_DOUBLE_EQ(cop25.cooling_power_w(100.0), 40.0);
+  EXPECT_DOUBLE_EQ(cop25.total_power(Watts{100.0}).watts(), 140.0);
+  EXPECT_DOUBLE_EQ(cop25.cooling_power(Watts{100.0}).watts(), 40.0);
 }
 
 TEST(Cooling, GreenbergSampleInRange) {
@@ -120,7 +137,7 @@ TEST(Cooling, GreenbergSampleInRange) {
 
 TEST(Cooling, Validation) {
   EXPECT_THROW(CoolingModel(0.0), InvalidArgument);
-  EXPECT_THROW(CoolingModel(2.5).total_power_w(-1.0), InvalidArgument);
+  EXPECT_THROW(CoolingModel(2.5).total_power(Watts{-1.0}), InvalidArgument);
 }
 
 // ------------------------------------------------------------ EnergyMeter
@@ -128,51 +145,55 @@ TEST(Cooling, Validation) {
 TEST(EnergyMeter, WindFirstSplit) {
   EnergyMeter meter;
   // Demand 100 W, wind 60 W, 10 s: 600 J wind + 400 J utility.
-  const EnergySplit step = meter.accrue(100.0, 60.0, 10.0);
-  EXPECT_DOUBLE_EQ(step.wind_j, 600.0);
-  EXPECT_DOUBLE_EQ(step.utility_j, 400.0);
-  EXPECT_DOUBLE_EQ(meter.total().total_j(), 1000.0);
+  const EnergySplit step =
+      meter.accrue(Watts{100.0}, Watts{60.0}, Seconds{10.0});
+  EXPECT_DOUBLE_EQ(step.wind.joules(), 600.0);
+  EXPECT_DOUBLE_EQ(step.utility.joules(), 400.0);
+  EXPECT_DOUBLE_EQ(meter.total().total().joules(), 1000.0);
 }
 
 TEST(EnergyMeter, SurplusWindCurtailed) {
   EnergyMeter meter;
-  meter.accrue(50.0, 120.0, 2.0);
-  EXPECT_DOUBLE_EQ(meter.total().wind_j, 100.0);
-  EXPECT_DOUBLE_EQ(meter.total().utility_j, 0.0);
-  EXPECT_DOUBLE_EQ(meter.wind_curtailed_j(), 140.0);
+  meter.accrue(Watts{50.0}, Watts{120.0}, Seconds{2.0});
+  EXPECT_DOUBLE_EQ(meter.total().wind.joules(), 100.0);
+  EXPECT_DOUBLE_EQ(meter.total().utility.joules(), 0.0);
+  EXPECT_DOUBLE_EQ(meter.wind_curtailed().joules(), 140.0);
 }
 
 TEST(EnergyMeter, WindFraction) {
   EnergyMeter meter;
   EXPECT_DOUBLE_EQ(meter.wind_fraction(), 0.0);
-  meter.accrue(100.0, 25.0, 1.0);
+  meter.accrue(Watts{100.0}, Watts{25.0}, Seconds{1.0});
   EXPECT_DOUBLE_EQ(meter.wind_fraction(), 0.25);
 }
 
 TEST(EnergyMeter, AccumulatesAndResets) {
   EnergyMeter meter;
-  meter.accrue(10.0, 0.0, 1.0);
-  meter.accrue(10.0, 0.0, 1.0);
-  EXPECT_DOUBLE_EQ(meter.total().utility_j, 20.0);
+  meter.accrue(Watts{10.0}, Watts{}, Seconds{1.0});
+  meter.accrue(Watts{10.0}, Watts{}, Seconds{1.0});
+  EXPECT_DOUBLE_EQ(meter.total().utility.joules(), 20.0);
   meter.record_sample(PowerSample{});
   EXPECT_EQ(meter.trace().size(), 1u);
   meter.reset();
-  EXPECT_DOUBLE_EQ(meter.total().total_j(), 0.0);
+  EXPECT_DOUBLE_EQ(meter.total().total().joules(), 0.0);
   EXPECT_TRUE(meter.trace().empty());
-  EXPECT_DOUBLE_EQ(meter.wind_curtailed_j(), 0.0);
+  EXPECT_DOUBLE_EQ(meter.wind_curtailed().joules(), 0.0);
 }
 
 TEST(EnergyMeter, Validation) {
   EnergyMeter meter;
-  EXPECT_THROW(meter.accrue(-1.0, 0.0, 1.0), InvalidArgument);
-  EXPECT_THROW(meter.accrue(1.0, -1.0, 1.0), InvalidArgument);
-  EXPECT_THROW(meter.accrue(1.0, 0.0, -1.0), InvalidArgument);
+  EXPECT_THROW(meter.accrue(Watts{-1.0}, Watts{}, Seconds{1.0}),
+               InvalidArgument);
+  EXPECT_THROW(meter.accrue(Watts{1.0}, Watts{-1.0}, Seconds{1.0}),
+               InvalidArgument);
+  EXPECT_THROW(meter.accrue(Watts{1.0}, Watts{}, Seconds{-1.0}),
+               InvalidArgument);
 }
 
 TEST(EnergySplit, KwhConversions) {
   EnergySplit s;
-  s.wind_j = 3.6e6;
-  s.utility_j = 7.2e6;
+  s.wind = Joules{3.6e6};
+  s.utility = Joules{7.2e6};
   EXPECT_DOUBLE_EQ(s.wind_kwh(), 1.0);
   EXPECT_DOUBLE_EQ(s.utility_kwh(), 2.0);
   EXPECT_DOUBLE_EQ(s.total_kwh(), 3.0);
@@ -182,23 +203,23 @@ TEST(EnergySplit, KwhConversions) {
 
 TEST(Cost, PaperPrices) {
   const EnergyPrices prices;
-  EXPECT_DOUBLE_EQ(prices.utility_usd_per_kwh, 0.13);  // California rate
-  EXPECT_DOUBLE_EQ(prices.wind_usd_per_kwh, 0.05);     // AWEA wind rate
+  EXPECT_DOUBLE_EQ(prices.utility_rate.usd_per_kwh(), 0.13);  // California rate
+  EXPECT_DOUBLE_EQ(prices.wind_rate.usd_per_kwh(), 0.05);     // AWEA wind rate
   EnergySplit s;
-  s.wind_j = units::kwh_to_joules(10.0);
-  s.utility_j = units::kwh_to_joules(10.0);
-  EXPECT_DOUBLE_EQ(prices.cost_usd(s), 1.8);
+  s.wind = units::kwh(10.0);
+  s.utility = units::kwh(10.0);
+  EXPECT_DOUBLE_EQ(prices.cost(s).dollars(), 1.8);
 }
 
 TEST(Cost, FutureWindPrice) {
   const EnergyPrices future = EnergyPrices::future_wind();
-  EXPECT_DOUBLE_EQ(future.wind_usd_per_kwh, 0.005);  // ref [2] projection
-  EXPECT_DOUBLE_EQ(future.utility_usd_per_kwh, 0.13);
+  EXPECT_DOUBLE_EQ(future.wind_rate.usd_per_kwh(), 0.005);  // ref [2] projection
+  EXPECT_DOUBLE_EQ(future.utility_rate.usd_per_kwh(), 0.13);
 }
 
 TEST(Cost, UtilityOnlyHelper) {
   const EnergyPrices prices;
-  EXPECT_DOUBLE_EQ(prices.utility_cost_usd(100.0), 13.0);
+  EXPECT_DOUBLE_EQ(prices.utility_cost(units::kwh(100.0)).dollars(), 13.0);
 }
 
 }  // namespace

@@ -89,9 +89,9 @@ TEST(EnergyOptimal, IsActuallyOptimal) {
   ActiveTask t = f.task(1000.0, 1e9, 0.8, {3, 4, 5});
   const std::size_t best = f.matcher.energy_optimal_level(t, 0);
   const double e_best =
-      f.matcher.task_power_w(t, best) * f.matcher.slowdown(t, best);
+      f.matcher.task_power(t, best).watts() * f.matcher.slowdown(t, best);
   for (std::size_t l = 0; l < f.knowledge.levels(); ++l) {
-    const double e = f.matcher.task_power_w(t, l) * f.matcher.slowdown(t, l);
+    const double e = f.matcher.task_power(t, l).watts() * f.matcher.slowdown(t, l);
     EXPECT_GE(e, e_best - 1e-9);
   }
 }
@@ -107,15 +107,15 @@ TEST(EnergyOptimal, IoBoundPrefersLowerFrequency) {
 TEST(Match, EmptyTaskListIsZero) {
   Fixture f;
   std::vector<ActiveTask> tasks;
-  const MatchResult r = f.matcher.match(tasks, 1000.0, 0.0);
-  EXPECT_DOUBLE_EQ(r.demand_w, 0.0);
+  const MatchResult r = f.matcher.match(tasks, Watts{1000.0}, 0.0);
+  EXPECT_DOUBLE_EQ(r.demand.watts(), 0.0);
   EXPECT_EQ(r.steps, 0u);
 }
 
 TEST(Match, NoWindRunsEnergyOptimalBaseline) {
   Fixture f;
   std::vector<ActiveTask> tasks = {f.task(), f.task(500.0, 1e9, 0.9, {2, 3})};
-  const MatchResult r = f.matcher.match(tasks, 0.0, 0.0);
+  const MatchResult r = f.matcher.match(tasks, Watts{0.0}, 0.0);
   EXPECT_EQ(r.steps, 0u);
   for (const auto& t : tasks) {
     const std::size_t expect = f.matcher.energy_optimal_level(
@@ -127,9 +127,9 @@ TEST(Match, NoWindRunsEnergyOptimalBaseline) {
 TEST(Match, AbundantWindKeepsBaseline) {
   Fixture f;
   std::vector<ActiveTask> tasks = {f.task()};
-  const MatchResult r = f.matcher.match(tasks, 1e9, 0.0);
+  const MatchResult r = f.matcher.match(tasks, Watts{1e9}, 0.0);
   EXPECT_EQ(r.steps, 0u);
-  EXPECT_LE(r.demand_w, 1e9);
+  EXPECT_LE(r.demand.watts(), 1e9);
 }
 
 TEST(Match, MidWindStepsDownToFit) {
@@ -141,18 +141,18 @@ TEST(Match, MidWindStepsDownToFit) {
                             static_cast<std::size_t>(2 * i + 1)}));
   // Baseline demand:
   std::vector<ActiveTask> probe = tasks;
-  const double baseline = f.matcher.match(probe, 0.0, 0.0).demand_w;
+  const double baseline = f.matcher.match(probe, Watts{0.0}, 0.0).demand.watts();
   // All-floor demand:
   std::vector<ActiveTask> floors = tasks;
   double floor_w = 0.0;
   for (auto& t : floors)
-    floor_w += f.matcher.task_power_w(t, 0);
+    floor_w += f.matcher.task_power(t, 0).watts();
   floor_w *= f.matcher.cooling_factor();
   // A budget between floor and baseline is reachable by stepping down.
   const double budget = 0.5 * (floor_w + baseline);
-  const MatchResult r = f.matcher.match(tasks, budget, 0.0);
+  const MatchResult r = f.matcher.match(tasks, Watts{budget}, 0.0);
   EXPECT_GT(r.steps, 0u);
-  EXPECT_LE(r.demand_w, budget + 1e-9);
+  EXPECT_LE(r.demand.watts(), budget + 1e-9);
 }
 
 TEST(Match, UnreachableWindSkipsStretching) {
@@ -161,11 +161,11 @@ TEST(Match, UnreachableWindSkipsStretching) {
   // Sec. V-C refinement).
   Fixture f;
   std::vector<ActiveTask> tasks = {f.task(), f.task(800.0, 1e9, 1.0, {4, 5})};
-  const MatchResult no_wind = f.matcher.match(tasks, 0.0, 0.0);
+  const MatchResult no_wind = f.matcher.match(tasks, Watts{0.0}, 0.0);
   std::vector<ActiveTask> again = {f.task(), f.task(800.0, 1e9, 1.0, {4, 5})};
-  const MatchResult tiny_wind = f.matcher.match(again, 1.0, 0.0);
+  const MatchResult tiny_wind = f.matcher.match(again, Watts{1.0}, 0.0);
   EXPECT_EQ(tiny_wind.steps, 0u);
-  EXPECT_DOUBLE_EQ(tiny_wind.demand_w, no_wind.demand_w);
+  EXPECT_DOUBLE_EQ(tiny_wind.demand.watts(), no_wind.demand.watts());
 }
 
 TEST(Match, DeadlineFloorsAreRespected) {
@@ -173,25 +173,25 @@ TEST(Match, DeadlineFloorsAreRespected) {
   // Tight deadline: floor at the top level; wind pressure must not push it
   // below.
   std::vector<ActiveTask> tasks = {f.task(1000.0, 1000.0)};
-  const MatchResult r = f.matcher.match(tasks, 10.0, 0.0);
+  const MatchResult r = f.matcher.match(tasks, Watts{10.0}, 0.0);
   EXPECT_EQ(tasks[0].level, f.knowledge.levels() - 1);
-  EXPECT_GT(r.demand_w, 10.0);  // utility will supplement
+  EXPECT_GT(r.demand.watts(), 10.0);  // utility will supplement
 }
 
 TEST(Match, DemandIncludesCoolingFactor) {
   Fixture f;
   std::vector<ActiveTask> tasks = {f.task()};
-  const MatchResult r = f.matcher.match(tasks, 0.0, 0.0);
-  EXPECT_NEAR(r.demand_w, r.compute_w * 1.4, 1e-9);
+  const MatchResult r = f.matcher.match(tasks, Watts{0.0}, 0.0);
+  EXPECT_NEAR(r.demand.watts(), r.compute.watts() * 1.4, 1e-9);
 }
 
 TEST(Match, Deterministic) {
   Fixture f;
   std::vector<ActiveTask> a = {f.task(), f.task(500.0, 5000.0, 0.7, {2, 3})};
   std::vector<ActiveTask> b = a;
-  const MatchResult ra = f.matcher.match(a, 300.0, 0.0);
-  const MatchResult rb = f.matcher.match(b, 300.0, 0.0);
-  EXPECT_EQ(ra.demand_w, rb.demand_w);
+  const MatchResult ra = f.matcher.match(a, Watts{300.0}, 0.0);
+  const MatchResult rb = f.matcher.match(b, Watts{300.0}, 0.0);
+  EXPECT_EQ(ra.demand.watts(), rb.demand.watts());
   EXPECT_EQ(a[0].level, b[0].level);
   EXPECT_EQ(a[1].level, b[1].level);
 }
@@ -200,10 +200,10 @@ TEST(Match, TaskPowerSumsProcessors) {
   Fixture f;
   ActiveTask t = f.task(100.0, 1e9, 1.0, {0, 1, 2});
   const std::size_t top = f.knowledge.levels() - 1;
-  const double expect = f.knowledge.power_w(0, top) +
-                        f.knowledge.power_w(1, top) +
-                        f.knowledge.power_w(2, top);
-  EXPECT_DOUBLE_EQ(f.matcher.task_power_w(t, top), expect);
+  const double expect = f.knowledge.power(0, top).watts() +
+                        f.knowledge.power(1, top).watts() +
+                        f.knowledge.power(2, top).watts();
+  EXPECT_DOUBLE_EQ(f.matcher.task_power(t, top).watts(), expect);
 }
 
 TEST(Match, Validation) {
@@ -211,7 +211,7 @@ TEST(Match, Validation) {
   EXPECT_THROW(PowerMatcher(nullptr, 1.4), InvalidArgument);
   EXPECT_THROW(PowerMatcher(&f.knowledge, 0.9), InvalidArgument);
   std::vector<ActiveTask> tasks = {f.task()};
-  EXPECT_THROW(f.matcher.match(tasks, -1.0, 0.0), InvalidArgument);
+  EXPECT_THROW(f.matcher.match(tasks, Watts{-1.0}, 0.0), InvalidArgument);
 }
 
 }  // namespace

@@ -44,7 +44,8 @@ TEST(FailingTest, AccountsTimeAndEnergy) {
   Rng rng(2);
   const TrialResult r = tester.run(0, 0, 2, 1.1, rng);
   EXPECT_DOUBLE_EQ(r.duration_s, 600.0);
-  EXPECT_DOUBLE_EQ(r.energy_j, cluster.power_w(0, 2, 1.1) * 600.0);
+  EXPECT_DOUBLE_EQ(r.energy_j,
+                   (cluster.power(0, 2, Volts{1.1}) * Seconds{600.0}).joules());
 }
 
 TEST(FailingTest, Validation) {
@@ -110,7 +111,7 @@ TEST(Scanner, OverVoltsSlowChips) {
   Rng rng(6);
   bool found_outlier = false;
   for (std::size_t i = 0; i < cluster.size(); ++i) {
-    const double truth = cluster.true_vdd(i, top);
+    const double truth = cluster.true_vdd(i, top).volts();
     if (truth <= cluster.levels().vdd_nom[top]) continue;
     found_outlier = true;
     const ChipProfile p = scanner.scan_chip(i, 0.0, rng);
@@ -219,7 +220,7 @@ TEST(Scanner, BinarySearchHandlesSlowOutliers) {
   const Scanner scanner(&cluster, scan);
   Rng rng(6);
   for (std::size_t i = 0; i < cluster.size(); ++i) {
-    const double truth = cluster.true_vdd(i, top);
+    const double truth = cluster.true_vdd(i, top).volts();
     if (truth <= cluster.levels().vdd_nom[top]) continue;
     const ChipProfile p = scanner.scan_chip(i, 0.0, rng);
     EXPECT_GE(p.chip_vdd.vdd(top), truth * 0.995);
@@ -309,9 +310,9 @@ TEST(Overhead, MatchesPaperStressNumbers) {
   OverheadConfig cfg;
   cfg.kind = TestKind::kStress;
   const OverheadReport r = compute_overhead(cfg);
-  EXPECT_NEAR(r.total_energy_kwh, 4600.0, 1.0);
-  EXPECT_NEAR(r.cost_wind_usd, 230.0, 0.5);
-  EXPECT_NEAR(r.cost_utility_usd, 598.0, 0.5);
+  EXPECT_NEAR(r.total_energy.kwh(), 4600.0, 1.0);
+  EXPECT_NEAR(r.cost_wind.dollars(), 230.0, 0.5);
+  EXPECT_NEAR(r.cost_utility.dollars(), 598.0, 0.5);
 }
 
 TEST(Overhead, MatchesPaperSbfftNumbers) {
@@ -319,8 +320,8 @@ TEST(Overhead, MatchesPaperSbfftNumbers) {
   OverheadConfig cfg;
   cfg.kind = TestKind::kFunctionalFailing;
   const OverheadReport r = compute_overhead(cfg);
-  EXPECT_NEAR(r.cost_wind_usd, 11.2, 0.2);
-  EXPECT_NEAR(r.cost_utility_usd, 28.9, 0.2);
+  EXPECT_NEAR(r.cost_wind.dollars(), 11.2, 0.2);
+  EXPECT_NEAR(r.cost_utility.dollars(), 28.9, 0.2);
 }
 
 TEST(Overhead, Validation) {
@@ -382,9 +383,9 @@ TEST(PlanProfiling, WindRequirementFilters) {
   cfg.scan_time_per_proc_s = 60.0;
   cfg.domain_size = 2;
   cfg.require_wind = true;
-  cfg.min_wind_w = 50.0;
+  cfg.min_wind = Watts{50.0};
   // Wind only in the second hour.
-  SupplyTrace wind(3600.0, {0.0, 100.0});
+  SupplyTrace wind(Seconds{3600.0}, {0.0, 100.0});
   const HybridSupply supply(wind);
   const ProfilingPlan plan = plan_profiling(demand, supply, {0, 1}, cfg);
   ASSERT_EQ(plan.windows.size(), 1u);

@@ -31,7 +31,9 @@ TEST_P(Eq3Property, SlowdownBoundsAndMonotonicity) {
   EXPECT_LE(s, fmax / f + 1e-12);
   // At fmax there is no slowdown; a lower frequency never speeds it up.
   EXPECT_DOUBLE_EQ(t.slowdown(fmax, fmax), 1.0);
-  if (f < fmax) EXPECT_GE(s, t.slowdown(fmax, fmax));
+  if (f < fmax) {
+    EXPECT_GE(s, t.slowdown(fmax, fmax));
+  }
   // Interpolation property: gamma scales linearly between the extremes.
   const double s0 = 1.0;
   const double s1 = fmax / f;
@@ -77,7 +79,7 @@ TEST_P(MatcherWindProperty, DemandMonotoneInBudgetAndSafe) {
   };
 
   auto tasks = make_tasks();
-  const MatchResult r = matcher.match(tasks, wind_w, 0.0);
+  const MatchResult r = matcher.match(tasks, Watts{wind_w}, 0.0);
 
   // Levels never violate deadline floors.
   for (const auto& t : tasks)
@@ -85,13 +87,13 @@ TEST_P(MatcherWindProperty, DemandMonotoneInBudgetAndSafe) {
 
   // More wind never increases demand... (fitting relaxes monotonically)
   auto tasks_more = make_tasks();
-  const MatchResult more = matcher.match(tasks_more, wind_w * 2.0 + 10.0, 0.0);
-  EXPECT_GE(more.demand_w, r.demand_w - 1e-9);
+  const MatchResult more = matcher.match(tasks_more, Watts{wind_w * 2.0 + 10.0}, 0.0);
+  EXPECT_GE(more.demand.watts(), r.demand.watts() - 1e-9);
 
   // Demand equals the sum of the assigned task powers times cooling.
   double sum = 0.0;
-  for (const auto& t : tasks) sum += matcher.task_power_w(t, t.level);
-  EXPECT_NEAR(r.demand_w, sum * 1.4, 1e-6);
+  for (const auto& t : tasks) sum += matcher.task_power(t, t.level).watts();
+  EXPECT_NEAR(r.demand.watts(), sum * 1.4, 1e-6);
 }
 
 INSTANTIATE_TEST_SUITE_P(WindBudgets, MatcherWindProperty,
@@ -143,7 +145,7 @@ TEST_P(SchemeProperty, CompletesAccountsAndConserves) {
     tasks.push_back(t);
   }
 
-  const SupplyTrace wind(600.0, std::vector<double>(300, 600.0));
+  const SupplyTrace wind(Seconds{600.0}, std::vector<double>(300, 600.0));
   const HybridSupply supply =
       with_wind ? HybridSupply(wind) : HybridSupply();
 
@@ -151,19 +153,21 @@ TEST_P(SchemeProperty, CompletesAccountsAndConserves) {
                                  tasks, SimConfig{});
 
   EXPECT_EQ(r.tasks_completed, tasks.size());
-  EXPECT_GT(r.energy.total_j(), 0.0);
-  EXPECT_GT(r.cost_usd, 0.0);
-  if (!with_wind) EXPECT_DOUBLE_EQ(r.energy.wind_j, 0.0);
+  EXPECT_GT(r.energy.total().joules(), 0.0);
+  EXPECT_GT(r.cost.dollars(), 0.0);
+  if (!with_wind) {
+    EXPECT_DOUBLE_EQ(r.energy.wind.joules(), 0.0);
+  }
   // Busy-time sanity.
   for (const double b : r.busy_time_s) {
     EXPECT_GE(b, 0.0);
-    EXPECT_LE(b, r.makespan_s + 1e-6);
+    EXPECT_LE(b, r.makespan.seconds() + 1e-6);
   }
   // Determinism: identical rerun gives identical outputs.
   const SimResult again = run_scheme(world().cluster, scheme, &world().db,
                                      supply, tasks, SimConfig{});
-  EXPECT_EQ(r.energy.utility_j, again.energy.utility_j);
-  EXPECT_EQ(r.energy.wind_j, again.energy.wind_j);
+  EXPECT_EQ(r.energy.utility.joules(), again.energy.utility.joules());
+  EXPECT_EQ(r.energy.wind.joules(), again.energy.wind.joules());
   EXPECT_EQ(r.deadline_misses, again.deadline_misses);
   EXPECT_EQ(r.busy_time_s, again.busy_time_s);
 }

@@ -1,0 +1,196 @@
+// The dimensional-analysis layer (common/quantity.hpp).
+//
+// Three families of guarantees:
+//  * constexpr arithmetic produces the right numbers in the right units;
+//  * dimensions compose correctly (W x s -> J, USD/J x J -> USD, ...);
+//  * ill-dimensioned expressions do not compile, proven by a detection-
+//    idiom harness (`can_add<Watts, Joules>` is false at compile time, so
+//    the guarantee is enforced by this TU compiling at all).
+#include "common/quantity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+#include <utility>
+
+namespace iscope {
+namespace {
+
+// --- compile-fail harness -----------------------------------------------
+//
+// `can_X<A, B>` is true exactly when the expression template instantiates.
+// A static_assert on the negation is a compile-fail test that runs inside
+// a normal build: if someone ever makes W + J compile, this file stops
+// compiling and names the broken guarantee.
+
+template <class A, class B, class = void>
+struct can_add : std::false_type {};
+template <class A, class B>
+struct can_add<A, B,
+               std::void_t<decltype(std::declval<A>() + std::declval<B>())>>
+    : std::true_type {};
+
+template <class A, class B, class = void>
+struct can_compare : std::false_type {};
+template <class A, class B>
+struct can_compare<
+    A, B, std::void_t<decltype(std::declval<A>() < std::declval<B>())>>
+    : std::true_type {};
+
+template <class Q, class = void>
+struct has_joules : std::false_type {};
+template <class Q>
+struct has_joules<Q, std::void_t<decltype(std::declval<Q>().joules())>>
+    : std::true_type {};
+
+template <class Q, class = void>
+struct has_watts : std::false_type {};
+template <class Q>
+struct has_watts<Q, std::void_t<decltype(std::declval<Q>().watts())>>
+    : std::true_type {};
+
+template <class A, class B, class = void>
+struct can_assign : std::false_type {};
+template <class A, class B>
+struct can_assign<
+    A, B, std::void_t<decltype(std::declval<A&>() = std::declval<B>())>>
+    : std::true_type {};
+
+// Same dimension: everything works.
+static_assert(can_add<Watts, Watts>::value);
+static_assert(can_compare<Seconds, Seconds>::value);
+static_assert(has_joules<Joules>::value);
+
+// Mismatched dimensions: none of it compiles.
+static_assert(!can_add<Watts, Joules>::value, "W + J must not compile");
+static_assert(!can_add<Seconds, Gigahertz>::value,
+              "s + GHz must not compile (frequency is its own axis)");
+static_assert(!can_add<Usd, Joules>::value, "USD + J must not compile");
+static_assert(!can_compare<Watts, Joules>::value, "W < J must not compile");
+static_assert(!can_assign<Watts, Joules>::value, "W = J must not compile");
+static_assert(!can_assign<Watts, double>::value,
+              "implicit double -> Watts must not compile");
+static_assert(!can_add<Volts, Celsius>::value, "V + degC must not compile");
+
+// Unit accessors exist only on the matching dimension.
+static_assert(!has_joules<Watts>::value, "Watts has no .joules()");
+static_assert(!has_watts<Joules>::value, "Joules has no .watts()");
+static_assert(has_watts<Watts>::value);
+
+// --- zero-overhead layout ------------------------------------------------
+static_assert(sizeof(Watts) == sizeof(double));
+static_assert(sizeof(UsdPerJoule) == sizeof(double));
+static_assert(std::is_trivially_copyable_v<Joules>);
+static_assert(std::is_trivially_copyable_v<WattsPerCubicGigahertz>);
+
+// --- constexpr arithmetic ------------------------------------------------
+static_assert((Watts{100.0} + Watts{25.0}).watts() == 125.0);
+static_assert((Watts{100.0} - Watts{25.0}).watts() == 75.0);
+static_assert((-Watts{5.0}).watts() == -5.0);
+static_assert((Watts{50.0} * 2.0).watts() == 100.0);
+static_assert((2.0 * Watts{50.0}).watts() == 100.0);
+static_assert((Watts{50.0} / 2.0).watts() == 25.0);
+static_assert(Watts{2.0} < Watts{3.0});
+static_assert(units::abs(Watts{-7.0}).watts() == 7.0);
+
+// --- dimension composition ----------------------------------------------
+static_assert(std::is_same_v<decltype(Watts{2.0} * Seconds{3.0}), Joules>);
+static_assert(std::is_same_v<decltype(Seconds{3.0} * Watts{2.0}), Joules>);
+static_assert(std::is_same_v<decltype(Joules{6.0} / Seconds{2.0}), Watts>);
+static_assert(std::is_same_v<decltype(Joules{6.0} / Watts{2.0}), Seconds>);
+static_assert(std::is_same_v<decltype(Usd{1.0} / Joules{1.0}), UsdPerJoule>);
+static_assert(std::is_same_v<decltype(UsdPerJoule{1.0} * Joules{1.0}), Usd>);
+static_assert(
+    std::is_same_v<decltype(Watts{1.0} / Gigahertz{1.0}), WattsPerGigahertz>);
+// Eq-1's alpha term: W/GHz^3 climbs back to W through three multiplies.
+static_assert(
+    std::is_same_v<decltype(WattsPerCubicGigahertz{1.0} * Gigahertz{1.0} *
+                            Gigahertz{1.0} * Gigahertz{1.0}),
+                   Watts>);
+// Same-dimension ratios (and any cancelling product) collapse to double.
+static_assert(std::is_same_v<decltype(Joules{1.0} / Joules{1.0}), double>);
+static_assert(std::is_same_v<decltype(Usd{1.0} / Usd{1.0}), double>);
+static_assert(
+    std::is_same_v<decltype(Gigahertz{1.0} * (1.0 / Gigahertz{1.0})), double>);
+
+static_assert((Watts{2.0} * Seconds{3.0}).joules() == 6.0);
+static_assert(Joules{6.0} / Joules{2.0} == 3.0);
+
+// --- runtime checks (values, conversions, the paper's arithmetic) -------
+
+TEST(Quantity, FactoriesStoreCanonicalUnits) {
+  EXPECT_DOUBLE_EQ(units::minutes(10.0).seconds(), 600.0);
+  EXPECT_DOUBLE_EQ(units::hours(2.0).seconds(), 7200.0);
+  EXPECT_DOUBLE_EQ(units::days(1.0).seconds(), 86400.0);
+  EXPECT_DOUBLE_EQ(units::kwh(1.0).joules(), 3.6e6);
+  EXPECT_DOUBLE_EQ(units::kilowatts(2.5).watts(), 2500.0);
+  EXPECT_DOUBLE_EQ(units::megawatts(1.5).watts(), 1.5e6);
+  EXPECT_DOUBLE_EQ(units::millivolts(900.0).volts(), 0.9);
+  EXPECT_DOUBLE_EQ(units::megahertz(750.0).gigahertz(), 0.75);
+  EXPECT_DOUBLE_EQ(units::celsius(65.0).celsius(), 65.0);
+  EXPECT_DOUBLE_EQ(units::usd(3.5).dollars(), 3.5);
+}
+
+TEST(Quantity, AccessorsInvertFactories) {
+  EXPECT_DOUBLE_EQ(units::minutes(17.5).minutes(), 17.5);
+  EXPECT_DOUBLE_EQ(units::hours(3.25).hours(), 3.25);
+  EXPECT_DOUBLE_EQ(units::days(2.5).days(), 2.5);
+  EXPECT_DOUBLE_EQ(units::kwh(4600.0).kwh(), 4600.0);
+  EXPECT_DOUBLE_EQ(units::kilowatts(0.5).kilowatts(), 0.5);
+  EXPECT_DOUBLE_EQ(units::megawatts(1.5).megawatts(), 1.5);
+  EXPECT_DOUBLE_EQ(units::millivolts(1250.0).millivolts(), 1250.0);
+  EXPECT_DOUBLE_EQ(units::megahertz(1400.0).megahertz(), 1400.0);
+  EXPECT_DOUBLE_EQ(units::usd_per_kwh(0.13).usd_per_kwh(), 0.13);
+}
+
+TEST(Quantity, EnergyCostComposition) {
+  // 2 kW for 3 hours at 0.13 USD/kWh = 0.78 USD, built purely from typed
+  // arithmetic: W x s -> J, USD/J x J -> USD.
+  const Joules energy = units::kilowatts(2.0) * units::hours(3.0);
+  EXPECT_DOUBLE_EQ(energy.kwh(), 6.0);
+  const Usd cost = units::usd_per_kwh(0.13) * energy;
+  EXPECT_NEAR(cost.dollars(), 0.78, 1e-12);
+}
+
+TEST(Quantity, PaperOverheadArithmetic) {
+  // Sec. VI-E: 4800 CPUs x 115 W x 500 min = 4600 kWh.
+  const Joules campaign =
+      Watts{115.0} * units::minutes(500.0) * 4800.0;
+  EXPECT_NEAR(campaign.kwh(), 4600.0, 1.0);
+}
+
+TEST(Quantity, Eq1PowerShape) {
+  // alpha * f^3 with alpha in W/GHz^3 lands back in watts.
+  const WattsPerCubicGigahertz alpha{7.5};
+  const Gigahertz f{2.0};
+  const Watts dynamic = alpha * f * f * f;
+  EXPECT_DOUBLE_EQ(dynamic.watts(), 7.5 * 8.0);
+}
+
+TEST(Quantity, DimensionlessRatios) {
+  const double slowdown = units::hours(2.0) / units::hours(0.5);
+  EXPECT_DOUBLE_EQ(slowdown, 4.0);
+  const double saving = 1.0 - Usd{69.3} / Usd{100.0};
+  EXPECT_NEAR(saving, 0.307, 1e-12);
+}
+
+TEST(Quantity, DefaultIsZero) {
+  EXPECT_DOUBLE_EQ(Watts{}.watts(), 0.0);
+  EXPECT_DOUBLE_EQ(Joules{}.joules(), 0.0);
+  Joules acc;
+  acc += Watts{10.0} * Seconds{5.0};
+  acc -= Joules{20.0};
+  EXPECT_DOUBLE_EQ(acc.joules(), 30.0);
+}
+
+TEST(Quantity, ScalarDivision) {
+  Watts w{100.0};
+  w /= 4.0;
+  EXPECT_DOUBLE_EQ(w.watts(), 25.0);
+  w *= 2.0;
+  EXPECT_DOUBLE_EQ(w.watts(), 50.0);
+  EXPECT_DOUBLE_EQ((1.0 / Seconds{0.5}).raw(), 2.0);
+}
+
+}  // namespace
+}  // namespace iscope

@@ -88,7 +88,7 @@ TEST(SimProfiling, ScanPowerIsMetered) {
   const SimResult idle_run = sim.run({simple_task(1, 0.0, 1, 100.0)}, {});
   const SimResult scan_run = sim.run({simple_task(1, 0.0, 1, 100.0)},
                                      {window(0.0, 600.0, {5, 6, 7})});
-  EXPECT_GT(scan_run.energy.total_j(), idle_run.energy.total_j());
+  EXPECT_GT(scan_run.energy.total().joules(), idle_run.energy.total().joules());
 }
 
 TEST(SimProfiling, ReservedProcessorsNotSchedulable) {
@@ -101,7 +101,7 @@ TEST(SimProfiling, ReservedProcessorsNotSchedulable) {
   const SimResult r = sim.run({simple_task(1, 100.0, 4, 50.0)},
                               {window(0.0, 2000.0, {0, 1, 2, 3, 4, 5})});
   EXPECT_EQ(r.tasks_completed, 1u);
-  EXPECT_GE(r.mean_wait_s, 1900.0 - 100.0 - 1e-6);
+  EXPECT_GE(r.mean_wait.seconds(), 1900.0 - 100.0 - 1e-6);
 }
 
 TEST(SimProfiling, ProfilingOnlyRunDrains) {
@@ -112,7 +112,7 @@ TEST(SimProfiling, ProfilingOnlyRunDrains) {
   const SimResult r = sim.run({}, {window(0.0, 300.0, {0, 1})});
   EXPECT_EQ(r.tasks_completed, 0u);
   EXPECT_EQ(r.profiling_procs_scanned, 2u);
-  EXPECT_GT(r.energy.total_j(), 0.0);  // scan power was metered
+  EXPECT_GT(r.energy.total().joules(), 0.0);  // scan power was metered
 }
 
 TEST(SimProfiling, BadWindowThrows) {
@@ -130,7 +130,7 @@ TEST(SimBattery, BatteryCutsUtilityDraw) {
   // Strongly fluctuating wind: half the epochs windy, half calm.
   std::vector<double> pattern;
   for (int i = 0; i < 200; ++i) pattern.push_back(i % 2 == 0 ? 3000.0 : 0.0);
-  const HybridSupply supply(SupplyTrace(600.0, pattern));
+  const HybridSupply supply(SupplyTrace(Seconds{600.0}, pattern));
 
   std::vector<Task> tasks;
   for (int i = 0; i < 10; ++i)
@@ -146,10 +146,10 @@ TEST(SimBattery, BatteryCutsUtilityDraw) {
   const SimResult a = sim_a.run(tasks);
   const SimResult b = sim_b.run(tasks);
 
-  EXPECT_GT(b.battery_delivered_kwh, 0.0);
+  EXPECT_GT(b.battery_delivered.kwh(), 0.0);
   EXPECT_LT(b.energy.utility_kwh(), a.energy.utility_kwh());
   // Losses are real: battery wind purchases exceed the delivered energy.
-  EXPECT_GT(b.battery_losses_kwh, 0.0);
+  EXPECT_GT(b.battery_losses.kwh(), 0.0);
 }
 
 TEST(SimBattery, NoBatteryFieldsAreZero) {
@@ -158,8 +158,8 @@ TEST(SimBattery, NoBatteryFieldsAreZero) {
   DatacenterSim sim(&f.knowledge, PlacementRule::kRandom, &supply,
                     SimConfig{});
   const SimResult r = sim.run({simple_task(1, 0.0, 1, 100.0)});
-  EXPECT_DOUBLE_EQ(r.battery_delivered_kwh, 0.0);
-  EXPECT_DOUBLE_EQ(r.battery_losses_kwh, 0.0);
+  EXPECT_DOUBLE_EQ(r.battery_delivered.kwh(), 0.0);
+  EXPECT_DOUBLE_EQ(r.battery_losses.kwh(), 0.0);
 }
 
 // ----------------------------------------------------------- rush mode

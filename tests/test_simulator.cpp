@@ -54,15 +54,15 @@ TEST(Simulator, SingleTaskCompletes) {
   const SimResult r = f.run(Scheme::kBinRan, {simple_task(1, 0.0, 2, 100.0)});
   EXPECT_EQ(r.tasks_completed, 1u);
   EXPECT_EQ(r.deadline_misses, 0u);
-  EXPECT_GT(r.makespan_s, 0.0);
-  EXPECT_GT(r.energy.total_j(), 0.0);
+  EXPECT_GT(r.makespan.seconds(), 0.0);
+  EXPECT_GT(r.energy.total().joules(), 0.0);
 }
 
 TEST(Simulator, UtilityOnlyUsesNoWind) {
   Fixture f;
   const SimResult r = f.run(Scheme::kBinEffi, {simple_task(1, 0.0, 2, 100.0)});
-  EXPECT_DOUBLE_EQ(r.energy.wind_j, 0.0);
-  EXPECT_GT(r.energy.utility_j, 0.0);
+  EXPECT_DOUBLE_EQ(r.energy.wind.joules(), 0.0);
+  EXPECT_GT(r.energy.utility.joules(), 0.0);
 }
 
 TEST(Simulator, EnergyMatchesPowerTimesTime) {
@@ -73,19 +73,19 @@ TEST(Simulator, EnergyMatchesPowerTimesTime) {
   Task t = simple_task(1, 0.0, 1, 500.0, 100.0, 0.0);
   const SimResult r = f.run(Scheme::kBinEffi, {t});
   EXPECT_EQ(r.tasks_completed, 1u);
-  EXPECT_NEAR(r.makespan_s, 500.0, 1e-6);
+  EXPECT_NEAR(r.makespan.seconds(), 500.0, 1e-6);
   // The chosen processor is the believed-most-efficient one; find the
   // minimum true power over the bin-voltage bottom level across procs in
   // the best bin and verify the energy is plausibly in range.
   const double cooling = 1.4;
   double lo = 1e18, hi = 0.0;
   for (std::size_t i = 0; i < f.cluster.size(); ++i) {
-    const double p = f.cluster.power_w(i, 0, f.cluster.bin_vdd(i, 0));
+    const double p = f.cluster.power(i, 0, f.cluster.bin_vdd(i, 0)).watts();
     lo = std::min(lo, p);
     hi = std::max(hi, p);
   }
-  EXPECT_GE(r.energy.total_j(), lo * 500.0 * cooling - 1e-6);
-  EXPECT_LE(r.energy.total_j(), hi * 500.0 * cooling + 1e-6);
+  EXPECT_GE(r.energy.total().joules(), lo * 500.0 * cooling - 1e-6);
+  EXPECT_LE(r.energy.total().joules(), hi * 500.0 * cooling + 1e-6);
 }
 
 TEST(Simulator, GangTaskOccupiesAllProcessors) {
@@ -105,8 +105,8 @@ TEST(Simulator, TasksQueueWhenClusterFull) {
                              simple_task(2, 0.0, 8, 100.0)};
   const SimResult r = f.run(Scheme::kBinRan, tasks);
   EXPECT_EQ(r.tasks_completed, 2u);
-  EXPECT_GT(r.mean_wait_s, 0.0);
-  EXPECT_GT(r.makespan_s, 2.0 * 100.0 - 1e-6);
+  EXPECT_GT(r.mean_wait.seconds(), 0.0);
+  EXPECT_GT(r.makespan.seconds(), 2.0 * 100.0 - 1e-6);
 }
 
 TEST(Simulator, ImpossibleDeadlineCountsMiss) {
@@ -134,9 +134,9 @@ TEST(Simulator, Deterministic) {
     tasks.push_back(simple_task(i, i * 50.0, 1 + i % 4, 200.0 + i));
   const SimResult a = f.run(Scheme::kScanFair, tasks);
   const SimResult b = f.run(Scheme::kScanFair, tasks);
-  EXPECT_EQ(a.energy.utility_j, b.energy.utility_j);
-  EXPECT_EQ(a.energy.wind_j, b.energy.wind_j);
-  EXPECT_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.energy.utility.joules(), b.energy.utility.joules());
+  EXPECT_EQ(a.energy.wind.joules(), b.energy.wind.joules());
+  EXPECT_EQ(a.makespan.seconds(), b.makespan.seconds());
   EXPECT_EQ(a.busy_time_s, b.busy_time_s);
 }
 
@@ -158,25 +158,25 @@ TEST(Simulator, SeedChangesRandomPlacement) {
 TEST(Simulator, WindAccountingSplits) {
   Fixture f;
   // Constant wind well below demand: both sources used.
-  const SupplyTrace wind(600.0, std::vector<double>(100, 50.0));
+  const SupplyTrace wind(Seconds{600.0}, std::vector<double>(100, 50.0));
   const HybridSupply supply(wind);
   const SimResult r =
       f.run(Scheme::kBinRan, {simple_task(1, 0.0, 8, 1000.0)}, supply);
-  EXPECT_GT(r.energy.wind_j, 0.0);
-  EXPECT_GT(r.energy.utility_j, 0.0);
+  EXPECT_GT(r.energy.wind.joules(), 0.0);
+  EXPECT_GT(r.energy.utility.joules(), 0.0);
   // Wind can never exceed available power x makespan.
-  EXPECT_LE(r.energy.wind_j, 50.0 * r.makespan_s + 1e-6);
+  EXPECT_LE(r.energy.wind.joules(), 50.0 * r.makespan.seconds() + 1e-6);
 }
 
 TEST(Simulator, AbundantWindCoversEverything) {
   Fixture f;
-  const SupplyTrace wind(600.0, std::vector<double>(100, 1e7));
+  const SupplyTrace wind(Seconds{600.0}, std::vector<double>(100, 1e7));
   const HybridSupply supply(wind);
   const SimResult r =
       f.run(Scheme::kScanEffi, {simple_task(1, 0.0, 4, 500.0)}, supply);
-  EXPECT_DOUBLE_EQ(r.energy.utility_j, 0.0);
-  EXPECT_GT(r.energy.wind_j, 0.0);
-  EXPECT_GT(r.wind_curtailed_kwh, 0.0);
+  EXPECT_DOUBLE_EQ(r.energy.utility.joules(), 0.0);
+  EXPECT_GT(r.energy.wind.joules(), 0.0);
+  EXPECT_GT(r.wind_curtailed.kwh(), 0.0);
 }
 
 TEST(Simulator, TraceRecordedWhenRequested) {
@@ -189,8 +189,8 @@ TEST(Simulator, TraceRecordedWhenRequested) {
                             HybridSupply{}, cfg);
   EXPECT_GT(r.trace.size(), 5u);
   for (const PowerSample& s : r.trace) {
-    EXPECT_GE(s.demand_w, 0.0);
-    EXPECT_DOUBLE_EQ(s.utility_w + s.wind_w, s.demand_w);
+    EXPECT_GE(s.demand.watts(), 0.0);
+    EXPECT_DOUBLE_EQ(s.utility.watts() + s.wind.watts(), s.demand.watts());
   }
 }
 
@@ -209,7 +209,7 @@ TEST(Simulator, BusyTimeConservation) {
   // Busy time per processor never exceeds the makespan.
   for (const double b : r.busy_time_s) {
     EXPECT_GE(b, 0.0);
-    EXPECT_LE(b, r.makespan_s + 1e-6);
+    EXPECT_LE(b, r.makespan.seconds() + 1e-6);
   }
   // Total busy time is at least total work at Fmax x width (DVFS only
   // stretches runtimes).
@@ -238,7 +238,7 @@ TEST(Simulator, ScanBeatsBinOnEnergy) {
     tasks.push_back(simple_task(i, i * 100.0, 2, 500.0));
   const SimResult bin = f.run(Scheme::kBinEffi, tasks);
   const SimResult scan = f.run(Scheme::kScanEffi, tasks);
-  EXPECT_LT(scan.energy.total_j(), bin.energy.total_j());
+  EXPECT_LT(scan.energy.total().joules(), bin.energy.total().joules());
 }
 
 TEST(Simulator, AllSchemesCompleteAllTasks) {
@@ -246,12 +246,12 @@ TEST(Simulator, AllSchemesCompleteAllTasks) {
   std::vector<Task> tasks;
   for (int i = 0; i < 30; ++i)
     tasks.push_back(simple_task(i, i * 150.0, 1 + i % 8, 300.0));
-  const SupplyTrace wind(600.0, std::vector<double>(200, 400.0));
+  const SupplyTrace wind(Seconds{600.0}, std::vector<double>(200, 400.0));
   const HybridSupply supply(wind);
   for (const Scheme s : kAllSchemes) {
     const SimResult r = f.run(s, tasks, supply);
     EXPECT_EQ(r.tasks_completed, tasks.size()) << scheme_name(s);
-    EXPECT_GT(r.cost_usd, 0.0) << scheme_name(s);
+    EXPECT_GT(r.cost.dollars(), 0.0) << scheme_name(s);
   }
 }
 
@@ -270,7 +270,7 @@ TEST(Simulator, EmptyTaskListIsNoop) {
   Fixture f;
   const SimResult r = f.run(Scheme::kBinRan, {});
   EXPECT_EQ(r.tasks_completed, 0u);
-  EXPECT_DOUBLE_EQ(r.energy.total_j(), 0.0);
+  EXPECT_DOUBLE_EQ(r.energy.total().joules(), 0.0);
 }
 
 TEST(Simulator, ConfigValidation) {
@@ -304,7 +304,7 @@ TEST(Simulator, HighUrgencyRunsFasterThanLowUrgency) {
       f.run(Scheme::kBinEffi, {simple_task(1, 0.0, 2, 1000.0, 1.2)});
   const SimResult loose =
       f.run(Scheme::kBinEffi, {simple_task(1, 0.0, 2, 1000.0, 12.0)});
-  EXPECT_LT(tight.makespan_s, loose.makespan_s + 1e-6);
+  EXPECT_LT(tight.makespan.seconds(), loose.makespan.seconds() + 1e-6);
   EXPECT_EQ(tight.deadline_misses, 0u);
 }
 

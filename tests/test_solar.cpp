@@ -38,11 +38,11 @@ TEST(SolarFarm, BoundsAndDiurnalShape) {
   const SupplyTrace t = generate_solar_days(cfg, 3.0);
   double night_sum = 0.0, day_sum = 0.0;
   for (std::size_t i = 0; i < t.samples(); ++i) {
-    const double p = t.sample(i);
+    const double p = t.sample(i).watts();
     EXPECT_GE(p, 0.0);
-    EXPECT_LE(p, cfg.peak_w);
+    EXPECT_LE(p, cfg.peak.watts());
     const double hour = std::fmod(
-        static_cast<double>(i) * cfg.step_s / units::kSecondsPerHour, 24.0);
+        static_cast<double>(i) * cfg.step.seconds() / units::kSecondsPerHour, 24.0);
     if (hour < 5.0 || hour > 19.0) night_sum += p;
     if (hour > 10.0 && hour < 14.0) day_sum += p;
   }
@@ -60,8 +60,8 @@ TEST(SolarFarm, CloudierClimateYieldsLess) {
   SolarFarmConfig sunny, cloudy;
   sunny.clear_fraction = 0.9;
   cloudy.clear_fraction = 0.4;
-  EXPECT_GT(generate_solar_days(sunny, 5.0).mean_w(),
-            generate_solar_days(cloudy, 5.0).mean_w());
+  EXPECT_GT(generate_solar_days(sunny, 5.0).mean_power().watts(),
+            generate_solar_days(cloudy, 5.0).mean_power().watts());
 }
 
 TEST(SolarFarm, Validation) {
@@ -76,17 +76,17 @@ TEST(SolarFarm, Validation) {
 }
 
 TEST(CombineSupplies, SumsElementwise) {
-  const SupplyTrace a(600.0, {1.0, 2.0, 3.0});
-  const SupplyTrace b(600.0, {10.0, 20.0});
+  const SupplyTrace a(Seconds{600.0}, {1.0, 2.0, 3.0});
+  const SupplyTrace b(Seconds{600.0}, {10.0, 20.0});
   const SupplyTrace c = combine_supplies(a, b);
   ASSERT_EQ(c.samples(), 2u);  // shorter length wins
-  EXPECT_DOUBLE_EQ(c.sample(0), 11.0);
-  EXPECT_DOUBLE_EQ(c.sample(1), 22.0);
+  EXPECT_DOUBLE_EQ(c.sample(0).watts(), 11.0);
+  EXPECT_DOUBLE_EQ(c.sample(1).watts(), 22.0);
 }
 
 TEST(CombineSupplies, StepMismatchThrows) {
-  const SupplyTrace a(600.0, {1.0});
-  const SupplyTrace b(300.0, {1.0});
+  const SupplyTrace a(Seconds{600.0}, {1.0});
+  const SupplyTrace b(Seconds{300.0}, {1.0});
   EXPECT_THROW(combine_supplies(a, b), InvalidArgument);
   EXPECT_THROW(combine_supplies(a, SupplyTrace{}), InvalidArgument);
 }
@@ -96,12 +96,12 @@ TEST(CombineSupplies, WindPlusSolarSmoothsNights) {
   // (solar) -- the combination covers more hours than solar alone.
   SolarFarmConfig solar;
   const SupplyTrace s = generate_solar_days(solar, 2.0);
-  const SupplyTrace flat_wind(600.0,
+  const SupplyTrace flat_wind(Seconds{600.0},
                               std::vector<double>(s.samples(), 5e3));
   const SupplyTrace hybrid = combine_supplies(s, flat_wind);
   std::size_t covered = 0;
   for (std::size_t i = 0; i < hybrid.samples(); ++i)
-    if (hybrid.sample(i) > 1e3) ++covered;
+    if (hybrid.sample(i).watts() > 1e3) ++covered;
   EXPECT_EQ(covered, hybrid.samples());
 }
 

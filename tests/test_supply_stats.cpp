@@ -9,9 +9,9 @@ namespace iscope {
 namespace {
 
 TEST(SupplyStats, ConstantTrace) {
-  const SupplyTrace t(600.0, std::vector<double>(10, 50.0));
+  const SupplyTrace t(Seconds{600.0}, std::vector<double>(10, 50.0));
   const SupplyStats s = compute_supply_stats(t);
-  EXPECT_DOUBLE_EQ(s.mean_w, 50.0);
+  EXPECT_DOUBLE_EQ(s.mean_power.watts(), 50.0);
   EXPECT_DOUBLE_EQ(s.capacity_factor, 1.0);
   EXPECT_DOUBLE_EQ(s.mean_abs_ramp, 0.0);
   EXPECT_DOUBLE_EQ(s.calm_fraction, 0.0);
@@ -22,33 +22,33 @@ TEST(SupplyStats, SquareWaveSpells) {
   // 3 samples on, 3 off, repeated twice.
   std::vector<double> p = {90.0, 90.0, 90.0, 0.0, 0.0, 0.0,
                            90.0, 90.0, 90.0, 0.0, 0.0, 0.0};
-  const SupplyStats s = compute_supply_stats(SupplyTrace(600.0, p));
-  EXPECT_DOUBLE_EQ(s.mean_w, 45.0);
+  const SupplyStats s = compute_supply_stats(SupplyTrace(Seconds{600.0}, p));
+  EXPECT_DOUBLE_EQ(s.mean_power.watts(), 45.0);
   EXPECT_DOUBLE_EQ(s.capacity_factor, 0.5);
   EXPECT_DOUBLE_EQ(s.calm_fraction, 0.5);
   EXPECT_EQ(s.calm_spells, 2u);
-  EXPECT_DOUBLE_EQ(s.mean_calm_spell_s, 1800.0);
-  EXPECT_DOUBLE_EQ(s.longest_calm_spell_s, 1800.0);
+  EXPECT_DOUBLE_EQ(s.mean_calm_spell.seconds(), 1800.0);
+  EXPECT_DOUBLE_EQ(s.longest_calm_spell.seconds(), 1800.0);
 }
 
 TEST(SupplyStats, RampsNormalizedByMean) {
   // Mean 50; single jump 0 -> 100: ramp = 2x mean.
-  const SupplyTrace t(600.0, {0.0, 100.0});
+  const SupplyTrace t(Seconds{600.0}, {0.0, 100.0});
   const SupplyStats s = compute_supply_stats(t);
   EXPECT_DOUBLE_EQ(s.mean_abs_ramp, 2.0);
 }
 
 TEST(SupplyStats, CalmSpellAtTraceEndCounted) {
-  const SupplyTrace t(600.0, {100.0, 0.0, 0.0});
+  const SupplyTrace t(Seconds{600.0}, {100.0, 0.0, 0.0});
   const SupplyStats s = compute_supply_stats(t);
   EXPECT_EQ(s.calm_spells, 1u);
-  EXPECT_DOUBLE_EQ(s.longest_calm_spell_s, 1200.0);
+  EXPECT_DOUBLE_EQ(s.longest_calm_spell.seconds(), 1200.0);
 }
 
 TEST(SupplyStats, AutocorrelationOfAlternatingIsNegative) {
   std::vector<double> p;
   for (int i = 0; i < 100; ++i) p.push_back(i % 2 == 0 ? 100.0 : 0.0);
-  const SupplyStats s = compute_supply_stats(SupplyTrace(600.0, p));
+  const SupplyStats s = compute_supply_stats(SupplyTrace(Seconds{600.0}, p));
   EXPECT_LT(s.lag1_autocorrelation, -0.8);
 }
 
@@ -62,11 +62,11 @@ TEST(SupplyStats, WindModelIsPersistentAndIntermittent) {
   EXPECT_LT(s.capacity_factor, 0.7);
   // There are real calms, and they last hours, not single steps.
   EXPECT_GT(s.calm_spells, 0u);
-  EXPECT_GT(s.mean_calm_spell_s, 600.0);
+  EXPECT_GT(s.mean_calm_spell.seconds(), 600.0);
 }
 
 TEST(SupplyStats, SummaryContainsHeadlineNumbers) {
-  const SupplyTrace t(600.0, {0.0, 100.0, 100.0, 0.0});
+  const SupplyTrace t(Seconds{600.0}, {0.0, 100.0, 100.0, 0.0});
   const std::string text = compute_supply_stats(t).summary();
   EXPECT_NE(text.find("capacity factor"), std::string::npos);
   EXPECT_NE(text.find("calms"), std::string::npos);
@@ -74,7 +74,7 @@ TEST(SupplyStats, SummaryContainsHeadlineNumbers) {
 
 TEST(SupplyStats, Validation) {
   EXPECT_THROW(compute_supply_stats(SupplyTrace{}), InvalidArgument);
-  const SupplyTrace t(600.0, {1.0});
+  const SupplyTrace t(Seconds{600.0}, {1.0});
   EXPECT_THROW(compute_supply_stats(t, 1.0), InvalidArgument);
 }
 

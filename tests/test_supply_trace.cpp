@@ -12,77 +12,77 @@ namespace iscope {
 namespace {
 
 TEST(SupplyTrace, StepFunctionLookup) {
-  const SupplyTrace t(600.0, {10.0, 20.0, 30.0});
-  EXPECT_DOUBLE_EQ(t.power_at(0.0), 10.0);
-  EXPECT_DOUBLE_EQ(t.power_at(599.9), 10.0);
-  EXPECT_DOUBLE_EQ(t.power_at(600.0), 20.0);
-  EXPECT_DOUBLE_EQ(t.power_at(1500.0), 30.0);
+  const SupplyTrace t(Seconds{600.0}, {10.0, 20.0, 30.0});
+  EXPECT_DOUBLE_EQ(t.power_at(Seconds{0.0}).watts(), 10.0);
+  EXPECT_DOUBLE_EQ(t.power_at(Seconds{599.9}).watts(), 10.0);
+  EXPECT_DOUBLE_EQ(t.power_at(Seconds{600.0}).watts(), 20.0);
+  EXPECT_DOUBLE_EQ(t.power_at(Seconds{1500.0}).watts(), 30.0);
 }
 
 TEST(SupplyTrace, WrapAround) {
-  const SupplyTrace t(600.0, {10.0, 20.0, 30.0});
-  EXPECT_DOUBLE_EQ(t.power_at(1800.0, true), 10.0);  // wraps to start
-  EXPECT_DOUBLE_EQ(t.power_at(2400.0, true), 20.0);
+  const SupplyTrace t(Seconds{600.0}, {10.0, 20.0, 30.0});
+  EXPECT_DOUBLE_EQ(t.power_at(Seconds{1800.0}, true).watts(), 10.0);  // wraps to start
+  EXPECT_DOUBLE_EQ(t.power_at(Seconds{2400.0}, true).watts(), 20.0);
 }
 
 TEST(SupplyTrace, NoWrapHoldsLast) {
-  const SupplyTrace t(600.0, {10.0, 20.0, 30.0});
-  EXPECT_DOUBLE_EQ(t.power_at(99999.0, false), 30.0);
+  const SupplyTrace t(Seconds{600.0}, {10.0, 20.0, 30.0});
+  EXPECT_DOUBLE_EQ(t.power_at(Seconds{99999.0}, false).watts(), 30.0);
 }
 
 TEST(SupplyTrace, EmptyTraceIsZero) {
   const SupplyTrace t;
-  EXPECT_DOUBLE_EQ(t.power_at(123.0), 0.0);
+  EXPECT_DOUBLE_EQ(t.power_at(Seconds{123.0}).watts(), 0.0);
   EXPECT_TRUE(t.empty());
 }
 
 TEST(SupplyTrace, Stats) {
-  const SupplyTrace t(600.0, {10.0, 20.0, 30.0});
-  EXPECT_DOUBLE_EQ(t.mean_w(), 20.0);
-  EXPECT_DOUBLE_EQ(t.max_w(), 30.0);
-  EXPECT_DOUBLE_EQ(t.duration_s(), 1800.0);
+  const SupplyTrace t(Seconds{600.0}, {10.0, 20.0, 30.0});
+  EXPECT_DOUBLE_EQ(t.mean_power().watts(), 20.0);
+  EXPECT_DOUBLE_EQ(t.max_power().watts(), 30.0);
+  EXPECT_DOUBLE_EQ(t.duration().seconds(), 1800.0);
   EXPECT_EQ(t.samples(), 3u);
 }
 
 TEST(SupplyTrace, Scaled) {
-  const SupplyTrace t(600.0, {10.0, 20.0});
+  const SupplyTrace t(Seconds{600.0}, {10.0, 20.0});
   const SupplyTrace s = t.scaled(3.5);  // the paper's NREL down-scaling knob
-  EXPECT_DOUBLE_EQ(s.sample(0), 35.0);
-  EXPECT_DOUBLE_EQ(s.sample(1), 70.0);
+  EXPECT_DOUBLE_EQ(s.sample(0).watts(), 35.0);
+  EXPECT_DOUBLE_EQ(s.sample(1).watts(), 70.0);
   EXPECT_THROW(t.scaled(-1.0), InvalidArgument);
 }
 
 TEST(SupplyTrace, ScaledToMean) {
-  const SupplyTrace t(600.0, {10.0, 30.0});
-  const SupplyTrace s = t.scaled_to_mean(100.0);
-  EXPECT_DOUBLE_EQ(s.mean_w(), 100.0);
-  const SupplyTrace zeros(600.0, {0.0, 0.0});
-  EXPECT_THROW(zeros.scaled_to_mean(5.0), InvalidArgument);
+  const SupplyTrace t(Seconds{600.0}, {10.0, 30.0});
+  const SupplyTrace s = t.scaled_to_mean(Watts{100.0});
+  EXPECT_DOUBLE_EQ(s.mean_power().watts(), 100.0);
+  const SupplyTrace zeros(Seconds{600.0}, {0.0, 0.0});
+  EXPECT_THROW(zeros.scaled_to_mean(Watts{5.0}), InvalidArgument);
 }
 
 TEST(SupplyTrace, Resampled) {
-  const SupplyTrace t(600.0, {10.0, 20.0});
-  const SupplyTrace fine = t.resampled(300.0);
+  const SupplyTrace t(Seconds{600.0}, {10.0, 20.0});
+  const SupplyTrace fine = t.resampled(Seconds{300.0});
   EXPECT_EQ(fine.samples(), 4u);
-  EXPECT_DOUBLE_EQ(fine.sample(0), 10.0);
-  EXPECT_DOUBLE_EQ(fine.sample(1), 10.0);
-  EXPECT_DOUBLE_EQ(fine.sample(2), 20.0);
+  EXPECT_DOUBLE_EQ(fine.sample(0).watts(), 10.0);
+  EXPECT_DOUBLE_EQ(fine.sample(1).watts(), 10.0);
+  EXPECT_DOUBLE_EQ(fine.sample(2).watts(), 20.0);
 }
 
 TEST(SupplyTrace, RejectsNegativePower) {
-  EXPECT_THROW(SupplyTrace(600.0, {1.0, -2.0}), InvalidArgument);
-  EXPECT_THROW(SupplyTrace(0.0, {1.0}), InvalidArgument);
+  EXPECT_THROW(SupplyTrace(Seconds{600.0}, {1.0, -2.0}), InvalidArgument);
+  EXPECT_THROW(SupplyTrace(Seconds{0.0}, {1.0}), InvalidArgument);
 }
 
 TEST(SupplyTrace, CsvRoundTrip) {
-  const SupplyTrace t(600.0, {10.5, 20.25, 0.0});
+  const SupplyTrace t(Seconds{600.0}, {10.5, 20.25, 0.0});
   const std::string path = testing::TempDir() + "/trace_rt.csv";
   t.save_csv(path);
   const SupplyTrace back = SupplyTrace::load_csv(path);
   ASSERT_EQ(back.samples(), 3u);
-  EXPECT_DOUBLE_EQ(back.step_s(), 600.0);
+  EXPECT_DOUBLE_EQ(back.step().seconds(), 600.0);
   for (std::size_t i = 0; i < 3; ++i)
-    EXPECT_DOUBLE_EQ(back.sample(i), t.sample(i));
+    EXPECT_DOUBLE_EQ(back.sample(i).watts(), t.sample(i).watts());
   std::remove(path.c_str());
 }
 
@@ -105,21 +105,21 @@ TEST(SupplyTrace, CsvRejectsEmpty) {
 TEST(HybridSupply, UtilityOnlyHasNoWind) {
   const HybridSupply supply;
   EXPECT_FALSE(supply.has_wind());
-  EXPECT_DOUBLE_EQ(supply.wind_available_w(0.0), 0.0);
-  EXPECT_DOUBLE_EQ(supply.wind_available_w(1e6), 0.0);
+  EXPECT_DOUBLE_EQ(supply.wind_available(Seconds{0.0}).watts(), 0.0);
+  EXPECT_DOUBLE_EQ(supply.wind_available(Seconds{1e6}).watts(), 0.0);
 }
 
 TEST(HybridSupply, WindScaledByStrength) {
-  const SupplyTrace t(600.0, {100.0, 200.0});
+  const SupplyTrace t(Seconds{600.0}, {100.0, 200.0});
   const HybridSupply swp(t, 1.0);
   const HybridSupply swp18(t, 1.8);  // the Fig. 9 sweep knob
-  EXPECT_DOUBLE_EQ(swp.wind_available_w(0.0), 100.0);
-  EXPECT_DOUBLE_EQ(swp18.wind_available_w(0.0), 180.0);
+  EXPECT_DOUBLE_EQ(swp.wind_available(Seconds{0.0}).watts(), 100.0);
+  EXPECT_DOUBLE_EQ(swp18.wind_available(Seconds{0.0}).watts(), 180.0);
   EXPECT_TRUE(swp.has_wind());
 }
 
 TEST(HybridSupply, NegativeStrengthRejected) {
-  const SupplyTrace t(600.0, {1.0});
+  const SupplyTrace t(Seconds{600.0}, {1.0});
   EXPECT_THROW(HybridSupply(t, -0.5), InvalidArgument);
 }
 

@@ -27,26 +27,26 @@ const ExperimentContext& ctx() {
 // is exact (no tolerance): that is the point -- parallel execution must not
 // perturb a single bit.
 void expect_bit_identical(const SimResult& a, const SimResult& b) {
-  EXPECT_EQ(a.energy.wind_j, b.energy.wind_j);
-  EXPECT_EQ(a.energy.utility_j, b.energy.utility_j);
-  EXPECT_EQ(a.cost_usd, b.cost_usd);
-  EXPECT_EQ(a.wind_curtailed_kwh, b.wind_curtailed_kwh);
-  EXPECT_EQ(a.battery_delivered_kwh, b.battery_delivered_kwh);
-  EXPECT_EQ(a.battery_losses_kwh, b.battery_losses_kwh);
+  EXPECT_EQ(a.energy.wind.joules(), b.energy.wind.joules());
+  EXPECT_EQ(a.energy.utility.joules(), b.energy.utility.joules());
+  EXPECT_EQ(a.cost.dollars(), b.cost.dollars());
+  EXPECT_EQ(a.wind_curtailed.kwh(), b.wind_curtailed.kwh());
+  EXPECT_EQ(a.battery_delivered.kwh(), b.battery_delivered.kwh());
+  EXPECT_EQ(a.battery_losses.kwh(), b.battery_losses.kwh());
   EXPECT_EQ(a.tasks_completed, b.tasks_completed);
   EXPECT_EQ(a.deadline_misses, b.deadline_misses);
-  EXPECT_EQ(a.mean_wait_s, b.mean_wait_s);
-  EXPECT_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.mean_wait.seconds(), b.mean_wait.seconds());
+  EXPECT_EQ(a.makespan.seconds(), b.makespan.seconds());
   EXPECT_EQ(a.busy_time_s, b.busy_time_s);
   EXPECT_EQ(a.busy_variance_h2, b.busy_variance_h2);
   EXPECT_EQ(a.procs_used_fraction, b.procs_used_fraction);
   ASSERT_EQ(a.trace.size(), b.trace.size());
   for (std::size_t i = 0; i < a.trace.size(); ++i) {
-    EXPECT_EQ(a.trace[i].time_s, b.trace[i].time_s);
-    EXPECT_EQ(a.trace[i].demand_w, b.trace[i].demand_w);
-    EXPECT_EQ(a.trace[i].wind_w, b.trace[i].wind_w);
-    EXPECT_EQ(a.trace[i].utility_w, b.trace[i].utility_w);
-    EXPECT_EQ(a.trace[i].wind_avail_w, b.trace[i].wind_avail_w);
+    EXPECT_EQ(a.trace[i].time.seconds(), b.trace[i].time.seconds());
+    EXPECT_EQ(a.trace[i].demand.watts(), b.trace[i].demand.watts());
+    EXPECT_EQ(a.trace[i].wind.watts(), b.trace[i].wind.watts());
+    EXPECT_EQ(a.trace[i].utility.watts(), b.trace[i].utility.watts());
+    EXPECT_EQ(a.trace[i].wind_avail.watts(), b.trace[i].wind_avail.watts());
   }
   EXPECT_EQ(a.dvfs_rematch_count, b.dvfs_rematch_count);
   EXPECT_EQ(a.events_processed, b.events_processed);
@@ -141,8 +141,8 @@ TEST(SweepRunner, SimOverrideIsHonored) {
   // The override keeps the derived-seed policy: same run as the default
   // config apart from the recorded timeline.
   const SimResult base = ctx().run(Scheme::kScanFair, *tasks, *supply);
-  EXPECT_EQ(r.energy.utility_j, base.energy.utility_j);
-  EXPECT_EQ(r.energy.wind_j, base.energy.wind_j);
+  EXPECT_EQ(r.energy.utility.joules(), base.energy.utility.joules());
+  EXPECT_EQ(r.energy.wind.joules(), base.energy.wind.joules());
   EXPECT_EQ(r.events_processed, base.events_processed);
 }
 

@@ -7,10 +7,17 @@
 namespace iscope {
 namespace {
 
-TEST(Units, Time) {
-  EXPECT_DOUBLE_EQ(units::minutes(10.0), 600.0);
-  EXPECT_DOUBLE_EQ(units::hours(2.0), 7200.0);
-  EXPECT_DOUBLE_EQ(units::days(1.0), 86400.0);
+// Every raw conversion kernel must have an exact inverse: the pairs are
+// defined from the same constant, so round-trips are bit-exact for values
+// that do not overflow.
+
+TEST(Units, TimeRoundTrip) {
+  EXPECT_DOUBLE_EQ(units::minutes_to_s(10.0), 600.0);
+  EXPECT_DOUBLE_EQ(units::s_to_minutes(units::minutes_to_s(17.5)), 17.5);
+  EXPECT_DOUBLE_EQ(units::hours_to_s(2.0), 7200.0);
+  EXPECT_DOUBLE_EQ(units::s_to_hours(units::hours_to_s(3.25)), 3.25);
+  EXPECT_DOUBLE_EQ(units::days_to_s(1.0), 86400.0);
+  EXPECT_DOUBLE_EQ(units::s_to_days(units::days_to_s(2.5)), 2.5);
 }
 
 TEST(Units, EnergyRoundTrip) {
@@ -19,20 +26,31 @@ TEST(Units, EnergyRoundTrip) {
                    12345.0);
 }
 
-TEST(Units, Power) {
-  EXPECT_DOUBLE_EQ(units::kilowatts(2.5), 2500.0);
-  EXPECT_DOUBLE_EQ(units::megawatts(1.5), 1.5e6);
-  EXPECT_DOUBLE_EQ(units::watts_to_kw(500.0), 0.5);
+TEST(Units, PowerRoundTrip) {
+  EXPECT_DOUBLE_EQ(units::kw_to_watts(2.5), 2500.0);
+  EXPECT_DOUBLE_EQ(units::watts_to_kw(units::kw_to_watts(0.75)), 0.75);
+  EXPECT_DOUBLE_EQ(units::mw_to_watts(1.5), 1.5e6);
+  EXPECT_DOUBLE_EQ(units::watts_to_mw(units::mw_to_watts(0.2)), 0.2);
 }
 
-TEST(Units, Frequency) {
+TEST(Units, FrequencyRoundTrip) {
   EXPECT_DOUBLE_EQ(units::mhz_to_ghz(750.0), 0.75);
-  EXPECT_DOUBLE_EQ(units::ghz_to_mhz(2.0), 2000.0);
+  EXPECT_DOUBLE_EQ(units::ghz_to_mhz(units::mhz_to_ghz(1400.0)), 1400.0);
+}
+
+TEST(Units, KernelsAgreeWithTypedLayer) {
+  // The raw kernels and the Quantity factories share one constant table;
+  // they can never drift apart.
+  EXPECT_DOUBLE_EQ(units::minutes_to_s(10.0), units::minutes(10.0).seconds());
+  EXPECT_DOUBLE_EQ(units::kwh_to_joules(2.0), units::kwh(2.0).joules());
+  EXPECT_DOUBLE_EQ(units::kw_to_watts(2.5), units::kilowatts(2.5).watts());
+  EXPECT_DOUBLE_EQ(units::mhz_to_ghz(750.0),
+                   units::megahertz(750.0).gigahertz());
 }
 
 TEST(Units, PaperSanity) {
   // Sec. VI-E arithmetic: 4800 CPUs x 115 W x 500 min = 4600 kWh.
-  const double joules = 4800.0 * 115.0 * units::minutes(500.0);
+  const double joules = 4800.0 * 115.0 * units::minutes_to_s(500.0);
   EXPECT_NEAR(units::joules_to_kwh(joules), 4600.0, 1.0);
 }
 

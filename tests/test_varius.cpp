@@ -120,8 +120,9 @@ TEST(VariusModel, LeakageFallsWithVth) {
   // Across sampled cores, higher vth must mean lower leak_scale.
   for (std::size_t i = 0; i < chip.cores.size(); ++i)
     for (std::size_t j = 0; j < chip.cores.size(); ++j)
-      if (chip.cores[i].vth > chip.cores[j].vth)
+      if (chip.cores[i].vth > chip.cores[j].vth) {
         EXPECT_LT(chip.cores[i].leak_scale, chip.cores[j].leak_scale);
+      }
 }
 
 TEST(VariusModel, LeakageScalesWithVoltage) {

@@ -80,7 +80,9 @@ TEST(BuildCoreCurve, MonotoneAndAboveFloor) {
     const MinVddCurve curve = build_core_curve(m, core, levels);
     for (std::size_t l = 0; l < curve.levels(); ++l) {
       EXPECT_GE(curve.vdd(l), m.params().v_floor);
-      if (l > 0) EXPECT_GE(curve.vdd(l), curve.vdd(l - 1));
+      if (l > 0) {
+        EXPECT_GE(curve.vdd(l), curve.vdd(l - 1));
+      }
     }
   }
 }

@@ -13,29 +13,29 @@ namespace {
 
 TEST(TurbineCurve, Regions) {
   const TurbineCurve t;  // cut-in 3, rated 12, cut-out 25, 1.5 MW
-  EXPECT_DOUBLE_EQ(t.power_w(0.0), 0.0);
-  EXPECT_DOUBLE_EQ(t.power_w(2.9), 0.0);        // below cut-in
-  EXPECT_GT(t.power_w(5.0), 0.0);               // ramp
-  EXPECT_LT(t.power_w(5.0), t.rated_w);
-  EXPECT_DOUBLE_EQ(t.power_w(12.0), t.rated_w); // rated
-  EXPECT_DOUBLE_EQ(t.power_w(20.0), t.rated_w); // still rated
-  EXPECT_DOUBLE_EQ(t.power_w(25.0), 0.0);       // cut-out
-  EXPECT_DOUBLE_EQ(t.power_w(30.0), 0.0);       // storm shutdown
+  EXPECT_DOUBLE_EQ(t.power(0.0).watts(), 0.0);
+  EXPECT_DOUBLE_EQ(t.power(2.9).watts(), 0.0);        // below cut-in
+  EXPECT_GT(t.power(5.0).watts(), 0.0);               // ramp
+  EXPECT_LT(t.power(5.0).watts(), t.rated.watts());
+  EXPECT_DOUBLE_EQ(t.power(12.0).watts(), t.rated.watts()); // rated
+  EXPECT_DOUBLE_EQ(t.power(20.0).watts(), t.rated.watts()); // still rated
+  EXPECT_DOUBLE_EQ(t.power(25.0).watts(), 0.0);       // cut-out
+  EXPECT_DOUBLE_EQ(t.power(30.0).watts(), 0.0);       // storm shutdown
 }
 
 TEST(TurbineCurve, RampIsMonotoneCubic) {
   const TurbineCurve t;
   double prev = 0.0;
   for (double v = 3.0; v <= 12.0; v += 0.5) {
-    const double p = t.power_w(v);
+    const double p = t.power(v).watts();
     EXPECT_GE(p, prev);
     prev = p;
   }
   // Exactly cubic between cut-in and rated.
   const double mid = 7.5;
-  const double expected = t.rated_w *
+  const double expected = t.rated.watts() *
       (mid * mid * mid - 27.0) / (12.0 * 12.0 * 12.0 - 27.0);
-  EXPECT_NEAR(t.power_w(mid), expected, 1e-6);
+  EXPECT_NEAR(t.power(mid).watts(), expected, 1e-6);
 }
 
 TEST(TurbineCurve, Validation) {
@@ -43,9 +43,9 @@ TEST(TurbineCurve, Validation) {
   bad.cut_in_ms = 15.0;  // above rated
   EXPECT_THROW(bad.validate(), InvalidArgument);
   bad = TurbineCurve{};
-  bad.rated_w = 0.0;
+  bad.rated = Watts{0.0};
   EXPECT_THROW(bad.validate(), InvalidArgument);
-  EXPECT_THROW(TurbineCurve{}.power_w(-1.0), InvalidArgument);
+  EXPECT_THROW(TurbineCurve{}.power(-1.0), InvalidArgument);
 }
 
 TEST(WindFarm, TraceBounds) {
@@ -53,10 +53,10 @@ TEST(WindFarm, TraceBounds) {
   cfg.turbines = 10;
   const SupplyTrace t = generate_wind_trace(cfg, 500);
   EXPECT_EQ(t.samples(), 500u);
-  EXPECT_DOUBLE_EQ(t.step_s(), 600.0);  // 10-minute NREL cadence
+  EXPECT_DOUBLE_EQ(t.step().seconds(), 600.0);  // 10-minute NREL cadence
   for (std::size_t i = 0; i < t.samples(); ++i) {
-    EXPECT_GE(t.sample(i), 0.0);
-    EXPECT_LE(t.sample(i), 10.0 * cfg.turbine.rated_w);
+    EXPECT_GE(t.sample(i).watts(), 0.0);
+    EXPECT_LE(t.sample(i).watts(), 10.0 * cfg.turbine.rated.watts());
   }
 }
 
@@ -80,44 +80,45 @@ TEST(WindFarm, TemporalCorrelation) {
   cfg.diurnal_amplitude = 0.0;  // isolate the AR(1) effect
   const SupplyTrace t = generate_wind_trace(cfg, 2000);
   RunningStats all;
-  for (std::size_t i = 0; i < t.samples(); ++i) all.add(t.sample(i));
+  for (std::size_t i = 0; i < t.samples(); ++i) all.add(t.sample(i).watts());
   const double mean = all.mean();
   double adj = 0.0, far = 0.0;
   std::size_t n_adj = 0, n_far = 0;
   for (std::size_t i = 0; i + 144 < t.samples(); ++i) {
-    adj += (t.sample(i) - mean) * (t.sample(i + 1) - mean);
+    adj += (t.sample(i).watts() - mean) * (t.sample(i + 1).watts() - mean);
     ++n_adj;
-    far += (t.sample(i) - mean) * (t.sample(i + 144) - mean);
+    far += (t.sample(i).watts() - mean) * (t.sample(i + 144).watts() - mean);
     ++n_far;
   }
   const double var = all.variance();
-  EXPECT_GT(adj / n_adj / var, 0.7);
-  EXPECT_LT(std::abs(far / n_far / var), 0.35);
+  EXPECT_GT(adj / static_cast<double>(n_adj) / var, 0.7);
+  EXPECT_LT(std::abs(far / static_cast<double>(n_far) / var), 0.35);
 }
 
 TEST(WindFarm, VariabilityIsSubstantial) {
   // The paper's premise: wind "can change from full grade to zero".
   const SupplyTrace t = generate_wind_trace(WindFarmConfig{}, 2016);  // 2 weeks
-  EXPECT_GT(t.max_w(), 2.0 * t.mean_w() * 0.9);
+  EXPECT_GT(t.max_power().watts(), 2.0 * t.mean_power().watts() * 0.9);
   std::size_t calm = 0;
   for (std::size_t i = 0; i < t.samples(); ++i)
-    if (t.sample(i) < 0.05 * t.mean_w()) ++calm;
+    if (t.sample(i).watts() < 0.05 * t.mean_power().watts()) ++calm;
   EXPECT_GT(calm, 0u);  // real calms occur
-  EXPECT_LT(static_cast<double>(calm) / t.samples(), 0.5);  // but not always
+  EXPECT_LT(static_cast<double>(calm) / static_cast<double>(t.samples()),
+            0.5);  // but not always
 }
 
 TEST(WindFarm, GenerateDays) {
   WindFarmConfig cfg;
   const SupplyTrace t = generate_wind_days(cfg, 2.0);
-  EXPECT_DOUBLE_EQ(t.duration_s(), 2.0 * units::kSecondsPerDay);
+  EXPECT_DOUBLE_EQ(t.duration().seconds(), 2.0 * units::kSecondsPerDay);
 }
 
 TEST(WindFarm, TurbineCountScalesOutput) {
   WindFarmConfig one, many;
   one.turbines = 1;
   many.turbines = 30;
-  const double m1 = generate_wind_trace(one, 500).mean_w();
-  const double m30 = generate_wind_trace(many, 500).mean_w();
+  const double m1 = generate_wind_trace(one, 500).mean_power().watts();
+  const double m30 = generate_wind_trace(many, 500).mean_power().watts();
   EXPECT_NEAR(m30 / m1, 30.0, 1e-9);
 }
 

@@ -50,7 +50,9 @@ TEST(TaskEq3, SlowdownMonotoneInFrequencyDrop) {
     const double s = t.slowdown(f, 2.0);
     EXPECT_GE(s, prev >= 1.0 ? 1.0 : 0.0);
     EXPECT_GE(s, 1.0 - 1e-12);
-    if (prev > 0.0) EXPECT_GE(s, prev);
+    if (prev > 0.0) {
+      EXPECT_GE(s, prev);
+    }
     prev = s;
   }
 }

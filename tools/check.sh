@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# One-stop verification gate: strict build, full test suite, clang-tidy
+# (when installed) and an UndefinedBehaviorSanitizer pass over the tests.
+#
+# Usage:  tools/check.sh [--fast]
+#   --fast   skip the UBSan rebuild (strict build + tests + tidy only)
+#
+# Exits non-zero on the first failing stage. Build trees are kept under
+# build-check/ so the developer's main build/ directory is untouched.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FAST=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) FAST=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+stage() { printf '\n==== %s ====\n' "$1"; }
+
+stage "strict build (-Werror -Wconversion -Wdouble-promotion, audit on)"
+cmake -B build-check/strict -S . \
+      -DISCOPE_WERROR=ON -DISCOPE_AUDIT=ON > /dev/null
+cmake --build build-check/strict -j "$JOBS"
+
+stage "tests (strict build)"
+ctest --test-dir build-check/strict --output-on-failure
+
+stage "clang-tidy"
+if command -v clang-tidy > /dev/null 2>&1; then
+  cmake -B build-check/tidy -S . -DISCOPE_CLANG_TIDY=ON > /dev/null
+  cmake --build build-check/tidy -j "$JOBS"
+else
+  echo "clang-tidy not installed; skipping static analysis stage"
+fi
+
+if [ "$FAST" -eq 0 ]; then
+  stage "UBSan build + tests"
+  cmake -B build-check/ubsan -S . \
+        -DISCOPE_SANITIZE=undefined -DISCOPE_AUDIT=ON > /dev/null
+  cmake --build build-check/ubsan -j "$JOBS"
+  UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+      ctest --test-dir build-check/ubsan --output-on-failure
+fi
+
+stage "all checks passed"
