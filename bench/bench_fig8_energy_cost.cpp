@@ -13,40 +13,47 @@ int main() {
   bench::print_banner("Fig.8", "energy cost per scheme, with/without wind");
 
   const ExperimentContext ctx(bench::bench_config());
-  const auto rows = energy_costs(ctx);
-
-  TextTable table;
-  table.set_header({"scheme", "wind?", "utility kWh", "wind kWh", "cost USD"});
-  for (const CostRow& r : rows) {
-    table.add_row({scheme_name(r.scheme), r.with_wind ? "yes" : "no",
-                   TextTable::num(r.utility.kwh(), 1),
-                   TextTable::num(r.wind.kwh(), 1),
-                   TextTable::num(r.cost.dollars(), 2)});
-  }
-  table.print(std::cout);
-
-  auto cost_of = [&](Scheme s, bool wind) {
+  return bench::run_bench("fig8_energy_cost", [&] {
+    const auto rows = energy_costs(ctx);
+    BenchCounters counters;
     for (const CostRow& r : rows)
-      if (r.scheme == s && r.with_wind == wind) return r.cost.dollars();
-    return 0.0;
-  };
-  const double binran_w = cost_of(Scheme::kBinRan, true);
-  const double bineffi_w = cost_of(Scheme::kBinEffi, true);
-  std::cout << "\nWith wind:\n"
-            << "  ScanEffi vs BinEffi: "
-            << TextTable::pct(1.0 - cost_of(Scheme::kScanEffi, true) / bineffi_w)
-            << " cheaper (paper: ~9%)\n"
-            << "  ScanFair vs BinRan:  "
-            << TextTable::pct(1.0 - cost_of(Scheme::kScanFair, true) / binran_w)
-            << " cheaper (paper: up to 54% / 30.7% total-cost)\n"
-            << "No wind:\n"
-            << "  ScanEffi vs BinEffi: "
-            << TextTable::pct(1.0 - cost_of(Scheme::kScanEffi, false) /
-                                        cost_of(Scheme::kBinEffi, false))
-            << " cheaper\n"
-            << "  ScanFair vs BinRan:  "
-            << TextTable::pct(1.0 - cost_of(Scheme::kScanFair, false) /
-                                        cost_of(Scheme::kBinRan, false))
-            << " cheaper\n";
-  return 0;
+      counters += BenchCounters{r.events, r.rematches};
+
+    TextTable table;
+    table.set_header(
+        {"scheme", "wind?", "utility kWh", "wind kWh", "cost USD"});
+    for (const CostRow& r : rows) {
+      table.add_row({scheme_name(r.scheme), r.with_wind ? "yes" : "no",
+                     TextTable::num(r.utility.kwh(), 1),
+                     TextTable::num(r.wind.kwh(), 1),
+                     TextTable::num(r.cost.dollars(), 2)});
+    }
+    table.print(std::cout);
+
+    auto cost_of = [&](Scheme s, bool wind) {
+      for (const CostRow& r : rows)
+        if (r.scheme == s && r.with_wind == wind) return r.cost.dollars();
+      return 0.0;
+    };
+    const double binran_w = cost_of(Scheme::kBinRan, true);
+    const double bineffi_w = cost_of(Scheme::kBinEffi, true);
+    std::cout
+        << "\nWith wind:\n"
+        << "  ScanEffi vs BinEffi: "
+        << TextTable::pct(1.0 - cost_of(Scheme::kScanEffi, true) / bineffi_w)
+        << " cheaper (paper: ~9%)\n"
+        << "  ScanFair vs BinRan:  "
+        << TextTable::pct(1.0 - cost_of(Scheme::kScanFair, true) / binran_w)
+        << " cheaper (paper: up to 54% / 30.7% total-cost)\n"
+        << "No wind:\n"
+        << "  ScanEffi vs BinEffi: "
+        << TextTable::pct(1.0 - cost_of(Scheme::kScanEffi, false) /
+                                    cost_of(Scheme::kBinEffi, false))
+        << " cheaper\n"
+        << "  ScanFair vs BinRan:  "
+        << TextTable::pct(1.0 - cost_of(Scheme::kScanFair, false) /
+                                    cost_of(Scheme::kBinRan, false))
+        << " cheaper\n";
+    return counters;
+  });
 }

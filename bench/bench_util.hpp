@@ -2,11 +2,14 @@
 #pragma once
 
 #include <cctype>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <streambuf>
 #include <vector>
 
+#include "common/bench_json.hpp"
 #include "common/csv.hpp"
 #include "common/table.hpp"
 #include "core/experiment.hpp"
@@ -38,6 +41,74 @@ inline ExperimentConfig bench_config() {
   ExperimentConfig cfg = ExperimentConfig::paper_small().scaled(env_scale());
   cfg.parallelism = env_parallelism();
   return cfg;
+}
+
+inline std::size_t env_count(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+}
+
+/// Swallows std::cout for the scope (timed repeats re-print the same
+/// deterministic tables; only the warmup iteration's output is shown).
+class CoutSilencer {
+ public:
+  CoutSilencer() : old_(std::cout.rdbuf(&null_)) {}
+  ~CoutSilencer() { std::cout.rdbuf(old_); }
+  CoutSilencer(const CoutSilencer&) = delete;
+  CoutSilencer& operator=(const CoutSilencer&) = delete;
+
+ private:
+  struct NullBuf : std::streambuf {
+    int overflow(int c) override { return traits_type::not_eof(c); }
+    std::streamsize xsputn(const char*, std::streamsize n) override {
+      return n;
+    }
+  };
+  NullBuf null_;
+  std::streambuf* old_;
+};
+
+/// Benchmark entry point. `fn` runs the figure once and returns the work
+/// counters it performed (sum of SimResult events/rematches).
+///
+/// Default mode runs `fn` once, exactly as before. When ISCOPE_BENCH_JSON
+/// names a directory, the run becomes a capture: ISCOPE_BENCH_WARMUP
+/// (default 1) untimed iterations with visible output, then
+/// ISCOPE_BENCH_REPEAT (default 3) silenced, timed iterations, emitted as
+/// `<dir>/BENCH_<name>.json` (schema: common/bench_json.hpp).
+template <typename Fn>
+int run_bench(const char* name, Fn fn) {
+  const char* dir = std::getenv("ISCOPE_BENCH_JSON");
+  if (dir == nullptr || *dir == '\0') {
+    fn();
+    return 0;
+  }
+
+  BenchReport report;
+  report.name = name;
+  report.scale = env_scale();
+  report.warmup = env_count("ISCOPE_BENCH_WARMUP", 1);
+  const std::size_t repeats =
+      std::max<std::size_t>(1, env_count("ISCOPE_BENCH_REPEAT", 3));
+
+  for (std::size_t i = 0; i < report.warmup; ++i) fn();
+  for (std::size_t i = 0; i < repeats; ++i) {
+    CoutSilencer quiet;
+    const auto start = std::chrono::steady_clock::now();
+    const BenchCounters counters = fn();
+    const auto stop = std::chrono::steady_clock::now();
+    report.wall_s.push_back(
+        std::chrono::duration<double>(stop - start).count());
+    if (i == 0) report.counters = counters;
+  }
+  report.peak_rss_bytes = peak_rss_bytes();
+
+  const std::string path = write_bench_json(dir, report);
+  std::cout << "(bench json: " << path << " ok; mean "
+            << report.wall_mean_s() << " s over " << repeats
+            << " repeats)\n";
+  return 0;
 }
 
 inline void print_banner(const char* id, const char* what) {

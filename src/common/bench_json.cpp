@@ -1,0 +1,352 @@
+#include "common/bench_json.hpp"
+
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <numeric>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace iscope {
+
+double BenchReport::wall_mean_s() const {
+  if (wall_s.empty()) return 0.0;
+  return std::accumulate(wall_s.begin(), wall_s.end(), 0.0) /
+         static_cast<double>(wall_s.size());
+}
+
+double BenchReport::wall_min_s() const {
+  return wall_s.empty() ? 0.0
+                        : *std::min_element(wall_s.begin(), wall_s.end());
+}
+
+double BenchReport::wall_max_s() const {
+  return wall_s.empty() ? 0.0
+                        : *std::max_element(wall_s.begin(), wall_s.end());
+}
+
+double BenchReport::events_per_sec() const {
+  const double mean = wall_mean_s();
+  return mean > 0.0 ? static_cast<double>(counters.events) / mean : 0.0;
+}
+
+long peak_rss_bytes() {
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return usage.ru_maxrss * 1024L;  // Linux reports kilobytes
+}
+
+namespace {
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string json_string(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out + "\"";
+}
+
+}  // namespace
+
+std::string to_json(const BenchReport& report) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"schema_version\": 1,\n"
+      << "  \"name\": " << json_string(report.name) << ",\n"
+      << "  \"scale\": " << json_number(report.scale) << ",\n"
+      << "  \"warmup\": " << report.warmup << ",\n"
+      << "  \"repeats\": " << report.wall_s.size() << ",\n"
+      << "  \"wall_s\": {\n"
+      << "    \"mean\": " << json_number(report.wall_mean_s()) << ",\n"
+      << "    \"min\": " << json_number(report.wall_min_s()) << ",\n"
+      << "    \"max\": " << json_number(report.wall_max_s()) << ",\n"
+      << "    \"samples\": [";
+  for (std::size_t i = 0; i < report.wall_s.size(); ++i)
+    out << (i ? ", " : "") << json_number(report.wall_s[i]);
+  out << "]\n"
+      << "  },\n"
+      << "  \"events\": " << report.counters.events << ",\n"
+      << "  \"events_per_sec\": " << json_number(report.events_per_sec())
+      << ",\n"
+      << "  \"rematch_count\": " << report.counters.rematches << ",\n"
+      << "  \"peak_rss_bytes\": " << report.peak_rss_bytes << "\n"
+      << "}\n";
+  return out.str();
+}
+
+namespace {
+
+// Minimal recursive-descent JSON reader, just enough to type-check the
+// BENCH_*.json schema without pulling in a dependency.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    throw ParseError("bench json: " + what + " at offset " +
+                     std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == 't' || c == 'f') return bool_value();
+    if (c == 'n') return null_value();
+    return number();
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue key = string_value();
+      skip_ws();
+      expect(':');
+      v.object[key.string] = value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue string_value() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kString;
+    expect('"');
+    while (peek() != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        const char esc = peek();
+        ++pos_;
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'u':
+            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+            pos_ += 4;
+            c = '?';  // type checking only; exact code point irrelevant
+            break;
+          default: fail("bad escape");
+        }
+      }
+      v.string += c;
+    }
+    ++pos_;
+    return v;
+  }
+
+  JsonValue bool_value() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      v.number = 1.0;
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+    } else {
+      fail("bad literal");
+    }
+    return v;
+  }
+
+  JsonValue null_value() {
+    if (text_.compare(pos_, 4, "null") != 0) fail("bad literal");
+    pos_ += 4;
+    return JsonValue{};
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start) fail("expected a value");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    try {
+      v.number = std::stod(text_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+const JsonValue* find_key(const JsonValue& obj, const std::string& key) {
+  const auto it = obj.object.find(key);
+  return it == obj.object.end() ? nullptr : &it->second;
+}
+
+std::string check_key(const JsonValue& obj, const std::string& key,
+                      JsonValue::Kind kind) {
+  const JsonValue* v = find_key(obj, key);
+  if (v == nullptr) return "missing key \"" + key + "\"";
+  if (v->kind != kind) return "key \"" + key + "\" has the wrong type";
+  return "";
+}
+
+}  // namespace
+
+std::string validate_bench_json(const std::string& json) {
+  JsonValue root;
+  try {
+    root = JsonReader(json).parse();
+  } catch (const ParseError& e) {
+    return e.what();
+  }
+  if (root.kind != JsonValue::Kind::kObject)
+    return "top-level value is not an object";
+
+  using Kind = JsonValue::Kind;
+  for (const auto& [key, kind] :
+       {std::pair<const char*, Kind>{"schema_version", Kind::kNumber},
+        {"name", Kind::kString},
+        {"scale", Kind::kNumber},
+        {"warmup", Kind::kNumber},
+        {"repeats", Kind::kNumber},
+        {"wall_s", Kind::kObject},
+        {"events", Kind::kNumber},
+        {"events_per_sec", Kind::kNumber},
+        {"rematch_count", Kind::kNumber},
+        {"peak_rss_bytes", Kind::kNumber}}) {
+    const std::string err = check_key(root, key, kind);
+    if (!err.empty()) return err;
+  }
+  if (find_key(root, "schema_version")->number != 1.0)
+    return "unsupported schema_version";
+
+  const JsonValue& wall = *find_key(root, "wall_s");
+  for (const char* key : {"mean", "min", "max"}) {
+    const std::string err = check_key(wall, key, Kind::kNumber);
+    if (!err.empty()) return err;
+  }
+  const std::string err = check_key(wall, "samples", Kind::kArray);
+  if (!err.empty()) return err;
+  const JsonValue& samples = *find_key(wall, "samples");
+  if (samples.array.size() !=
+      static_cast<std::size_t>(find_key(root, "repeats")->number))
+    return "wall_s.samples length disagrees with repeats";
+  for (const JsonValue& s : samples.array)
+    if (s.kind != Kind::kNumber) return "wall_s.samples holds a non-number";
+  return "";
+}
+
+std::string bench_json_path(const std::string& dir, const std::string& name) {
+  return dir + "/BENCH_" + name + ".json";
+}
+
+std::string write_bench_json(const std::string& dir,
+                             const BenchReport& report) {
+  const std::string doc = to_json(report);
+  const std::string err = validate_bench_json(doc);
+  if (!err.empty())
+    throw InternalError("bench json self-validation failed: " + err);
+  const std::string path = bench_json_path(dir, report.name);
+  std::ofstream out(path, std::ios::binary);
+  out << doc;
+  if (!out) throw Error("bench json: cannot write " + path);
+  return path;
+}
+
+}  // namespace iscope

@@ -1,0 +1,67 @@
+// Machine-readable benchmark reports.
+//
+// Every perf-relevant PR needs a trajectory: the bench binaries can emit a
+// `BENCH_<name>.json` file per figure (repeat/warmup timing, events/sec,
+// rematch counts, peak RSS) that tools/bench.sh collects and CI smoke-tests.
+// The schema is deliberately flat and versioned so that future tooling can
+// diff captures across commits; `validate_bench_json` is the single source
+// of truth for what a well-formed capture looks like and is exercised both
+// by the writer (self-check after emit) and by tests/test_bench_json.cpp.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace iscope {
+
+/// Work counters of one benchmark iteration. The simulations are
+/// deterministic, so counters are identical across repeats; the report
+/// stores the first timed repeat's values.
+struct BenchCounters {
+  std::size_t events = 0;     ///< simulator events processed
+  std::size_t rematches = 0;  ///< DVFS rematch passes
+
+  BenchCounters& operator+=(const BenchCounters& o) {
+    events += o.events;
+    rematches += o.rematches;
+    return *this;
+  }
+};
+
+/// One benchmark capture: `repeats` timed wall-clock samples after
+/// `warmup` untimed iterations.
+struct BenchReport {
+  std::string name;            ///< e.g. "fig8_energy_cost"
+  double scale = 1.0;          ///< ISCOPE_SCALE the capture ran at
+  std::size_t warmup = 0;      ///< untimed iterations before sampling
+  std::vector<double> wall_s;  ///< timed samples, in order
+  BenchCounters counters;
+  long peak_rss_bytes = 0;     ///< of the whole process, at report time
+
+  double wall_mean_s() const;
+  double wall_min_s() const;
+  double wall_max_s() const;
+  /// events / mean wall time; 0 when nothing was timed.
+  double events_per_sec() const;
+};
+
+/// Peak resident set size of this process in bytes (0 if unavailable).
+long peak_rss_bytes();
+
+/// Serialize `report` to the versioned BENCH_*.json schema.
+std::string to_json(const BenchReport& report);
+
+/// Validate a BENCH_*.json document: parses the JSON and checks the
+/// required keys and types. Returns "" when valid, else a diagnostic.
+std::string validate_bench_json(const std::string& json);
+
+/// `<dir>/BENCH_<name>.json`.
+std::string bench_json_path(const std::string& dir, const std::string& name);
+
+/// Write `report` to `bench_json_path(dir, report.name)`, self-validating
+/// the emitted document. Returns the path; throws IoError on failure.
+std::string write_bench_json(const std::string& dir,
+                             const BenchReport& report);
+
+}  // namespace iscope

@@ -1,0 +1,137 @@
+// Move-only type-erased callable with inline storage.
+//
+// The event queue schedules millions of small closures per simulation;
+// std::function heap-allocates any capture larger than its tiny SBO
+// (16 bytes on libstdc++), which made one malloc/free pair per event the
+// single largest allocation source in the hot loop. SmallFn stores
+// captures up to `Capacity` bytes inline in the object -- every closure
+// the simulator schedules fits -- and falls back to the heap only for
+// oversized or throwing-move callables, so it stays a drop-in
+// std::function replacement for tests and external callers.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace iscope {
+
+template <std::size_t Capacity = 64>
+class SmallFn {
+ public:
+  SmallFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors std::function
+  SmallFn(F&& f) {
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      vt_ = inline_vtable<Fn>();
+    } else {
+      ptr_ = new Fn(std::forward<F>(f));
+      vt_ = heap_vtable<Fn>();
+    }
+  }
+
+  SmallFn(SmallFn&& o) noexcept { move_from(o); }
+
+  SmallFn& operator=(SmallFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  explicit operator bool() const { return vt_ != nullptr; }
+
+  /// Invoke the stored callable. Undefined when empty (callers check
+  /// operator bool, as with std::function minus the throw).
+  void operator()() { vt_->invoke(storage()); }
+
+  /// True when the stored callable lives in the inline buffer (test/
+  /// instrumentation aid).
+  bool is_inline() const { return vt_ != nullptr && !vt_->heap; }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    /// Move-construct the callable into `dst` and destroy the source
+    /// (inline storage only; heap storage moves by pointer steal).
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+    bool heap;
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= Capacity &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static void invoke_fn(void* p) {
+    (*static_cast<Fn*>(p))();
+  }
+
+  template <typename Fn>
+  static const VTable* inline_vtable() {
+    static constexpr VTable vt = {
+        &invoke_fn<Fn>,
+        [](void* dst, void* src) noexcept {
+          ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+          static_cast<Fn*>(src)->~Fn();
+        },
+        [](void* p) noexcept { static_cast<Fn*>(p)->~Fn(); },
+        false};
+    return &vt;
+  }
+
+  template <typename Fn>
+  static const VTable* heap_vtable() {
+    static constexpr VTable vt = {
+        &invoke_fn<Fn>,
+        [](void*, void*) noexcept {},  // unused: heap moves steal ptr_
+        [](void* p) noexcept { delete static_cast<Fn*>(p); },
+        true};
+    return &vt;
+  }
+
+  void* storage() { return vt_->heap ? ptr_ : static_cast<void*>(buf_); }
+
+  void reset() {
+    if (vt_ != nullptr) {
+      vt_->destroy(storage());
+      vt_ = nullptr;
+    }
+  }
+
+  void move_from(SmallFn& o) noexcept {
+    vt_ = o.vt_;
+    if (vt_ == nullptr) return;
+    if (vt_->heap)
+      ptr_ = o.ptr_;
+    else
+      vt_->relocate(buf_, o.buf_);
+    o.vt_ = nullptr;
+  }
+
+  const VTable* vt_ = nullptr;
+  union {
+    alignas(std::max_align_t) unsigned char buf_[Capacity];
+    void* ptr_;
+  };
+};
+
+}  // namespace iscope

@@ -201,6 +201,8 @@ std::vector<CostRow> energy_costs(const ExperimentContext& ctx) {
     row.cost = r.cost;
     row.utility = r.energy.utility;
     row.wind = r.energy.wind;
+    row.events = r.events_processed;
+    row.rematches = r.dvfs_rematch_count;
     rows.push_back(row);
   }
   return rows;

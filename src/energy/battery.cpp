@@ -61,6 +61,20 @@ Watts BatteryBank::discharge(Watts requested, Seconds dt) {
   return ac_energy / dt;
 }
 
+Watts BatteryBank::charge_preview(Watts offered) const {
+  ISCOPE_CHECK_ARG(offered.raw() >= 0.0, "battery: negative offered power");
+  if (!present() || offered.raw() == 0.0) return Watts{};
+  if ((config_.capacity - stored_).raw() <= 0.0) return Watts{};  // full
+  return std::min(offered, config_.max_charge);
+}
+
+Watts BatteryBank::discharge_preview(Watts requested) const {
+  ISCOPE_CHECK_ARG(requested.raw() >= 0.0, "battery: negative request");
+  if (!present() || requested.raw() == 0.0) return Watts{};
+  if (stored_.raw() <= 0.0) return Watts{};  // empty
+  return std::min(requested, config_.max_discharge);
+}
+
 double BatteryBank::soc() const {
   return present() ? stored_ / config_.capacity : 0.0;
 }

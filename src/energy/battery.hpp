@@ -41,6 +41,16 @@ class BatteryBank {
   /// delivered at the AC side (0 when empty or absent).
   Watts discharge(Watts requested, Seconds dt);
 
+  /// Instantaneous-rate previews: the AC power the bank would absorb /
+  /// deliver *right now* for an offered surplus / requested deficit,
+  /// without changing any state. Used by trace sampling to attribute a
+  /// point-in-time power split with the same wind -> battery -> utility
+  /// waterfall the meter integrates (the dt -> 0 limit of charge /
+  /// discharge, where only the power limits and the full/empty state bind,
+  /// not the energy headroom).
+  Watts charge_preview(Watts offered) const;
+  Watts discharge_preview(Watts requested) const;
+
   /// Stored energy (at the cell).
   Joules stored() const { return stored_; }
   /// State of charge (0..1); 0 for an absent battery.

@@ -35,9 +35,10 @@ struct EnergySplit {
 struct PowerSample {
   Seconds time;
   Watts demand;      ///< total facility demand (IT + cooling)
-  Watts wind;        ///< wind power actually consumed
+  Watts wind;        ///< wind power consumed (serving demand + charging)
   Watts utility;     ///< utility power actually consumed
   Watts wind_avail;  ///< wind power available (consumed or not)
+  Watts battery;     ///< battery discharge serving demand (0 w/o battery)
 };
 
 class EnergyMeter {

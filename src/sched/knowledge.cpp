@@ -19,6 +19,7 @@ Knowledge::Knowledge(const Cluster* cluster, KnowledgeSource source,
 std::size_t Knowledge::levels() const { return cluster_->levels().count(); }
 
 void Knowledge::refresh() {
+  ++generation_;
   const std::size_t n = cluster_->size();
   const std::size_t nl = levels();
   vdd_.assign(n, std::vector<double>(nl, 0.0));

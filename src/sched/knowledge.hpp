@@ -66,10 +66,16 @@ class Knowledge {
   /// Rebuild the cached tables (call after the ProfileDb gained profiles).
   void refresh();
 
+  /// Bumped by every refresh(). Consumers that derive state from this view
+  /// (e.g. the simulator's per-task power tables) compare generations to
+  /// detect that their caches went stale.
+  std::uint64_t generation() const { return generation_; }
+
  private:
   const Cluster* cluster_;   // non-owning
   KnowledgeSource source_;
   const ProfileDb* db_;      // non-owning; may be null
+  std::uint64_t generation_ = 0;
   // Hot-path caches stay raw doubles (volts / watts / W-per-GHz); the
   // typed accessors wrap them at the boundary.
   std::vector<std::vector<double>> vdd_;    // [proc][level]

@@ -30,6 +30,8 @@ PlacementPolicy::PlacementPolicy(const Knowledge* knowledge,
   const auto& order = knowledge->efficiency_order();
   for (std::size_t rank = 0; rank < order.size(); ++rank)
     rank_of_proc_[order[rank]] = rank;
+  pool_limit_ = static_cast<std::size_t>(
+      pool_fraction_ * static_cast<double>(knowledge->procs()));
 }
 
 std::size_t PlacementPolicy::efficiency_rank(std::size_t proc) const {
@@ -40,17 +42,17 @@ std::size_t PlacementPolicy::efficiency_rank(std::size_t proc) const {
 
 std::optional<std::vector<std::size_t>> PlacementPolicy::choose_efficient(
     std::size_t n, std::vector<std::size_t>& idle, bool forced) {
-  // Take the n most efficient idle processors.
+  // Take the n most efficient idle processors. Ranks form a strict total
+  // order, so the pick depends only on the idle *set*, never its order.
+  const std::size_t* rank = rank_of_proc_.data();
   std::partial_sort(idle.begin(), idle.begin() + static_cast<std::ptrdiff_t>(n),
-                    idle.end(), [&](std::size_t a, std::size_t b) {
-                      return rank_of_proc_[a] < rank_of_proc_[b];
+                    idle.end(), [rank](std::size_t a, std::size_t b) {
+                      return rank[a] < rank[b];
                     });
   if (!forced) {
     // Good enough only if the whole pick lies inside the efficient pool;
     // otherwise keep waiting for efficient chips to free up.
-    const auto pool_limit = static_cast<std::size_t>(
-        pool_fraction_ * static_cast<double>(knowledge_->procs()));
-    if (rank_of_proc_[idle[n - 1]] >= pool_limit) return std::nullopt;
+    if (rank[idle[n - 1]] >= pool_limit_) return std::nullopt;
   }
   return std::vector<std::size_t>(idle.begin(),
                                   idle.begin() + static_cast<std::ptrdiff_t>(n));

@@ -82,6 +82,19 @@ class PlacementPolicy {
 
   PlacementRule rule() const { return rule_; }
 
+  /// True when every nullopt this policy returns for a non-forced task is
+  /// an efficient-pool rejection -- a predicate of the task width and the
+  /// idle *set* only, and monotone in the width (if width w is rejected,
+  /// any w' >= w is too, and stays rejected while the idle set can only
+  /// shrink). The scheduler uses this to memoize rejections within one
+  /// scheduling pass instead of re-sorting the idle set per waiting task.
+  /// Fair with wind also defers on supply conditions, which is not
+  /// width-monotone, so only Effi and wind-less Fair qualify.
+  bool pool_failures_monotone(bool has_wind) const {
+    return rule_ == PlacementRule::kEfficiency ||
+           (rule_ == PlacementRule::kFair && !has_wind);
+  }
+
   /// Choose `n` of the currently `idle` processors for a task, or return
   /// nullopt to keep the task waiting (only non-forced Effi-style placements
   /// wait; a forced task always starts if `idle.size() >= n`).
@@ -101,6 +114,7 @@ class PlacementPolicy {
   PlacementRule rule_;
   Rng rng_;
   double pool_fraction_;
+  std::size_t pool_limit_;  ///< ranks below this are "efficient enough"
   std::vector<std::size_t> rank_of_proc_;
 };
 

@@ -12,10 +12,15 @@ PowerMatcher::PowerMatcher(const Knowledge* knowledge, double cooling_factor)
   ISCOPE_CHECK_ARG(knowledge != nullptr, "PowerMatcher: null knowledge");
   ISCOPE_CHECK_ARG(cooling_factor >= 1.0,
                    "PowerMatcher: cooling factor must be >= 1");
+  const FreqLevels& levels = knowledge->cluster().levels();
+  const double fmax = levels.freq_ghz.back();
+  slowdown_ratio_.reserve(levels.freq_ghz.size());
+  for (const double f : levels.freq_ghz)
+    slowdown_ratio_.push_back(fmax / f - 1.0);
 }
 
-Watts PowerMatcher::task_power(const ActiveTask& task,
-                               std::size_t level) const {
+Watts PowerMatcher::task_power_reference(const ActiveTask& task,
+                                         std::size_t level) const {
   Watts p;
   for (const std::size_t id : task.procs) p += knowledge_->power(id, level);
   return p;
@@ -23,9 +28,7 @@ Watts PowerMatcher::task_power(const ActiveTask& task,
 
 double PowerMatcher::slowdown(const ActiveTask& task,
                               std::size_t level) const {
-  const FreqLevels& levels = knowledge_->cluster().levels();
-  const double fmax = levels.freq_ghz.back();
-  return task.gamma * (fmax / levels.freq_ghz[level] - 1.0) + 1.0;
+  return task.gamma * slowdown_ratio_[level] + 1.0;
 }
 
 std::size_t PowerMatcher::min_feasible_level(const ActiveTask& task,
@@ -55,15 +58,32 @@ std::size_t PowerMatcher::energy_optimal_level(const ActiveTask& task,
   return best;
 }
 
+namespace {
+
+// Heap order for phase-2 down-steps: largest saving on top, smaller task
+// index winning ties. Shared by the optimized and reference paths so their
+// pop order agrees bit for bit.
+struct StepLess {
+  bool operator()(const MatchScratch::Step& a,
+                  const MatchScratch::Step& b) const {
+    if (a.saving != b.saving) return a.saving < b.saving;
+    return a.task > b.task;  // deterministic tiebreak
+  }
+};
+
+}  // namespace
+
 MatchResult PowerMatcher::match(std::vector<ActiveTask>& tasks,
-                                Watts wind_avail, double now_s) const {
+                                Watts wind_avail, double now_s,
+                                MatchScratch& scratch) const {
   ISCOPE_CHECK_ARG(wind_avail.raw() >= 0.0, "PowerMatcher: negative wind");
 
   MatchResult result;
   if (tasks.empty()) return result;
 
   // Phase 1: energy-optimal deadline-feasible baseline.
-  std::vector<std::size_t> floor(tasks.size());
+  std::vector<std::size_t>& floor = scratch.floor;
+  floor.assign(tasks.size(), 0);
   Watts compute;
   for (std::size_t i = 0; i < tasks.size(); ++i) {
     floor[i] = min_feasible_level(tasks[i], now_s);
@@ -80,21 +100,75 @@ MatchResult PowerMatcher::match(std::vector<ActiveTask>& tasks,
   for (std::size_t i = 0; i < tasks.size(); ++i)
     floor_compute += task_power(tasks[i], floor[i]);
   if (wind_avail.raw() > 0.0 && wind_avail >= floor_compute * cooling_factor_) {
-    struct Step {
-      Watts saving;
-      std::size_t task;
-      std::size_t to_level;
-    };
-    auto cmp = [](const Step& a, const Step& b) {
-      if (a.saving != b.saving) return a.saving < b.saving;
-      return a.task > b.task;  // deterministic tiebreak
-    };
-    std::priority_queue<Step, std::vector<Step>, decltype(cmp)> heap(cmp);
+    // The scratch vector driven by push_heap/pop_heap replicates
+    // std::priority_queue's exact call sequence (see match_reference), so
+    // equal-saving pops stay in the same order.
+    std::vector<MatchScratch::Step>& heap = scratch.heap;
+    heap.clear();
     auto push_step = [&](std::size_t i) {
       const std::size_t l = tasks[i].level;
       if (l == 0 || l <= floor[i]) return;
       const Watts saving =
           task_power(tasks[i], l) - task_power(tasks[i], l - 1);
+      heap.push_back(MatchScratch::Step{saving, i, l - 1});
+      std::push_heap(heap.begin(), heap.end(), StepLess{});
+    };
+    for (std::size_t i = 0; i < tasks.size(); ++i) push_step(i);
+
+    while (compute * cooling_factor_ > wind_avail && !heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), StepLess{});
+      const MatchScratch::Step step = heap.back();
+      heap.pop_back();
+      // At most one live entry per task (re-pushed after applying), so a
+      // level mismatch marks a stale entry.
+      if (tasks[step.task].level != step.to_level + 1) continue;
+      tasks[step.task].level = step.to_level;
+      compute -= step.saving;
+      ++result.steps;
+      push_step(step.task);
+    }
+  }
+
+  result.compute = compute;
+  result.demand = compute * cooling_factor_;
+  return result;
+}
+
+MatchResult PowerMatcher::match(std::vector<ActiveTask>& tasks,
+                                Watts wind_avail, double now_s) const {
+  MatchScratch scratch;
+  return match(tasks, wind_avail, now_s, scratch);
+}
+
+MatchResult PowerMatcher::match_reference(std::vector<ActiveTask>& tasks,
+                                          Watts wind_avail,
+                                          double now_s) const {
+  ISCOPE_CHECK_ARG(wind_avail.raw() >= 0.0, "PowerMatcher: negative wind");
+
+  MatchResult result;
+  if (tasks.empty()) return result;
+
+  // Phase 1: energy-optimal deadline-feasible baseline.
+  std::vector<std::size_t> floor(tasks.size());
+  Watts compute;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    floor[i] = min_feasible_level(tasks[i], now_s);
+    tasks[i].level = energy_optimal_level(tasks[i], floor[i]);
+    compute += task_power_reference(tasks[i], tasks[i].level);
+  }
+
+  // Phase 2: fit under the wind budget with greedy best-saving down-steps.
+  Watts floor_compute;
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    floor_compute += task_power_reference(tasks[i], floor[i]);
+  if (wind_avail.raw() > 0.0 && wind_avail >= floor_compute * cooling_factor_) {
+    using Step = MatchScratch::Step;
+    std::priority_queue<Step, std::vector<Step>, StepLess> heap;
+    auto push_step = [&](std::size_t i) {
+      const std::size_t l = tasks[i].level;
+      if (l == 0 || l <= floor[i]) return;
+      const Watts saving = task_power_reference(tasks[i], l) -
+                           task_power_reference(tasks[i], l - 1);
       heap.push(Step{saving, i, l - 1});
     };
     for (std::size_t i = 0; i < tasks.size(); ++i) push_step(i);
@@ -102,8 +176,6 @@ MatchResult PowerMatcher::match(std::vector<ActiveTask>& tasks,
     while (compute * cooling_factor_ > wind_avail && !heap.empty()) {
       const Step step = heap.top();
       heap.pop();
-      // At most one live entry per task (re-pushed after applying), so a
-      // level mismatch marks a stale entry.
       if (tasks[step.task].level != step.to_level + 1) continue;
       tasks[step.task].level = step.to_level;
       compute -= step.saving;

@@ -22,6 +22,15 @@
 // With no wind at all (the paper's utility-only study) phase 2 is a no-op:
 // there is no budget to fit under, and stretching execution would only burn
 // more (expensive) static energy.
+//
+// Hot-path notes (DESIGN.md Sec. 9): a task's per-level power is invariant
+// for its whole residency, so callers precompute it once at task start and
+// hand it to the matcher via `ActiveTask::power_by_level` -- `task_power`
+// is then O(1) instead of O(procs), and `match` with a caller-owned
+// `MatchScratch` performs zero steady-state heap allocations. The
+// pre-optimization path is retained verbatim as `match_reference` /
+// `task_power_reference`; tests/test_match_equivalence.cpp asserts the two
+// produce bit-identical schedules.
 #pragma once
 
 #include <cstddef>
@@ -37,6 +46,11 @@ struct ActiveTask {
   double deadline_s = 0.0;
   double gamma = 1.0;             ///< CPU-boundness (Eq-3)
   std::vector<std::size_t> procs; ///< processors it occupies
+  /// Optional O(1) power table: entry l is the task's total IT power at
+  /// level l in raw watts (sum over its processors, precomputed at task
+  /// start). When set, `procs` may be left empty; when null, the matcher
+  /// falls back to summing `procs` against the Knowledge view.
+  const double* power_by_level = nullptr;
   std::size_t level = 0;          ///< matcher output: assigned DVFS level
 };
 
@@ -44,6 +58,19 @@ struct MatchResult {
   Watts compute;           ///< IT power after matching
   Watts demand;            ///< facility power (IT * cooling factor)
   std::size_t steps = 0;   ///< phase-2 DVFS down-steps taken
+};
+
+/// Reusable buffers for PowerMatcher::match. A caller that keeps one
+/// MatchScratch across calls allocates only until the buffers reach their
+/// high-water marks; after that, matching is allocation-free.
+struct MatchScratch {
+  struct Step {
+    Watts saving;
+    std::size_t task;
+    std::size_t to_level;
+  };
+  std::vector<std::size_t> floor;  ///< per-task deadline floor level
+  std::vector<Step> heap;          ///< phase-2 down-step candidate heap
 };
 
 class PowerMatcher {
@@ -61,11 +88,30 @@ class PowerMatcher {
                                    std::size_t floor) const;
 
   /// Assign levels to all tasks; see file comment for the algorithm.
+  /// Allocation-free once `scratch` has warmed up.
+  MatchResult match(std::vector<ActiveTask>& tasks, Watts wind_avail,
+                    double now_s, MatchScratch& scratch) const;
+
+  /// Convenience overload with throwaway scratch (tests, one-off callers).
   MatchResult match(std::vector<ActiveTask>& tasks, Watts wind_avail,
                     double now_s) const;
 
-  /// IT power of one task at one level (sum over its processors).
-  Watts task_power(const ActiveTask& task, std::size_t level) const;
+  /// Retained pre-optimization implementation (priority_queue, O(procs)
+  /// power sums). Reference for the scheduler-equivalence suite; not a hot
+  /// path.
+  MatchResult match_reference(std::vector<ActiveTask>& tasks,
+                              Watts wind_avail, double now_s) const;
+
+  /// IT power of one task at one level: `power_by_level` lookup when the
+  /// task carries a table, else the O(procs) sum.
+  Watts task_power(const ActiveTask& task, std::size_t level) const {
+    if (task.power_by_level != nullptr)
+      return Watts{task.power_by_level[level]};
+    return task_power_reference(task, level);
+  }
+
+  /// The original O(procs) power sum over the Knowledge view.
+  Watts task_power_reference(const ActiveTask& task, std::size_t level) const;
 
   /// Eq-3 slowdown of a task at a level.
   double slowdown(const ActiveTask& task, std::size_t level) const;
@@ -75,6 +121,10 @@ class PowerMatcher {
  private:
   const Knowledge* knowledge_;  // non-owning
   double cooling_factor_;
+  /// Precomputed (fmax / f_l - 1.0) per level; slowdown() is then one
+  /// fma instead of a division (bit-identical: same operation sequence,
+  /// the division is just hoisted to construction).
+  std::vector<double> slowdown_ratio_;
 };
 
 }  // namespace iscope

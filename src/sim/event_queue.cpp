@@ -1,5 +1,6 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/error.hpp"
@@ -10,15 +11,15 @@ void EventQueue::schedule(double time_s, Handler fn) {
   ISCOPE_CHECK_ARG(time_s >= now_ - 1e-9,
                    "EventQueue: cannot schedule into the past");
   ISCOPE_CHECK_ARG(static_cast<bool>(fn), "EventQueue: null handler");
-  heap_.push(Item{std::max(time_s, now_), seq_++, std::move(fn)});
+  heap_.push_back(Item{std::max(time_s, now_), seq_++, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 bool EventQueue::step() {
   if (heap_.empty()) return false;
-  // priority_queue::top() is const; move via const_cast is the standard
-  // idiom here and safe because we pop immediately after.
-  Item item = std::move(const_cast<Item&>(heap_.top()));
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Item item = std::move(heap_.back());
+  heap_.pop_back();
   now_ = item.time;
   item.fn();
   return true;
@@ -32,7 +33,7 @@ std::size_t EventQueue::run(std::size_t max_events) {
 
 std::size_t EventQueue::run_until(double until_s) {
   std::size_t n = 0;
-  while (!heap_.empty() && heap_.top().time <= until_s) {
+  while (!heap_.empty() && heap_.front().time <= until_s) {
     step();
     ++n;
   }
@@ -42,7 +43,13 @@ std::size_t EventQueue::run_until(double until_s) {
 
 double EventQueue::peek_time() const {
   ISCOPE_CHECK_ARG(!heap_.empty(), "EventQueue: peek on empty queue");
-  return heap_.top().time;
+  return heap_.front().time;
+}
+
+void EventQueue::clear() {
+  heap_.clear();
+  now_ = 0.0;
+  seq_ = 0;
 }
 
 }  // namespace iscope

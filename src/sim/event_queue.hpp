@@ -5,19 +5,29 @@
 // keeps whole-simulation results bit-reproducible. Handlers may schedule
 // further events. Cancellation is by design left to the caller (version
 // counters on the payload) -- cheaper and simpler than tombstoning the heap.
+//
+// Hot-path notes: the heap is a plain vector driven by std::push_heap /
+// std::pop_heap (the exact call sequence std::priority_queue makes, so pop
+// order is bit-identical to the old priority_queue implementation), which
+// lets `step()` extract the top item by moving from `back()` after
+// pop_heap -- no const_cast -- and lets `clear()` retain capacity across
+// simulator runs. Handlers are SmallFn (common/small_fn.hpp): every
+// closure the simulator schedules is stored inline, so steady-state
+// scheduling performs no heap allocation once the heap vector has grown
+// to its high-water mark.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
+
+#include "common/small_fn.hpp"
 
 namespace iscope {
 
 class EventQueue {
  public:
-  using Handler = std::function<void()>;
+  using Handler = SmallFn<64>;
 
   /// Schedule `fn` at absolute time `time_s` (>= now).
   void schedule(double time_s, Handler fn);
@@ -39,6 +49,14 @@ class EventQueue {
   /// Time of the earliest pending event; throws if empty.
   double peek_time() const;
 
+  /// Drop all pending events and rewind the clock to 0, keeping the heap's
+  /// allocated capacity (so a reused queue schedules allocation-free up to
+  /// the previous high-water mark).
+  void clear();
+
+  /// Pre-size the heap storage.
+  void reserve(std::size_t events) { heap_.reserve(events); }
+
  private:
   struct Item {
     double time;
@@ -51,7 +69,7 @@ class EventQueue {
       return a.seq > b.seq;
     }
   };
-  std::priority_queue<Item, std::vector<Item>, Later> heap_;
+  std::vector<Item> heap_;  ///< binary max-heap under Later
   double now_ = 0.0;
   std::uint64_t seq_ = 0;
 };

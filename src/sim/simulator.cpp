@@ -22,6 +22,8 @@ void SimConfig::validate() const {
   battery.validate();
 }
 
+void (*DatacenterSim::rematch_probe)(bool) = nullptr;
+
 DatacenterSim::DatacenterSim(const Knowledge* knowledge, PlacementRule rule,
                              const HybridSupply* supply,
                              const SimConfig& config,
@@ -36,6 +38,11 @@ DatacenterSim::DatacenterSim(const Knowledge* knowledge, PlacementRule rule,
   ISCOPE_CHECK_ARG(knowledge != nullptr, "DatacenterSim: null knowledge");
   ISCOPE_CHECK_ARG(supply != nullptr, "DatacenterSim: null supply");
   config_.validate();
+  const FreqLevels& levels = knowledge_->cluster().levels();
+  const double fmax = levels.freq_ghz.back();
+  slowdown_ratio_.reserve(levels.freq_ghz.size());
+  for (const double f : levels.freq_ghz)
+    slowdown_ratio_.push_back(fmax / f - 1.0);
 }
 
 double DatacenterSim::fmax_ghz() const {
@@ -50,6 +57,58 @@ bool DatacenterSim::wind_abundant_now() const {
 
 double DatacenterSim::latest_start(const SimTask& t) const {
   return t.spec.latest_start_s(fmax_ghz(), fmax_ghz());
+}
+
+void DatacenterSim::link_running(std::size_t idx) {
+  SimTask& t = tasks_[idx];
+  t.run_prev = run_tail_;
+  t.run_next = kNone;
+  if (run_tail_ == kNone)
+    run_head_ = idx;
+  else
+    tasks_[run_tail_].run_next = idx;
+  run_tail_ = idx;
+  ++run_count_;
+}
+
+void DatacenterSim::unlink_running(std::size_t idx) {
+  SimTask& t = tasks_[idx];
+  if (t.run_prev == kNone)
+    run_head_ = t.run_next;
+  else
+    tasks_[t.run_prev].run_next = t.run_next;
+  if (t.run_next == kNone)
+    run_tail_ = t.run_prev;
+  else
+    tasks_[t.run_next].run_prev = t.run_prev;
+  t.run_prev = kNone;
+  t.run_next = kNone;
+  --run_count_;
+}
+
+void DatacenterSim::idle_insert(std::size_t p) {
+  const auto it = std::lower_bound(idle_sorted_.begin(), idle_sorted_.end(), p);
+  idle_sorted_.insert(it, p);
+}
+
+void DatacenterSim::idle_remove(std::size_t p) {
+  const auto it = std::lower_bound(idle_sorted_.begin(), idle_sorted_.end(), p);
+  ISCOPE_CHECK(it != idle_sorted_.end() && *it == p,
+               "idle_remove: processor not idle");
+  idle_sorted_.erase(it);
+}
+
+void DatacenterSim::fill_power_table(std::size_t idx) {
+  const std::size_t levels = knowledge_->levels();
+  const SimTask& t = tasks_[idx];
+  double* row = power_table_.data() + idx * levels;
+  for (std::size_t l = 0; l < levels; ++l) {
+    // Same summation order as the matcher's original O(procs) loop, so the
+    // cached value is bit-identical to what it used to recompute per call.
+    Watts p;
+    for (const std::size_t id : t.procs) p += knowledge_->power(id, l);
+    row[l] = p.raw();
+  }
 }
 
 void DatacenterSim::accrue_to_now() {
@@ -87,34 +146,44 @@ void DatacenterSim::accrue_to_now() {
 }
 
 void DatacenterSim::rematch() {
+  if (rematch_probe != nullptr) rematch_probe(true);
   accrue_to_now();
   const double now = queue_.now();
   ++rematch_count_;
 
+  // Power tables follow the Knowledge view; refresh them if it moved.
+  if (knowledge_->generation() != knowledge_gen_) {
+    knowledge_gen_ = knowledge_->generation();
+    for (std::size_t idx = run_head_; idx != kNone; idx = tasks_[idx].run_next)
+      fill_power_table(idx);
+  }
+
   // Integrate progress of running tasks up to now at their current levels.
-  const FreqLevels& levels = knowledge_->cluster().levels();
-  for (const std::size_t idx : running_) {
+  for (std::size_t idx = run_head_; idx != kNone; idx = tasks_[idx].run_next) {
     SimTask& t = tasks_[idx];
     const double dt = now - t.last_update_s;
     if (dt > 0.0) {
-      const double slowdown =
-          t.spec.slowdown(levels.freq_ghz[t.level], fmax_ghz());
+      const double slowdown = level_slowdown(t);
       t.remaining_work_s = std::max(0.0, t.remaining_work_s - dt / slowdown);
     }
     t.last_update_s = now;
   }
 
-  // Build the matcher's view.
-  std::vector<ActiveTask> views;
-  views.reserve(running_.size());
-  for (const std::size_t idx : running_) {
+  // Build the matcher's view into the reusable scratch vector. Optimized
+  // path: each view carries its precomputed power row (no procs copy).
+  // Reference path (tests): deep-copy procs and let the matcher re-sum.
+  views_.clear();
+  for (std::size_t idx = run_head_; idx != kNone; idx = tasks_[idx].run_next) {
     const SimTask& t = tasks_[idx];
     ActiveTask v;
     v.remaining_work_s = t.remaining_work_s;
     v.deadline_s = t.spec.deadline_s;
     v.gamma = t.spec.gamma;
-    v.procs = t.procs;
-    views.push_back(std::move(v));
+    if (config_.use_reference_matcher)
+      v.procs = t.procs;
+    else
+      v.power_by_level = power_table_.data() + idx * knowledge_->levels();
+    views_.push_back(std::move(v));
   }
 
   MatchResult match;
@@ -123,42 +192,49 @@ void DatacenterSim::rematch() {
     // the top level to free CPUs as soon as possible, whatever the wind.
     const std::size_t top = knowledge_->levels() - 1;
     Watts compute;
-    for (auto& v : views) {
+    for (auto& v : views_) {
       v.level = top;
       compute += matcher_.task_power(v, top);
     }
     match.compute = compute;
     match.demand = compute * matcher_.cooling_factor();
+  } else if (config_.use_reference_matcher) {
+    match = matcher_.match_reference(views_,
+                                     supply_->wind_available(Seconds{now}),
+                                     now);
   } else {
-    match = matcher_.match(views, supply_->wind_available(Seconds{now}), now);
+    match = matcher_.match(views_, supply_->wind_available(Seconds{now}), now,
+                           match_scratch_);
   }
   // Active profiling scans draw power (and cooling) like any other load.
   demand_ = match.demand + reserved_power_ * matcher_.cooling_factor();
 
   // Apply levels; reschedule completion events where the level changed
   // (completion time is invariant when the level is unchanged).
-  for (std::size_t k = 0; k < running_.size(); ++k) {
-    const std::size_t idx = running_[k];
+  std::size_t k = 0;
+  for (std::size_t idx = run_head_; idx != kNone;
+       idx = tasks_[idx].run_next, ++k) {
     SimTask& t = tasks_[idx];
-    const std::size_t new_level = views[k].level;
+    const std::size_t new_level = views_[k].level;
     const bool first_schedule = t.version == 0;
     if (new_level != t.level || first_schedule) {
       t.level = new_level;
       ++t.version;
-      const double slowdown =
-          t.spec.slowdown(levels.freq_ghz[t.level], fmax_ghz());
+      const double slowdown = level_slowdown(t);
       const double completion = now + t.remaining_work_s * slowdown;
       const std::uint64_t version = t.version;
       queue_.schedule(completion,
                       [this, idx, version] { on_completion(idx, version); });
     }
   }
+  if (rematch_probe != nullptr) rematch_probe(false);
 }
 
 void DatacenterSim::on_arrival(std::size_t idx) {
   SimTask& t = tasks_[idx];
   t.state = TaskState::kWaiting;
   waiting_.push_back(idx);
+  waiting_cpus_ += t.spec.cpus;
   log_event(TimelineKind::kArrival, t.spec.id,
             static_cast<double>(t.spec.cpus));
   // Wake up when deadline pressure forces this task onto whatever is idle.
@@ -172,27 +248,37 @@ void DatacenterSim::schedule_pass() {
   if (in_pass_ || waiting_.empty()) return;
   in_pass_ = true;
 
-  // Snapshot idle processors (excluding any isolated for profiling).
-  idle_scratch_.clear();
-  for (std::size_t p = 0; p < proc_running_.size(); ++p)
-    if (proc_running_[p] == kNone && !reserved_[p]) idle_scratch_.push_back(p);
+  // Snapshot idle processors (excluding any isolated for profiling): the
+  // incrementally-maintained sorted list, copied so the policy may
+  // reorder/consume it. Widths are integers, so the incrementally-kept
+  // total is the same value the per-pass re-summation used to produce.
+  idle_scratch_.assign(idle_sorted_.begin(), idle_sorted_.end());
 
   const double now = queue_.now();
-  double waiting_width = 0.0;
-  for (const std::size_t idx : waiting_)
-    waiting_width += static_cast<double>(tasks_[idx].spec.cpus);
 
   PlacementContext ctx;
   ctx.busy_time_s = &busy_time_s_;
   ctx.now_s = now;
   ctx.has_wind = supply_->has_wind();
-  ctx.queue_pressure =
-      waiting_width / static_cast<double>(proc_running_.size());
+  ctx.queue_pressure = static_cast<double>(waiting_cpus_) /
+                       static_cast<double>(proc_running_.size());
 
+  // Two-pointer compaction: entries that stay waiting slide down over the
+  // started ones, preserving arrival order with no per-start erase.
+  //
+  // Pool-rejection memo: when the policy's only non-forced rejection is
+  // the efficient-pool check (see pool_failures_monotone), a rejection at
+  // width w implies rejection at every width >= w for the rest of the pass
+  // (the idle set only shrinks), so wider tasks skip the policy call --
+  // and its partial_sort of the idle set -- entirely.
+  const bool memo_rejections =
+      policy_.pool_failures_monotone(supply_->has_wind());
+  std::size_t rejected_width = kNone;  // kNone == no rejection yet
   bool forced_blocked = false;
-  std::size_t i = 0;
-  while (i < waiting_.size()) {
-    const std::size_t idx = waiting_[i];
+  std::size_t read = 0;
+  std::size_t write = 0;
+  while (read < waiting_.size()) {
+    const std::size_t idx = waiting_[read];
     SimTask& t = tasks_[idx];
     const bool forced =
         now >= latest_start(t) - config_.deadline_patience_s;
@@ -203,7 +289,13 @@ void DatacenterSim::schedule_pass() {
         forced_blocked = true;
         break;
       }
-      ++i;
+      waiting_[write++] = idx;
+      ++read;
+      continue;
+    }
+    if (memo_rejections && !forced && t.spec.cpus >= rejected_width) {
+      waiting_[write++] = idx;  // known pool rejection; keep waiting
+      ++read;
       continue;
     }
     // Re-evaluate wind abundance as demand grows within the pass.
@@ -217,21 +309,28 @@ void DatacenterSim::schedule_pass() {
             : Watts{std::numeric_limits<double>::infinity()};
     auto choice = policy_.choose(t.spec.cpus, idle_scratch_, ctx);
     if (!choice.has_value()) {
-      ++i;  // voluntarily waiting; backfill may proceed
+      if (memo_rejections && !forced)
+        rejected_width = std::min(rejected_width, t.spec.cpus);
+      waiting_[write++] = idx;  // voluntarily waiting; backfill may proceed
+      ++read;
       continue;
     }
     // The chosen processors are the first n entries of idle_scratch_.
     idle_scratch_.erase(
         idle_scratch_.begin(),
         idle_scratch_.begin() + static_cast<std::ptrdiff_t>(t.spec.cpus));
-    waiting_.erase(waiting_.begin() + static_cast<std::ptrdiff_t>(i));
+    ++read;
     start_task(idx, std::move(*choice));
   }
+  // On a forced-blocked break the unvisited tail (including the blocked
+  // task itself) slides down unchanged.
+  while (read < waiting_.size()) waiting_[write++] = waiting_[read++];
+  waiting_.resize(write);
   in_pass_ = false;
   if (forced_blocked != rush_mode_) {
     rush_mode_ = forced_blocked;
     log_event(rush_mode_ ? TimelineKind::kRushEnter : TimelineKind::kRushLeave,
-              -1, static_cast<double>(running_.size()));
+              -1, static_cast<double>(run_count_));
     rematch();  // enter/leave rush: re-decide all DVFS levels
   }
 }
@@ -244,7 +343,9 @@ void DatacenterSim::start_task(std::size_t idx, std::vector<std::size_t> procs) 
   for (const std::size_t p : t.procs) {
     ISCOPE_CHECK(proc_running_[p] == kNone, "start_task: processor busy");
     proc_running_[p] = idx;
+    idle_remove(p);
   }
+  waiting_cpus_ -= t.spec.cpus;
   t.state = TaskState::kRunning;
   t.start_s = now;
   t.last_update_s = now;
@@ -253,7 +354,8 @@ void DatacenterSim::start_task(std::size_t idx, std::vector<std::size_t> procs) 
   t.level = knowledge_->levels() - 1;
   total_wait_s_ += now - t.spec.submit_s;
   log_event(TimelineKind::kStart, t.spec.id, now - t.spec.submit_s);
-  running_.push_back(idx);
+  fill_power_table(idx);
+  link_running(idx);
   rematch();
 }
 
@@ -277,8 +379,9 @@ void DatacenterSim::on_completion(std::size_t idx, std::uint64_t version) {
     ISCOPE_CHECK(proc_running_[p] == idx, "completion: processor mismatch");
     proc_running_[p] = kNone;
     busy_time_s_[p] += now - t.start_s;
+    if (!reserved_[p]) idle_insert(p);
   }
-  running_.erase(std::find(running_.begin(), running_.end(), idx));
+  unlink_running(idx);
 
   rematch();
   schedule_pass();
@@ -297,6 +400,7 @@ void DatacenterSim::begin_profiling_window(const ProfilingWindow& window) {
       continue;
     }
     reserved_[p] = true;
+    idle_remove(p);
     taken.push_back(p);
     // Scan load: the chip under test runs at the top level's stock point.
     reserved_power_ += knowledge_->cluster().power(
@@ -320,6 +424,7 @@ void DatacenterSim::end_profiling_window(const std::vector<std::size_t>& procs,
   const std::size_t top = knowledge_->levels() - 1;
   for (const std::size_t p : procs) {
     reserved_[p] = false;
+    if (proc_running_[p] == kNone) idle_insert(p);
     reserved_power_ -= knowledge_->cluster().power(
         p, top, Volts{knowledge_->cluster().levels().vdd_nom[top]});
     profiling_proc_seconds_ += queue_.now() - started_s;
@@ -353,12 +458,23 @@ void DatacenterSim::log_event(TimelineKind kind, std::int64_t task_id,
 }
 
 void DatacenterSim::record_sample() {
+  // Same wind -> battery -> utility waterfall accrue_to_now() integrates,
+  // evaluated at an instant (rate previews leave the battery untouched).
   PowerSample s;
   s.time = Seconds{queue_.now()};
   s.demand = demand_;
   s.wind_avail = supply_->wind_available(s.time);
-  s.wind = std::min(s.demand, s.wind_avail);
-  s.utility = s.demand - s.wind;
+  const Watts wind_used = std::min(s.demand, s.wind_avail);
+  if (!battery_.present()) {
+    s.wind = wind_used;
+    s.utility = s.demand - wind_used;
+  } else {
+    const Watts charged = battery_.charge_preview(s.wind_avail - wind_used);
+    const Watts delivered = battery_.discharge_preview(s.demand - wind_used);
+    s.wind = wind_used + charged;
+    s.battery = delivered;
+    s.utility = std::max(Watts{}, s.demand - wind_used - delivered);
+  }
   meter_.record_sample(s);
 }
 
@@ -375,8 +491,10 @@ SimResult DatacenterSim::run(std::vector<Task> tasks,
                      "DatacenterSim: task wider than the cluster");
   sort_by_submit(tasks);
 
-  // Reset state.
-  queue_ = EventQueue();
+  // Reset state. clear() (not reassignment) keeps warmed-up capacities, so
+  // a reused simulator reaches steady state with no further allocations.
+  queue_.clear();
+  queue_.reserve(tasks.size() + profiling.size() + 8);
   meter_.reset();
   battery_ = BatteryBank(config_.battery);
   tasks_.clear();
@@ -387,9 +505,22 @@ SimResult DatacenterSim::run(std::vector<Task> tasks,
     tasks_.push_back(std::move(st));
   }
   waiting_.clear();
+  waiting_cpus_ = 0;
   proc_running_.assign(nprocs, kNone);
   busy_time_s_.assign(nprocs, 0.0);
-  running_.clear();
+  idle_sorted_.resize(nprocs);
+  for (std::size_t p = 0; p < nprocs; ++p) idle_sorted_[p] = p;
+  run_head_ = kNone;
+  run_tail_ = kNone;
+  run_count_ = 0;
+  // At most nprocs tasks run at once (every task needs >= 1 CPU), so these
+  // reservations are the true high-water marks.
+  power_table_.assign(tasks_.size() * knowledge_->levels(), 0.0);
+  knowledge_gen_ = knowledge_->generation();
+  views_.clear();
+  views_.reserve(nprocs);
+  match_scratch_.floor.reserve(nprocs);
+  match_scratch_.heap.reserve(nprocs);
   demand_ = Watts{};
   last_accrual_s_ = 0.0;
   segment_wind_ = supply_->wind_available(Seconds{});

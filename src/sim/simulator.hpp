@@ -15,6 +15,16 @@
 //
 // Determinism: same cluster, knowledge, tasks, supply, and seed => same
 // result, bit for bit.
+//
+// Hot-path design (DESIGN.md Sec. 9): `rematch()` performs zero heap
+// allocations at steady state. Per-task per-level power tables are filled
+// once at task start (power only changes when the Knowledge view
+// refreshes, tracked by its generation counter); the matcher views, the
+// deadline-floor vector and the down-step heap are reusable scratch; the
+// running set is an intrusive doubly-linked list through SimTask
+// (O(1) removal that -- unlike swap-and-pop -- preserves start order,
+// which the matcher's floating-point sums and equal-saving tiebreaks
+// depend on for bit-reproducibility).
 #pragma once
 
 #include <cstdint>
@@ -59,6 +69,11 @@ struct SimConfig {
   /// it before the utility grid steps in. Default: absent. Wind energy is
   /// paid at absorption, so round-trip losses are on the wind bill.
   BatteryConfig battery;
+  /// Test-only: drive rematch through the retained pre-optimization
+  /// matcher path (deep-copied views, O(procs) power sums). The
+  /// scheduler-equivalence suite asserts this produces bit-identical
+  /// results to the default optimized path.
+  bool use_reference_matcher = false;
 
   void validate() const;
 };
@@ -85,6 +100,12 @@ class DatacenterSim {
   SimResult run(std::vector<Task> tasks,
                 const std::vector<ProfilingWindow>& profiling);
 
+  /// Test-only hook: when set, called with `true` on entry to every
+  /// rematch() and `false` on exit. tests/test_rematch_alloc.cpp counts
+  /// heap allocations in between to assert the steady-state hot path is
+  /// allocation-free. Null in production.
+  static void (*rematch_probe)(bool entering);
+
  private:
   static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
 
@@ -98,6 +119,9 @@ class DatacenterSim {
     std::size_t level = 0;
     double start_s = -1.0;
     std::uint64_t version = 0;       ///< invalidates stale completion events
+    /// Intrusive links of the running list (kNone when not running).
+    std::size_t run_prev = kNone;
+    std::size_t run_next = kNone;
     TaskState state = TaskState::kPending;
   };
 
@@ -126,6 +150,20 @@ class DatacenterSim {
   double latest_start(const SimTask& t) const;
   bool all_done() const { return done_count_ == tasks_.size(); }
 
+  /// Append / remove a task on the intrusive running list (order-
+  /// preserving O(1) bookkeeping).
+  void link_running(std::size_t idx);
+  void unlink_running(std::size_t idx);
+  /// Fill the task's row of the per-level power table from its processors.
+  void fill_power_table(std::size_t idx);
+  /// Maintain the sorted idle-processor list at its mutation sites.
+  void idle_insert(std::size_t p);
+  void idle_remove(std::size_t p);
+  /// Eq-3 slowdown of a running task at its current level.
+  double level_slowdown(const SimTask& t) const {
+    return t.spec.gamma * slowdown_ratio_[t.level] + 1.0;
+  }
+
   const Knowledge* knowledge_;
   const HybridSupply* supply_;
   const WindForecaster* forecaster_;  // may be null
@@ -139,15 +177,33 @@ class DatacenterSim {
   BatteryBank battery_;
   std::vector<SimTask> tasks_;
   std::vector<std::size_t> waiting_;       ///< task indices, arrival order
+  std::size_t waiting_cpus_ = 0;           ///< total width of waiting_
   std::vector<std::size_t> proc_running_;  ///< task idx or kNone
   std::vector<double> busy_time_s_;
-  std::vector<std::size_t> running_;       ///< indices of running tasks
+  /// Idle, non-reserved processors in ascending id order, maintained
+  /// incrementally (schedule_pass copies it instead of scanning the
+  /// cluster).
+  std::vector<std::size_t> idle_sorted_;
+  /// Running set: intrusive list through SimTask::run_prev/run_next, in
+  /// start order (head is the longest-running task).
+  std::size_t run_head_ = kNone;
+  std::size_t run_tail_ = kNone;
+  std::size_t run_count_ = 0;
   std::vector<std::size_t> idle_scratch_;
   std::vector<bool> reserved_;             ///< isolated for profiling
   Watts reserved_power_;                   ///< IT power of active scans
   double profiling_proc_seconds_ = 0.0;
   std::size_t profiling_procs_scanned_ = 0;
   std::size_t profiling_procs_skipped_ = 0;
+
+  /// Per-task per-level IT power [task * levels + level], in raw watts;
+  /// rows are filled at task start and stay valid while the Knowledge
+  /// generation is unchanged.
+  std::vector<double> power_table_;
+  std::uint64_t knowledge_gen_ = 0;        ///< generation the table matches
+  std::vector<ActiveTask> views_;          ///< matcher view scratch
+  MatchScratch match_scratch_;             ///< matcher floor/heap scratch
+  std::vector<double> slowdown_ratio_;     ///< (fmax / f_l - 1) per level
 
   std::vector<TimelineEvent> timeline_;
   Watts demand_;

@@ -1,0 +1,94 @@
+#include "common/bench_json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace iscope {
+namespace {
+
+BenchReport sample_report() {
+  BenchReport r;
+  r.name = "unit_test";
+  r.scale = 2.0;
+  r.warmup = 1;
+  r.wall_s = {0.5, 0.4, 0.6};
+  r.counters.events = 1000;
+  r.counters.rematches = 250;
+  r.peak_rss_bytes = 4096;
+  return r;
+}
+
+TEST(BenchJson, DerivedStats) {
+  const BenchReport r = sample_report();
+  EXPECT_DOUBLE_EQ(r.wall_mean_s(), 0.5);
+  EXPECT_DOUBLE_EQ(r.wall_min_s(), 0.4);
+  EXPECT_DOUBLE_EQ(r.wall_max_s(), 0.6);
+  EXPECT_DOUBLE_EQ(r.events_per_sec(), 1000.0 / 0.5);
+
+  const BenchReport empty;
+  EXPECT_DOUBLE_EQ(empty.wall_mean_s(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.events_per_sec(), 0.0);
+}
+
+TEST(BenchJson, RoundTripValidates) {
+  const std::string json = to_json(sample_report());
+  EXPECT_EQ(validate_bench_json(json), "");
+  // Spot-check emitted fields.
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"unit_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"rematch_count\": 250"), std::string::npos);
+}
+
+TEST(BenchJson, CorruptionsAreDiagnosed) {
+  // Each corruption must produce a non-empty diagnostic.
+  EXPECT_NE(validate_bench_json(""), "");
+  EXPECT_NE(validate_bench_json("not json at all"), "");
+  EXPECT_NE(validate_bench_json("[1, 2, 3]"), "");
+  EXPECT_NE(validate_bench_json("{\"schema_version\": 1}"), "");
+
+  std::string json = to_json(sample_report());
+  // Wrong schema version.
+  std::string bad = json;
+  bad.replace(bad.find("\"schema_version\": 1"),
+              std::string("\"schema_version\": 1").size(),
+              "\"schema_version\": 99");
+  EXPECT_NE(validate_bench_json(bad), "");
+
+  // Truncated document.
+  EXPECT_NE(validate_bench_json(json.substr(0, json.size() / 2)), "");
+
+  // Sample count disagreeing with `repeats`.
+  bad = json;
+  bad.replace(bad.find("\"repeats\": 3"), std::string("\"repeats\": 3").size(),
+              "\"repeats\": 7");
+  EXPECT_NE(validate_bench_json(bad), "");
+}
+
+TEST(BenchJson, WriteReadBack) {
+  const std::string dir = ::testing::TempDir();
+  const BenchReport r = sample_report();
+  const std::string path = write_bench_json(dir, r);
+  EXPECT_EQ(path, bench_json_path(dir, "unit_test"));
+  EXPECT_NE(path.find("BENCH_unit_test.json"), std::string::npos);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(validate_bench_json(buf.str()), "");
+  std::remove(path.c_str());
+}
+
+TEST(BenchJson, PeakRssIsPositive) {
+  // getrusage must report something for a live process.
+  EXPECT_GT(peak_rss_bytes(), 0L);
+}
+
+}  // namespace
+}  // namespace iscope

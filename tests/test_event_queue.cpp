@@ -92,6 +92,92 @@ TEST(EventQueue, StepOnEmptyReturnsFalse) {
   EXPECT_TRUE(q.empty());
 }
 
+TEST(EventQueue, EqualTimestampsStayFifoUnderMidRunScheduling) {
+  // Heap-order stability: events at one timestamp fire in scheduling order
+  // even when some of them are scheduled from inside handlers while other
+  // equal-time events are already pending.
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(5.0, [&] {
+    fired.push_back(0);
+    // Scheduled mid-run at the current time: must run after every
+    // already-pending event at t=5, in its own insertion order.
+    q.schedule(5.0, [&] { fired.push_back(3); });
+    q.schedule(5.0, [&] { fired.push_back(4); });
+  });
+  q.schedule(5.0, [&] { fired.push_back(1); });
+  q.schedule(5.0, [&] { fired.push_back(2); });
+  q.run();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ClearKeepsCapacityAndRewindsClock) {
+  EventQueue q;
+  int count = 0;
+  for (int i = 0; i < 100; ++i) q.schedule(i, [&] { ++count; });
+  q.run();
+  EXPECT_DOUBLE_EQ(q.now(), 99.0);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);
+  // Reusable: times before the old clock are valid again.
+  q.schedule(1.0, [&] { ++count; });
+  q.run();
+  EXPECT_EQ(count, 101);
+}
+
+TEST(SmallFn, InlineAndHeapStorage) {
+  int hits = 0;
+  SmallFn<64> small([&hits] { ++hits; });
+  EXPECT_TRUE(small.is_inline());
+  small();
+  EXPECT_EQ(hits, 1);
+
+  // A capture larger than the inline capacity falls back to the heap but
+  // still works (std::function drop-in behavior).
+  struct Big {
+    double pad[12];
+  };
+  Big big{};
+  big.pad[11] = 7.0;
+  double seen = 0.0;
+  SmallFn<64> large([big, &seen] { seen = big.pad[11]; });
+  EXPECT_FALSE(large.is_inline());
+  large();
+  EXPECT_DOUBLE_EQ(seen, 7.0);
+
+  // Move transfers the callable and empties the source.
+  SmallFn<64> moved = std::move(large);
+  EXPECT_TRUE(static_cast<bool>(moved));
+  EXPECT_FALSE(static_cast<bool>(large));
+  seen = 0.0;
+  moved();
+  EXPECT_DOUBLE_EQ(seen, 7.0);
+}
+
+TEST(SmallFn, SimulatorClosuresFitInline) {
+  // The zero-allocation rematch path depends on every closure the
+  // simulator schedules fitting SmallFn's inline buffer.
+  EventQueue q;
+  auto* self = &q;
+  std::size_t idx = 3;
+  std::uint64_t version = 9;
+  std::vector<std::size_t> taken{1, 2, 3};
+  double started = 1.5;
+  SmallFn<64> completion([self, idx, version] {
+    (void)self;
+    (void)idx;
+    (void)version;
+  });
+  SmallFn<64> profiling_end([self, t = std::move(taken), started] {
+    (void)self;
+    (void)t;
+    (void)started;
+  });
+  EXPECT_TRUE(completion.is_inline());
+  EXPECT_TRUE(profiling_end.is_inline());
+}
+
 TEST(EventQueue, LargeVolumeStaysOrdered) {
   EventQueue q;
   double last = -1.0;

@@ -1,0 +1,234 @@
+// Scheduler-equivalence suite (DESIGN.md Sec. 9).
+//
+// The allocation-free rematch path (per-task power tables, reusable
+// matcher scratch, intrusive running list, pool-rejection memo) must be a
+// pure performance change: the simulator's *decisions* have to match the
+// retained pre-optimization matcher path bit for bit. These tests run the
+// same scenario through both paths (SimConfig::use_reference_matcher) and
+// compare every SimResult field, every trace sample, and every timeline
+// event with exact floating-point equality -- across all five schemes,
+// with and without wind, a battery, and in-band profiling windows, on
+// randomized clusters and workloads.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "profiling/scanner.hpp"
+#include "sim/simulator.hpp"
+
+namespace iscope {
+namespace {
+
+void expect_identical(const SimResult& a, const SimResult& b) {
+  // Exact equality everywhere: EXPECT_EQ on doubles is bitwise-meaningful
+  // here because both runs must execute the same arithmetic.
+  EXPECT_EQ(a.energy.wind.joules(), b.energy.wind.joules());
+  EXPECT_EQ(a.energy.utility.joules(), b.energy.utility.joules());
+  EXPECT_EQ(a.cost.raw(), b.cost.raw());
+  EXPECT_EQ(a.wind_curtailed.joules(), b.wind_curtailed.joules());
+  EXPECT_EQ(a.battery_delivered.joules(), b.battery_delivered.joules());
+  EXPECT_EQ(a.battery_losses.joules(), b.battery_losses.joules());
+  EXPECT_EQ(a.tasks_completed, b.tasks_completed);
+  EXPECT_EQ(a.deadline_misses, b.deadline_misses);
+  EXPECT_EQ(a.mean_wait.seconds(), b.mean_wait.seconds());
+  EXPECT_EQ(a.makespan.seconds(), b.makespan.seconds());
+  EXPECT_EQ(a.busy_variance_h2, b.busy_variance_h2);
+  EXPECT_EQ(a.procs_used_fraction, b.procs_used_fraction);
+  EXPECT_EQ(a.dvfs_rematch_count, b.dvfs_rematch_count);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.profiling_procs_scanned, b.profiling_procs_scanned);
+  EXPECT_EQ(a.profiling_procs_skipped, b.profiling_procs_skipped);
+  EXPECT_EQ(a.profiling_proc_seconds, b.profiling_proc_seconds);
+
+  ASSERT_EQ(a.busy_time_s.size(), b.busy_time_s.size());
+  for (std::size_t i = 0; i < a.busy_time_s.size(); ++i)
+    EXPECT_EQ(a.busy_time_s[i], b.busy_time_s[i]) << "proc " << i;
+
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].time.seconds(), b.trace[i].time.seconds());
+    EXPECT_EQ(a.trace[i].demand.watts(), b.trace[i].demand.watts());
+    EXPECT_EQ(a.trace[i].wind.watts(), b.trace[i].wind.watts());
+    EXPECT_EQ(a.trace[i].utility.watts(), b.trace[i].utility.watts());
+    EXPECT_EQ(a.trace[i].wind_avail.watts(), b.trace[i].wind_avail.watts());
+    EXPECT_EQ(a.trace[i].battery.watts(), b.trace[i].battery.watts());
+  }
+
+  ASSERT_EQ(a.timeline.size(), b.timeline.size());
+  for (std::size_t i = 0; i < a.timeline.size(); ++i) {
+    EXPECT_EQ(a.timeline[i].time_s, b.timeline[i].time_s) << "event " << i;
+    EXPECT_EQ(a.timeline[i].kind, b.timeline[i].kind) << "event " << i;
+    EXPECT_EQ(a.timeline[i].task_id, b.timeline[i].task_id) << "event " << i;
+    EXPECT_EQ(a.timeline[i].value, b.timeline[i].value) << "event " << i;
+  }
+}
+
+struct Scenario {
+  Cluster cluster;
+  ProfileDb db;
+
+  explicit Scenario(std::size_t n, std::uint64_t seed)
+      : cluster(build_cluster([&] {
+          ClusterConfig cfg;
+          cfg.num_processors = n;
+          cfg.seed = seed;
+          return cfg;
+        }())),
+        db(n) {
+    const Scanner scanner(&cluster, ScanConfig{});
+    Rng rng(seed + 7);
+    std::vector<std::size_t> all(n);
+    std::iota(all.begin(), all.end(), 0);
+    scanner.scan_domain(all, 0.0, rng, db);
+  }
+
+  /// Randomized workload: mixed widths, runtimes, CPU-boundness, and
+  /// deadline tightness (some forced starts, some loose waits).
+  std::vector<Task> make_tasks(std::size_t count, std::uint64_t seed) const {
+    Rng rng(seed);
+    std::vector<Task> tasks;
+    tasks.reserve(count);
+    double submit = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+      submit += rng.uniform(0.0, 400.0);
+      Task t;
+      t.id = static_cast<std::int64_t>(i + 1);
+      t.submit_s = submit;
+      t.cpus = static_cast<std::size_t>(rng.uniform_int(
+          1, static_cast<std::int64_t>(cluster.size() / 2)));
+      t.runtime_s = rng.uniform(100.0, 2000.0);
+      t.gamma = rng.uniform(0.3, 1.0);
+      t.deadline_s = t.submit_s + t.runtime_s * rng.uniform(1.5, 10.0);
+      tasks.push_back(t);
+    }
+    return tasks;
+  }
+
+  /// A wind trace whose level crosses the facility's demand regime.
+  HybridSupply make_supply(std::uint64_t seed) const {
+    Rng rng(seed);
+    std::vector<double> watts;
+    const std::size_t steps = 200;
+    const double peak =
+        estimated_peak_power(cluster).watts();
+    for (std::size_t i = 0; i < steps; ++i)
+      watts.push_back(rng.uniform(0.0, 0.9 * peak));
+    return HybridSupply(SupplyTrace(Seconds{600.0}, std::move(watts)));
+  }
+
+  static Watts estimated_peak_power(const Cluster& cluster) {
+    Watts total;
+    const std::size_t top = cluster.levels().freq_ghz.size() - 1;
+    for (std::size_t p = 0; p < cluster.size(); ++p)
+      total += cluster.power(p, top, Volts{cluster.levels().vdd_nom[top]});
+    return total;
+  }
+
+  SimResult run(Scheme scheme, const std::vector<Task>& tasks,
+                const HybridSupply& supply, SimConfig cfg,
+                const std::vector<ProfilingWindow>& profiling = {}) const {
+    cfg.record_trace = true;
+    cfg.record_timeline = true;
+    if (scheme_uses_scan(scheme)) {
+      const Knowledge knowledge(&cluster, scheme_knowledge(scheme), &db);
+      DatacenterSim sim(&knowledge, scheme_rule(scheme), &supply, cfg);
+      return sim.run(tasks, profiling);
+    }
+    const Knowledge knowledge(&cluster, scheme_knowledge(scheme), nullptr);
+    DatacenterSim sim(&knowledge, scheme_rule(scheme), &supply, cfg);
+    return sim.run(tasks, profiling);
+  }
+
+  void check_equivalence(Scheme scheme, const std::vector<Task>& tasks,
+                         const HybridSupply& supply, SimConfig cfg,
+                         const std::vector<ProfilingWindow>& profiling = {})
+      const {
+    cfg.use_reference_matcher = false;
+    const SimResult optimized = run(scheme, tasks, supply, cfg, profiling);
+    cfg.use_reference_matcher = true;
+    const SimResult reference = run(scheme, tasks, supply, cfg, profiling);
+    expect_identical(optimized, reference);
+  }
+};
+
+TEST(MatchEquivalence, AllSchemesUtilityOnly) {
+  const Scenario s(16, 11);
+  const auto tasks = s.make_tasks(40, 21);
+  for (const Scheme scheme : kAllSchemes) {
+    SCOPED_TRACE(scheme_name(scheme));
+    s.check_equivalence(scheme, tasks, HybridSupply{}, SimConfig{});
+  }
+}
+
+TEST(MatchEquivalence, AllSchemesWithWind) {
+  const Scenario s(16, 13);
+  const auto tasks = s.make_tasks(40, 23);
+  const HybridSupply supply = s.make_supply(31);
+  for (const Scheme scheme : kAllSchemes) {
+    SCOPED_TRACE(scheme_name(scheme));
+    s.check_equivalence(scheme, tasks, supply, SimConfig{});
+  }
+}
+
+TEST(MatchEquivalence, RandomizedClustersAndWorkloads) {
+  // Several independently-seeded cluster/workload/supply draws; the two
+  // schemes with the most scheduling structure (Effi waits, Fair defers).
+  for (const std::uint64_t seed : {101u, 202u, 303u}) {
+    SCOPED_TRACE(seed);
+    const Scenario s(12, seed);
+    const auto tasks = s.make_tasks(30, seed * 3);
+    const HybridSupply supply = s.make_supply(seed * 5);
+    s.check_equivalence(Scheme::kScanEffi, tasks, supply, SimConfig{});
+    s.check_equivalence(Scheme::kScanFair, tasks, supply, SimConfig{});
+  }
+}
+
+TEST(MatchEquivalence, WithBattery) {
+  const Scenario s(16, 17);
+  const auto tasks = s.make_tasks(35, 27);
+  const HybridSupply supply = s.make_supply(37);
+  SimConfig cfg;
+  cfg.battery = BatteryConfig::make(/*capacity_kwh=*/2.0, /*power_kw=*/1.0);
+  for (const Scheme scheme : {Scheme::kScanFair, Scheme::kBinEffi}) {
+    SCOPED_TRACE(scheme_name(scheme));
+    s.check_equivalence(scheme, tasks, supply, cfg);
+  }
+}
+
+TEST(MatchEquivalence, WithProfilingWindows) {
+  const Scenario s(16, 19);
+  const auto tasks = s.make_tasks(35, 29);
+  const HybridSupply supply = s.make_supply(39);
+  std::vector<ProfilingWindow> windows;
+  for (std::size_t w = 0; w < 4; ++w) {
+    ProfilingWindow win;
+    win.start_s = 500.0 + 2500.0 * static_cast<double>(w);
+    win.duration_s = 900.0;
+    win.proc_ids = {w, w + 4, w + 8};
+    windows.push_back(win);
+  }
+  s.check_equivalence(Scheme::kScanEffi, tasks, supply, SimConfig{}, windows);
+  s.check_equivalence(Scheme::kScanRan, tasks, supply, SimConfig{}, windows);
+}
+
+TEST(MatchEquivalence, ReusedSimulatorStaysEquivalent) {
+  // Back-to-back runs on one simulator (warm scratch buffers) must behave
+  // exactly like a fresh one.
+  const Scenario s(12, 23);
+  const auto tasks = s.make_tasks(25, 33);
+  const HybridSupply supply = s.make_supply(43);
+  SimConfig cfg;
+  cfg.record_trace = true;
+  cfg.record_timeline = true;
+  const Knowledge knowledge(&s.cluster, scheme_knowledge(Scheme::kScanEffi),
+                            &s.db);
+  DatacenterSim sim(&knowledge, scheme_rule(Scheme::kScanEffi), &supply, cfg);
+  const SimResult first = sim.run(tasks);
+  const SimResult second = sim.run(tasks);
+  expect_identical(first, second);
+}
+
+}  // namespace
+}  // namespace iscope

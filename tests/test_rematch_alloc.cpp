@@ -1,0 +1,132 @@
+// Zero-allocation guarantee for the rematch hot path (DESIGN.md Sec. 9).
+//
+// Global operator new/delete are overridden to count heap allocations, and
+// DatacenterSim::rematch_probe gates the counter so only allocations made
+// *inside* rematch() windows are charged. The simulator is run twice on
+// the same instance: the first run grows every reusable buffer (event
+// heap, matcher views/scratch, power tables) to its high-water mark, and
+// the second run must then perform zero heap allocations across all of
+// its rematches -- including the very first.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "profiling/scanner.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+std::atomic<bool> g_counting{false};
+std::atomic<std::size_t> g_allocs{0};
+
+void count_alloc() {
+  if (g_counting.load(std::memory_order_relaxed))
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  count_alloc();
+  if (void* p = std::malloc(size > 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  count_alloc();
+  if (void* p = std::malloc(size > 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace iscope {
+namespace {
+
+bool g_armed = false;
+
+void rematch_window_probe(bool entering) {
+  if (!g_armed) return;
+  g_counting.store(entering, std::memory_order_relaxed);
+}
+
+std::vector<Task> make_tasks(std::size_t count, std::size_t max_width,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Task> tasks;
+  tasks.reserve(count);
+  double submit = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    submit += rng.uniform(0.0, 300.0);
+    Task t;
+    t.id = static_cast<std::int64_t>(i + 1);
+    t.submit_s = submit;
+    t.cpus = static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(max_width)));
+    t.runtime_s = rng.uniform(100.0, 1500.0);
+    t.gamma = rng.uniform(0.3, 1.0);
+    t.deadline_s = t.submit_s + t.runtime_s * rng.uniform(1.5, 8.0);
+    tasks.push_back(t);
+  }
+  return tasks;
+}
+
+TEST(RematchAlloc, SteadyStateRematchIsAllocationFree) {
+  const std::size_t n = 16;
+  ClusterConfig ccfg;
+  ccfg.num_processors = n;
+  ccfg.seed = 5;
+  const Cluster cluster = build_cluster(ccfg);
+  ProfileDb db(n);
+  {
+    const Scanner scanner(&cluster, ScanConfig{});
+    Rng rng(9);
+    std::vector<std::size_t> all(n);
+    std::iota(all.begin(), all.end(), 0);
+    scanner.scan_domain(all, 0.0, rng, db);
+  }
+  const auto tasks = make_tasks(50, n / 2, 77);
+
+  // Wind level that crosses demand so phase-2 down-stepping runs too.
+  Rng wind_rng(13);
+  std::vector<double> watts;
+  for (std::size_t i = 0; i < 200; ++i)
+    watts.push_back(wind_rng.uniform(0.0, 400.0));
+  const HybridSupply supply(SupplyTrace(Seconds{600.0}, std::move(watts)));
+
+  SimConfig cfg;
+  cfg.battery = BatteryConfig::make(/*capacity_kwh=*/1.0, /*power_kw=*/0.5);
+  const Knowledge knowledge(&cluster, scheme_knowledge(Scheme::kScanEffi),
+                            &db);
+  DatacenterSim sim(&knowledge, scheme_rule(Scheme::kScanEffi), &supply, cfg);
+
+  // Warm-up run: every reusable buffer reaches its high-water mark.
+  const SimResult warm = sim.run(tasks);
+  ASSERT_EQ(warm.tasks_completed, tasks.size());
+  ASSERT_GT(warm.dvfs_rematch_count, 0u);
+
+  // Counted run: no rematch may touch the heap.
+  DatacenterSim::rematch_probe = &rematch_window_probe;
+  g_armed = true;
+  g_allocs.store(0, std::memory_order_relaxed);
+  const SimResult counted = sim.run(tasks);
+  g_armed = false;
+  g_counting.store(false, std::memory_order_relaxed);
+  DatacenterSim::rematch_probe = nullptr;
+
+  EXPECT_EQ(counted.tasks_completed, tasks.size());
+  EXPECT_EQ(counted.dvfs_rematch_count, warm.dvfs_rematch_count);
+  EXPECT_EQ(g_allocs.load(std::memory_order_relaxed), 0u)
+      << "heap allocations inside rematch() on a warmed simulator";
+}
+
+}  // namespace
+}  // namespace iscope

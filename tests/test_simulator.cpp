@@ -194,6 +194,61 @@ TEST(Simulator, TraceRecordedWhenRequested) {
   }
 }
 
+TEST(Simulator, TraceSamplesRouteThroughBatteryWaterfall) {
+  // No wind, a full high-power battery: every sampled watt of demand must
+  // be attributed to battery discharge, none to the utility -- the sample
+  // waterfall has to match the wind -> battery -> utility split the meter
+  // integrates, not the old wind/utility-only formula.
+  Fixture f;
+  SimConfig cfg;
+  cfg.record_trace = true;
+  cfg.sample_interval_s = 100.0;
+  cfg.battery = BatteryConfig::make(/*capacity_kwh=*/1000.0,
+                                    /*power_kw=*/1000.0);
+  cfg.battery.initial_soc = 1.0;
+  const SimResult r = f.run(Scheme::kBinRan,
+                            {simple_task(1, 0.0, 2, 1000.0)},
+                            HybridSupply{}, cfg);
+  ASSERT_GT(r.trace.size(), 3u);
+  bool saw_demand = false;
+  for (const PowerSample& s : r.trace) {
+    if (s.demand.watts() <= 0.0) continue;
+    saw_demand = true;
+    EXPECT_DOUBLE_EQ(s.battery.watts(), s.demand.watts());
+    EXPECT_DOUBLE_EQ(s.utility.watts(), 0.0);
+    EXPECT_DOUBLE_EQ(s.wind.watts(), 0.0);
+  }
+  EXPECT_TRUE(saw_demand);
+}
+
+TEST(Simulator, TraceSamplesConserveDemandWithWindAndBattery) {
+  Fixture f;
+  SimConfig cfg;
+  cfg.record_trace = true;
+  cfg.sample_interval_s = 100.0;
+  cfg.battery = BatteryConfig::make(/*capacity_kwh=*/5.0, /*power_kw=*/0.2);
+  // A wind level that sometimes covers demand and sometimes falls short.
+  std::vector<double> watts;
+  for (int i = 0; i < 50; ++i) watts.push_back(i % 2 == 0 ? 0.0 : 500.0);
+  const HybridSupply supply(SupplyTrace(Seconds{600.0}, std::move(watts)));
+  const SimResult r = f.run(Scheme::kScanFair,
+                            {simple_task(1, 0.0, 4, 2000.0, 20.0)},
+                            supply, cfg);
+  ASSERT_GT(r.trace.size(), 3u);
+  for (const PowerSample& s : r.trace) {
+    // Wind serving demand (s.wind minus any charging) + battery + utility
+    // must supply exactly the demand.
+    const double serving =
+        std::min(s.demand.watts(), s.wind_avail.watts());
+    EXPECT_NEAR(serving + s.battery.watts() + s.utility.watts(),
+                s.demand.watts(), 1e-9);
+    // The sample's wind consumption is at least what serves demand
+    // (charging can only add to it) and never exceeds availability.
+    EXPECT_GE(s.wind.watts(), serving - 1e-12);
+    EXPECT_LE(s.wind.watts(), s.wind_avail.watts() + 1e-12);
+  }
+}
+
 TEST(Simulator, NoTraceByDefault) {
   Fixture f;
   const SimResult r = f.run(Scheme::kBinRan, {simple_task(1, 0.0, 2, 100.0)});

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Machine-readable benchmark runner: builds the bench binaries and captures
+# BENCH_<name>.json trajectories (wall time, events/sec, rematch count,
+# peak RSS -- schema in src/common/bench_json.hpp).
+#
+# Usage:  tools/bench.sh [-o outdir] [-s scale] [-r repeats] [-w warmup] [bench...]
+#   -o outdir   where the JSON lands               (default bench-results/)
+#   -s scale    ISCOPE_SCALE facility scale        (default 1)
+#   -r repeats  timed iterations per bench         (default 3)
+#   -w warmup   untimed iterations per bench       (default 1)
+#   bench...    bench binary names                 (default: the JSON-wired
+#               set: bench_fig8_energy_cost bench_fig6_wind_utility)
+#
+# The build tree is build-bench/ (tier-1 flags, RelWithDebInfo) so the
+# developer's build/ directory is untouched. Runs are serial
+# (ISCOPE_PARALLEL=1): wall time then measures the hot path, not the pool.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT="bench-results"
+SCALE=1
+REPEATS=3
+WARMUP=1
+while getopts "o:s:r:w:" opt; do
+  case "$opt" in
+    o) OUT="$OPTARG" ;;
+    s) SCALE="$OPTARG" ;;
+    r) REPEATS="$OPTARG" ;;
+    w) WARMUP="$OPTARG" ;;
+    *) echo "usage: tools/bench.sh [-o outdir] [-s scale] [-r repeats] [-w warmup] [bench...]" >&2
+       exit 2 ;;
+  esac
+done
+shift $((OPTIND - 1))
+BENCHES=("$@")
+if [ "${#BENCHES[@]}" -eq 0 ]; then
+  BENCHES=(bench_fig8_energy_cost bench_fig6_wind_utility)
+fi
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+cmake -B build-bench -S . > /dev/null
+cmake --build build-bench -j "$JOBS" --target "${BENCHES[@]}"
+
+mkdir -p "$OUT"
+for bench in "${BENCHES[@]}"; do
+  echo "==== $bench (scale $SCALE, $WARMUP warmup + $REPEATS timed) ===="
+  ISCOPE_BENCH_JSON="$OUT" ISCOPE_BENCH_REPEAT="$REPEATS" \
+  ISCOPE_BENCH_WARMUP="$WARMUP" ISCOPE_SCALE="$SCALE" ISCOPE_PARALLEL=1 \
+      "build-bench/bench/$bench" | tail -1
+done
+
+echo "==== captures in $OUT/ ===="
+ls -1 "$OUT"/BENCH_*.json

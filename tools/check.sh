@@ -31,6 +31,18 @@ cmake --build build-check/strict -j "$JOBS"
 stage "tests (strict build)"
 ctest --test-dir build-check/strict --output-on-failure
 
+stage "bench smoke (BENCH_*.json emission)"
+BENCH_DIR="build-check/bench-smoke"
+mkdir -p "$BENCH_DIR"
+ISCOPE_SCALE=0.2 ISCOPE_PARALLEL=1 \
+ISCOPE_BENCH_JSON="$BENCH_DIR" ISCOPE_BENCH_REPEAT=1 ISCOPE_BENCH_WARMUP=0 \
+    ./build-check/strict/bench/bench_fig8_energy_cost > /dev/null
+SMOKE_JSON="$BENCH_DIR/BENCH_fig8_energy_cost.json"
+[ -s "$SMOKE_JSON" ] || { echo "bench smoke: $SMOKE_JSON missing" >&2; exit 1; }
+grep -q '"schema_version": 1' "$SMOKE_JSON" \
+    || { echo "bench smoke: $SMOKE_JSON lacks schema_version 1" >&2; exit 1; }
+echo "bench capture ok: $SMOKE_JSON"
+
 stage "clang-tidy"
 if command -v clang-tidy > /dev/null 2>&1; then
   cmake -B build-check/tidy -S . -DISCOPE_CLANG_TIDY=ON > /dev/null
