@@ -36,10 +36,13 @@ inline void maybe_export_csv(const std::string& name,
 }
 
 /// The standard experiment context: paper_small() scaled by ISCOPE_SCALE,
-/// sweep workers from ISCOPE_PARALLEL (0 = one per hardware thread).
+/// sweep workers from ISCOPE_PARALLEL (0 = one per hardware thread), fault
+/// injection from ISCOPE_FAULTS / ISCOPE_FAULT_SEED (off by default).
 inline ExperimentConfig bench_config() {
   ExperimentConfig cfg = ExperimentConfig::paper_small().scaled(env_scale());
   cfg.parallelism = env_parallelism();
+  cfg.sim.faults = env_fault_spec();
+  cfg.sim.fault_seed = env_fault_seed();
   return cfg;
 }
 
@@ -87,6 +90,9 @@ int run_bench(const char* name, Fn fn) {
 
   BenchReport report;
   report.name = name;
+  if (const char* label = std::getenv("ISCOPE_BENCH_LABEL");
+      label != nullptr && *label != '\0')
+    report.label = label;
   report.scale = env_scale();
   report.warmup = env_count("ISCOPE_BENCH_WARMUP", 1);
   const std::size_t repeats =

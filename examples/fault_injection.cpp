@@ -1,0 +1,68 @@
+// Fault injection: what survives when the perfect world breaks.
+//
+// The headline numbers (quickstart, green_datacenter) assume scans are
+// always right, CPUs never die, and the wind feed never glitches. This
+// example turns all four fault channels on -- scan mis-profiling, transient
+// CPU crashes, wind-forecast error, supply-trace dropouts -- and compares
+// every scheme under the exact same seeded fault schedule:
+//
+//  1. Build the standard small facility.
+//  2. Describe a fault model (FaultSpec) and pick a seed: the resulting
+//     FaultPlan is a pure function of both, so reruns replay the identical
+//     failure history.
+//  3. Run all five schemes against it and report cost next to the fault
+//     counters (failures, requeues, lost CPU-hours, fault-driven misses).
+//
+// Try ISCOPE_FAULT_SEED=7 ./fault_injection to replay a different history.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+
+int main() {
+  using namespace iscope;
+
+  ExperimentConfig config = ExperimentConfig::paper_small().scaled(0.5);
+
+  // A harsh day: every ~50 CPU-hours a transient crash (30 min mean
+  // repair), 2% of the scan profiles are unsafe, forecasts wander by up to
+  // 30%, and the wind feed drops out about twice a day.
+  config.sim.faults.crash_mtbf_s = 50.0 * 3600.0;
+  config.sim.faults.repair_mean_s = 1800.0;
+  config.sim.faults.misprofile_prob = 0.02;
+  config.sim.faults.misprofile_latency_mean_s = 1800.0;
+  config.sim.faults.forecast_error = 0.3;
+  config.sim.faults.dropouts_per_day = 2.0;
+  config.sim.faults.dropout_mean_s = 1800.0;
+  config.sim.fault_seed = env_fault_seed();
+
+  std::cout << "Fabricating " << config.cluster.num_processors
+            << " CPUs, scanning them, injecting faults (seed "
+            << config.sim.fault_seed << ")...\n";
+  const ExperimentContext ctx(config);
+
+  const std::vector<Task> tasks = ctx.make_tasks(/*hu_fraction=*/0.3);
+  const HybridSupply supply = ctx.make_supply(/*with_wind=*/true);
+
+  TextTable table;
+  table.set_title("all five schemes under one seeded fault schedule");
+  table.set_header({"scheme", "cost USD", "misses", "cpu fails",
+                    "(misprofile)", "requeues", "lost CPU-h"});
+  for (const Scheme scheme : kAllSchemes) {
+    const SimResult r = ctx.run(scheme, tasks, supply);
+    table.add_row({scheme_name(scheme), TextTable::num(r.cost.dollars(), 2),
+                   std::to_string(r.deadline_misses),
+                   std::to_string(r.faults.cpu_failures),
+                   std::to_string(r.faults.misprofile_failures),
+                   std::to_string(r.faults.task_requeues),
+                   TextTable::num(r.faults.lost_cpu_seconds / 3600.0, 1)});
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nOnly Scan schemes run chips at their discovered Min-Vdd points,\n"
+         "so only they can hit mis-profiling fail-stops -- the price of the\n"
+         "margin they harvest. Bin schemes see crashes and supply faults\n"
+         "alone. Same seed => identical fault history, bit for bit.\n";
+  return 0;
+}

@@ -8,6 +8,7 @@
 //   scan      --procs N [--seed S] --out profiles.csv
 //   simulate  --scheme NAME [--procs N] [--jobs N] [--hu F] [--rate R]
 //             [--wind trace.csv | --no-wind] [--battery-kwh X]
+//             [--faults "mtbf=...,misprofile=..."] [--fault-seed N]
 //             [--timeline out.csv]
 //   sweep     --fig hu|arrival|wind [--points "a,b,c"] [--no-wind]
 //             [--parallel N] [--scale F]
@@ -171,6 +172,12 @@ int cmd_simulate(const Args& args) {
         BatteryConfig::make(args.number("battery-kwh", 0.0), peak_kw);
   }
   config.sim.record_timeline = args.flag("timeline");
+  // Fault injection: --faults takes a parse_fault_spec string; the seed
+  // falls back to the ISCOPE_FAULT_SEED environment knob (default 0).
+  config.sim.faults = args.get("faults")
+                          ? parse_fault_spec(args.require("faults"))
+                          : env_fault_spec();
+  config.sim.fault_seed = args.integer("fault-seed", env_fault_seed());
 
   const ExperimentContext ctx(config);
 
@@ -181,8 +188,13 @@ int cmd_simulate(const Args& args) {
   spec.tasks = std::make_shared<const std::vector<Task>>(
       ctx.make_tasks(args.number("hu", 0.3), args.number("rate", 1.0)));
   if (args.get("wind")) {
-    spec.supply = std::make_shared<const HybridSupply>(
-        SupplyTrace::load_csv(args.require("wind")));
+    // A user-supplied trace gets the same dropout treatment as the
+    // synthesized one (make_supply applies them internally).
+    SupplyTrace trace = SupplyTrace::load_csv(args.require("wind"));
+    if (config.sim.faults.dropouts_per_day > 0.0)
+      trace = FaultPlan::build(config.sim.faults, config.sim.fault_seed, 0)
+                  .apply_dropouts(trace);
+    spec.supply = std::make_shared<const HybridSupply>(std::move(trace));
   } else if (args.flag("no-wind")) {
     spec.supply = std::make_shared<const HybridSupply>();
   } else {
@@ -203,6 +215,18 @@ int cmd_simulate(const Args& args) {
   out.add_row({"busy-time variance",
                TextTable::num(r.busy_variance_h2, 2) + " h^2"});
   out.add_row({"mean wait", TextTable::num(r.mean_wait.seconds() / 60.0, 1) + " min"});
+  if (config.sim.faults.any()) {
+    out.add_row({"cpu failures", std::to_string(r.faults.cpu_failures)});
+    out.add_row({"  from mis-profiling",
+                 std::to_string(r.faults.misprofile_failures)});
+    out.add_row({"cpu repairs", std::to_string(r.faults.cpu_repairs)});
+    out.add_row({"task requeues", std::to_string(r.faults.task_requeues)});
+    out.add_row({"tasks failed", std::to_string(r.faults.tasks_failed)});
+    out.add_row({"lost CPU-hours",
+                 TextTable::num(r.faults.lost_cpu_seconds / 3600.0, 2)});
+    out.add_row({"fault-driven misses",
+                 std::to_string(r.faults.fault_deadline_misses)});
+  }
   out.print(std::cout);
 
   if (args.flag("timeline")) {
@@ -293,6 +317,8 @@ int usage() {
       "  simulate  [--scheme ScanFair] [--procs N] [--jobs N] [--hu F]\n"
       "            [--rate R] [--wind trace.csv | --no-wind]\n"
       "            [--battery-kwh X] [--timeline out.csv]\n"
+      "            [--faults \"mtbf=S,repair=S,misprofile=P,forecast=E,\n"
+      "              dropouts=N,retries=K\"] [--fault-seed N]\n"
       "  sweep     [--fig hu|arrival|wind] [--points \"a,b,c\"] [--no-wind]\n"
       "            [--parallel N] [--scale F]\n";
   return 1;

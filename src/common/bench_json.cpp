@@ -74,8 +74,10 @@ std::string to_json(const BenchReport& report) {
   std::ostringstream out;
   out << "{\n"
       << "  \"schema_version\": 1,\n"
-      << "  \"name\": " << json_string(report.name) << ",\n"
-      << "  \"scale\": " << json_number(report.scale) << ",\n"
+      << "  \"name\": " << json_string(report.name) << ",\n";
+  if (!report.label.empty())
+    out << "  \"label\": " << json_string(report.label) << ",\n";
+  out << "  \"scale\": " << json_number(report.scale) << ",\n"
       << "  \"warmup\": " << report.warmup << ",\n"
       << "  \"repeats\": " << report.wall_s.size() << ",\n"
       << "  \"wall_s\": {\n"
@@ -315,6 +317,10 @@ std::string validate_bench_json(const std::string& json) {
   }
   if (find_key(root, "schema_version")->number != 1.0)
     return "unsupported schema_version";
+  // Optional capture tag; must be a string when present.
+  if (const JsonValue* label = find_key(root, "label");
+      label != nullptr && label->kind != Kind::kString)
+    return "key \"label\" has the wrong type";
 
   const JsonValue& wall = *find_key(root, "wall_s");
   for (const char* key : {"mean", "min", "max"}) {

@@ -33,6 +33,11 @@ struct BenchCounters {
 /// `warmup` untimed iterations.
 struct BenchReport {
   std::string name;            ///< e.g. "fig8_energy_cost"
+  /// Free-form capture tag (tools/bench.sh --label / ISCOPE_BENCH_LABEL):
+  /// distinguishes e.g. a faults-enabled capture from the plain baseline.
+  /// Optional: emitted as a "label" key only when non-empty, so untagged
+  /// captures are byte-identical to the schema-v1 documents of old.
+  std::string label;
   double scale = 1.0;          ///< ISCOPE_SCALE the capture ran at
   std::size_t warmup = 0;      ///< untimed iterations before sampling
   std::vector<double> wall_s;  ///< timed samples, in order

@@ -85,6 +85,18 @@ std::size_t env_parallelism() {
   return static_cast<std::size_t>(v);
 }
 
+FaultSpec env_fault_spec() {
+  const char* s = std::getenv("ISCOPE_FAULTS");
+  if (s == nullptr || *s == '\0') return FaultSpec{};
+  return parse_fault_spec(s);
+}
+
+std::uint64_t env_fault_seed() {
+  const char* s = std::getenv("ISCOPE_FAULT_SEED");
+  if (s == nullptr || *s == '\0') return 0;
+  return std::strtoull(s, nullptr, 10);
+}
+
 Watts estimated_peak_demand(const ClusterConfig& cluster, double cop) {
   const Gigahertz f_top{cluster.levels.freq_ghz.back()};
   const Watts per_cpu =

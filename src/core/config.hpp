@@ -59,6 +59,15 @@ double env_scale();
 /// `ExperimentConfig::parallelism`.
 std::size_t env_parallelism();
 
+/// Read ISCOPE_FAULTS from the environment: a `key=value,...` fault spec
+/// (see parse_fault_spec). Unset/empty means no injection. Benches and the
+/// CLI feed this into `SimConfig::faults`.
+FaultSpec env_fault_spec();
+
+/// Read ISCOPE_FAULT_SEED from the environment (default 0). Seeds
+/// `FaultPlan::build` via `SimConfig::fault_seed`.
+std::uint64_t env_fault_seed();
+
 /// Estimated peak facility demand: every CPU at the top level and stock
 /// voltage, plus cooling.
 Watts estimated_peak_demand(const ClusterConfig& cluster, double cop);

@@ -5,6 +5,7 @@
 
 #include "common/log.hpp"
 #include "common/rng.hpp"
+#include "fault/fault.hpp"
 #include "profiling/scanner.hpp"
 #include "sim/simulator.hpp"
 #include "workload/urgency.hpp"
@@ -65,6 +66,18 @@ std::vector<Task> ExperimentContext::make_tasks(double hu_fraction,
 HybridSupply ExperimentContext::make_supply(bool with_wind,
                                             double strength) const {
   if (!with_wind) return HybridSupply();
+  // Supply-trace dropouts are injected here, at the feed, so the simulator
+  // and every forecaster see the same faulted trace. The dropout windows
+  // are drawn from their own RNG fork, so they are identical to the ones
+  // the simulator's own plan (same spec + seed) would carry.
+  if (config_.sim.fault_plan != nullptr)
+    return HybridSupply(config_.sim.fault_plan->apply_dropouts(wind_trace_),
+                        strength);
+  if (config_.sim.faults.dropouts_per_day > 0.0)
+    return HybridSupply(
+        FaultPlan::build(config_.sim.faults, config_.sim.fault_seed, 0)
+            .apply_dropouts(wind_trace_),
+        strength);
   return HybridSupply(wind_trace_, strength);
 }
 

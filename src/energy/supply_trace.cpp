@@ -87,8 +87,17 @@ SupplyTrace SupplyTrace::load_csv(const std::string& path) {
   power.reserve(doc.rows.size());
   double step = 0.0, prev_t = 0.0;
   for (std::size_t i = 0; i < doc.rows.size(); ++i) {
+    if (doc.rows[i].size() <= std::max(tcol, pcol))
+      throw ParseError("supply trace row " + std::to_string(i + 1) +
+                       ": too few columns");
     const double t = parse_double(doc.rows[i][tcol]);
     const double p = parse_double(doc.rows[i][pcol]);
+    // parse_double accepts "nan"/"inf"; a NaN time would also slip past
+    // the uniform-step check below (NaN compares false), silently
+    // mis-parsing the trace -- reject non-finite values explicitly.
+    if (!std::isfinite(t) || !std::isfinite(p))
+      throw ParseError("supply trace row " + std::to_string(i + 1) +
+                       ": non-finite value");
     if (p < 0.0) throw ParseError("supply trace: negative power sample");
     if (i == 1) {
       step = t - prev_t;

@@ -1,0 +1,195 @@
+// Deterministic fault injection (the resilience layer).
+//
+// The paper's iScope scanner deliberately operates chips near the
+// process-variation Min-Vdd margin, so a credible evaluation must show what
+// the schedulers do when the perfect-world assumptions break:
+//
+//  (a) scan mis-profiling -- the in-cloud scan underestimated a chip's
+//      Min Vdd, so running it at the discovered (unsafe) point eventually
+//      fail-stops the processor;
+//  (b) transient CPU crashes -- exponential inter-arrival and repair times
+//      per processor, independent of the voltage margin story;
+//  (c) wind-forecast error -- multiplicative noise on forecaster outputs
+//      (see fault/noisy_forecast.hpp);
+//  (d) supply-trace dropouts -- sensor/feed gaps treated as zero wind.
+//
+// Everything is seeded and replayable: a `FaultPlan` is a pure function of
+// (FaultSpec, seed, processor count). Same seed => identical fault
+// schedule, counters, and report, regardless of what the scheduler does in
+// between (crash/repair times are precomputed; mis-profile latencies are
+// per-processor constants; forecast noise is a hash of the query time, not
+// a consumed stream). A default-constructed (empty) `FaultPlan` is the
+// contract for "injection disabled": the simulator must produce
+// bit-identical results to a build that never heard of faults
+// (tests/test_match_equivalence.cpp enforces this).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "energy/supply_trace.hpp"
+
+namespace iscope {
+
+/// Stochastic fault model parameters. All rates default to 0 / disabled, so
+/// `FaultSpec{}` describes the perfect world.
+struct FaultSpec {
+  /// (a) Probability that a scanned chip's Min Vdd was underestimated by
+  /// the profiling guardband. Only Scan-knowledge schemes exercise the
+  /// unsafe point, so only they can trigger these fail-stops (a binned chip
+  /// runs at the bin's worst-case voltage, safely above its true minimum).
+  double misprofile_prob = 0.0;
+  /// Mean (exponential) latency from first running at the unsafe point to
+  /// the fail-stop, per mis-profiled chip.
+  double misprofile_latency_mean_s = 1800.0;
+
+  /// (b) Per-processor mean time between transient crashes (exponential
+  /// inter-arrival). 0 disables crash injection.
+  double crash_mtbf_s = 0.0;
+  /// Mean (exponential) repair time; applies to crashes and to
+  /// mis-profiling fail-stops (repair includes a corrective re-profile, so
+  /// a repaired chip does not fail-stop from the same mis-profile again).
+  double repair_mean_s = 1800.0;
+
+  /// (c) Multiplicative wind-forecast noise half-width: a forecast is
+  /// scaled by a deterministic pseudo-random factor in [1-e, 1+e].
+  double forecast_error = 0.0;
+
+  /// (d) Supply-trace dropouts: expected dropouts per day of trace, each
+  /// with an exponential duration of mean `dropout_mean_s`. Samples inside
+  /// a dropout window read as zero wind.
+  double dropouts_per_day = 0.0;
+  double dropout_mean_s = 1800.0;
+
+  /// Crash/repair schedules are generated out to this horizon.
+  double horizon_s = 60.0 * 86400.0;
+  /// How many times a task killed by a failing CPU is requeued before it is
+  /// abandoned (counted as terminally failed, never silently lost).
+  std::size_t max_retries = 3;
+
+  /// True when any injection channel is active.
+  bool any() const;
+  void validate() const;
+};
+
+/// Parse a `key=value,key=value` spec string (the CLI `--faults` format).
+/// Keys: mtbf, repair, misprofile, misprofile-latency, forecast, dropouts,
+/// dropout-mean, retries, horizon. Durations are seconds. Unknown keys
+/// throw InvalidArgument.
+FaultSpec parse_fault_spec(const std::string& text);
+
+enum class FaultKind : std::uint8_t {
+  kCrash,   ///< processor fail-stops (transient)
+  kRepair,  ///< processor returns to service
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+/// One scheduled processor fault. Scripted plans are a list of these.
+struct FaultEvent {
+  double time_s = 0.0;
+  FaultKind kind = FaultKind::kCrash;
+  std::size_t proc = 0;
+};
+
+/// A wind-supply outage [start, end).
+struct DropoutWindow {
+  double start_s = 0.0;
+  double end_s = 0.0;
+};
+
+/// A fully materialized, deterministic fault schedule. Built once from a
+/// `FaultSpec` and a seed (or scripted explicitly), then read-only: the
+/// simulator consumes it without drawing any randomness of its own.
+class FaultPlan {
+ public:
+  /// The empty plan: injection disabled, bit-identical simulation results.
+  FaultPlan() = default;
+
+  /// Materialize `spec` for a `procs`-processor facility. Pure function of
+  /// its arguments. Every generated crash carries a matching repair (repair
+  /// may land past the horizon), so no processor is lost forever.
+  static FaultPlan build(const FaultSpec& spec, std::uint64_t seed,
+                         std::size_t procs);
+
+  /// Explicit scripted schedule (tests, replaying a production incident).
+  /// Events are sorted by (time, proc); for each processor, crashes and
+  /// repairs must alternate starting with a crash.
+  static FaultPlan scripted(std::vector<FaultEvent> events,
+                            std::size_t max_retries = 3);
+
+  /// True when the plan injects nothing into the simulator (no crash
+  /// events and no mis-profiled chips). Dropouts/forecast noise act on the
+  /// supply/forecast objects outside the event loop, so they do not count.
+  bool sim_empty() const {
+    return events_.empty() && misprofile_count_ == 0;
+  }
+  /// True when the plan carries no faults of any kind.
+  bool empty() const {
+    return sim_empty() && dropouts_.empty() && forecast_error_ == 0.0;
+  }
+
+  /// Crash/repair schedule, sorted by (time, proc, kind).
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+  bool misprofiled(std::size_t proc) const {
+    return proc < misprofile_latency_s_.size() &&
+           misprofile_latency_s_[proc] >= 0.0;
+  }
+  /// Exercise-to-fail-stop latency of a mis-profiled chip (>= 0); chips
+  /// that were profiled correctly return -1.
+  double misprofile_latency_s(std::size_t proc) const {
+    return misprofiled(proc) ? misprofile_latency_s_[proc] : -1.0;
+  }
+  std::size_t misprofile_count() const { return misprofile_count_; }
+  /// Repair duration after a mis-profile fail-stop (the repair includes a
+  /// corrective re-profile, so the chip cannot fail from the same
+  /// mis-profile again). Pre-drawn per processor for determinism.
+  double misprofile_repair_s(std::size_t proc) const {
+    return proc < misprofile_repair_s_.size() ? misprofile_repair_s_[proc]
+                                              : 0.0;
+  }
+
+  std::size_t max_retries() const { return max_retries_; }
+
+  const std::vector<DropoutWindow>& dropouts() const { return dropouts_; }
+  /// Zero every sample of `trace` that falls inside a dropout window.
+  SupplyTrace apply_dropouts(const SupplyTrace& trace) const;
+
+  /// Forecast-noise parameters (consumed by NoisyForecaster).
+  double forecast_error() const { return forecast_error_; }
+  std::uint64_t forecast_seed() const { return forecast_seed_; }
+
+  /// Largest processor id referenced by events or mis-profiles, +1; 0 when
+  /// none. The simulator checks this against its cluster size.
+  std::size_t procs_referenced() const;
+
+ private:
+  std::vector<FaultEvent> events_;
+  /// Per-processor latency; -1 = profiled correctly. Empty = none at all.
+  std::vector<double> misprofile_latency_s_;
+  std::vector<double> misprofile_repair_s_;
+  std::size_t misprofile_count_ = 0;
+  std::vector<DropoutWindow> dropouts_;
+  double forecast_error_ = 0.0;
+  std::uint64_t forecast_seed_ = 0;
+  std::size_t max_retries_ = 3;
+};
+
+/// Fault-injection outcome counters, reported in `SimResult::faults`. All
+/// zero when injection is disabled.
+struct FaultCounters {
+  std::size_t cpu_failures = 0;     ///< fail-stops (crashes + mis-profiles)
+  std::size_t cpu_repairs = 0;      ///< processors returned to service
+  std::size_t misprofile_failures = 0;  ///< fail-stops caused by (a)
+  std::size_t task_requeues = 0;    ///< task restarts forced by failures
+  std::size_t tasks_failed = 0;     ///< abandoned after max_retries
+  double lost_cpu_seconds = 0.0;    ///< processor-seconds of discarded work
+  /// Deadline misses of tasks that had been requeued at least once (the
+  /// misses attributable to fault recovery rather than to scheduling).
+  std::size_t fault_deadline_misses = 0;
+};
+
+}  // namespace iscope

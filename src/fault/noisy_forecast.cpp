@@ -1,0 +1,33 @@
+#include "fault/noisy_forecast.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace iscope {
+
+NoisyForecaster::NoisyForecaster(const WindForecaster* base, double error,
+                                 std::uint64_t seed)
+    : base_(base), error_(error), seed_(seed) {
+  ISCOPE_CHECK_ARG(base != nullptr, "NoisyForecaster needs a base forecaster");
+  ISCOPE_CHECK_ARG(std::isfinite(error) && error >= 0.0 && error < 1.0,
+                   "forecast error must be in [0, 1)");
+}
+
+Watts NoisyForecaster::forecast_mean(Seconds now, Seconds horizon) const {
+  const Watts base = base_->forecast_mean(now, horizon);
+  if (error_ == 0.0) return base;
+  // Stateless noise: hash the query coordinates so the factor depends only
+  // on (seed, now, horizon), never on query order.
+  std::uint64_t h = seed_;
+  h = splitmix64(h ^ std::bit_cast<std::uint64_t>(now.raw()));
+  h = splitmix64(h ^ std::bit_cast<std::uint64_t>(horizon.raw()));
+  const double u =
+      static_cast<double>(h >> 11) * 0x1.0p-53;  // uniform in [0, 1)
+  const double factor = 1.0 - error_ + 2.0 * error_ * u;
+  return Watts{base.raw() * factor};
+}
+
+}  // namespace iscope

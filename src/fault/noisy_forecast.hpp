@@ -1,0 +1,33 @@
+// Wind-forecast error injection: a decorator that perturbs another
+// forecaster's output with deterministic multiplicative noise.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "energy/forecast.hpp"
+
+namespace iscope {
+
+/// Wraps a base forecaster and scales each forecast by a pseudo-random
+/// factor in [1 - error, 1 + error]. The factor is a hash of (seed, now,
+/// horizon) rather than a draw from a consumed RNG stream, so the noise a
+/// query sees does not depend on how many forecasts were made before it —
+/// replays and schedulers with different query patterns stay comparable.
+class NoisyForecaster final : public WindForecaster {
+ public:
+  /// `base` must outlive this object (the simulator owns both).
+  NoisyForecaster(const WindForecaster* base, double error,
+                  std::uint64_t seed);
+
+  Watts forecast_mean(Seconds now, Seconds horizon) const override;
+
+  double error() const { return error_; }
+
+ private:
+  const WindForecaster* base_;
+  double error_;
+  std::uint64_t seed_;
+};
+
+}  // namespace iscope

@@ -25,6 +25,8 @@ void Knowledge::refresh() {
   vdd_.assign(n, std::vector<double>(nl, 0.0));
   power_.assign(n, std::vector<double>(nl, 0.0));
   efficiency_.assign(n, 0.0);
+  quarantined_.resize(n, 0);
+  scanned_.assign(n, 0);
 
   const Gigahertz f_top{cluster_->levels().freq_ghz[nl - 1]};
   // Bin-specified power: the population-mean Eq-1 chip at the bin voltage.
@@ -35,6 +37,7 @@ void Knowledge::refresh() {
     const ChipProfile* profile =
         (source_ == KnowledgeSource::kScan && db_ != nullptr) ? db_->find(i)
                                                               : nullptr;
+    scanned_[i] = profile != nullptr ? 1 : 0;
     for (std::size_t l = 0; l < nl; ++l) {
       // The latest scan is the only *currently validated* safe bound: the
       // factory bin spec was validated at t=0 and silicon drifts past it
@@ -70,6 +73,30 @@ void Knowledge::refresh() {
                 return efficiency_[a] < efficiency_[b];
               return a < b;
             });
+}
+
+void Knowledge::quarantine(std::size_t i) {
+  ISCOPE_CHECK_ARG(i < quarantined_.size(), "Knowledge: proc out of range");
+  ISCOPE_CHECK(quarantined_[i] == 0, "Knowledge: proc already quarantined");
+  quarantined_[i] = 1;
+  ++quarantined_count_;
+  ++generation_;
+}
+
+void Knowledge::release(std::size_t i) {
+  ISCOPE_CHECK_ARG(i < quarantined_.size(), "Knowledge: proc out of range");
+  ISCOPE_CHECK(quarantined_[i] != 0, "Knowledge: proc not quarantined");
+  quarantined_[i] = 0;
+  --quarantined_count_;
+  ++generation_;
+}
+
+void Knowledge::clear_quarantine() {
+  if (quarantined_count_ == 0) return;
+  std::fill(quarantined_.begin(), quarantined_.end(),
+            static_cast<std::uint8_t>(0));
+  quarantined_count_ = 0;
+  ++generation_;
 }
 
 Volts Knowledge::vdd(std::size_t i, std::size_t level) const {

@@ -64,7 +64,28 @@ class Knowledge {
   const Cluster& cluster() const { return *cluster_; }
 
   /// Rebuild the cached tables (call after the ProfileDb gained profiles).
+  /// Quarantine flags survive the rebuild.
   void refresh();
+
+  /// Fault quarantine: a failed processor is withdrawn from scheduling
+  /// (fault layer, see src/fault/). Both calls bump the generation so
+  /// consumers drop caches derived from this view.
+  void quarantine(std::size_t i);
+  void release(std::size_t i);
+  void clear_quarantine();
+
+  bool quarantined(std::size_t i) const {
+    return i < quarantined_.size() && quarantined_[i] != 0;
+  }
+  std::size_t quarantined_count() const { return quarantined_count_; }
+
+  /// True when processor `i` runs at an individually scanned operating
+  /// point (kScan view and the ProfileDb has its profile). Only such
+  /// chips sit at the Min-Vdd margin, so only they can be mis-profiled
+  /// (fault layer).
+  bool scanned(std::size_t i) const {
+    return i < scanned_.size() && scanned_[i] != 0;
+  }
 
   /// Bumped by every refresh(). Consumers that derive state from this view
   /// (e.g. the simulator's per-task power tables) compare generations to
@@ -82,6 +103,9 @@ class Knowledge {
   std::vector<std::vector<double>> power_;  // [proc][level]
   std::vector<double> efficiency_;
   std::vector<std::size_t> efficiency_order_;
+  std::vector<std::uint8_t> quarantined_;
+  std::size_t quarantined_count_ = 0;
+  std::vector<std::uint8_t> scanned_;
 };
 
 }  // namespace iscope

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "power/cost.hpp"
 #include "power/energy_meter.hpp"
 #include "sim/timeline.hpp"
@@ -20,6 +21,9 @@ struct SimResult {
   Joules battery_losses;
 
   // --- task outcomes ----------------------------------------------------
+  /// With fault injection disabled tasks_completed == tasks submitted;
+  /// under injection, tasks_completed + faults.tasks_failed == submitted
+  /// (no task is ever silently lost).
   std::size_t tasks_completed = 0;
   std::size_t deadline_misses = 0;
   Seconds mean_wait;              ///< submit -> start
@@ -43,6 +47,9 @@ struct SimResult {
   std::size_t profiling_procs_scanned = 0;
   std::size_t profiling_procs_skipped = 0;  ///< busy at window start (QoS)
   double profiling_proc_seconds = 0.0;      ///< processor-seconds isolated
+
+  // --- fault injection (src/fault/; all-zero when disabled) ---------------
+  FaultCounters faults;
 
   // --- bookkeeping --------------------------------------------------------
   std::size_t dvfs_rematch_count = 0;

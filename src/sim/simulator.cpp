@@ -20,6 +20,7 @@ void SimConfig::validate() const {
                    "SimConfig: negative deadline patience");
   ISCOPE_CHECK_ARG(max_events > 0, "SimConfig: max_events must be > 0");
   battery.validate();
+  faults.validate();
 }
 
 void (*DatacenterSim::rematch_probe)(bool) = nullptr;
@@ -43,6 +44,36 @@ DatacenterSim::DatacenterSim(const Knowledge* knowledge, PlacementRule rule,
   slowdown_ratio_.reserve(levels.freq_ghz.size());
   for (const double f : levels.freq_ghz)
     slowdown_ratio_.push_back(fmax / f - 1.0);
+
+  // Resolve the fault plan: explicit override > built from the spec > the
+  // empty plan (whose run takes no fault branch at all).
+  if (config_.fault_plan != nullptr) {
+    plan_ = config_.fault_plan.get();
+  } else {
+    if (config_.faults.any())
+      plan_local_ = FaultPlan::build(config_.faults, config_.fault_seed,
+                                     knowledge_->procs());
+    plan_ = &plan_local_;
+  }
+  faults_active_ = !plan_->sim_empty();
+  if (faults_active_)
+    ISCOPE_CHECK_ARG(plan_->procs_referenced() <= knowledge_->procs(),
+                     "DatacenterSim: fault plan references processors beyond "
+                     "the cluster");
+  if (plan_->forecast_error() > 0.0 && forecaster_ != nullptr) {
+    noisy_forecaster_ = std::make_unique<NoisyForecaster>(
+        forecaster_, plan_->forecast_error(), plan_->forecast_seed());
+    forecaster_ = noisy_forecaster_.get();
+  }
+}
+
+DatacenterSim::DatacenterSim(Knowledge* knowledge, PlacementRule rule,
+                             const HybridSupply* supply,
+                             const SimConfig& config,
+                             const WindForecaster* forecaster)
+    : DatacenterSim(static_cast<const Knowledge*>(knowledge), rule, supply,
+                    config, forecaster) {
+  knowledge_mut_ = knowledge;
 }
 
 double DatacenterSim::fmax_ghz() const {
@@ -216,8 +247,9 @@ void DatacenterSim::rematch() {
        idx = tasks_[idx].run_next, ++k) {
     SimTask& t = tasks_[idx];
     const std::size_t new_level = views_[k].level;
-    const bool first_schedule = t.version == 0;
+    const bool first_schedule = !t.completion_scheduled;
     if (new_level != t.level || first_schedule) {
+      t.completion_scheduled = true;
       t.level = new_level;
       ++t.version;
       const double slowdown = level_slowdown(t);
@@ -350,10 +382,24 @@ void DatacenterSim::start_task(std::size_t idx, std::vector<std::size_t> procs) 
   t.start_s = now;
   t.last_update_s = now;
   t.remaining_work_s = t.spec.runtime_s;
-  t.version = 0;
+  // Deliberately NOT resetting t.version: a requeued task's cancelled
+  // completion event is only stale while the version keeps moving forward.
+  t.completion_scheduled = false;
   t.level = knowledge_->levels() - 1;
-  total_wait_s_ += now - t.spec.submit_s;
+  // A requeued task already waited once; count only the first wait so the
+  // mean keeps its submit->first-start meaning under injection.
+  if (t.retries == 0) total_wait_s_ += now - t.spec.submit_s;
   log_event(TimelineKind::kStart, t.spec.id, now - t.spec.submit_s);
+  if (faults_active_) {
+    // Arm latent mis-profile fail-stops: the chip must run continuously at
+    // its (unsafe) scan point for the plan's latency before it fail-stops.
+    for (const std::size_t p : t.procs) {
+      if (misprofile_armed_[p] == 0) continue;
+      const std::uint64_t token = ++misprofile_token_[p];
+      queue_.schedule(now + plan_->misprofile_latency_s(p),
+                      [this, p, token] { on_misprofile_timer(p, token); });
+    }
+  }
   fill_power_table(idx);
   link_running(idx);
   rematch();
@@ -371,6 +417,9 @@ void DatacenterSim::on_completion(std::size_t idx, std::uint64_t version) {
   log_event(TimelineKind::kCompletion, t.spec.id, now - t.start_s);
   if (now > t.spec.deadline_s + 1e-6) {
     ++miss_count_;
+    // A miss of a task that had to restart is attributed to fault
+    // recovery, not to the scheduling policy.
+    if (t.retries > 0) ++fault_counters_.fault_deadline_misses;
     log_event(TimelineKind::kDeadlineMiss, t.spec.id,
               now - t.spec.deadline_s);
   }
@@ -379,6 +428,7 @@ void DatacenterSim::on_completion(std::size_t idx, std::uint64_t version) {
     ISCOPE_CHECK(proc_running_[p] == idx, "completion: processor mismatch");
     proc_running_[p] = kNone;
     busy_time_s_[p] += now - t.start_s;
+    if (faults_active_) ++misprofile_token_[p];  // stale any armed timer
     if (!reserved_[p]) idle_insert(p);
   }
   unlink_running(idx);
@@ -395,7 +445,8 @@ void DatacenterSim::begin_profiling_window(const ProfilingWindow& window) {
   for (const std::size_t p : window.proc_ids) {
     ISCOPE_CHECK_ARG(p < proc_running_.size(),
                      "profiling window: processor out of range");
-    if (proc_running_[p] != kNone || reserved_[p]) {
+    if (proc_running_[p] != kNone || reserved_[p] ||
+        (faults_active_ && failed_[p] != 0)) {
       ++profiling_procs_skipped_;
       continue;
     }
@@ -424,7 +475,8 @@ void DatacenterSim::end_profiling_window(const std::vector<std::size_t>& procs,
   const std::size_t top = knowledge_->levels() - 1;
   for (const std::size_t p : procs) {
     reserved_[p] = false;
-    if (proc_running_[p] == kNone) idle_insert(p);
+    if (proc_running_[p] == kNone && !(faults_active_ && failed_[p] != 0))
+      idle_insert(p);
     reserved_power_ -= knowledge_->cluster().power(
         p, top, Volts{knowledge_->cluster().levels().vdd_nom[top]});
     profiling_proc_seconds_ += queue_.now() - started_s;
@@ -434,6 +486,101 @@ void DatacenterSim::end_profiling_window(const std::vector<std::size_t>& procs,
             static_cast<double>(procs.size()));
   rematch();
   schedule_pass();  // the freed processors may admit waiting tasks
+}
+
+void DatacenterSim::schedule_fault_event(std::size_t i) {
+  if (i >= plan_->events().size()) return;
+  const double at = plan_->events()[i].time_s;
+  queue_.schedule(at, [this, i] { on_fault_event(i); });
+}
+
+void DatacenterSim::on_fault_event(std::size_t i) {
+  // The plan's crash/repair stream runs as one lazily-chained event, so an
+  // all-but-infinite horizon costs nothing once the workload has drained.
+  if (all_done()) return;
+  const FaultEvent& e = plan_->events()[i];
+  if (e.kind == FaultKind::kCrash)
+    fail_proc(e.proc, /*misprofile=*/false);
+  else
+    repair_proc(e.proc);
+  schedule_fault_event(i + 1);
+}
+
+void DatacenterSim::fail_proc(std::size_t p, bool misprofile) {
+  if (failed_[p] != 0) return;  // double fault while already down
+  failed_[p] = 1;
+  ++fault_counters_.cpu_failures;
+  if (misprofile) ++fault_counters_.misprofile_failures;
+  knowledge_mut_->quarantine(p);
+  log_event(TimelineKind::kCpuFail, -1, static_cast<double>(p));
+  ++misprofile_token_[p];
+  const std::size_t idx = proc_running_[p];
+  if (idx != kNone) {
+    requeue_task(idx);
+    rematch();  // the victim's load vanished; re-decide DVFS levels
+    schedule_pass();
+  } else if (!reserved_[p]) {
+    idle_remove(p);
+  }
+}
+
+void DatacenterSim::repair_proc(std::size_t p) {
+  if (failed_[p] == 0) return;  // already repaired (overlapping faults)
+  failed_[p] = 0;
+  ++fault_counters_.cpu_repairs;
+  knowledge_mut_->release(p);
+  log_event(TimelineKind::kCpuRepair, -1, static_cast<double>(p));
+  if (proc_running_[p] == kNone && !reserved_[p]) idle_insert(p);
+  schedule_pass();  // restored capacity may admit waiting tasks
+}
+
+void DatacenterSim::requeue_task(std::size_t idx) {
+  SimTask& t = tasks_[idx];
+  ISCOPE_CHECK(t.state == TaskState::kRunning, "requeue_task: bad state");
+  const double now = queue_.now();
+  // All progress on the gang is discarded; the task restarts from scratch.
+  fault_counters_.lost_cpu_seconds +=
+      static_cast<double>(t.spec.cpus) * (now - t.start_s);
+  for (const std::size_t p : t.procs) {
+    ISCOPE_CHECK(proc_running_[p] == idx, "requeue_task: processor mismatch");
+    proc_running_[p] = kNone;
+    busy_time_s_[p] += now - t.start_s;
+    ++misprofile_token_[p];
+    if (!reserved_[p] && failed_[p] == 0) idle_insert(p);
+  }
+  t.procs.clear();
+  unlink_running(idx);
+  ++t.version;  // cancel the pending completion event
+  if (t.retries >= plan_->max_retries()) {
+    t.state = TaskState::kFailed;
+    ++failed_count_;
+    ++fault_counters_.tasks_failed;
+    makespan_s_ = std::max(makespan_s_, now);
+    log_event(TimelineKind::kTaskAbandon, t.spec.id,
+              static_cast<double>(t.retries));
+    return;
+  }
+  ++t.retries;
+  ++fault_counters_.task_requeues;
+  t.state = TaskState::kWaiting;
+  waiting_.push_back(idx);
+  waiting_cpus_ += t.spec.cpus;
+  log_event(TimelineKind::kTaskRequeue, t.spec.id,
+            static_cast<double>(t.retries));
+  // Same deadline-pressure wakeup an arrival gets (likely already due).
+  const double force_at =
+      std::max(now, latest_start(t) - config_.deadline_patience_s);
+  queue_.schedule(force_at, [this] { schedule_pass(); });
+}
+
+void DatacenterSim::on_misprofile_timer(std::size_t p, std::uint64_t token) {
+  if (misprofile_token_[p] != token) return;  // occupancy ended; stale
+  if (failed_[p] != 0 || proc_running_[p] == kNone) return;
+  // The latent fault fires exactly once; repair re-profiles the chip.
+  misprofile_armed_[p] = 0;
+  fail_proc(p, /*misprofile=*/true);
+  const double repair_at = queue_.now() + plan_->misprofile_repair_s(p);
+  queue_.schedule(repair_at, [this, p] { repair_proc(p); });
 }
 
 void DatacenterSim::schedule_epoch(double t) {
@@ -537,6 +684,23 @@ SimResult DatacenterSim::run(std::vector<Task> tasks,
   profiling_proc_seconds_ = 0.0;
   profiling_procs_scanned_ = 0;
   profiling_procs_skipped_ = 0;
+  failed_.assign(nprocs, 0);
+  misprofile_token_.assign(nprocs, 0);
+  misprofile_armed_.assign(nprocs, 0);
+  failed_count_ = 0;
+  fault_counters_ = FaultCounters{};
+  if (faults_active_) {
+    ISCOPE_CHECK_ARG(knowledge_mut_ != nullptr,
+                     "DatacenterSim: a fault plan with CPU faults needs the "
+                     "mutable-Knowledge constructor (quarantine)");
+    knowledge_mut_->clear_quarantine();
+    knowledge_gen_ = knowledge_->generation();
+    // A latent mis-profile only bites a chip actually running at its own
+    // scanned point; under the Bin view the plan's mis-profiles are inert.
+    for (std::size_t p = 0; p < nprocs; ++p)
+      misprofile_armed_[p] = plan_->misprofiled(p) && knowledge_->scanned(p);
+    schedule_fault_event(0);
+  }
 
   for (std::size_t i = 0; i < tasks_.size(); ++i) {
     const double at = tasks_[i].spec.submit_s;
@@ -576,6 +740,7 @@ SimResult DatacenterSim::run(std::vector<Task> tasks,
   result.profiling_procs_scanned = profiling_procs_scanned_;
   result.profiling_procs_skipped = profiling_procs_skipped_;
   result.profiling_proc_seconds = profiling_proc_seconds_;
+  result.faults = fault_counters_;
   result.dvfs_rematch_count = rematch_count_;
   result.events_processed = events;
   return result;
@@ -586,8 +751,10 @@ SimResult run_scheme(const Cluster& cluster, Scheme scheme,
                      const std::vector<Task>& tasks, const SimConfig& config) {
   if (scheme_uses_scan(scheme))
     ISCOPE_CHECK_ARG(db != nullptr, "run_scheme: Scan scheme needs a ProfileDb");
-  const Knowledge knowledge(&cluster, scheme_knowledge(scheme),
-                            scheme_uses_scan(scheme) ? db : nullptr);
+  // Non-const so fault plans can quarantine failed processors; without
+  // faults the view is never mutated.
+  Knowledge knowledge(&cluster, scheme_knowledge(scheme),
+                      scheme_uses_scan(scheme) ? db : nullptr);
   DatacenterSim sim(&knowledge, scheme_rule(scheme), &supply, config);
   return sim.run(tasks);
 }

@@ -28,11 +28,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "energy/battery.hpp"
 #include "energy/forecast.hpp"
 #include "energy/hybrid_supply.hpp"
+#include "fault/fault.hpp"
+#include "fault/noisy_forecast.hpp"
 #include "power/cooling.hpp"
 #include "profiling/opportunistic.hpp"
 #include "power/cost.hpp"
@@ -74,6 +77,15 @@ struct SimConfig {
   /// scheduler-equivalence suite asserts this produces bit-identical
   /// results to the default optimized path.
   bool use_reference_matcher = false;
+  /// Fault injection (src/fault/). The default `FaultSpec{}` injects
+  /// nothing and is guaranteed bit-identical to a fault-free build. CPU
+  /// faults (crashes / mis-profiling) additionally need the mutable-
+  /// Knowledge constructor so failed processors can be quarantined.
+  FaultSpec faults;
+  std::uint64_t fault_seed = 0;  ///< seeds FaultPlan::build from `faults`
+  /// Explicit plan override (scripted schedules, replay). When set it wins
+  /// over `faults`/`fault_seed`. Shared so sweep scenario copies stay cheap.
+  std::shared_ptr<const FaultPlan> fault_plan;
 
   void validate() const;
 };
@@ -84,6 +96,13 @@ class DatacenterSim {
   /// `forecaster` (optional) informs Fair's deferral decisions; without
   /// one, deferral assumes wind always returns within the slack.
   DatacenterSim(const Knowledge* knowledge, PlacementRule rule,
+                const HybridSupply* supply, const SimConfig& config,
+                const WindForecaster* forecaster = nullptr);
+
+  /// Mutable-knowledge overload: required when the fault plan carries CPU
+  /// faults, so failed processors can be quarantined in the view (which
+  /// bumps its generation and invalidates derived caches).
+  DatacenterSim(Knowledge* knowledge, PlacementRule rule,
                 const HybridSupply* supply, const SimConfig& config,
                 const WindForecaster* forecaster = nullptr);
 
@@ -109,7 +128,13 @@ class DatacenterSim {
  private:
   static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
 
-  enum class TaskState : std::uint8_t { kPending, kWaiting, kRunning, kDone };
+  enum class TaskState : std::uint8_t {
+    kPending,
+    kWaiting,
+    kRunning,
+    kDone,
+    kFailed,  ///< abandoned after exhausting the fault-retry budget
+  };
 
   struct SimTask {
     Task spec;
@@ -118,11 +143,16 @@ class DatacenterSim {
     double last_update_s = 0.0;      ///< progress integrated up to here
     std::size_t level = 0;
     double start_s = -1.0;
+    /// Monotone across restarts (never reset, or a cancelled completion
+    /// event from a previous stint could match again and fire early).
     std::uint64_t version = 0;       ///< invalidates stale completion events
+    /// False until the first post-start rematch schedules a completion.
+    bool completion_scheduled = false;
     /// Intrusive links of the running list (kNone when not running).
     std::size_t run_prev = kNone;
     std::size_t run_next = kNone;
     TaskState state = TaskState::kPending;
+    std::size_t retries = 0;         ///< fault-forced restarts so far
   };
 
   void on_arrival(std::size_t idx);
@@ -142,13 +172,26 @@ class DatacenterSim {
   void begin_profiling_window(const ProfilingWindow& window);
   void end_profiling_window(const std::vector<std::size_t>& procs,
                             double started_s);
+  /// Fault machinery (src/fault/): the plan's crash/repair events run as a
+  /// single lazily-chained event stream; mis-profile fail-stops are armed
+  /// per processor when a task starts on an unsafe scan point.
+  void schedule_fault_event(std::size_t i);
+  void on_fault_event(std::size_t i);
+  void fail_proc(std::size_t p, bool misprofile);
+  void repair_proc(std::size_t p);
+  /// Kill a running task because one of its processors failed: free the
+  /// survivors, requeue (bounded by the plan's retry budget) or abandon.
+  void requeue_task(std::size_t idx);
+  void on_misprofile_timer(std::size_t p, std::uint64_t token);
   void record_sample();
   void log_event(TimelineKind kind, std::int64_t task_id, double value);
   double fmax_ghz() const;
   bool wind_abundant_now() const;
   /// Latest deadline-feasible start of a task at the top frequency.
   double latest_start(const SimTask& t) const;
-  bool all_done() const { return done_count_ == tasks_.size(); }
+  bool all_done() const {
+    return done_count_ + failed_count_ == tasks_.size();
+  }
 
   /// Append / remove a task on the intrusive running list (order-
   /// preserving O(1) bookkeeping).
@@ -165,6 +208,9 @@ class DatacenterSim {
   }
 
   const Knowledge* knowledge_;
+  /// Non-null only via the mutable-knowledge constructor; needed to
+  /// quarantine/release failed processors.
+  Knowledge* knowledge_mut_ = nullptr;
   const HybridSupply* supply_;
   const WindForecaster* forecaster_;  // may be null
   SimConfig config_;
@@ -220,6 +266,24 @@ class DatacenterSim {
   /// ("we stop lowering the frequency when some tasks are facing violation
   /// of their deadlines" -- paper Sec. V-C).
   bool rush_mode_ = false;
+
+  /// --- fault injection ---------------------------------------------------
+  /// The resolved plan (config override, built from the spec, or the empty
+  /// plan). `faults_active_` is false for the empty plan, in which case the
+  /// run takes no fault branch, schedules no fault event and stays
+  /// bit-identical to a fault-free build.
+  FaultPlan plan_local_;
+  const FaultPlan* plan_ = nullptr;
+  bool faults_active_ = false;
+  std::unique_ptr<NoisyForecaster> noisy_forecaster_;
+  std::vector<std::uint8_t> failed_;   ///< per-proc: currently fail-stopped
+  /// Per-proc: latent mis-profile still live (cleared once it fires).
+  std::vector<std::uint8_t> misprofile_armed_;
+  /// Per-proc token; bumped whenever the processor stops running, so a
+  /// pending mis-profile timer from an earlier occupancy is stale.
+  std::vector<std::uint64_t> misprofile_token_;
+  std::size_t failed_count_ = 0;       ///< terminally failed tasks
+  FaultCounters fault_counters_;
 };
 
 /// Convenience wrapper: build knowledge for `scheme`, run the simulation,

@@ -17,6 +17,10 @@ const char* timeline_kind_name(TimelineKind kind) {
     case TimelineKind::kRushLeave: return "rush_leave";
     case TimelineKind::kProfilingBegin: return "profiling_begin";
     case TimelineKind::kProfilingEnd: return "profiling_end";
+    case TimelineKind::kCpuFail: return "cpu_fail";
+    case TimelineKind::kCpuRepair: return "cpu_repair";
+    case TimelineKind::kTaskRequeue: return "task_requeue";
+    case TimelineKind::kTaskAbandon: return "task_abandon";
   }
   return "?";
 }

@@ -22,6 +22,10 @@ enum class TimelineKind : std::uint8_t {
   kRushLeave,
   kProfilingBegin,
   kProfilingEnd,
+  kCpuFail,      ///< processor fail-stopped (fault injection)
+  kCpuRepair,    ///< processor returned to service
+  kTaskRequeue,  ///< running task killed by a CPU failure, requeued
+  kTaskAbandon,  ///< task exceeded its retry budget, terminally failed
 };
 
 const char* timeline_kind_name(TimelineKind kind);

@@ -1,6 +1,7 @@
 #include "workload/swf.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -25,7 +26,20 @@ std::vector<SwfJob> parse_swf(const std::string& text) {
     std::istringstream fields(line);
     std::vector<double> f;
     double v;
-    while (fields >> v) f.push_back(v);
+    while (fields >> v) {
+      // Reject non-finite values outright: "nan" parses as a double but a
+      // NaN runtime/width would sail through every downstream `<= 0`
+      // guard and silently poison the simulation.
+      if (!std::isfinite(v))
+        throw ParseError("SWF line " + std::to_string(lineno) +
+                         ": non-finite field");
+      f.push_back(v);
+    }
+    // The extraction must have consumed the whole line; stopping early
+    // means a malformed token (stray text, embedded NUL, truncated float).
+    if (!fields.eof())
+      throw ParseError("SWF line " + std::to_string(lineno) +
+                       ": malformed numeric field");
     if (f.size() < 8) {
       throw ParseError("SWF line " + std::to_string(lineno) +
                        ": expected >= 8 fields, got " +

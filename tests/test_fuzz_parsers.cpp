@@ -1,0 +1,202 @@
+// Fuzz-style robustness tests for the two external-input parsers (SWF
+// workload traces, supply CSVs). Two layers:
+//
+//  1. a seed corpus (tests/data/fuzz/) of hand-written hostile inputs --
+//     truncated lines, NaN/negative values, CRLF endings, embedded NULs --
+//     with pinned expected outcomes;
+//  2. deterministic mutation fuzzing: a seeded Rng mauls valid inputs a
+//     few hundred ways and every outcome must be either a clean
+//     ParseError or a successful parse with sane, finite contents. Any
+//     other exception (or a crash/UB under the sanitizer stages of
+//     tools/check.sh) is a bug.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "energy/supply_trace.hpp"
+#include "workload/swf.hpp"
+
+namespace iscope {
+namespace {
+
+std::string data_path(const std::string& name) {
+  return std::string(ISCOPE_TEST_DATA_DIR) + "/fuzz/" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// ------------------------------------------------------- corpus: SWF
+
+TEST(FuzzCorpusSwf, ValidFileParses) {
+  const auto jobs = parse_swf(slurp(data_path("swf_valid.swf")));
+  ASSERT_EQ(jobs.size(), 3u);
+  EXPECT_EQ(jobs[0].job_id, 1);
+  EXPECT_DOUBLE_EQ(jobs[0].runtime_s, 3600.0);
+  EXPECT_EQ(jobs[0].requested_procs, 4);
+  EXPECT_DOUBLE_EQ(jobs[2].submit_s, 600.0);
+}
+
+TEST(FuzzCorpusSwf, CrlfEndingsAreTolerated) {
+  const auto jobs = parse_swf(slurp(data_path("swf_crlf.swf")));
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_DOUBLE_EQ(jobs[1].runtime_s, 1800.0);
+}
+
+TEST(FuzzCorpusSwf, HostileFilesThrowParseError) {
+  for (const char* name :
+       {"swf_truncated.swf", "swf_nan.swf", "swf_text.swf", "swf_nul.swf"}) {
+    SCOPED_TRACE(name);
+    EXPECT_THROW(parse_swf(slurp(data_path(name))), ParseError);
+  }
+}
+
+TEST(FuzzCorpusSwf, MissingFileThrows) {
+  EXPECT_THROW(read_swf_file(data_path("does_not_exist.swf")), ParseError);
+}
+
+// ------------------------------------------------ corpus: supply CSV
+
+TEST(FuzzCorpusSupply, ValidFileLoads) {
+  const SupplyTrace trace = SupplyTrace::load_csv(data_path("supply_valid.csv"));
+  ASSERT_EQ(trace.samples(), 4u);
+  EXPECT_DOUBLE_EQ(trace.step().seconds(), 600.0);
+  EXPECT_DOUBLE_EQ(trace.sample(1).watts(), 650.0);
+  EXPECT_DOUBLE_EQ(trace.sample(3).watts(), 0.0);
+}
+
+TEST(FuzzCorpusSupply, HostileFilesThrowParseError) {
+  for (const char* name :
+       {"supply_nan.csv", "supply_nan_time.csv", "supply_negative.csv",
+        "supply_nonuniform.csv", "supply_empty.csv",
+        "supply_truncated_row.csv"}) {
+    SCOPED_TRACE(name);
+    EXPECT_THROW(SupplyTrace::load_csv(data_path(name)), ParseError);
+  }
+}
+
+// -------------------------------------------------- mutation fuzzing
+
+/// Apply one seeded mutation to `text`: byte flip, truncation, chunk
+/// duplication, or hostile-token splice.
+std::string mutate(const std::string& text, Rng& rng) {
+  std::string s = text;
+  switch (rng.uniform_int(0, 3)) {
+    case 0: {  // flip a byte to an arbitrary value (NULs included)
+      if (s.empty()) break;
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(s.size()) - 1));
+      s[pos] = static_cast<char>(rng.uniform_int(0, 255));
+      break;
+    }
+    case 1: {  // truncate mid-stream
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(s.size())));
+      s.resize(pos);
+      break;
+    }
+    case 2: {  // duplicate a random chunk somewhere else
+      if (s.size() < 4) break;
+      const auto n = static_cast<std::size_t>(rng.uniform_int(1, 16));
+      const auto from = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(s.size()) - 2));
+      const auto to = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(s.size()) - 1));
+      s.insert(to, s.substr(from, std::min(n, s.size() - from)));
+      break;
+    }
+    default: {  // splice in a token parsers must not choke on
+      static const std::string kTokens[] = {
+          "nan", "-inf", "1e999", "--", std::string(1, '\0'),
+          "\r",  "9.9.9", "0x1p4"};
+      const std::string& tok = kTokens[rng.uniform_int(
+          0, static_cast<std::int64_t>(std::size(kTokens)) - 1)];
+      const auto to = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(s.size())));
+      s.insert(to, tok);
+      break;
+    }
+  }
+  return s;
+}
+
+TEST(FuzzMutation, SwfParserNeverMisbehaves) {
+  const std::string base = slurp(data_path("swf_valid.swf"));
+  Rng rng(0xf0221);
+  int parsed = 0, rejected = 0;
+  for (int iter = 0; iter < 300; ++iter) {
+    std::string input = base;
+    const int rounds = static_cast<int>(rng.uniform_int(1, 4));
+    for (int m = 0; m < rounds; ++m) input = mutate(input, rng);
+    try {
+      const auto jobs = parse_swf(input);
+      ++parsed;
+      // A successful parse must yield only finite, plausible fields.
+      for (const SwfJob& j : jobs) {
+        EXPECT_TRUE(std::isfinite(j.submit_s));
+        EXPECT_TRUE(std::isfinite(j.runtime_s));
+        EXPECT_TRUE(std::isfinite(j.wait_s));
+        EXPECT_TRUE(std::isfinite(j.requested_time_s));
+      }
+      // And conversion downstream must not blow up either.
+      const auto tasks = swf_to_tasks(jobs);
+      for (const Task& t : tasks) {
+        EXPECT_GT(t.runtime_s, 0.0);
+        EXPECT_GT(t.cpus, 0u);
+        EXPECT_GE(t.submit_s, 0.0);
+      }
+    } catch (const ParseError&) {
+      ++rejected;  // the only acceptable failure mode
+    }
+  }
+  // The mutator must actually exercise both outcomes.
+  EXPECT_GT(parsed, 0);
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(FuzzMutation, SupplyCsvLoaderNeverMisbehaves) {
+  const std::string base = slurp(data_path("supply_valid.csv"));
+  const std::string tmp = testing::TempDir() + "iscope_fuzz_supply.csv";
+  Rng rng(0xf0222);
+  int parsed = 0, rejected = 0;
+  for (int iter = 0; iter < 300; ++iter) {
+    std::string input = base;
+    const int rounds = static_cast<int>(rng.uniform_int(1, 4));
+    for (int m = 0; m < rounds; ++m) input = mutate(input, rng);
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      ASSERT_TRUE(out.good());
+      out.write(input.data(),
+                static_cast<std::streamsize>(input.size()));
+    }
+    try {
+      const SupplyTrace trace = SupplyTrace::load_csv(tmp);
+      ++parsed;
+      EXPECT_GT(trace.step().seconds(), 0.0);
+      for (std::size_t i = 0; i < trace.samples(); ++i) {
+        EXPECT_TRUE(std::isfinite(trace.sample(i).watts()));
+        EXPECT_GE(trace.sample(i).watts(), 0.0);
+      }
+    } catch (const ParseError&) {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(parsed, 0);
+  EXPECT_GT(rejected, 0);
+  std::remove(tmp.c_str());
+}
+
+}  // namespace
+}  // namespace iscope

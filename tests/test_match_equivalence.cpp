@@ -11,6 +11,7 @@
 // randomized clusters and workloads.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <numeric>
 #include <vector>
 
@@ -41,6 +42,13 @@ void expect_identical(const SimResult& a, const SimResult& b) {
   EXPECT_EQ(a.profiling_procs_scanned, b.profiling_procs_scanned);
   EXPECT_EQ(a.profiling_procs_skipped, b.profiling_procs_skipped);
   EXPECT_EQ(a.profiling_proc_seconds, b.profiling_proc_seconds);
+  EXPECT_EQ(a.faults.cpu_failures, b.faults.cpu_failures);
+  EXPECT_EQ(a.faults.cpu_repairs, b.faults.cpu_repairs);
+  EXPECT_EQ(a.faults.misprofile_failures, b.faults.misprofile_failures);
+  EXPECT_EQ(a.faults.task_requeues, b.faults.task_requeues);
+  EXPECT_EQ(a.faults.tasks_failed, b.faults.tasks_failed);
+  EXPECT_EQ(a.faults.lost_cpu_seconds, b.faults.lost_cpu_seconds);
+  EXPECT_EQ(a.faults.fault_deadline_misses, b.faults.fault_deadline_misses);
 
   ASSERT_EQ(a.busy_time_s.size(), b.busy_time_s.size());
   for (std::size_t i = 0; i < a.busy_time_s.size(); ++i)
@@ -131,12 +139,10 @@ struct Scenario {
                 const std::vector<ProfilingWindow>& profiling = {}) const {
     cfg.record_trace = true;
     cfg.record_timeline = true;
-    if (scheme_uses_scan(scheme)) {
-      const Knowledge knowledge(&cluster, scheme_knowledge(scheme), &db);
-      DatacenterSim sim(&knowledge, scheme_rule(scheme), &supply, cfg);
-      return sim.run(tasks, profiling);
-    }
-    const Knowledge knowledge(&cluster, scheme_knowledge(scheme), nullptr);
+    // Mutable knowledge so fault-active scenarios can quarantine; with no
+    // faults this is behaviorally identical to the const-view constructor.
+    Knowledge knowledge(&cluster, scheme_knowledge(scheme),
+                        scheme_uses_scan(scheme) ? &db : nullptr);
     DatacenterSim sim(&knowledge, scheme_rule(scheme), &supply, cfg);
     return sim.run(tasks, profiling);
   }
@@ -211,6 +217,77 @@ TEST(MatchEquivalence, WithProfilingWindows) {
   }
   s.check_equivalence(Scheme::kScanEffi, tasks, supply, SimConfig{}, windows);
   s.check_equivalence(Scheme::kScanRan, tasks, supply, SimConfig{}, windows);
+}
+
+// ----------------------------------------------- zero-fault identity
+//
+// The fault layer's core contract (src/fault/fault.hpp): a run with the
+// default SimConfig (no FaultSpec, no plan) and a run handed an explicitly
+// empty FaultPlan must both be bit-identical to each other -- the fault
+// machinery may not perturb a single event, draw, or accumulation when it
+// has nothing to inject.
+
+TEST(ZeroFaultIdentity, EmptyPlanIsBitIdenticalAllSchemes) {
+  const Scenario s(16, 43);
+  const auto tasks = s.make_tasks(40, 53);
+  const HybridSupply supply = s.make_supply(61);
+  for (const Scheme scheme : kAllSchemes) {
+    SCOPED_TRACE(scheme_name(scheme));
+    SimConfig plain;                   // never heard of faults
+    SimConfig with_empty_plan;         // explicit empty plan wired through
+    with_empty_plan.fault_plan = std::make_shared<const FaultPlan>();
+    const SimResult a = s.run(scheme, tasks, supply, plain);
+    const SimResult b = s.run(scheme, tasks, supply, with_empty_plan);
+    expect_identical(a, b);
+    EXPECT_EQ(b.faults.cpu_failures, 0u);
+    EXPECT_EQ(b.faults.task_requeues, 0u);
+    EXPECT_EQ(b.faults.tasks_failed, 0u);
+    EXPECT_EQ(b.faults.lost_cpu_seconds, 0.0);
+  }
+}
+
+TEST(ZeroFaultIdentity, WithBatteryAndProfilingWindows) {
+  const Scenario s(16, 47);
+  const auto tasks = s.make_tasks(35, 57);
+  const HybridSupply supply = s.make_supply(67);
+  SimConfig cfg;
+  cfg.battery = BatteryConfig::make(/*capacity_kwh=*/2.0, /*power_kw=*/1.0);
+  std::vector<ProfilingWindow> windows;
+  for (std::size_t w = 0; w < 3; ++w) {
+    ProfilingWindow win;
+    win.start_s = 800.0 + 3000.0 * static_cast<double>(w);
+    win.duration_s = 600.0;
+    win.proc_ids = {w, w + 5, w + 10};
+    windows.push_back(win);
+  }
+  for (const Scheme scheme : {Scheme::kScanEffi, Scheme::kBinRan}) {
+    SCOPED_TRACE(scheme_name(scheme));
+    SimConfig with_empty_plan = cfg;
+    with_empty_plan.fault_plan = std::make_shared<const FaultPlan>();
+    const SimResult a = s.run(scheme, tasks, supply, cfg, windows);
+    const SimResult b = s.run(scheme, tasks, supply, with_empty_plan,
+                              windows);
+    expect_identical(a, b);
+  }
+}
+
+TEST(MatchEquivalence, FaultsActiveOptimizedMatchesReference) {
+  // The allocation-free rematch path must stay bit-equivalent to the
+  // reference matcher even while CPUs crash, tasks requeue, and the
+  // knowledge view's quarantine generation churns under it.
+  const Scenario s(16, 51);
+  const auto tasks = s.make_tasks(40, 59);
+  const HybridSupply supply = s.make_supply(71);
+  SimConfig cfg;
+  cfg.faults.crash_mtbf_s = 6.0 * 3600.0;
+  cfg.faults.repair_mean_s = 900.0;
+  cfg.faults.misprofile_prob = 0.2;
+  cfg.fault_seed = 13;
+  for (const Scheme scheme : {Scheme::kScanEffi, Scheme::kScanFair,
+                              Scheme::kBinEffi}) {
+    SCOPED_TRACE(scheme_name(scheme));
+    s.check_equivalence(scheme, tasks, supply, cfg);
+  }
 }
 
 TEST(MatchEquivalence, ReusedSimulatorStaysEquivalent) {

@@ -2,6 +2,8 @@
 // parameter grids, not just hand-picked points.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <map>
 #include <numeric>
 #include <tuple>
 
@@ -262,6 +264,128 @@ TEST_P(BinningProperty, CoverageDominanceAndMonotoneHeadroom) {
 
 INSTANTIATE_TEST_SUITE_P(BinCounts, BinningProperty,
                          testing::Values(1, 2, 3, 4, 6, 8));
+
+// ------------------------------------------- fault injection vs seed
+
+// Invariants that must survive *any* seeded fault schedule (50 seeds):
+// no task is ever silently lost, per-task requeues respect the retry
+// budget, energy accounting stays positive and self-consistent, and the
+// same seed replays the identical schedule bit for bit.
+class FaultSeedProperty : public testing::TestWithParam<std::uint64_t> {
+ protected:
+  struct World {
+    Cluster cluster;
+    ProfileDb db;
+    std::vector<Task> tasks;
+    HybridSupply supply;
+    World()
+        : cluster(build_cluster([] {
+            ClusterConfig cfg;
+            cfg.num_processors = 10;
+            cfg.seed = 71;
+            return cfg;
+          }())),
+          db(cluster.size()),
+          supply(SupplyTrace(Seconds{600.0},
+                             std::vector<double>(300, 800.0))) {
+      const Scanner scanner(&cluster, ScanConfig{});
+      Rng rng(72);
+      std::vector<std::size_t> all(cluster.size());
+      std::iota(all.begin(), all.end(), 0);
+      scanner.scan_domain(all, 0.0, rng, db);
+      for (int i = 0; i < 30; ++i) {
+        Task t;
+        t.id = i + 1;
+        t.submit_s = 200.0 * i;
+        t.cpus = 1 + static_cast<std::size_t>(i) % 4;
+        t.runtime_s = 300.0 + 80.0 * (i % 6);
+        t.gamma = 0.4 + 0.1 * (i % 6);
+        t.deadline_s = t.submit_s + 20.0 * t.runtime_s;
+        tasks.push_back(t);
+      }
+    }
+  };
+  static const World& world() {
+    static const World w;
+    return w;
+  }
+
+  static SimResult run_faulty(std::uint64_t seed) {
+    SimConfig cfg;
+    cfg.record_timeline = true;
+    // Aggressive enough that most seeds see failures mid-run.
+    cfg.faults.crash_mtbf_s = 8.0 * 3600.0;
+    cfg.faults.repair_mean_s = 1200.0;
+    cfg.faults.misprofile_prob = 0.15;
+    cfg.faults.misprofile_latency_mean_s = 600.0;
+    cfg.faults.max_retries = 3;
+    cfg.fault_seed = seed;
+    Knowledge knowledge(&world().cluster,
+                        scheme_knowledge(Scheme::kScanEffi), &world().db);
+    DatacenterSim sim(&knowledge, scheme_rule(Scheme::kScanEffi),
+                      &world().supply, cfg);
+    return sim.run(world().tasks);
+  }
+};
+
+TEST_P(FaultSeedProperty, NoTaskLostRetriesBoundedAndReplayable) {
+  const std::uint64_t seed = GetParam();
+  const SimResult r = run_faulty(seed);
+
+  // Conservation: every submitted task either completed or was counted as
+  // terminally failed -- nothing vanishes.
+  EXPECT_EQ(r.tasks_completed + r.faults.tasks_failed,
+            world().tasks.size());
+
+  // Requeues per task never exceed the retry budget (timeline audit).
+  std::map<std::int64_t, std::size_t> requeues;
+  std::size_t abandons = 0;
+  for (const TimelineEvent& e : r.timeline) {
+    if (e.kind == TimelineKind::kTaskRequeue) ++requeues[e.task_id];
+    if (e.kind == TimelineKind::kTaskAbandon) ++abandons;
+  }
+  std::size_t total_requeues = 0;
+  for (const auto& [id, n] : requeues) {
+    EXPECT_LE(n, 3u) << "task " << id;
+    total_requeues += n;
+  }
+  EXPECT_EQ(total_requeues, r.faults.task_requeues);
+  EXPECT_EQ(abandons, r.faults.tasks_failed);
+
+  // Repairs never outnumber failures; lost work only when tasks died.
+  EXPECT_LE(r.faults.cpu_repairs, r.faults.cpu_failures);
+  EXPECT_GE(r.faults.lost_cpu_seconds, 0.0);
+  if (r.faults.task_requeues == 0 && r.faults.tasks_failed == 0) {
+    EXPECT_EQ(r.faults.lost_cpu_seconds, 0.0);
+  }
+
+  // Energy accounting stays sane under injection (the debug-mode energy
+  // auditor additionally re-verifies conservation at every accrual).
+  EXPECT_GT(r.energy.total().joules(), 0.0);
+  EXPECT_GT(r.cost.dollars(), 0.0);
+  for (const double b : r.busy_time_s) {
+    EXPECT_GE(b, 0.0);
+    EXPECT_LE(b, r.makespan.seconds() + 1e-6);
+  }
+
+  // Same seed => same schedule, bit for bit.
+  const SimResult again = run_faulty(seed);
+  EXPECT_EQ(r.cost.raw(), again.cost.raw());
+  EXPECT_EQ(r.energy.utility.joules(), again.energy.utility.joules());
+  EXPECT_EQ(r.tasks_completed, again.tasks_completed);
+  EXPECT_EQ(r.faults.cpu_failures, again.faults.cpu_failures);
+  EXPECT_EQ(r.faults.task_requeues, again.faults.task_requeues);
+  EXPECT_EQ(r.faults.lost_cpu_seconds, again.faults.lost_cpu_seconds);
+  ASSERT_EQ(r.timeline.size(), again.timeline.size());
+  for (std::size_t i = 0; i < r.timeline.size(); ++i) {
+    EXPECT_EQ(r.timeline[i].time_s, again.timeline[i].time_s);
+    EXPECT_EQ(r.timeline[i].kind, again.timeline[i].kind);
+    EXPECT_EQ(r.timeline[i].task_id, again.timeline[i].task_id);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FiftySeeds, FaultSeedProperty,
+                         testing::Range<std::uint64_t>(0, 50));
 
 }  // namespace
 }  // namespace iscope

@@ -31,6 +31,13 @@ void count_alloc() {
 
 }  // namespace
 
+// GCC's -Wmismatched-new-delete pairs the malloc inlined from the
+// replaced operator new with the free inlined from the replaced deletes
+// and flags a mismatch at callers; the replacement set is
+// self-consistent, so the warning is a false positive here.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
 void* operator new(std::size_t size) {
   count_alloc();
   if (void* p = std::malloc(size > 0 ? size : 1)) return p;
@@ -47,6 +54,8 @@ void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#pragma GCC diagnostic pop
 
 namespace iscope {
 namespace {

@@ -3,13 +3,18 @@
 # BENCH_<name>.json trajectories (wall time, events/sec, rematch count,
 # peak RSS -- schema in src/common/bench_json.hpp).
 #
-# Usage:  tools/bench.sh [-o outdir] [-s scale] [-r repeats] [-w warmup] [bench...]
-#   -o outdir   where the JSON lands               (default bench-results/)
-#   -s scale    ISCOPE_SCALE facility scale        (default 1)
-#   -r repeats  timed iterations per bench         (default 3)
-#   -w warmup   untimed iterations per bench       (default 1)
-#   bench...    bench binary names                 (default: the JSON-wired
-#               set: bench_fig8_energy_cost bench_fig6_wind_utility)
+# Usage:  tools/bench.sh [options] [bench...]
+#   -o outdir    where the JSON lands               (default bench-results/)
+#   -s scale     ISCOPE_SCALE facility scale        (default 1)
+#   -r repeats   timed iterations per bench         (default 3)
+#   -w warmup    untimed iterations per bench       (default 1)
+#   -l label     tag the captures (optional "label" key in the JSON;
+#   --label      e.g. -l faults-on for an ISCOPE_FAULTS run)
+#   bench...     bench binary names                 (default: the JSON-wired
+#                set: bench_fig8_energy_cost bench_fig6_wind_utility)
+#
+# Fault-injection env knobs (ISCOPE_FAULTS, ISCOPE_FAULT_SEED) pass through
+# to the bench binaries; combine with -l to keep captures distinguishable.
 #
 # The build tree is build-bench/ (tier-1 flags, RelWithDebInfo) so the
 # developer's build/ directory is untouched. Runs are serial
@@ -18,21 +23,28 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+usage() {
+  echo "usage: tools/bench.sh [-o outdir] [-s scale] [-r repeats] [-w warmup] [-l label] [bench...]" >&2
+  exit 2
+}
+
 OUT="bench-results"
 SCALE=1
 REPEATS=3
 WARMUP=1
-while getopts "o:s:r:w:" opt; do
-  case "$opt" in
-    o) OUT="$OPTARG" ;;
-    s) SCALE="$OPTARG" ;;
-    r) REPEATS="$OPTARG" ;;
-    w) WARMUP="$OPTARG" ;;
-    *) echo "usage: tools/bench.sh [-o outdir] [-s scale] [-r repeats] [-w warmup] [bench...]" >&2
-       exit 2 ;;
+LABEL=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    -o) [ $# -ge 2 ] || usage; OUT="$2"; shift 2 ;;
+    -s) [ $# -ge 2 ] || usage; SCALE="$2"; shift 2 ;;
+    -r) [ $# -ge 2 ] || usage; REPEATS="$2"; shift 2 ;;
+    -w) [ $# -ge 2 ] || usage; WARMUP="$2"; shift 2 ;;
+    -l|--label) [ $# -ge 2 ] || usage; LABEL="$2"; shift 2 ;;
+    --) shift; break ;;
+    -*) usage ;;
+    *) break ;;
   esac
 done
-shift $((OPTIND - 1))
 BENCHES=("$@")
 if [ "${#BENCHES[@]}" -eq 0 ]; then
   BENCHES=(bench_fig8_energy_cost bench_fig6_wind_utility)
@@ -47,6 +59,7 @@ for bench in "${BENCHES[@]}"; do
   echo "==== $bench (scale $SCALE, $WARMUP warmup + $REPEATS timed) ===="
   ISCOPE_BENCH_JSON="$OUT" ISCOPE_BENCH_REPEAT="$REPEATS" \
   ISCOPE_BENCH_WARMUP="$WARMUP" ISCOPE_SCALE="$SCALE" ISCOPE_PARALLEL=1 \
+  ISCOPE_BENCH_LABEL="$LABEL" \
       "build-bench/bench/$bench" | tail -1
 done
 

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # One-stop verification gate: strict build, full test suite, clang-tidy
-# (when installed) and an UndefinedBehaviorSanitizer pass over the tests.
+# (when installed), sanitizer passes over the tests, and a line-coverage
+# floor for the fault-injection and scheduling layers.
 #
 # Usage:  tools/check.sh [--fast]
-#   --fast   skip the UBSan rebuild (strict build + tests + tidy only)
+#   --fast   skip the UBSan/ASan rebuilds and the coverage stage
+#            (strict build + tests + tidy only)
 #
 # Exits non-zero on the first failing stage. Build trees are kept under
 # build-check/ so the developer's main build/ directory is untouched.
@@ -20,6 +22,10 @@ for arg in "$@"; do
 done
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
+# Minimum line coverage (percent) the fault + sched layers must keep.
+# Pinned from a measured 95.4%; drops below the floor mean dead branches
+# crept in or the fault suites stopped exercising the recovery paths.
+COVERAGE_MIN=90
 
 stage() { printf '\n==== %s ====\n' "$1"; }
 
@@ -58,6 +64,54 @@ if [ "$FAST" -eq 0 ]; then
   cmake --build build-check/ubsan -j "$JOBS"
   UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
       ctest --test-dir build-check/ubsan --output-on-failure
+
+  stage "ASan fault-injection + parser-fuzz tests"
+  # Targeted: the suites that stress failure paths, requeue bookkeeping,
+  # and hostile parser inputs -- where lifetime bugs would hide.
+  ASAN_TESTS="test_fault test_fuzz_parsers test_properties"
+  cmake -B build-check/asan -S . \
+        -DISCOPE_SANITIZE=address -DISCOPE_AUDIT=ON > /dev/null
+  # shellcheck disable=SC2086
+  cmake --build build-check/asan -j "$JOBS" --target $ASAN_TESTS
+  for t in $ASAN_TESTS; do
+    ASAN_OPTIONS=halt_on_error=1 "./build-check/asan/tests/$t" > /dev/null \
+        && echo "asan ok: $t"
+  done
+
+  stage "coverage floor (src/fault + src/sched >= ${COVERAGE_MIN}% lines)"
+  COV_TESTS="test_fault test_knowledge test_policy test_simulator \
+             test_match_equivalence test_properties"
+  cmake -B build-check/coverage -S . -DISCOPE_COVERAGE=ON > /dev/null
+  # shellcheck disable=SC2086
+  cmake --build build-check/coverage -j "$JOBS" --target $COV_TESTS
+  for t in $COV_TESTS; do
+    "./build-check/coverage/tests/$t" > /dev/null
+  done
+  # Aggregate gcov line coverage over the gated directories. gcov prints a
+  # `File '...'` header followed by its `Lines executed:P% of N` summary;
+  # trailing per-object aggregates have no File header and are skipped.
+  COV_WORK="build-check/coverage/gcov-work"
+  rm -rf "$COV_WORK" && mkdir -p "$COV_WORK"
+  find "$PWD/build-check/coverage/src/fault" \
+       "$PWD/build-check/coverage/src/sched" -name '*.gcda' \
+    | (cd "$COV_WORK" && xargs gcov -n 2>/dev/null) \
+    | awk -v min="$COVERAGE_MIN" '
+        /^File /          { keep = ($0 ~ /src\/(fault|sched)\//) }
+        /^Lines executed:/ {
+          if (keep) {
+            line = $0; sub(/^Lines executed:/, "", line);
+            split(line, b, "% of ");
+            covered += b[1] * b[2] / 100; total += b[2];
+          }
+          keep = 0
+        }
+        END {
+          if (total == 0) { print "coverage: no gcov data found"; exit 1 }
+          pct = covered / total * 100;
+          printf "coverage: %.2f%% of %d lines (floor %s%%)\n", \
+                 pct, total, min;
+          exit (pct < min) ? 1 : 0
+        }'
 fi
 
 stage "all checks passed"
