@@ -9,7 +9,7 @@
 //   simulate  --scheme NAME [--procs N] [--jobs N] [--hu F] [--rate R]
 //             [--wind trace.csv | --no-wind] [--battery-kwh X]
 //             [--faults "mtbf=...,misprofile=..."] [--fault-seed N]
-//             [--timeline out.csv]
+//             [--timeline out.csv] [--telemetry DIR] [--trace-out F]
 //   sweep     --fig hu|arrival|wind [--points "a,b,c"] [--no-wind]
 //             [--parallel N] [--scale F]
 //
@@ -24,8 +24,11 @@
 #include <optional>
 #include <string>
 
+#include "common/json.hpp"
 #include "common/table.hpp"
 #include "core/experiment.hpp"
+#include "telemetry/sink.hpp"
+#include "telemetry/telemetry.hpp"
 #include "core/sweep.hpp"
 #include "energy/solar_model.hpp"
 #include "profiling/scanner.hpp"
@@ -38,20 +41,23 @@ namespace {
 
 using namespace iscope;
 
-/// Minimal --flag value parser: every flag takes exactly one value.
+/// Minimal flag parser. Accepts `--flag value`, `--flag=value`, and bare
+/// boolean flags (`--no-wind`) anywhere in the argument list.
 class Args {
  public:
   Args(int argc, char** argv, int first) {
-    for (int i = first; i + 1 < argc; i += 2) {
-      if (std::strncmp(argv[i], "--", 2) != 0)
-        throw InvalidArgument(std::string("expected a --flag, got ") +
-                              argv[i]);
-      values_[argv[i] + 2] = argv[i + 1];
-    }
-    if ((argc - first) % 2 != 0) {
-      // Allow a trailing boolean-style flag (e.g. --no-wind true omitted).
-      const char* last = argv[argc - 1];
-      if (std::strncmp(last, "--", 2) == 0) values_[last + 2] = "true";
+    for (int i = first; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--", 2) != 0)
+        throw InvalidArgument(std::string("expected a --flag, got ") + arg);
+      if (const char* eq = std::strchr(arg + 2, '=')) {
+        values_[std::string(arg + 2, eq)] = eq + 1;
+      } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_[arg + 2] = argv[i + 1];
+        ++i;
+      } else {
+        values_[arg + 2] = "true";  // boolean-style flag
+      }
     }
   }
 
@@ -202,6 +208,15 @@ int cmd_simulate(const Args& args) {
   }
   spec.label = std::string("simulate ") + scheme_name(scheme);
 
+  // Observability: --telemetry DIR writes the full report bundle
+  // (metrics.prom, metrics.json, samples.csv, trace.json); --trace-out F
+  // writes just the Chrome trace. Either flag arms the subsystem.
+  const bool telemetry_on = args.flag("telemetry") || args.flag("trace-out");
+  if (telemetry_on) {
+    telemetry::reset_global_telemetry();
+    telemetry::set_enabled(true);
+  }
+
   const SimResult r = SweepRunner(ctx, 1).run_one(spec);
   TextTable out;
   out.set_title(spec.label);
@@ -233,6 +248,62 @@ int cmd_simulate(const Args& args) {
     save_timeline_csv(args.require("timeline"), r.timeline);
     std::cout << "timeline (" << r.timeline.size() << " events) -> "
               << args.require("timeline") << "\n";
+  }
+
+  if (telemetry_on) {
+    telemetry::set_enabled(false);
+    // Cross-check the registry against the result the simulation itself
+    // reported: the two are independent tallies of the same run.
+    const telemetry::Snapshot snap = telemetry::Registry::global().snapshot();
+    const std::vector<std::string> run = {scheme_name(scheme)};
+    const struct {
+      const char* family;
+      double expected;
+    } checks[] = {
+        {"iscope_sim_events_total",
+         static_cast<double>(r.events_processed)},
+        {"iscope_sim_rematches_total",
+         static_cast<double>(r.dvfs_rematch_count)},
+        {"iscope_sim_tasks_completed_total",
+         static_cast<double>(r.tasks_completed)},
+        {"iscope_sim_deadline_misses_total",
+         static_cast<double>(r.deadline_misses)},
+    };
+    for (const auto& c : checks) {
+      const double got = telemetry::snapshot_value(snap, c.family, run, -1.0);
+      if (got != c.expected) {
+        std::cerr << "telemetry cross-check FAILED: " << c.family << " = "
+                  << got << ", SimResult says " << c.expected << "\n";
+        return 1;
+      }
+    }
+    // Self-validate the rendered documents before handing them over.
+    const std::string prom_err = telemetry::validate_prometheus_text(
+        telemetry::to_prometheus(snap));
+    if (!prom_err.empty()) {
+      std::cerr << "telemetry cross-check FAILED: bad prometheus text: "
+                << prom_err << "\n";
+      return 1;
+    }
+    json::parse(telemetry::TraceLog::global().to_chrome_json());
+    json::parse(telemetry::to_json(snap));
+    std::cout << "telemetry cross-check ok (" << r.events_processed
+              << " events, " << telemetry::TraceLog::global().total_events()
+              << " spans, " << telemetry::SampleLog::global().size()
+              << " sample rows)\n";
+
+    if (args.flag("telemetry")) {
+      const telemetry::RunReportPaths paths =
+          telemetry::write_run_report(args.require("telemetry"));
+      std::cout << "telemetry report -> " << paths.metrics_prom << ", "
+                << paths.metrics_json << ", " << paths.samples_csv << ", "
+                << paths.trace_json << "\n";
+    }
+    if (args.flag("trace-out")) {
+      telemetry::write_chrome_trace(args.require("trace-out"));
+      std::cout << "chrome trace -> " << args.require("trace-out")
+                << " (load in ui.perfetto.dev)\n";
+    }
   }
   return 0;
 }
@@ -317,6 +388,7 @@ int usage() {
       "  simulate  [--scheme ScanFair] [--procs N] [--jobs N] [--hu F]\n"
       "            [--rate R] [--wind trace.csv | --no-wind]\n"
       "            [--battery-kwh X] [--timeline out.csv]\n"
+      "            [--telemetry DIR] [--trace-out trace.json]\n"
       "            [--faults \"mtbf=S,repair=S,misprofile=P,forecast=E,\n"
       "              dropouts=N,retries=K\"] [--fault-seed N]\n"
       "  sweep     [--fig hu|arrival|wind] [--points \"a,b,c\"] [--no-wind]\n"

@@ -3,15 +3,14 @@
 #include <sys/resource.h>
 
 #include <algorithm>
-#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
-#include <map>
 #include <numeric>
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/json.hpp"
 
 namespace iscope {
 
@@ -73,7 +72,8 @@ std::string json_string(const std::string& s) {
 std::string to_json(const BenchReport& report) {
   std::ostringstream out;
   out << "{\n"
-      << "  \"schema_version\": 1,\n"
+      << "  \"schema_version\": " << (report.telemetry.present ? 2 : 1)
+      << ",\n"
       << "  \"name\": " << json_string(report.name) << ",\n";
   if (!report.label.empty())
     out << "  \"label\": " << json_string(report.label) << ",\n";
@@ -93,214 +93,38 @@ std::string to_json(const BenchReport& report) {
       << "  \"events_per_sec\": " << json_number(report.events_per_sec())
       << ",\n"
       << "  \"rematch_count\": " << report.counters.rematches << ",\n"
-      << "  \"peak_rss_bytes\": " << report.peak_rss_bytes << "\n"
-      << "}\n";
+      << "  \"peak_rss_bytes\": " << report.peak_rss_bytes;
+  // The telemetry block is the only schema-v2 addition; omitting it keeps
+  // the document byte-identical to the v1 schema of old.
+  if (report.telemetry.present) {
+    const TelemetrySummary& t = report.telemetry;
+    out << ",\n  \"telemetry\": {\n"
+        << "    \"match_span_s\": " << json_number(t.match_span_s) << ",\n"
+        << "    \"rematch_span_s\": " << json_number(t.rematch_span_s)
+        << ",\n"
+        << "    \"span_events\": " << t.span_events << ",\n"
+        << "    \"span_dropped\": " << t.span_dropped << ",\n"
+        << "    \"event_queue_peak\": " << t.event_queue_peak << ",\n"
+        << "    \"worker_busy_fraction\": [";
+    for (std::size_t i = 0; i < t.worker_busy_fraction.size(); ++i)
+      out << (i ? ", " : "") << json_number(t.worker_busy_fraction[i]);
+    out << "]\n  }";
+  }
+  out << "\n}\n";
   return out.str();
 }
 
-namespace {
-
-// Minimal recursive-descent JSON reader, just enough to type-check the
-// BENCH_*.json schema without pulling in a dependency.
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  double number = 0.0;
-  std::string string;
-  std::vector<JsonValue> array;
-  std::map<std::string, JsonValue> object;
-};
-
-class JsonReader {
- public:
-  explicit JsonReader(const std::string& text) : text_(text) {}
-
-  JsonValue parse() {
-    JsonValue v = value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing characters");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& what) {
-    throw ParseError("bench json: " + what + " at offset " +
-                     std::to_string(pos_));
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])))
-      ++pos_;
-  }
-
-  char peek() {
-    if (pos_ >= text_.size()) fail("unexpected end of input");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  JsonValue value() {
-    skip_ws();
-    const char c = peek();
-    if (c == '{') return object();
-    if (c == '[') return array();
-    if (c == '"') return string_value();
-    if (c == 't' || c == 'f') return bool_value();
-    if (c == 'n') return null_value();
-    return number();
-  }
-
-  JsonValue object() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kObject;
-    expect('{');
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      skip_ws();
-      JsonValue key = string_value();
-      skip_ws();
-      expect(':');
-      v.object[key.string] = value();
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return v;
-    }
-  }
-
-  JsonValue array() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kArray;
-    expect('[');
-    skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      v.array.push_back(value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return v;
-    }
-  }
-
-  JsonValue string_value() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kString;
-    expect('"');
-    while (peek() != '"') {
-      char c = text_[pos_++];
-      if (c == '\\') {
-        const char esc = peek();
-        ++pos_;
-        switch (esc) {
-          case '"': c = '"'; break;
-          case '\\': c = '\\'; break;
-          case '/': c = '/'; break;
-          case 'n': c = '\n'; break;
-          case 't': c = '\t'; break;
-          case 'r': c = '\r'; break;
-          case 'b': c = '\b'; break;
-          case 'f': c = '\f'; break;
-          case 'u':
-            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
-            pos_ += 4;
-            c = '?';  // type checking only; exact code point irrelevant
-            break;
-          default: fail("bad escape");
-        }
-      }
-      v.string += c;
-    }
-    ++pos_;
-    return v;
-  }
-
-  JsonValue bool_value() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kBool;
-    if (text_.compare(pos_, 4, "true") == 0) {
-      v.number = 1.0;
-      pos_ += 4;
-    } else if (text_.compare(pos_, 5, "false") == 0) {
-      pos_ += 5;
-    } else {
-      fail("bad literal");
-    }
-    return v;
-  }
-
-  JsonValue null_value() {
-    if (text_.compare(pos_, 4, "null") != 0) fail("bad literal");
-    pos_ += 4;
-    return JsonValue{};
-  }
-
-  JsonValue number() {
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E'))
-      ++pos_;
-    if (pos_ == start) fail("expected a value");
-    JsonValue v;
-    v.kind = JsonValue::Kind::kNumber;
-    try {
-      v.number = std::stod(text_.substr(start, pos_ - start));
-    } catch (const std::exception&) {
-      fail("bad number");
-    }
-    return v;
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
-
-const JsonValue* find_key(const JsonValue& obj, const std::string& key) {
-  const auto it = obj.object.find(key);
-  return it == obj.object.end() ? nullptr : &it->second;
-}
-
-std::string check_key(const JsonValue& obj, const std::string& key,
-                      JsonValue::Kind kind) {
-  const JsonValue* v = find_key(obj, key);
-  if (v == nullptr) return "missing key \"" + key + "\"";
-  if (v->kind != kind) return "key \"" + key + "\" has the wrong type";
-  return "";
-}
-
-}  // namespace
-
-std::string validate_bench_json(const std::string& json) {
-  JsonValue root;
+std::string validate_bench_json(const std::string& text) {
+  json::Value root;
   try {
-    root = JsonReader(json).parse();
+    root = json::parse(text);
   } catch (const ParseError& e) {
     return e.what();
   }
-  if (root.kind != JsonValue::Kind::kObject)
+  if (root.kind != json::Value::Kind::kObject)
     return "top-level value is not an object";
 
-  using Kind = JsonValue::Kind;
+  using Kind = json::Value::Kind;
   for (const auto& [key, kind] :
        {std::pair<const char*, Kind>{"schema_version", Kind::kNumber},
         {"name", Kind::kString},
@@ -312,29 +136,53 @@ std::string validate_bench_json(const std::string& json) {
         {"events_per_sec", Kind::kNumber},
         {"rematch_count", Kind::kNumber},
         {"peak_rss_bytes", Kind::kNumber}}) {
-    const std::string err = check_key(root, key, kind);
+    const std::string err = json::check_key(root, key, kind);
     if (!err.empty()) return err;
   }
-  if (find_key(root, "schema_version")->number != 1.0)
-    return "unsupported schema_version";
+  const double version = json::find(root, "schema_version")->number;
+  if (version != 1.0 && version != 2.0) return "unsupported schema_version";
   // Optional capture tag; must be a string when present.
-  if (const JsonValue* label = find_key(root, "label");
+  if (const json::Value* label = json::find(root, "label");
       label != nullptr && label->kind != Kind::kString)
     return "key \"label\" has the wrong type";
 
-  const JsonValue& wall = *find_key(root, "wall_s");
+  const json::Value& wall = *json::find(root, "wall_s");
   for (const char* key : {"mean", "min", "max"}) {
-    const std::string err = check_key(wall, key, Kind::kNumber);
+    const std::string err = json::check_key(wall, key, Kind::kNumber);
     if (!err.empty()) return err;
   }
-  const std::string err = check_key(wall, "samples", Kind::kArray);
+  const std::string err = json::check_key(wall, "samples", Kind::kArray);
   if (!err.empty()) return err;
-  const JsonValue& samples = *find_key(wall, "samples");
+  const json::Value& samples = *json::find(wall, "samples");
   if (samples.array.size() !=
-      static_cast<std::size_t>(find_key(root, "repeats")->number))
+      static_cast<std::size_t>(json::find(root, "repeats")->number))
     return "wall_s.samples length disagrees with repeats";
-  for (const JsonValue& s : samples.array)
+  for (const json::Value& s : samples.array)
     if (s.kind != Kind::kNumber) return "wall_s.samples holds a non-number";
+
+  // Schema v2 must carry the telemetry block; v1 must not -- a v1 document
+  // with a telemetry key is a writer bug, not an extension.
+  const json::Value* telemetry = json::find(root, "telemetry");
+  if (version == 1.0 && telemetry != nullptr)
+    return "schema v1 must not contain a telemetry block";
+  if (version == 2.0) {
+    if (telemetry == nullptr || telemetry->kind != Kind::kObject)
+      return "schema v2 requires a telemetry object";
+    for (const auto& [key, kind] :
+         {std::pair<const char*, Kind>{"match_span_s", Kind::kNumber},
+          {"rematch_span_s", Kind::kNumber},
+          {"span_events", Kind::kNumber},
+          {"span_dropped", Kind::kNumber},
+          {"event_queue_peak", Kind::kNumber},
+          {"worker_busy_fraction", Kind::kArray}}) {
+      const std::string terr = json::check_key(*telemetry, key, kind);
+      if (!terr.empty()) return terr;
+    }
+    for (const json::Value& f :
+         json::find(*telemetry, "worker_busy_fraction")->array)
+      if (f.kind != Kind::kNumber || f.number < 0.0 || f.number > 1.0)
+        return "worker_busy_fraction holds a value outside [0, 1]";
+  }
   return "";
 }
 

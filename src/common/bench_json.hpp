@@ -29,6 +29,22 @@ struct BenchCounters {
   }
 };
 
+/// Optional telemetry summary attached to a capture when the bench ran
+/// with ISCOPE_TELEMETRY=1. Presence bumps the document to schema v2; the
+/// v1 fields are unchanged either way, so telemetry-off captures remain
+/// byte-identical to historical v1 documents.
+struct TelemetrySummary {
+  bool present = false;          ///< emit the block (and schema v2)?
+  double match_span_s = 0.0;     ///< total host time inside "match" spans
+  double rematch_span_s = 0.0;   ///< total host time inside "rematch" spans
+  std::size_t span_events = 0;   ///< spans retained in the trace rings
+  std::size_t span_dropped = 0;  ///< spans evicted by ring overflow
+  std::size_t event_queue_peak = 0;  ///< event-queue high-water mark
+  /// Busy fraction (busy / uptime) per ThreadPool worker, in worker order.
+  /// Empty when the run never started a pool.
+  std::vector<double> worker_busy_fraction;
+};
+
 /// One benchmark capture: `repeats` timed wall-clock samples after
 /// `warmup` untimed iterations.
 struct BenchReport {
@@ -43,6 +59,7 @@ struct BenchReport {
   std::vector<double> wall_s;  ///< timed samples, in order
   BenchCounters counters;
   long peak_rss_bytes = 0;     ///< of the whole process, at report time
+  TelemetrySummary telemetry;  ///< schema v2 block when .present
 
   double wall_mean_s() const;
   double wall_min_s() const;

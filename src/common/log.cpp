@@ -1,10 +1,13 @@
 #include "common/log.hpp"
 
-#include <iostream>
+#include <cstdio>
+
+#include "telemetry/telemetry.hpp"
 
 namespace iscope {
 
 namespace {
+
 const char* level_name(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug: return "DEBUG";
@@ -15,12 +18,65 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+/// Default destination: one fwrite per line to stderr. stdio locks the
+/// FILE around the call, so the line lands atomically even when pool
+/// workers log concurrently.
+class StderrSink : public LogSink {
+ public:
+  void write(LogLevel, const std::string& line) override {
+    std::fwrite(line.data(), 1, line.size(), stderr);
+  }
+};
+
+LogSink& default_sink() {
+  static StderrSink* s = new StderrSink;  // leaked: loggable during exit
+  return *s;
+}
+
+std::atomic<LogSink*> g_sink{nullptr};  // nullptr = default stderr sink
+
+/// Count emitted lines per level when telemetry is on. The label tuple is
+/// the level name, so a snapshot shows e.g. how many WARNs a sweep raised.
+void count_line(LogLevel level) {
+  if (!telemetry::enabled()) return;
+  static telemetry::CounterFamily& family = telemetry::Registry::global()
+      .counter("iscope_log_lines_total", "Log lines emitted, by level",
+               {"level"});
+  // Workers log concurrently; pay for the real RMW.
+  family.with({level_name(level)}).inc_concurrent();
+}
+
 }  // namespace
+
+LogSink* set_log_sink(LogSink* sink) {
+  return g_sink.exchange(sink, std::memory_order_acq_rel);
+}
+
+void CaptureSink::write(LogLevel, const std::string& line) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  lines_.push_back(line);
+}
+
+std::vector<std::string> CaptureSink::lines() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return lines_;
+}
+
+std::string CaptureSink::text() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const std::string& l : lines_) out += l;
+  return out;
+}
+
+void CaptureSink::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  lines_.clear();
+}
 
 namespace detail {
 void log_write(LogLevel level, const std::string& msg) {
-  // One insertion per line so concurrent loggers cannot interleave
-  // mid-line (see the policy in log.hpp).
   std::string line;
   line.reserve(msg.size() + 16);
   line += "[iscope ";
@@ -28,7 +84,9 @@ void log_write(LogLevel level, const std::string& msg) {
   line += "] ";
   line += msg;
   line += '\n';
-  std::clog << line;
+  LogSink* sink = g_sink.load(std::memory_order_acquire);
+  (sink != nullptr ? *sink : default_sink()).write(level, line);
+  count_line(level);
 }
 }  // namespace detail
 

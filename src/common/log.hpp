@@ -7,20 +7,58 @@
 //    time; concurrent loggers observe the new level promptly and without
 //    data races. Relaxed is enough -- the threshold only gates output, it
 //    never synchronizes other state.
-//  * Each log line is composed into one string and handed to std::clog in
-//    a single stream insertion (see detail::log_write), so concurrent
-//    lines never interleave mid-line: operations on the standard stream
-//    objects are data-race free, only character interleaving between
-//    separate insertions is possible.
+//  * Output goes through a pluggable LogSink. Each log line is composed
+//    into one complete string before it reaches the sink, and the default
+//    sink hands that string to stderr in a single fwrite -- stdio's
+//    internal FILE lock makes the write atomic, so concurrent lines never
+//    interleave mid-line. (The previous std::clog path only made the
+//    *insertion* race-free; streambuf buffering could still split a line
+//    between competing flushes.)
+//  * set_log_sink swaps an atomic pointer, so installing a sink is safe
+//    while other threads log. The caller owns the sink and must keep it
+//    alive until it has been replaced AND no thread can still be inside
+//    write() -- in practice: install capture sinks before starting the
+//    pool, or restore the default after joining it.
 #pragma once
 
 #include <atomic>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace iscope {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Destination for finished log lines. Implementations must be callable
+/// from any thread and must emit each line atomically (no mid-line
+/// interleaving between concurrent calls).
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  /// `line` is complete and newline-terminated ("[iscope WARN] ...\n").
+  virtual void write(LogLevel level, const std::string& line) = 0;
+};
+
+/// Install `sink` as the destination for all subsequent log lines;
+/// nullptr restores the default stderr sink. Returns the previously
+/// installed sink (nullptr if the default was active). Thread-safe.
+LogSink* set_log_sink(LogSink* sink);
+
+/// In-memory sink for tests: records every line verbatim.
+class CaptureSink : public LogSink {
+ public:
+  void write(LogLevel level, const std::string& line) override;
+
+  std::vector<std::string> lines() const;
+  std::string text() const;  ///< all lines concatenated
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::string> lines_;
+};
 
 namespace detail {
 inline std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarn)};

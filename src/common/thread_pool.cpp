@@ -1,14 +1,72 @@
 #include "common/thread_pool.hpp"
 
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
 #include "common/error.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace iscope {
 
+namespace {
+
+// Cached references into the global registry (family/cell creation locks;
+// the references themselves stay valid forever -- see registry.hpp).
+telemetry::Gauge& pool_threads_gauge() {
+  static telemetry::Gauge& g =
+      telemetry::Registry::global()
+          .gauge("iscope_pool_threads", "ThreadPool worker count")
+          .get();
+  return g;
+}
+
+telemetry::Gauge& pool_busy_gauge() {
+  static telemetry::Gauge& g =
+      telemetry::Registry::global()
+          .gauge("iscope_pool_busy_workers",
+                 "Workers currently executing a task")
+          .get();
+  return g;
+}
+
+telemetry::Histogram& queue_wait_histogram() {
+  static telemetry::Histogram& h =
+      telemetry::Registry::global()
+          .histogram("iscope_pool_queue_wait_seconds",
+                     "Task latency from submit to dequeue",
+                     telemetry::HistogramBuckets::log_linear(1e-6, 10.0, 3))
+          .get();
+  return h;
+}
+
+telemetry::GaugeFamily& worker_busy_family() {
+  static telemetry::GaugeFamily& f = telemetry::Registry::global().gauge(
+      "iscope_pool_worker_busy_seconds",
+      "Host seconds each worker spent inside tasks", {"worker"});
+  return f;
+}
+
+telemetry::GaugeFamily& worker_uptime_family() {
+  static telemetry::GaugeFamily& f = telemetry::Registry::global().gauge(
+      "iscope_pool_worker_uptime_seconds",
+      "Host seconds each worker was alive", {"worker"});
+  return f;
+}
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   ISCOPE_CHECK_ARG(threads > 0, "ThreadPool: need at least one thread");
+  if (telemetry::enabled())
+    pool_threads_gauge().set(static_cast<double>(threads));
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i)
-    workers_.emplace_back([this]() { worker_loop(); });
+    workers_.emplace_back([this, i]() { worker_loop(i); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -21,29 +79,86 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::enqueue(std::function<void()> job) {
+  Job entry;
+  entry.fn = std::move(job);
+  if (telemetry::enabled())
+    entry.enqueue_ns = telemetry::TraceLog::global().now_ns();
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     ISCOPE_CHECK_ARG(!stopping_, "ThreadPool: submit during destruction");
-    queue_.push(std::move(job));
+    queue_.push(std::move(entry));
   }
   cv_.notify_one();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t index) {
+  char os_name[16];  // pthread thread names cap at 15 chars + NUL
+  std::snprintf(os_name, sizeof os_name, "iscope-w%zu", index);
+#if defined(__linux__)
+  pthread_setname_np(pthread_self(), os_name);
+#endif
+
+  // Per-worker accounting is armed once at startup; enabling telemetry
+  // after the pool exists only affects later pools (documented in the
+  // header). The busy gauge and wait histogram stay per-job so they track
+  // a mid-run enable as well as possible.
+  const bool accounting = telemetry::enabled();
+  using clock = std::chrono::steady_clock;
+  clock::time_point started{};
+  std::uint64_t busy_ns = 0;
+  if (accounting) {
+    telemetry::TraceLog::global().set_thread_name(os_name);
+    started = clock::now();
+  }
+
   for (;;) {
-    std::function<void()> job;
+    Job job;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this]() { return stopping_ || !queue_.empty(); });
       // Stop only once the queue is empty so destruction drains it.
-      if (queue_.empty()) return;
+      if (queue_.empty()) break;
       job = std::move(queue_.front());
       queue_.pop();
     }
-    // packaged_task catches the task's exceptions into its future; any
-    // escape here would terminate, so jobs are required to be noexcept at
-    // this boundary (submit() guarantees that).
-    job();
+    const bool telem = telemetry::enabled();
+    if (telem) {
+      if (job.enqueue_ns != 0) {
+        const std::uint64_t waited =
+            telemetry::TraceLog::global().now_ns() - job.enqueue_ns;
+        queue_wait_histogram().observe_concurrent(
+            static_cast<double>(waited) * 1e-9);
+      }
+      pool_busy_gauge().add_concurrent(1.0);
+    }
+    const clock::time_point job_start = telem ? clock::now() : clock::time_point{};
+    {
+      ISCOPE_SPAN("pool_job");
+      // packaged_task catches the task's exceptions into its future; any
+      // escape here would terminate, so jobs are required to be noexcept
+      // at this boundary (submit() guarantees that).
+      job.fn();
+    }
+    if (telem) {
+      busy_ns += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                               job_start)
+              .count());
+      pool_busy_gauge().add_concurrent(-1.0);
+    }
+  }
+
+  if (accounting) {
+    // Flush this worker's lifetime accounting. Each worker owns its own
+    // labeled cell, so the single-writer fast path is safe here.
+    const double uptime_s =
+        std::chrono::duration_cast<std::chrono::duration<double>>(
+            clock::now() - started)
+            .count();
+    const std::string label = std::to_string(index);
+    worker_busy_family().with({label}).set(static_cast<double>(busy_ns) *
+                                           1e-9);
+    worker_uptime_family().with({label}).set(uptime_s);
   }
 }
 

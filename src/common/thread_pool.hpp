@@ -17,10 +17,18 @@
 // There is no work stealing and no task priority: the intended workload is
 // a batch of coarse-grained, similar-cost jobs (one discrete-event
 // simulation each), where a plain FIFO keeps all workers busy to the end.
+//
+// Observability: workers are named `iscope-w<N>` (OS thread name on Linux,
+// always the telemetry trace-ring name). When telemetry is enabled the pool
+// publishes its size and live busy-worker count as gauges, a queue-wait
+// histogram (submit -> dequeue latency), and per-worker busy/uptime
+// seconds flushed when each worker exits. Enable telemetry *before*
+// constructing the pool: per-worker accounting is armed at worker startup.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
@@ -61,11 +69,18 @@ class ThreadPool {
   }
 
  private:
+  /// A queued task plus its submission timestamp (host ns; 0 when
+  /// telemetry was disabled at submit time, skipping the wait histogram).
+  struct Job {
+    std::function<void()> fn;
+    std::uint64_t enqueue_ns = 0;
+  };
+
   void enqueue(std::function<void()> job);
-  void worker_loop();
+  void worker_loop(std::size_t index);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<Job> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;

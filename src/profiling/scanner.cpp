@@ -3,8 +3,31 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace iscope {
+
+namespace {
+
+/// Observation-only scan accounting; chips may be scanned from pool
+/// workers (parallel sweeps), so updates pay for the RMW.
+void count_scanned_chip(const ChipProfile& profile) {
+  telemetry::Registry& reg = telemetry::Registry::global();
+  static telemetry::Counter& chips =
+      reg.counter("iscope_scan_chips_total", "Chips profiled").get();
+  chips.inc_concurrent();
+  static telemetry::Counter& trials =
+      reg.counter("iscope_scan_trials_total", "Stability trials run").get();
+  trials.inc_concurrent(profile.trials);
+  static telemetry::Gauge& energy = reg.gauge(
+      "iscope_scan_energy_joules", "Cumulative scan energy burned").get();
+  energy.add_concurrent(profile.scan_energy_j);
+  static telemetry::Gauge& time = reg.gauge(
+      "iscope_scan_busy_seconds", "Cumulative per-chip scan wall time").get();
+  time.add_concurrent(profile.scan_time_s);
+}
+
+}  // namespace
 
 void ScanConfig::validate() const {
   ISCOPE_CHECK_ARG(voltage_points >= 2, "ScanConfig: need >= 2 voltage points");
@@ -24,6 +47,7 @@ Scanner::Scanner(const Cluster* cluster, const ScanConfig& config)
 
 ChipProfile Scanner::scan_chip(std::size_t proc_id, double now_s,
                                Rng& rng) const {
+  ISCOPE_SPAN("scan_chip");
   const Processor& p = cluster_->proc(proc_id);
   const FreqLevels& levels = cluster_->levels();
 
@@ -104,11 +128,13 @@ ChipProfile Scanner::scan_chip(std::size_t proc_id, double now_s,
   if (config_.parallel_cores) profile.scan_time_s = max_core_time_s;
 
   profile.chip_vdd = MinVddCurve::chip_worst_case(profile.core_vdd);
+  if (telemetry::enabled()) count_scanned_chip(profile);
   return profile;
 }
 
 double Scanner::scan_domain(const std::vector<std::size_t>& proc_ids,
                             double now_s, Rng& rng, ProfileDb& db) const {
+  ISCOPE_SPAN("scan_domain");
   double wall_s = 0.0;
   double t = now_s;
   for (const std::size_t id : proc_ids) {

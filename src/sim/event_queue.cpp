@@ -13,6 +13,7 @@ void EventQueue::schedule(double time_s, Handler fn) {
   ISCOPE_CHECK_ARG(static_cast<bool>(fn), "EventQueue: null handler");
   heap_.push_back(Item{std::max(time_s, now_), seq_++, std::move(fn)});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
+  hwm_ = std::max(hwm_, heap_.size());
 }
 
 bool EventQueue::step() {
@@ -50,6 +51,7 @@ void EventQueue::clear() {
   heap_.clear();
   now_ = 0.0;
   seq_ = 0;
+  hwm_ = 0;
 }
 
 }  // namespace iscope

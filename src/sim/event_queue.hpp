@@ -46,6 +46,10 @@ class EventQueue {
   double now() const { return now_; }
   bool empty() const { return heap_.empty(); }
   std::size_t pending() const { return heap_.size(); }
+  /// Largest pending() ever observed (since construction or clear()).
+  /// Tracked unconditionally -- one compare per schedule -- so telemetry
+  /// can report it without perturbing the hot path with a gate.
+  std::size_t high_water() const { return hwm_; }
   /// Time of the earliest pending event; throws if empty.
   double peek_time() const;
 
@@ -72,6 +76,7 @@ class EventQueue {
   std::vector<Item> heap_;  ///< binary max-heap under Later
   double now_ = 0.0;
   std::uint64_t seq_ = 0;
+  std::size_t hwm_ = 0;  ///< see high_water()
 };
 
 }  // namespace iscope

@@ -4,6 +4,8 @@
 
 #include "common/audit.hpp"
 #include "common/error.hpp"
+#include "telemetry/sink.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace iscope {
 
@@ -177,6 +179,7 @@ void DatacenterSim::accrue_to_now() {
 }
 
 void DatacenterSim::rematch() {
+  ISCOPE_SPAN_SIM("rematch", queue_.now());
   if (rematch_probe != nullptr) rematch_probe(true);
   accrue_to_now();
   const double now = queue_.now();
@@ -278,6 +281,7 @@ void DatacenterSim::on_arrival(std::size_t idx) {
 
 void DatacenterSim::schedule_pass() {
   if (in_pass_ || waiting_.empty()) return;
+  ISCOPE_SPAN_SIM("match", queue_.now());
   in_pass_ = true;
 
   // Snapshot idle processors (excluding any isolated for profiling): the
@@ -368,6 +372,7 @@ void DatacenterSim::schedule_pass() {
 }
 
 void DatacenterSim::start_task(std::size_t idx, std::vector<std::size_t> procs) {
+  ISCOPE_SPAN_SIM("start_task", queue_.now());
   SimTask& t = tasks_[idx];
   ISCOPE_CHECK(t.state == TaskState::kWaiting, "start_task: bad state");
   const double now = queue_.now();
@@ -587,6 +592,10 @@ void DatacenterSim::schedule_epoch(double t) {
   queue_.schedule(t, [this, t] {
     rematch();
     schedule_pass();  // wind regime change can unblock Fair/Effi waits
+    // Telemetry rides the existing epoch event rather than scheduling its
+    // own: the event count -- and therefore SimResult -- is identical with
+    // telemetry on or off.
+    if (telemetry::enabled()) telemetry_sample();
     if (!all_done()) schedule_epoch(t + config_.epoch_s);
   });
 }
@@ -604,7 +613,7 @@ void DatacenterSim::log_event(TimelineKind kind, std::int64_t task_id,
   timeline_.push_back(TimelineEvent{queue_.now(), kind, task_id, value});
 }
 
-void DatacenterSim::record_sample() {
+PowerSample DatacenterSim::power_waterfall_now() const {
   // Same wind -> battery -> utility waterfall accrue_to_now() integrates,
   // evaluated at an instant (rate previews leave the battery untouched).
   PowerSample s;
@@ -622,7 +631,90 @@ void DatacenterSim::record_sample() {
     s.battery = delivered;
     s.utility = std::max(Watts{}, s.demand - wind_used - delivered);
   }
-  meter_.record_sample(s);
+  return s;
+}
+
+void DatacenterSim::record_sample() {
+  meter_.record_sample(power_waterfall_now());
+}
+
+void DatacenterSim::telemetry_sample() {
+  const PowerSample p = power_waterfall_now();
+  telemetry::SampleRow row;
+  row.label = config_.telemetry_label.empty() ? "sim" : config_.telemetry_label;
+  row.time_s = queue_.now();
+  row.demand_w = p.demand.raw();
+  row.wind_avail_w = p.wind_avail.raw();
+  row.wind_w = p.wind.raw();
+  row.battery_w = p.battery.raw();
+  row.utility_w = p.utility.raw();
+  row.queue_depth = queue_.pending();
+  row.waiting_tasks = waiting_.size();
+  row.running_tasks = run_count_;
+  row.idle_procs = idle_sorted_.size();
+  telemetry::SampleLog::global().append(row);
+
+  static telemetry::GaugeFamily& depth_family =
+      telemetry::Registry::global().gauge(
+          "iscope_sim_event_queue_depth",
+          "Pending simulator events at the latest sample", {"run"});
+  depth_family.with({row.label}).set(static_cast<double>(row.queue_depth));
+
+  // The supply-side waterfall as live gauges (latest sample wins): where
+  // the facility's power is coming from right now.
+  static telemetry::GaugeFamily& power_family =
+      telemetry::Registry::global().gauge(
+          "iscope_power_watts",
+          "Power waterfall at the latest sample, by source",
+          {"run", "source"});
+  power_family.with({row.label, "demand"}).set(row.demand_w);
+  power_family.with({row.label, "wind_avail"}).set(row.wind_avail_w);
+  power_family.with({row.label, "wind"}).set(row.wind_w);
+  power_family.with({row.label, "battery"}).set(row.battery_w);
+  power_family.with({row.label, "utility"}).set(row.utility_w);
+}
+
+void DatacenterSim::publish_run_telemetry(std::size_t events) {
+  telemetry::Registry& reg = telemetry::Registry::global();
+  const std::string label =
+      config_.telemetry_label.empty() ? "sim" : config_.telemetry_label;
+  const std::vector<std::string> labels = {label};
+  // Parallel sweeps finish runs on pool workers concurrently, and runs
+  // sharing a label share cells: pay for the real RMW.
+  static telemetry::CounterFamily& events_family = reg.counter(
+      "iscope_sim_events_total", "Simulator events processed", {"run"});
+  events_family.with(labels).inc_concurrent(events);
+  static telemetry::CounterFamily& rematch_family = reg.counter(
+      "iscope_sim_rematches_total", "DVFS rematch passes", {"run"});
+  rematch_family.with(labels).inc_concurrent(rematch_count_);
+  static telemetry::CounterFamily& completed_family = reg.counter(
+      "iscope_sim_tasks_completed_total", "Tasks run to completion",
+      {"run"});
+  completed_family.with(labels).inc_concurrent(done_count_);
+  static telemetry::CounterFamily& miss_family = reg.counter(
+      "iscope_sim_deadline_misses_total", "Completions past the deadline",
+      {"run"});
+  miss_family.with(labels).inc_concurrent(miss_count_);
+  static telemetry::CounterFamily& requeue_family = reg.counter(
+      "iscope_sim_task_requeues_total",
+      "Task restarts forced by injected faults", {"run"});
+  requeue_family.with(labels).inc_concurrent(fault_counters_.task_requeues);
+  static telemetry::CounterFamily& fault_family = reg.counter(
+      "iscope_sim_cpu_failures_total",
+      "Processor fail-stops (crashes + mis-profiles)", {"run"});
+  fault_family.with(labels).inc_concurrent(fault_counters_.cpu_failures);
+  static telemetry::GaugeFamily& peak_family = reg.gauge(
+      "iscope_sim_event_queue_peak",
+      "Event-queue high-water mark over the run(s)", {"run"});
+  peak_family.with(labels).set_max_concurrent(
+      static_cast<double>(queue_.high_water()));
+  static telemetry::GaugeFamily& battery_family = reg.gauge(
+      "iscope_battery_delivered_joules",
+      "Battery energy delivered to the facility", {"run"});
+  battery_family.with(labels).add_concurrent(battery_.delivered().raw());
+  static telemetry::GaugeFamily& losses_family = reg.gauge(
+      "iscope_battery_losses_joules", "Battery round-trip losses", {"run"});
+  losses_family.with(labels).add_concurrent(battery_.losses().raw());
 }
 
 SimResult DatacenterSim::run(std::vector<Task> tasks) {
@@ -720,6 +812,10 @@ SimResult DatacenterSim::run(std::vector<Task> tasks,
   ISCOPE_CHECK(all_done(), "DatacenterSim: event budget exhausted before "
                            "all tasks completed");
   accrue_to_now();
+  if (telemetry::enabled()) {
+    telemetry_sample();  // closing sampler row at the end-of-run state
+    publish_run_telemetry(events);
+  }
 
   SimResult result;
   result.energy = meter_.total();
@@ -751,12 +847,27 @@ SimResult run_scheme(const Cluster& cluster, Scheme scheme,
                      const std::vector<Task>& tasks, const SimConfig& config) {
   if (scheme_uses_scan(scheme))
     ISCOPE_CHECK_ARG(db != nullptr, "run_scheme: Scan scheme needs a ProfileDb");
+  // Default the run's telemetry tag to the scheme name so snapshots and
+  // sampler rows separate the five schemes out of the box.
+  SimConfig tagged = config;
+  if (tagged.telemetry_label.empty()) tagged.telemetry_label = scheme_name(scheme);
   // Non-const so fault plans can quarantine failed processors; without
   // faults the view is never mutated.
   Knowledge knowledge(&cluster, scheme_knowledge(scheme),
                       scheme_uses_scan(scheme) ? db : nullptr);
-  DatacenterSim sim(&knowledge, scheme_rule(scheme), &supply, config);
-  return sim.run(tasks);
+  DatacenterSim sim(&knowledge, scheme_rule(scheme), &supply, tagged);
+  SimResult result = sim.run(tasks);
+  if (telemetry::enabled()) {
+    // Per-scheme utilization spread (paper Fig. 6): how evenly the scheme
+    // loaded the cluster.
+    static telemetry::GaugeFamily& variance_family =
+        telemetry::Registry::global().gauge(
+            "iscope_sim_busy_variance_h2",
+            "Variance of per-processor busy hours", {"run"});
+    variance_family.with({tagged.telemetry_label})
+        .set(result.busy_variance_h2);
+  }
+  return result;
 }
 
 }  // namespace iscope

@@ -29,6 +29,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "energy/battery.hpp"
@@ -56,6 +57,11 @@ struct SimConfig {
   double sample_interval_s = 350.0;  ///< Fig. 7 trace sampling period
   bool record_trace = false;
   bool record_timeline = false;      ///< typed event log (sim/timeline.hpp)
+  /// Tag for this run's telemetry: metric label values and sampler rows.
+  /// Empty means "sim"; run_scheme() fills in the scheme name. Purely
+  /// observational -- never read by simulation logic, so it cannot affect
+  /// results.
+  std::string telemetry_label;
   /// Fair considers wind "abundant" when available wind exceeds current
   /// demand by this factor.
   double wind_abundance_headroom = 1.1;
@@ -183,7 +189,15 @@ class DatacenterSim {
   /// survivors, requeue (bounded by the plan's retry budget) or abandon.
   void requeue_task(std::size_t idx);
   void on_misprofile_timer(std::size_t p, std::uint64_t token);
+  /// Instantaneous wind -> battery -> utility waterfall (previews only;
+  /// shared by the Fig. 7 trace recorder and the telemetry sampler).
+  PowerSample power_waterfall_now() const;
   void record_sample();
+  /// Telemetry-only observation hooks. Both are observational by
+  /// construction: they schedule no events and mutate no simulation state,
+  /// so a telemetry-enabled run is bit-identical to a disabled one.
+  void telemetry_sample();
+  void publish_run_telemetry(std::size_t events);
   void log_event(TimelineKind kind, std::int64_t task_id, double value);
   double fmax_ghz() const;
   bool wind_abundant_now() const;

@@ -1,0 +1,91 @@
+// Telemetry sinks: the per-interval sample log and the run-report writer
+// (DESIGN.md Sec. 11).
+//
+// The simulator emits one SampleRow per supply epoch (plus a final row at
+// run end) when telemetry is enabled: the wind -> battery -> utility power
+// waterfall, event-queue depth, and scheduler occupancy, labeled with the
+// run's tag (the scheme name unless the caller overrides it). Riding the
+// existing epoch events is deliberate -- sampling schedules no events of
+// its own, so `SimResult::events_processed` is identical with telemetry on
+// or off.
+//
+// `write_run_report` drops the standard observability bundle into a
+// directory: metrics.prom (Prometheus text), metrics.json, samples.csv,
+// and trace.json (Chrome trace_event, loadable in Perfetto).
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/registry.hpp"
+#include "telemetry/trace.hpp"
+
+namespace iscope::telemetry {
+
+/// One sampler interval of one run.
+struct SampleRow {
+  std::string label;       ///< run tag (scheme name by default)
+  double time_s = 0.0;     ///< simulated time
+  double demand_w = 0.0;   ///< facility demand incl. cooling
+  double wind_avail_w = 0.0;
+  double wind_w = 0.0;     ///< wind absorbed (incl. battery charging)
+  double battery_w = 0.0;  ///< battery discharge into the facility
+  double utility_w = 0.0;  ///< grid supplement
+  std::size_t queue_depth = 0;    ///< pending simulator events
+  std::size_t waiting_tasks = 0;
+  std::size_t running_tasks = 0;
+  std::size_t idle_procs = 0;
+};
+
+/// Append-only, thread-safe log of sampler rows (parallel sweeps feed one
+/// global log; rows interleave by completion but each row is atomic).
+class SampleLog {
+ public:
+  void append(const SampleRow& row);
+  std::vector<SampleRow> rows() const;
+  std::size_t size() const;
+  void clear();
+
+  std::string to_csv() const;
+  std::string to_json() const;
+
+  /// Leaked singleton, same rationale as Registry::global().
+  static SampleLog& global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<SampleRow> rows_;
+};
+
+/// Files written by `write_run_report`.
+struct RunReportPaths {
+  std::string metrics_prom;
+  std::string metrics_json;
+  std::string samples_csv;
+  std::string trace_json;
+};
+
+/// Write the observability bundle for the current process state into
+/// `dir` (created if missing). Throws iscope::Error on I/O failure.
+RunReportPaths write_run_report(const std::string& dir,
+                                const Registry& registry = Registry::global(),
+                                const TraceLog& trace = TraceLog::global(),
+                                const SampleLog& samples =
+                                    SampleLog::global());
+
+/// Write just the Chrome trace to `path`.
+void write_chrome_trace(const std::string& path,
+                        const TraceLog& trace = TraceLog::global());
+
+/// Structural check of a Prometheus text exposition document: every
+/// non-comment line must be `name[{labels}] value`. Returns "" when valid,
+/// else a diagnostic with the offending line.
+std::string validate_prometheus_text(const std::string& text);
+
+/// Reset the global registry, trace log, and sample log in one call
+/// (tests and back-to-back CLI runs).
+void reset_global_telemetry();
+
+}  // namespace iscope::telemetry

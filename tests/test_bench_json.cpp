@@ -70,6 +70,69 @@ TEST(BenchJson, CorruptionsAreDiagnosed) {
   EXPECT_NE(validate_bench_json(bad), "");
 }
 
+BenchReport telemetry_report() {
+  BenchReport r = sample_report();
+  r.telemetry.present = true;
+  r.telemetry.match_span_s = 0.125;
+  r.telemetry.rematch_span_s = 0.5;
+  r.telemetry.span_events = 4096;
+  r.telemetry.span_dropped = 12;
+  r.telemetry.event_queue_peak = 321;
+  r.telemetry.worker_busy_fraction = {0.75, 0.5};
+  return r;
+}
+
+TEST(BenchJson, SchemaV1IsUnchangedWithoutTelemetry) {
+  // Pin the v1 document shape: no telemetry key, version 1, and the exact
+  // field set committed baselines rely on.
+  const std::string json = to_json(sample_report());
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_EQ(json.find("\"telemetry\""), std::string::npos);
+  EXPECT_EQ(validate_bench_json(json), "");
+}
+
+TEST(BenchJson, SchemaV2RoundTripValidates) {
+  const std::string json = to_json(telemetry_report());
+  EXPECT_EQ(validate_bench_json(json), "");
+  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"telemetry\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"event_queue_peak\": 321"), std::string::npos);
+  EXPECT_NE(json.find("\"worker_busy_fraction\": [0.75, 0.5]"),
+            std::string::npos);
+  // The v1 fields are untouched by the upgrade.
+  EXPECT_NE(json.find("\"rematch_count\": 250"), std::string::npos);
+}
+
+TEST(BenchJson, SchemaV2CorruptionsAreDiagnosed) {
+  const std::string json = to_json(telemetry_report());
+
+  // A v1 document must not smuggle in a telemetry block.
+  std::string bad = json;
+  bad.replace(bad.find("\"schema_version\": 2"),
+              std::string("\"schema_version\": 2").size(),
+              "\"schema_version\": 1");
+  EXPECT_NE(validate_bench_json(bad), "");
+
+  // A v2 document must carry one.
+  bad = to_json(sample_report());
+  bad.replace(bad.find("\"schema_version\": 1"),
+              std::string("\"schema_version\": 1").size(),
+              "\"schema_version\": 2");
+  EXPECT_NE(validate_bench_json(bad), "");
+
+  // Busy fractions outside [0, 1] are a writer bug.
+  bad = json;
+  bad.replace(bad.find("[0.75, 0.5]"), std::string("[0.75, 0.5]").size(),
+              "[1.5, 0.5]");
+  EXPECT_NE(validate_bench_json(bad), "");
+
+  // Missing telemetry sub-key.
+  bad = json;
+  bad.replace(bad.find("\"span_dropped\""),
+              std::string("\"span_dropped\"").size(), "\"span_dripped\"");
+  EXPECT_NE(validate_bench_json(bad), "");
+}
+
 TEST(BenchJson, WriteReadBack) {
   const std::string dir = ::testing::TempDir();
   const BenchReport r = sample_report();

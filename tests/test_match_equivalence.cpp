@@ -18,6 +18,8 @@
 #include "common/rng.hpp"
 #include "profiling/scanner.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/sink.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace iscope {
 namespace {
@@ -287,6 +289,79 @@ TEST(MatchEquivalence, FaultsActiveOptimizedMatchesReference) {
                               Scheme::kBinEffi}) {
     SCOPED_TRACE(scheme_name(scheme));
     s.check_equivalence(scheme, tasks, supply, cfg);
+  }
+}
+
+// ----------------------------------------------- telemetry-off identity
+//
+// The telemetry subsystem's core contract (DESIGN.md Sec. 11): spans,
+// counters, and the epoch sampler are pure observers. A run with telemetry
+// enabled must produce a bit-identical SimResult to one with it disabled --
+// same events, same draws, same accumulations -- because instrumentation
+// schedules no events and touches no simulator state.
+
+class TelemetryOffIdentity : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    telemetry::set_enabled(false);
+    telemetry::reset_global_telemetry();
+  }
+  void TearDown() override {
+    telemetry::set_enabled(false);
+    telemetry::reset_global_telemetry();
+  }
+};
+
+TEST_F(TelemetryOffIdentity, EnabledRunIsBitIdenticalAllSchemes) {
+  const Scenario s(16, 71);
+  const auto tasks = s.make_tasks(40, 73);
+  const HybridSupply supply = s.make_supply(79);
+  for (const Scheme scheme : kAllSchemes) {
+    SCOPED_TRACE(scheme_name(scheme));
+    telemetry::set_enabled(false);
+    const SimResult off = s.run(scheme, tasks, supply, SimConfig{});
+    telemetry::set_enabled(true);
+    const SimResult on = s.run(scheme, tasks, supply, SimConfig{});
+    telemetry::set_enabled(false);
+    expect_identical(off, on);
+  }
+  // The instrumented runs actually produced telemetry (unless the whole
+  // subsystem was compiled out).
+#ifndef ISCOPE_TELEMETRY_OFF
+  EXPECT_GT(telemetry::SampleLog::global().size(), 0u);
+  EXPECT_GT(telemetry::TraceLog::global().total_events(), 0u);
+#endif
+}
+
+TEST_F(TelemetryOffIdentity, WithBatteryProfilingAndFaults) {
+  // The hardest mix: battery arbitration, in-band profiling windows, and
+  // an active fault plan all share the event queue the sampler piggybacks
+  // on. Telemetry must still not perturb a single draw.
+  const Scenario s(16, 83);
+  const auto tasks = s.make_tasks(35, 89);
+  const HybridSupply supply = s.make_supply(97);
+  SimConfig cfg;
+  cfg.battery = BatteryConfig::make(/*capacity_kwh=*/2.0, /*power_kw=*/1.0);
+  cfg.faults.crash_mtbf_s = 6.0 * 3600.0;
+  cfg.faults.repair_mean_s = 900.0;
+  cfg.faults.misprofile_prob = 0.2;
+  cfg.fault_seed = 17;
+  std::vector<ProfilingWindow> windows;
+  for (std::size_t w = 0; w < 3; ++w) {
+    ProfilingWindow win;
+    win.start_s = 700.0 + 2800.0 * static_cast<double>(w);
+    win.duration_s = 700.0;
+    win.proc_ids = {w, w + 4, w + 9};
+    windows.push_back(win);
+  }
+  for (const Scheme scheme : {Scheme::kScanEffi, Scheme::kBinEffi}) {
+    SCOPED_TRACE(scheme_name(scheme));
+    telemetry::set_enabled(false);
+    const SimResult off = s.run(scheme, tasks, supply, cfg, windows);
+    telemetry::set_enabled(true);
+    const SimResult on = s.run(scheme, tasks, supply, cfg, windows);
+    telemetry::set_enabled(false);
+    expect_identical(off, on);
   }
 }
 

@@ -49,6 +49,28 @@ grep -q '"schema_version": 1' "$SMOKE_JSON" \
     || { echo "bench smoke: $SMOKE_JSON lacks schema_version 1" >&2; exit 1; }
 echo "bench capture ok: $SMOKE_JSON"
 
+stage "telemetry smoke (report bundle + registry/SimResult cross-check)"
+TELEM_DIR="build-check/telemetry-smoke"
+rm -rf "$TELEM_DIR" && mkdir -p "$TELEM_DIR"
+./build-check/strict/examples/iscope_cli simulate --scheme ScanEffi \
+    --procs 64 --jobs 200 \
+    --telemetry "$TELEM_DIR/report" --trace-out "$TELEM_DIR/trace_only.json" \
+    > "$TELEM_DIR/stdout.txt"
+grep -q 'telemetry cross-check ok' "$TELEM_DIR/stdout.txt" \
+    || { echo "telemetry smoke: cross-check line missing" >&2;
+         cat "$TELEM_DIR/stdout.txt" >&2; exit 1; }
+for f in "$TELEM_DIR/report/metrics.prom" "$TELEM_DIR/report/metrics.json" \
+         "$TELEM_DIR/report/samples.csv" "$TELEM_DIR/report/trace.json" \
+         "$TELEM_DIR/trace_only.json"; do
+  [ -s "$f" ] || { echo "telemetry smoke: $f missing or empty" >&2; exit 1; }
+done
+# The counters the CLI cross-checks must actually be in the exposition.
+grep -q '^iscope_sim_events_total{' "$TELEM_DIR/report/metrics.prom" \
+    || { echo "telemetry smoke: iscope_sim_events_total absent" >&2; exit 1; }
+grep -q '"traceEvents"' "$TELEM_DIR/trace_only.json" \
+    || { echo "telemetry smoke: trace_only.json lacks traceEvents" >&2; exit 1; }
+echo "telemetry bundle ok: $TELEM_DIR/report"
+
 stage "clang-tidy"
 if command -v clang-tidy > /dev/null 2>&1; then
   cmake -B build-check/tidy -S . -DISCOPE_CLANG_TIDY=ON > /dev/null
