@@ -43,12 +43,16 @@ inline void maybe_export_csv(const std::string& name,
 
 /// The standard experiment context: paper_small() scaled by ISCOPE_SCALE,
 /// sweep workers from ISCOPE_PARALLEL (0 = one per hardware thread), fault
-/// injection from ISCOPE_FAULTS / ISCOPE_FAULT_SEED (off by default).
+/// injection from ISCOPE_FAULTS / ISCOPE_FAULT_SEED (off by default),
+/// shard partition from ISCOPE_SHARDS / ISCOPE_SHARD_WORKERS (1 = the
+/// single-event-loop simulator, same results).
 inline ExperimentConfig bench_config() {
   ExperimentConfig cfg = ExperimentConfig::paper_small().scaled(env_scale());
   cfg.parallelism = env_parallelism();
   cfg.sim.faults = env_fault_spec();
   cfg.sim.fault_seed = env_fault_seed();
+  cfg.sim.topology.shards = env_shards();
+  cfg.sim.shard_workers = env_shard_workers();
   return cfg;
 }
 

@@ -163,14 +163,24 @@ int cmd_simulate(const Args& args) {
   const Scheme scheme = scheme_from_name(args.get("scheme").value_or(
       "ScanFair"));
 
-  ExperimentConfig config = ExperimentConfig::paper_small();
+  // --hyperscale [PROCS] starts from the hyperscale preset (proportional
+  // job count and arrival rate, throughput regime) instead of the paper
+  // facility; --procs/--jobs still override individual knobs afterwards.
+  const std::optional<std::string> hyper_arg = args.get("hyperscale");
+  const bool hyper = hyper_arg.has_value();
+  ExperimentConfig config =
+      hyper ? ExperimentConfig::hyperscale(
+                  *hyper_arg == "true"  // bare flag, no CPU count given
+                      ? 102'400
+                      : static_cast<std::size_t>(std::stoull(*hyper_arg)))
+            : ExperimentConfig::paper_small();
   if (args.get("procs"))
     config.cluster.num_processors =
         static_cast<std::size_t>(args.integer("procs", 480));
   if (args.get("jobs"))
     config.workload.num_jobs = static_cast<std::size_t>(
         args.integer("jobs", 800));
-  config.workload.max_cpus = config.cluster.num_processors / 4;
+  if (!hyper) config.workload.max_cpus = config.cluster.num_processors / 4;
   if (args.get("battery-kwh")) {
     const double peak_kw =
         estimated_peak_demand(config.cluster, config.sim.cooling_cop).watts() / 1e3;
@@ -184,6 +194,15 @@ int cmd_simulate(const Args& args) {
                           ? parse_fault_spec(args.require("faults"))
                           : env_fault_spec();
   config.sim.fault_seed = args.integer("fault-seed", env_fault_seed());
+  // Shard partition: --shards N routes the run through the sharded
+  // coordinator (rack-aligned shards, epoch-barrier wind reconciliation);
+  // --shard-workers W fans shard advances over a pool (0 = hw threads).
+  // Defaults come from ISCOPE_SHARDS / ISCOPE_SHARD_WORKERS; 1 shard is
+  // bit-identical to the single-event-loop simulator.
+  config.sim.topology.shards =
+      static_cast<std::size_t>(args.integer("shards", env_shards()));
+  config.sim.shard_workers = static_cast<std::size_t>(
+      args.integer("shard-workers", env_shard_workers()));
 
   const ExperimentContext ctx(config);
 
@@ -255,7 +274,25 @@ int cmd_simulate(const Args& args) {
     // Cross-check the registry against the result the simulation itself
     // reported: the two are independent tallies of the same run.
     const telemetry::Snapshot snap = telemetry::Registry::global().snapshot();
-    const std::vector<std::string> run = {scheme_name(scheme)};
+    // A 1-shard run publishes its counters under the scheme label; a
+    // sharded run under "<scheme>/shard<i>" per shard. Either way the
+    // per-cell tallies must sum to what SimResult reported.
+    const std::string base = scheme_name(scheme);
+    const auto tally = [&](const char* family) {
+      double sum = -1.0;
+      for (const auto& fam : snap) {
+        if (fam.name != family) continue;
+        for (const auto& cell : fam.cells) {
+          if (cell.labels.empty()) continue;
+          const std::string& run_label = cell.labels.front();
+          if (run_label != base && run_label.rfind(base + "/shard", 0) != 0)
+            continue;
+          if (sum < 0.0) sum = 0.0;
+          sum += cell.value;
+        }
+      }
+      return sum;
+    };
     const struct {
       const char* family;
       double expected;
@@ -270,7 +307,7 @@ int cmd_simulate(const Args& args) {
          static_cast<double>(r.deadline_misses)},
     };
     for (const auto& c : checks) {
-      const double got = telemetry::snapshot_value(snap, c.family, run, -1.0);
+      const double got = tally(c.family);
       if (got != c.expected) {
         std::cerr << "telemetry cross-check FAILED: " << c.family << " = "
                   << got << ", SimResult says " << c.expected << "\n";
@@ -386,11 +423,15 @@ int usage() {
       "  stats     --swf trace.swf [--cpus N]\n"
       "  scan      --procs N [--seed S] --out profiles.csv\n"
       "  simulate  [--scheme ScanFair] [--procs N] [--jobs N] [--hu F]\n"
+      "            [--hyperscale [PROCS]]   (hyperscale preset, >=1024\n"
+      "              CPUs, proportional jobs/arrival; default 102400)\n"
       "            [--rate R] [--wind trace.csv | --no-wind]\n"
       "            [--battery-kwh X] [--timeline out.csv]\n"
       "            [--telemetry DIR] [--trace-out trace.json]\n"
       "            [--faults \"mtbf=S,repair=S,misprofile=P,forecast=E,\n"
       "              dropouts=N,retries=K\"] [--fault-seed N]\n"
+      "            [--shards N] [--shard-workers W]   (sharded simulator;\n"
+      "              defaults ISCOPE_SHARDS / ISCOPE_SHARD_WORKERS)\n"
       "  sweep     [--fig hu|arrival|wind] [--points \"a,b,c\"] [--no-wind]\n"
       "            [--parallel N] [--scale F]\n";
   return 1;

@@ -3,6 +3,7 @@
 #include <sys/resource.h>
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -92,8 +93,11 @@ std::string to_json(const BenchReport& report) {
       << "  \"events\": " << report.counters.events << ",\n"
       << "  \"events_per_sec\": " << json_number(report.events_per_sec())
       << ",\n"
-      << "  \"rematch_count\": " << report.counters.rematches << ",\n"
-      << "  \"peak_rss_bytes\": " << report.peak_rss_bytes;
+      << "  \"rematch_count\": " << report.counters.rematches << ",\n";
+  if (report.counters.tasks_completed != 0)
+    out << "  \"tasks_completed\": " << report.counters.tasks_completed
+        << ",\n";
+  out << "  \"peak_rss_bytes\": " << report.peak_rss_bytes;
   // The telemetry block is the only schema-v2 addition; omitting it keeps
   // the document byte-identical to the v1 schema of old.
   if (report.telemetry.present) {
@@ -145,6 +149,10 @@ std::string validate_bench_json(const std::string& text) {
   if (const json::Value* label = json::find(root, "label");
       label != nullptr && label->kind != Kind::kString)
     return "key \"label\" has the wrong type";
+  // Optional scheduling-outcome counter; must be a number when present.
+  if (const json::Value* tasks = json::find(root, "tasks_completed");
+      tasks != nullptr && tasks->kind != Kind::kNumber)
+    return "key \"tasks_completed\" has the wrong type";
 
   const json::Value& wall = *json::find(root, "wall_s");
   for (const char* key : {"mean", "min", "max"}) {
@@ -186,8 +194,26 @@ std::string validate_bench_json(const std::string& text) {
   return "";
 }
 
-std::string bench_json_path(const std::string& dir, const std::string& name) {
-  return dir + "/BENCH_" + name + ".json";
+std::string normalize_bench_label(const std::string& label) {
+  std::string out;
+  out.reserve(label.size());
+  for (const char c : label) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c))));
+    } else if (!out.empty() && out.back() != '_') {
+      out.push_back('_');
+    }
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  return out;
+}
+
+std::string bench_json_path(const std::string& dir, const std::string& name,
+                            const std::string& label) {
+  const std::string tag = normalize_bench_label(label);
+  if (tag.empty()) return dir + "/BENCH_" + name + ".json";
+  return dir + "/BENCH_" + name + "." + tag + ".json";
 }
 
 std::string write_bench_json(const std::string& dir,
@@ -196,7 +222,7 @@ std::string write_bench_json(const std::string& dir,
   const std::string err = validate_bench_json(doc);
   if (!err.empty())
     throw InternalError("bench json self-validation failed: " + err);
-  const std::string path = bench_json_path(dir, report.name);
+  const std::string path = bench_json_path(dir, report.name, report.label);
   std::ofstream out(path, std::ios::binary);
   out << doc;
   if (!out) throw Error("bench json: cannot write " + path);

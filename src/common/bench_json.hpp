@@ -21,10 +21,16 @@ namespace iscope {
 struct BenchCounters {
   std::size_t events = 0;     ///< simulator events processed
   std::size_t rematches = 0;  ///< DVFS rematch passes
+  /// Scheduling outcome: tasks the run completed. Unlike events/rematches
+  /// (which include per-shard epoch bookkeeping), this must be identical
+  /// across shard counts; 0 = not tracked by this bench, and the key is
+  /// omitted from the JSON so historical captures stay byte-identical.
+  std::size_t tasks_completed = 0;
 
   BenchCounters& operator+=(const BenchCounters& o) {
     events += o.events;
     rematches += o.rematches;
+    tasks_completed += o.tasks_completed;
     return *this;
   }
 };
@@ -78,11 +84,22 @@ std::string to_json(const BenchReport& report);
 /// required keys and types. Returns "" when valid, else a diagnostic.
 std::string validate_bench_json(const std::string& json);
 
-/// `<dir>/BENCH_<name>.json`.
-std::string bench_json_path(const std::string& dir, const std::string& name);
+/// Normalize a capture label for use in a file name: lower-cased, runs of
+/// non-alphanumerics collapsed to single underscores, trimmed. "Faults ON"
+/// and "faults-on" both become "faults_on". Returns "" for an all-junk
+/// label.
+std::string normalize_bench_label(const std::string& label);
 
-/// Write `report` to `bench_json_path(dir, report.name)`, self-validating
-/// the emitted document. Returns the path; throws IoError on failure.
+/// `<dir>/BENCH_<name>.json`, or -- with a non-empty `label` --
+/// `<dir>/BENCH_<name>.<normalized label>.json`. The labeled form is the
+/// committed-baseline convention (bench/baseline/README.md): one file per
+/// (bench, variant), e.g. BENCH_shard_scaling.shards_4.json.
+std::string bench_json_path(const std::string& dir, const std::string& name,
+                            const std::string& label = "");
+
+/// Write `report` to `bench_json_path(dir, report.name, report.label)`,
+/// self-validating the emitted document. Returns the path; throws on
+/// failure.
 std::string write_bench_json(const std::string& dir,
                              const BenchReport& report);
 

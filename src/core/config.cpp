@@ -53,6 +53,26 @@ ExperimentConfig ExperimentConfig::paper_full() {
   return cfg;
 }
 
+ExperimentConfig ExperimentConfig::hyperscale(std::size_t procs) {
+  ISCOPE_CHECK_ARG(procs >= 1024, "hyperscale: needs at least 1024 CPUs");
+  ExperimentConfig cfg = paper_small();
+  // Same jobs-per-CPU and arrival-rate-per-CPU as paper_small (480 CPUs,
+  // 800 jobs, 85 s inter-arrival), so utilization stays in the paper's
+  // "adequate processors" regime at any facility size.
+  const double factor = static_cast<double>(procs) /
+                        static_cast<double>(cfg.cluster.num_processors);
+  cfg.workload.num_jobs = static_cast<std::size_t>(
+      static_cast<double>(cfg.workload.num_jobs) * factor);
+  cfg.workload.mean_interarrival_s = cfg.workload.mean_interarrival_s / factor;
+  cfg.cluster.num_processors = procs;
+  // Widths capped so any task fits a rack-aligned shard slice even at 64
+  // shards of a 100k facility.
+  cfg.workload.max_cpus = std::min<std::size_t>(1024, procs / 8);
+  // Throughput preset: no deadline-rush pressure.
+  cfg.urgency.hu_fraction = 0.0;
+  return cfg;
+}
+
 ExperimentConfig ExperimentConfig::scaled(double factor) const {
   ISCOPE_CHECK_ARG(factor > 0.0, "ExperimentConfig: scale must be > 0");
   ExperimentConfig cfg = *this;
@@ -95,6 +115,22 @@ std::uint64_t env_fault_seed() {
   const char* s = std::getenv("ISCOPE_FAULT_SEED");
   if (s == nullptr || *s == '\0') return 0;
   return std::strtoull(s, nullptr, 10);
+}
+
+std::size_t env_shards() {
+  const char* s = std::getenv("ISCOPE_SHARDS");
+  if (s == nullptr || *s == '\0') return 1;
+  const long v = std::strtol(s, nullptr, 10);
+  if (v < 1) return 1;
+  return static_cast<std::size_t>(v);
+}
+
+std::size_t env_shard_workers() {
+  const char* s = std::getenv("ISCOPE_SHARD_WORKERS");
+  if (s == nullptr || *s == '\0') return 1;
+  const long v = std::strtol(s, nullptr, 10);
+  if (v < 0) return 1;
+  return static_cast<std::size_t>(v);
 }
 
 Watts estimated_peak_demand(const ClusterConfig& cluster, double cop) {

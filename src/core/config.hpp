@@ -46,6 +46,14 @@ struct ExperimentConfig {
   /// The paper's full scale: 4800 CPUs, Thunder-sized workload.
   static ExperimentConfig paper_full();
 
+  /// Hyperscale synthetic preset for the sharded simulator (DESIGN.md
+  /// Sec. 12): `procs` processors (default ~100k, up to ~1M), job count
+  /// and arrival rate proportional to the facility so utilization matches
+  /// paper_small(). Widths are capped at 1024 CPUs so every task fits a
+  /// rack-aligned shard slice, and the HU fraction is 0 (at this scale the
+  /// interesting metric is throughput, not deadline pressure).
+  static ExperimentConfig hyperscale(std::size_t procs = 102'400);
+
   /// Multiply processor and job counts by `factor` (>= keeps proportions).
   ExperimentConfig scaled(double factor) const;
 };
@@ -67,6 +75,16 @@ FaultSpec env_fault_spec();
 /// Read ISCOPE_FAULT_SEED from the environment (default 0). Seeds
 /// `FaultPlan::build` via `SimConfig::fault_seed`.
 std::uint64_t env_fault_seed();
+
+/// Read ISCOPE_SHARDS from the environment (default 1 = the single-event-
+/// loop simulator; values > 1 route run_scheme through the sharded
+/// coordinator). Benches feed this into `SimConfig::topology.shards`.
+std::size_t env_shards();
+
+/// Read ISCOPE_SHARD_WORKERS from the environment (default 1 = serial
+/// shard advances; 0 = one worker per hardware thread). Feeds
+/// `SimConfig::shard_workers`; results are bit-identical at any setting.
+std::size_t env_shard_workers();
 
 /// Estimated peak facility demand: every CPU at the top level and stock
 /// voltage, plus cooling.

@@ -13,7 +13,13 @@ HybridSupply::HybridSupply(SupplyTrace wind, double strength, bool wrap)
 
 Watts HybridSupply::wind_available(Seconds t) const {
   if (wind_.empty()) return Watts{};
-  return strength_ * wind_.power_at(t, wrap_);
+  return fraction_ * (strength_ * wind_.power_at(t, wrap_));
+}
+
+void HybridSupply::set_fraction(double fraction) {
+  ISCOPE_CHECK_ARG(fraction >= 0.0 && fraction <= 1.0,
+                   "HybridSupply: fraction outside [0, 1]");
+  fraction_ = fraction;
 }
 
 }  // namespace iscope

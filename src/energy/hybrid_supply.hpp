@@ -27,9 +27,19 @@ class HybridSupply {
   double strength() const { return strength_; }
   const SupplyTrace& wind_trace() const { return wind_; }
 
+  /// Multiplicative share of the farm's output this view exposes, in
+  /// [0, 1]. The sharded simulator gives each shard a copy of the global
+  /// supply and re-sets the fraction to its reconciled wind grant at every
+  /// epoch barrier (sim/sharded.hpp). Defaults to 1.0 -- and x * 1.0 is
+  /// bit-exact in IEEE-754, so an untouched supply behaves exactly as one
+  /// that never had a fraction.
+  double fraction() const { return fraction_; }
+  void set_fraction(double fraction);
+
  private:
   SupplyTrace wind_;
   double strength_ = 0.0;
+  double fraction_ = 1.0;
   bool wrap_ = true;
 };
 

@@ -1,0 +1,51 @@
+// Epoch-barrier wind-budget reconciliation across simulation shards.
+//
+// Between supply epochs the shards simulate independently, each seeing a
+// *fraction* of the global wind farm (HybridSupply::set_fraction). At every
+// barrier the coordinator re-divides the farm: a deterministic two-phase
+// allocate/commit pass over the shards' reported power demands.
+//
+//   phase 1 (allocate): every shard is granted min(demand, capacity-share
+//     of the available wind) -- its fair slice, never more than it asked
+//     for;
+//   phase 2 (commit): the leftover is committed greedily, in fixed shard
+//     order, to shards whose demand is still unmet; any residual surplus
+//     (facility-wide demand below the wind) is spread back by capacity
+//     share, so shard batteries can absorb it and shard meters see the
+//     curtailment.
+//
+// Determinism: the pass runs single-threaded in the coordinator and every
+// sum is taken in fixed shard order, so the floating-point results are
+// reproducible regardless of how many pool workers advanced the shards --
+// `total_granted_w` IS the fixed-order sum of the grants (0 ULP, enforced
+// by tests/test_shard.cpp). Grants are clamped so the running fixed-order
+// sum never exceeds the available budget.
+//
+// The single-shard facility short-circuits to fraction 1.0 exactly: the
+// lone shard sees the whole farm, bit-identical to the unsharded
+// simulator's supply view.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace iscope {
+
+struct WindAllocation {
+  std::vector<double> grant_w;   ///< committed wind power per shard
+  /// Supply multiplier per shard for the next epoch, in [0, 1]:
+  /// grant / available when wind is blowing, the capacity share when the
+  /// barrier sees none (so wind appearing mid-epoch is still split).
+  std::vector<double> fraction;
+  /// Fixed-shard-order sum of grant_w; <= available_w by construction.
+  double total_granted_w = 0.0;
+};
+
+/// Divide `available_w` of wind among shards. `demand_w[i]` is shard i's
+/// facility demand at the barrier; `capacity_share[i]` its fraction of the
+/// facility's processors (shares must sum to ~1). Sizes must match.
+WindAllocation reconcile_wind(double available_w,
+                              const std::vector<double>& demand_w,
+                              const std::vector<double>& capacity_share);
+
+}  // namespace iscope

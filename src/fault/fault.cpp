@@ -228,4 +228,36 @@ std::size_t FaultPlan::procs_referenced() const {
   return n;
 }
 
+FaultPlan FaultPlan::slice(std::size_t proc_lo, std::size_t proc_count) const {
+  FaultPlan out;
+  out.events_.reserve(events_.size());
+  for (const FaultEvent& e : events_) {
+    if (e.proc < proc_lo || e.proc >= proc_lo + proc_count) continue;
+    FaultEvent local = e;
+    local.proc = e.proc - proc_lo;
+    out.events_.push_back(local);
+  }
+  // The per-processor arrays are sparse tails: only populate them when the
+  // slice actually contains a mis-profiled chip, so a clean slice stays
+  // sim_empty() and its shard takes no fault branch at all.
+  for (std::size_t i = 0; i < proc_count; ++i) {
+    const std::size_t g = proc_lo + i;
+    if (g >= misprofile_latency_s_.size() || misprofile_latency_s_[g] < 0.0)
+      continue;
+    if (out.misprofile_latency_s_.empty()) {
+      out.misprofile_latency_s_.assign(proc_count, -1.0);
+      out.misprofile_repair_s_.assign(proc_count, 0.0);
+    }
+    out.misprofile_latency_s_[i] = misprofile_latency_s_[g];
+    out.misprofile_repair_s_[i] =
+        g < misprofile_repair_s_.size() ? misprofile_repair_s_[g] : 0.0;
+    ++out.misprofile_count_;
+  }
+  out.dropouts_ = dropouts_;
+  out.forecast_error_ = forecast_error_;
+  out.forecast_seed_ = forecast_seed_;
+  out.max_retries_ = max_retries_;
+  return out;
+}
+
 }  // namespace iscope

@@ -166,6 +166,16 @@ class FaultPlan {
   /// none. The simulator checks this against its cluster size.
   std::size_t procs_referenced() const;
 
+  /// Restrict the plan to processors [proc_lo, proc_lo + proc_count),
+  /// renumbered to local ids 0..count-1. Crash/repair events and
+  /// mis-profile entries outside the slice are dropped; dropouts, forecast
+  /// noise and the retry budget are facility-wide and carry over
+  /// unchanged. Slicing one global plan per shard keeps the physical fault
+  /// schedule independent of the shard count (sim/sharded.hpp); the full
+  /// slice (lo=0, count=procs_referenced() or more) reproduces the plan
+  /// exactly.
+  FaultPlan slice(std::size_t proc_lo, std::size_t proc_count) const;
+
  private:
   std::vector<FaultEvent> events_;
   /// Per-processor latency; -1 = profiled correctly. Empty = none at all.

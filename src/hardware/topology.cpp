@@ -1,0 +1,68 @@
+#include "hardware/topology.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace iscope {
+
+void TopologyConfig::validate() const {
+  ISCOPE_CHECK_ARG(cpus_per_rack > 0, "Topology: cpus_per_rack must be > 0");
+  ISCOPE_CHECK_ARG(racks_per_row > 0, "Topology: racks_per_row must be > 0");
+  ISCOPE_CHECK_ARG(shards > 0, "Topology: shards must be > 0");
+}
+
+Topology::Topology(const TopologyConfig& config, std::size_t procs)
+    : config_(config), procs_(procs) {
+  config_.validate();
+  ISCOPE_CHECK_ARG(procs > 0, "Topology: empty facility");
+  racks_ = (procs + config_.cpus_per_rack - 1) / config_.cpus_per_rack;
+  rows_ = (racks_ + config_.racks_per_row - 1) / config_.racks_per_row;
+  ISCOPE_CHECK_ARG(config_.shards <= racks_,
+                   "Topology: more shards than racks (a shard owns at least "
+                   "one whole rack)");
+
+  // Contiguous rack ranges with sizes differing by at most one: the first
+  // (racks % shards) shards take the extra rack. Processor ranges follow
+  // from the rack ranges; the last shard absorbs the partial final rack.
+  const std::size_t n = config_.shards;
+  const std::size_t base = racks_ / n;
+  const std::size_t extra = racks_ % n;
+  slices_.reserve(n);
+  std::size_t rack = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    ShardSlice slice;
+    slice.rack_lo = rack;
+    slice.rack_count = base + (s < extra ? 1 : 0);
+    rack += slice.rack_count;
+    slice.proc_lo = slice.rack_lo * config_.cpus_per_rack;
+    const std::size_t proc_end =
+        std::min(procs_, (slice.rack_lo + slice.rack_count) *
+                             config_.cpus_per_rack);
+    slice.proc_count = proc_end - slice.proc_lo;
+    slices_.push_back(slice);
+  }
+}
+
+const ShardSlice& Topology::slice(std::size_t s) const {
+  ISCOPE_CHECK_ARG(s < slices_.size(), "Topology: shard out of range");
+  return slices_[s];
+}
+
+std::size_t Topology::shard_of_proc(std::size_t p) const {
+  ISCOPE_CHECK_ARG(p < procs_, "Topology: processor out of range");
+  const std::size_t rack = p / config_.cpus_per_rack;
+  // slices_ is small (<= racks); binary-search the rack ranges.
+  std::size_t lo = 0;
+  std::size_t hi = slices_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (rack < slices_[mid].rack_lo + slices_[mid].rack_count)
+      hi = mid;
+    else
+      lo = mid + 1;
+  }
+  return lo;
+}
+
+}  // namespace iscope

@@ -1,0 +1,69 @@
+// Rack/row/datacenter topology and its partition into simulation shards.
+//
+// The paper's facility is one flat CPU array; at hyperscale (100k-1M CPUs)
+// the simulator partitions it along the physical hierarchy instead:
+// processors pack into racks, racks into rows, and a contiguous range of
+// racks forms one *shard* -- the unit that owns its own event loop, matcher
+// scratch and energy accounting (sim/sharded.hpp). Shards are deliberately
+// rack-aligned: a rack is the smallest unit of placement locality, so no
+// gang task ever straddles a shard boundary that a rack would not already
+// impose.
+//
+// The partition is a pure function of (config, processor count): shards get
+// contiguous rack ranges whose sizes differ by at most one rack, so the
+// same facility always splits the same way -- a prerequisite for the
+// seed-determinism guarantee of sharded runs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace iscope {
+
+struct TopologyConfig {
+  std::size_t cpus_per_rack = 48;   ///< sockets per rack
+  std::size_t racks_per_row = 10;   ///< racks per hot/cold-aisle row
+  /// Number of simulation shards the facility is partitioned into. 1 (the
+  /// default) keeps the single-event-loop simulator; run_scheme() routes
+  /// anything larger through the sharded coordinator.
+  std::size_t shards = 1;
+
+  void validate() const;
+};
+
+/// One shard's contiguous slice of the facility.
+struct ShardSlice {
+  std::size_t rack_lo = 0;    ///< first rack of the slice
+  std::size_t rack_count = 0;
+  std::size_t proc_lo = 0;    ///< first processor id of the slice
+  std::size_t proc_count = 0;
+};
+
+class Topology {
+ public:
+  /// Partition a `procs`-processor facility. Requires shards <= racks
+  /// (a shard owns at least one whole rack). The last rack may be partial
+  /// when `procs` is not a multiple of cpus_per_rack.
+  Topology(const TopologyConfig& config, std::size_t procs);
+
+  const TopologyConfig& config() const { return config_; }
+  std::size_t procs() const { return procs_; }
+  std::size_t racks() const { return racks_; }
+  std::size_t rows() const { return rows_; }
+  std::size_t shards() const { return slices_.size(); }
+
+  const ShardSlice& slice(std::size_t s) const;
+  const std::vector<ShardSlice>& slices() const { return slices_; }
+
+  /// Shard owning global processor `p`.
+  std::size_t shard_of_proc(std::size_t p) const;
+
+ private:
+  TopologyConfig config_;
+  std::size_t procs_ = 0;
+  std::size_t racks_ = 0;
+  std::size_t rows_ = 0;
+  std::vector<ShardSlice> slices_;
+};
+
+}  // namespace iscope

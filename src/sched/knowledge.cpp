@@ -9,10 +9,22 @@ namespace iscope {
 
 Knowledge::Knowledge(const Cluster* cluster, KnowledgeSource source,
                      const ProfileDb* db)
-    : cluster_(cluster), source_(source), db_(db) {
+    : Knowledge(cluster, source, db, 0,
+                cluster != nullptr ? cluster->size() : 0) {}
+
+Knowledge::Knowledge(const Cluster* cluster, KnowledgeSource source,
+                     const ProfileDb* db, std::size_t proc_lo,
+                     std::size_t proc_count)
+    : cluster_(cluster),
+      source_(source),
+      db_(db),
+      proc_lo_(proc_lo),
+      proc_count_(proc_count) {
   ISCOPE_CHECK_ARG(cluster != nullptr, "Knowledge: null cluster");
   if (source == KnowledgeSource::kScan)
     ISCOPE_CHECK_ARG(db != nullptr, "Knowledge: Scan view needs a ProfileDb");
+  ISCOPE_CHECK_ARG(proc_count > 0 && proc_lo + proc_count <= cluster->size(),
+                   "Knowledge: slice outside the cluster");
   refresh();
 }
 
@@ -20,7 +32,7 @@ std::size_t Knowledge::levels() const { return cluster_->levels().count(); }
 
 void Knowledge::refresh() {
   ++generation_;
-  const std::size_t n = cluster_->size();
+  const std::size_t n = proc_count_;
   const std::size_t nl = levels();
   vdd_.assign(n, std::vector<double>(nl, 0.0));
   power_.assign(n, std::vector<double>(nl, 0.0));
@@ -34,8 +46,11 @@ void Knowledge::refresh() {
       WattsPerCubicGigahertz{cluster_->power_model().params().alpha_mean},
       Watts{cluster_->power_model().params().beta_mean}};
   for (std::size_t i = 0; i < n; ++i) {
+    // Local index -> cluster id (identity for a full view, so the tables a
+    // full slice builds are bit-identical to the historical ones).
+    const std::size_t g = proc_lo_ + i;
     const ChipProfile* profile =
-        (source_ == KnowledgeSource::kScan && db_ != nullptr) ? db_->find(i)
+        (source_ == KnowledgeSource::kScan && db_ != nullptr) ? db_->find(g)
                                                               : nullptr;
     scanned_[i] = profile != nullptr ? 1 : 0;
     for (std::size_t l = 0; l < nl; ++l) {
@@ -46,10 +61,10 @@ void Knowledge::refresh() {
       // value up to one grid step above the true minimum; keep the scan
       // grid fine -- see ScanConfig -- rather than second-guessing it.)
       const Volts v = profile != nullptr ? Volts{profile->chip_vdd.vdd(l)}
-                                         : cluster_->bin_vdd(i, l);
+                                         : cluster_->bin_vdd(g, l);
       vdd_[i][l] = v.volts();
       // True chip power at the applied voltage (what the meter sees).
-      power_[i][l] = cluster_->power(i, l, v).watts();
+      power_[i][l] = cluster_->power(g, l, v).watts();
     }
     if (profile != nullptr) {
       // Scanned chip: measured power profile ranks it individually.
@@ -58,7 +73,7 @@ void Knowledge::refresh() {
       // Binned chip: only the bin's specified efficiency is known.
       efficiency_[i] =
           (cluster_->power_model().power(
-               spec, f_top, cluster_->bin_vdd(i, nl - 1),
+               spec, f_top, cluster_->bin_vdd(g, nl - 1),
                Volts{cluster_->levels().vdd_nom[nl - 1]}) /
            f_top)
               .watts_per_ghz();

@@ -41,9 +41,23 @@ class Knowledge {
   Knowledge(const Cluster* cluster, KnowledgeSource source,
             const ProfileDb* db = nullptr);
 
+  /// Slice view over processors [proc_lo, proc_lo + proc_count): the
+  /// scheduler sees `proc_count` local processors 0..count-1, mapped onto
+  /// the cluster's global ids by `global_proc`. A full slice (lo=0,
+  /// count=cluster size) builds tables bit-identical to the whole-cluster
+  /// constructor; the sharded simulator (sim/sharded.hpp) gives each shard
+  /// a slice over its rack range.
+  Knowledge(const Cluster* cluster, KnowledgeSource source,
+            const ProfileDb* db, std::size_t proc_lo, std::size_t proc_count);
+
   KnowledgeSource source() const { return source_; }
   std::size_t procs() const { return power_.size(); }
   std::size_t levels() const;
+
+  /// Cluster id of local processor `i` (identity for a full view).
+  std::size_t global_proc(std::size_t i) const { return proc_lo_ + i; }
+  /// First cluster id of this view's slice (0 for a full view).
+  std::size_t proc_lo() const { return proc_lo_; }
 
   /// Voltage the datacenter applies to processor `i` at `level`.
   Volts vdd(std::size_t i, std::size_t level) const;
@@ -96,6 +110,8 @@ class Knowledge {
   const Cluster* cluster_;   // non-owning
   KnowledgeSource source_;
   const ProfileDb* db_;      // non-owning; may be null
+  std::size_t proc_lo_ = 0;     ///< slice start (global id of local 0)
+  std::size_t proc_count_ = 0;  ///< slice width (cluster size when full)
   std::uint64_t generation_ = 0;
   // Hot-path caches stay raw doubles (volts / watts / W-per-GHz); the
   // typed accessors wrap them at the boundary.

@@ -42,6 +42,15 @@ std::size_t EventQueue::run_until(double until_s) {
   return n;
 }
 
+std::size_t EventQueue::run_before(double t_limit, std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && !heap_.empty() && heap_.front().time < t_limit) {
+    step();
+    ++n;
+  }
+  return n;
+}
+
 double EventQueue::peek_time() const {
   ISCOPE_CHECK_ARG(!heap_.empty(), "EventQueue: peek on empty queue");
   return heap_.front().time;

@@ -43,6 +43,14 @@ class EventQueue {
   /// queue drained earlier. Returns the number of events run.
   std::size_t run_until(double until_s);
 
+  /// Run events with time strictly < `t_limit` (at most `max_events`).
+  /// Unlike run_until, the clock is left at the last processed event --
+  /// never advanced to `t_limit` -- so a caller that resumes the queue
+  /// later (the sharded epoch-barrier loop) observes the same event-time
+  /// sequence a single uninterrupted run() would. Returns the number of
+  /// events run.
+  std::size_t run_before(double t_limit, std::size_t max_events = SIZE_MAX);
+
   double now() const { return now_; }
   bool empty() const { return heap_.empty(); }
   std::size_t pending() const { return heap_.size(); }

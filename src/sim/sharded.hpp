@@ -1,0 +1,84 @@
+// Sharded datacenter simulation: per-shard event loops under an
+// epoch-barrier supply reconciliation (the 100k+-CPU path).
+//
+// The facility is partitioned along its rack topology (hardware/
+// topology.hpp) into shards. Each shard is a complete DatacenterSim over
+// its slice of processors: its own EventQueue, Knowledge view, matcher
+// scratch, intrusive running list, battery slice and energy meter. Shards
+// simulate independently between supply epochs; at every barrier the
+// coordinator reconciles their power demands against the global wind
+// budget (energy/reconcile.hpp) and re-sets each shard's supply fraction
+// for the next epoch. Shard advances between barriers fan out over a
+// ThreadPool when SimConfig::shard_workers allows.
+//
+// Determinism contract (tests/test_shard.cpp):
+//  * a 1-shard ShardedSim is bit-identical to DatacenterSim::run() --
+//    full Knowledge slice, supply fraction pinned to exactly 1.0, and
+//    chunked event processing that pops the heap in the same order one
+//    uninterrupted drain would;
+//  * an N-shard run is a pure function of (inputs, seed): the reconciler
+//    runs single-threaded in fixed shard order, per-shard RNG streams are
+//    forked deterministically, and the aggregation sums per-shard results
+//    in fixed shard order -- so results are independent of shard_workers.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "energy/hybrid_supply.hpp"
+#include "hardware/topology.hpp"
+#include "profiling/opportunistic.hpp"
+#include "sched/scheme.hpp"
+#include "sim/simulator.hpp"
+
+namespace iscope {
+
+/// Deterministic task partition: tasks in submit order greedily go to the
+/// least-loaded shard (by assigned CPU-seconds relative to slice capacity)
+/// among those whose slice fits the task's width; ties pick the lowest
+/// shard index. Throws when a task is wider than every shard. With one
+/// shard this is the identity (plus the submit sort every run performs).
+std::vector<std::vector<Task>> partition_tasks(const std::vector<Task>& tasks,
+                                               const Topology& topology);
+
+/// Split global-id profiling windows into per-shard windows with
+/// slice-local processor ids. Windows that touch no processor of a shard
+/// are dropped for that shard.
+std::vector<std::vector<ProfilingWindow>> partition_windows(
+    const std::vector<ProfilingWindow>& profiling, const Topology& topology);
+
+class ShardedSim {
+ public:
+  /// Mirrors run_scheme(): builds a Knowledge slice per shard for
+  /// `scheme`. `config.topology` fixes the partition; `db` is required for
+  /// Scan schemes. All references are non-owning and must outlive the
+  /// simulator.
+  ShardedSim(const Cluster& cluster, Scheme scheme, const ProfileDb* db,
+             const HybridSupply& supply, const SimConfig& config);
+
+  /// Run the trace to completion and return the aggregated metrics.
+  SimResult run(const std::vector<Task>& tasks,
+                const std::vector<ProfilingWindow>& profiling = {});
+
+  const Topology& topology() const { return topology_; }
+
+ private:
+  struct Shard {
+    std::unique_ptr<Knowledge> knowledge;
+    std::unique_ptr<HybridSupply> supply;  ///< fraction re-set per epoch
+    SimConfig config;
+    std::unique_ptr<DatacenterSim> sim;
+    std::size_t tasks_assigned = 0;
+  };
+
+  SimResult aggregate(std::vector<SimResult> results) const;
+
+  const Cluster* cluster_;
+  const HybridSupply* global_supply_;
+  SimConfig config_;
+  Topology topology_;
+  std::vector<double> capacity_share_;  ///< slice size / facility size
+  std::vector<Shard> shards_;
+};
+
+}  // namespace iscope

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/audit.hpp"
+#include "sim/sharded.hpp"
 #include "common/error.hpp"
 #include "telemetry/sink.hpp"
 #include "telemetry/telemetry.hpp"
@@ -23,6 +24,7 @@ void SimConfig::validate() const {
   ISCOPE_CHECK_ARG(max_events > 0, "SimConfig: max_events must be > 0");
   battery.validate();
   faults.validate();
+  topology.validate();
 }
 
 void (*DatacenterSim::rematch_probe)(bool) = nullptr;
@@ -459,8 +461,11 @@ void DatacenterSim::begin_profiling_window(const ProfilingWindow& window) {
     idle_remove(p);
     taken.push_back(p);
     // Scan load: the chip under test runs at the top level's stock point.
+    // The cluster speaks global ids; `p` is view-local (identity for a
+    // full view, shard-relative under a slice).
     reserved_power_ += knowledge_->cluster().power(
-        p, top, Volts{knowledge_->cluster().levels().vdd_nom[top]});
+        knowledge_->global_proc(p), top,
+        Volts{knowledge_->cluster().levels().vdd_nom[top]});
   }
   profiling_procs_scanned_ += taken.size();
   log_event(TimelineKind::kProfilingBegin, -1,
@@ -483,7 +488,8 @@ void DatacenterSim::end_profiling_window(const std::vector<std::size_t>& procs,
     if (proc_running_[p] == kNone && !(faults_active_ && failed_[p] != 0))
       idle_insert(p);
     reserved_power_ -= knowledge_->cluster().power(
-        p, top, Volts{knowledge_->cluster().levels().vdd_nom[top]});
+        knowledge_->global_proc(p), top,
+        Volts{knowledge_->cluster().levels().vdd_nom[top]});
     profiling_proc_seconds_ += queue_.now() - started_s;
   }
   reserved_power_ = std::max(Watts{}, reserved_power_);
@@ -723,6 +729,13 @@ SimResult DatacenterSim::run(std::vector<Task> tasks) {
 
 SimResult DatacenterSim::run(std::vector<Task> tasks,
                              const std::vector<ProfilingWindow>& profiling) {
+  prepare(std::move(tasks), profiling);
+  events_run_ += queue_.run(config_.max_events);
+  return finish();
+}
+
+void DatacenterSim::prepare(std::vector<Task> tasks,
+                            const std::vector<ProfilingWindow>& profiling) {
   validate_tasks(tasks);
   const std::size_t nprocs = knowledge_->procs();
   for (const Task& t : tasks)
@@ -764,6 +777,7 @@ SimResult DatacenterSim::run(std::vector<Task> tasks,
   last_accrual_s_ = 0.0;
   segment_wind_ = supply_->wind_available(Seconds{});
   done_count_ = 0;
+  events_run_ = 0;
   rematch_count_ = 0;
   total_wait_s_ = 0.0;
   miss_count_ = 0;
@@ -807,8 +821,23 @@ SimResult DatacenterSim::run(std::vector<Task> tasks,
     schedule_epoch(0.0);
     if (config_.record_trace) schedule_sample(0.0);
   }
+}
 
-  const std::size_t events = queue_.run(config_.max_events);
+std::size_t DatacenterSim::advance_before(double t_limit) {
+  const std::size_t n =
+      queue_.run_before(t_limit, config_.max_events - events_run_);
+  events_run_ += n;
+  // Legacy run() stops at max_events and fails the all-done check; chunked
+  // execution must fail here, or a drained budget would spin the
+  // coordinator's barrier loop forever.
+  if (events_run_ >= config_.max_events)
+    ISCOPE_CHECK(all_done(), "DatacenterSim: event budget exhausted before "
+                             "all tasks completed");
+  return n;
+}
+
+SimResult DatacenterSim::finish() {
+  const std::size_t events = events_run_;
   ISCOPE_CHECK(all_done(), "DatacenterSim: event budget exhausted before "
                            "all tasks completed");
   accrue_to_now();
@@ -851,12 +880,20 @@ SimResult run_scheme(const Cluster& cluster, Scheme scheme,
   // sampler rows separate the five schemes out of the box.
   SimConfig tagged = config;
   if (tagged.telemetry_label.empty()) tagged.telemetry_label = scheme_name(scheme);
-  // Non-const so fault plans can quarantine failed processors; without
-  // faults the view is never mutated.
-  Knowledge knowledge(&cluster, scheme_knowledge(scheme),
-                      scheme_uses_scan(scheme) ? db : nullptr);
-  DatacenterSim sim(&knowledge, scheme_rule(scheme), &supply, tagged);
-  SimResult result = sim.run(tasks);
+  SimResult result;
+  if (tagged.topology.shards > 1) {
+    // 100k+-CPU path: rack-partitioned shards with per-shard event loops
+    // under epoch-barrier wind reconciliation (sim/sharded.hpp).
+    ShardedSim sim(cluster, scheme, db, supply, tagged);
+    result = sim.run(tasks);
+  } else {
+    // Non-const so fault plans can quarantine failed processors; without
+    // faults the view is never mutated.
+    Knowledge knowledge(&cluster, scheme_knowledge(scheme),
+                        scheme_uses_scan(scheme) ? db : nullptr);
+    DatacenterSim sim(&knowledge, scheme_rule(scheme), &supply, tagged);
+    result = sim.run(tasks);
+  }
   if (telemetry::enabled()) {
     // Per-scheme utilization spread (paper Fig. 6): how evenly the scheme
     // loaded the cluster.

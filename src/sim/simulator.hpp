@@ -36,6 +36,7 @@
 #include "energy/forecast.hpp"
 #include "energy/hybrid_supply.hpp"
 #include "fault/fault.hpp"
+#include "hardware/topology.hpp"
 #include "fault/noisy_forecast.hpp"
 #include "power/cooling.hpp"
 #include "profiling/opportunistic.hpp"
@@ -93,6 +94,18 @@ struct SimConfig {
   /// over `faults`/`fault_seed`. Shared so sweep scenario copies stay cheap.
   std::shared_ptr<const FaultPlan> fault_plan;
 
+  /// Facility topology and shard partition. topology.shards == 1 (the
+  /// default) runs the single-event-loop simulator below; anything larger
+  /// makes run_scheme() route through the sharded coordinator
+  /// (sim/sharded.hpp), which gives each shard its own event queue,
+  /// matcher scratch and energy accounting and reconciles the wind budget
+  /// at every supply epoch.
+  TopologyConfig topology;
+  /// Worker threads the sharded coordinator fans shard advances over
+  /// between barriers. 1 (default) = serial in the caller's thread; 0 =
+  /// one per hardware thread. Results are bit-identical at any setting.
+  std::size_t shard_workers = 1;
+
   void validate() const;
 };
 
@@ -124,6 +137,27 @@ class DatacenterSim {
   /// other facility load.
   SimResult run(std::vector<Task> tasks,
                 const std::vector<ProfilingWindow>& profiling);
+
+  /// --- sharded-run driver API (sim/sharded.hpp) -------------------------
+  /// run() is prepare() + one full queue drain + finish(). The sharded
+  /// coordinator instead interleaves advance_before() slices with
+  /// epoch-barrier supply reconciliation; chunked execution pops the event
+  /// heap in exactly the order one uninterrupted drain would, so a 1-shard
+  /// chunked run is bit-identical to run() (tests/test_shard.cpp).
+
+  /// Stage a run: reset state, sort and admit the tasks, schedule the
+  /// arrival/epoch/sample/fault events. Does not process any event.
+  void prepare(std::vector<Task> tasks,
+               const std::vector<ProfilingWindow>& profiling = {});
+  /// Process staged events with time strictly < `t_limit` (bounded by the
+  /// remaining max_events budget). Returns the number of events run.
+  std::size_t advance_before(double t_limit);
+  /// True when no staged events remain.
+  bool drained() const { return queue_.empty(); }
+  /// Facility demand decided by the latest rematch (IT + cooling + scans).
+  Watts demand_now() const { return demand_; }
+  /// Collect the metrics after the queue drained; checks all tasks done.
+  SimResult finish();
 
   /// Test-only hook: when set, called with `true` on entry to every
   /// rematch() and `false` on exit. tests/test_rematch_alloc.cpp counts
@@ -270,6 +304,7 @@ class DatacenterSim {
   double last_accrual_s_ = 0.0;
   Watts segment_wind_;           ///< wind available during current segment
   std::size_t done_count_ = 0;
+  std::size_t events_run_ = 0;  ///< events processed since prepare()
   std::size_t rematch_count_ = 0;
   double total_wait_s_ = 0.0;
   std::size_t miss_count_ = 0;

@@ -91,6 +91,26 @@ TEST(BenchJson, SchemaV1IsUnchangedWithoutTelemetry) {
   EXPECT_EQ(validate_bench_json(json), "");
 }
 
+TEST(BenchJson, TasksCompletedIsOptInAndValidated) {
+  // Benches that don't track the scheduling outcome (tasks_completed == 0)
+  // emit the historical document, byte for byte.
+  EXPECT_EQ(to_json(sample_report()).find("tasks_completed"),
+            std::string::npos);
+
+  // The shard-scaling baselines carry it; it validates and round-trips.
+  BenchReport r = sample_report();
+  r.counters.tasks_completed = 170666;
+  const std::string json = to_json(r);
+  EXPECT_NE(json.find("\"tasks_completed\": 170666"), std::string::npos);
+  EXPECT_EQ(validate_bench_json(json), "");
+
+  // Wrong type is a writer bug, not an extension.
+  std::string bad = json;
+  const auto pos = bad.find(": 170666");
+  bad.replace(pos, 8, ": \"many\"");
+  EXPECT_NE(validate_bench_json(bad), "");
+}
+
 TEST(BenchJson, SchemaV2RoundTripValidates) {
   const std::string json = to_json(telemetry_report());
   EXPECT_EQ(validate_bench_json(json), "");
@@ -145,6 +165,43 @@ TEST(BenchJson, WriteReadBack) {
   std::stringstream buf;
   buf << in.rdbuf();
   EXPECT_EQ(validate_bench_json(buf.str()), "");
+  std::remove(path.c_str());
+}
+
+TEST(BenchJson, LabelNormalization) {
+  EXPECT_EQ(normalize_bench_label("shards_4"), "shards_4");
+  EXPECT_EQ(normalize_bench_label("Faults ON"), "faults_on");
+  EXPECT_EQ(normalize_bench_label("faults-on"), "faults_on");
+  EXPECT_EQ(normalize_bench_label("  --weird__tag--  "), "weird_tag");
+  EXPECT_EQ(normalize_bench_label("!!!"), "");
+  EXPECT_EQ(normalize_bench_label(""), "");
+}
+
+TEST(BenchJson, LabeledPathConvention) {
+  // The committed-baseline convention: BENCH_<name>.<label>.json.
+  EXPECT_EQ(bench_json_path("d", "shard_scaling", "shards_16"),
+            "d/BENCH_shard_scaling.shards_16.json");
+  // Labels normalize on the way into the file name.
+  EXPECT_EQ(bench_json_path("d", "x", "Faults ON"),
+            "d/BENCH_x.faults_on.json");
+  // No label (or an all-junk one) keeps the unlabeled name.
+  EXPECT_EQ(bench_json_path("d", "x"), "d/BENCH_x.json");
+  EXPECT_EQ(bench_json_path("d", "x", "~~"), "d/BENCH_x.json");
+}
+
+TEST(BenchJson, LabeledWriteLandsAtLabeledPath) {
+  const std::string dir = ::testing::TempDir();
+  BenchReport r = sample_report();
+  r.label = "shards_4";
+  const std::string path = write_bench_json(dir, r);
+  EXPECT_EQ(path, bench_json_path(dir, "unit_test", "shards_4"));
+  EXPECT_NE(path.find("BENCH_unit_test.shards_4.json"), std::string::npos);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(validate_bench_json(buf.str()), "");
+  EXPECT_NE(buf.str().find("\"label\": \"shards_4\""), std::string::npos);
   std::remove(path.c_str());
 }
 

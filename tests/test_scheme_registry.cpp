@@ -1,0 +1,110 @@
+// Scheme registry (sched/scheme.hpp): the paper's five schemes keep their
+// historical names and ids, and new (knowledge, rule) combinations
+// registered at runtime flow through name lookup and run_scheme() exactly
+// like the built-ins.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "profiling/scanner.hpp"
+#include "sim/simulator.hpp"
+
+namespace iscope {
+namespace {
+
+TEST(SchemeRegistry, PaperSchemesKeepTheirNamesAndIds) {
+  // These strings are load-bearing: CLI flags, sweep configs, and the
+  // committed bench baselines all reference them.
+  EXPECT_STREQ(scheme_name(Scheme::kBinRan), "BinRan");
+  EXPECT_STREQ(scheme_name(Scheme::kBinEffi), "BinEffi");
+  EXPECT_STREQ(scheme_name(Scheme::kScanRan), "ScanRan");
+  EXPECT_STREQ(scheme_name(Scheme::kScanEffi), "ScanEffi");
+  EXPECT_STREQ(scheme_name(Scheme::kScanFair), "ScanFair");
+  for (const Scheme s : kAllSchemes) {
+    EXPECT_EQ(scheme_from_name(scheme_name(s)), s);
+    EXPECT_TRUE(SchemeRegistry::global().known(s));
+  }
+}
+
+TEST(SchemeRegistry, PaperSchemeFactoryInputs) {
+  EXPECT_EQ(scheme_knowledge(Scheme::kBinRan), KnowledgeSource::kBin);
+  EXPECT_EQ(scheme_knowledge(Scheme::kScanFair), KnowledgeSource::kScan);
+  EXPECT_EQ(scheme_rule(Scheme::kBinRan), PlacementRule::kRandom);
+  EXPECT_EQ(scheme_rule(Scheme::kScanEffi), PlacementRule::kEfficiency);
+  EXPECT_EQ(scheme_rule(Scheme::kScanFair), PlacementRule::kFair);
+  EXPECT_FALSE(scheme_uses_scan(Scheme::kBinEffi));
+  EXPECT_TRUE(scheme_uses_scan(Scheme::kScanRan));
+}
+
+TEST(SchemeRegistry, UnknownLookupsThrow) {
+  EXPECT_THROW(scheme_from_name("NoSuchScheme"), InvalidArgument);
+  EXPECT_THROW(SchemeRegistry::global().info(static_cast<Scheme>(250)),
+               InvalidArgument);
+  EXPECT_FALSE(SchemeRegistry::global().known(static_cast<Scheme>(250)));
+}
+
+TEST(SchemeRegistry, RegisteredSchemeRoundTrips) {
+  // The missing sixth combination: binned knowledge + Fair placement.
+  const Scheme bin_fair = SchemeRegistry::global().register_scheme(
+      "BinFairRoundTrip", KnowledgeSource::kBin, PlacementRule::kFair);
+  EXPECT_GE(static_cast<std::size_t>(bin_fair), kAllSchemes.size());
+  EXPECT_STREQ(scheme_name(bin_fair), "BinFairRoundTrip");
+  EXPECT_EQ(scheme_from_name("BinFairRoundTrip"), bin_fair);
+  EXPECT_EQ(scheme_knowledge(bin_fair), KnowledgeSource::kBin);
+  EXPECT_EQ(scheme_rule(bin_fair), PlacementRule::kFair);
+  EXPECT_FALSE(scheme_uses_scan(bin_fair));
+
+  // Duplicate names are a caller bug.
+  EXPECT_THROW(SchemeRegistry::global().register_scheme(
+                   "BinFairRoundTrip", KnowledgeSource::kScan,
+                   PlacementRule::kRandom),
+               InvalidArgument);
+  EXPECT_THROW(SchemeRegistry::global().register_scheme(
+                   "ScanFair", KnowledgeSource::kScan, PlacementRule::kFair),
+               InvalidArgument);
+
+  // all() lists the paper five first, then the extension.
+  const std::vector<Scheme> all = SchemeRegistry::global().all();
+  ASSERT_GE(all.size(), 6u);
+  for (std::size_t i = 0; i < kAllSchemes.size(); ++i)
+    EXPECT_EQ(all[i], kAllSchemes[i]);
+}
+
+TEST(SchemeRegistry, RegisteredSchemeRunsThroughRunScheme) {
+  ClusterConfig ccfg;
+  ccfg.num_processors = 16;
+  ccfg.seed = 3;
+  const Cluster cluster = build_cluster(ccfg);
+
+  const Scheme bin_fair = SchemeRegistry::global().register_scheme(
+      "BinFairSimulated", KnowledgeSource::kBin, PlacementRule::kFair);
+
+  Rng rng(5);
+  std::vector<Task> tasks;
+  double submit = 0.0;
+  for (std::size_t i = 0; i < 20; ++i) {
+    submit += rng.uniform(0.0, 300.0);
+    Task t;
+    t.id = static_cast<std::int64_t>(i + 1);
+    t.submit_s = submit;
+    t.cpus = static_cast<std::size_t>(rng.uniform_int(1, 6));
+    t.runtime_s = rng.uniform(100.0, 1500.0);
+    t.gamma = rng.uniform(0.3, 1.0);
+    t.deadline_s = t.submit_s + t.runtime_s * 8.0;
+    tasks.push_back(t);
+  }
+
+  // Bin knowledge: no ProfileDb needed, exactly like BinRan/BinEffi.
+  const SimResult r =
+      run_scheme(cluster, bin_fair, nullptr, HybridSupply{}, tasks,
+                 SimConfig{});
+  EXPECT_EQ(r.tasks_completed, tasks.size());
+  EXPECT_GT(r.events_processed, 0u);
+  EXPECT_GT(r.energy.total().joules(), 0.0);
+}
+
+}  // namespace
+}  // namespace iscope

@@ -1,0 +1,130 @@
+// Rack/row topology and shard-partition invariants (hardware/topology.hpp).
+//
+// The partition is the foundation of the sharded simulator's determinism
+// claim (DESIGN.md Sec. 12): shard slices must cover every processor
+// exactly once, be rack-aligned, contiguous, and a pure function of
+// (config, processor count).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "hardware/topology.hpp"
+
+namespace iscope {
+namespace {
+
+TopologyConfig make_config(std::size_t cpus_per_rack, std::size_t shards) {
+  TopologyConfig cfg;
+  cfg.cpus_per_rack = cpus_per_rack;
+  cfg.shards = shards;
+  return cfg;
+}
+
+/// Every processor is owned by exactly one slice, slices are contiguous
+/// and in ascending order, and shard_of_proc agrees with the slices.
+void expect_exact_cover(const Topology& topo) {
+  std::size_t next = 0;
+  for (std::size_t s = 0; s < topo.shards(); ++s) {
+    const ShardSlice& slice = topo.slice(s);
+    EXPECT_EQ(slice.proc_lo, next) << "gap or overlap before shard " << s;
+    EXPECT_GT(slice.proc_count, 0u) << "empty shard " << s;
+    EXPECT_GT(slice.rack_count, 0u) << "rack-less shard " << s;
+    next = slice.proc_lo + slice.proc_count;
+  }
+  EXPECT_EQ(next, topo.procs()) << "slices do not cover the facility";
+  for (std::size_t p = 0; p < topo.procs(); ++p) {
+    const std::size_t s = topo.shard_of_proc(p);
+    const ShardSlice& slice = topo.slice(s);
+    EXPECT_GE(p, slice.proc_lo);
+    EXPECT_LT(p, slice.proc_lo + slice.proc_count);
+  }
+}
+
+TEST(Topology, SingleShardOwnsEverything) {
+  const Topology topo(make_config(48, 1), 480);
+  EXPECT_EQ(topo.shards(), 1u);
+  EXPECT_EQ(topo.racks(), 10u);
+  EXPECT_EQ(topo.slice(0).proc_lo, 0u);
+  EXPECT_EQ(topo.slice(0).proc_count, 480u);
+  expect_exact_cover(topo);
+}
+
+TEST(Topology, RoundTripCoversEveryProcessorExactlyOnce) {
+  // Sweep shard counts and awkward facility sizes (partial last rack,
+  // racks not divisible by shards).
+  for (const std::size_t procs : {48u, 96u, 100u, 480u, 481u, 1000u}) {
+    for (const std::size_t shards : {1u, 2u, 3u, 4u, 7u}) {
+      const std::size_t racks = (procs + 47) / 48;
+      if (shards > racks) continue;
+      SCOPED_TRACE(procs);
+      SCOPED_TRACE(shards);
+      const Topology topo(make_config(48, shards), procs);
+      EXPECT_EQ(topo.shards(), shards);
+      expect_exact_cover(topo);
+    }
+  }
+}
+
+TEST(Topology, ShardsAreRackAligned) {
+  const Topology topo(make_config(10, 3), 100);  // 10 racks over 3 shards
+  std::size_t next_rack = 0;
+  for (std::size_t s = 0; s < topo.shards(); ++s) {
+    const ShardSlice& slice = topo.slice(s);
+    EXPECT_EQ(slice.rack_lo, next_rack);
+    EXPECT_EQ(slice.proc_lo, slice.rack_lo * 10);
+    next_rack += slice.rack_count;
+  }
+  EXPECT_EQ(next_rack, topo.racks());
+  // Sizes differ by at most one rack (balanced contiguous split).
+  std::size_t lo = topo.slice(0).rack_count, hi = lo;
+  for (std::size_t s = 1; s < topo.shards(); ++s) {
+    lo = std::min(lo, topo.slice(s).rack_count);
+    hi = std::max(hi, topo.slice(s).rack_count);
+  }
+  EXPECT_LE(hi - lo, 1u);
+}
+
+TEST(Topology, PartialLastRack) {
+  // 100 CPUs at 48/rack: 3 racks, the last holding only 4 CPUs.
+  const Topology topo(make_config(48, 3), 100);
+  EXPECT_EQ(topo.racks(), 3u);
+  expect_exact_cover(topo);
+  EXPECT_EQ(topo.slice(2).proc_count, 4u);
+}
+
+TEST(Topology, RowsDeriveFromRacks) {
+  TopologyConfig cfg = make_config(48, 1);
+  cfg.racks_per_row = 10;
+  EXPECT_EQ(Topology(cfg, 480).rows(), 1u);
+  EXPECT_EQ(Topology(cfg, 481).rows(), 2u);
+  EXPECT_EQ(Topology(cfg, 4800).rows(), 10u);
+}
+
+TEST(Topology, DeterministicPartition) {
+  // Same (config, procs) => same slices, field for field.
+  const Topology a(make_config(16, 5), 1000);
+  const Topology b(make_config(16, 5), 1000);
+  ASSERT_EQ(a.shards(), b.shards());
+  for (std::size_t s = 0; s < a.shards(); ++s) {
+    EXPECT_EQ(a.slice(s).rack_lo, b.slice(s).rack_lo);
+    EXPECT_EQ(a.slice(s).rack_count, b.slice(s).rack_count);
+    EXPECT_EQ(a.slice(s).proc_lo, b.slice(s).proc_lo);
+    EXPECT_EQ(a.slice(s).proc_count, b.slice(s).proc_count);
+  }
+}
+
+TEST(Topology, RejectsBadConfigs) {
+  EXPECT_THROW(make_config(0, 1).validate(), InvalidArgument);
+  EXPECT_THROW(make_config(48, 0).validate(), InvalidArgument);
+  TopologyConfig no_rows = make_config(48, 1);
+  no_rows.racks_per_row = 0;
+  EXPECT_THROW(no_rows.validate(), InvalidArgument);
+  // More shards than racks: a shard must own at least one whole rack.
+  EXPECT_THROW(Topology(make_config(48, 3), 96), InvalidArgument);
+  // Zero-processor facility.
+  EXPECT_THROW(Topology(make_config(48, 1), 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace iscope

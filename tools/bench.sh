@@ -10,11 +10,15 @@
 #   -w warmup    untimed iterations per bench       (default 1)
 #   -l label     tag the captures (optional "label" key in the JSON;
 #   --label      e.g. -l faults-on for an ISCOPE_FAULTS run)
+#   --shards N   ISCOPE_SHARDS shard count          (default 1 = legacy loop)
+#   --shard-workers W  ISCOPE_SHARD_WORKERS         (default 1; 0 = hw threads)
 #   bench...     bench binary names                 (default: the JSON-wired
 #                set: bench_fig8_energy_cost bench_fig6_wind_utility)
 #
-# Fault-injection env knobs (ISCOPE_FAULTS, ISCOPE_FAULT_SEED) pass through
-# to the bench binaries; combine with -l to keep captures distinguishable.
+# Fault-injection env knobs (ISCOPE_FAULTS, ISCOPE_FAULT_SEED) and the
+# hyperscale preset size (ISCOPE_HYPERSCALE_PROCS, bench_shard_scaling
+# only) pass through to the bench binaries; combine with -l to keep
+# captures distinguishable (the committed scaling curve uses -l shards_N).
 #
 # The build tree is build-bench/ (tier-1 flags, RelWithDebInfo) so the
 # developer's build/ directory is untouched. Runs are serial
@@ -24,7 +28,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 usage() {
-  echo "usage: tools/bench.sh [-o outdir] [-s scale] [-r repeats] [-w warmup] [-l label] [bench...]" >&2
+  echo "usage: tools/bench.sh [-o outdir] [-s scale] [-r repeats] [-w warmup] [-l label] [--shards N] [--shard-workers W] [bench...]" >&2
   exit 2
 }
 
@@ -33,6 +37,8 @@ SCALE=1
 REPEATS=3
 WARMUP=1
 LABEL=""
+SHARDS="${ISCOPE_SHARDS:-1}"
+SHARD_WORKERS="${ISCOPE_SHARD_WORKERS:-1}"
 while [ $# -gt 0 ]; do
   case "$1" in
     -o) [ $# -ge 2 ] || usage; OUT="$2"; shift 2 ;;
@@ -40,6 +46,8 @@ while [ $# -gt 0 ]; do
     -r) [ $# -ge 2 ] || usage; REPEATS="$2"; shift 2 ;;
     -w) [ $# -ge 2 ] || usage; WARMUP="$2"; shift 2 ;;
     -l|--label) [ $# -ge 2 ] || usage; LABEL="$2"; shift 2 ;;
+    --shards) [ $# -ge 2 ] || usage; SHARDS="$2"; shift 2 ;;
+    --shard-workers) [ $# -ge 2 ] || usage; SHARD_WORKERS="$2"; shift 2 ;;
     --) shift; break ;;
     -*) usage ;;
     *) break ;;
@@ -60,6 +68,7 @@ for bench in "${BENCHES[@]}"; do
   ISCOPE_BENCH_JSON="$OUT" ISCOPE_BENCH_REPEAT="$REPEATS" \
   ISCOPE_BENCH_WARMUP="$WARMUP" ISCOPE_SCALE="$SCALE" ISCOPE_PARALLEL=1 \
   ISCOPE_BENCH_LABEL="$LABEL" \
+  ISCOPE_SHARDS="$SHARDS" ISCOPE_SHARD_WORKERS="$SHARD_WORKERS" \
       "build-bench/bench/$bench" | tail -1
 done
 

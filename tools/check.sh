@@ -71,6 +71,15 @@ grep -q '"traceEvents"' "$TELEM_DIR/trace_only.json" \
     || { echo "telemetry smoke: trace_only.json lacks traceEvents" >&2; exit 1; }
 echo "telemetry bundle ok: $TELEM_DIR/report"
 
+stage "shard identity (1-shard bit-identity + worker-count determinism)"
+# The sharded simulator's hard invariant (DESIGN.md Sec. 12): one shard is
+# bit-identical to the legacy event loop across all five schemes, and
+# N-shard results do not move by a bit with the worker count.
+./build-check/strict/tests/test_shard \
+    --gtest_filter='ShardIdentity.*:ShardDeterminism.*' > /dev/null \
+    || { echo "shard identity: test_shard invariants failed" >&2; exit 1; }
+echo "shard identity ok: 1-shard bitwise, N-shard worker-independent"
+
 stage "clang-tidy"
 if command -v clang-tidy > /dev/null 2>&1; then
   cmake -B build-check/tidy -S . -DISCOPE_CLANG_TIDY=ON > /dev/null
@@ -99,6 +108,24 @@ if [ "$FAST" -eq 0 ]; then
     ASAN_OPTIONS=halt_on_error=1 "./build-check/asan/tests/$t" > /dev/null \
         && echo "asan ok: $t"
   done
+
+  stage "TSan multi-shard smoke (fig8 scenario, 4 shards x 4 workers)"
+  # Epoch-barrier handoff under real thread interleaving: the fig8 energy
+  # scenario at scale 0.5 (240 CPUs = 5 racks, so 4 rack-aligned shards
+  # fit) with the shard loops fanned out over 4 pool workers. Any data
+  # race on the shard queues, supply views, or telemetry sinks trips TSan.
+  cmake -B build-check/tsan -S . \
+        -DISCOPE_SANITIZE=thread -DISCOPE_AUDIT=ON > /dev/null
+  cmake --build build-check/tsan -j "$JOBS" \
+        --target bench_fig8_energy_cost test_shard
+  TSAN_OPTIONS=halt_on_error=1 \
+      ./build-check/tsan/tests/test_shard \
+      --gtest_filter='ShardDeterminism.*' > /dev/null \
+      && echo "tsan ok: test_shard worker determinism"
+  TSAN_OPTIONS=halt_on_error=1 \
+  ISCOPE_SCALE=0.5 ISCOPE_PARALLEL=1 ISCOPE_SHARDS=4 ISCOPE_SHARD_WORKERS=4 \
+      ./build-check/tsan/bench/bench_fig8_energy_cost > /dev/null \
+      && echo "tsan ok: bench_fig8_energy_cost sharded"
 
   stage "coverage floor (src/fault + src/sched >= ${COVERAGE_MIN}% lines)"
   COV_TESTS="test_fault test_knowledge test_policy test_simulator \
