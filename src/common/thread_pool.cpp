@@ -103,6 +103,8 @@ void ThreadPool::worker_loop(std::size_t index) {
   // header). The busy gauge and wait histogram stay per-job so they track
   // a mid-run enable as well as possible.
   const bool accounting = telemetry::enabled();
+  // iscope-lint: allow(determinism) worker busy/uptime metrics are host
+  // wall time; they are observability output and never reach sim state.
   using clock = std::chrono::steady_clock;
   clock::time_point started{};
   std::uint64_t busy_ns = 0;

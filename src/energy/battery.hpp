@@ -24,6 +24,8 @@ struct BatteryConfig {
 
   static BatteryConfig none() { return BatteryConfig{}; }
   /// Convenience: capacity in kWh with symmetric power limit in kW.
+  // iscope-lint: allow(quantity) named-unit factory: the suffixes ARE the
+  // contract here, mirroring units::kwh/kilowatts; the struct stays typed.
   static BatteryConfig make(double capacity_kwh, double power_kw);
 };
 
@@ -31,7 +33,7 @@ class BatteryBank {
  public:
   explicit BatteryBank(const BatteryConfig& config = BatteryConfig::none());
 
-  bool present() const { return config_.capacity.raw() > 0.0; }
+  bool present() const { return config_.capacity.joules() > 0.0; }
 
   /// Offer `offered` surplus power for `dt`. Returns the power actually
   /// absorbed at the AC side (0 when full or absent).

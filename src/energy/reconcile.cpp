@@ -7,29 +7,33 @@
 
 namespace iscope {
 
-WindAllocation reconcile_wind(double available_w,
-                              const std::vector<double>& demand_w,
+WindAllocation reconcile_wind(Watts available,
+                              const std::vector<Watts>& demand,
                               const std::vector<double>& capacity_share) {
-  const std::size_t n = demand_w.size();
+  const std::size_t n = demand.size();
   ISCOPE_CHECK_ARG(n > 0, "reconcile_wind: no shards");
   ISCOPE_CHECK_ARG(capacity_share.size() == n,
                    "reconcile_wind: share/demand size mismatch");
-  ISCOPE_CHECK_ARG(available_w >= 0.0, "reconcile_wind: negative wind");
+  ISCOPE_CHECK_ARG(available >= Watts{}, "reconcile_wind: negative wind");
 
+  // Quantity<Dim> arithmetic is the same inline double math as the raw
+  // version (quantity.hpp pins the layout), so the 0-ULP conservation
+  // guarantee below is unchanged by the typed interface.
+  const Watts zero{};
   WindAllocation out;
-  out.grant_w.assign(n, 0.0);
+  out.grant.assign(n, zero);
   out.fraction.assign(n, 0.0);
 
   if (n == 1) {
     // The lone shard sees the whole farm -- fraction exactly 1.0, so its
     // supply view is bit-identical to the unsharded simulator's.
-    out.grant_w[0] = available_w;
+    out.grant[0] = available;
     out.fraction[0] = 1.0;
-    out.total_granted_w = available_w;
+    out.total_granted = available;
     return out;
   }
 
-  if (available_w <= 0.0) {
+  if (available <= zero) {
     // No wind at the barrier: split whatever appears mid-epoch by capacity.
     for (std::size_t i = 0; i < n; ++i)
       out.fraction[i] = std::clamp(capacity_share[i], 0.0, 1.0);
@@ -37,44 +41,43 @@ WindAllocation reconcile_wind(double available_w,
   }
 
   // Phase 1 (allocate): fair slice, capped by the shard's own demand.
-  double granted = 0.0;  // running fixed-order sum
+  Watts granted = zero;  // running fixed-order sum
   for (std::size_t i = 0; i < n; ++i) {
-    const double fair = available_w * capacity_share[i];
-    out.grant_w[i] = std::min(std::max(demand_w[i], 0.0), fair);
-    granted += out.grant_w[i];
+    const Watts fair = available * capacity_share[i];
+    out.grant[i] = std::min(std::max(demand[i], zero), fair);
+    granted += out.grant[i];
   }
 
   // Phase 2 (commit): leftover to unmet demand, greedy in shard order.
-  double leftover = std::max(0.0, available_w - granted);
-  for (std::size_t i = 0; i < n && leftover > 0.0; ++i) {
-    const double unmet = std::max(0.0, demand_w[i] - out.grant_w[i]);
-    const double give = std::min(unmet, leftover);
-    out.grant_w[i] += give;
+  Watts leftover = std::max(zero, available - granted);
+  for (std::size_t i = 0; i < n && leftover > zero; ++i) {
+    const Watts unmet = std::max(zero, demand[i] - out.grant[i]);
+    const Watts give = std::min(unmet, leftover);
+    out.grant[i] += give;
     leftover -= give;
   }
   // Residual surplus (facility demand below the wind): spread by capacity
   // share so shard batteries can absorb it and shard meters account the
   // curtailment locally.
-  if (leftover > 0.0)
+  if (leftover > zero)
     for (std::size_t i = 0; i < n; ++i)
-      out.grant_w[i] += leftover * capacity_share[i];
+      out.grant[i] += leftover * capacity_share[i];
 
   // Commit with a hard budget clamp: re-walk in fixed order so the final
   // fixed-order sum can never exceed the available wind, whatever rounding
-  // the phases above introduced. total_granted_w IS this sum. Note
+  // the phases above introduced. total_granted IS this sum. Note
   // `running + (available - running)` can round *above* available in
   // IEEE-754, so after the clamp the grant is nudged down until the
   // running sum actually stays inside the budget (at most a few ULP).
-  double running = 0.0;
+  Watts running = zero;
   for (std::size_t i = 0; i < n; ++i) {
-    out.grant_w[i] =
-        std::max(0.0, std::min(out.grant_w[i], available_w - running));
-    while (running + out.grant_w[i] > available_w)
-      out.grant_w[i] = std::nextafter(out.grant_w[i], 0.0);
-    running += out.grant_w[i];
-    out.fraction[i] = std::clamp(out.grant_w[i] / available_w, 0.0, 1.0);
+    out.grant[i] = std::max(zero, std::min(out.grant[i], available - running));
+    while (running + out.grant[i] > available)
+      out.grant[i] = Watts{std::nextafter(out.grant[i].raw(), 0.0)};
+    running += out.grant[i];
+    out.fraction[i] = std::clamp(out.grant[i] / available, 0.0, 1.0);
   }
-  out.total_granted_w = running;
+  out.total_granted = running;
   return out;
 }
 

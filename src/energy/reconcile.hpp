@@ -29,23 +29,25 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/units.hpp"
+
 namespace iscope {
 
 struct WindAllocation {
-  std::vector<double> grant_w;   ///< committed wind power per shard
+  std::vector<Watts> grant;      ///< committed wind power per shard
   /// Supply multiplier per shard for the next epoch, in [0, 1]:
   /// grant / available when wind is blowing, the capacity share when the
   /// barrier sees none (so wind appearing mid-epoch is still split).
   std::vector<double> fraction;
-  /// Fixed-shard-order sum of grant_w; <= available_w by construction.
-  double total_granted_w = 0.0;
+  /// Fixed-shard-order sum of grant; <= available by construction.
+  Watts total_granted;
 };
 
-/// Divide `available_w` of wind among shards. `demand_w[i]` is shard i's
+/// Divide `available` wind among shards. `demand[i]` is shard i's
 /// facility demand at the barrier; `capacity_share[i]` its fraction of the
 /// facility's processors (shares must sum to ~1). Sizes must match.
-WindAllocation reconcile_wind(double available_w,
-                              const std::vector<double>& demand_w,
+WindAllocation reconcile_wind(Watts available,
+                              const std::vector<Watts>& demand,
                               const std::vector<double>& capacity_share);
 
 }  // namespace iscope

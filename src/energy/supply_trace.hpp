@@ -22,6 +22,8 @@ class SupplyTrace {
   SupplyTrace() = default;
   /// `step` seconds between samples; `power_w` holds one watt value per
   /// step.
+  // iscope-lint: allow(quantity) raw watt samples are the IO/plot buffer
+  // format (CSV column power_w); every query accessor speaks Watts.
   SupplyTrace(Seconds step, std::vector<double> power_w);
 
   std::size_t samples() const { return power_w_.size(); }

@@ -161,7 +161,7 @@ SimResult ShardedSim::run(const std::vector<Task>& tasks,
   // every shard through events strictly before the next barrier. An epoch
   // event at exactly t = k*epoch_s runs in round k+1, under the fraction
   // reconciled at that barrier.
-  std::vector<double> demand(n, 0.0);
+  std::vector<Watts> demand(n, Watts{});
   std::vector<std::future<std::size_t>> pending;
   double barrier = 0.0;
   while (true) {
@@ -174,11 +174,10 @@ SimResult ShardedSim::run(const std::vector<Task>& tasks,
     if (!any_pending) break;
 
     for (std::size_t s = 0; s < n; ++s)
-      demand[s] = shards_[s].sim->demand_now().raw();
-    const double wind =
-        global_supply_->wind_available(Seconds{barrier}).raw();
+      demand[s] = shards_[s].sim->demand_now();
+    const Watts wind = global_supply_->wind_available(Seconds{barrier});
     const WindAllocation alloc =
-        reconcile_wind(std::max(wind, 0.0), demand, capacity_share_);
+        reconcile_wind(std::max(wind, Watts{}), demand, capacity_share_);
     for (std::size_t s = 0; s < n; ++s)
       shards_[s].supply->set_fraction(alloc.fraction[s]);
 

@@ -106,13 +106,18 @@ class TraceLog {
   std::size_t capacity_ = 65536;
   /// Trace epoch: steady_clock at first use; all span timestamps are
   /// relative to it so exports start near ts=0.
+  // iscope-lint: allow(determinism) host-clock spans measure wall time by
+  // design; they never feed back into simulation state (DESIGN.md Sec. 11).
   std::chrono::steady_clock::time_point epoch_ =
+      // iscope-lint: allow(determinism) same host-clock epoch as above.
       std::chrono::steady_clock::now();
 
  public:
   std::uint64_t now_ns() const {
     return static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
+            // iscope-lint: allow(determinism) span timestamps are
+            // wall-clock observability output, not simulation input.
             std::chrono::steady_clock::now() - epoch_)
             .count());
   }

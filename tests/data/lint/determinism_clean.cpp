@@ -1,0 +1,28 @@
+// Fixture: the deterministic counterparts -- ordered containers, seeded
+// RNG, simulation clock. Must produce zero findings under src/sim/.
+#include <map>
+
+namespace fixture {
+
+struct Rng {
+  explicit Rng(unsigned seed) : state(seed) {}
+  unsigned next() { return state = state * 1664525u + 1013904223u; }
+  unsigned state;
+};
+
+int ordered_sum(const std::map<int, int>& m) {
+  int sum = 0;
+  for (const auto& [k, v] : m) sum += v;
+  return sum;
+}
+
+double sim_time(double queue_now) {
+  Rng rng(1234);
+  // Member spellings that collide with banned call names must not fire.
+  struct Clock {
+    double time() const { return 0.0; }
+  } clk;
+  return queue_now + clk.time() + static_cast<double>(rng.next());
+}
+
+}  // namespace fixture

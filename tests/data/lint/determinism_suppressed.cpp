@@ -1,0 +1,15 @@
+// Fixture: the same clock read, suppressed with a justification -- the
+// canonical telemetry-style escape. Must produce zero findings and report
+// one suppression used.
+#include <chrono>
+
+namespace fixture {
+
+double wall_epoch() {
+  // iscope-lint: allow(determinism) host-clock span epoch; observability
+  // output only, never simulation input.
+  const auto t = std::chrono::steady_clock::now();
+  return static_cast<double>(t.time_since_epoch().count());
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Fixture: every determinism ban fires (linted under a src/sim/ path).
+#include <chrono>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace fixture {
+
+int hash_order(const std::unordered_map<int, int>& m) {
+  int sum = 0;
+  for (const auto& [k, v] : m) sum += v;  // iteration order is per-process
+  return sum;
+}
+
+double host_noise() {
+  std::srand(42);
+  const int r = rand();
+  const auto t = std::chrono::system_clock::now();
+  (void)t;
+  return static_cast<double>(r) + static_cast<double>(time(nullptr));
+}
+
+}  // namespace fixture

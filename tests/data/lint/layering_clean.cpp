@@ -1,0 +1,13 @@
+// Fixture: downward includes only (linted under a src/sim/ path), plus a
+// telemetry include which is fine from a .cpp. Zero findings.
+#include "sim/event_queue.hpp"
+
+#include <vector>
+
+#include "common/units.hpp"
+#include "sched/policy.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace fixture {
+int x() { return 2; }
+}  // namespace fixture

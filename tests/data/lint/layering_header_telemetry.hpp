@@ -1,0 +1,9 @@
+// Fixture: a header (linted under src/sim/) including telemetry -- the
+// cpp-only rule must fire even though sim may use telemetry from .cpp.
+#pragma once
+
+#include "telemetry/registry.hpp"
+
+namespace fixture {
+int y();
+}  // namespace fixture

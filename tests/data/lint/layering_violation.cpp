@@ -1,0 +1,10 @@
+// Fixture: upward includes (linted under a src/power/ path). power sits
+// below sim and sched in the module DAG, so both includes must fire.
+#include "sim/simulator.hpp"
+
+#include "common/units.hpp"
+#include "sched/policy.hpp"
+
+namespace fixture {
+int x() { return 1; }
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Fixture: the typed counterpart -- Quantity<Dim> fields, named-unit
+// accessor functions (suffixed *functions* are the sanctioned idiom, as in
+// EnergySplit::wind_kwh()). Zero findings under src/energy/.
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace fixture {
+
+struct Budget {
+  std::vector<iscope::Watts> grant;
+  iscope::Joules headroom;
+  double wind_kwh() const { return headroom.kwh(); }
+};
+
+inline bool over(iscope::Watts demand, iscope::Watts limit) {
+  return demand > limit;
+}
+
+}  // namespace fixture

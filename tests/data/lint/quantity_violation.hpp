@@ -1,0 +1,21 @@
+// Fixture: suffix-typed raw doubles in a power/energy public header, plus
+// a .raw() escape outside the hot-loop allowlist. Four findings: grant_w,
+// headroom_j, the limit_w parameter, and the .raw() call.
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace fixture {
+
+struct Budget {
+  std::vector<double> grant_w;
+  double headroom_j = 0.0;
+};
+
+inline bool over(iscope::Watts demand, double limit_w) {
+  return demand.raw() > limit_w;
+}
+
+}  // namespace fixture

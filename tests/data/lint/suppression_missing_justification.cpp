@@ -1,0 +1,12 @@
+// Fixture: a suppression with no justification text. The underlying
+// determinism finding is suppressed, but the meta "suppression" check must
+// fire on the bare allow().
+#include <cstdlib>
+
+namespace fixture {
+
+int roll() {
+  return std::rand();  // iscope-lint: allow(determinism)
+}
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: allow() naming a check that does not exist. The meta check must
+// flag the unknown name instead of silently ignoring it.
+#include <cstdlib>
+
+namespace fixture {
+
+int roll() {
+  return std::rand();  // iscope-lint: allow(entropy) dice need entropy.
+}
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: a justified suppression on a line with nothing to suppress.
+// The meta "suppression" check must flag it as unused.
+#include <map>
+
+namespace fixture {
+
+// iscope-lint: allow(determinism) ordered map is already deterministic.
+std::map<int, int> table;
+
+}  // namespace fixture

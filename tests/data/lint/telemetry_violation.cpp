@@ -1,0 +1,14 @@
+// Fixture: direct span construction and an uncached registry lookup inside
+// a loop body. Two findings under any non-telemetry path.
+#include "telemetry/telemetry.hpp"
+
+namespace fixture {
+
+void tick(iscope::telemetry::Registry& reg, int n) {
+  iscope::telemetry::ScopedSpan span("fixture.tick");
+  for (int i = 0; i < n; ++i) {
+    reg.counter("fixture.ticks").increment();
+  }
+}
+
+}  // namespace fixture

@@ -322,19 +322,21 @@ TEST(ShardDeterminism, MultiShardConservesTasksAndEnergyAccounting) {
 // ----------------------------------------------- wind reconciliation
 
 TEST(Reconcile, SingleShardFractionIsExactlyOne) {
-  const WindAllocation a = reconcile_wind(1234.5, {900.0}, {1.0});
+  const WindAllocation a =
+      reconcile_wind(Watts{1234.5}, {Watts{900.0}}, {1.0});
   EXPECT_EQ(a.fraction[0], 1.0);
-  EXPECT_EQ(a.grant_w[0], 1234.5);
-  EXPECT_EQ(a.total_granted_w, 1234.5);
+  EXPECT_EQ(a.grant[0].watts(), 1234.5);
+  EXPECT_EQ(a.total_granted.watts(), 1234.5);
   // Even a becalmed barrier pins the lone shard's view to the whole farm.
-  const WindAllocation calm = reconcile_wind(0.0, {900.0}, {1.0});
+  const WindAllocation calm =
+      reconcile_wind(Watts{}, {Watts{900.0}}, {1.0});
   EXPECT_EQ(calm.fraction[0], 1.0);
 }
 
 TEST(Reconcile, ZeroWindSplitsByCapacity) {
-  const WindAllocation a =
-      reconcile_wind(0.0, {10.0, 20.0, 30.0}, {0.5, 0.25, 0.25});
-  EXPECT_EQ(a.total_granted_w, 0.0);
+  const WindAllocation a = reconcile_wind(
+      Watts{}, {Watts{10.0}, Watts{20.0}, Watts{30.0}}, {0.5, 0.25, 0.25});
+  EXPECT_EQ(a.total_granted.watts(), 0.0);
   EXPECT_EQ(a.fraction[0], 0.5);
   EXPECT_EQ(a.fraction[1], 0.25);
   EXPECT_EQ(a.fraction[2], 0.25);
@@ -346,51 +348,58 @@ TEST(Reconcile, ConservationAtZeroUlp) {
   Rng rng(97);
   for (int trial = 0; trial < 200; ++trial) {
     const std::size_t n = static_cast<std::size_t>(rng.uniform_int(2, 16));
-    std::vector<double> demand(n), share(n);
+    std::vector<Watts> demand(n);
+    std::vector<double> share(n);
     double share_sum = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
-      demand[i] = rng.uniform(0.0, 5000.0);
+      demand[i] = Watts{rng.uniform(0.0, 5000.0)};
       share[i] = rng.uniform(0.1, 10.0);
       share_sum += share[i];
     }
     for (std::size_t i = 0; i < n; ++i) share[i] /= share_sum;
-    const double available = rng.uniform(0.0, 8000.0);
+    const Watts available{rng.uniform(0.0, 8000.0)};
 
     const WindAllocation a = reconcile_wind(available, demand, share);
     double fixed_order_sum = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
-      EXPECT_GE(a.grant_w[i], 0.0);
+      EXPECT_GE(a.grant[i].watts(), 0.0);
       EXPECT_GE(a.fraction[i], 0.0);
       EXPECT_LE(a.fraction[i], 1.0);
-      fixed_order_sum += a.grant_w[i];
+      fixed_order_sum += a.grant[i].watts();
     }
-    EXPECT_EQ(fixed_order_sum, a.total_granted_w) << "trial " << trial;
-    EXPECT_LE(a.total_granted_w, available) << "trial " << trial;
+    EXPECT_EQ(fixed_order_sum, a.total_granted.watts()) << "trial " << trial;
+    EXPECT_LE(a.total_granted.watts(), available.watts())
+        << "trial " << trial;
   }
 }
 
 TEST(Reconcile, UnmetDemandDrawsTheLeftoverInShardOrder) {
   // Shard 0 wants little, shard 1 wants much more than its fair slice:
   // the leftover commits to shard 1 before any capacity spread.
-  const WindAllocation a = reconcile_wind(1000.0, {100.0, 2000.0}, {0.5, 0.5});
-  EXPECT_EQ(a.grant_w[0], 100.0);
-  EXPECT_EQ(a.grant_w[1], 900.0);
-  EXPECT_EQ(a.total_granted_w, 1000.0);
+  const WindAllocation a = reconcile_wind(
+      Watts{1000.0}, {Watts{100.0}, Watts{2000.0}}, {0.5, 0.5});
+  EXPECT_EQ(a.grant[0].watts(), 100.0);
+  EXPECT_EQ(a.grant[1].watts(), 900.0);
+  EXPECT_EQ(a.total_granted.watts(), 1000.0);
 }
 
 TEST(Reconcile, SurplusSpreadsByCapacityShare) {
   // Facility demand below the wind: the surplus comes back by capacity so
   // shard batteries/curtailment meters see it.
-  const WindAllocation a = reconcile_wind(1000.0, {100.0, 100.0}, {0.75, 0.25});
-  EXPECT_GT(a.grant_w[0], a.grant_w[1]);
-  EXPECT_EQ(a.grant_w[0] + a.grant_w[1], a.total_granted_w);
-  EXPECT_LE(a.total_granted_w, 1000.0);
+  const WindAllocation a = reconcile_wind(
+      Watts{1000.0}, {Watts{100.0}, Watts{100.0}}, {0.75, 0.25});
+  EXPECT_GT(a.grant[0].watts(), a.grant[1].watts());
+  EXPECT_EQ(a.grant[0].watts() + a.grant[1].watts(),
+            a.total_granted.watts());
+  EXPECT_LE(a.total_granted.watts(), 1000.0);
 }
 
 TEST(Reconcile, RejectsMalformedInputs) {
-  EXPECT_THROW(reconcile_wind(1.0, {}, {}), InvalidArgument);
-  EXPECT_THROW(reconcile_wind(1.0, {1.0, 2.0}, {1.0}), InvalidArgument);
-  EXPECT_THROW(reconcile_wind(-1.0, {1.0}, {1.0}), InvalidArgument);
+  EXPECT_THROW(reconcile_wind(Watts{1.0}, {}, {}), InvalidArgument);
+  EXPECT_THROW(reconcile_wind(Watts{1.0}, {Watts{1.0}, Watts{2.0}}, {1.0}),
+               InvalidArgument);
+  EXPECT_THROW(reconcile_wind(Watts{-1.0}, {Watts{1.0}}, {1.0}),
+               InvalidArgument);
 }
 
 // ----------------------------------------------------- task partition

@@ -270,9 +270,12 @@ TEST_F(TelemetryTest, ChromeTraceExportIsWellFormed) {
   // under ISCOPE_TELEMETRY_OFF, where the macros expand to nothing.
   TraceLog::global().set_thread_name("chrome-test");
   {
+    // iscope-lint: allow(telemetry) this test exercises the span
+    // machinery itself; production code must use ISCOPE_SPAN.
     const ScopedSpan match("match", 1200.0, /*active=*/true);
   }
   {
+    // iscope-lint: allow(telemetry) direct construction under test again.
     const ScopedSpan rematch("rematch", -1.0, /*active=*/true);
   }
 

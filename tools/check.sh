@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
-# One-stop verification gate: strict build, full test suite, clang-tidy
-# (when installed), sanitizer passes over the tests, and a line-coverage
-# floor for the fault-injection and scheduling layers.
+# One-stop verification gate: strict build, full test suite, project lint
+# (iscope_lint), clang-tidy (when installed), sanitizer passes over the
+# tests, and a line-coverage floor for the fault-injection and scheduling
+# layers.
 #
-# Usage:  tools/check.sh [--fast]
-#   --fast   skip the UBSan/ASan rebuilds and the coverage stage
-#            (strict build + tests + tidy only)
+# Usage:  tools/check.sh [--fast] [--stage <name>] [--help]
+#   --fast          skip the UBSan/ASan/TSan rebuilds and the coverage
+#                   stage (strict build + tests + smokes + lint + tidy)
+#   --stage <name>  run a single named stage (plus the strict build it
+#                   depends on, where applicable)
+#   --help          list the stages and exit
 #
 # Exits non-zero on the first failing stage. Build trees are kept under
 # build-check/ so the developer's main build/ directory is untouched.
@@ -13,89 +17,170 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-FAST=0
-for arg in "$@"; do
-  case "$arg" in
-    --fast) FAST=1 ;;
-    *) echo "unknown argument: $arg" >&2; exit 2 ;;
-  esac
-done
-
 JOBS="$(nproc 2>/dev/null || echo 2)"
 # Minimum line coverage (percent) the fault + sched layers must keep.
 # Pinned from a measured 95.4%; drops below the floor mean dead branches
 # crept in or the fault suites stopped exercising the recovery paths.
 COVERAGE_MIN=90
 
-stage() { printf '\n==== %s ====\n' "$1"; }
+# Stage registry: name -> one-line description, in default running order.
+STAGES=(
+  "strict          strict build (-Werror -Wconversion -Wdouble-promotion, audit on)"
+  "tests           full ctest suite on the strict build"
+  "bench-smoke     BENCH_*.json emission smoke (fig8 capture)"
+  "telemetry-smoke report bundle + registry/SimResult cross-check"
+  "shard-identity  1-shard bit-identity + worker-count determinism"
+  "lint            iscope_lint project invariants (determinism/layering/quantity/telemetry)"
+  "tidy            clang-tidy profile, warnings-as-errors (skips if not installed)"
+  "ubsan           UBSan rebuild + full tests"
+  "asan            ASan fault-injection + parser-fuzz tests"
+  "tsan            TSan multi-shard smoke (fig8, 4 shards x 4 workers)"
+  "coverage        src/fault + src/sched line-coverage floor (${COVERAGE_MIN}%)"
+)
 
-stage "strict build (-Werror -Wconversion -Wdouble-promotion, audit on)"
-cmake -B build-check/strict -S . \
-      -DISCOPE_WERROR=ON -DISCOPE_AUDIT=ON > /dev/null
-cmake --build build-check/strict -j "$JOBS"
+usage() {
+  sed -n '2,15p' "$0" | sed 's/^# \{0,1\}//'
+  printf '\nStages (default order; --fast stops after tidy):\n'
+  for s in "${STAGES[@]}"; do printf '  %s\n' "$s"; done
+}
 
-stage "tests (strict build)"
-ctest --test-dir build-check/strict --output-on-failure
-
-stage "bench smoke (BENCH_*.json emission)"
-BENCH_DIR="build-check/bench-smoke"
-mkdir -p "$BENCH_DIR"
-ISCOPE_SCALE=0.2 ISCOPE_PARALLEL=1 \
-ISCOPE_BENCH_JSON="$BENCH_DIR" ISCOPE_BENCH_REPEAT=1 ISCOPE_BENCH_WARMUP=0 \
-    ./build-check/strict/bench/bench_fig8_energy_cost > /dev/null
-SMOKE_JSON="$BENCH_DIR/BENCH_fig8_energy_cost.json"
-[ -s "$SMOKE_JSON" ] || { echo "bench smoke: $SMOKE_JSON missing" >&2; exit 1; }
-grep -q '"schema_version": 1' "$SMOKE_JSON" \
-    || { echo "bench smoke: $SMOKE_JSON lacks schema_version 1" >&2; exit 1; }
-echo "bench capture ok: $SMOKE_JSON"
-
-stage "telemetry smoke (report bundle + registry/SimResult cross-check)"
-TELEM_DIR="build-check/telemetry-smoke"
-rm -rf "$TELEM_DIR" && mkdir -p "$TELEM_DIR"
-./build-check/strict/examples/iscope_cli simulate --scheme ScanEffi \
-    --procs 64 --jobs 200 \
-    --telemetry "$TELEM_DIR/report" --trace-out "$TELEM_DIR/trace_only.json" \
-    > "$TELEM_DIR/stdout.txt"
-grep -q 'telemetry cross-check ok' "$TELEM_DIR/stdout.txt" \
-    || { echo "telemetry smoke: cross-check line missing" >&2;
-         cat "$TELEM_DIR/stdout.txt" >&2; exit 1; }
-for f in "$TELEM_DIR/report/metrics.prom" "$TELEM_DIR/report/metrics.json" \
-         "$TELEM_DIR/report/samples.csv" "$TELEM_DIR/report/trace.json" \
-         "$TELEM_DIR/trace_only.json"; do
-  [ -s "$f" ] || { echo "telemetry smoke: $f missing or empty" >&2; exit 1; }
+FAST=0
+ONLY_STAGE=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --fast) FAST=1 ;;
+    --stage)
+      [ $# -ge 2 ] || { echo "--stage needs a name (see --help)" >&2; exit 2; }
+      ONLY_STAGE="$2"; shift ;;
+    --help|-h) usage; exit 0 ;;
+    *) echo "unknown argument: $1 (see --help)" >&2; exit 2 ;;
+  esac
+  shift
 done
-# The counters the CLI cross-checks must actually be in the exposition.
-grep -q '^iscope_sim_events_total{' "$TELEM_DIR/report/metrics.prom" \
-    || { echo "telemetry smoke: iscope_sim_events_total absent" >&2; exit 1; }
-grep -q '"traceEvents"' "$TELEM_DIR/trace_only.json" \
-    || { echo "telemetry smoke: trace_only.json lacks traceEvents" >&2; exit 1; }
-echo "telemetry bundle ok: $TELEM_DIR/report"
 
-stage "shard identity (1-shard bit-identity + worker-count determinism)"
-# The sharded simulator's hard invariant (DESIGN.md Sec. 12): one shard is
-# bit-identical to the legacy event loop across all five schemes, and
-# N-shard results do not move by a bit with the worker count.
-./build-check/strict/tests/test_shard \
-    --gtest_filter='ShardIdentity.*:ShardDeterminism.*' > /dev/null \
-    || { echo "shard identity: test_shard invariants failed" >&2; exit 1; }
-echo "shard identity ok: 1-shard bitwise, N-shard worker-independent"
-
-stage "clang-tidy"
-if command -v clang-tidy > /dev/null 2>&1; then
-  cmake -B build-check/tidy -S . -DISCOPE_CLANG_TIDY=ON > /dev/null
-  cmake --build build-check/tidy -j "$JOBS"
-else
-  echo "clang-tidy not installed; skipping static analysis stage"
+if [ -n "$ONLY_STAGE" ]; then
+  known=0
+  for s in "${STAGES[@]}"; do
+    [ "${s%% *}" = "$ONLY_STAGE" ] && known=1
+  done
+  [ "$known" -eq 1 ] \
+      || { echo "unknown stage: $ONLY_STAGE (see --help)" >&2; exit 2; }
 fi
 
-if [ "$FAST" -eq 0 ]; then
+stage() { printf '\n==== %s ====\n' "$1"; }
+
+# True when the named stage should run under the current selection.
+want() {
+  if [ -n "$ONLY_STAGE" ]; then [ "$1" = "$ONLY_STAGE" ]; return; fi
+  case "$1" in
+    ubsan|asan|tsan|coverage) [ "$FAST" -eq 0 ] ;;
+    *) true ;;
+  esac
+}
+
+# The strict tree backs several stages; configure once, build on demand.
+ensure_strict() {
+  cmake -B build-check/strict -S . \
+        -DISCOPE_WERROR=ON -DISCOPE_AUDIT=ON > /dev/null
+  cmake --build build-check/strict -j "$JOBS" ${1:+--target "$1"}
+}
+
+stage_strict() {
+  stage "strict build (-Werror -Wconversion -Wdouble-promotion, audit on)"
+  ensure_strict
+}
+
+stage_tests() {
+  stage "tests (strict build)"
+  [ -n "$ONLY_STAGE" ] && ensure_strict > /dev/null
+  ctest --test-dir build-check/strict --output-on-failure
+}
+
+stage_bench_smoke() {
+  stage "bench smoke (BENCH_*.json emission)"
+  [ -n "$ONLY_STAGE" ] && ensure_strict bench_fig8_energy_cost > /dev/null
+  BENCH_DIR="build-check/bench-smoke"
+  mkdir -p "$BENCH_DIR"
+  ISCOPE_SCALE=0.2 ISCOPE_PARALLEL=1 \
+  ISCOPE_BENCH_JSON="$BENCH_DIR" ISCOPE_BENCH_REPEAT=1 ISCOPE_BENCH_WARMUP=0 \
+      ./build-check/strict/bench/bench_fig8_energy_cost > /dev/null
+  SMOKE_JSON="$BENCH_DIR/BENCH_fig8_energy_cost.json"
+  [ -s "$SMOKE_JSON" ] || { echo "bench smoke: $SMOKE_JSON missing" >&2; exit 1; }
+  grep -q '"schema_version": 1' "$SMOKE_JSON" \
+      || { echo "bench smoke: $SMOKE_JSON lacks schema_version 1" >&2; exit 1; }
+  echo "bench capture ok: $SMOKE_JSON"
+}
+
+stage_telemetry_smoke() {
+  stage "telemetry smoke (report bundle + registry/SimResult cross-check)"
+  [ -n "$ONLY_STAGE" ] && ensure_strict iscope_cli > /dev/null
+  TELEM_DIR="build-check/telemetry-smoke"
+  rm -rf "$TELEM_DIR" && mkdir -p "$TELEM_DIR"
+  ./build-check/strict/examples/iscope_cli simulate --scheme ScanEffi \
+      --procs 64 --jobs 200 \
+      --telemetry "$TELEM_DIR/report" --trace-out "$TELEM_DIR/trace_only.json" \
+      > "$TELEM_DIR/stdout.txt"
+  grep -q 'telemetry cross-check ok' "$TELEM_DIR/stdout.txt" \
+      || { echo "telemetry smoke: cross-check line missing" >&2;
+           cat "$TELEM_DIR/stdout.txt" >&2; exit 1; }
+  for f in "$TELEM_DIR/report/metrics.prom" "$TELEM_DIR/report/metrics.json" \
+           "$TELEM_DIR/report/samples.csv" "$TELEM_DIR/report/trace.json" \
+           "$TELEM_DIR/trace_only.json"; do
+    [ -s "$f" ] || { echo "telemetry smoke: $f missing or empty" >&2; exit 1; }
+  done
+  # The counters the CLI cross-checks must actually be in the exposition.
+  grep -q '^iscope_sim_events_total{' "$TELEM_DIR/report/metrics.prom" \
+      || { echo "telemetry smoke: iscope_sim_events_total absent" >&2; exit 1; }
+  grep -q '"traceEvents"' "$TELEM_DIR/trace_only.json" \
+      || { echo "telemetry smoke: trace_only.json lacks traceEvents" >&2; exit 1; }
+  echo "telemetry bundle ok: $TELEM_DIR/report"
+}
+
+stage_shard_identity() {
+  stage "shard identity (1-shard bit-identity + worker-count determinism)"
+  [ -n "$ONLY_STAGE" ] && ensure_strict test_shard > /dev/null
+  # The sharded simulator's hard invariant (DESIGN.md Sec. 12): one shard is
+  # bit-identical to the legacy event loop across all five schemes, and
+  # N-shard results do not move by a bit with the worker count.
+  ./build-check/strict/tests/test_shard \
+      --gtest_filter='ShardIdentity.*:ShardDeterminism.*' > /dev/null \
+      || { echo "shard identity: test_shard invariants failed" >&2; exit 1; }
+  echo "shard identity ok: 1-shard bitwise, N-shard worker-independent"
+}
+
+stage_lint() {
+  stage "lint (iscope_lint: determinism / layering / quantity / telemetry)"
+  # The project linter (tools/lint/, DESIGN.md Sec. 13): the tree must be
+  # clean modulo the committed baseline (empty at merge). Fails with
+  # file:line diagnostics naming the violated check.
+  cmake -B build-check/strict -S . \
+        -DISCOPE_WERROR=ON -DISCOPE_AUDIT=ON > /dev/null
+  cmake --build build-check/strict -j "$JOBS" --target iscope_lint
+  ./build-check/strict/tools/lint/iscope_lint --root . \
+      --baseline tools/lint/baseline.json src tests bench examples
+}
+
+stage_tidy() {
+  stage "clang-tidy (warnings as errors)"
+  if command -v clang-tidy > /dev/null 2>&1; then
+    cmake -B build-check/tidy -S . \
+          -DISCOPE_CLANG_TIDY=ON -DISCOPE_CLANG_TIDY_WERROR=ON > /dev/null
+    cmake --build build-check/tidy -j "$JOBS"
+  else
+    echo "clang-tidy not installed; skipping static analysis stage"
+  fi
+}
+
+stage_ubsan() {
   stage "UBSan build + tests"
   cmake -B build-check/ubsan -S . \
         -DISCOPE_SANITIZE=undefined -DISCOPE_AUDIT=ON > /dev/null
   cmake --build build-check/ubsan -j "$JOBS"
   UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
       ctest --test-dir build-check/ubsan --output-on-failure
+}
 
+stage_asan() {
   stage "ASan fault-injection + parser-fuzz tests"
   # Targeted: the suites that stress failure paths, requeue bookkeeping,
   # and hostile parser inputs -- where lifetime bugs would hide.
@@ -108,7 +193,9 @@ if [ "$FAST" -eq 0 ]; then
     ASAN_OPTIONS=halt_on_error=1 "./build-check/asan/tests/$t" > /dev/null \
         && echo "asan ok: $t"
   done
+}
 
+stage_tsan() {
   stage "TSan multi-shard smoke (fig8 scenario, 4 shards x 4 workers)"
   # Epoch-barrier handoff under real thread interleaving: the fig8 energy
   # scenario at scale 0.5 (240 CPUs = 5 racks, so 4 rack-aligned shards
@@ -126,7 +213,9 @@ if [ "$FAST" -eq 0 ]; then
   ISCOPE_SCALE=0.5 ISCOPE_PARALLEL=1 ISCOPE_SHARDS=4 ISCOPE_SHARD_WORKERS=4 \
       ./build-check/tsan/bench/bench_fig8_energy_cost > /dev/null \
       && echo "tsan ok: bench_fig8_energy_cost sharded"
+}
 
+stage_coverage() {
   stage "coverage floor (src/fault + src/sched >= ${COVERAGE_MIN}% lines)"
   COV_TESTS="test_fault test_knowledge test_policy test_simulator \
              test_match_equivalence test_properties"
@@ -161,6 +250,22 @@ if [ "$FAST" -eq 0 ]; then
                  pct, total, min;
           exit (pct < min) ? 1 : 0
         }'
-fi
+}
 
-stage "all checks passed"
+want strict          && stage_strict
+want tests           && stage_tests
+want bench-smoke     && stage_bench_smoke
+want telemetry-smoke && stage_telemetry_smoke
+want shard-identity  && stage_shard_identity
+want lint            && stage_lint
+want tidy            && stage_tidy
+want ubsan           && stage_ubsan
+want asan            && stage_asan
+want tsan            && stage_tsan
+want coverage        && stage_coverage
+
+if [ -n "$ONLY_STAGE" ]; then
+  stage "stage '$ONLY_STAGE' passed"
+else
+  stage "all checks passed"
+fi

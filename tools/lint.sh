@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Developer entry point for the project linter (tools/lint/, DESIGN.md
+# Sec. 13): builds iscope_lint, lints the tree, and diffs the result
+# against the committed baseline -- only findings NOT in the baseline fail
+# the run. The baseline (tools/lint/baseline.json) is kept empty at merge;
+# a non-empty one is temporary debt under review.
+#
+# Usage:  tools/lint.sh [--update-baseline] [paths...]
+#   --update-baseline  rewrite tools/lint/baseline.json from the current
+#                      findings (review the diff before committing!)
+#   paths...           lint only these paths (default: src tests bench
+#                      examples)
+#
+# The machine-readable report lands in build-check/lint-report.json either
+# way. Exit codes follow iscope_lint: 0 clean, 1 new findings, 2 usage/IO.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+UPDATE=0
+PATHS=()
+for arg in "$@"; do
+  case "$arg" in
+    --update-baseline) UPDATE=1 ;;
+    --help|-h) sed -n '2,16p' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+    -*) echo "unknown argument: $arg (see --help)" >&2; exit 2 ;;
+    *) PATHS+=("$arg") ;;
+  esac
+done
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+BASELINE="tools/lint/baseline.json"
+REPORT="build-check/lint-report.json"
+
+cmake -B build-check/strict -S . \
+      -DISCOPE_WERROR=ON -DISCOPE_AUDIT=ON > /dev/null
+cmake --build build-check/strict -j "$JOBS" --target iscope_lint > /dev/null
+LINT=./build-check/strict/tools/lint/iscope_lint
+mkdir -p "$(dirname "$REPORT")"
+
+if [ "$UPDATE" -eq 1 ]; then
+  # Capture the un-baselined findings as the new baseline. A failing lint
+  # run here is expected -- that is what the baseline is for.
+  "$LINT" --root . --json "$BASELINE" -q "${PATHS[@]+"${PATHS[@]}"}" \
+      || true
+  cp "$BASELINE" "$REPORT"
+  N="$(grep -c '"check"' "$BASELINE" || true)"
+  echo "baseline updated: $BASELINE ($N finding(s)); review before committing"
+  exit 0
+fi
+
+"$LINT" --root . --baseline "$BASELINE" --json "$REPORT" \
+    "${PATHS[@]+"${PATHS[@]}"}"

@@ -1,0 +1,227 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace iscope::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  LexResult run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        line_has_code_ = false;
+        ++pos_;
+      } else if (c == ' ' || c == '\t' || c == '\r' || c == '\v' ||
+                 c == '\f') {
+        ++pos_;
+      } else if (c == '/' && peek(1) == '/') {
+        line_comment();
+      } else if (c == '/' && peek(1) == '*') {
+        block_comment();
+      } else if (c == '#' && !line_has_code_) {
+        directive();
+      } else if (c == '"') {
+        string_lit();
+      } else if (c == '\'') {
+        char_lit();
+      } else if (ident_start(c)) {
+        identifier();
+      } else if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+                 (c == '.' && std::isdigit(static_cast<unsigned char>(
+                                  peek(1))) != 0)) {
+        number();
+      } else {
+        punct();
+      }
+    }
+    return std::move(out_);
+  }
+
+ private:
+  char peek(std::size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void emit(Tok kind, std::string text, int line) {
+    out_.tokens.push_back(Token{kind, std::move(text), line});
+    line_has_code_ = true;
+  }
+
+  void line_comment() {
+    const int start = line_;
+    const bool own = !line_has_code_;
+    pos_ += 2;
+    std::string body;
+    while (pos_ < src_.size() && src_[pos_] != '\n') body += src_[pos_++];
+    out_.comments.push_back(Comment{start, std::move(body), own});
+  }
+
+  void block_comment() {
+    const int start = line_;
+    const bool own = !line_has_code_;
+    pos_ += 2;
+    std::string body;
+    while (pos_ < src_.size() &&
+           !(src_[pos_] == '*' && peek(1) == '/')) {
+      if (src_[pos_] == '\n') {
+        ++line_;
+        line_has_code_ = false;
+      }
+      body += src_[pos_++];
+    }
+    if (pos_ < src_.size()) pos_ += 2;
+    out_.comments.push_back(Comment{start, std::move(body), own});
+  }
+
+  /// One logical preprocessor line: backslash continuations are folded in,
+  /// trailing // and /* */ comments stripped (and still reported as
+  /// comments so suppressions on a directive line work).
+  void directive() {
+    const int start = line_;
+    std::string text;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\' && (peek(1) == '\n' ||
+                        (peek(1) == '\r' && peek(2) == '\n'))) {
+        pos_ += peek(1) == '\r' ? 3 : 2;
+        ++line_;
+        text += ' ';
+      } else if (c == '\n') {
+        break;
+      } else if (c == '/' && peek(1) == '/') {
+        line_has_code_ = true;  // the directive counts as code
+        line_comment();
+        break;
+      } else if (c == '/' && peek(1) == '*') {
+        line_has_code_ = true;
+        block_comment();
+        text += ' ';
+        continue;
+      } else {
+        text += c;
+        ++pos_;
+      }
+    }
+    emit(Tok::kDirective, std::move(text), start);
+  }
+
+  void string_lit() {
+    const int start = line_;
+    // Raw string: the previous token was an identifier ending in R that we
+    // already emitted (e.g. R"(...)"); detect via lookbehind on the source.
+    if (pos_ > 0 && (src_[pos_ - 1] == 'R') ) {
+      raw_string();
+      return;
+    }
+    ++pos_;
+    while (pos_ < src_.size() && src_[pos_] != '"' && src_[pos_] != '\n') {
+      if (src_[pos_] == '\\') ++pos_;
+      if (pos_ < src_.size()) ++pos_;
+    }
+    if (pos_ < src_.size() && src_[pos_] == '"') ++pos_;
+    emit(Tok::kString, "", start);
+  }
+
+  void raw_string() {
+    const int start = line_;
+    ++pos_;  // over the opening quote
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(') delim += src_[pos_++];
+    const std::string closer = ")" + delim + "\"";
+    const std::size_t end = src_.find(closer, pos_);
+    for (std::size_t i = pos_; i < std::min(end, src_.size()); ++i)
+      if (src_[i] == '\n') ++line_;
+    pos_ = end == std::string_view::npos ? src_.size() : end + closer.size();
+    emit(Tok::kString, "", start);
+  }
+
+  void char_lit() {
+    const int start = line_;
+    ++pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\'' && src_[pos_] != '\n') {
+      if (src_[pos_] == '\\') ++pos_;
+      if (pos_ < src_.size()) ++pos_;
+    }
+    if (pos_ < src_.size() && src_[pos_] == '\'') ++pos_;
+    emit(Tok::kCharLit, "", start);
+  }
+
+  void identifier() {
+    const int start = line_;
+    std::string text;
+    while (pos_ < src_.size() && ident_char(src_[pos_]))
+      text += src_[pos_++];
+    // A raw-string prefix (R"..., u8R"..., LR"...) is part of the literal,
+    // not an identifier; hand control to the string lexer.
+    if (pos_ < src_.size() && src_[pos_] == '"' && !text.empty() &&
+        text.back() == 'R') {
+      raw_string();
+      return;
+    }
+    emit(Tok::kIdent, std::move(text), start);
+  }
+
+  void number() {
+    const int start = line_;
+    std::string text;
+    // pp-number: digits, idents, quotes-as-separators, and exponent signs.
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (ident_char(c) || c == '.' || c == '\'') {
+        text += c;
+        ++pos_;
+      } else if ((c == '+' || c == '-') && !text.empty() &&
+                 (text.back() == 'e' || text.back() == 'E' ||
+                  text.back() == 'p' || text.back() == 'P')) {
+        text += c;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    emit(Tok::kNumber, std::move(text), start);
+  }
+
+  void punct() {
+    const int start = line_;
+    const char c = src_[pos_];
+    // Only -> and :: matter as units to the checks (member access and
+    // qualified names); every other punctuator is emitted char-by-char.
+    if (c == '-' && peek(1) == '>') {
+      pos_ += 2;
+      emit(Tok::kPunct, "->", start);
+    } else if (c == ':' && peek(1) == ':') {
+      pos_ += 2;
+      emit(Tok::kPunct, "::", start);
+    } else {
+      ++pos_;
+      emit(Tok::kPunct, std::string(1, c), start);
+    }
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool line_has_code_ = false;
+  LexResult out_;
+};
+
+}  // namespace
+
+LexResult lex(std::string_view src) { return Lexer(src).run(); }
+
+}  // namespace iscope::lint

@@ -1,0 +1,55 @@
+// Token stream for iscope_lint (DESIGN.md Sec. 13).
+//
+// The project invariants the linter enforces -- banned identifiers, module
+// include edges, calls inside loop bodies -- all live at the token level,
+// so the analyzer carries its own ~200-line C++ lexer instead of an LLVM
+// dependency: comments and string/char literals are stripped (a banned name
+// inside a diagnostic string is not a violation), preprocessor directives
+// are captured as whole logical lines (continuations folded) for the
+// include parser, and everything else becomes identifier / number /
+// punctuator tokens with 1-based line numbers for diagnostics.
+//
+// Comments are not discarded: they come back in a side list so the
+// suppression parser can find `iscope-lint: allow(<check>)` markers and
+// know whether a comment had code before it on its line (same-line
+// suppression) or stood alone (suppresses the next line).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iscope::lint {
+
+enum class Tok {
+  kIdent,      ///< identifier or keyword
+  kNumber,     ///< numeric literal (int/float/hex, pp-number rules)
+  kString,     ///< string literal, contents dropped (incl. raw strings)
+  kCharLit,    ///< character literal, contents dropped
+  kPunct,      ///< punctuator; multi-char for -> :: only (all checks need)
+  kDirective,  ///< whole preprocessor logical line, continuations folded
+};
+
+struct Token {
+  Tok kind = Tok::kPunct;
+  std::string text;  ///< identifier spelling / punctuator / directive line
+  int line = 0;      ///< 1-based line of the token's first character
+};
+
+struct Comment {
+  int line = 0;        ///< 1-based line the comment starts on
+  std::string text;    ///< body without the // or /* */ fences
+  bool own_line = false;  ///< nothing but whitespace precedes it on its line
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Tokenize one translation unit. Never throws on malformed input: an
+/// unterminated literal or comment simply ends at EOF -- the linter's job
+/// is invariants, not syntax validation (the compiler owns that).
+LexResult lex(std::string_view src);
+
+}  // namespace iscope::lint

@@ -1,0 +1,152 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/json.hpp"
+
+namespace iscope::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+bool skipped_dir(const std::string& rel) {
+  // Build trees, VCS metadata, and checked-in lint/fuzz fixtures: fixture
+  // snippets deliberately violate the checks and are linted by
+  // tests/test_lint.cpp under virtual paths instead.
+  return rel.starts_with("build") || rel.starts_with(".git") ||
+         rel.starts_with("tests/data");
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof hex, "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Report run_tree(const std::string& root,
+                const std::vector<std::string>& paths) {
+  Report report;
+  std::vector<std::string> files;
+  const fs::path root_path(root);
+  for (const std::string& p : paths) {
+    const fs::path abs = root_path / p;
+    if (fs::is_regular_file(abs)) {
+      files.push_back(p);
+      continue;
+    }
+    if (!fs::is_directory(abs)) continue;
+    for (fs::recursive_directory_iterator it(abs), end; it != end; ++it) {
+      const std::string rel =
+          fs::relative(it->path(), root_path).generic_string();
+      if (it->is_directory() && skipped_dir(rel)) {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (it->is_regular_file() && lintable(it->path()) &&
+          !skipped_dir(rel))
+        files.push_back(rel);
+    }
+  }
+  // Deterministic report order regardless of directory enumeration order.
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  for (const std::string& rel : files) {
+    AnalysisResult r = analyze_source(rel, read_file(root_path / rel));
+    ++report.files_scanned;
+    report.suppressions_used += r.suppressions_used;
+    for (Finding& f : r.findings)
+      report.findings.push_back(std::move(f));
+  }
+  return report;
+}
+
+std::string to_json(const Report& report, const std::string& root) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"schema_version\": 1,\n";
+  out << "  \"tool\": \"iscope_lint\",\n";
+  out << "  \"root\": \"" << json_escape(root) << "\",\n";
+  out << "  \"files_scanned\": " << report.files_scanned << ",\n";
+  out << "  \"suppressions_used\": " << report.suppressions_used << ",\n";
+  out << "  \"counts\": {";
+  bool first = true;
+  for (const CheckInfo& c : check_catalog()) {
+    const auto n = std::count_if(
+        report.findings.begin(), report.findings.end(),
+        [&](const Finding& f) { return f.check == c.name; });
+    out << (first ? "" : ", ") << '"' << c.name << "\": " << n;
+    first = false;
+  }
+  out << "},\n";
+  out << "  \"findings\": [";
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    const Finding& f = report.findings[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"check\": \"" << json_escape(f.check) << "\", "
+        << "\"file\": \"" << json_escape(f.file) << "\", "
+        << "\"line\": " << f.line << ", "
+        << "\"message\": \"" << json_escape(f.message) << "\"}";
+  }
+  out << (report.findings.empty() ? "]" : "\n  ]") << "\n}\n";
+  return out.str();
+}
+
+void subtract_baseline(Report& report, const std::string& baseline_json) {
+  const json::Value doc = json::parse(baseline_json);
+  std::set<std::string> baselined;
+  if (const json::Value* arr = json::find(doc, "findings");
+      arr != nullptr && arr->is(json::Value::Kind::kArray)) {
+    for (const json::Value& f : arr->array) {
+      const json::Value* check = json::find(f, "check");
+      const json::Value* file = json::find(f, "file");
+      const json::Value* message = json::find(f, "message");
+      if (check != nullptr && file != nullptr && message != nullptr)
+        baselined.insert(check->string + "\x1f" + file->string + "\x1f" +
+                         message->string);
+    }
+  }
+  if (baselined.empty()) return;
+  std::erase_if(report.findings, [&](const Finding& f) {
+    return baselined.count(f.check + "\x1f" + f.file + "\x1f" + f.message) >
+           0;
+  });
+}
+
+}  // namespace iscope::lint

@@ -1,0 +1,34 @@
+// Tree driver for iscope_lint: directory walk, report assembly, JSON
+// rendering, and baseline subtraction (DESIGN.md Sec. 13).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "checks.hpp"
+
+namespace iscope::lint {
+
+struct Report {
+  std::vector<Finding> findings;  ///< unsuppressed, sorted by file/line
+  int files_scanned = 0;
+  int suppressions_used = 0;
+};
+
+/// Lint every C++ source under `paths` (relative to `root`). Walks
+/// .cpp/.hpp/.h files; skips build trees (build*/), .git, and
+/// tests/data/ (lint fixtures and fuzz corpora are inputs, not code).
+Report run_tree(const std::string& root,
+                const std::vector<std::string>& paths);
+
+/// Render the machine-readable report (schema_version 1, stable ordering).
+std::string to_json(const Report& report, const std::string& root);
+
+/// Findings listed in `baseline_json` (a committed report, possibly with
+/// an empty findings array) are removed from `report` -- they are known
+/// debt under review, not new violations. Matching ignores the line
+/// number so unrelated edits above a baselined finding do not churn it.
+/// Throws iscope::ParseError on malformed baseline files.
+void subtract_baseline(Report& report, const std::string& baseline_json);
+
+}  // namespace iscope::lint

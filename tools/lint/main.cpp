@@ -1,0 +1,123 @@
+// iscope_lint -- the project-invariant static analyzer (DESIGN.md Sec. 13).
+//
+//   iscope_lint [options] [paths...]
+//
+//     --root DIR       repo root the paths are relative to (default: .)
+//     --json FILE      write the machine-readable report ("-" = stdout)
+//     --baseline FILE  subtract a committed baseline report; only new
+//                      findings fail the run (tools/lint/baseline.json is
+//                      kept empty at merge)
+//     --list-checks    print the check catalog and exit
+//     -q, --quiet      suppress per-finding diagnostics (exit code only)
+//
+// Default paths: src tests bench examples. Exit 0 when clean, 1 when any
+// unsuppressed (and un-baselined) finding remains, 2 on usage/IO errors.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "lint.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--root DIR] [--json FILE] [--baseline FILE] "
+               "[--list-checks] [-q] [paths...]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string json_out;
+  std::string baseline;
+  bool quiet = false;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_out = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline = argv[++i];
+    } else if (arg == "--list-checks") {
+      for (const iscope::lint::CheckInfo& c :
+           iscope::lint::check_catalog())
+        std::printf("%-12s %s\n", c.name, c.summary);
+      return 0;
+    } else if (arg == "-q" || arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "iscope_lint: unknown option '%s'\n",
+                   arg.c_str());
+      return usage(argv[0]);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) paths = {"src", "tests", "bench", "examples"};
+
+  iscope::lint::Report report;
+  try {
+    report = iscope::lint::run_tree(root, paths);
+    if (!baseline.empty()) {
+      std::ifstream in(baseline);
+      if (!in) {
+        std::fprintf(stderr, "iscope_lint: cannot read baseline '%s'\n",
+                     baseline.c_str());
+        return 2;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      iscope::lint::subtract_baseline(report, buf.str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "iscope_lint: %s\n", e.what());
+    return 2;
+  }
+
+  if (!json_out.empty()) {
+    const std::string doc = iscope::lint::to_json(report, root);
+    if (json_out == "-") {
+      std::fputs(doc.c_str(), stdout);
+    } else {
+      std::ofstream out(json_out);
+      if (!out) {
+        std::fprintf(stderr, "iscope_lint: cannot write '%s'\n",
+                     json_out.c_str());
+        return 2;
+      }
+      out << doc;
+    }
+  }
+
+  if (!quiet) {
+    for (const iscope::lint::Finding& f : report.findings)
+      std::fprintf(stderr, "%s:%d: [%s] %s\n", f.file.c_str(), f.line,
+                   f.check.c_str(), f.message.c_str());
+  }
+  if (report.findings.empty()) {
+    if (!quiet)
+      std::fprintf(stderr,
+                   "iscope_lint: clean (%d files, %d suppressions used)\n",
+                   report.files_scanned, report.suppressions_used);
+    return 0;
+  }
+  std::fprintf(stderr, "iscope_lint: %zu finding%s in %d files\n",
+               report.findings.size(),
+               report.findings.size() == 1 ? "" : "s",
+               report.files_scanned);
+  return 1;
+}
