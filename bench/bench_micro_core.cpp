@@ -2,6 +2,8 @@
 // ablation of the voltage-extended Eq-1 power model.
 #include <benchmark/benchmark.h>
 
+#include <optional>
+
 #include "common/rng.hpp"
 #include "energy/forecast.hpp"
 #include "energy/wind_model.hpp"
@@ -151,6 +153,201 @@ void BM_OracleForecast(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OracleForecast);
+
+// --- SoA matcher kernels (DESIGN.md Sec. 14) -----------------------------
+//
+// The scalar-vs-SIMD story spans two *builds*: the committed
+// BENCH_micro_core.scalar.json capture comes from the default build and
+// BENCH_micro_core.simd.json from -DISCOPE_SIMD=ON. Within either build,
+// BM_FloorScanRowsScalar pins the portable kernel while BM_FloorScanRows
+// takes the dispatched one, so the SIMD capture carries its own in-build
+// baseline. Every bench exports a result checksum counter; equal checksums
+// across the two captures are the bit-identity evidence at kernel scope
+// (tests/test_match_equivalence.cpp proves it at schedule scope).
+
+/// One synthetic running-task population as MatcherColumns rows, sized and
+/// distributed like the fig8 steady state (4-CPU tasks, loose-to-tight
+/// deadlines), plus the matcher that solves over it.
+struct SoaFixture {
+  static ClusterConfig config() {
+    ClusterConfig cfg;
+    cfg.num_processors = 256;
+    return cfg;
+  }
+
+  explicit SoaFixture(std::size_t rows) : cluster(build_cluster(config())) {
+    knowledge.emplace(&cluster, KnowledgeSource::kBin);
+    matcher.emplace(&*knowledge, 1.4);
+    const std::size_t levels = knowledge->levels();
+    const double fmax = cluster.levels().freq_ghz.back();
+    for (const double f : cluster.levels().freq_ghz)
+      slowdown_ratio.push_back(fmax / f - 1.0);
+    cols.reset(levels, rows);
+    Rng rng(5);
+    std::vector<double> power_row(levels);
+    std::size_t next_proc = 0;
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double remaining = rng.uniform(100.0, 5000.0);
+      const double deadline = remaining * rng.uniform(2.0, 12.0);
+      const std::size_t row = cols.append(r, remaining, deadline);
+      for (std::size_t l = 0; l < levels; ++l) {
+        Watts p;
+        for (int k = 0; k < 4; ++k)
+          p += knowledge->power((next_proc + static_cast<std::size_t>(k)) %
+                                    cluster.size(),
+                                l);
+        power_row[l] = p.raw();
+      }
+      next_proc += 4;
+      cols.fill_row(row, rng.uniform(0.5, 1.0), slowdown_ratio.data(),
+                    power_row.data());
+    }
+  }
+
+  /// Mid-range wind budget: phase 2 is live (the budget binds) but
+  /// feasible, so full solves walk the greedy loop and incremental solves
+  /// land mid-trajectory -- the regime the per-epoch rematch lives in.
+  Watts binding_wind(MatchScratch& scratch) {
+    const MatchResult top = matcher->match_columns(cols, Watts{}, 0.0, scratch);
+    const std::size_t levels = cols.levels;
+    Watts floor_compute;
+    for (std::size_t r = 0; r < cols.count; ++r)
+      floor_compute += Watts{cols.power[r * levels + cols.floor[r]]};
+    return (top.demand + floor_compute * matcher->cooling_factor()) * 0.5;
+  }
+
+  Cluster cluster;
+  std::optional<Knowledge> knowledge;
+  std::optional<PowerMatcher> matcher;
+  std::vector<double> slowdown_ratio;
+  MatcherColumns cols;
+};
+
+void BM_FloorScanRowsScalar(benchmark::State& state) {
+  SoaFixture fx(static_cast<std::size_t>(state.range(0)));
+  const MatcherColumns& c = fx.cols;
+  std::vector<std::size_t> floor(c.count);
+  std::size_t checksum = 0;
+  for (auto _ : state) {
+    for (std::size_t r = 0; r < c.count; ++r) {
+      floor[r] = soa::floor_scan_scalar(c.slowdown.data() + r * c.levels,
+                                        c.levels, c.remaining[r],
+                                        c.deadline[r]);
+    }
+    checksum = 0;
+    for (const std::size_t f : floor) checksum += f;
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.counters["floor_checksum"] = static_cast<double>(checksum);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FloorScanRowsScalar)->Arg(64)->Arg(512);
+
+void BM_FloorScanRows(benchmark::State& state) {
+  SoaFixture fx(static_cast<std::size_t>(state.range(0)));
+  const MatcherColumns& c = fx.cols;
+  std::vector<std::size_t> floor(c.count);
+  std::size_t checksum = 0;
+  for (auto _ : state) {
+    soa::floor_scan_rows(c.slowdown.data(), c.levels, c.remaining.data(),
+                         c.deadline.data(), 0.0, c.count, floor.data());
+    checksum = 0;
+    for (const std::size_t f : floor) checksum += f;
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.counters["floor_checksum"] = static_cast<double>(checksum);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FloorScanRows)->Arg(64)->Arg(512);
+
+void BM_BestFromFill(benchmark::State& state) {
+  SoaFixture fx(static_cast<std::size_t>(state.range(0)));
+  MatcherColumns& c = fx.cols;
+  std::uint8_t best[256];  // levels <= 255 by MatcherColumns::reset
+  const std::size_t levels = c.levels;
+  if (levels == 0 || levels > 255) return;  // unreachable; bounds the
+                                            // write for flow analysis
+  std::size_t checksum = 0;
+  for (auto _ : state) {
+    checksum = 0;
+    for (std::size_t r = 0; r < c.count; ++r) {
+      soa::best_from_fill(c.power.data() + r * levels,
+                          c.slowdown.data() + r * levels, levels, best);
+      for (std::size_t l = 0; l < levels; ++l) checksum += best[l];
+    }
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.counters["best_from_checksum"] = static_cast<double>(checksum);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_BestFromFill)->Arg(64)->Arg(512);
+
+// Full solve vs incremental delta-rematch over the same wind-budget walk.
+// Arg is the per-epoch wind delta in percent of the binding budget: small
+// deltas re-position the cached trajectory cursor by a step or two, large
+// ones rewind/replay long stretches -- the incremental path must win in
+// both regimes, and its demand checksum must equal the full solve's (the
+// captures' counters prove the replay exact at bench scope too).
+std::vector<Watts> wind_walk(Watts base, double delta_pct) {
+  Rng rng(6);
+  std::vector<Watts> winds;
+  for (int i = 0; i < 64; ++i)
+    winds.push_back(base * (1.0 + rng.uniform(-delta_pct, delta_pct) / 100.0));
+  return winds;
+}
+
+void BM_RematchFull(benchmark::State& state) {
+  SoaFixture fx(128);
+  MatchScratch scratch;
+  const std::vector<Watts> winds =
+      wind_walk(fx.binding_wind(scratch), static_cast<double>(state.range(0)));
+  double checksum = 0.0;
+  for (auto _ : state) {
+    checksum = 0.0;
+    for (const Watts wind : winds) {
+      const MatchResult r =
+          fx.matcher->match_columns(fx.cols, wind, 0.0, scratch);
+      checksum += r.demand.raw();
+    }
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.counters["demand_checksum"] = checksum;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(winds.size()));
+}
+BENCHMARK(BM_RematchFull)->Arg(1)->Arg(10)->Arg(50);
+
+void BM_RematchIncremental(benchmark::State& state) {
+  SoaFixture fx(128);
+  MatchScratch scratch;
+  const std::vector<Watts> winds =
+      wind_walk(fx.binding_wind(scratch), static_cast<double>(state.range(0)));
+  IncrementalMatchState inc;
+  fx.matcher->match_columns(fx.cols, winds.back(), 0.0, scratch, &inc);
+  std::int64_t fallbacks = 0;
+  double checksum = 0.0;
+  for (auto _ : state) {
+    checksum = 0.0;
+    for (const Watts wind : winds) {
+      MatchResult r;
+      if (!fx.matcher->match_incremental(fx.cols, wind, 0.0, scratch, inc,
+                                         r)) {
+        ++fallbacks;
+        r = fx.matcher->match_columns(fx.cols, wind, 0.0, scratch, &inc);
+      }
+      checksum += r.demand.raw();
+    }
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.counters["demand_checksum"] = checksum;
+  state.counters["full_solve_fallbacks"] = static_cast<double>(fallbacks);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(winds.size()));
+}
+BENCHMARK(BM_RematchIncremental)->Arg(1)->Arg(10)->Arg(50);
 
 void BM_FullSimulation(benchmark::State& state) {
   // End-to-end throughput of the datacenter simulator: one scheme over a

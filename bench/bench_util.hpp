@@ -9,6 +9,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <streambuf>
 #include <utility>
 #include <vector>
@@ -139,6 +140,13 @@ inline TelemetrySummary collect_telemetry_summary() {
 /// block, and any value other than "1" is treated as a directory to drop
 /// the full report bundle (metrics.prom/metrics.json/samples.csv/
 /// trace.json) into.
+///
+/// ISCOPE_BENCH_PERF=1 arms the hardware/OS counter probe: the capture
+/// gains the schema-v3 perf block covering exactly the timed repeats
+/// (instructions/cycles/branch-misses via perf_event_open, minor faults
+/// and peak RSS via rusage). Counter absence is graceful -- inside a
+/// container that refuses perf_event_open the hardware fields read -1 and
+/// the capture is still valid.
 template <typename Fn>
 int run_bench(const char* name, Fn fn) {
   const char* telem = std::getenv("ISCOPE_TELEMETRY");
@@ -164,8 +172,17 @@ int run_bench(const char* name, Fn fn) {
   const std::size_t repeats =
       std::max<std::size_t>(1, env_count("ISCOPE_BENCH_REPEAT", 3));
 
+  const char* perf_env = std::getenv("ISCOPE_BENCH_PERF");
+  const bool perf_on = perf_env != nullptr && *perf_env != '\0' &&
+                       std::strcmp(perf_env, "0") != 0;
+
   for (std::size_t i = 0; i < report.warmup; ++i) fn();
   if (telemetry_on) telemetry::reset_global_telemetry();
+  std::optional<PerfProbe> probe;
+  if (perf_on) {
+    probe.emplace();
+    probe->start();
+  }
   for (std::size_t i = 0; i < repeats; ++i) {
     CoutSilencer quiet;
     const auto start = std::chrono::steady_clock::now();
@@ -175,6 +192,7 @@ int run_bench(const char* name, Fn fn) {
         std::chrono::duration<double>(stop - start).count());
     if (i == 0) report.counters = counters;
   }
+  if (probe.has_value()) report.perf = probe->stop();
   report.peak_rss_bytes = peak_rss_bytes();
   if (telemetry_on) {
     report.telemetry = collect_telemetry_summary();

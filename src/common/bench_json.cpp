@@ -1,10 +1,15 @@
 #include "common/bench_json.hpp"
 
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
 #include <sys/resource.h>
+#include <sys/syscall.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cctype>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <numeric>
@@ -44,6 +49,79 @@ long peak_rss_bytes() {
 
 namespace {
 
+/// One self-profiling counter fd, or -1 when the kernel refuses (seccomp,
+/// perf_event_paranoid, missing PMU) -- absence, not an error.
+int open_perf_counter(std::uint32_t type, std::uint64_t config) {
+  perf_event_attr attr{};
+  attr.size = sizeof attr;
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0UL));
+}
+
+long long read_perf_counter(int fd) {
+  if (fd < 0) return -1;
+  long long value = 0;
+  if (read(fd, &value, sizeof value) != sizeof value) return -1;
+  return value;
+}
+
+void perf_ioctl_all(const int (&fds)[3], unsigned long request) {
+  for (const int fd : fds)
+    if (fd >= 0) ioctl(fd, request, 0);
+}
+
+}  // namespace
+
+PerfProbe::PerfProbe()
+    : fd_instructions_(open_perf_counter(PERF_TYPE_HARDWARE,
+                                         PERF_COUNT_HW_INSTRUCTIONS)),
+      fd_cycles_(open_perf_counter(PERF_TYPE_HARDWARE,
+                                   PERF_COUNT_HW_CPU_CYCLES)),
+      fd_branch_misses_(open_perf_counter(PERF_TYPE_HARDWARE,
+                                          PERF_COUNT_HW_BRANCH_MISSES)) {}
+
+PerfProbe::~PerfProbe() {
+  const int fds[3] = {fd_instructions_, fd_cycles_, fd_branch_misses_};
+  for (const int fd : fds)
+    if (fd >= 0) close(fd);
+}
+
+bool PerfProbe::hardware_available() const {
+  return fd_instructions_ >= 0 || fd_cycles_ >= 0 || fd_branch_misses_ >= 0;
+}
+
+void PerfProbe::start() {
+  rusage usage{};
+  minor_faults_at_start_ =
+      getrusage(RUSAGE_SELF, &usage) == 0 ? usage.ru_minflt : 0;
+  const int fds[3] = {fd_instructions_, fd_cycles_, fd_branch_misses_};
+  perf_ioctl_all(fds, PERF_EVENT_IOC_RESET);
+  perf_ioctl_all(fds, PERF_EVENT_IOC_ENABLE);
+}
+
+PerfSummary PerfProbe::stop() {
+  const int fds[3] = {fd_instructions_, fd_cycles_, fd_branch_misses_};
+  perf_ioctl_all(fds, PERF_EVENT_IOC_DISABLE);
+  PerfSummary p;
+  p.present = true;
+  p.instructions = read_perf_counter(fd_instructions_);
+  p.cycles = read_perf_counter(fd_cycles_);
+  p.branch_misses = read_perf_counter(fd_branch_misses_);
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    p.minor_faults = usage.ru_minflt - minor_faults_at_start_;
+    p.peak_rss_bytes = usage.ru_maxrss * 1024L;
+  }
+  return p;
+}
+
+namespace {
+
 std::string json_number(double v) {
   if (!std::isfinite(v)) return "0";
   char buf[32];
@@ -72,9 +150,10 @@ std::string json_string(const std::string& s) {
 
 std::string to_json(const BenchReport& report) {
   std::ostringstream out;
+  const int version =
+      report.perf.present ? 3 : (report.telemetry.present ? 2 : 1);
   out << "{\n"
-      << "  \"schema_version\": " << (report.telemetry.present ? 2 : 1)
-      << ",\n"
+      << "  \"schema_version\": " << version << ",\n"
       << "  \"name\": " << json_string(report.name) << ",\n";
   if (!report.label.empty())
     out << "  \"label\": " << json_string(report.label) << ",\n";
@@ -114,6 +193,17 @@ std::string to_json(const BenchReport& report) {
       out << (i ? ", " : "") << json_number(t.worker_busy_fraction[i]);
     out << "]\n  }";
   }
+  // The perf block is the schema-v3 addition; -1 marks a hardware counter
+  // the kernel refused to open (the rusage half is always real).
+  if (report.perf.present) {
+    const PerfSummary& p = report.perf;
+    out << ",\n  \"perf\": {\n"
+        << "    \"instructions\": " << p.instructions << ",\n"
+        << "    \"cycles\": " << p.cycles << ",\n"
+        << "    \"branch_misses\": " << p.branch_misses << ",\n"
+        << "    \"minor_faults\": " << p.minor_faults << ",\n"
+        << "    \"peak_rss_bytes\": " << p.peak_rss_bytes << "\n  }";
+  }
   out << "\n}\n";
   return out.str();
 }
@@ -144,7 +234,8 @@ std::string validate_bench_json(const std::string& text) {
     if (!err.empty()) return err;
   }
   const double version = json::find(root, "schema_version")->number;
-  if (version != 1.0 && version != 2.0) return "unsupported schema_version";
+  if (version != 1.0 && version != 2.0 && version != 3.0)
+    return "unsupported schema_version";
   // Optional capture tag; must be a string when present.
   if (const json::Value* label = json::find(root, "label");
       label != nullptr && label->kind != Kind::kString)
@@ -168,14 +259,18 @@ std::string validate_bench_json(const std::string& text) {
   for (const json::Value& s : samples.array)
     if (s.kind != Kind::kNumber) return "wall_s.samples holds a non-number";
 
-  // Schema v2 must carry the telemetry block; v1 must not -- a v1 document
-  // with a telemetry key is a writer bug, not an extension.
+  // Block/version pairing. Telemetry: v1 must not carry it, v2 must, v3
+  // may (a perf capture taken with telemetry off has no telemetry block).
+  // Perf: exactly the v3 marker -- required there, forbidden below. A v1
+  // document with a telemetry key is a writer bug, not an extension.
   const json::Value* telemetry = json::find(root, "telemetry");
   if (version == 1.0 && telemetry != nullptr)
     return "schema v1 must not contain a telemetry block";
-  if (version == 2.0) {
-    if (telemetry == nullptr || telemetry->kind != Kind::kObject)
-      return "schema v2 requires a telemetry object";
+  if (version == 2.0 && telemetry == nullptr)
+    return "schema v2 requires a telemetry object";
+  if (telemetry != nullptr) {
+    if (telemetry->kind != Kind::kObject)
+      return "key \"telemetry\" has the wrong type";
     for (const auto& [key, kind] :
          {std::pair<const char*, Kind>{"match_span_s", Kind::kNumber},
           {"rematch_span_s", Kind::kNumber},
@@ -190,6 +285,24 @@ std::string validate_bench_json(const std::string& text) {
          json::find(*telemetry, "worker_busy_fraction")->array)
       if (f.kind != Kind::kNumber || f.number < 0.0 || f.number > 1.0)
         return "worker_busy_fraction holds a value outside [0, 1]";
+  }
+
+  const json::Value* perf = json::find(root, "perf");
+  if (version < 3.0 && perf != nullptr)
+    return "only schema v3 may contain a perf block";
+  if (version == 3.0) {
+    if (perf == nullptr || perf->kind != Kind::kObject)
+      return "schema v3 requires a perf object";
+    for (const char* key : {"instructions", "cycles", "branch_misses",
+                            "minor_faults", "peak_rss_bytes"}) {
+      const std::string perr = json::check_key(*perf, key, Kind::kNumber);
+      if (!perr.empty()) return perr;
+    }
+    // Hardware counters are either the -1 absence sentinel or an actual
+    // (non-negative) count; anything else marks a corrupted capture.
+    for (const char* key : {"instructions", "cycles", "branch_misses"})
+      if (json::find(*perf, key)->number < -1.0)
+        return std::string("perf.") + key + " is below the -1 sentinel";
   }
   return "";
 }

@@ -51,6 +51,49 @@ struct TelemetrySummary {
   std::vector<double> worker_busy_fraction;
 };
 
+/// Optional hardware/OS counter block attached to a capture when the bench
+/// ran with ISCOPE_BENCH_PERF=1. Presence bumps the document to schema v3;
+/// the v1/v2 fields are unchanged either way, so perf-off captures remain
+/// byte-identical to historical documents. Hardware counters come from
+/// perf_event_open and degrade gracefully: on kernels or containers that
+/// refuse the syscall (seccomp, perf_event_paranoid, no PMU) the three
+/// values stay -1 ("unavailable"), while the rusage-sourced fields are
+/// always filled.
+struct PerfSummary {
+  bool present = false;          ///< emit the block (and schema v3)?
+  long long instructions = -1;   ///< retired instructions; -1 = unavailable
+  long long cycles = -1;         ///< CPU cycles; -1 = unavailable
+  long long branch_misses = -1;  ///< branch mispredictions; -1 = unavailable
+  long long minor_faults = 0;    ///< rusage ru_minflt delta over the region
+  long peak_rss_bytes = 0;       ///< rusage ru_maxrss at stop
+};
+
+/// Counter probe for the timed region of a bench run. Opens one
+/// perf_event_open fd per hardware counter at construction; absence is not
+/// an error -- the probe stays usable and reports -1 for every counter it
+/// could not open, so captures taken inside restricted containers simply
+/// carry the rusage half of the block.
+class PerfProbe {
+ public:
+  PerfProbe();
+  ~PerfProbe();
+  PerfProbe(const PerfProbe&) = delete;
+  PerfProbe& operator=(const PerfProbe&) = delete;
+
+  /// Reset + enable the hardware counters, snapshot the rusage baseline.
+  void start();
+  /// Disable and read everything; returns a present=true summary.
+  PerfSummary stop();
+  /// True when at least one hardware counter opened.
+  bool hardware_available() const;
+
+ private:
+  int fd_instructions_ = -1;
+  int fd_cycles_ = -1;
+  int fd_branch_misses_ = -1;
+  long minor_faults_at_start_ = 0;
+};
+
 /// One benchmark capture: `repeats` timed wall-clock samples after
 /// `warmup` untimed iterations.
 struct BenchReport {
@@ -66,6 +109,7 @@ struct BenchReport {
   BenchCounters counters;
   long peak_rss_bytes = 0;     ///< of the whole process, at report time
   TelemetrySummary telemetry;  ///< schema v2 block when .present
+  PerfSummary perf;            ///< schema v3 block when .present
 
   double wall_mean_s() const;
   double wall_min_s() const;

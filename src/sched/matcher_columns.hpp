@@ -1,0 +1,152 @@
+// Structure-of-arrays state for the matcher hot path (DESIGN.md Sec. 14).
+//
+// The AoS matcher view (`std::vector<ActiveTask>`) scatters each task's
+// remaining work, deadline and per-level power behind a pointer chase; the
+// per-epoch rematch walks all of it twice (floor scan + energy argmin).
+// MatcherColumns keeps the same data as contiguous columns, one row per
+// running task, in *running-list order* -- the matcher's floating-point
+// sums and equal-saving heap tiebreaks are order-sensitive, so row order
+// mirroring the intrusive run list is what keeps the SoA path bit-identical
+// to the AoS one.
+//
+// Row lifecycle: `append` at task start (link_running order), compacting
+// order-preserving `remove` at completion/requeue, `refresh_derived` when
+// the Knowledge generation moves (power rows changed under the task).
+// Derived per-row tables:
+//
+//  * slowdown[row][l]  -- Eq-3 slowdown, gamma * (fmax/f_l - 1) + 1.0,
+//    residency-constant (gamma and the ratio table never change);
+//  * power[row][l]     -- the task's IT power per level, a straight copy of
+//    the sim's power_table_ row (generation-tracked);
+//  * best_from[row][f] -- the energy-optimal level for every possible
+//    deadline floor f, precomputed by suffix scan (soa_kernels.hpp). The
+//    per-rematch "energy argmin over levels" collapses to one table read.
+//
+// All storage is reserved up front (`reset(levels, max_rows)`), and
+// append/remove only shift within reserved capacity, so steady-state
+// maintenance is allocation-free (tests/test_rematch_alloc.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sched/soa_kernels.hpp"
+
+namespace iscope {
+
+struct MatcherColumns {
+  static constexpr std::size_t kNoRow = static_cast<std::size_t>(-1);
+
+  std::size_t levels = 0;  ///< DVFS level count (row stride)
+  std::size_t count = 0;   ///< live rows
+
+  // Per-row scalars (index = row).
+  std::vector<std::size_t> task;   ///< owning simulator task index
+  std::vector<double> remaining;   ///< work left, seconds-at-Fmax
+  std::vector<double> deadline;    ///< absolute deadline [s]
+  std::vector<std::size_t> floor;  ///< matcher scratch: deadline floor
+  std::vector<std::size_t> level;  ///< matcher output: assigned level
+
+  // Per-row level-indexed blocks (index = row * levels + l).
+  std::vector<double> slowdown;        ///< Eq-3 slowdown per level
+  std::vector<double> power;           ///< IT power per level, raw watts
+  std::vector<std::uint8_t> best_from; ///< energy-optimal level per floor
+
+  /// Reset to empty and reserve for `max_rows` rows so steady-state
+  /// append/remove stays allocation-free. Keeps existing capacity.
+  void reset(std::size_t level_count, std::size_t max_rows) {
+    ISCOPE_CHECK_ARG(level_count > 0 && level_count <= 255,
+                     "MatcherColumns: level count must fit the uint8 "
+                     "best_from table");
+    levels = level_count;
+    count = 0;
+    task.clear();
+    remaining.clear();
+    deadline.clear();
+    floor.clear();
+    level.clear();
+    slowdown.clear();
+    power.clear();
+    best_from.clear();
+    task.reserve(max_rows);
+    remaining.reserve(max_rows);
+    deadline.reserve(max_rows);
+    floor.reserve(max_rows);
+    level.reserve(max_rows);
+    slowdown.reserve(max_rows * levels);
+    power.reserve(max_rows * levels);
+    best_from.reserve(max_rows * levels);
+  }
+
+  /// Append a row at the end (running-list append order). The caller fills
+  /// the derived blocks via `fill_row` right after. Returns the row index.
+  std::size_t append(std::size_t task_idx, double remaining_s,
+                     double deadline_s) {
+    task.push_back(task_idx);
+    remaining.push_back(remaining_s);
+    deadline.push_back(deadline_s);
+    floor.push_back(0);
+    level.push_back(0);
+    slowdown.resize(slowdown.size() + levels, 0.0);
+    power.resize(power.size() + levels, 0.0);
+    best_from.resize(best_from.size() + levels, 0);
+    return count++;
+  }
+
+  /// Compute the derived blocks of one row: the Eq-3 slowdown per level
+  /// (identical expression to PowerMatcher::slowdown), the power row
+  /// (copied from the sim's generation-tracked table), and the
+  /// energy-optimal-per-floor table.
+  void fill_row(std::size_t row, double gamma, const double* slowdown_ratio,
+                const double* power_row) {
+    double* srow = slowdown.data() + row * levels;
+    double* prow = power.data() + row * levels;
+    for (std::size_t l = 0; l < levels; ++l) {
+      srow[l] = gamma * slowdown_ratio[l] + 1.0;
+      prow[l] = power_row[l];
+    }
+    soa::best_from_fill(prow, srow, levels, best_from.data() + row * levels);
+  }
+
+  /// Refresh the power-derived blocks of one row after a Knowledge
+  /// generation bump (slowdown is residency-constant and left alone).
+  void refresh_power(std::size_t row, const double* power_row) {
+    double* prow = power.data() + row * levels;
+    for (std::size_t l = 0; l < levels; ++l) prow[l] = power_row[l];
+    soa::best_from_fill(prow, slowdown.data() + row * levels, levels,
+                        best_from.data() + row * levels);
+  }
+
+  /// Order-preserving removal: rows after `row` shift down one slot (the
+  /// SoA analogue of the intrusive list's middle unlink). O(rows) moves,
+  /// no allocation. Callers must re-point their row handles for every
+  /// shifted task (the returned row indices of `task[row..]` moved by -1).
+  void remove(std::size_t row) {
+    const auto r = static_cast<std::ptrdiff_t>(row);
+    task.erase(task.begin() + r);
+    remaining.erase(remaining.begin() + r);
+    deadline.erase(deadline.begin() + r);
+    floor.erase(floor.begin() + r);
+    level.erase(level.begin() + r);
+    const auto b = static_cast<std::ptrdiff_t>(row * levels);
+    const auto e = static_cast<std::ptrdiff_t>((row + 1) * levels);
+    slowdown.erase(slowdown.begin() + b, slowdown.begin() + e);
+    power.erase(power.begin() + b, power.begin() + e);
+    best_from.erase(best_from.begin() + b, best_from.begin() + e);
+    --count;
+  }
+
+  const double* slowdown_row(std::size_t row) const {
+    return slowdown.data() + row * levels;
+  }
+  const double* power_row(std::size_t row) const {
+    return power.data() + row * levels;
+  }
+  const std::uint8_t* best_from_row(std::size_t row) const {
+    return best_from.data() + row * levels;
+  }
+};
+
+}  // namespace iscope

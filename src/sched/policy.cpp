@@ -58,6 +58,75 @@ std::optional<std::vector<std::size_t>> PlacementPolicy::choose_efficient(
                                   idle.begin() + static_cast<std::ptrdiff_t>(n));
 }
 
+bool PlacementPolicy::choose_efficient_bits(
+    std::size_t n, const std::uint64_t* idle_rank_bits, bool forced,
+    std::vector<std::size_t>& out) const {
+  // Pop idle ranks best-first out of the bitset: the first n are exactly
+  // the pick choose_efficient's partial_sort produces (ranks are a strict
+  // total order), already in ascending-rank order. Non-forced placements
+  // only look inside the efficient pool -- hitting a rank at or past
+  // pool_limit_ before collecting n is the same rejection
+  // choose_efficient derives from rank[pick[n - 1]] >= pool_limit_.
+  const std::vector<std::size_t>& order = knowledge_->efficiency_order();
+  const std::size_t limit = forced ? order.size() : pool_limit_;
+  const std::size_t words = (order.size() + 63) / 64;
+  out.clear();
+  for (std::size_t w = 0; w < words && w * 64 < limit; ++w) {
+    std::uint64_t bits = idle_rank_bits[w];
+    while (bits != 0) {
+      const std::size_t r =
+          w * 64 + static_cast<std::size_t>(__builtin_ctzll(bits));
+      if (r >= limit) return false;
+      bits &= bits - 1;
+      out.push_back(order[r]);
+      if (out.size() == n) return true;
+    }
+  }
+  return false;
+}
+
+bool PlacementPolicy::fair_defers(const PlacementContext& ctx) const {
+  // Wind scarce: defer deferrable work until wind returns. Stop deferring
+  // once the backlog itself threatens deadlines, or when the forecast says
+  // the wind will not come back in time.
+  const bool forecast_promises_wind =
+      ctx.forecast_mean >=
+      kDeferForecastFraction * std::max(ctx.current_demand, Watts{1.0});
+  return !ctx.forced && ctx.slack_s > kMinDeferSlackS &&
+         ctx.queue_pressure < kMaxDeferBacklog && forecast_promises_wind;
+}
+
+bool PlacementPolicy::choose_soa(std::size_t n,
+                                 const std::uint64_t* idle_rank_bits,
+                                 const std::vector<std::size_t>& idle_by_busy,
+                                 const PlacementContext& ctx,
+                                 std::vector<std::size_t>& out) {
+  ISCOPE_CHECK_ARG(n > 0, "PlacementPolicy: task needs at least one CPU");
+  switch (rule_) {
+    case PlacementRule::kRandom:
+      break;  // unsupported: falls through to the error below
+    case PlacementRule::kEfficiency:
+      return choose_efficient_bits(n, idle_rank_bits, ctx.forced, out);
+    case PlacementRule::kFair: {
+      if (!ctx.has_wind)
+        return choose_efficient_bits(n, idle_rank_bits, ctx.forced, out);
+      if (!ctx.wind_abundant) {
+        if (fair_defers(ctx)) return false;
+        return choose_efficient_bits(n, idle_rank_bits, /*forced=*/true, out);
+      }
+      // Abundant wind: the least-used idle CPUs are the maintained list's
+      // prefix (busy time is frozen while a processor sits idle).
+      ISCOPE_CHECK_ARG(idle_by_busy.size() >= n,
+                       "PlacementPolicy: Fair needs the busy-ordered idle "
+                       "list");
+      out.assign(idle_by_busy.begin(),
+                 idle_by_busy.begin() + static_cast<std::ptrdiff_t>(n));
+      return true;
+    }
+  }
+  throw InvalidArgument("choose_soa: unsupported placement rule");
+}
+
 std::optional<std::vector<std::size_t>> PlacementPolicy::choose(
     std::size_t n, std::vector<std::size_t>& idle,
     const PlacementContext& ctx) {
@@ -81,16 +150,9 @@ std::optional<std::vector<std::size_t>> PlacementPolicy::choose(
     case PlacementRule::kFair: {
       if (!ctx.has_wind) return choose_efficient(n, idle, ctx.forced);
       if (!ctx.wind_abundant) {
-        // Wind scarce: defer deferrable work until wind returns; run only
-        // deadline-forced or tight-slack tasks, on the most efficient idle
-        // CPUs. Stop deferring once the backlog itself threatens deadlines,
-        // or when the forecast says the wind will not come back in time.
-        const bool forecast_promises_wind =
-            ctx.forecast_mean >=
-            kDeferForecastFraction * std::max(ctx.current_demand, Watts{1.0});
-        if (!ctx.forced && ctx.slack_s > kMinDeferSlackS &&
-            ctx.queue_pressure < kMaxDeferBacklog && forecast_promises_wind)
-          return std::nullopt;
+        // Wind scarce: run only deadline-forced or tight-slack tasks, on
+        // the most efficient idle CPUs (fair_defers holds the thresholds).
+        if (fair_defers(ctx)) return std::nullopt;
         return choose_efficient(n, idle, /*forced=*/true);
       }
       // Abundant wind: balance lifetime -- least-used idle CPUs, start now.

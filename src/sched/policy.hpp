@@ -103,12 +103,34 @@ class PlacementPolicy {
                                                  std::vector<std::size_t>& idle,
                                                  const PlacementContext& ctx);
 
+  /// SoA fast path for Effi and Fair: no idle-vector copy, no per-task
+  /// partial_sort. `idle_rank_bits` is a rank-indexed idle bitset -- bit r
+  /// (word r/64, bit r%64) set means the processor with efficiency rank r
+  /// is idle -- so the best-rank-first pick is a ctz scan over a handful
+  /// of words instead of an O(procs) walk. `idle_by_busy` is the idle set
+  /// ordered by (busy time, id) and is consulted only by Fair under
+  /// abundant wind. The caller guarantees at least `n` processors are
+  /// idle. On success fills `out` (the same processors, in the same
+  /// order, choose() would have returned -- the scheduler-equivalence
+  /// suite holds both paths to bit-identical runs) and returns true;
+  /// false keeps the task waiting. kRandom is not supported here: its
+  /// draws consume the RNG against the scratch vector's exact layout, so
+  /// it keeps the legacy path.
+  bool choose_soa(std::size_t n, const std::uint64_t* idle_rank_bits,
+                  const std::vector<std::size_t>& idle_by_busy,
+                  const PlacementContext& ctx, std::vector<std::size_t>& out);
+
   /// Efficiency rank of a processor (0 = most efficient).
   std::size_t efficiency_rank(std::size_t proc) const;
 
  private:
   std::optional<std::vector<std::size_t>> choose_efficient(
       std::size_t n, std::vector<std::size_t>& idle, bool forced);
+  bool choose_efficient_bits(std::size_t n, const std::uint64_t* idle_rank_bits,
+                             bool forced, std::vector<std::size_t>& out) const;
+  /// Fair's wind-scarce deferral predicate (shared by both paths so the
+  /// defer thresholds live in one place).
+  bool fair_defers(const PlacementContext& ctx) const;
 
   const Knowledge* knowledge_;  // non-owning
   PlacementRule rule_;

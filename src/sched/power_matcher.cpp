@@ -140,6 +140,183 @@ MatchResult PowerMatcher::match(std::vector<ActiveTask>& tasks,
   return match(tasks, wind_avail, now_s, scratch);
 }
 
+MatchResult PowerMatcher::match_columns(MatcherColumns& cols, Watts wind_avail,
+                                        double now_s, MatchScratch& scratch,
+                                        IncrementalMatchState* inc) const {
+  ISCOPE_CHECK_ARG(wind_avail.raw() >= 0.0, "PowerMatcher: negative wind");
+
+  MatchResult result;
+  if (inc != nullptr) inc->invalidate();
+  if (cols.count == 0) return result;
+  const std::size_t levels = cols.levels;
+
+  // Phase 1: batched deadline-floor scan (the vectorized kernel), then the
+  // energy-optimal level is one best_from table read per row. Sums stay
+  // scalar and in row order -- reordering them would change the rounding.
+  soa::floor_scan_rows(cols.slowdown.data(), levels, cols.remaining.data(),
+                       cols.deadline.data(), now_s, cols.count,
+                       cols.floor.data());
+  Watts compute;
+  for (std::size_t r = 0; r < cols.count; ++r) {
+    const std::size_t l = cols.best_from[r * levels + cols.floor[r]];
+    cols.level[r] = l;
+    compute += Watts{cols.power[r * levels + l]};
+  }
+  Watts floor_compute;
+  for (std::size_t r = 0; r < cols.count; ++r)
+    floor_compute += Watts{cols.power[r * levels + cols.floor[r]]};
+  const Watts compute0 = compute;
+
+  // Phase 2: identical greedy to `match`, over rows instead of views.
+  // With caching on, the greedy builds and drives inc->heap in place:
+  // after the loop it is exactly the down-step heap at the deepest
+  // materialized state, which is what the extension path needs -- no
+  // copy. A gated-off phase 2 builds no heap at all (heap_built stays
+  // false; most structural rematches are invalidated before any fitting
+  // epoch could use it).
+  const bool fitting =
+      wind_avail.raw() > 0.0 && wind_avail >= floor_compute * cooling_factor_;
+  if (fitting) {
+    std::vector<MatchScratch::Step>& heap =
+        (inc != nullptr) ? inc->heap : scratch.heap;
+    heap.clear();
+    auto push_step = [&](std::size_t r) {
+      const std::size_t l = cols.level[r];
+      if (l == 0 || l <= cols.floor[r]) return;
+      const Watts saving = Watts{cols.power[r * levels + l]} -
+                           Watts{cols.power[r * levels + l - 1]};
+      heap.push_back(MatchScratch::Step{saving, r, l - 1});
+      std::push_heap(heap.begin(), heap.end(), StepLess{});
+    };
+    for (std::size_t r = 0; r < cols.count; ++r) push_step(r);
+
+    while (compute * cooling_factor_ > wind_avail && !heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), StepLess{});
+      const MatchScratch::Step step = heap.back();
+      heap.pop_back();
+      if (cols.level[step.task] != step.to_level + 1) continue;
+      cols.level[step.task] = step.to_level;
+      compute -= step.saving;
+      ++result.steps;
+      if (inc != nullptr)
+        inc->log.push_back(IncrementalMatchState::AppliedStep{
+            step.saving, compute, step.task, step.to_level});
+      push_step(step.task);
+    }
+  }
+
+  if (inc != nullptr) {
+    inc->valid = true;
+    inc->heap_built = fitting;
+    inc->compute0 = compute0;
+    inc->floor_compute = floor_compute;
+    inc->cursor = inc->log.size();
+  }
+  result.compute = compute;
+  result.demand = compute * cooling_factor_;
+  return result;
+}
+
+bool PowerMatcher::match_incremental(MatcherColumns& cols, Watts wind_avail,
+                                     double now_s, MatchScratch& scratch,
+                                     IncrementalMatchState& inc,
+                                     MatchResult& out) const {
+  ISCOPE_CHECK_ARG(wind_avail.raw() >= 0.0, "PowerMatcher: negative wind");
+  if (!inc.valid || cols.count == 0) return false;
+  const std::size_t levels = cols.levels;
+
+  // Frontier check: the cached trajectory was built on cols.floor. Progress
+  // shrinks remaining work and slack together, so floors are usually
+  // stable between supply epochs; any movement means phase 1 itself would
+  // differ and the caller must re-solve.
+  scratch.floor.resize(cols.count);
+  soa::floor_scan_rows(cols.slowdown.data(), levels, cols.remaining.data(),
+                       cols.deadline.data(), now_s, cols.count,
+                       scratch.floor.data());
+  for (std::size_t r = 0; r < cols.count; ++r)
+    if (scratch.floor[r] != cols.floor[r]) return false;
+
+  // Where along the canonical greedy trajectory does this budget stop?
+  // A fresh solve stops at the first state whose demand fits under the
+  // wind (or when the heap runs dry). compute is non-increasing along the
+  // log and rounding is monotone, so "fits" is monotone in the state
+  // index: binary search replaces the walk.
+  std::size_t target = 0;
+  bool extend = false;
+  if (wind_avail.raw() > 0.0 &&
+      wind_avail >= inc.floor_compute * cooling_factor_) {
+    if (inc.compute0 * cooling_factor_ > wind_avail) {
+      std::size_t lo = 0;
+      std::size_t hi = inc.log.size();
+      while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        if (inc.log[mid].compute_after * cooling_factor_ <= wind_avail)
+          hi = mid;
+        else
+          lo = mid + 1;
+      }
+      if (lo < inc.log.size()) {
+        target = lo + 1;
+      } else {
+        // Even the deepest materialized state is over budget: replay to
+        // the end, then keep popping the preserved heap live. If the
+        // caching solve never built the heap (its phase 2 was gated
+        // off), there is nothing to pop from -- full solve instead.
+        if (!inc.heap_built) return false;
+        target = inc.log.size();
+        extend = true;
+      }
+    }
+  }
+
+  // Re-position the cursor: undo in reverse order, redo in log order (a
+  // task stepped several times restores through the same intermediate
+  // levels a fresh solve would assign).
+  while (inc.cursor > target) {
+    const IncrementalMatchState::AppliedStep& s = inc.log[--inc.cursor];
+    cols.level[s.task] = s.to_level + 1;
+  }
+  while (inc.cursor < target) {
+    const IncrementalMatchState::AppliedStep& s = inc.log[inc.cursor++];
+    cols.level[s.task] = s.to_level;
+  }
+  Watts compute =
+      (target == 0) ? inc.compute0 : inc.log[target - 1].compute_after;
+
+  if (extend) {
+    // inc.heap is the down-step heap as of state log.size() -- exactly
+    // what a fresh solve holds there, since the pop/push sequence up to
+    // any state is wind-independent. Continue the canonical greedy,
+    // appending to the log so the deeper states are materialized for
+    // later epochs.
+    auto push_step = [&](std::size_t r) {
+      const std::size_t l = cols.level[r];
+      if (l == 0 || l <= cols.floor[r]) return;
+      const Watts saving = Watts{cols.power[r * levels + l]} -
+                           Watts{cols.power[r * levels + l - 1]};
+      inc.heap.push_back(MatchScratch::Step{saving, r, l - 1});
+      std::push_heap(inc.heap.begin(), inc.heap.end(), StepLess{});
+    };
+    while (compute * cooling_factor_ > wind_avail && !inc.heap.empty()) {
+      std::pop_heap(inc.heap.begin(), inc.heap.end(), StepLess{});
+      const MatchScratch::Step step = inc.heap.back();
+      inc.heap.pop_back();
+      if (cols.level[step.task] != step.to_level + 1) continue;
+      cols.level[step.task] = step.to_level;
+      compute -= step.saving;
+      inc.log.push_back(IncrementalMatchState::AppliedStep{
+          step.saving, compute, step.task, step.to_level});
+      push_step(step.task);
+    }
+    inc.cursor = inc.log.size();
+  }
+
+  out.compute = compute;
+  out.demand = compute * cooling_factor_;
+  out.steps = inc.cursor;
+  return true;
+}
+
 MatchResult PowerMatcher::match_reference(std::vector<ActiveTask>& tasks,
                                           Watts wind_avail,
                                           double now_s) const {

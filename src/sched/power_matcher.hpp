@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "sched/knowledge.hpp"
+#include "sched/matcher_columns.hpp"
 
 namespace iscope {
 
@@ -73,6 +74,61 @@ struct MatchScratch {
   std::vector<Step> heap;          ///< phase-2 down-step candidate heap
 };
 
+/// Cached greedy trajectory for the incremental delta-rematch
+/// (DESIGN.md Sec. 14). Key fact: phase 2's pop/push/stale-skip sequence
+/// never reads the wind budget -- the budget only decides where along that
+/// canonical sequence the greedy STOPS. So one materialized solve caches
+/// the whole trajectory (`log`, with the running compute after each
+/// applied step), and a later epoch whose only change is the wind budget
+/// re-positions a cursor on it instead of re-solving: binary search for
+/// the stop prefix (the fit predicate is monotone along the log), rewind
+/// or replay the touched tasks, done. The replay is *exact* -- bit-equal
+/// levels and compute to a from-scratch solve, cost gap zero -- because
+/// every stored value was produced by the identical operation sequence a
+/// fresh solve would run (tests/test_match_equivalence.cpp, the
+/// IncrementalIdentity suite and the 50-seed property test).
+///
+/// Validity: the cache assumes the row set, the per-row power/slowdown
+/// tables and the deadline floors are those of the cached solve. The
+/// simulator invalidates on task start/completion/requeue, Knowledge
+/// generation bumps and rush-mode flips; match_incremental re-checks the
+/// floors itself (the vectorized scan is cheap) and refuses when they
+/// moved.
+struct IncrementalMatchState {
+  struct AppliedStep {
+    Watts saving;         ///< power released by this down-step
+    Watts compute_after;  ///< running compute after applying it
+    std::size_t task;     ///< column row index
+    std::size_t to_level; ///< level the task stepped down to
+  };
+  bool valid = false;
+  /// Whether the caching solve built the down-step heap. A gated-off
+  /// phase 2 (no wind, or floors alone over budget) skips heap
+  /// construction entirely -- most structural rematches never see a
+  /// fitting epoch before the next invalidation, so building the heap
+  /// eagerly would be pure waste. A later epoch that *does* need to
+  /// extend past the (empty) log with no heap falls back to a full
+  /// solve, which then caches with a real heap.
+  bool heap_built = false;
+  Watts compute0;       ///< phase-1 compute (the cursor-0 state)
+  Watts floor_compute;  ///< all-floors compute (the phase-2 gate)
+  std::vector<AppliedStep> log;  ///< applied down-steps, in greedy order
+  std::size_t cursor = 0;        ///< applied prefix length = current state
+  /// Down-step heap as of state log.size(); extending the trajectory past
+  /// the deepest materialized point keeps popping from here. The caching
+  /// solve builds and drives this vector in place (no copy): after its
+  /// greedy loop the heap is exactly the state the extension path needs.
+  std::vector<MatchScratch::Step> heap;
+
+  void invalidate() {
+    valid = false;
+    heap_built = false;
+    cursor = 0;
+    log.clear();  // clear(), not reassign: keeps warmed-up capacity
+    heap.clear();
+  }
+};
+
 class PowerMatcher {
  public:
   /// `cooling_factor` is (1 + 1/COP) from Eq-2.
@@ -95,6 +151,27 @@ class PowerMatcher {
   /// Convenience overload with throwaway scratch (tests, one-off callers).
   MatchResult match(std::vector<ActiveTask>& tasks, Watts wind_avail,
                     double now_s) const;
+
+  /// SoA full solve over MatcherColumns rows: the same two phases as
+  /// `match`, with the floor scan batched through the vectorized kernel
+  /// and the energy argmin collapsed to the precomputed best_from table.
+  /// Rows must be in running-list order (ordered FP sums and equal-saving
+  /// tiebreaks; see matcher_columns.hpp). Fills cols.floor/cols.level.
+  /// When `inc` is non-null the greedy trajectory is cached there for
+  /// match_incremental; the phase-2 heap is built directly in `inc->heap`
+  /// (and only when phase 2 is live -- see heap_built).
+  MatchResult match_columns(MatcherColumns& cols, Watts wind_avail,
+                            double now_s, MatchScratch& scratch,
+                            IncrementalMatchState* inc = nullptr) const;
+
+  /// Incremental delta-rematch: re-solve assuming only the wind budget
+  /// moved since the solve that filled `inc`. Returns false (caller falls
+  /// back to match_columns) when the cache is invalid or any deadline
+  /// floor moved; on true, `out` and cols.level are bit-identical to what
+  /// a full solve would produce.
+  bool match_incremental(MatcherColumns& cols, Watts wind_avail,
+                         double now_s, MatchScratch& scratch,
+                         IncrementalMatchState& inc, MatchResult& out) const;
 
   /// Retained pre-optimization implementation (priority_queue, O(procs)
   /// power sums). Reference for the scheduler-equivalence suite; not a hot

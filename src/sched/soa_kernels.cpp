@@ -1,0 +1,67 @@
+// Explicit AVX2 kernels for the SoA matcher scan (soa_kernels.hpp).
+//
+// This translation unit is the only one built with -mavx2, and it adds
+// -ffp-contract=off (src/sched/CMakeLists.txt): the kernels must stay pure
+// multiply + ordered-compare, never a fused multiply-add, or the 1-ulp FMA
+// difference would break bit-identity with the scalar fallback. Each lane
+// computes the exact IEEE double product the scalar loop computes; only
+// the *schedule* of independent lanes changes.
+#include "sched/soa_kernels.hpp"
+
+#if defined(ISCOPE_SIMD)
+
+#include <immintrin.h>
+
+namespace iscope::soa {
+
+std::size_t floor_scan_simd(const double* slowdown_row, std::size_t levels,
+                            double remaining, double slack) {
+  const __m256d rem = _mm256_set1_pd(remaining);
+  const __m256d slk = _mm256_set1_pd(slack);
+  std::size_t l = 0;
+  // Width 8: two 4-lane compares per iteration, first-set-bit picks the
+  // lowest matching level (same index the scalar loop returns).
+  for (; l + 8 <= levels; l += 8) {
+    const __m256d lo = _mm256_mul_pd(rem, _mm256_loadu_pd(slowdown_row + l));
+    const __m256d hi =
+        _mm256_mul_pd(rem, _mm256_loadu_pd(slowdown_row + l + 4));
+    const int mask =
+        _mm256_movemask_pd(_mm256_cmp_pd(lo, slk, _CMP_LE_OQ)) |
+        (_mm256_movemask_pd(_mm256_cmp_pd(hi, slk, _CMP_LE_OQ)) << 4);
+    if (mask != 0)
+      return l + static_cast<std::size_t>(
+                     __builtin_ctz(static_cast<unsigned>(mask)));
+  }
+  for (; l + 4 <= levels; l += 4) {
+    const __m256d lo = _mm256_mul_pd(rem, _mm256_loadu_pd(slowdown_row + l));
+    const int mask = _mm256_movemask_pd(_mm256_cmp_pd(lo, slk, _CMP_LE_OQ));
+    if (mask != 0)
+      return l + static_cast<std::size_t>(
+                     __builtin_ctz(static_cast<unsigned>(mask)));
+  }
+  if (l >= levels) return levels - 1;
+  // Sub-width tail: the scalar kernel on the remaining levels. Its
+  // not-found answer (sub-range top) lands on levels - 1 overall, which is
+  // also the whole-row not-found answer, so the composition is exact.
+  return l + floor_scan_scalar(slowdown_row + l, levels - l, remaining, slack);
+}
+
+void energy_row_simd(const double* power_row, const double* slowdown_row,
+                     std::size_t levels, double* out) {
+  std::size_t l = 0;
+  for (; l + 4 <= levels; l += 4) {
+    _mm256_storeu_pd(out + l,
+                     _mm256_mul_pd(_mm256_loadu_pd(power_row + l),
+                                   _mm256_loadu_pd(slowdown_row + l)));
+  }
+  energy_row_scalar(power_row + l, slowdown_row + l, levels - l, out + l);
+}
+
+}  // namespace iscope::soa
+
+#else
+
+// Scalar-only build: the fallback kernels live inline in soa_kernels.hpp
+// (floor_scan_scalar / energy_row_scalar); nothing to emit here.
+
+#endif

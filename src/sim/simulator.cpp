@@ -84,14 +84,13 @@ double DatacenterSim::fmax_ghz() const {
   return knowledge_->cluster().levels().freq_ghz.back();
 }
 
-bool DatacenterSim::wind_abundant_now() const {
-  const Watts wind = supply_->wind_available(Seconds{queue_.now()});
+bool DatacenterSim::wind_abundant_given(Watts wind) const {
   if (wind.raw() <= 0.0) return false;
   return wind > demand_ * config_.wind_abundance_headroom;
 }
 
 double DatacenterSim::latest_start(const SimTask& t) const {
-  return t.spec.latest_start_s(fmax_ghz(), fmax_ghz());
+  return t.latest_start_s;
 }
 
 void DatacenterSim::link_running(std::size_t idx) {
@@ -122,15 +121,73 @@ void DatacenterSim::unlink_running(std::size_t idx) {
 }
 
 void DatacenterSim::idle_insert(std::size_t p) {
-  const auto it = std::lower_bound(idle_sorted_.begin(), idle_sorted_.end(), p);
-  idle_sorted_.insert(it, p);
+  idle_flags_[p] = 1;
+  ++idle_count_;
+  if (fast_placement_) {
+    const std::size_t r = rank_of_proc_[p];
+    idle_rank_bits_[r >> 6] |= std::uint64_t{1} << (r & 63);
+  }
+  if (maintain_idle_sorted_) {
+    const auto it =
+        std::lower_bound(idle_sorted_.begin(), idle_sorted_.end(), p);
+    idle_sorted_.insert(it, p);
+  }
+  if (maintain_idle_by_busy_) {
+    // Order by (busy time, id) -- the sort key of Fair's abundant-wind
+    // partial_sort. Busy time only moves while a processor is running, so
+    // entries keep their relative order for their whole idle stay.
+    const double busy = busy_time_s_[p];
+    const double* busy_all = busy_time_s_.data();
+    const auto it = std::lower_bound(
+        idle_by_busy_.begin(), idle_by_busy_.end(), p,
+        [busy, busy_all](std::size_t a, std::size_t value) {
+          if (busy_all[a] != busy) return busy_all[a] < busy;
+          return a < value;
+        });
+    idle_by_busy_.insert(it, p);
+  }
 }
 
 void DatacenterSim::idle_remove(std::size_t p) {
-  const auto it = std::lower_bound(idle_sorted_.begin(), idle_sorted_.end(), p);
-  ISCOPE_CHECK(it != idle_sorted_.end() && *it == p,
-               "idle_remove: processor not idle");
-  idle_sorted_.erase(it);
+  ISCOPE_CHECK(idle_flags_[p] != 0, "idle_remove: processor not idle");
+  idle_flags_[p] = 0;
+  --idle_count_;
+  if (fast_placement_) {
+    const std::size_t r = rank_of_proc_[p];
+    idle_rank_bits_[r >> 6] &= ~(std::uint64_t{1} << (r & 63));
+  }
+  if (maintain_idle_sorted_) {
+    const auto it =
+        std::lower_bound(idle_sorted_.begin(), idle_sorted_.end(), p);
+    ISCOPE_CHECK(it != idle_sorted_.end() && *it == p,
+                 "idle_remove: processor not idle");
+    idle_sorted_.erase(it);
+  }
+  if (maintain_idle_by_busy_) {
+    const double busy = busy_time_s_[p];
+    const double* busy_all = busy_time_s_.data();
+    auto it = std::lower_bound(
+        idle_by_busy_.begin(), idle_by_busy_.end(), p,
+        [busy, busy_all](std::size_t a, std::size_t value) {
+          if (busy_all[a] != busy) return busy_all[a] < busy;
+          return a < value;
+        });
+    ISCOPE_CHECK(it != idle_by_busy_.end() && *it == p,
+                 "idle_remove: processor not in the busy-ordered list");
+    idle_by_busy_.erase(it);
+  }
+}
+
+void DatacenterSim::cols_remove(std::size_t idx) {
+  if (config_.use_reference_matcher) return;
+  SimTask& t = tasks_[idx];
+  const std::size_t row = t.col;
+  ISCOPE_CHECK(row != kNone && row < cols_.count && cols_.task[row] == idx,
+               "cols_remove: stale column row");
+  cols_.remove(row);
+  t.col = kNone;
+  for (std::size_t r = row; r < cols_.count; ++r) tasks_[cols_.task[r]].col = r;
+  inc_.invalidate();
 }
 
 void DatacenterSim::fill_power_table(std::size_t idx) {
@@ -187,11 +244,21 @@ void DatacenterSim::rematch() {
   const double now = queue_.now();
   ++rematch_count_;
 
-  // Power tables follow the Knowledge view; refresh them if it moved.
+  const bool columns = !config_.use_reference_matcher;
+
+  // Power tables follow the Knowledge view; refresh them (and the derived
+  // SoA rows) if it moved. New powers mean a new greedy trajectory, so the
+  // incremental cache dies with the old generation.
   if (knowledge_->generation() != knowledge_gen_) {
     knowledge_gen_ = knowledge_->generation();
-    for (std::size_t idx = run_head_; idx != kNone; idx = tasks_[idx].run_next)
+    const std::size_t levels = knowledge_->levels();
+    for (std::size_t idx = run_head_; idx != kNone;
+         idx = tasks_[idx].run_next) {
       fill_power_table(idx);
+      if (columns)
+        cols_.refresh_power(tasks_[idx].col, power_table_.data() + idx * levels);
+    }
+    if (columns) inc_.invalidate();
   }
 
   // Integrate progress of running tasks up to now at their current levels.
@@ -203,44 +270,64 @@ void DatacenterSim::rematch() {
       t.remaining_work_s = std::max(0.0, t.remaining_work_s - dt / slowdown);
     }
     t.last_update_s = now;
+    if (columns) cols_.remaining[t.col] = t.remaining_work_s;
   }
 
-  // Build the matcher's view into the reusable scratch vector. Optimized
-  // path: each view carries its precomputed power row (no procs copy).
-  // Reference path (tests): deep-copy procs and let the matcher re-sum.
-  views_.clear();
-  for (std::size_t idx = run_head_; idx != kNone; idx = tasks_[idx].run_next) {
-    const SimTask& t = tasks_[idx];
-    ActiveTask v;
-    v.remaining_work_s = t.remaining_work_s;
-    v.deadline_s = t.spec.deadline_s;
-    v.gamma = t.spec.gamma;
-    if (config_.use_reference_matcher)
-      v.procs = t.procs;
-    else
-      v.power_by_level = power_table_.data() + idx * knowledge_->levels();
-    views_.push_back(std::move(v));
-  }
+  // accrue_to_now() above refreshed segment_wind_ at this exact instant;
+  // reuse it rather than querying the supply a second time.
+  const Watts wind = segment_wind_;
 
   MatchResult match;
-  if (rush_mode_) {
-    // A deadline-forced task is starving for processors: run everything at
-    // the top level to free CPUs as soon as possible, whatever the wind.
-    const std::size_t top = knowledge_->levels() - 1;
-    Watts compute;
-    for (auto& v : views_) {
-      v.level = top;
-      compute += matcher_.task_power(v, top);
+  if (columns) {
+    if (rush_mode_) {
+      // A deadline-forced task is starving for processors: run everything
+      // at the top level to free CPUs as soon as possible, whatever the
+      // wind. Levels are forced off the cached trajectory, so it dies.
+      const std::size_t top = cols_.levels - 1;
+      Watts compute;
+      for (std::size_t r = 0; r < cols_.count; ++r) {
+        cols_.level[r] = top;
+        compute += Watts{cols_.power[r * cols_.levels + top]};
+      }
+      match.compute = compute;
+      match.demand = compute * matcher_.cooling_factor();
+      inc_.invalidate();
+    } else if (config_.incremental_rematch &&
+               matcher_.match_incremental(cols_, wind, now, match_scratch_,
+                                          inc_, match)) {
+      // Only the wind budget moved: the cached greedy trajectory replayed
+      // exactly (bit-identical to the full solve below).
+    } else {
+      match = matcher_.match_columns(cols_, wind, now, match_scratch_,
+                                     config_.incremental_rematch ? &inc_
+                                                                 : nullptr);
     }
-    match.compute = compute;
-    match.demand = compute * matcher_.cooling_factor();
-  } else if (config_.use_reference_matcher) {
-    match = matcher_.match_reference(views_,
-                                     supply_->wind_available(Seconds{now}),
-                                     now);
   } else {
-    match = matcher_.match(views_, supply_->wind_available(Seconds{now}), now,
-                           match_scratch_);
+    // Reference path (tests): deep-copy the views and let the matcher
+    // re-derive everything per call.
+    views_.clear();
+    for (std::size_t idx = run_head_; idx != kNone;
+         idx = tasks_[idx].run_next) {
+      const SimTask& t = tasks_[idx];
+      ActiveTask v;
+      v.remaining_work_s = t.remaining_work_s;
+      v.deadline_s = t.spec.deadline_s;
+      v.gamma = t.spec.gamma;
+      v.procs = t.procs;
+      views_.push_back(std::move(v));
+    }
+    if (rush_mode_) {
+      const std::size_t top = knowledge_->levels() - 1;
+      Watts compute;
+      for (auto& v : views_) {
+        v.level = top;
+        compute += matcher_.task_power(v, top);
+      }
+      match.compute = compute;
+      match.demand = compute * matcher_.cooling_factor();
+    } else {
+      match = matcher_.match_reference(views_, wind, now);
+    }
   }
   // Active profiling scans draw power (and cooling) like any other load.
   demand_ = match.demand + reserved_power_ * matcher_.cooling_factor();
@@ -251,7 +338,7 @@ void DatacenterSim::rematch() {
   for (std::size_t idx = run_head_; idx != kNone;
        idx = tasks_[idx].run_next, ++k) {
     SimTask& t = tasks_[idx];
-    const std::size_t new_level = views_[k].level;
+    const std::size_t new_level = columns ? cols_.level[t.col] : views_[k].level;
     const bool first_schedule = !t.completion_scheduled;
     if (new_level != t.level || first_schedule) {
       t.completion_scheduled = true;
@@ -286,18 +373,31 @@ void DatacenterSim::schedule_pass() {
   ISCOPE_SPAN_SIM("match", queue_.now());
   in_pass_ = true;
 
-  // Snapshot idle processors (excluding any isolated for profiling): the
-  // incrementally-maintained sorted list, copied so the policy may
-  // reorder/consume it. Widths are integers, so the incrementally-kept
-  // total is the same value the per-pass re-summation used to produce.
-  idle_scratch_.assign(idle_sorted_.begin(), idle_sorted_.end());
+  // Fast path (default matcher, Effi/Fair): place straight off the
+  // maintained idle flags / busy-ordered list -- no snapshot copy, no
+  // per-task partial_sort. The legacy path (kRandom, whose draws consume
+  // the RNG against the scratch vector's exact layout, and the reference
+  // configuration) snapshots the sorted idle list as before.
+  const bool fast = fast_placement_;
+  if (!fast) idle_scratch_.assign(idle_sorted_.begin(), idle_sorted_.end());
 
   const double now = queue_.now();
+  const bool has_wind = supply_->has_wind();
+  // One supply lookup per pass: wind_available is a pure function of
+  // `now`, which is fixed for the whole pass (abundance is still
+  // re-evaluated per task as demand_ grows).
+  const Watts wind_now = supply_->wind_available(Seconds{now});
+  // Only Fair reads the supply-side context fields; skipping them for
+  // Effi is observable-behavior-free (forecast_mean is a pure function of
+  // its arguments -- see NoisyForecaster -- and the legacy path keeps
+  // filling everything).
+  const bool want_supply_ctx =
+      !fast || policy_.rule() == PlacementRule::kFair;
 
   PlacementContext ctx;
   ctx.busy_time_s = &busy_time_s_;
   ctx.now_s = now;
-  ctx.has_wind = supply_->has_wind();
+  ctx.has_wind = has_wind;
   ctx.queue_pressure = static_cast<double>(waiting_cpus_) /
                        static_cast<double>(proc_running_.size());
 
@@ -308,9 +408,8 @@ void DatacenterSim::schedule_pass() {
   // the efficient-pool check (see pool_failures_monotone), a rejection at
   // width w implies rejection at every width >= w for the rest of the pass
   // (the idle set only shrinks), so wider tasks skip the policy call --
-  // and its partial_sort of the idle set -- entirely.
-  const bool memo_rejections =
-      policy_.pool_failures_monotone(supply_->has_wind());
+  // and its rank scan of the idle set -- entirely.
+  const bool memo_rejections = policy_.pool_failures_monotone(has_wind);
   std::size_t rejected_width = kNone;  // kNone == no rejection yet
   bool forced_blocked = false;
   std::size_t read = 0;
@@ -320,7 +419,8 @@ void DatacenterSim::schedule_pass() {
     SimTask& t = tasks_[idx];
     const bool forced =
         now >= latest_start(t) - config_.deadline_patience_s;
-    if (t.spec.cpus > idle_scratch_.size()) {
+    const std::size_t idle_avail = fast ? idle_count_ : idle_scratch_.size();
+    if (t.spec.cpus > idle_avail) {
       // A forced task that cannot fit reserves the freed CPUs: stop the
       // pass so backfill cannot starve it, and rush the running work.
       if (forced) {
@@ -336,15 +436,30 @@ void DatacenterSim::schedule_pass() {
       ++read;
       continue;
     }
-    // Re-evaluate wind abundance as demand grows within the pass.
-    ctx.wind_abundant = wind_abundant_now();
     ctx.forced = forced;
     ctx.slack_s = latest_start(t) - now;
-    ctx.current_demand = demand_;
-    ctx.forecast_mean =
-        (forecaster_ != nullptr && ctx.slack_s > 0.0)
-            ? forecaster_->forecast_mean(Seconds{now}, Seconds{ctx.slack_s})
-            : Watts{std::numeric_limits<double>::infinity()};
+    if (want_supply_ctx) {
+      // Re-evaluate wind abundance as demand grows within the pass.
+      ctx.wind_abundant = wind_abundant_given(wind_now);
+      ctx.current_demand = demand_;
+      ctx.forecast_mean =
+          (forecaster_ != nullptr && ctx.slack_s > 0.0)
+              ? forecaster_->forecast_mean(Seconds{now}, Seconds{ctx.slack_s})
+              : Watts{std::numeric_limits<double>::infinity()};
+    }
+    if (fast) {
+      if (!policy_.choose_soa(t.spec.cpus, idle_rank_bits_.data(),
+                              idle_by_busy_, ctx, pick_scratch_)) {
+        if (memo_rejections && !forced)
+          rejected_width = std::min(rejected_width, t.spec.cpus);
+        waiting_[write++] = idx;  // voluntarily waiting; backfill continues
+        ++read;
+        continue;
+      }
+      ++read;
+      start_task(idx, pick_scratch_);  // start_task copies; scratch reused
+      continue;
+    }
     auto choice = policy_.choose(t.spec.cpus, idle_scratch_, ctx);
     if (!choice.has_value()) {
       if (memo_rejections && !forced)
@@ -409,6 +524,15 @@ void DatacenterSim::start_task(std::size_t idx, std::vector<std::size_t> procs) 
   }
   fill_power_table(idx);
   link_running(idx);
+  if (!config_.use_reference_matcher) {
+    // Append the SoA row in running-list order (see matcher_columns.hpp)
+    // and derive its slowdown/power/best_from blocks. A new row means a
+    // new greedy trajectory, so the incremental cache dies here.
+    t.col = cols_.append(idx, t.remaining_work_s, t.spec.deadline_s);
+    cols_.fill_row(t.col, t.spec.gamma, slowdown_ratio_.data(),
+                   power_table_.data() + idx * knowledge_->levels());
+    inc_.invalidate();
+  }
   rematch();
 }
 
@@ -439,6 +563,7 @@ void DatacenterSim::on_completion(std::size_t idx, std::uint64_t version) {
     if (!reserved_[p]) idle_insert(p);
   }
   unlink_running(idx);
+  cols_remove(idx);
 
   rematch();
   schedule_pass();
@@ -561,6 +686,7 @@ void DatacenterSim::requeue_task(std::size_t idx) {
   }
   t.procs.clear();
   unlink_running(idx);
+  cols_remove(idx);
   ++t.version;  // cancel the pending completion event
   if (t.retries >= plan_->max_retries()) {
     t.state = TaskState::kFailed;
@@ -657,7 +783,7 @@ void DatacenterSim::telemetry_sample() {
   row.queue_depth = queue_.pending();
   row.waiting_tasks = waiting_.size();
   row.running_tasks = run_count_;
-  row.idle_procs = idle_sorted_.size();
+  row.idle_procs = idle_count_;
   telemetry::SampleLog::global().append(row);
 
   static telemetry::GaugeFamily& depth_family =
@@ -751,17 +877,57 @@ void DatacenterSim::prepare(std::vector<Task> tasks,
   battery_ = BatteryBank(config_.battery);
   tasks_.clear();
   tasks_.reserve(tasks.size());
+  const double fmax = fmax_ghz();
   for (Task& t : tasks) {
     SimTask st;
     st.spec = std::move(t);
+    // Cached once: latest_start is a pure function of the immutable spec
+    // (the hot scheduling pass reads it per waiting task).
+    st.latest_start_s = st.spec.latest_start_s(fmax, fmax);
     tasks_.push_back(std::move(st));
   }
   waiting_.clear();
   waiting_cpus_ = 0;
   proc_running_.assign(nprocs, kNone);
   busy_time_s_.assign(nprocs, 0.0);
-  idle_sorted_.resize(nprocs);
-  for (std::size_t p = 0; p < nprocs; ++p) idle_sorted_[p] = p;
+  // Idle bookkeeping: flags + count always; the ordered lists only where
+  // a consumer needs them (see the member comments).
+  fast_placement_ = !config_.use_reference_matcher &&
+                    policy_.rule() != PlacementRule::kRandom;
+  maintain_idle_sorted_ = !fast_placement_;
+  maintain_idle_by_busy_ =
+      fast_placement_ && policy_.rule() == PlacementRule::kFair;
+  idle_flags_.assign(nprocs, 1);
+  idle_count_ = nprocs;
+  if (maintain_idle_sorted_) {
+    idle_sorted_.resize(nprocs);
+    for (std::size_t p = 0; p < nprocs; ++p) idle_sorted_[p] = p;
+  } else {
+    idle_sorted_.clear();
+  }
+  if (maintain_idle_by_busy_) {
+    // All busy times are zero, so (busy, id) order is id order.
+    idle_by_busy_.resize(nprocs);
+    for (std::size_t p = 0; p < nprocs; ++p) idle_by_busy_[p] = p;
+  } else {
+    idle_by_busy_.clear();
+  }
+  if (fast_placement_) {
+    // Every processor starts idle: all nprocs rank bits set, the tail of
+    // the last word clear (choose_soa trusts unset bits past the end).
+    rank_of_proc_.resize(nprocs);
+    for (std::size_t p = 0; p < nprocs; ++p)
+      rank_of_proc_[p] = policy_.efficiency_rank(p);
+    const std::size_t words = (nprocs + 63) / 64;
+    idle_rank_bits_.assign(words, ~std::uint64_t{0});
+    if (nprocs % 64 != 0)
+      idle_rank_bits_.back() = (std::uint64_t{1} << (nprocs % 64)) - 1;
+  } else {
+    idle_rank_bits_.clear();
+    rank_of_proc_.clear();
+  }
+  pick_scratch_.clear();
+  pick_scratch_.reserve(nprocs);
   run_head_ = kNone;
   run_tail_ = kNone;
   run_count_ = 0;
@@ -773,6 +939,13 @@ void DatacenterSim::prepare(std::vector<Task> tasks,
   views_.reserve(nprocs);
   match_scratch_.floor.reserve(nprocs);
   match_scratch_.heap.reserve(nprocs);
+  // SoA columns + incremental cache: reserved to their high-water marks
+  // (at most nprocs rows; the trajectory log can hold every task stepping
+  // through every level), so steady-state rematches stay allocation-free.
+  cols_.reset(knowledge_->levels(), nprocs);
+  inc_.invalidate();
+  inc_.log.reserve(nprocs * knowledge_->levels());
+  inc_.heap.reserve(nprocs);
   demand_ = Watts{};
   last_accrual_s_ = 0.0;
   segment_wind_ = supply_->wind_available(Seconds{});

@@ -16,15 +16,20 @@
 // Determinism: same cluster, knowledge, tasks, supply, and seed => same
 // result, bit for bit.
 //
-// Hot-path design (DESIGN.md Sec. 9): `rematch()` performs zero heap
-// allocations at steady state. Per-task per-level power tables are filled
-// once at task start (power only changes when the Knowledge view
-// refreshes, tracked by its generation counter); the matcher views, the
-// deadline-floor vector and the down-step heap are reusable scratch; the
-// running set is an intrusive doubly-linked list through SimTask
-// (O(1) removal that -- unlike swap-and-pop -- preserves start order,
-// which the matcher's floating-point sums and equal-saving tiebreaks
-// depend on for bit-reproducibility).
+// Hot-path design (DESIGN.md Secs. 9 and 14): `rematch()` performs zero
+// heap allocations at steady state. Per-task per-level power tables are
+// filled once at task start (power only changes when the Knowledge view
+// refreshes, tracked by its generation counter); the running set is an
+// intrusive doubly-linked list through SimTask (O(1) removal that --
+// unlike swap-and-pop -- preserves start order, which the matcher's
+// floating-point sums and equal-saving tiebreaks depend on for
+// bit-reproducibility). The default matcher path mirrors the running set
+// into SoA columns in the same order (matcher_columns.hpp) so the
+// deadline-floor scan vectorizes, caches the greedy down-step trajectory
+// for the incremental delta-rematch (power_matcher.hpp), and places tasks
+// by rank scan instead of per-task partial_sorts. The pre-optimization
+// path is retained behind SimConfig::use_reference_matcher and is held
+// bit-identical by tests/test_match_equivalence.cpp.
 #pragma once
 
 #include <cstdint>
@@ -80,10 +85,18 @@ struct SimConfig {
   /// paid at absorption, so round-trip losses are on the wind bill.
   BatteryConfig battery;
   /// Test-only: drive rematch through the retained pre-optimization
-  /// matcher path (deep-copied views, O(procs) power sums). The
-  /// scheduler-equivalence suite asserts this produces bit-identical
-  /// results to the default optimized path.
+  /// matcher path (deep-copied views, O(procs) power sums, per-task
+  /// partial-sort placement). The scheduler-equivalence suite asserts this
+  /// produces bit-identical results to the default optimized path (SoA
+  /// columns + rank-scan placement).
   bool use_reference_matcher = false;
+  /// Reuse the previous solve's greedy down-step trajectory when only the
+  /// wind budget moved between rematches (delta-rematch, DESIGN.md
+  /// Sec. 14). The replay is exact -- results are bit-identical either
+  /// way, cost gap zero -- so this is purely a work-avoidance knob; false
+  /// forces a full re-solve every time (A/B benchmarking, the
+  /// IncrementalIdentity property suite).
+  bool incremental_rematch = true;
   /// Fault injection (src/fault/). The default `FaultSpec{}` injects
   /// nothing and is guaranteed bit-identical to a fault-free build. CPU
   /// faults (crashes / mis-profiling) additionally need the mutable-
@@ -191,6 +204,12 @@ class DatacenterSim {
     /// Intrusive links of the running list (kNone when not running).
     std::size_t run_prev = kNone;
     std::size_t run_next = kNone;
+    /// Row in the SoA matcher columns while running (kNone otherwise;
+    /// unused on the reference-matcher path).
+    std::size_t col = kNone;
+    /// Latest deadline-feasible start at the top frequency, cached at
+    /// prepare() (it is a pure function of the immutable spec).
+    double latest_start_s = 0.0;
     TaskState state = TaskState::kPending;
     std::size_t retries = 0;         ///< fault-forced restarts so far
   };
@@ -234,7 +253,9 @@ class DatacenterSim {
   void publish_run_telemetry(std::size_t events);
   void log_event(TimelineKind kind, std::int64_t task_id, double value);
   double fmax_ghz() const;
-  bool wind_abundant_now() const;
+  /// Fair's abundance test against a wind value already looked up for this
+  /// instant (schedule_pass hoists the supply query out of its task loop).
+  bool wind_abundant_given(Watts wind) const;
   /// Latest deadline-feasible start of a task at the top frequency.
   double latest_start(const SimTask& t) const;
   bool all_done() const {
@@ -245,6 +266,10 @@ class DatacenterSim {
   /// preserving O(1) bookkeeping).
   void link_running(std::size_t idx);
   void unlink_running(std::size_t idx);
+  /// Drop a task's SoA row (order-preserving shift; re-points the row
+  /// handles of every shifted task) and invalidate the incremental cache.
+  /// No-op on the reference-matcher path, which keeps no columns.
+  void cols_remove(std::size_t idx);
   /// Fill the task's row of the per-level power table from its processors.
   void fill_power_table(std::size_t idx);
   /// Maintain the sorted idle-processor list at its mutation sites.
@@ -274,10 +299,34 @@ class DatacenterSim {
   std::size_t waiting_cpus_ = 0;           ///< total width of waiting_
   std::vector<std::size_t> proc_running_;  ///< task idx or kNone
   std::vector<double> busy_time_s_;
-  /// Idle, non-reserved processors in ascending id order, maintained
-  /// incrementally (schedule_pass copies it instead of scanning the
-  /// cluster).
+  /// Idle, non-reserved processors: flags + count are always maintained
+  /// (the placement fast path tests membership in O(1)); the sorted id
+  /// list is only kept where something consumes its order -- the kRandom
+  /// scratch copy and the reference path (maintain_idle_sorted_). The
+  /// (busy time, id)-ordered list feeds Fair's abundant-wind pick and is
+  /// kept only there (maintain_idle_by_busy_). Busy time is frozen while
+  /// a processor sits idle, so order maintenance happens purely at
+  /// insert/remove.
+  std::vector<std::uint8_t> idle_flags_;
+  std::size_t idle_count_ = 0;
   std::vector<std::size_t> idle_sorted_;
+  std::vector<std::size_t> idle_by_busy_;
+  /// Rank-indexed idle bitset for the fast path's best-rank-first pick:
+  /// bit r (word r/64) set means the processor with efficiency rank r is
+  /// idle. Insert/remove is one bit op; PlacementPolicy::choose_soa pops
+  /// picks with a ctz scan instead of walking the efficiency order.
+  /// Maintained only when fast_placement_ (rank_of_proc_ caches the
+  /// policy's rank table for the O(1) updates).
+  std::vector<std::uint64_t> idle_rank_bits_;
+  std::vector<std::size_t> rank_of_proc_;
+  bool maintain_idle_sorted_ = true;
+  bool maintain_idle_by_busy_ = false;
+  /// True when schedule_pass may skip the idle-vector copy and the
+  /// per-task partial_sort: the default matcher with a deterministic rule
+  /// (Effi/Fair). kRandom's draws depend on the legacy scratch layout and
+  /// the reference path *is* the legacy code, so both keep it.
+  bool fast_placement_ = false;
+  std::vector<std::size_t> pick_scratch_;  ///< choose_soa output buffer
   /// Running set: intrusive list through SimTask::run_prev/run_next, in
   /// start order (head is the longest-running task).
   std::size_t run_head_ = kNone;
@@ -295,8 +344,13 @@ class DatacenterSim {
   /// generation is unchanged.
   std::vector<double> power_table_;
   std::uint64_t knowledge_gen_ = 0;        ///< generation the table matches
-  std::vector<ActiveTask> views_;          ///< matcher view scratch
+  std::vector<ActiveTask> views_;          ///< reference-path view scratch
   MatchScratch match_scratch_;             ///< matcher floor/heap scratch
+  /// SoA mirror of the running set in running-list order (the default
+  /// matcher path; see matcher_columns.hpp) plus the cached greedy
+  /// trajectory for the incremental delta-rematch.
+  MatcherColumns cols_;
+  IncrementalMatchState inc_;
   std::vector<double> slowdown_ratio_;     ///< (fmax / f_l - 1) per level
 
   std::vector<TimelineEvent> timeline_;

@@ -1,0 +1,27 @@
+// Clean SIMD dispatch header: the ISCOPE_SIMD conditional carries an
+// #else scalar fallback, and the kernel pair is complete in-file.
+#pragma once
+
+#include <cstddef>
+
+namespace iscope::soa {
+
+inline double sum_scalar(const double* v, std::size_t n) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) s += v[i];
+  return s;
+}
+
+#if defined(ISCOPE_SIMD)
+double sum_simd(const double* v, std::size_t n);
+
+inline double sum(const double* v, std::size_t n) {
+  return sum_simd(v, n);
+}
+#else
+inline double sum(const double* v, std::size_t n) {
+  return sum_scalar(v, n);
+}
+#endif
+
+}  // namespace iscope::soa

@@ -1,0 +1,17 @@
+// Violation: a dispatch header whose ISCOPE_SIMD conditional has no
+// #else branch -- a scalar build of an includer gets no code path.
+#pragma once
+
+#include <cstddef>
+
+namespace iscope::soa {
+
+#ifdef ISCOPE_SIMD
+double sum_simd(const double* v, std::size_t n);
+
+inline double sum(const double* v, std::size_t n) {
+  return sum_simd(v, n);
+}
+#endif
+
+}  // namespace iscope::soa

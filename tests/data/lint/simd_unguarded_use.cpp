@@ -1,0 +1,14 @@
+// Violation: calls a *_simd kernel outside any ISCOPE_SIMD conditional
+// and never names the *_scalar twin -- a scalar build has no tested
+// fallback for this path.
+#include <cstddef>
+
+namespace iscope {
+
+double sum_simd(const double* v, std::size_t n);
+
+double total(const double* v, std::size_t n) {
+  return sum_simd(v, n);
+}
+
+}  // namespace iscope

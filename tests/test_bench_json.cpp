@@ -153,6 +153,117 @@ TEST(BenchJson, SchemaV2CorruptionsAreDiagnosed) {
   EXPECT_NE(validate_bench_json(bad), "");
 }
 
+BenchReport perf_report() {
+  BenchReport r = sample_report();
+  r.perf.present = true;
+  r.perf.instructions = 123456789;
+  r.perf.cycles = 987654321;
+  r.perf.branch_misses = 4242;
+  r.perf.minor_faults = 77;
+  r.perf.peak_rss_bytes = 8192;
+  return r;
+}
+
+TEST(BenchJson, SchemaV3RoundTripValidates) {
+  const std::string json = to_json(perf_report());
+  EXPECT_EQ(validate_bench_json(json), "");
+  EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"perf\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"instructions\": 123456789"), std::string::npos);
+  EXPECT_NE(json.find("\"branch_misses\": 4242"), std::string::npos);
+  EXPECT_NE(json.find("\"minor_faults\": 77"), std::string::npos);
+  // The v1 fields are untouched by the upgrade.
+  EXPECT_NE(json.find("\"rematch_count\": 250"), std::string::npos);
+}
+
+TEST(BenchJson, SchemaV2IsUnchangedWithoutPerf) {
+  // Perf-off captures must stay byte-identical to the historical v1/v2
+  // documents: same version numbers, no perf key anywhere.
+  const std::string v1 = to_json(sample_report());
+  EXPECT_NE(v1.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_EQ(v1.find("\"perf\""), std::string::npos);
+
+  const std::string v2 = to_json(telemetry_report());
+  EXPECT_NE(v2.find("\"schema_version\": 2"), std::string::npos);
+  EXPECT_EQ(v2.find("\"perf\""), std::string::npos);
+}
+
+TEST(BenchJson, SchemaV3CarriesTelemetryOptionally) {
+  // perf + telemetry: version 3, both blocks present and validated.
+  BenchReport r = telemetry_report();
+  r.perf = perf_report().perf;
+  const std::string json = to_json(r);
+  EXPECT_EQ(validate_bench_json(json), "");
+  EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"telemetry\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"perf\": {"), std::string::npos);
+}
+
+TEST(BenchJson, UnavailableHardwareCountersAreSentinels) {
+  // Inside a container that refuses perf_event_open the hardware fields
+  // hold -1; the document must still validate (the rusage half is real).
+  BenchReport r = perf_report();
+  r.perf.instructions = -1;
+  r.perf.cycles = -1;
+  r.perf.branch_misses = -1;
+  const std::string json = to_json(r);
+  EXPECT_EQ(validate_bench_json(json), "");
+  EXPECT_NE(json.find("\"instructions\": -1"), std::string::npos);
+}
+
+TEST(BenchJson, SchemaV3CorruptionsAreDiagnosed) {
+  const std::string json = to_json(perf_report());
+
+  // A v1/v2 document must not smuggle in a perf block.
+  std::string bad = json;
+  bad.replace(bad.find("\"schema_version\": 3"),
+              std::string("\"schema_version\": 3").size(),
+              "\"schema_version\": 1");
+  EXPECT_NE(validate_bench_json(bad), "");
+
+  // A v3 document must carry one.
+  bad = to_json(sample_report());
+  bad.replace(bad.find("\"schema_version\": 1"),
+              std::string("\"schema_version\": 1").size(),
+              "\"schema_version\": 3");
+  EXPECT_NE(validate_bench_json(bad), "");
+
+  // Missing perf sub-key.
+  bad = json;
+  bad.replace(bad.find("\"cycles\""), std::string("\"cycles\"").size(),
+              "\"cycle_count\"");
+  EXPECT_NE(validate_bench_json(bad), "");
+
+  // Below the -1 absence sentinel marks a corrupted capture.
+  bad = json;
+  bad.replace(bad.find(": 4242"), std::string(": 4242").size(), ": -7");
+  EXPECT_NE(validate_bench_json(bad), "");
+}
+
+TEST(BenchJson, PerfProbeIsGracefulEverywhere) {
+  // Whether or not this kernel grants perf_event_open, the probe must
+  // produce a valid capture: real counts or the -1 sentinel, and a
+  // non-negative rusage half.
+  PerfProbe probe;
+  probe.start();
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + static_cast<double>(i);
+  const PerfSummary p = probe.stop();
+  EXPECT_TRUE(p.present);
+  EXPECT_GE(p.minor_faults, 0);
+  EXPECT_GT(p.peak_rss_bytes, 0L);
+  if (probe.hardware_available()) {
+    EXPECT_GT(p.instructions, 0);
+  } else {
+    EXPECT_EQ(p.instructions, -1);
+    EXPECT_EQ(p.cycles, -1);
+    EXPECT_EQ(p.branch_misses, -1);
+  }
+  BenchReport r = sample_report();
+  r.perf = p;
+  EXPECT_EQ(validate_bench_json(to_json(r)), "");
+}
+
 TEST(BenchJson, WriteReadBack) {
   const std::string dir = ::testing::TempDir();
   const BenchReport r = sample_report();

@@ -11,12 +11,15 @@
 // randomized clusters and workloads.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <numeric>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "profiling/scanner.hpp"
+#include "sched/power_matcher.hpp"
+#include "sim/sharded.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/sink.hpp"
 #include "telemetry/telemetry.hpp"
@@ -159,6 +162,25 @@ struct Scenario {
     const SimResult reference = run(scheme, tasks, supply, cfg, profiling);
     expect_identical(optimized, reference);
   }
+
+  /// The delta-rematch identity (DESIGN.md Sec. 14): a run that replays
+  /// cached greedy trajectories on wind-only epochs must be bit-identical
+  /// both to a run that full-solves every rematch and to the reference
+  /// matcher. Zero cost gap -- the declared bound is exact equality.
+  void check_incremental_identity(
+      Scheme scheme, const std::vector<Task>& tasks,
+      const HybridSupply& supply, SimConfig cfg,
+      const std::vector<ProfilingWindow>& profiling = {}) const {
+    cfg.use_reference_matcher = false;
+    cfg.incremental_rematch = true;
+    const SimResult incremental = run(scheme, tasks, supply, cfg, profiling);
+    cfg.incremental_rematch = false;
+    const SimResult full = run(scheme, tasks, supply, cfg, profiling);
+    expect_identical(incremental, full);
+    cfg.use_reference_matcher = true;
+    const SimResult reference = run(scheme, tasks, supply, cfg, profiling);
+    expect_identical(incremental, reference);
+  }
 };
 
 TEST(MatchEquivalence, AllSchemesUtilityOnly) {
@@ -219,6 +241,205 @@ TEST(MatchEquivalence, WithProfilingWindows) {
   }
   s.check_equivalence(Scheme::kScanEffi, tasks, supply, SimConfig{}, windows);
   s.check_equivalence(Scheme::kScanRan, tasks, supply, SimConfig{}, windows);
+}
+
+// ----------------------------------------------- incremental identity
+//
+// ISSUE 8's delta-rematch contract: SimConfig::incremental_rematch is a
+// pure performance switch. Every scenario axis the optimized matcher is
+// held to (schemes, wind, battery, profiling windows, active faults,
+// sharding) must come out bit-identical with the cache on, with it off,
+// and against the reference matcher.
+
+TEST(IncrementalIdentity, AllSchemesWithWind) {
+  const Scenario s(16, 111);
+  const auto tasks = s.make_tasks(40, 113);
+  const HybridSupply supply = s.make_supply(117);
+  for (const Scheme scheme : kAllSchemes) {
+    SCOPED_TRACE(scheme_name(scheme));
+    s.check_incremental_identity(scheme, tasks, supply, SimConfig{});
+  }
+}
+
+TEST(IncrementalIdentity, AllSchemesUtilityOnly) {
+  // No wind: phase 2 never fires and the cached trajectories stay empty,
+  // but the cursor machinery still runs on every epoch -- it must be
+  // inert.
+  const Scenario s(16, 121);
+  const auto tasks = s.make_tasks(40, 123);
+  for (const Scheme scheme : kAllSchemes) {
+    SCOPED_TRACE(scheme_name(scheme));
+    s.check_incremental_identity(scheme, tasks, HybridSupply{}, SimConfig{});
+  }
+}
+
+TEST(IncrementalIdentity, WithBattery) {
+  const Scenario s(16, 131);
+  const auto tasks = s.make_tasks(35, 133);
+  const HybridSupply supply = s.make_supply(137);
+  SimConfig cfg;
+  cfg.battery = BatteryConfig::make(/*capacity_kwh=*/2.0, /*power_kw=*/1.0);
+  for (const Scheme scheme : {Scheme::kScanFair, Scheme::kBinEffi}) {
+    SCOPED_TRACE(scheme_name(scheme));
+    s.check_incremental_identity(scheme, tasks, supply, cfg);
+  }
+}
+
+TEST(IncrementalIdentity, WithProfilingWindows) {
+  const Scenario s(16, 141);
+  const auto tasks = s.make_tasks(35, 143);
+  const HybridSupply supply = s.make_supply(147);
+  std::vector<ProfilingWindow> windows;
+  for (std::size_t w = 0; w < 4; ++w) {
+    ProfilingWindow win;
+    win.start_s = 500.0 + 2500.0 * static_cast<double>(w);
+    win.duration_s = 900.0;
+    win.proc_ids = {w, w + 4, w + 8};
+    windows.push_back(win);
+  }
+  s.check_incremental_identity(Scheme::kScanEffi, tasks, supply, SimConfig{},
+                               windows);
+  s.check_incremental_identity(Scheme::kScanRan, tasks, supply, SimConfig{},
+                               windows);
+}
+
+TEST(IncrementalIdentity, WithFaultsActive) {
+  // Crashes, requeues and quarantine generation bumps all invalidate the
+  // cache mid-flight; the fallback full solves must leave no trace.
+  const Scenario s(16, 151);
+  const auto tasks = s.make_tasks(40, 153);
+  const HybridSupply supply = s.make_supply(157);
+  SimConfig cfg;
+  cfg.faults.crash_mtbf_s = 6.0 * 3600.0;
+  cfg.faults.repair_mean_s = 900.0;
+  cfg.faults.misprofile_prob = 0.2;
+  cfg.fault_seed = 19;
+  for (const Scheme scheme : {Scheme::kScanEffi, Scheme::kScanFair,
+                              Scheme::kBinEffi}) {
+    SCOPED_TRACE(scheme_name(scheme));
+    s.check_incremental_identity(scheme, tasks, supply, cfg);
+  }
+}
+
+TEST(IncrementalIdentity, TwoShards) {
+  // Each shard owns its own MatcherColumns and IncrementalMatchState; the
+  // epoch-barrier wind reconciliation must see identical per-shard demand
+  // whichever way each shard solved.
+  const Scenario s(16, 161);
+  const auto tasks = s.make_tasks(40, 163);
+  const HybridSupply supply = s.make_supply(167);
+  SimConfig cfg;
+  cfg.record_trace = true;
+  cfg.record_timeline = true;
+  cfg.topology.cpus_per_rack = 2;
+  cfg.topology.shards = 2;
+  for (const Scheme scheme : {Scheme::kScanEffi, Scheme::kScanFair}) {
+    SCOPED_TRACE(scheme_name(scheme));
+    const ProfileDb* db = scheme_uses_scan(scheme) ? &s.db : nullptr;
+    SimConfig on = cfg;
+    on.incremental_rematch = true;
+    SimConfig off = cfg;
+    off.incremental_rematch = false;
+    ShardedSim sim_on(s.cluster, scheme, db, supply, on);
+    ShardedSim sim_off(s.cluster, scheme, db, supply, off);
+    const SimResult a = sim_on.run(tasks);
+    const SimResult b = sim_off.run(tasks);
+    expect_identical(a, b);
+  }
+}
+
+// ----------------------------------------------- 50-seed delta property
+//
+// Matcher-scope property test: whatever wind-budget walk an epoch
+// sequence throws at it, a match_incremental hit must reproduce the
+// from-scratch match_columns solve exactly -- compute, demand, step
+// count, and every per-row level, to the bit. The walk also perturbs
+// task progress and the clock between epochs; when that moves a deadline
+// floor the incremental path must *refuse* (return false) rather than
+// replay a stale trajectory.
+
+TEST(IncrementalProperty, RandomDeltaWalksAreExact) {
+  ClusterConfig ccfg;
+  ccfg.num_processors = 64;
+  ccfg.seed = 5;
+  const Cluster cluster = build_cluster(ccfg);
+  const Knowledge knowledge(&cluster, KnowledgeSource::kBin);
+  const PowerMatcher matcher(&knowledge, 1.4);
+  const std::size_t levels = knowledge.levels();
+  const double fmax = cluster.levels().freq_ghz.back();
+  std::vector<double> ratio;
+  for (const double f : cluster.levels().freq_ghz)
+    ratio.push_back(fmax / f - 1.0);
+
+  std::size_t hits = 0;
+  std::size_t total = 0;
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    SCOPED_TRACE(seed);
+    Rng rng(seed * 1000 + 17);
+    const auto rows =
+        static_cast<std::size_t>(rng.uniform_int(1, 40));
+    MatcherColumns cols;
+    cols.reset(levels, rows);
+    std::vector<double> power_row(levels);
+    double now = 0.0;
+    std::size_t next_proc = 0;
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double remaining = rng.uniform(50.0, 5000.0);
+      const double deadline = remaining * rng.uniform(1.2, 12.0);
+      cols.append(r, remaining, deadline);
+      for (std::size_t l = 0; l < levels; ++l) {
+        Watts p;
+        for (int k = 0; k < 4; ++k)
+          p += knowledge.power((next_proc + static_cast<std::size_t>(k)) %
+                                   cluster.size(),
+                               l);
+        power_row[l] = p.raw();
+      }
+      next_proc += 4;
+      cols.fill_row(r, rng.uniform(0.3, 1.0), ratio.data(), power_row.data());
+    }
+
+    MatchScratch scratch;
+    IncrementalMatchState inc;
+    // Zero-wind solve: phase 2 gated off, so the cache starts with an
+    // empty trajectory AND no heap -- the first fitting epoch must take
+    // the heap_built escape hatch and full-solve.
+    const MatchResult cached =
+        matcher.match_columns(cols, Watts{}, now, scratch, &inc);
+    const double top_demand = cached.demand.raw();
+
+    for (int step = 0; step < 40; ++step) {
+      // Occasionally let the tasks progress and the clock move: floors
+      // that survive keep the cache hot; floors that move must force a
+      // refusal, never a stale replay.
+      if (rng.uniform(0.0, 1.0) < 0.25) {
+        now += rng.uniform(0.0, 300.0);
+        for (std::size_t r = 0; r < rows; ++r)
+          cols.remaining[r] =
+              std::max(0.0, cols.remaining[r] - rng.uniform(0.0, 100.0));
+      }
+      const Watts wind{rng.uniform(0.0, 1.3 * top_demand)};
+      MatcherColumns fresh = cols;
+      MatchScratch fresh_scratch;
+      const MatchResult full =
+          matcher.match_columns(fresh, wind, now, fresh_scratch);
+      MatchResult out;
+      ++total;
+      if (matcher.match_incremental(cols, wind, now, scratch, inc, out)) {
+        ++hits;
+      } else {
+        out = matcher.match_columns(cols, wind, now, scratch, &inc);
+      }
+      ASSERT_EQ(out.compute.raw(), full.compute.raw()) << "step " << step;
+      ASSERT_EQ(out.demand.raw(), full.demand.raw()) << "step " << step;
+      ASSERT_EQ(out.steps, full.steps) << "step " << step;
+      for (std::size_t r = 0; r < rows; ++r)
+        ASSERT_EQ(cols.level[r], fresh.level[r])
+            << "step " << step << " row " << r;
+    }
+  }
+  // The walk must actually exercise the replay path, not just fall back.
+  EXPECT_GT(hits, total / 4);
 }
 
 // ----------------------------------------------- zero-fault identity

@@ -12,6 +12,15 @@
 #   --label      e.g. -l faults-on for an ISCOPE_FAULTS run)
 #   --shards N   ISCOPE_SHARDS shard count          (default 1 = legacy loop)
 #   --shard-workers W  ISCOPE_SHARD_WORKERS         (default 1; 0 = hw threads)
+#   --perf       arm the schema-v3 perf counter block (ISCOPE_BENCH_PERF=1;
+#                graceful -1 sentinels where perf_event_open is refused)
+#   --compare A B  diff two BENCH_*.json captures instead of running:
+#                the work counters (events / rematch_count /
+#                tasks_completed) must match exactly, and B's events/s must
+#                not fall more than the threshold below A's. Exits 1 on a
+#                regression, 2 when the captures are not comparable.
+#   --threshold P  allowed events/s regression percent for --compare
+#                (default 5)
 #   bench...     bench binary names                 (default: the JSON-wired
 #                set: bench_fig8_energy_cost bench_fig6_wind_utility)
 #
@@ -28,8 +37,63 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 usage() {
-  echo "usage: tools/bench.sh [-o outdir] [-s scale] [-r repeats] [-w warmup] [-l label] [--shards N] [--shard-workers W] [bench...]" >&2
+  echo "usage: tools/bench.sh [-o outdir] [-s scale] [-r repeats] [-w warmup] [-l label] [--shards N] [--shard-workers W] [--perf] [bench...]" >&2
+  echo "       tools/bench.sh --compare A.json B.json [--threshold pct]" >&2
   exit 2
+}
+
+# First numeric value of a flat top-level key in a BENCH_*.json capture
+# (the schema indents top-level scalars by exactly two spaces); empty when
+# the key is absent.
+json_num() {
+  sed -n 's/^  "'"$2"'": \(-\{0,1\}[0-9][0-9.eE+-]*\),\{0,1\}$/\1/p' "$1" \
+    | head -n 1
+}
+
+json_str() {
+  sed -n 's/^  "'"$2"'": "\(.*\)",\{0,1\}$/\1/p' "$1" | head -n 1
+}
+
+# Diff two captures: identical work counters are a precondition (different
+# counters mean the runs did different work, so events/s is meaningless),
+# then gate on the events/s regression threshold.
+compare_captures() {
+  local a="$1" b="$2" threshold="$3" f key va vb
+  for f in "$a" "$b"; do
+    [ -r "$f" ] || { echo "bench.sh: cannot read capture $f" >&2; exit 2; }
+  done
+  va="$(json_str "$a" name)"; vb="$(json_str "$b" name)"
+  if [ "$va" != "$vb" ]; then
+    echo "bench.sh: comparing different benches: '$va' vs '$vb'" >&2
+    exit 2
+  fi
+  local mismatched=0
+  for key in events rematch_count tasks_completed; do
+    va="$(json_num "$a" "$key")"; vb="$(json_num "$b" "$key")"
+    if [ "$va" != "$vb" ]; then
+      echo "counter mismatch: $key = ${va:-absent} vs ${vb:-absent}" >&2
+      mismatched=1
+    fi
+  done
+  if [ "$mismatched" -ne 0 ]; then
+    echo "bench.sh: captures did different work; not comparable" >&2
+    exit 2
+  fi
+  va="$(json_num "$a" events_per_sec)"; vb="$(json_num "$b" events_per_sec)"
+  if [ -z "$va" ] || [ -z "$vb" ]; then
+    echo "bench.sh: capture lacks events_per_sec" >&2
+    exit 2
+  fi
+  awk -v a="$va" -v b="$vb" -v thr="$threshold" -v na="$a" -v nb="$b" '
+    BEGIN {
+      delta = (b - a) / a * 100.0
+      printf "%s: %.0f events/s\n%s: %.0f events/s\n", na, a, nb, b
+      if (delta < -thr) {
+        printf "REGRESSION: %+.2f%% events/s (threshold -%g%%)\n", delta, thr
+        exit 1
+      }
+      printf "ok: %+.2f%% events/s (threshold -%g%%)\n", delta, thr
+    }'
 }
 
 OUT="bench-results"
@@ -37,6 +101,10 @@ SCALE=1
 REPEATS=3
 WARMUP=1
 LABEL=""
+PERF=0
+COMPARE_A=""
+COMPARE_B=""
+THRESHOLD=5
 SHARDS="${ISCOPE_SHARDS:-1}"
 SHARD_WORKERS="${ISCOPE_SHARD_WORKERS:-1}"
 while [ $# -gt 0 ]; do
@@ -48,11 +116,19 @@ while [ $# -gt 0 ]; do
     -l|--label) [ $# -ge 2 ] || usage; LABEL="$2"; shift 2 ;;
     --shards) [ $# -ge 2 ] || usage; SHARDS="$2"; shift 2 ;;
     --shard-workers) [ $# -ge 2 ] || usage; SHARD_WORKERS="$2"; shift 2 ;;
+    --perf) PERF=1; shift ;;
+    --compare) [ $# -ge 3 ] || usage; COMPARE_A="$2"; COMPARE_B="$3"; shift 3 ;;
+    --threshold) [ $# -ge 2 ] || usage; THRESHOLD="$2"; shift 2 ;;
     --) shift; break ;;
     -*) usage ;;
     *) break ;;
   esac
 done
+
+if [ -n "$COMPARE_A" ]; then
+  compare_captures "$COMPARE_A" "$COMPARE_B" "$THRESHOLD"
+  exit 0
+fi
 BENCHES=("$@")
 if [ "${#BENCHES[@]}" -eq 0 ]; then
   BENCHES=(bench_fig8_energy_cost bench_fig6_wind_utility)
@@ -67,7 +143,7 @@ for bench in "${BENCHES[@]}"; do
   echo "==== $bench (scale $SCALE, $WARMUP warmup + $REPEATS timed) ===="
   ISCOPE_BENCH_JSON="$OUT" ISCOPE_BENCH_REPEAT="$REPEATS" \
   ISCOPE_BENCH_WARMUP="$WARMUP" ISCOPE_SCALE="$SCALE" ISCOPE_PARALLEL=1 \
-  ISCOPE_BENCH_LABEL="$LABEL" \
+  ISCOPE_BENCH_LABEL="$LABEL" ISCOPE_BENCH_PERF="$PERF" \
   ISCOPE_SHARDS="$SHARDS" ISCOPE_SHARD_WORKERS="$SHARD_WORKERS" \
       "build-bench/bench/$bench" | tail -1
 done

@@ -36,6 +36,7 @@ STAGES=(
   "asan            ASan fault-injection + parser-fuzz tests"
   "tsan            TSan multi-shard smoke (fig8, 4 shards x 4 workers)"
   "coverage        src/fault + src/sched line-coverage floor (${COVERAGE_MIN}%)"
+  "bench-compare   fig8 events/s vs the committed baseline (opt-in: --stage only, wall clocks are machine-relative)"
 )
 
 usage() {
@@ -74,6 +75,9 @@ want() {
   if [ -n "$ONLY_STAGE" ]; then [ "$1" = "$ONLY_STAGE" ]; return; fi
   case "$1" in
     ubsan|asan|tsan|coverage) [ "$FAST" -eq 0 ] ;;
+    # Opt-in only: the committed baseline's wall clocks were taken on one
+    # machine, so the threshold gate is meaningful there, noise elsewhere.
+    bench-compare) false ;;
     *) true ;;
   esac
 }
@@ -252,6 +256,21 @@ stage_coverage() {
         }'
 }
 
+stage_bench_compare() {
+  stage "bench compare (fig8 events/s vs committed baseline, -5% gate)"
+  BASELINE="bench/baseline/BENCH_fig8_energy_cost.soa_post.json"
+  [ -r "$BASELINE" ] \
+      || { echo "bench compare: $BASELINE missing" >&2; exit 1; }
+  # Re-capture with the baseline's exact settings (scale 1, 1 warmup + 3
+  # timed, serial) and gate with the default +/-5% events/s threshold.
+  # Counter equality doubles as a behavioral-identity check: a capture
+  # that processed different events is an error, not a regression.
+  tools/bench.sh -o build-check/bench-compare -r 3 -w 1 -l current \
+      bench_fig8_energy_cost > /dev/null
+  tools/bench.sh --compare "$BASELINE" \
+      build-check/bench-compare/BENCH_fig8_energy_cost.current.json
+}
+
 want strict          && stage_strict
 want tests           && stage_tests
 want bench-smoke     && stage_bench_smoke
@@ -263,6 +282,7 @@ want ubsan           && stage_ubsan
 want asan            && stage_asan
 want tsan            && stage_tsan
 want coverage        && stage_coverage
+want bench-compare   && stage_bench_compare
 
 if [ -n "$ONLY_STAGE" ]; then
   stage "stage '$ONLY_STAGE' passed"
