@@ -1,6 +1,7 @@
 #include "common/rng.hpp"
 
 #include <cmath>
+#include <sstream>
 
 #include "common/error.hpp"
 
@@ -26,6 +27,18 @@ std::uint64_t fnv1a(std::string_view s) {
 
 Rng Rng::fork(std::string_view tag) const {
   return Rng(splitmix64(seed_ ^ fnv1a(tag)));
+}
+
+std::string Rng::save_state() const {
+  std::ostringstream os;
+  os << engine_;
+  return os.str();
+}
+
+void Rng::load_state(const std::string& state) {
+  std::istringstream is(state);
+  is >> engine_;
+  ISCOPE_CHECK_ARG(!is.fail(), "Rng: malformed engine state");
 }
 
 double Rng::uniform() {

@@ -68,6 +68,14 @@ class Rng {
   /// Direct access for std:: distributions not wrapped above.
   std::mt19937_64& engine() { return engine_; }
 
+  /// Serialized engine state (the std::mt19937_64 stream format, a pure
+  /// function of the draws made so far). Every distribution wrapper above
+  /// constructs its std:: distribution per call -- no hidden state -- so
+  /// engine state alone captures the stream position. The restoring caller
+  /// must construct the Rng with the same seed it was saved under.
+  std::string save_state() const;
+  void load_state(const std::string& state);
+
  private:
   std::mt19937_64 engine_;
   std::uint64_t seed_;

@@ -1,0 +1,127 @@
+// Bounds-checked little-endian binary serialization.
+//
+// The checkpoint layer (src/service/checkpoint.cpp) and the wire protocol
+// (src/service/wire.cpp) both need a byte codec that (a) round-trips
+// doubles bit-exactly -- the seeded-replay invariant compares SimResult
+// fields bitwise -- and (b) never reads past the end of an attacker- or
+// disk-corruption-shaped buffer. Writer appends to a growable byte vector;
+// Reader throws iscope::ParseError on any over-read, so truncated files and
+// lying length prefixes surface as a typed error instead of UB. Multi-byte
+// values are fixed little-endian regardless of host order, making
+// checkpoints portable across machines.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace iscope::serial {
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void b(bool v) { u8(v ? 1 : 0); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  /// Bit-pattern transport: NaNs and signed zeros survive unchanged.
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void str(std::string_view s) {
+    u64(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+  void bytes(const std::uint8_t* data, std::size_t n) {
+    buf_.insert(buf_.end(), data, data + n);
+  }
+
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit Reader(const std::vector<std::uint8_t>& buf)
+      : data_(buf.data()), size_(buf.size()) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[off_++];
+  }
+  bool b() {
+    const std::uint8_t v = u8();
+    if (v > 1) throw ParseError("serial: boolean byte out of range");
+    return v != 0;
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(data_[off_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    off_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(data_[off_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    off_ += 8;
+    return v;
+  }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+  /// Length-prefixed string; `max_len` bounds hostile prefixes before any
+  /// allocation happens.
+  std::string str(std::size_t max_len = 1u << 20) {
+    const std::uint64_t n = u64();
+    if (n > max_len) throw ParseError("serial: string length exceeds cap");
+    need(static_cast<std::size_t>(n));
+    std::string s(reinterpret_cast<const char*>(data_ + off_),
+                  static_cast<std::size_t>(n));
+    off_ += static_cast<std::size_t>(n);
+    return s;
+  }
+  /// Element-count guard for vector headers: a lying count must fail here,
+  /// not in a multi-gigabyte resize.
+  std::size_t count(std::size_t max_count) {
+    const std::uint64_t n = u64();
+    if (n > max_count) throw ParseError("serial: element count exceeds cap");
+    return static_cast<std::size_t>(n);
+  }
+
+  std::size_t remaining() const { return size_ - off_; }
+  bool done() const { return off_ == size_; }
+  void expect_done() const {
+    if (!done()) throw ParseError("serial: trailing bytes after payload");
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (size_ - off_ < n)
+      throw ParseError("serial: read past end of buffer");
+  }
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t off_ = 0;
+};
+
+}  // namespace iscope::serial

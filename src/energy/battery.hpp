@@ -66,6 +66,16 @@ class BatteryBank {
 
   const BatteryConfig& config() const { return config_; }
 
+  /// Checkpoint restore (src/service/checkpoint.cpp): overwrite the flow
+  /// accumulators with previously-saved values. The config is identity,
+  /// not state -- the restoring caller must construct the bank with the
+  /// same BatteryConfig it was checkpointed under.
+  void restore_state(Joules stored, Joules delivered, Joules absorbed) {
+    stored_ = stored;
+    delivered_ = delivered;
+    absorbed_ = absorbed;
+  }
+
  private:
   BatteryConfig config_;
   Joules stored_;

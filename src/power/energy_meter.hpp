@@ -66,6 +66,15 @@ class EnergyMeter {
 
   void reset();
 
+  /// Checkpoint restore (src/service/checkpoint.cpp): overwrite the
+  /// accumulated totals and the sampled trace with saved values.
+  void restore_state(const EnergySplit& total, Joules curtailed,
+                     std::vector<PowerSample> trace) {
+    total_ = total;
+    wind_curtailed_ = curtailed;
+    trace_ = std::move(trace);
+  }
+
  private:
   EnergySplit total_;
   Joules wind_curtailed_;

@@ -123,6 +123,11 @@ class PlacementPolicy {
   /// Efficiency rank of a processor (0 = most efficient).
   std::size_t efficiency_rank(std::size_t proc) const;
 
+  /// Checkpoint access to the placement stream (consumed only by kRandom;
+  /// Effi/Fair never draw, so their saved state is the seed position).
+  std::string rng_state() const { return rng_.save_state(); }
+  void set_rng_state(const std::string& state) { rng_.load_state(state); }
+
  private:
   std::optional<std::vector<std::size_t>> choose_efficient(
       std::size_t n, std::vector<std::size_t>& idle, bool forced);

@@ -1,0 +1,31 @@
+// iscope_serve entry point. Usage:
+//
+//   iscope_serve --socket PATH [--scheme ScanFair] [--scale F] [--seed N]
+//                [--no-wind] [--battery] [--faults SPEC]
+//                [--checkpoint PATH] [--resume] [--metrics-port N]
+//                [--admit-capacity N]
+//
+// Prints "iscope_serve: listening on PATH" once ready. SIGTERM/SIGINT
+// checkpoint to --checkpoint (when set) and exit; SHUTDOWN over the wire
+// exits without a checkpoint.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "service/server.hpp"
+#include "telemetry/telemetry.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    const iscope::service::ServiceOptions opt =
+        iscope::service::parse_service_args(args);
+    iscope::telemetry::set_enabled(true);
+    iscope::service::ServiceServer server(opt);
+    return server.serve();
+  } catch (const iscope::Error& e) {
+    std::fprintf(stderr, "iscope_serve: %s\n", e.what());
+    return 2;
+  }
+}

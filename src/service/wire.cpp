@@ -1,0 +1,287 @@
+#include "service/wire.hpp"
+
+#include <cmath>
+#include <cstring>
+
+namespace iscope::service {
+
+namespace {
+
+double finite(double v, const char* what) {
+  if (!std::isfinite(v))
+    throw ParseError(std::string("wire: non-finite ") + what);
+  return v;
+}
+
+serial::Reader whole(const std::vector<std::uint8_t>& payload) {
+  return serial::Reader(payload.data(), payload.size());
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(
+    MsgType type, const std::vector<std::uint8_t>& payload) {
+  ISCOPE_CHECK_ARG(payload.size() + 1 <= kMaxFrameBody,
+                   "wire: frame payload exceeds the frame cap");
+  serial::Writer w;
+  w.u32(static_cast<std::uint32_t>(payload.size() + 1));
+  w.u8(static_cast<std::uint8_t>(type));
+  w.bytes(payload.data(), payload.size());
+  return w.take();
+}
+
+void FrameReader::feed(const std::uint8_t* data, std::size_t n) {
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+bool FrameReader::next(Frame& out) {
+  // Compact the consumed prefix once it dominates the buffer, so a
+  // long-lived connection does not grow it without bound.
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  if (buf_.size() - pos_ < 4) return false;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i)
+    len |= static_cast<std::uint32_t>(buf_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+  // A lying length prefix is rejected *before* waiting for (or buffering)
+  // the bytes it claims; zero-length frames have no type byte and are
+  // equally malformed.
+  if (len == 0) throw ParseError("wire: zero-length frame");
+  if (len > kMaxFrameBody) throw ParseError("wire: frame exceeds size cap");
+  if (buf_.size() - pos_ < 4 + static_cast<std::size_t>(len)) return false;
+  out.type = static_cast<MsgType>(buf_[pos_ + 4]);
+  out.payload.assign(buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + 5),
+                     buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + 4 + len));
+  pos_ += 4 + static_cast<std::size_t>(len);
+  return true;
+}
+
+std::vector<std::uint8_t> encode_hello() {
+  serial::Writer w;
+  w.u32(kProtoVersion);
+  return w.take();
+}
+
+void parse_hello(const std::vector<std::uint8_t>& payload) {
+  serial::Reader r = whole(payload);
+  const std::uint32_t version = r.u32();
+  r.expect_done();
+  if (version != kProtoVersion)
+    throw ParseError("wire: unsupported protocol version " +
+                     std::to_string(version));
+}
+
+std::vector<std::uint8_t> encode_admit(const Task& task) {
+  serial::Writer w;
+  w.i64(task.id);
+  w.f64(task.submit_s);
+  w.u64(task.cpus);
+  w.f64(task.runtime_s);
+  w.f64(task.gamma);
+  w.f64(task.deadline_s);
+  w.u8(static_cast<std::uint8_t>(task.urgency));
+  return w.take();
+}
+
+Task parse_admit(const std::vector<std::uint8_t>& payload) {
+  serial::Reader r = whole(payload);
+  Task t;
+  t.id = r.i64();
+  t.submit_s = finite(r.f64(), "submit time");
+  t.cpus = static_cast<std::size_t>(r.u64());
+  t.runtime_s = finite(r.f64(), "runtime");
+  t.gamma = finite(r.f64(), "gamma");
+  t.deadline_s = finite(r.f64(), "deadline");
+  const std::uint8_t urgency = r.u8();
+  if (urgency > static_cast<std::uint8_t>(Urgency::kLow))
+    throw ParseError("wire: bad task urgency");
+  t.urgency = static_cast<Urgency>(urgency);
+  r.expect_done();
+  // Semantic validation (width vs cluster, deadline > submit, clock order)
+  // happens in the server against the live simulator; here only the
+  // representable-task invariants hold.
+  if (t.cpus == 0) throw ParseError("wire: task width must be positive");
+  if (t.runtime_s <= 0.0) throw ParseError("wire: runtime must be positive");
+  if (t.gamma < 0.0 || t.gamma > 1.0)
+    throw ParseError("wire: gamma must be in [0,1]");
+  return t;
+}
+
+std::vector<std::uint8_t> encode_advance(double t_limit_s) {
+  serial::Writer w;
+  w.f64(t_limit_s);
+  return w.take();
+}
+
+double parse_advance(const std::vector<std::uint8_t>& payload) {
+  serial::Reader r = whole(payload);
+  const double t = r.f64();
+  r.expect_done();
+  finite(t, "advance limit");
+  if (t < 0.0) throw ParseError("wire: advance limit must be >= 0");
+  return t;
+}
+
+std::vector<std::uint8_t> encode_hello_ok(const HelloOk& h) {
+  serial::Writer w;
+  w.u32(h.version);
+  w.str(h.scheme);
+  w.u64(h.procs);
+  w.u64(h.seed);
+  return w.take();
+}
+
+HelloOk parse_hello_ok(const std::vector<std::uint8_t>& payload) {
+  serial::Reader r = whole(payload);
+  HelloOk h;
+  h.version = r.u32();
+  h.scheme = r.str(256);
+  h.procs = r.u64();
+  h.seed = r.u64();
+  r.expect_done();
+  return h;
+}
+
+std::vector<std::uint8_t> encode_u64(std::uint64_t v) {
+  serial::Writer w;
+  w.u64(v);
+  return w.take();
+}
+
+std::uint64_t parse_u64(const std::vector<std::uint8_t>& payload) {
+  serial::Reader r = whole(payload);
+  const std::uint64_t v = r.u64();
+  r.expect_done();
+  return v;
+}
+
+std::vector<std::uint8_t> encode_text(const std::string& text) {
+  serial::Writer w;
+  w.str(text);
+  return w.take();
+}
+
+std::string parse_text(const std::vector<std::uint8_t>& payload) {
+  serial::Reader r = whole(payload);
+  std::string s = r.str(kMaxFrameBody);
+  r.expect_done();
+  return s;
+}
+
+std::vector<std::uint8_t> encode_decision(const TimelineEvent& e) {
+  serial::Writer w;
+  w.f64(e.time_s);
+  w.u8(static_cast<std::uint8_t>(e.kind));
+  w.i64(e.task_id);
+  w.f64(e.value);
+  return w.take();
+}
+
+TimelineEvent parse_decision(const std::vector<std::uint8_t>& payload) {
+  serial::Reader r = whole(payload);
+  TimelineEvent e;
+  e.time_s = r.f64();
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(TimelineKind::kTaskAbandon))
+    throw ParseError("wire: bad timeline kind");
+  e.kind = static_cast<TimelineKind>(kind);
+  e.task_id = r.i64();
+  e.value = r.f64();
+  r.expect_done();
+  return e;
+}
+
+std::vector<std::uint8_t> encode_advance_done(const AdvanceDone& d) {
+  serial::Writer w;
+  w.f64(d.now_s);
+  w.u64(d.events_run);
+  return w.take();
+}
+
+AdvanceDone parse_advance_done(const std::vector<std::uint8_t>& payload) {
+  serial::Reader r = whole(payload);
+  AdvanceDone d;
+  d.now_s = r.f64();
+  d.events_run = r.u64();
+  r.expect_done();
+  return d;
+}
+
+std::vector<std::uint8_t> encode_snapshot(const DecisionSnapshot& s) {
+  serial::Writer w;
+  w.f64(s.now_s);
+  w.f64(s.demand.watts());
+  w.u64(s.tasks_admitted);
+  w.u64(s.tasks_completed);
+  w.u64(s.tasks_failed);
+  w.u64(s.waiting);
+  w.u64(s.running);
+  w.u64(s.idle_procs);
+  w.u64(s.events_processed);
+  w.u64(s.rematches);
+  w.b(s.rush_mode);
+  return w.take();
+}
+
+DecisionSnapshot parse_snapshot(const std::vector<std::uint8_t>& payload) {
+  serial::Reader r = whole(payload);
+  DecisionSnapshot s;
+  s.now_s = r.f64();
+  s.demand = Watts{r.f64()};
+  s.tasks_admitted = static_cast<std::size_t>(r.u64());
+  s.tasks_completed = static_cast<std::size_t>(r.u64());
+  s.tasks_failed = static_cast<std::size_t>(r.u64());
+  s.waiting = static_cast<std::size_t>(r.u64());
+  s.running = static_cast<std::size_t>(r.u64());
+  s.idle_procs = static_cast<std::size_t>(r.u64());
+  s.events_processed = static_cast<std::size_t>(r.u64());
+  s.rematches = static_cast<std::size_t>(r.u64());
+  s.rush_mode = r.b();
+  r.expect_done();
+  return s;
+}
+
+std::vector<std::uint8_t> encode_result_summary(const ResultSummary& res) {
+  serial::Writer w;
+  w.f64(res.wind_j);
+  w.f64(res.utility_j);
+  w.f64(res.curtailed_j);
+  w.f64(res.battery_delivered_j);
+  w.f64(res.battery_losses_j);
+  w.f64(res.cost_usd);
+  w.u64(res.tasks_completed);
+  w.u64(res.deadline_misses);
+  w.f64(res.mean_wait_s);
+  w.f64(res.makespan_s);
+  w.u64(res.events_processed);
+  w.u64(res.rematches);
+  w.u64(res.task_requeues);
+  w.u64(res.tasks_failed);
+  return w.take();
+}
+
+ResultSummary parse_result_summary(const std::vector<std::uint8_t>& payload) {
+  serial::Reader r = whole(payload);
+  ResultSummary res;
+  res.wind_j = r.f64();
+  res.utility_j = r.f64();
+  res.curtailed_j = r.f64();
+  res.battery_delivered_j = r.f64();
+  res.battery_losses_j = r.f64();
+  res.cost_usd = r.f64();
+  res.tasks_completed = r.u64();
+  res.deadline_misses = r.u64();
+  res.mean_wait_s = r.f64();
+  res.makespan_s = r.f64();
+  res.events_processed = r.u64();
+  res.rematches = r.u64();
+  res.task_requeues = r.u64();
+  res.tasks_failed = r.u64();
+  r.expect_done();
+  return res;
+}
+
+}  // namespace iscope::service

@@ -7,13 +7,22 @@
 
 namespace iscope {
 
-void EventQueue::schedule(double time_s, Handler fn) {
+void EventQueue::push_item(double time_s, const EventDesc& desc, Handler fn) {
   ISCOPE_CHECK_ARG(time_s >= now_ - 1e-9,
                    "EventQueue: cannot schedule into the past");
   ISCOPE_CHECK_ARG(static_cast<bool>(fn), "EventQueue: null handler");
-  heap_.push_back(Item{std::max(time_s, now_), seq_++, std::move(fn)});
+  heap_.push_back(Item{std::max(time_s, now_), seq_++, tie_class(desc), desc,
+                       std::move(fn)});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   hwm_ = std::max(hwm_, heap_.size());
+}
+
+void EventQueue::schedule(double time_s, Handler fn) {
+  push_item(time_s, EventDesc{}, std::move(fn));
+}
+
+void EventQueue::schedule(double time_s, const EventDesc& desc, Handler fn) {
+  push_item(time_s, desc, std::move(fn));
 }
 
 bool EventQueue::step() {
@@ -32,9 +41,9 @@ std::size_t EventQueue::run(std::size_t max_events) {
   return n;
 }
 
-std::size_t EventQueue::run_until(double until_s) {
+std::size_t EventQueue::run_until(double until_s, std::size_t max_events) {
   std::size_t n = 0;
-  while (!heap_.empty() && heap_.front().time <= until_s) {
+  while (n < max_events && !heap_.empty() && heap_.front().time <= until_s) {
     step();
     ++n;
   }
@@ -54,6 +63,48 @@ std::size_t EventQueue::run_before(double t_limit, std::size_t max_events) {
 double EventQueue::peek_time() const {
   ISCOPE_CHECK_ARG(!heap_.empty(), "EventQueue: peek on empty queue");
   return heap_.front().time;
+}
+
+std::vector<SavedEvent> EventQueue::save_events() const {
+  std::vector<SavedEvent> out;
+  out.reserve(heap_.size());
+  for (const Item& item : heap_) {
+    ISCOPE_CHECK_ARG(item.desc.kind != EventDesc::Kind::kOpaque,
+                     "EventQueue: cannot checkpoint an untagged (opaque) "
+                     "pending event");
+    out.push_back(SavedEvent{item.time, item.seq, item.desc});
+  }
+  return out;
+}
+
+void EventQueue::restore(
+    double now, std::uint64_t next_seq, std::size_t high_water,
+    const std::vector<SavedEvent>& events,
+    const std::function<Handler(const SavedEvent&)>& factory) {
+  heap_.clear();
+  heap_.reserve(events.size());
+  for (const SavedEvent& e : events) {
+    ISCOPE_CHECK_ARG(e.desc.kind != EventDesc::Kind::kOpaque,
+                     "EventQueue: cannot restore an opaque event");
+    ISCOPE_CHECK_ARG(e.time >= now - 1e-9,
+                     "EventQueue: restored event precedes the clock");
+    ISCOPE_CHECK_ARG(e.seq < next_seq,
+                     "EventQueue: restored sequence number from the future");
+    Handler fn = factory(e);
+    ISCOPE_CHECK_ARG(static_cast<bool>(fn),
+                     "EventQueue: factory returned a null handler");
+    // No push_heap: the snapshot is the raw layout of a valid heap, and
+    // reinstalling it verbatim reproduces the uninterrupted run's exact
+    // comparison/sift sequence.
+    heap_.push_back(Item{e.time, e.seq, tie_class(e.desc), e.desc,
+                         std::move(fn)});
+  }
+  ISCOPE_CHECK_ARG(
+      std::is_heap(heap_.begin(), heap_.end(), Later{}),
+      "EventQueue: restored events do not form a valid heap layout");
+  now_ = now;
+  seq_ = next_seq;
+  hwm_ = std::max(high_water, heap_.size());
 }
 
 void EventQueue::clear() {

@@ -15,22 +15,70 @@
 // closure the simulator schedules is stored inline, so steady-state
 // scheduling performs no heap allocation once the heap vector has grown
 // to its high-water mark.
+//
+// Checkpointing (src/service/checkpoint.cpp): closures cannot be
+// serialized, so every simulator schedule site tags its event with a small
+// POD EventDesc (kind + payload). save_events() emits the heap's raw
+// vector layout -- a valid heap is restored verbatim, no re-heapify, so
+// the resumed pop order is bit-identical -- and restore() rebuilds each
+// handler from its descriptor through a caller-supplied factory.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/small_fn.hpp"
 
 namespace iscope {
 
+/// Serializable identity of a scheduled event: which simulator action it
+/// performs and the small payload that action needs. `kOpaque` marks an
+/// untagged event (tests, ad-hoc callers) -- it runs fine but cannot be
+/// checkpointed.
+struct EventDesc {
+  enum class Kind : std::uint8_t {
+    kOpaque = 0,
+    kArrival,          ///< a = task index
+    kPass,             ///< deadline-pressure scheduling-pass wakeup
+    kCompletion,       ///< a = task index, b = task version
+    kEpoch,            ///< t = epoch time (self-rechaining)
+    kSample,           ///< t = sample time (self-rechaining)
+    kProfilingBegin,   ///< a = profiling window index
+    kProfilingEnd,     ///< a = active-scan slot index
+    kFault,            ///< a = fault-plan event cursor
+    kMisprofileTimer,  ///< a = processor, b = occupancy token
+    kMisprofileRepair, ///< a = processor
+  };
+  Kind kind = Kind::kOpaque;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  double t = 0.0;
+};
+
+/// One checkpointed event, in the heap's raw vector order.
+struct SavedEvent {
+  double time = 0.0;
+  std::uint64_t seq = 0;
+  EventDesc desc;
+};
+
 class EventQueue {
  public:
   using Handler = SmallFn<64>;
 
-  /// Schedule `fn` at absolute time `time_s` (>= now).
+  /// Schedule `fn` at absolute time `time_s` (>= now). Untagged: the event
+  /// is kOpaque and blocks checkpointing while pending.
   void schedule(double time_s, Handler fn);
+
+  /// Schedule with a serializable descriptor. Arrival events occupy a
+  /// dedicated tie class that runs before every other same-time event:
+  /// batch runs schedule all arrivals first (smallest sequence numbers), so
+  /// their tie order is unchanged, while a streamed admission's arrival --
+  /// scheduled after epoch/sample chains already exist -- still ties
+  /// exactly where the batch schedule would have put it.
+  void schedule(double time_s, const EventDesc& desc, Handler fn);
 
   /// Run the earliest event. Returns false if the queue is empty.
   bool step();
@@ -39,9 +87,10 @@ class EventQueue {
   /// Returns the number of events run.
   std::size_t run(std::size_t max_events = SIZE_MAX);
 
-  /// Run events with time <= `until_s`; the clock ends at `until_s` if the
-  /// queue drained earlier. Returns the number of events run.
-  std::size_t run_until(double until_s);
+  /// Run events with time <= `until_s` (at most `max_events`); the clock
+  /// ends at `until_s` if the queue drained earlier. Returns the number of
+  /// events run.
+  std::size_t run_until(double until_s, std::size_t max_events = SIZE_MAX);
 
   /// Run events with time strictly < `t_limit` (at most `max_events`).
   /// Unlike run_until, the clock is left at the last processed event --
@@ -60,6 +109,23 @@ class EventQueue {
   std::size_t high_water() const { return hwm_; }
   /// Time of the earliest pending event; throws if empty.
   double peek_time() const;
+  /// Next sequence number to be assigned (checkpointed so a restored run
+  /// keeps numbering ties exactly where the uninterrupted run would).
+  std::uint64_t next_seq() const { return seq_; }
+
+  /// Snapshot every pending event in the heap's raw vector order. Throws
+  /// InvalidArgument if any pending event is untagged (kOpaque) -- such a
+  /// queue cannot be checkpointed.
+  std::vector<SavedEvent> save_events() const;
+
+  /// Rebuild the queue from a snapshot: `factory` maps each SavedEvent to
+  /// its handler. The items are installed in the given order *without*
+  /// re-heapifying -- save_events() emitted a valid heap layout, and
+  /// restoring it verbatim reproduces the exact pop (and sift) sequence of
+  /// the uninterrupted run. Cold path; allocation here is fine.
+  void restore(double now, std::uint64_t next_seq, std::size_t high_water,
+               const std::vector<SavedEvent>& events,
+               const std::function<Handler(const SavedEvent&)>& factory);
 
   /// Drop all pending events and rewind the clock to 0, keeping the heap's
   /// allocated capacity (so a reused queue schedules allocation-free up to
@@ -73,14 +139,22 @@ class EventQueue {
   struct Item {
     double time;
     std::uint64_t seq;
+    std::uint8_t cls;  ///< tie class: 0 = arrival, 1 = everything else
+    EventDesc desc;
     Handler fn;
   };
   struct Later {
     bool operator()(const Item& a, const Item& b) const {
       if (a.time != b.time) return a.time > b.time;
+      if (a.cls != b.cls) return a.cls > b.cls;
       return a.seq > b.seq;
     }
   };
+  static std::uint8_t tie_class(const EventDesc& desc) {
+    return desc.kind == EventDesc::Kind::kArrival ? 0 : 1;
+  }
+  void push_item(double time_s, const EventDesc& desc, Handler fn);
+
   std::vector<Item> heap_;  ///< binary max-heap under Later
   double now_ = 0.0;
   std::uint64_t seq_ = 0;

@@ -137,11 +137,20 @@ ShardedSim::ShardedSim(const Cluster& cluster, Scheme scheme,
   }
 }
 
-SimResult ShardedSim::run(const std::vector<Task>& tasks,
-                          const std::vector<ProfilingWindow>& profiling) {
-  ISCOPE_SPAN("sharded_run");
-  const std::size_t n = shards_.size();
+ShardedSim::~ShardedSim() = default;
 
+void ShardedSim::ensure_pool() {
+  std::size_t workers = config_.shard_workers;
+  if (workers == 0)
+    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  workers = std::min(workers, shards_.size());
+  if (workers > 1 && pool_ == nullptr)
+    pool_ = std::make_unique<ThreadPool>(workers);
+}
+
+void ShardedSim::prepare(const std::vector<Task>& tasks,
+                         const std::vector<ProfilingWindow>& profiling) {
+  const std::size_t n = shards_.size();
   std::vector<std::vector<Task>> parts = partition_tasks(tasks, topology_);
   std::vector<std::vector<ProfilingWindow>> windows =
       partition_windows(profiling, topology_);
@@ -149,58 +158,65 @@ SimResult ShardedSim::run(const std::vector<Task>& tasks,
     shards_[s].tasks_assigned = parts[s].size();
     shards_[s].sim->prepare(std::move(parts[s]), windows[s]);
   }
+  barrier_ = 0.0;
+  ensure_pool();
+}
 
-  std::size_t workers = config_.shard_workers;
-  if (workers == 0) workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  workers = std::min(workers, n);
-  std::unique_ptr<ThreadPool> pool;
-  if (workers > 1) pool = std::make_unique<ThreadPool>(workers);
+bool ShardedSim::drained() const {
+  for (const Shard& sh : shards_)
+    if (!sh.sim->drained()) return false;
+  return true;
+}
 
-  // Epoch-barrier loop. Each round: (1) collect demands, (2) reconcile the
-  // global wind budget in fixed shard order (single-threaded), (3) advance
-  // every shard through events strictly before the next barrier. An epoch
-  // event at exactly t = k*epoch_s runs in round k+1, under the fraction
+std::size_t ShardedSim::advance_round() {
+  // One epoch-barrier round: (1) collect demands, (2) reconcile the global
+  // wind budget in fixed shard order (single-threaded), (3) advance every
+  // shard through events strictly before the next barrier. An epoch event
+  // at exactly t = k*epoch_s runs in round k+1, under the fraction
   // reconciled at that barrier.
+  const std::size_t n = shards_.size();
   std::vector<Watts> demand(n, Watts{});
-  std::vector<std::future<std::size_t>> pending;
-  double barrier = 0.0;
-  while (true) {
-    bool any_pending = false;
-    for (const Shard& sh : shards_)
-      if (!sh.sim->drained()) {
-        any_pending = true;
-        break;
-      }
-    if (!any_pending) break;
+  for (std::size_t s = 0; s < n; ++s)
+    demand[s] = shards_[s].sim->demand_now();
+  const Watts wind = global_supply_->wind_available(Seconds{barrier_});
+  const WindAllocation alloc =
+      reconcile_wind(std::max(wind, Watts{}), demand, capacity_share_);
+  for (std::size_t s = 0; s < n; ++s)
+    shards_[s].supply->set_fraction(alloc.fraction[s]);
 
-    for (std::size_t s = 0; s < n; ++s)
-      demand[s] = shards_[s].sim->demand_now();
-    const Watts wind = global_supply_->wind_available(Seconds{barrier});
-    const WindAllocation alloc =
-        reconcile_wind(std::max(wind, Watts{}), demand, capacity_share_);
-    for (std::size_t s = 0; s < n; ++s)
-      shards_[s].supply->set_fraction(alloc.fraction[s]);
-
-    const double next = barrier + config_.epoch_s;
-    if (pool != nullptr) {
-      pending.clear();
-      for (Shard& sh : shards_)
-        pending.push_back(pool->submit(
-            [&sim = *sh.sim, next] { return sim.advance_before(next); }));
-      for (std::future<std::size_t>& f : pending) f.get();
-    } else {
-      for (Shard& sh : shards_) sh.sim->advance_before(next);
-    }
-    barrier = next;
+  const double next = barrier_ + config_.epoch_s;
+  std::size_t events = 0;
+  if (pool_ != nullptr) {
+    std::vector<std::future<std::size_t>> pending;
+    pending.reserve(n);
+    for (Shard& sh : shards_)
+      pending.push_back(pool_->submit(
+          [&sim = *sh.sim, next] { return sim.advance_before(next); }));
+    // Sum in fixed shard order (a size_t sum is order-independent anyway).
+    for (std::future<std::size_t>& f : pending) events += f.get();
+  } else {
+    for (Shard& sh : shards_) events += sh.sim->advance_before(next);
   }
+  barrier_ = next;
+  return events;
+}
 
+SimResult ShardedSim::collect() {
   // Collect in fixed shard order; every cross-shard sum below is likewise
   // fixed-order, so the result is independent of the worker count.
   std::vector<SimResult> results;
-  results.reserve(n);
+  results.reserve(shards_.size());
   for (Shard& sh : shards_) results.push_back(sh.sim->finish());
-  if (n == 1) return std::move(results[0]);
+  if (shards_.size() == 1) return std::move(results[0]);
   return aggregate(std::move(results));
+}
+
+SimResult ShardedSim::run(const std::vector<Task>& tasks,
+                          const std::vector<ProfilingWindow>& profiling) {
+  ISCOPE_SPAN("sharded_run");
+  prepare(tasks, profiling);
+  while (!drained()) advance_round();
+  return collect();
 }
 
 SimResult ShardedSim::aggregate(std::vector<SimResult> results) const {

@@ -47,6 +47,9 @@ std::vector<std::vector<Task>> partition_tasks(const std::vector<Task>& tasks,
 std::vector<std::vector<ProfilingWindow>> partition_windows(
     const std::vector<ProfilingWindow>& profiling, const Topology& topology);
 
+class ThreadPool;
+struct CheckpointAccess;
+
 class ShardedSim {
  public:
   /// Mirrors run_scheme(): builds a Knowledge slice per shard for
@@ -55,14 +58,34 @@ class ShardedSim {
   /// simulator.
   ShardedSim(const Cluster& cluster, Scheme scheme, const ProfileDb* db,
              const HybridSupply& supply, const SimConfig& config);
+  ~ShardedSim();
 
   /// Run the trace to completion and return the aggregated metrics.
+  /// Equivalent to prepare() + advance_round() until drained + collect().
   SimResult run(const std::vector<Task>& tasks,
                 const std::vector<ProfilingWindow>& profiling = {});
+
+  /// --- resumable round API (service-mode checkpointing) ------------------
+  /// Partition the trace, stage every shard, rewind the barrier to t = 0.
+  void prepare(const std::vector<Task>& tasks,
+               const std::vector<ProfilingWindow>& profiling = {});
+  /// One epoch-barrier round: reconcile the global wind budget at the
+  /// current barrier (fixed shard order, single-threaded), then advance
+  /// every shard through events strictly before the next barrier. Returns
+  /// the number of events run across shards.
+  std::size_t advance_round();
+  /// True when every shard's event queue drained.
+  bool drained() const;
+  /// The barrier the next advance_round() reconciles at.
+  double barrier_s() const { return barrier_; }
+  /// Finish every shard (fixed order) and aggregate. Requires drained().
+  SimResult collect();
 
   const Topology& topology() const { return topology_; }
 
  private:
+  friend struct CheckpointAccess;
+
   struct Shard {
     std::unique_ptr<Knowledge> knowledge;
     std::unique_ptr<HybridSupply> supply;  ///< fraction re-set per epoch
@@ -72,6 +95,8 @@ class ShardedSim {
   };
 
   SimResult aggregate(std::vector<SimResult> results) const;
+  /// Lazily build the worker pool the round advances fan out over.
+  void ensure_pool();
 
   const Cluster* cluster_;
   const HybridSupply* global_supply_;
@@ -79,6 +104,8 @@ class ShardedSim {
   Topology topology_;
   std::vector<double> capacity_share_;  ///< slice size / facility size
   std::vector<Shard> shards_;
+  std::unique_ptr<ThreadPool> pool_;    ///< null when running serially
+  double barrier_ = 0.0;                ///< next reconciliation instant
 };
 
 }  // namespace iscope

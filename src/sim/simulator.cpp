@@ -1,6 +1,8 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "common/audit.hpp"
 #include "sim/sharded.hpp"
@@ -348,6 +350,7 @@ void DatacenterSim::rematch() {
       const double completion = now + t.remaining_work_s * slowdown;
       const std::uint64_t version = t.version;
       queue_.schedule(completion,
+                      EventDesc{EventDesc::Kind::kCompletion, idx, version},
                       [this, idx, version] { on_completion(idx, version); });
     }
   }
@@ -364,7 +367,8 @@ void DatacenterSim::on_arrival(std::size_t idx) {
   // Wake up when deadline pressure forces this task onto whatever is idle.
   const double force_at =
       std::max(queue_.now(), latest_start(t) - config_.deadline_patience_s);
-  queue_.schedule(force_at, [this] { schedule_pass(); });
+  queue_.schedule(force_at, EventDesc{EventDesc::Kind::kPass},
+                  [this] { schedule_pass(); });
   schedule_pass();
 }
 
@@ -519,6 +523,7 @@ void DatacenterSim::start_task(std::size_t idx, std::vector<std::size_t> procs) 
       if (misprofile_armed_[p] == 0) continue;
       const std::uint64_t token = ++misprofile_token_[p];
       queue_.schedule(now + plan_->misprofile_latency_s(p),
+                      EventDesc{EventDesc::Kind::kMisprofileTimer, p, token},
                       [this, p, token] { on_misprofile_timer(p, token); });
     }
   }
@@ -569,7 +574,8 @@ void DatacenterSim::on_completion(std::size_t idx, std::uint64_t version) {
   schedule_pass();
 }
 
-void DatacenterSim::begin_profiling_window(const ProfilingWindow& window) {
+void DatacenterSim::begin_profiling_window(std::size_t window_idx) {
+  const ProfilingWindow& window = profiling_[window_idx];
   // Isolate only processors that are idle right now: QoS comes first
   // (paper Sec. III-C), busy chips are skipped and left for a later pass.
   std::vector<std::size_t> taken;
@@ -598,28 +604,33 @@ void DatacenterSim::begin_profiling_window(const ProfilingWindow& window) {
   if (!taken.empty()) {
     rematch();  // demand changed
     const double started = queue_.now();
+    // Park the scan in a slot so the end event carries only the slot index
+    // (a serializable descriptor, unlike the moved vector it used to own).
+    const std::size_t slot = scans_.size();
+    scans_.push_back(ActiveScan{std::move(taken), started, true});
     queue_.schedule(started + window.duration_s,
-                    [this, taken = std::move(taken), started] {
-                      end_profiling_window(taken, started);
-                    });
+                    EventDesc{EventDesc::Kind::kProfilingEnd, slot},
+                    [this, slot] { end_profiling_window(slot); });
   }
 }
 
-void DatacenterSim::end_profiling_window(const std::vector<std::size_t>& procs,
-                                         double started_s) {
+void DatacenterSim::end_profiling_window(std::size_t slot) {
+  ActiveScan& scan = scans_[slot];
   const std::size_t top = knowledge_->levels() - 1;
-  for (const std::size_t p : procs) {
+  for (const std::size_t p : scan.procs) {
     reserved_[p] = false;
     if (proc_running_[p] == kNone && !(faults_active_ && failed_[p] != 0))
       idle_insert(p);
     reserved_power_ -= knowledge_->cluster().power(
         knowledge_->global_proc(p), top,
         Volts{knowledge_->cluster().levels().vdd_nom[top]});
-    profiling_proc_seconds_ += queue_.now() - started_s;
+    profiling_proc_seconds_ += queue_.now() - scan.started_s;
   }
   reserved_power_ = std::max(Watts{}, reserved_power_);
   log_event(TimelineKind::kProfilingEnd, -1,
-            static_cast<double>(procs.size()));
+            static_cast<double>(scan.procs.size()));
+  scan.live = false;
+  scan.procs.clear();
   rematch();
   schedule_pass();  // the freed processors may admit waiting tasks
 }
@@ -627,7 +638,8 @@ void DatacenterSim::end_profiling_window(const std::vector<std::size_t>& procs,
 void DatacenterSim::schedule_fault_event(std::size_t i) {
   if (i >= plan_->events().size()) return;
   const double at = plan_->events()[i].time_s;
-  queue_.schedule(at, [this, i] { on_fault_event(i); });
+  queue_.schedule(at, EventDesc{EventDesc::Kind::kFault, i},
+                  [this, i] { on_fault_event(i); });
 }
 
 void DatacenterSim::on_fault_event(std::size_t i) {
@@ -707,7 +719,8 @@ void DatacenterSim::requeue_task(std::size_t idx) {
   // Same deadline-pressure wakeup an arrival gets (likely already due).
   const double force_at =
       std::max(now, latest_start(t) - config_.deadline_patience_s);
-  queue_.schedule(force_at, [this] { schedule_pass(); });
+  queue_.schedule(force_at, EventDesc{EventDesc::Kind::kPass},
+                  [this] { schedule_pass(); });
 }
 
 void DatacenterSim::on_misprofile_timer(std::size_t p, std::uint64_t token) {
@@ -717,26 +730,41 @@ void DatacenterSim::on_misprofile_timer(std::size_t p, std::uint64_t token) {
   misprofile_armed_[p] = 0;
   fail_proc(p, /*misprofile=*/true);
   const double repair_at = queue_.now() + plan_->misprofile_repair_s(p);
-  queue_.schedule(repair_at, [this, p] { repair_proc(p); });
+  queue_.schedule(repair_at, EventDesc{EventDesc::Kind::kMisprofileRepair, p},
+                  [this, p] { repair_proc(p); });
 }
 
 void DatacenterSim::schedule_epoch(double t) {
-  queue_.schedule(t, [this, t] {
-    rematch();
-    schedule_pass();  // wind regime change can unblock Fair/Effi waits
-    // Telemetry rides the existing epoch event rather than scheduling its
-    // own: the event count -- and therefore SimResult -- is identical with
-    // telemetry on or off.
-    if (telemetry::enabled()) telemetry_sample();
-    if (!all_done()) schedule_epoch(t + config_.epoch_s);
-  });
+  epoch_chain_live_ = true;
+  queue_.schedule(t, EventDesc{EventDesc::Kind::kEpoch, 0, 0, t},
+                  [this, t] { on_epoch(t); });
+}
+
+void DatacenterSim::on_epoch(double t) {
+  rematch();
+  schedule_pass();  // wind regime change can unblock Fair/Effi waits
+  // Telemetry rides the existing epoch event rather than scheduling its
+  // own: the event count -- and therefore SimResult -- is identical with
+  // telemetry on or off.
+  if (telemetry::enabled()) telemetry_sample();
+  if (!all_done())
+    schedule_epoch(t + config_.epoch_s);
+  else
+    epoch_chain_live_ = false;
 }
 
 void DatacenterSim::schedule_sample(double t) {
-  queue_.schedule(t, [this, t] {
-    record_sample();
-    if (!all_done()) schedule_sample(t + config_.sample_interval_s);
-  });
+  sample_chain_live_ = true;
+  queue_.schedule(t, EventDesc{EventDesc::Kind::kSample, 0, 0, t},
+                  [this, t] { on_sample(t); });
+}
+
+void DatacenterSim::on_sample(double t) {
+  record_sample();
+  if (!all_done())
+    schedule_sample(t + config_.sample_interval_s);
+  else
+    sample_chain_live_ = false;
 }
 
 void DatacenterSim::log_event(TimelineKind kind, std::int64_t task_id,
@@ -855,8 +883,12 @@ SimResult DatacenterSim::run(std::vector<Task> tasks) {
 
 SimResult DatacenterSim::run(std::vector<Task> tasks,
                              const std::vector<ProfilingWindow>& profiling) {
+  // One unbounded resumable slice: run() is now a client of the same
+  // prepare/advance/finish API the sharded coordinator and the service
+  // daemon drive, so chunked execution has no second code path to drift
+  // from.
   prepare(std::move(tasks), profiling);
-  events_run_ += queue_.run(config_.max_events);
+  advance_before(std::numeric_limits<double>::infinity());
   return finish();
 }
 
@@ -963,6 +995,10 @@ void DatacenterSim::prepare(std::vector<Task> tasks,
   profiling_proc_seconds_ = 0.0;
   profiling_procs_scanned_ = 0;
   profiling_procs_skipped_ = 0;
+  profiling_ = profiling;
+  scans_.clear();
+  epoch_chain_live_ = false;
+  sample_chain_live_ = false;
   failed_.assign(nprocs, 0);
   misprofile_token_.assign(nprocs, 0);
   misprofile_armed_.assign(nprocs, 0);
@@ -983,17 +1019,85 @@ void DatacenterSim::prepare(std::vector<Task> tasks,
 
   for (std::size_t i = 0; i < tasks_.size(); ++i) {
     const double at = tasks_[i].spec.submit_s;
-    queue_.schedule(at, [this, i] { on_arrival(i); });
+    queue_.schedule(at, EventDesc{EventDesc::Kind::kArrival, i},
+                    [this, i] { on_arrival(i); });
   }
-  for (const ProfilingWindow& w : profiling) {
+  for (std::size_t wi = 0; wi < profiling_.size(); ++wi) {
+    const ProfilingWindow& w = profiling_[wi];
     ISCOPE_CHECK_ARG(w.start_s >= 0.0 && w.duration_s > 0.0,
                      "profiling window: bad timing");
-    queue_.schedule(w.start_s, [this, w] { begin_profiling_window(w); });
+    queue_.schedule(w.start_s, EventDesc{EventDesc::Kind::kProfilingBegin, wi},
+                    [this, wi] { begin_profiling_window(wi); });
   }
-  if (!tasks_.empty() || !profiling.empty()) {
+  if (!tasks_.empty() || !profiling_.empty()) {
     schedule_epoch(0.0);
     if (config_.record_trace) schedule_sample(0.0);
   }
+}
+
+std::size_t DatacenterSim::admit(Task task) {
+  const std::size_t nprocs = knowledge_->procs();
+  ISCOPE_CHECK_ARG(task.cpus >= 1 && task.cpus <= nprocs,
+                   "DatacenterSim: admitted task width does not fit the "
+                   "cluster");
+  ISCOPE_CHECK_ARG(task.runtime_s > 0.0,
+                   "DatacenterSim: admitted task needs a positive runtime");
+  ISCOPE_CHECK_ARG(task.deadline_s > task.submit_s,
+                   "DatacenterSim: admitted task deadline must follow submit");
+  ISCOPE_CHECK_ARG(task.gamma >= 0.0 && task.gamma <= 1.0,
+                   "DatacenterSim: admitted task gamma must be in [0,1]");
+  ISCOPE_CHECK_ARG(task.submit_s >= queue_.now(),
+                   "DatacenterSim: admission behind the simulation clock");
+  const std::size_t i = tasks_.size();
+  const double fmax = fmax_ghz();
+  SimTask st;
+  st.spec = std::move(task);
+  st.latest_start_s = st.spec.latest_start_s(fmax, fmax);
+  tasks_.push_back(std::move(st));
+  // Grow the per-task power table; the new row is filled at task start.
+  power_table_.resize(tasks_.size() * knowledge_->levels(), 0.0);
+  queue_.schedule(tasks_[i].spec.submit_s, EventDesc{EventDesc::Kind::kArrival, i},
+                  [this, i] { on_arrival(i); });
+  // A drained run stopped the self-rechaining epoch/sample events; restart
+  // them at the next boundary. (From a freshly-prepared empty simulation
+  // this schedules the chains from t = 0, exactly where prepare() with a
+  // non-empty trace would have -- the batch-equivalence case. After a
+  // mid-run drain gap the restarted chain skips the idle epochs, which a
+  // batch run would have executed: deterministic, but only batch-identical
+  // when the stream keeps the simulator busy.)
+  if (!epoch_chain_live_)
+    schedule_epoch(std::ceil(queue_.now() / config_.epoch_s) *
+                   config_.epoch_s);
+  if (config_.record_trace && !sample_chain_live_)
+    schedule_sample(std::ceil(queue_.now() / config_.sample_interval_s) *
+                    config_.sample_interval_s);
+  return i;
+}
+
+std::size_t DatacenterSim::step_until(double t_limit) {
+  const std::size_t n =
+      queue_.run_until(t_limit, config_.max_events - events_run_);
+  events_run_ += n;
+  if (events_run_ >= config_.max_events)
+    ISCOPE_CHECK(all_done(), "DatacenterSim: event budget exhausted before "
+                             "all tasks completed");
+  return n;
+}
+
+DecisionSnapshot DatacenterSim::decision_snapshot() const {
+  DecisionSnapshot s;
+  s.now_s = queue_.now();
+  s.demand = demand_;
+  s.tasks_admitted = tasks_.size();
+  s.tasks_completed = done_count_;
+  s.tasks_failed = failed_count_;
+  s.waiting = waiting_.size();
+  s.running = run_count_;
+  s.idle_procs = idle_count_;
+  s.events_processed = events_run_;
+  s.rematches = rematch_count_;
+  s.rush_mode = rush_mode_;
+  return s;
 }
 
 std::size_t DatacenterSim::advance_before(double t_limit) {

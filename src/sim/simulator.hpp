@@ -122,6 +122,28 @@ struct SimConfig {
   void validate() const;
 };
 
+/// O(1) read-only view of the latest scheduling decision -- the service
+/// layer's bounded-latency DECIDE_NOW path. Everything here was already
+/// computed by the most recent (incremental) rematch; reading it touches no
+/// simulation state, so a query cannot perturb determinism.
+struct DecisionSnapshot {
+  double now_s = 0.0;
+  Watts demand;                      ///< facility demand (IT + cooling)
+  std::size_t tasks_admitted = 0;
+  std::size_t tasks_completed = 0;
+  std::size_t tasks_failed = 0;      ///< abandoned by fault injection
+  std::size_t waiting = 0;
+  std::size_t running = 0;
+  std::size_t idle_procs = 0;
+  std::size_t events_processed = 0;
+  std::size_t rematches = 0;
+  bool rush_mode = false;
+};
+
+/// Checkpoint codec (src/service/checkpoint.cpp): the one sanctioned door
+/// into the simulator's private state for snapshot/restore.
+struct CheckpointAccess;
+
 class DatacenterSim {
  public:
   /// All pointers are non-owning and must outlive the simulator.
@@ -165,12 +187,42 @@ class DatacenterSim {
   /// Process staged events with time strictly < `t_limit` (bounded by the
   /// remaining max_events budget). Returns the number of events run.
   std::size_t advance_before(double t_limit);
+  /// Process staged events with time <= `t_limit` and advance the clock to
+  /// `t_limit` (the resumable slice the service daemon drives; run() is one
+  /// unbounded slice). A clock advanced past the last event changes no
+  /// state -- energy accrual integrates from the last accrual point at the
+  /// *next* event -- so interleaving step_until() slices is bit-identical
+  /// to one uninterrupted drain. Returns the number of events run.
+  std::size_t step_until(double t_limit);
   /// True when no staged events remain.
   bool drained() const { return queue_.empty(); }
   /// Facility demand decided by the latest rematch (IT + cooling + scans).
   Watts demand_now() const { return demand_; }
   /// Collect the metrics after the queue drained; checks all tasks done.
   SimResult finish();
+
+  /// --- streaming admission (service mode, src/service/) -----------------
+  /// Admit one more task into a prepared simulation. The task's submit time
+  /// must not be behind the simulation clock (admission order defines the
+  /// tie order among same-instant arrivals). Restarts the epoch/sample
+  /// chains if a previous drain stopped them. Returns the task's index.
+  ///
+  /// Equivalence contract: admitting tasks before the clock passes their
+  /// submit times, in submit order, yields a run bit-identical to handing
+  /// the same tasks to prepare() up front (arrival events occupy their own
+  /// tie class -- see EventQueue::schedule -- so late scheduling cannot
+  /// reorder same-time ties).
+  std::size_t admit(Task task);
+  /// Simulation clock.
+  double now_s() const { return queue_.now(); }
+  /// Events processed since prepare().
+  std::size_t events_processed() const { return events_run_; }
+  /// The typed event log recorded so far (the daemon streams its suffix to
+  /// clients as decisions are made; complete only with record_timeline).
+  const std::vector<TimelineEvent>& timeline() const { return timeline_; }
+  /// See DecisionSnapshot.
+  DecisionSnapshot decision_snapshot() const;
+  const SimConfig& config() const { return config_; }
 
   /// Test-only hook: when set, called with `true` on entry to every
   /// rematch() and `false` on exit. tests/test_rematch_alloc.cpp counts
@@ -179,6 +231,8 @@ class DatacenterSim {
   static void (*rematch_probe)(bool entering);
 
  private:
+  friend struct CheckpointAccess;
+
   static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
 
   enum class TaskState : std::uint8_t {
@@ -228,9 +282,13 @@ class DatacenterSim {
   void accrue_to_now();
   void schedule_epoch(double t);
   void schedule_sample(double t);
-  void begin_profiling_window(const ProfilingWindow& window);
-  void end_profiling_window(const std::vector<std::size_t>& procs,
-                            double started_s);
+  void on_epoch(double t);
+  void on_sample(double t);
+  /// Profiling windows live in `profiling_` and active scans in `scans_`
+  /// slots, so the scheduled closures capture only indices -- the shape
+  /// the checkpoint codec can serialize and rebuild.
+  void begin_profiling_window(std::size_t window_idx);
+  void end_profiling_window(std::size_t slot);
   /// Fault machinery (src/fault/): the plan's crash/repair events run as a
   /// single lazily-chained event stream; mis-profile fail-stops are armed
   /// per processor when a task starts on an unsafe scan point.
@@ -338,6 +396,23 @@ class DatacenterSim {
   double profiling_proc_seconds_ = 0.0;
   std::size_t profiling_procs_scanned_ = 0;
   std::size_t profiling_procs_skipped_ = 0;
+  /// The run's profiling plan (copied at prepare; scheduled closures refer
+  /// to windows by index).
+  std::vector<ProfilingWindow> profiling_;
+  /// One slot per scan that ever went live; `live` scans own reserved
+  /// processors and have a pending kProfilingEnd event carrying the slot
+  /// index. Slots are never reused (their count is bounded by the plan).
+  struct ActiveScan {
+    std::vector<std::size_t> procs;
+    double started_s = 0.0;
+    bool live = false;
+  };
+  std::vector<ActiveScan> scans_;
+  /// True while a self-rechaining epoch/sample event is pending. A drain
+  /// stops the chains (all_done); admit() restarts them at the next
+  /// boundary so a long-running service keeps re-evaluating the supply.
+  bool epoch_chain_live_ = false;
+  bool sample_chain_live_ = false;
 
   /// Per-task per-level IT power [task * levels + level], in raw watts;
   /// rows are filled at task start and stay valid while the Knowledge

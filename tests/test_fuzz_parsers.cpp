@@ -1,14 +1,18 @@
-// Fuzz-style robustness tests for the two external-input parsers (SWF
-// workload traces, supply CSVs). Two layers:
+// Fuzz-style robustness tests for the external-input parsers: SWF
+// workload traces, supply CSVs, the iscope_serve wire protocol, and the
+// checkpoint codec. Two layers:
 //
 //  1. a seed corpus (tests/data/fuzz/) of hand-written hostile inputs --
-//     truncated lines, NaN/negative values, CRLF endings, embedded NULs --
-//     with pinned expected outcomes;
+//     truncated lines, NaN/negative values, CRLF endings, embedded NULs,
+//     lying length prefixes, oversize frame headers -- with pinned
+//     expected outcomes. The service_* binaries double as wire-format
+//     pins: they were emitted by the production codec, so a layout change
+//     that breaks old peers or old checkpoints fails here first;
 //  2. deterministic mutation fuzzing: a seeded Rng mauls valid inputs a
 //     few hundred ways and every outcome must be either a clean
-//     ParseError or a successful parse with sane, finite contents. Any
-//     other exception (or a crash/UB under the sanitizer stages of
-//     tools/check.sh) is a bug.
+//     ParseError / CheckpointError or a successful parse with sane,
+//     finite contents. Any other exception (or a crash/UB under the
+//     sanitizer stages of tools/check.sh) is a bug.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -21,6 +25,9 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "energy/supply_trace.hpp"
+#include "service/checkpoint.hpp"
+#include "service/server.hpp"
+#include "service/wire.hpp"
 #include "workload/swf.hpp"
 
 namespace iscope {
@@ -196,6 +203,306 @@ TEST(FuzzMutation, SupplyCsvLoaderNeverMisbehaves) {
   EXPECT_GT(parsed, 0);
   EXPECT_GT(rejected, 0);
   std::remove(tmp.c_str());
+}
+
+// ----------------------------------------------- corpus: wire frames
+
+std::vector<std::uint8_t> slurp_bytes(const std::string& path) {
+  const std::string s = slurp(path);
+  return {s.begin(), s.end()};
+}
+
+/// Feed a whole byte blob to a fresh FrameReader and collect every
+/// complete frame (throws ParseError exactly where the daemon would).
+std::vector<service::Frame> frames_of(const std::vector<std::uint8_t>& blob) {
+  service::FrameReader reader;
+  reader.feed(blob.data(), blob.size());
+  std::vector<service::Frame> out;
+  service::Frame f;
+  while (reader.next(f)) out.push_back(f);
+  return out;
+}
+
+/// The pinned task the corpus generator encoded into service_admit_*.bin.
+Task corpus_task() {
+  Task t;
+  t.id = 42;
+  t.submit_s = 120.5;
+  t.cpus = 4;
+  t.runtime_s = 300.0;
+  t.gamma = 0.75;
+  t.deadline_s = 1800.0;
+  t.urgency = Urgency::kHigh;
+  return t;
+}
+
+TEST(FuzzCorpusService, ValidAdmitFrameIsWireFormatPin) {
+  const auto frames = frames_of(slurp_bytes(data_path("service_admit_valid.bin")));
+  ASSERT_EQ(frames.size(), 1u);
+  ASSERT_EQ(frames[0].type, service::MsgType::kAdmit);
+  const Task t = service::parse_admit(frames[0].payload);
+  const Task want = corpus_task();
+  EXPECT_EQ(t.id, want.id);
+  EXPECT_EQ(t.submit_s, want.submit_s);
+  EXPECT_EQ(t.cpus, want.cpus);
+  EXPECT_EQ(t.runtime_s, want.runtime_s);
+  EXPECT_EQ(t.gamma, want.gamma);
+  EXPECT_EQ(t.deadline_s, want.deadline_s);
+  EXPECT_EQ(t.urgency, want.urgency);
+  // Byte-for-byte: re-encoding must reproduce the committed file, so any
+  // codec layout change is caught as a compatibility break, not silently.
+  EXPECT_EQ(service::encode_frame(service::MsgType::kAdmit,
+                                  service::encode_admit(want)),
+            slurp_bytes(data_path("service_admit_valid.bin")));
+}
+
+TEST(FuzzCorpusService, NanPayloadIsRejected) {
+  const auto frames = frames_of(slurp_bytes(data_path("service_admit_nan.bin")));
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_THROW(service::parse_admit(frames[0].payload), ParseError);
+}
+
+TEST(FuzzCorpusService, TruncatedFrameParksWithoutError) {
+  const auto blob = slurp_bytes(data_path("service_frame_truncated.bin"));
+  service::FrameReader reader;
+  reader.feed(blob.data(), blob.size());
+  service::Frame f;
+  EXPECT_FALSE(reader.next(f));          // incomplete, waits for more bytes
+  EXPECT_EQ(reader.buffered(), blob.size());
+}
+
+TEST(FuzzCorpusService, LyingLengthPrefixTruncatesPayload) {
+  // The prefix claims 8 bytes fewer than the admit codec wrote: the frame
+  // completes, but the payload parser must reject the short body.
+  const auto frames = frames_of(slurp_bytes(data_path("service_len_lie.bin")));
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_THROW(service::parse_admit(frames[0].payload), ParseError);
+}
+
+TEST(FuzzCorpusService, OversizeAndZeroHeadersThrowBeforeBuffering) {
+  // The reader rejects a hostile prefix the moment the 4-byte header is
+  // decodable -- before waiting for (or allocating) the bytes it claims.
+  for (const char* name :
+       {"service_frame_oversize.bin", "service_frame_zero.bin"}) {
+    SCOPED_TRACE(name);
+    const auto blob = slurp_bytes(data_path(name));
+    service::FrameReader reader;
+    reader.feed(blob.data(), blob.size());
+    service::Frame f;
+    EXPECT_THROW(reader.next(f), ParseError);
+  }
+}
+
+TEST(FuzzCorpusService, HostileCheckpointsAreRejected) {
+  service::ServiceOptions opt;
+  opt.scale = 0.05;
+  opt.seed = 9;
+  service::SimHost host(opt);
+  host.sim().prepare({}, {});
+  for (const char* name :
+       {"service_ckpt_badmagic.bin", "service_ckpt_truncated.bin"}) {
+    SCOPED_TRACE(name);
+    const auto blob = slurp_bytes(data_path(name));
+    EXPECT_THROW(
+        restore_from_bytes(host.sim(), blob.data(), blob.size()),
+        CheckpointError);
+  }
+}
+
+// ------------------------------------- mutation fuzzing: wire frames
+
+/// A plausible client session as one byte stream: the daemon's inbound
+/// surface is exactly this concatenation shape.
+std::string wire_session_bytes() {
+  using service::MsgType;
+  std::vector<std::uint8_t> stream;
+  const auto append = [&stream](MsgType type,
+                                const std::vector<std::uint8_t>& payload) {
+    const auto f = service::encode_frame(type, payload);
+    stream.insert(stream.end(), f.begin(), f.end());
+  };
+  append(MsgType::kHello, service::encode_hello());
+  append(MsgType::kAdmit, service::encode_admit(corpus_task()));
+  append(MsgType::kAdvance, service::encode_advance(5000.0));
+  append(MsgType::kDecideNow, {});
+  append(MsgType::kCheckpoint, service::encode_text("/tmp/ckpt.bin"));
+  append(MsgType::kDrain, {});
+  return {stream.begin(), stream.end()};
+}
+
+/// Parse one inbound frame the way ServiceServer::handle_frame does;
+/// throws ParseError on malformed payloads, returns false for types that
+/// carry no client payload codec.
+bool dispatch_client_frame(const service::Frame& f) {
+  using service::MsgType;
+  switch (f.type) {
+    case MsgType::kHello:
+      service::parse_hello(f.payload);
+      return true;
+    case MsgType::kAdmit: {
+      const Task t = service::parse_admit(f.payload);
+      EXPECT_TRUE(std::isfinite(t.submit_s));
+      EXPECT_TRUE(std::isfinite(t.runtime_s));
+      EXPECT_TRUE(std::isfinite(t.deadline_s));
+      return true;
+    }
+    case MsgType::kAdvance: {
+      const double t = service::parse_advance(f.payload);
+      EXPECT_TRUE(!std::isnan(t));
+      return true;
+    }
+    case MsgType::kCheckpoint:
+      service::parse_text(f.payload);
+      return true;
+    default:
+      return false;  // payloadless or unknown type -- nothing to parse
+  }
+}
+
+TEST(FuzzMutationService, FrameStreamNeverMisbehaves) {
+  const std::string base = wire_session_bytes();
+  Rng rng(0xf0223);
+  int parsed = 0, rejected = 0;
+  for (int iter = 0; iter < 400; ++iter) {
+    std::string input = base;
+    const int rounds = static_cast<int>(rng.uniform_int(1, 4));
+    for (int m = 0; m < rounds; ++m) input = mutate(input, rng);
+    service::FrameReader reader;
+    std::size_t off = 0;
+    try {
+      // Deliver in random-size chunks: reassembly must not depend on read
+      // boundaries, exactly as with a trickling socket peer.
+      while (off < input.size()) {
+        const auto chunk = static_cast<std::size_t>(rng.uniform_int(
+            1, std::min<std::int64_t>(
+                   97, static_cast<std::int64_t>(input.size() - off))));
+        reader.feed(reinterpret_cast<const std::uint8_t*>(input.data()) + off,
+                    chunk);
+        off += chunk;
+        service::Frame f;
+        while (reader.next(f)) {
+          if (dispatch_client_frame(f)) ++parsed;
+        }
+      }
+    } catch (const ParseError&) {
+      ++rejected;  // the daemon answers kErr / drops the connection
+    }
+  }
+  EXPECT_GT(parsed, 0);
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(FuzzMutationService, ReplyCodecsNeverMisbehave) {
+  using service::MsgType;
+  // Server->client payloads, mutated as a hostile daemon a client talks to.
+  service::HelloOk hello;
+  hello.version = service::kProtoVersion;
+  hello.scheme = "ScanFair";
+  hello.procs = 24;
+  hello.seed = 7;
+  TimelineEvent ev;
+  ev.time_s = 123.0;
+  ev.kind = TimelineKind::kArrival;
+  ev.task_id = 5;
+  ev.value = 4.0;
+  DecisionSnapshot snap;
+  snap.now_s = 99.5;
+  snap.tasks_admitted = 3;
+  service::ResultSummary sum;
+  sum.wind_j = 1.5e6;
+  sum.tasks_completed = 40;
+  const struct {
+    const char* name;
+    std::vector<std::uint8_t> payload;
+    void (*parse)(const std::vector<std::uint8_t>&);
+  } cases[] = {
+      {"hello_ok", service::encode_hello_ok(hello),
+       [](const std::vector<std::uint8_t>& p) {
+         const auto h = service::parse_hello_ok(p);
+         EXPECT_LE(h.scheme.size(), 1u << 20);
+       }},
+      {"decision", service::encode_decision(ev),
+       [](const std::vector<std::uint8_t>& p) {
+         const auto e = service::parse_decision(p);
+         EXPECT_TRUE(std::isfinite(e.time_s));
+         EXPECT_TRUE(std::isfinite(e.value));
+       }},
+      {"advance_done",
+       service::encode_advance_done({4000.0, 123}),
+       [](const std::vector<std::uint8_t>& p) {
+         const auto d = service::parse_advance_done(p);
+         EXPECT_TRUE(!std::isnan(d.now_s));
+       }},
+      {"snapshot", service::encode_snapshot(snap),
+       [](const std::vector<std::uint8_t>& p) {
+         const auto s = service::parse_snapshot(p);
+         EXPECT_TRUE(std::isfinite(s.now_s));
+       }},
+      {"result_summary", service::encode_result_summary(sum),
+       [](const std::vector<std::uint8_t>& p) {
+         const auto r = service::parse_result_summary(p);
+         EXPECT_TRUE(std::isfinite(r.wind_j));
+         EXPECT_TRUE(std::isfinite(r.cost_usd));
+       }},
+  };
+  Rng rng(0xf0224);
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.name);
+    const std::string base(c.payload.begin(), c.payload.end());
+    int parsed = 0, rejected = 0;
+    for (int iter = 0; iter < 200; ++iter) {
+      std::string input = base;
+      const int rounds = static_cast<int>(rng.uniform_int(1, 3));
+      for (int m = 0; m < rounds; ++m) input = mutate(input, rng);
+      const std::vector<std::uint8_t> bytes(input.begin(), input.end());
+      try {
+        c.parse(bytes);
+        ++parsed;
+      } catch (const ParseError&) {
+        ++rejected;
+      }
+    }
+    EXPECT_GT(parsed + rejected, 0);
+    EXPECT_GT(rejected, 0);
+  }
+}
+
+// --------------------------------- mutation fuzzing: checkpoint blobs
+
+TEST(FuzzMutationService, CheckpointRestoreNeverMisbehaves) {
+  service::ServiceOptions opt;
+  opt.scale = 0.05;
+  opt.seed = 9;
+  service::SimHost source(opt);
+  std::vector<Task> tasks = source.context().make_tasks(0.3);
+  source.sim().prepare(tasks);
+  source.sim().step_until(3000.0);
+  const std::vector<std::uint8_t> blob =
+      checkpoint_bytes(source.sim());
+
+  service::SimHost target(opt);
+  const std::string base(blob.begin(), blob.end());
+  Rng rng(0xf0225);
+  int restored = 0, rejected = 0;
+  for (int iter = 0; iter < 150; ++iter) {
+    std::string input = base;
+    const int rounds = static_cast<int>(rng.uniform_int(1, 3));
+    for (int m = 0; m < rounds; ++m) input = mutate(input, rng);
+    const std::vector<std::uint8_t> bytes(input.begin(), input.end());
+    // prepare() resets the sim wholesale, so a prior partial load cannot
+    // leak state into the next attempt.
+    target.sim().prepare({}, {});
+    try {
+      restore_from_bytes(target.sim(), bytes.data(), bytes.size());
+      ++restored;
+    } catch (const CheckpointError&) {
+      ++rejected;
+    }
+  }
+  // Identity mutations (chunk duplication past the end, truncation at the
+  // exact boundary) restore; everything else must reject cleanly.
+  EXPECT_GT(restored + rejected, 0);
+  EXPECT_GT(rejected, 0);
 }
 
 }  // namespace

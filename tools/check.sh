@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# One-stop verification gate: strict build, full test suite, project lint
-# (iscope_lint), clang-tidy (when installed), sanitizer passes over the
-# tests, and a line-coverage floor for the fault-injection and scheduling
-# layers.
+# One-stop verification gate: strict build, full test suite, the smoke
+# stages (benchmark JSON, telemetry bundle, shard identity, service-mode
+# daemon), project lint (iscope_lint), clang-tidy (when installed),
+# sanitizer passes over the tests, and a line-coverage floor for the
+# fault-injection and scheduling layers.
 #
 # Usage:  tools/check.sh [--fast] [--stage <name>] [--help]
 #   --fast          skip the UBSan/ASan/TSan rebuilds and the coverage
@@ -30,17 +31,18 @@ STAGES=(
   "bench-smoke     BENCH_*.json emission smoke (fig8 capture)"
   "telemetry-smoke report bundle + registry/SimResult cross-check"
   "shard-identity  1-shard bit-identity + worker-count determinism"
+  "service         iscope_serve daemon: checkpoint identity, e2e stream-vs-batch, wire fuzz"
   "lint            iscope_lint project invariants (determinism/layering/quantity/telemetry)"
   "tidy            clang-tidy profile, warnings-as-errors (skips if not installed)"
   "ubsan           UBSan rebuild + full tests"
   "asan            ASan fault-injection + parser-fuzz tests"
-  "tsan            TSan multi-shard smoke (fig8, 4 shards x 4 workers)"
+  "tsan            TSan multi-shard smoke (fig8, 4 shards x 4 workers) + service chaos daemon"
   "coverage        src/fault + src/sched line-coverage floor (${COVERAGE_MIN}%)"
   "bench-compare   fig8 events/s vs the committed baseline (opt-in: --stage only, wall clocks are machine-relative)"
 )
 
 usage() {
-  sed -n '2,15p' "$0" | sed 's/^# \{0,1\}//'
+  sed -n '2,16p' "$0" | sed 's/^# \{0,1\}//'
   printf '\nStages (default order; --fast stops after tidy):\n'
   for s in "${STAGES[@]}"; do printf '  %s\n' "$s"; done
 }
@@ -152,6 +154,21 @@ stage_shard_identity() {
   echo "shard identity ok: 1-shard bitwise, N-shard worker-independent"
 }
 
+stage_service() {
+  stage "service mode (iscope_serve: checkpoint identity, e2e stream-vs-batch, wire fuzz)"
+  [ -n "$ONLY_STAGE" ] && ensure_strict > /dev/null
+  # The daemon's three invariants (DESIGN.md Sec. 15): a restored checkpoint
+  # replays bit-identically, the streamed decision path equals a batch run,
+  # and the wire/checkpoint codecs reject hostile bytes as typed errors.
+  ./build-check/strict/tests/test_checkpoint > /dev/null \
+      && echo "service ok: checkpoint identity (resume bitwise, 5 schemes)"
+  ./build-check/strict/tests/test_service_e2e > /dev/null \
+      && echo "service ok: daemon e2e (streamed decisions == batch, SIGTERM resume)"
+  ./build-check/strict/tests/test_fuzz_parsers --gtest_filter='*Service*' \
+      > /dev/null \
+      && echo "service ok: wire + checkpoint fuzz corpus"
+}
+
 stage_lint() {
   stage "lint (iscope_lint: determinism / layering / quantity / telemetry)"
   # The project linter (tools/lint/, DESIGN.md Sec. 13): the tree must be
@@ -200,7 +217,7 @@ stage_asan() {
 }
 
 stage_tsan() {
-  stage "TSan multi-shard smoke (fig8 scenario, 4 shards x 4 workers)"
+  stage "TSan multi-shard smoke (fig8, 4 shards x 4 workers) + service chaos"
   # Epoch-barrier handoff under real thread interleaving: the fig8 energy
   # scenario at scale 0.5 (240 CPUs = 5 racks, so 4 rack-aligned shards
   # fit) with the shard loops fanned out over 4 pool workers. Any data
@@ -208,7 +225,7 @@ stage_tsan() {
   cmake -B build-check/tsan -S . \
         -DISCOPE_SANITIZE=thread -DISCOPE_AUDIT=ON > /dev/null
   cmake --build build-check/tsan -j "$JOBS" \
-        --target bench_fig8_energy_cost test_shard
+        --target bench_fig8_energy_cost test_shard test_service_chaos
   TSAN_OPTIONS=halt_on_error=1 \
       ./build-check/tsan/tests/test_shard \
       --gtest_filter='ShardDeterminism.*' > /dev/null \
@@ -217,6 +234,11 @@ stage_tsan() {
   ISCOPE_SCALE=0.5 ISCOPE_PARALLEL=1 ISCOPE_SHARDS=4 ISCOPE_SHARD_WORKERS=4 \
       ./build-check/tsan/bench/bench_fig8_energy_cost > /dev/null \
       && echo "tsan ok: bench_fig8_energy_cost sharded"
+  # FaultSpec replay against the live daemon: the poll loop, the signal
+  # flag, and the client interplay are raced-checked end to end.
+  TSAN_OPTIONS=halt_on_error=1 \
+      ./build-check/tsan/tests/test_service_chaos > /dev/null \
+      && echo "tsan ok: test_service_chaos daemon under fault storm"
 }
 
 stage_coverage() {
@@ -276,6 +298,7 @@ want tests           && stage_tests
 want bench-smoke     && stage_bench_smoke
 want telemetry-smoke && stage_telemetry_smoke
 want shard-identity  && stage_shard_identity
+want service         && stage_service
 want lint            && stage_lint
 want tidy            && stage_tidy
 want ubsan           && stage_ubsan

@@ -61,6 +61,9 @@ const std::map<std::string, std::set<std::string>>& module_dag() {
       {"core",
        {"core", "sim", "sched", "profiling", "fault", "energy", "hardware",
         "power", "variation", "workload", "common"}},
+      {"service",
+       {"service", "core", "sim", "sched", "profiling", "fault", "energy",
+        "hardware", "power", "variation", "workload", "common"}},
   };
   return kDag;
 }
