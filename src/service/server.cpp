@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -209,13 +210,23 @@ void ServiceServer::stream_decisions(Conn& c, std::size_t from) {
 }
 
 void ServiceServer::do_checkpoint(Conn& c, std::string path) {
-  if (path.empty()) path = opt_.checkpoint_path;
-  if (path.empty()) {
-    send_err(c, "checkpoint: no path given and no --checkpoint default");
+  // The wire path is advisory only: any local user who can reach the
+  // socket could otherwise direct daemon-privileged writes anywhere, so a
+  // non-empty path must name the operator-configured target exactly.
+  if (!path.empty() && path != opt_.checkpoint_path) {
+    send_err(c, "checkpoint: path must match the --checkpoint target");
     return;
   }
-  write_checkpoint(path, checkpoint_bytes(host_.sim()));
-  send(c, MsgType::kCheckpointOk, encode_text(path));
+  if (opt_.checkpoint_path.empty()) {
+    send_err(c, "checkpoint: no --checkpoint target configured");
+    return;
+  }
+  // Acknowledged-but-uninjected admissions are session state: fold them in
+  // first or kAdmitOk'd tasks vanish on --resume. admit() never moves the
+  // clock, so injecting here cannot perturb the decision stream.
+  inject_pending();
+  write_checkpoint(opt_.checkpoint_path, checkpoint_bytes(host_.sim()));
+  send(c, MsgType::kCheckpointOk, encode_text(opt_.checkpoint_path));
 }
 
 void ServiceServer::handle_frame(Conn& c, const Frame& f) {
@@ -250,6 +261,7 @@ void ServiceServer::handle_frame(Conn& c, const Frame& f) {
         return;
       }
       pending_.push_back(std::move(t));
+      result_cached_ = false;  // new work: the next RESULT must re-finish()
       send(c, MsgType::kAdmitOk, encode_u64(pending_.size() - 1));
       return;
     }
@@ -382,8 +394,14 @@ int ServiceServer::serve() {
   std::memcpy(addr.sun_path, opt_.socket_path.c_str(),
               opt_.socket_path.size() + 1);
   ::unlink(opt_.socket_path.c_str());  // stale socket from a previous run
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) < 0 ||
+  // Bind under a tight umask: whoever connects can drive admissions and
+  // checkpoints, so the socket node must be owner-only from the first
+  // instant (no chmod-after-bind race).
+  const mode_t prev_umask = ::umask(0077);
+  const int bind_rc = ::bind(
+      listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  ::umask(prev_umask);
+  if (bind_rc < 0 ||
       ::listen(listen_fd_, 16) < 0 || make_nonblocking(listen_fd_) < 0) {
     std::fprintf(stderr, "iscope_serve: bind %s: %s\n",
                  opt_.socket_path.c_str(), std::strerror(errno));
@@ -427,9 +445,13 @@ int ServiceServer::serve() {
   std::vector<std::uint8_t> rdbuf(65536);
   while (true) {
     if (g_terminate != 0) {
-      if (!opt_.checkpoint_path.empty())
+      if (!opt_.checkpoint_path.empty()) {
+        // Same rule as do_checkpoint: the pending backlog is acknowledged
+        // work and must survive the restart.
+        inject_pending();
         write_checkpoint(opt_.checkpoint_path,
                          checkpoint_bytes(host_.sim()));
+      }
       return 0;
     }
     if (stop_) {

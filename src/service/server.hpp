@@ -43,8 +43,9 @@ struct ServiceOptions {
   std::string fault_spec;
   /// Unix-domain socket the daemon listens on. Required.
   std::string socket_path;
-  /// Default checkpoint target: written on SIGTERM and by a CHECKPOINT
-  /// frame with an empty path; read back under --resume.
+  /// Checkpoint target: written on SIGTERM and by a CHECKPOINT frame (the
+  /// only path a frame may name -- the wire cannot redirect daemon writes
+  /// elsewhere); read back under --resume.
   std::string checkpoint_path;
   bool resume = false;
   /// Loopback TCP port for HTTP GET /metrics (Prometheus text). 0 = off.
@@ -133,7 +134,9 @@ class ServiceServer {
   int listen_fd_ = -1;
   int metrics_fd_ = -1;
   bool stop_ = false;          ///< SHUTDOWN seen; exit once flushed
-  bool result_cached_ = false; ///< finish() runs once; replies reuse it
+  /// finish() runs once per drained state; a fresh ADMIT invalidates the
+  /// cache so a later DRAIN+RESULT re-summarizes instead of replaying.
+  bool result_cached_ = false;
   ResultSummary result_;
 };
 

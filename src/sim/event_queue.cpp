@@ -43,7 +43,11 @@ std::size_t EventQueue::run(std::size_t max_events) {
 
 std::size_t EventQueue::run_until(double until_s, std::size_t max_events) {
   std::size_t n = 0;
-  while (n < max_events && !heap_.empty() && heap_.front().time <= until_s) {
+  while (!heap_.empty() && heap_.front().time <= until_s) {
+    // Budget exhausted mid-slice: events at or before until_s remain, so
+    // the clock must stay at the last processed event -- advancing it past
+    // unprocessed events would make the next step() run time backwards.
+    if (n >= max_events) return n;
     step();
     ++n;
   }

@@ -87,9 +87,11 @@ class EventQueue {
   /// Returns the number of events run.
   std::size_t run(std::size_t max_events = SIZE_MAX);
 
-  /// Run events with time <= `until_s` (at most `max_events`); the clock
-  /// ends at `until_s` if the queue drained earlier. Returns the number of
-  /// events run.
+  /// Run events with time <= `until_s` (at most `max_events`). The clock
+  /// advances to `until_s` only when the slice completed (queue drained or
+  /// next event past `until_s`); when the event budget stopped the loop
+  /// the clock stays at the last processed event, so the remaining
+  /// events are still ahead of it. Returns the number of events run.
   std::size_t run_until(double until_s, std::size_t max_events = SIZE_MAX);
 
   /// Run events with time strictly < `t_limit` (at most `max_events`).

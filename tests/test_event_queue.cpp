@@ -78,6 +78,23 @@ TEST(EventQueue, RunUntilOnEmptyAdvancesClock) {
   EXPECT_DOUBLE_EQ(q.now(), 100.0);
 }
 
+TEST(EventQueue, RunUntilBudgetExhaustionHoldsClockAtLastEvent) {
+  EventQueue q;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0})
+    q.schedule(t, [&fired, &q] { fired.push_back(q.now()); });
+  // The budget stops the slice with events <= until_s still pending: the
+  // clock must NOT jump to the boundary, or those events would sit behind
+  // it and the next step() would run time backwards.
+  EXPECT_EQ(q.run_until(10.0, 2), 2u);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+  EXPECT_EQ(q.pending(), 2u);
+  // Resuming the slice completes it and only then parks at the boundary.
+  EXPECT_EQ(q.run_until(10.0, SIZE_MAX), 2u);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0, 3.0, 4.0}));
+  EXPECT_DOUBLE_EQ(q.now(), 10.0);
+}
+
 TEST(EventQueue, PeekTime) {
   EventQueue q;
   q.schedule(7.0, [] {});

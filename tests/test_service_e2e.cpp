@@ -10,12 +10,18 @@
 //  * the RESULT summary equals the batch SimResult, bitwise;
 //  * /metrics counters cross-check the RESULT summary;
 //  * SIGTERM checkpoints, a --resume daemon continues the decision stream
-//    exactly where the first left off (splice == batch);
+//    exactly where the first left off (splice == batch) -- including
+//    admissions acknowledged but never ADVANCEd before the signal;
+//  * CHECKPOINT frames snapshot the pending backlog too, and can only
+//    write the operator-configured --checkpoint target;
+//  * a fresh ADMIT after RESULT invalidates the cached summary;
 //  * admission backpressure (BUSY) engages at --admit-capacity and clears
 //    after an ADVANCE injects the backlog;
 //  * malformed payloads get ERR without killing the connection; a broken
 //    frame header gets ERR and a disconnect.
 #include <gtest/gtest.h>
+
+#include <sys/stat.h>
 
 #include <algorithm>
 #include <string>
@@ -121,6 +127,12 @@ TEST(ServiceE2E, HelloReportsIdentity) {
   EXPECT_EQ(s.now_s, 0.0);
   EXPECT_EQ(s.tasks_admitted, 0u);
   EXPECT_EQ(s.idle_procs, 24u);
+  // Whoever can reach the socket can admit work and trigger checkpoints:
+  // the node must be owner-only from the moment it is bound.
+  struct stat st {};
+  ASSERT_EQ(::stat(opt.socket_path.c_str(), &st), 0);
+  EXPECT_TRUE(S_ISSOCK(st.st_mode));
+  EXPECT_EQ(st.st_mode & 077u, 0u) << "socket grants group/other access";
   client.shutdown();
   EXPECT_TRUE(client.recv_eof());
 }
@@ -228,6 +240,135 @@ TEST(ServiceE2E, SigtermCheckpointResumeSplicesStream) {
   // timeline, with no seam: same events, same order, same bits.
   expect_decisions_match(decisions, batch.timeline);
   expect_summary_matches(summary, batch);
+}
+
+TEST(ServiceE2E, SigtermPreservesPendingAdmissions) {
+  ServiceOptions opt = base_options("ckpend");
+  opt.checkpoint_path =
+      "/tmp/iscope_e2e_ckp_" + std::to_string(::getpid()) + ".bin";
+  SimHost twin(opt);
+  const std::vector<Task> tasks = make_workload(twin);
+  const SimResult batch = twin.sim().run(tasks);
+
+  // Split the workload at a mid-stream cut: early tasks are admitted and
+  // ADVANCEd past, late ones are acknowledged with ADMIT_OK but still in
+  // the daemon's pending queue when SIGTERM lands. The checkpoint must
+  // carry them, or acknowledged work silently vanishes across the restart.
+  const std::size_t half = tasks.size() / 2;
+  const double cut = (tasks[half - 1].submit_s + tasks[half].submit_s) / 2.0;
+  std::vector<Task> early, late;
+  for (const Task& t : tasks) (t.submit_s <= cut ? early : late).push_back(t);
+  ASSERT_FALSE(early.empty());
+  ASSERT_FALSE(late.empty());
+
+  std::vector<TimelineEvent> decisions;
+  {
+    ServeProcess proc(ISCOPE_SERVE_BIN, to_args(opt));
+    ASSERT_TRUE(proc.wait_ready());
+    Client client(opt.socket_path);
+    for (const Task& t : early)
+      ASSERT_EQ(client.admit(t).type, MsgType::kAdmitOk);
+    client.advance(cut, decisions);
+    for (const Task& t : late)
+      ASSERT_EQ(client.admit(t).type, MsgType::kAdmitOk);
+    proc.sigterm();
+    EXPECT_EQ(proc.wait_exit(), 0);
+  }
+
+  ServiceOptions opt2 = opt;
+  opt2.resume = true;
+  opt2.socket_path = socket_path("ckpend2");
+  ServeProcess proc2(ISCOPE_SERVE_BIN, to_args(opt2));
+  ASSERT_TRUE(proc2.wait_ready());
+  Client client2(opt2.socket_path);
+  const DecisionSnapshot resumed = client2.decide_now();
+  EXPECT_EQ(resumed.tasks_admitted, tasks.size());
+  client2.drain(decisions);
+  const ResultSummary summary = client2.result();
+  client2.shutdown();
+  std::remove(opt.checkpoint_path.c_str());
+
+  expect_decisions_match(decisions, batch.timeline);
+  expect_summary_matches(summary, batch);
+}
+
+TEST(ServiceE2E, CheckpointFramePathPolicy) {
+  ServiceOptions opt = base_options("ckpol");
+  opt.checkpoint_path =
+      "/tmp/iscope_e2e_ckpol_" + std::to_string(::getpid()) + ".bin";
+  SimHost twin(opt);
+  const std::vector<Task> tasks = make_workload(twin);
+  const SimResult batch = twin.sim().run(tasks);
+
+  {
+    ServeProcess proc(ISCOPE_SERVE_BIN, to_args(opt));
+    ASSERT_TRUE(proc.wait_ready());
+    Client client(opt.socket_path);
+    for (const Task& t : tasks)
+      ASSERT_EQ(client.admit(t).type, MsgType::kAdmitOk);
+    // The wire cannot redirect daemon writes: any path other than the
+    // operator-configured --checkpoint target is refused.
+    client.send_frame(MsgType::kCheckpoint,
+                      encode_text("/tmp/iscope_e2e_elsewhere.bin"));
+    EXPECT_EQ(client.recv_frame().type, MsgType::kErr);
+    // Empty and exact-match paths both snapshot -- and the snapshot folds
+    // in the never-ADVANCEd admission backlog.
+    EXPECT_EQ(client.checkpoint(), opt.checkpoint_path);
+    EXPECT_EQ(client.checkpoint(opt.checkpoint_path), opt.checkpoint_path);
+    client.shutdown();
+  }
+
+  ServiceOptions opt2 = opt;
+  opt2.resume = true;
+  opt2.socket_path = socket_path("ckpol2");
+  ServeProcess proc2(ISCOPE_SERVE_BIN, to_args(opt2));
+  ASSERT_TRUE(proc2.wait_ready());
+  Client client2(opt2.socket_path);
+  EXPECT_EQ(client2.decide_now().tasks_admitted, tasks.size());
+  std::vector<TimelineEvent> decisions;
+  client2.drain(decisions);
+  const ResultSummary summary = client2.result();
+  client2.shutdown();
+  std::remove(opt.checkpoint_path.c_str());
+  expect_decisions_match(decisions, batch.timeline);
+  expect_summary_matches(summary, batch);
+}
+
+TEST(ServiceE2E, CheckpointFrameWithoutTargetIsAnError) {
+  const ServiceOptions opt = base_options("cknone");
+  ServeProcess proc(ISCOPE_SERVE_BIN, to_args(opt));
+  ASSERT_TRUE(proc.wait_ready());
+  Client client(opt.socket_path);
+  client.send_frame(MsgType::kCheckpoint, encode_text(""));
+  EXPECT_EQ(client.recv_frame().type, MsgType::kErr);
+  client.shutdown();
+}
+
+TEST(ServiceE2E, NewAdmissionsInvalidateCachedResult) {
+  const ServiceOptions opt = base_options("reres");
+  SimHost twin(opt);
+  const std::vector<Task> tasks = make_workload(twin);
+  ServeProcess proc(ISCOPE_SERVE_BIN, to_args(opt));
+  ASSERT_TRUE(proc.wait_ready());
+  Client client(opt.socket_path);
+  ASSERT_EQ(client.admit(tasks[0]).type, MsgType::kAdmitOk);
+  std::vector<TimelineEvent> decisions;
+  const AdvanceDone drained = client.drain(decisions);
+  const ResultSummary first = client.result();
+  EXPECT_EQ(first.tasks_completed, 1u);
+
+  // More work after a RESULT: the next drained RESULT must re-summarize,
+  // not replay the stale cache. (Submit relative to the drained clock --
+  // the last event can trail the makespan by up to an epoch.)
+  Task later = tasks[1];
+  later.submit_s = drained.now_s + 500.0;
+  later.deadline_s = later.submit_s + 1.0e6;
+  ASSERT_EQ(client.admit(later).type, MsgType::kAdmitOk);
+  client.drain(decisions);
+  const ResultSummary second = client.result();
+  EXPECT_EQ(second.tasks_completed, 2u);
+  EXPECT_GT(second.events_processed, first.events_processed);
+  client.shutdown();
 }
 
 TEST(ServiceE2E, BackpressureEngagesAndClears) {
