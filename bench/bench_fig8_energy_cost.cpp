@@ -54,6 +54,21 @@ int main() {
         << TextTable::pct(1.0 - cost_of(Scheme::kScanFair, false) /
                                     cost_of(Scheme::kBinRan, false))
         << " cheaper\n";
+    // Thermal captures (ISCOPE_THERMAL=1, -l thermal_on) carry the
+    // heat-aware sixth scheme: recirculation-sorted placement must pay
+    // off on the total compute+cooling bill versus the paper's best.
+    if (ctx.config().sim.thermal.enabled) {
+      const Scheme therm = ensure_extended_schemes_registered();
+      std::cout << "Thermal (compute + CRAC cooling):\n"
+                << "  ScanTherm vs ScanFair: "
+                << TextTable::pct(1.0 - cost_of(therm, true) /
+                                            cost_of(Scheme::kScanFair, true))
+                << " cheaper (with wind)\n"
+                << "  ScanTherm vs ScanFair: "
+                << TextTable::pct(1.0 - cost_of(therm, false) /
+                                            cost_of(Scheme::kScanFair, false))
+                << " cheaper (no wind)\n";
+    }
     return counters;
   });
 }

@@ -46,7 +46,9 @@ inline void maybe_export_csv(const std::string& name,
 /// sweep workers from ISCOPE_PARALLEL (0 = one per hardware thread), fault
 /// injection from ISCOPE_FAULTS / ISCOPE_FAULT_SEED (off by default),
 /// shard partition from ISCOPE_SHARDS / ISCOPE_SHARD_WORKERS (1 = the
-/// single-event-loop simulator, same results).
+/// single-event-loop simulator, same results), thermal/CRAC model and
+/// sleep governor from ISCOPE_THERMAL / ISCOPE_SLEEP_POLICY (both off by
+/// default, bit-identical to the legacy model when off).
 inline ExperimentConfig bench_config() {
   ExperimentConfig cfg = ExperimentConfig::paper_small().scaled(env_scale());
   cfg.parallelism = env_parallelism();
@@ -54,6 +56,8 @@ inline ExperimentConfig bench_config() {
   cfg.sim.fault_seed = env_fault_seed();
   cfg.sim.topology.shards = env_shards();
   cfg.sim.shard_workers = env_shard_workers();
+  cfg.sim.thermal.enabled = env_thermal();
+  cfg.sim.sleep.policy = env_sleep_policy();
   return cfg;
 }
 

@@ -9,6 +9,7 @@
 //   simulate  --scheme NAME [--procs N] [--jobs N] [--hu F] [--rate R]
 //             [--wind trace.csv | --no-wind] [--battery-kwh X]
 //             [--faults "mtbf=...,misprofile=..."] [--fault-seed N]
+//             [--thermal] [--sleep-policy none|active-idle|immediate|timeout]
 //             [--timeline out.csv] [--telemetry DIR] [--trace-out F]
 //   sweep     --fig hu|arrival|wind [--points "a,b,c"] [--no-wind]
 //             [--parallel N] [--scale F]
@@ -160,6 +161,9 @@ int cmd_scan(const Args& args) {
 }
 
 int cmd_simulate(const Args& args) {
+  // Make ScanTherm and the *Sleep variants resolvable by name alongside
+  // the paper five.
+  ensure_extended_schemes_registered();
   const Scheme scheme = scheme_from_name(args.get("scheme").value_or(
       "ScanFair"));
 
@@ -194,6 +198,15 @@ int cmd_simulate(const Args& args) {
                           ? parse_fault_spec(args.require("faults"))
                           : env_fault_spec();
   config.sim.fault_seed = args.integer("fault-seed", env_fault_seed());
+  // Thermal/CRAC model and C-state sleep (DESIGN.md Sec. 16): --thermal
+  // arms recirculation-aware cooling, --sleep-policy picks the idle
+  // governor. Defaults come from ISCOPE_THERMAL / ISCOPE_SLEEP_POLICY;
+  // ScanTherm and the *Sleep schemes force their half on regardless.
+  if (args.flag("thermal") || env_thermal()) config.sim.thermal.enabled = true;
+  config.sim.sleep.policy =
+      args.get("sleep-policy")
+          ? parse_sleep_policy(args.require("sleep-policy"))
+          : env_sleep_policy();
   // Shard partition: --shards N routes the run through the sharded
   // coordinator (rack-aligned shards, epoch-barrier wind reconciliation);
   // --shard-workers W fans shard advances over a pool (0 = hw threads).
@@ -260,6 +273,19 @@ int cmd_simulate(const Args& args) {
                  TextTable::num(r.faults.lost_cpu_seconds / 3600.0, 2)});
     out.add_row({"fault-driven misses",
                  std::to_string(r.faults.fault_deadline_misses)});
+  }
+  // ScanTherm/*Sleep force their subsystem on inside run_scheme, so key
+  // off the result, not just the local config.
+  if (config.sim.thermal.enabled || r.cooling_energy.joules() > 0.0) {
+    out.add_row({"cooling energy",
+                 TextTable::num(r.cooling_energy.joules() / 3.6e6, 1) + " kWh"});
+    out.add_row({"peak inlet", TextTable::num(r.peak_inlet_c, 1) + " C"});
+  }
+  if (config.sim.sleep.enabled() || r.sleep_enters > 0) {
+    out.add_row({"idle energy",
+                 TextTable::num(r.idle_energy.joules() / 3.6e6, 1) + " kWh"});
+    out.add_row({"sleep enters", std::to_string(r.sleep_enters)});
+    out.add_row({"wake-delayed starts", std::to_string(r.sleep_wakes)});
   }
   out.print(std::cout);
 
@@ -432,6 +458,9 @@ int usage() {
       "              dropouts=N,retries=K\"] [--fault-seed N]\n"
       "            [--shards N] [--shard-workers W]   (sharded simulator;\n"
       "              defaults ISCOPE_SHARDS / ISCOPE_SHARD_WORKERS)\n"
+      "            [--thermal] [--sleep-policy none|active-idle|immediate|\n"
+      "              timeout]   (thermal/CRAC model + C-state sleep;\n"
+      "              defaults ISCOPE_THERMAL / ISCOPE_SLEEP_POLICY)\n"
       "  sweep     [--fig hu|arrival|wind] [--points \"a,b,c\"] [--no-wind]\n"
       "            [--parallel N] [--scale F]\n";
   return 1;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <string>
 
 #include "common/error.hpp"
 #include "power/cooling.hpp"
@@ -123,6 +124,22 @@ std::size_t env_shards() {
   const long v = std::strtol(s, nullptr, 10);
   if (v < 1) return 1;
   return static_cast<std::size_t>(v);
+}
+
+bool env_thermal() {
+  const char* s = std::getenv("ISCOPE_THERMAL");
+  if (s == nullptr || *s == '\0') return false;
+  const std::string v{s};
+  if (v == "0" || v == "off" || v == "false") return false;
+  ISCOPE_CHECK_ARG(v == "1" || v == "on" || v == "true",
+                   "ISCOPE_THERMAL: expected 0/1/on/off/true/false");
+  return true;
+}
+
+SleepPolicy env_sleep_policy() {
+  const char* s = std::getenv("ISCOPE_SLEEP_POLICY");
+  if (s == nullptr || *s == '\0') return SleepPolicy::kNone;
+  return parse_sleep_policy(s);
 }
 
 std::size_t env_shard_workers() {

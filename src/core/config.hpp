@@ -81,6 +81,16 @@ std::uint64_t env_fault_seed();
 /// coordinator). Benches feed this into `SimConfig::topology.shards`.
 std::size_t env_shards();
 
+/// Read ISCOPE_THERMAL from the environment (default off). "1"/"on"/
+/// "true" enable the thermal/CRAC model (SimConfig::thermal.enabled);
+/// unset, empty, "0", "off" and "false" leave it off.
+bool env_thermal();
+
+/// Read ISCOPE_SLEEP_POLICY from the environment (default kNone): a
+/// sleep_policy_name() string -- none, active-idle, immediate, timeout.
+/// Feeds SimConfig::sleep.policy; throws InvalidArgument on anything else.
+SleepPolicy env_sleep_policy();
+
 /// Read ISCOPE_SHARD_WORKERS from the environment (default 1 = serial
 /// shard advances; 0 = one worker per hardware thread). Feeds
 /// `SimConfig::shard_workers`; results are bit-identical at any setting.

@@ -187,12 +187,17 @@ std::vector<CostRow> energy_costs(const ExperimentContext& ctx) {
   const double hu = ctx.config().urgency.hu_fraction;
   const auto tasks =
       std::make_shared<const std::vector<Task>>(ctx.make_tasks(hu));
+  // Thermal runs add the heat-aware sixth scheme, so the fig8 thermal
+  // captures put ScanTherm's cooling payoff next to the paper five.
+  std::vector<Scheme> schemes(kAllSchemes.begin(), kAllSchemes.end());
+  if (ctx.config().sim.thermal.enabled)
+    schemes.push_back(ensure_extended_schemes_registered());
   std::vector<ScenarioSpec> specs;
-  specs.reserve(2 * kAllSchemes.size());
+  specs.reserve(2 * schemes.size());
   for (const bool with_wind : {false, true}) {
     const auto supply =
         std::make_shared<const HybridSupply>(ctx.make_supply(with_wind));
-    for (const Scheme scheme : kAllSchemes) {
+    for (const Scheme scheme : schemes) {
       ScenarioSpec s;
       s.scheme = scheme;
       s.tasks = tasks;

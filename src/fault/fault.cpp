@@ -20,7 +20,7 @@ void check_finite_nonneg(double v, const char* name) {
 
 bool FaultSpec::any() const {
   return misprofile_prob > 0.0 || crash_mtbf_s > 0.0 || forecast_error > 0.0 ||
-         dropouts_per_day > 0.0;
+         dropouts_per_day > 0.0 || crac_derate > 0.0;
 }
 
 void FaultSpec::validate() const {
@@ -44,6 +44,12 @@ void FaultSpec::validate() const {
                    "repair_mean_s must be > 0 when CPU faults are enabled");
   ISCOPE_CHECK_ARG(dropouts_per_day == 0.0 || dropout_mean_s > 0.0,
                    "dropout_mean_s must be > 0 when dropouts are enabled");
+  check_finite_nonneg(crac_derate, "crac_derate");
+  ISCOPE_CHECK_ARG(crac_derate < 1.0, "FaultSpec.crac_derate must be < 1");
+  check_finite_nonneg(crac_start_s, "crac_start_s");
+  check_finite_nonneg(crac_duration_s, "crac_duration_s");
+  ISCOPE_CHECK_ARG(crac_derate == 0.0 || crac_duration_s > 0.0,
+                   "crac_duration_s must be > 0 when CRAC derating is enabled");
 }
 
 FaultSpec parse_fault_spec(const std::string& text) {
@@ -88,6 +94,12 @@ FaultSpec parse_fault_spec(const std::string& text) {
       spec.max_retries = static_cast<std::size_t>(v);
     } else if (key == "horizon") {
       spec.horizon_s = v;
+    } else if (key == "crac") {
+      spec.crac_derate = v;
+    } else if (key == "crac-start") {
+      spec.crac_start_s = v;
+    } else if (key == "crac-duration") {
+      spec.crac_duration_s = v;
     } else {
       throw InvalidArgument("unknown fault spec key '" + key + "'");
     }
@@ -113,6 +125,9 @@ FaultPlan FaultPlan::build(const FaultSpec& spec, std::uint64_t seed,
   plan.max_retries_ = spec.max_retries;
   plan.forecast_error_ = spec.forecast_error;
   plan.forecast_seed_ = splitmix64(seed ^ 0x77696e64ULL);  // "wind"
+  plan.crac_derate_ = spec.crac_derate;
+  plan.crac_start_s_ = spec.crac_start_s;
+  plan.crac_duration_s_ = spec.crac_duration_s;
   Rng root(seed);
 
   if (spec.crash_mtbf_s > 0.0 && procs > 0) {
@@ -256,6 +271,9 @@ FaultPlan FaultPlan::slice(std::size_t proc_lo, std::size_t proc_count) const {
   out.dropouts_ = dropouts_;
   out.forecast_error_ = forecast_error_;
   out.forecast_seed_ = forecast_seed_;
+  out.crac_derate_ = crac_derate_;
+  out.crac_start_s_ = crac_start_s_;
+  out.crac_duration_s_ = crac_duration_s_;
   out.max_retries_ = max_retries_;
   return out;
 }

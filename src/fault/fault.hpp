@@ -63,6 +63,15 @@ struct FaultSpec {
   double dropouts_per_day = 0.0;
   double dropout_mean_s = 1800.0;
 
+  /// (e) CRAC degradation window: for `crac_duration_s` starting at
+  /// `crac_start_s`, the chiller COP is scaled by (1 - crac_derate) --
+  /// a partial cooling outage (failed compressor stage, condenser
+  /// fouling). Facility-wide; only affects runs with the thermal model
+  /// enabled (cooling power is not simulated otherwise).
+  double crac_derate = 0.0;  ///< in [0, 1); 0 disables the window
+  double crac_start_s = 0.0;
+  double crac_duration_s = 0.0;
+
   /// Crash/repair schedules are generated out to this horizon.
   double horizon_s = 60.0 * 86400.0;
   /// How many times a task killed by a failing CPU is requeued before it is
@@ -76,8 +85,8 @@ struct FaultSpec {
 
 /// Parse a `key=value,key=value` spec string (the CLI `--faults` format).
 /// Keys: mtbf, repair, misprofile, misprofile-latency, forecast, dropouts,
-/// dropout-mean, retries, horizon. Durations are seconds. Unknown keys
-/// throw InvalidArgument.
+/// dropout-mean, retries, horizon, crac, crac-start, crac-duration.
+/// Durations are seconds. Unknown keys throw InvalidArgument.
 FaultSpec parse_fault_spec(const std::string& text);
 
 enum class FaultKind : std::uint8_t {
@@ -122,13 +131,17 @@ class FaultPlan {
 
   /// True when the plan injects nothing into the simulator (no crash
   /// events and no mis-profiled chips). Dropouts/forecast noise act on the
-  /// supply/forecast objects outside the event loop, so they do not count.
+  /// supply/forecast objects outside the event loop, and the CRAC window
+  /// only modulates the thermal solve, so none of them count -- a
+  /// CRAC-only plan keeps the simulator's fault machinery (mutable
+  /// knowledge, quarantine, retry bookkeeping) entirely disengaged.
   bool sim_empty() const {
     return events_.empty() && misprofile_count_ == 0;
   }
   /// True when the plan carries no faults of any kind.
   bool empty() const {
-    return sim_empty() && dropouts_.empty() && forecast_error_ == 0.0;
+    return sim_empty() && dropouts_.empty() && forecast_error_ == 0.0 &&
+           crac_derate_ == 0.0;
   }
 
   /// Crash/repair schedule, sorted by (time, proc, kind).
@@ -162,6 +175,17 @@ class FaultPlan {
   double forecast_error() const { return forecast_error_; }
   std::uint64_t forecast_seed() const { return forecast_seed_; }
 
+  /// CRAC chiller derate factor at time `t`: 1.0 outside the degradation
+  /// window, (1 - crac_derate) inside [crac_start, crac_start + duration).
+  /// Facility-wide; consumed by the thermal epoch solve.
+  double crac_factor(double t) const {
+    if (crac_derate_ == 0.0) return 1.0;
+    return (t >= crac_start_s_ && t < crac_start_s_ + crac_duration_s_)
+               ? 1.0 - crac_derate_
+               : 1.0;
+  }
+  double crac_derate() const { return crac_derate_; }
+
   /// Largest processor id referenced by events or mis-profiles, +1; 0 when
   /// none. The simulator checks this against its cluster size.
   std::size_t procs_referenced() const;
@@ -185,6 +209,9 @@ class FaultPlan {
   std::vector<DropoutWindow> dropouts_;
   double forecast_error_ = 0.0;
   std::uint64_t forecast_seed_ = 0;
+  double crac_derate_ = 0.0;
+  double crac_start_s_ = 0.0;
+  double crac_duration_s_ = 0.0;
   std::size_t max_retries_ = 3;
 };
 

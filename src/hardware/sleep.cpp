@@ -1,0 +1,42 @@
+#include "hardware/sleep.hpp"
+
+#include "common/error.hpp"
+
+namespace iscope {
+
+void SleepConfig::validate() const {
+  ISCOPE_CHECK_ARG(timeout_s > 0.0, "Sleep: timeout_s must be > 0");
+  ISCOPE_CHECK_ARG(active_idle_frac >= 0.0 && active_idle_frac <= 1.0,
+                   "Sleep: active_idle_frac must be in [0, 1]");
+  double prev_frac = active_idle_frac;
+  double prev_wake = 0.0;
+  for (const SleepState& s : states) {
+    ISCOPE_CHECK_ARG(s.idle_frac >= 0.0 && s.idle_frac <= prev_frac,
+                     "Sleep: deeper states must draw no more power");
+    ISCOPE_CHECK_ARG(s.wake_s >= prev_wake,
+                     "Sleep: deeper states must not wake faster");
+    prev_frac = s.idle_frac;
+    prev_wake = s.wake_s;
+  }
+}
+
+const char* sleep_policy_name(SleepPolicy policy) {
+  switch (policy) {
+    case SleepPolicy::kNone: return "none";
+    case SleepPolicy::kActiveIdle: return "active-idle";
+    case SleepPolicy::kImmediate: return "immediate";
+    case SleepPolicy::kTimeout: return "timeout";
+  }
+  throw InvalidArgument("sleep_policy_name: unknown policy");
+}
+
+SleepPolicy parse_sleep_policy(const std::string& name) {
+  if (name == "none") return SleepPolicy::kNone;
+  if (name == "active-idle") return SleepPolicy::kActiveIdle;
+  if (name == "immediate") return SleepPolicy::kImmediate;
+  if (name == "timeout") return SleepPolicy::kTimeout;
+  throw InvalidArgument("unknown sleep policy '" + name +
+                        "' (expected none|active-idle|immediate|timeout)");
+}
+
+}  // namespace iscope

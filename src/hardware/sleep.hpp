@@ -1,0 +1,82 @@
+// C-state sleep management for idle processors.
+//
+// The paper's simulator treats an idle CPU as free: zero power, instant
+// start. Real sockets burn 10-30% of peak while "idle" in C1, and every
+// deeper package C-state trades lower residency power for a longer wake
+// latency -- the speed/sleep trade SleepScale (arXiv:1404.5121) manages
+// jointly with DVFS. This header models that ladder:
+//
+//   active idle (C1)   -- idle_frac ~0.30 of stock power, instant wake
+//   states[0]  (C3)    -- ~0.10 of stock, ~1 s wake
+//   states[1]  (C6)    -- ~0.03 of stock, ~10 s wake
+//   states[2]  (off)   -- ~0.005 of stock, ~120 s wake (suspend-to-disk
+//                         style full power-down)
+//
+// A *policy* decides how a processor descends the ladder while idle:
+//   kNone       -- the legacy model: idle costs nothing, wakes instantly.
+//                  Must leave every simulation bit-identical to a build
+//                  without sleep support (the ThermalOffIdentity suite).
+//   kActiveIdle -- processors pay active-idle power but never sleep;
+//                  the honest baseline sleep policies are compared to.
+//   kImmediate  -- drop straight to the deepest state on going idle:
+//                  minimum energy, maximum wake latency.
+//   kTimeout    -- descend one state per `timeout_s` of residency, the
+//                  classic fixed-timeout governor SleepScale benchmarks
+//                  against.
+//
+// The simulator owns the per-processor state machine (sleep transitions
+// are events; waking claimed processors delays start_task); this header
+// is pure data so the config can live in SimConfig and the checkpoint
+// identity block without dragging sim internals into the hardware layer.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace iscope {
+
+enum class SleepPolicy : unsigned char {
+  kNone = 0,     ///< legacy: idle is free and wakes instantly
+  kActiveIdle,   ///< pay C1 power, never sleep deeper
+  kImmediate,    ///< deepest state immediately on idle
+  kTimeout,      ///< descend one state per timeout_s of idle residency
+};
+
+/// One rung of the C-state ladder below active idle.
+struct SleepState {
+  double idle_frac = 0.0;  ///< residency power as a fraction of stock power
+  double wake_s = 0.0;     ///< latency to return to active
+};
+
+struct SleepConfig {
+  SleepPolicy policy = SleepPolicy::kNone;
+
+  /// Idle residency before each one-state descent under kTimeout.
+  double timeout_s = 300.0;
+
+  /// Power an awake-but-idle processor draws, as a fraction of its stock
+  /// (top-level bin) power. Applies to every policy except kNone.
+  double active_idle_frac = 0.30;
+
+  /// The ladder, shallowest first. Fixed size keeps the checkpoint
+  /// format and the per-processor state byte trivial.
+  std::array<SleepState, 3> states{
+      SleepState{0.10, 1.0},     // C3-like package sleep
+      SleepState{0.03, 10.0},    // C6-like deep sleep
+      SleepState{0.005, 120.0},  // full power-down
+  };
+
+  bool enabled() const { return policy != SleepPolicy::kNone; }
+
+  void validate() const;
+};
+
+/// Canonical lowercase policy names: none, active-idle, immediate,
+/// timeout. Round-trips with parse_sleep_policy.
+const char* sleep_policy_name(SleepPolicy policy);
+
+/// Parse a policy name; throws InvalidArgument on anything unknown.
+SleepPolicy parse_sleep_policy(const std::string& name);
+
+}  // namespace iscope

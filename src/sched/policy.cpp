@@ -11,6 +11,7 @@ const char* placement_rule_name(PlacementRule rule) {
     case PlacementRule::kRandom: return "Ran";
     case PlacementRule::kEfficiency: return "Effi";
     case PlacementRule::kFair: return "Fair";
+    case PlacementRule::kTherm: return "Therm";
   }
   return "?";
 }
@@ -27,11 +28,25 @@ PlacementPolicy::PlacementPolicy(const Knowledge* knowledge,
                        efficient_pool_fraction <= 1.0,
                    "PlacementPolicy: pool fraction must be in (0,1]");
   rank_of_proc_.resize(knowledge->procs());
-  const auto& order = knowledge->efficiency_order();
-  for (std::size_t rank = 0; rank < order.size(); ++rank)
-    rank_of_proc_[order[rank]] = rank;
+  order_ = knowledge->efficiency_order();
+  for (std::size_t rank = 0; rank < order_.size(); ++rank)
+    rank_of_proc_[order_[rank]] = rank;
   pool_limit_ = static_cast<std::size_t>(
       pool_fraction_ * static_cast<double>(knowledge->procs()));
+}
+
+void PlacementPolicy::override_order(std::vector<std::size_t> order) {
+  ISCOPE_CHECK_ARG(order.size() == knowledge_->procs(),
+                   "PlacementPolicy: order must cover every processor");
+  std::vector<std::uint8_t> seen(order.size(), 0);
+  for (std::size_t p : order) {
+    ISCOPE_CHECK_ARG(p < order.size() && seen[p] == 0,
+                     "PlacementPolicy: order must be a permutation");
+    seen[p] = 1;
+  }
+  order_ = std::move(order);
+  for (std::size_t rank = 0; rank < order_.size(); ++rank)
+    rank_of_proc_[order_[rank]] = rank;
 }
 
 std::size_t PlacementPolicy::efficiency_rank(std::size_t proc) const {
@@ -67,7 +82,7 @@ bool PlacementPolicy::choose_efficient_bits(
   // only look inside the efficient pool -- hitting a rank at or past
   // pool_limit_ before collecting n is the same rejection
   // choose_efficient derives from rank[pick[n - 1]] >= pool_limit_.
-  const std::vector<std::size_t>& order = knowledge_->efficiency_order();
+  const std::vector<std::size_t>& order = order_;
   const std::size_t limit = forced ? order.size() : pool_limit_;
   const std::size_t words = (order.size() + 63) / 64;
   out.clear();
@@ -107,6 +122,16 @@ bool PlacementPolicy::choose_soa(std::size_t n,
       break;  // unsupported: falls through to the error below
     case PlacementRule::kEfficiency:
       return choose_efficient_bits(n, idle_rank_bits, ctx.forced, out);
+    case PlacementRule::kTherm: {
+      // Same supply-side deferral as Fair (compute deferred to windy
+      // hours is free compute), but placement stays on the thermal
+      // order: wind pays for the CPUs, not for the CRAC, so the
+      // recirculation stripe matters under abundant wind too.
+      if (!ctx.has_wind)
+        return choose_efficient_bits(n, idle_rank_bits, ctx.forced, out);
+      if (!ctx.wind_abundant && fair_defers(ctx)) return false;
+      return choose_efficient_bits(n, idle_rank_bits, /*forced=*/true, out);
+    }
     case PlacementRule::kFair: {
       if (!ctx.has_wind)
         return choose_efficient_bits(n, idle_rank_bits, ctx.forced, out);
@@ -147,6 +172,12 @@ std::optional<std::vector<std::size_t>> PlacementPolicy::choose(
     }
     case PlacementRule::kEfficiency:
       return choose_efficient(n, idle, ctx.forced);
+    case PlacementRule::kTherm: {
+      // Mirrors choose_soa: Fair's deferral, thermal-order placement.
+      if (!ctx.has_wind) return choose_efficient(n, idle, ctx.forced);
+      if (!ctx.wind_abundant && fair_defers(ctx)) return std::nullopt;
+      return choose_efficient(n, idle, /*forced=*/true);
+    }
     case PlacementRule::kFair: {
       if (!ctx.has_wind) return choose_efficient(n, idle, ctx.forced);
       if (!ctx.wind_abundant) {

@@ -15,6 +15,12 @@
 //            only deadline-forced tasks, on the most efficient idle CPUs,
 //            to save expensive utility energy. In a utility-only facility
 //            Fair degenerates to Effi (there is no wind to wait for).
+//  * Therm -- Effi's waiting discipline over a *cooling-aware* rank: the
+//            simulator injects a placement order that weighs each chip's
+//            stock power by its rack's heat-recirculation contribution
+//            (override_order), so the pool prefers chips whose watts the
+//            CRAC removes cheapest. With no injected order (thermal model
+//            off) Therm is Effi by construction.
 #pragma once
 
 #include <cstddef>
@@ -28,7 +34,7 @@
 
 namespace iscope {
 
-enum class PlacementRule : std::uint8_t { kRandom, kEfficiency, kFair };
+enum class PlacementRule : std::uint8_t { kRandom, kEfficiency, kFair, kTherm };
 
 const char* placement_rule_name(PlacementRule rule);
 
@@ -88,11 +94,13 @@ class PlacementPolicy {
   /// any w' >= w is too, and stays rejected while the idle set can only
   /// shrink). The scheduler uses this to memoize rejections within one
   /// scheduling pass instead of re-sorting the idle set per waiting task.
-  /// Fair with wind also defers on supply conditions, which is not
-  /// width-monotone, so only Effi and wind-less Fair qualify.
+  /// Fair and Therm with wind also defer on supply conditions, which is
+  /// not width-monotone, so only Effi and the wind-less rules qualify.
   bool pool_failures_monotone(bool has_wind) const {
     return rule_ == PlacementRule::kEfficiency ||
-           (rule_ == PlacementRule::kFair && !has_wind);
+           ((rule_ == PlacementRule::kFair ||
+             rule_ == PlacementRule::kTherm) &&
+            !has_wind);
   }
 
   /// Choose `n` of the currently `idle` processors for a task, or return
@@ -123,6 +131,14 @@ class PlacementPolicy {
   /// Efficiency rank of a processor (0 = most efficient).
   std::size_t efficiency_rank(std::size_t proc) const;
 
+  /// Replace the placement order (rank 0 first) with a caller-computed
+  /// permutation of the processor ids -- the hook ScanTherm uses to rank
+  /// chips by marginal compute + cooling power instead of raw efficiency.
+  /// Must be called before the scheduler builds its rank-indexed idle
+  /// structures; the order is fixed for the whole run (like the
+  /// efficiency order it replaces).
+  void override_order(std::vector<std::size_t> order);
+
   /// Checkpoint access to the placement stream (consumed only by kRandom;
   /// Effi/Fair never draw, so their saved state is the seed position).
   std::string rng_state() const { return rng_.save_state(); }
@@ -142,6 +158,11 @@ class PlacementPolicy {
   Rng rng_;
   double pool_fraction_;
   std::size_t pool_limit_;  ///< ranks below this are "efficient enough"
+  /// Placement order, rank 0 first. A copy of the knowledge's efficiency
+  /// order unless override_order() installed a thermal-aware permutation
+  /// (the efficiency order is built once and never reordered, so the
+  /// copy cannot go stale).
+  std::vector<std::size_t> order_;
   std::vector<std::size_t> rank_of_proc_;
 };
 

@@ -36,7 +36,8 @@ SchemeRegistry& SchemeRegistry::global() {
 
 Scheme SchemeRegistry::register_scheme(std::string name,
                                        KnowledgeSource knowledge,
-                                       PlacementRule rule) {
+                                       PlacementRule rule, bool thermal,
+                                       bool sleep) {
   ISCOPE_CHECK_ARG(!name.empty(), "SchemeRegistry: empty scheme name");
   std::lock_guard<std::mutex> lock(impl_->mutex);
   for (const SchemeInfo& info : impl_->infos)
@@ -46,7 +47,7 @@ Scheme SchemeRegistry::register_scheme(std::string name,
   if (impl_->infos.size() >= kMax)
     throw InvalidArgument("SchemeRegistry: scheme id space exhausted");
   const auto id = static_cast<Scheme>(impl_->infos.size());
-  impl_->infos.push_back({std::move(name), knowledge, rule});
+  impl_->infos.push_back({std::move(name), knowledge, rule, thermal, sleep});
   return id;
 }
 
@@ -98,6 +99,25 @@ PlacementRule scheme_rule(Scheme scheme) {
 
 bool scheme_uses_scan(Scheme scheme) {
   return scheme_knowledge(scheme) == KnowledgeSource::kScan;
+}
+
+Scheme ensure_extended_schemes_registered() {
+  // call_once so concurrent sweep workers cannot race the registrations
+  // (ids are process-global; a double registration would throw on the
+  // duplicate name).
+  static const Scheme scan_therm = [] {
+    SchemeRegistry& reg = SchemeRegistry::global();
+    const Scheme therm =
+        reg.register_scheme("ScanTherm", KnowledgeSource::kScan,
+                            PlacementRule::kTherm, /*thermal=*/true);
+    for (const Scheme base : kAllSchemes) {
+      const SchemeInfo& info = reg.info(base);
+      reg.register_scheme(info.name + "Sleep", info.knowledge, info.rule,
+                          /*thermal=*/false, /*sleep=*/true);
+    }
+    return therm;
+  }();
+  return scan_therm;
 }
 
 }  // namespace iscope

@@ -48,6 +48,12 @@ struct SchemeInfo {
   std::string name;           ///< stable lookup key (CLI, configs, baselines)
   KnowledgeSource knowledge;  ///< kBin (static binning) or kScan (profiled)
   PlacementRule rule;         ///< placement / DVFS policy family
+  /// Scheme-level feature requests, applied by run_scheme() on top of the
+  /// caller's SimConfig: `thermal` turns the CRAC/recirculation model on;
+  /// `sleep` enables C-state management (timeout policy unless the config
+  /// already picked one). Both false for the paper five.
+  bool thermal = false;
+  bool sleep = false;
 };
 
 /// Process-wide scheme table: name -> (knowledge, rule) factory inputs.
@@ -64,7 +70,8 @@ class SchemeRegistry {
   /// InvalidArgument on a duplicate name and when the 8-bit id space is
   /// exhausted.
   Scheme register_scheme(std::string name, KnowledgeSource knowledge,
-                         PlacementRule rule);
+                         PlacementRule rule, bool thermal = false,
+                         bool sleep = false);
 
   /// Resolve an id. Throws InvalidArgument for ids never registered.
   const SchemeInfo& info(Scheme scheme) const;
@@ -93,5 +100,13 @@ PlacementRule scheme_rule(Scheme scheme);
 
 /// True for schemes that run the in-cloud scanner.
 bool scheme_uses_scan(Scheme scheme);
+
+/// Register the thermal/sleep scheme family (idempotent, thread-safe):
+/// `ScanTherm` -- scanned knowledge with recirculation-aware placement and
+/// the thermal model forced on -- plus sleep-enabled variants of the paper
+/// five (`BinRanSleep` ... `ScanFairSleep`). Returns ScanTherm's id; the
+/// variants resolve by name. Call before scheme_from_name() on any of
+/// these names (the CLI, benches, and tests do).
+Scheme ensure_extended_schemes_registered();
 
 }  // namespace iscope

@@ -77,6 +77,26 @@ void CheckpointAccess::save(const DatacenterSim& s, serial::Writer& w) {
   w.f64(s.config_.epoch_s);
   w.f64(s.config_.sample_interval_s);
 
+  // Thermal + sleep identity (format v2). The configs shape event
+  // semantics (COP curve, wake latencies), so a restore under different
+  // knobs would diverge silently; all-defaults when both are off.
+  w.b(s.config_.thermal.enabled);
+  w.f64(s.config_.thermal.red_line_c);
+  w.f64(s.config_.thermal.min_supply_c);
+  w.f64(s.config_.thermal.max_supply_c);
+  w.f64(s.config_.thermal.self_coupling_k_per_w);
+  w.f64(s.config_.thermal.row_decay_racks);
+  w.f64(s.config_.thermal.cross_row_coupling);
+  w.f64(s.config_.thermal.cross_row_decay_rows);
+  w.u8(static_cast<std::uint8_t>(s.config_.sleep.policy));
+  w.f64(s.config_.sleep.timeout_s);
+  w.f64(s.config_.sleep.active_idle_frac);
+  for (const SleepState& st : s.config_.sleep.states) {
+    w.f64(st.idle_frac);
+    w.f64(st.wake_s);
+  }
+  w.b(s.thermal_external_);
+
   // Event queue: raw heap-vector order (EventQueue::save_events throws if
   // any pending event is untagged).
   const std::vector<SavedEvent> events = s.queue_.save_events();
@@ -198,6 +218,30 @@ void CheckpointAccess::save(const DatacenterSim& s, serial::Writer& w) {
   w.f64(s.fault_counters_.lost_cpu_seconds);
   w.u64(s.fault_counters_.fault_deadline_misses);
 
+  // Thermal + sleep state (format v2). Written unconditionally -- all
+  // zeros when both subsystems are off -- so the frame layout never
+  // depends on the config.
+  w.b(s.thermal_chain_live_);
+  w.f64(s.cop_now_);
+  w.f64(s.supply_c_now_);
+  w.f64(s.peak_inlet_c_);
+  w.b(s.thermal_pending_);
+  w.f64(s.pending_cop_);
+  w.f64(s.pending_supply_c_);
+  w.f64(s.pending_peak_c_);
+  w.f64(s.last_compute_.watts());
+  w.f64(s.cooling_power_.watts());
+  w.f64(s.cooling_joules_);
+  w.f64(s.idle_joules_);
+  w.f64(s.idle_power_w_);
+  for (std::size_t p = 0; p < nprocs; ++p)
+    w.u8(p < s.sleep_state_.size() ? s.sleep_state_[p] : std::uint8_t{0});
+  for (std::size_t p = 0; p < nprocs; ++p)
+    w.u64(p < s.sleep_token_.size() ? s.sleep_token_[p] : 0);
+  w.u64(s.sleeping_count_);
+  w.u64(s.sleep_enters_);
+  w.u64(s.sleep_wakes_);
+
   // The placement RNG stream (only kRandom ever draws from it, but saving
   // it unconditionally keeps the format scheme-independent).
   w.str(s.policy_.rng_state());
@@ -219,6 +263,31 @@ void CheckpointAccess::load(DatacenterSim& s, serial::Reader& r) {
   check_identity(r.b() == s.config_.record_timeline, "timeline recording");
   check_identity(r.f64() == s.config_.epoch_s, "epoch period");
   check_identity(r.f64() == s.config_.sample_interval_s, "sample period");
+  check_identity(r.b() == s.config_.thermal.enabled, "thermal mode");
+  check_identity(r.f64() == s.config_.thermal.red_line_c,
+                 "thermal red line");
+  check_identity(r.f64() == s.config_.thermal.min_supply_c,
+                 "thermal supply floor");
+  check_identity(r.f64() == s.config_.thermal.max_supply_c,
+                 "thermal supply ceiling");
+  check_identity(r.f64() == s.config_.thermal.self_coupling_k_per_w,
+                 "recirculation self-coupling");
+  check_identity(r.f64() == s.config_.thermal.row_decay_racks,
+                 "recirculation row decay");
+  check_identity(r.f64() == s.config_.thermal.cross_row_coupling,
+                 "recirculation cross-row coupling");
+  check_identity(r.f64() == s.config_.thermal.cross_row_decay_rows,
+                 "recirculation cross-row decay");
+  check_identity(r.u8() == static_cast<std::uint8_t>(s.config_.sleep.policy),
+                 "sleep policy");
+  check_identity(r.f64() == s.config_.sleep.timeout_s, "sleep timeout");
+  check_identity(r.f64() == s.config_.sleep.active_idle_frac,
+                 "active-idle power fraction");
+  for (const SleepState& st : s.config_.sleep.states) {
+    check_identity(r.f64() == st.idle_frac, "sleep-state residency power");
+    check_identity(r.f64() == st.wake_s, "sleep-state wake latency");
+  }
+  check_identity(r.b() == s.thermal_external_, "thermal coordination mode");
 
   // Stage the event snapshot; the queue is rebuilt last, once the state the
   // handlers index into is in place.
@@ -233,8 +302,7 @@ void CheckpointAccess::load(DatacenterSim& s, serial::Reader& r) {
     e.time = r.f64();
     e.seq = r.u64();
     const std::uint8_t kind = r.u8();
-    if (kind == 0 ||
-        kind > static_cast<std::uint8_t>(EventDesc::Kind::kMisprofileRepair))
+    if (kind == 0 || kind > static_cast<std::uint8_t>(EventDesc::Kind::kWake))
       throw CheckpointError("checkpoint: unknown event kind");
     e.desc.kind = static_cast<EventDesc::Kind>(kind);
     e.desc.a = r.u64();
@@ -272,7 +340,7 @@ void CheckpointAccess::load(DatacenterSim& s, serial::Reader& r) {
     t.run_prev = get_index(r.u64(), n_tasks, "run-list");
     t.run_next = get_index(r.u64(), n_tasks, "run-list");
     const std::uint8_t state = r.u8();
-    if (state > static_cast<std::uint8_t>(DatacenterSim::TaskState::kFailed))
+    if (state > static_cast<std::uint8_t>(DatacenterSim::TaskState::kWaking))
       throw CheckpointError("checkpoint: bad task state");
     t.state = static_cast<DatacenterSim::TaskState>(state);
     t.retries = static_cast<std::size_t>(r.u64());
@@ -388,7 +456,7 @@ void CheckpointAccess::load(DatacenterSim& s, serial::Reader& r) {
       TimelineEvent e;
       e.time_s = r.f64();
       const std::uint8_t kind = r.u8();
-      if (kind > static_cast<std::uint8_t>(TimelineKind::kTaskAbandon))
+      if (kind > static_cast<std::uint8_t>(TimelineKind::kTaskWaking))
         throw CheckpointError("checkpoint: bad timeline kind");
       e.kind = static_cast<TimelineKind>(kind);
       e.task_id = r.i64();
@@ -421,6 +489,32 @@ void CheckpointAccess::load(DatacenterSim& s, serial::Reader& r) {
   s.fault_counters_.lost_cpu_seconds = r.f64();
   s.fault_counters_.fault_deadline_misses = static_cast<std::size_t>(r.u64());
 
+  s.thermal_chain_live_ = r.b();
+  s.cop_now_ = r.f64();
+  s.supply_c_now_ = r.f64();
+  s.peak_inlet_c_ = r.f64();
+  s.thermal_pending_ = r.b();
+  s.pending_cop_ = r.f64();
+  s.pending_supply_c_ = r.f64();
+  s.pending_peak_c_ = r.f64();
+  s.last_compute_ = Watts{r.f64()};
+  s.cooling_power_ = Watts{r.f64()};
+  s.cooling_joules_ = r.f64();
+  s.idle_joules_ = r.f64();
+  s.idle_power_w_ = r.f64();
+  s.sleep_state_.assign(nprocs, 0);
+  for (std::size_t p = 0; p < nprocs; ++p) {
+    const std::uint8_t depth = r.u8();
+    if (depth > s.config_.sleep.states.size())
+      throw CheckpointError("checkpoint: sleep depth beyond the ladder");
+    s.sleep_state_[p] = depth;
+  }
+  s.sleep_token_.assign(nprocs, 0);
+  for (std::size_t p = 0; p < nprocs; ++p) s.sleep_token_[p] = r.u64();
+  s.sleeping_count_ = static_cast<std::size_t>(r.u64());
+  s.sleep_enters_ = static_cast<std::size_t>(r.u64());
+  s.sleep_wakes_ = static_cast<std::size_t>(r.u64());
+
   s.policy_.set_rng_state(r.str());
 
   // ---- derived-state rebuild --------------------------------------------
@@ -441,6 +535,34 @@ void CheckpointAccess::load(DatacenterSim& s, serial::Reader& r) {
       if (s.failed_[p] != 0) s.knowledge_mut_->quarantine(p);
   }
   s.knowledge_gen_ = s.knowledge_->generation();
+
+  // Thermal + sleep derived state (mirrors the prepare() staging block;
+  // load skips prepare, so it must rebuild the same pure functions of the
+  // config). ScanTherm's order must be installed before the rank tables
+  // below derive from the policy.
+  s.sleep_active_ = s.config_.sleep.enabled();
+  s.extras_active_ = s.config_.thermal.enabled || s.sleep_active_;
+  if (s.config_.thermal.enabled && !s.thermal_external_ &&
+      s.thermal_model_ == nullptr) {
+    const std::size_t per_rack = s.config_.topology.cpus_per_rack;
+    const std::size_t racks = (nprocs + per_rack - 1) / per_rack;
+    s.thermal_model_ = std::make_unique<ThermalModel>(s.config_.thermal,
+                                                      s.config_.topology,
+                                                      racks);
+  }
+  if (s.policy_.rule() == PlacementRule::kTherm && s.config_.thermal.enabled &&
+      !s.therm_order_installed_ && s.thermal_model_ != nullptr)
+    s.install_thermal_order(s.thermal_model_->matrix());
+  if (s.sleep_active_ && s.sleep_stock_w_.size() != nprocs) {
+    const std::size_t top = levels - 1;
+    s.sleep_stock_w_.resize(nprocs);
+    for (std::size_t p = 0; p < nprocs; ++p)
+      s.sleep_stock_w_[p] =
+          s.knowledge_->cluster()
+              .power(s.knowledge_->global_proc(p), top,
+                     Volts{s.knowledge_->cluster().levels().vdd_nom[top]})
+              .watts();
+  }
 
   // Placement bookkeeping flags are a pure function of config + rule
   // (mirrors prepare()).
@@ -565,6 +687,16 @@ void CheckpointAccess::load(DatacenterSim& s, serial::Reader& r) {
           case Kind::kMisprofileRepair: {
             const std::size_t p = get_index(a, nprocs, "repair proc");
             return [sim, p] { sim->repair_proc(p); };
+          }
+          case Kind::kThermal:
+            return [sim, t] { sim->on_thermal(t); };
+          case Kind::kSleepEnter: {
+            const std::size_t p = get_index(a, nprocs, "sleeping proc");
+            return [sim, p, b] { sim->on_sleep_enter(p, b); };
+          }
+          case Kind::kWake: {
+            const std::size_t i = get_index(a, task_count, "waking task");
+            return [sim, i, b] { sim->on_wake(i, b); };
           }
           case Kind::kOpaque:
             break;

@@ -41,7 +41,7 @@ class CheckpointError : public Error {
 
 /// "ISCK" little-endian.
 inline constexpr std::uint32_t kCheckpointMagic = 0x4b435349u;
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+inline constexpr std::uint32_t kCheckpointVersion = 2;  ///< v2: thermal + sleep
 
 /// The one sanctioned door into the simulators' private state. Only the
 /// checkpoint codec (checkpoint.cpp) defines these.

@@ -2,8 +2,12 @@
 //
 //   iscope_serve --socket PATH [--scheme ScanFair] [--scale F] [--seed N]
 //                [--no-wind] [--battery] [--faults SPEC]
+//                [--thermal] [--sleep-policy none|active-idle|immediate|timeout]
 //                [--checkpoint PATH] [--resume] [--metrics-port N]
 //                [--admit-capacity N]
+//
+// ISCOPE_THERMAL=1 and ISCOPE_SLEEP_POLICY=NAME set the same two knobs from
+// the environment; explicit flags win.
 //
 // Prints "iscope_serve: listening on PATH" once ready. SIGTERM/SIGINT
 // checkpoint to --checkpoint (when set) and exit; SHUTDOWN over the wire

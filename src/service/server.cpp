@@ -88,6 +88,9 @@ ResultSummary summarize(const SimResult& r) {
 
 ServiceOptions parse_service_args(const std::vector<std::string>& args) {
   ServiceOptions opt;
+  // Env defaults; explicit flags below override.
+  opt.thermal = env_thermal();
+  opt.sleep_policy = env_sleep_policy();
   auto value = [&](std::size_t& i, const char* flag) -> const std::string& {
     ISCOPE_CHECK_ARG(i + 1 < args.size(),
                      std::string(flag) + " needs a value");
@@ -108,6 +111,10 @@ ServiceOptions parse_service_args(const std::vector<std::string>& args) {
       opt.battery = true;
     } else if (a == "--faults") {
       opt.fault_spec = value(i, "--faults");
+    } else if (a == "--thermal") {
+      opt.thermal = true;
+    } else if (a == "--sleep-policy") {
+      opt.sleep_policy = parse_sleep_policy(value(i, "--sleep-policy"));
     } else if (a == "--socket") {
       opt.socket_path = value(i, "--socket");
     } else if (a == "--checkpoint") {
@@ -149,6 +156,8 @@ SimHost::SimHost(const ServiceOptions& opt) : opt_(opt) {
     sc.faults = parse_fault_spec(opt.fault_spec);
     sc.fault_seed = opt.seed;
   }
+  if (opt.thermal) sc.thermal.enabled = true;
+  if (opt.sleep_policy != SleepPolicy::kNone) sc.sleep.policy = opt.sleep_policy;
   ctx_ = std::make_unique<ExperimentContext>(ecfg);
   supply_ = std::make_unique<HybridSupply>(ctx_->make_supply(opt.with_wind));
   knowledge_ = std::make_unique<Knowledge>(

@@ -41,6 +41,10 @@ struct ServiceOptions {
   bool battery = false;
   /// Fault-injection spec (fault/fault.hpp grammar); empty = none.
   std::string fault_spec;
+  /// Heat-recirculation + CRAC model (--thermal, or ISCOPE_THERMAL=1).
+  bool thermal = false;
+  /// C-state sleep policy (--sleep-policy NAME, or ISCOPE_SLEEP_POLICY).
+  SleepPolicy sleep_policy = SleepPolicy::kNone;
   /// Unix-domain socket the daemon listens on. Required.
   std::string socket_path;
   /// Checkpoint target: written on SIGTERM and by a CHECKPOINT frame (the

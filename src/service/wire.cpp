@@ -185,7 +185,7 @@ TimelineEvent parse_decision(const std::vector<std::uint8_t>& payload) {
   TimelineEvent e;
   e.time_s = r.f64();
   const std::uint8_t kind = r.u8();
-  if (kind > static_cast<std::uint8_t>(TimelineKind::kTaskAbandon))
+  if (kind > static_cast<std::uint8_t>(TimelineKind::kTaskWaking))
     throw ParseError("wire: bad timeline kind");
   e.kind = static_cast<TimelineKind>(kind);
   e.task_id = r.i64();

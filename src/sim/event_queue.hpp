@@ -50,6 +50,9 @@ struct EventDesc {
     kFault,            ///< a = fault-plan event cursor
     kMisprofileTimer,  ///< a = processor, b = occupancy token
     kMisprofileRepair, ///< a = processor
+    kThermal,          ///< t = thermal-epoch time (self-rechaining)
+    kSleepEnter,       ///< a = processor, b = idle token
+    kWake,             ///< a = task index, b = task version
   };
   Kind kind = Kind::kOpaque;
   std::uint64_t a = 0;
@@ -141,7 +144,7 @@ class EventQueue {
   struct Item {
     double time;
     std::uint64_t seq;
-    std::uint8_t cls;  ///< tie class: 0 = arrival, 1 = everything else
+    std::uint8_t cls;  ///< tie class: 0 thermal, 1 arrival, 2 the rest
     EventDesc desc;
     Handler fn;
   };
@@ -152,8 +155,16 @@ class EventQueue {
       return a.seq > b.seq;
     }
   };
+  /// Thermal epochs run first at their barrier time: a flat run's
+  /// thermal event at t then observes exactly the state the sharded
+  /// coordinator sees after run_before(t) -- no same-time event has run
+  /// yet -- which is what makes 1-shard thermal bit-identical to flat.
+  /// The arrival-before-the-rest split below it is a monotone remap of
+  /// the original {0, 1} classes, so runs without thermal events pop in
+  /// the exact order they always did.
   static std::uint8_t tie_class(const EventDesc& desc) {
-    return desc.kind == EventDesc::Kind::kArrival ? 0 : 1;
+    if (desc.kind == EventDesc::Kind::kThermal) return 0;
+    return desc.kind == EventDesc::Kind::kArrival ? 1 : 2;
   }
   void push_item(double time_s, const EventDesc& desc, Handler fn);
 

@@ -20,6 +20,14 @@ struct SimResult {
   Joules battery_delivered;
   Joules battery_losses;
 
+  // --- thermal & sleep (src/thermal/, hardware/sleep.hpp; all-zero when
+  // the thermal model and sleep management are disabled) ------------------
+  Joules cooling_energy;          ///< CRAC draw over the run
+  Joules idle_energy;             ///< idle/sleep residency power burned
+  double peak_inlet_c = 0.0;      ///< hottest rack inlet ever reached
+  std::size_t sleep_enters = 0;   ///< C-state descents taken
+  std::size_t sleep_wakes = 0;    ///< gang starts delayed by a wake
+
   // --- task outcomes ----------------------------------------------------
   /// With fault injection disabled tasks_completed == tasks submitted;
   /// under injection, tasks_completed + faults.tasks_failed == submitted

@@ -94,6 +94,11 @@ ShardedSim::ShardedSim(const Cluster& cluster, Scheme scheme,
   if (global_plan == nullptr && config_.faults.any())
     global_plan = std::make_shared<const FaultPlan>(
         FaultPlan::build(config_.faults, config_.fault_seed, cluster.size()));
+  global_plan_ = global_plan;
+
+  if (config_.thermal.enabled)
+    thermal_model_ = std::make_unique<ThermalModel>(
+        config_.thermal, config_.topology, topology_.racks());
 
   capacity_share_.reserve(n);
   shards_.reserve(n);
@@ -133,6 +138,15 @@ ShardedSim::ShardedSim(const Cluster& cluster, Scheme scheme,
     shard.sim = std::make_unique<DatacenterSim>(
         shard.knowledge.get(), scheme_rule(scheme), shard.supply.get(),
         shard.config);
+    if (config_.thermal.enabled) {
+      // Shards never solve the model themselves: the coordinator resolves
+      // it at every barrier and pushes. ScanTherm's placement order is
+      // derived here from the facility-wide matrix so every shard ranks
+      // its slice against the same global heat weights.
+      shard.sim->thermal_external_ = true;
+      if (scheme_rule(scheme) == PlacementRule::kTherm)
+        shard.sim->install_thermal_order(thermal_model_->matrix());
+    }
     shards_.push_back(std::move(shard));
   }
 }
@@ -183,6 +197,20 @@ std::size_t ShardedSim::advance_round() {
       reconcile_wind(std::max(wind, Watts{}), demand, capacity_share_);
   for (std::size_t s = 0; s < n; ++s)
     shards_[s].supply->set_fraction(alloc.fraction[s]);
+
+  if (config_.thermal.enabled) {
+    // Resolve the thermal model once over the whole facility (fixed shard
+    // order; racks never straddle shards, so the per-rack sums match a
+    // flat run's bit for bit) and stage the solution for every shard's
+    // class-0 kThermal event at this barrier.
+    rack_w_.assign(thermal_model_->matrix().racks(), 0.0);
+    for (const Shard& sh : shards_) sh.sim->collect_rack_power(rack_w_);
+    const double derate =
+        global_plan_ != nullptr ? global_plan_->crac_factor(barrier_) : 1.0;
+    const ThermalSolution sol = thermal_model_->solve(rack_w_, derate);
+    for (Shard& sh : shards_)
+      sh.sim->push_thermal(sol.cop, sol.supply_c, sol.peak_inlet_c);
+  }
 
   const double next = barrier_ + config_.epoch_s;
   std::size_t events = 0;
@@ -268,6 +296,12 @@ SimResult ShardedSim::aggregate(std::vector<SimResult> results) const {
     agg.faults.tasks_failed += r.faults.tasks_failed;
     agg.faults.lost_cpu_seconds += r.faults.lost_cpu_seconds;
     agg.faults.fault_deadline_misses += r.faults.fault_deadline_misses;
+
+    agg.cooling_energy += r.cooling_energy;
+    agg.idle_energy += r.idle_energy;
+    agg.peak_inlet_c = std::max(agg.peak_inlet_c, r.peak_inlet_c);
+    agg.sleep_enters += r.sleep_enters;
+    agg.sleep_wakes += r.sleep_wakes;
 
     agg.dvfs_rematch_count += r.dvfs_rematch_count;
     agg.events_processed += r.events_processed;

@@ -106,6 +106,17 @@ class ShardedSim {
   std::vector<Shard> shards_;
   std::unique_ptr<ThreadPool> pool_;    ///< null when running serially
   double barrier_ = 0.0;                ///< next reconciliation instant
+  /// Facility-wide thermal model (built only when config.thermal.enabled):
+  /// the coordinator resolves it once per barrier over all shards' rack
+  /// power and pushes the solution into each shard, whose own kThermal
+  /// event applies it -- reconcile_wind's pattern, so the result is
+  /// independent of the shard/worker partition.
+  std::unique_ptr<ThermalModel> thermal_model_;
+  /// The facility-wide fault plan (kept for its CRAC derate window, which
+  /// is a coordinator-level input: the shards' sliced plans only carry
+  /// processor faults).
+  std::shared_ptr<const FaultPlan> global_plan_;
+  std::vector<double> rack_w_;          ///< per-barrier collection scratch
 };
 
 }  // namespace iscope

@@ -27,6 +27,8 @@ void SimConfig::validate() const {
   battery.validate();
   faults.validate();
   topology.validate();
+  thermal.validate();
+  sleep.validate();
 }
 
 void (*DatacenterSim::rematch_probe)(bool) = nullptr;
@@ -125,6 +127,7 @@ void DatacenterSim::unlink_running(std::size_t idx) {
 void DatacenterSim::idle_insert(std::size_t p) {
   idle_flags_[p] = 1;
   ++idle_count_;
+  if (sleep_active_) sleep_on_idle(p);
   if (fast_placement_) {
     const std::size_t r = rank_of_proc_[p];
     idle_rank_bits_[r >> 6] |= std::uint64_t{1} << (r & 63);
@@ -154,6 +157,7 @@ void DatacenterSim::idle_remove(std::size_t p) {
   ISCOPE_CHECK(idle_flags_[p] != 0, "idle_remove: processor not idle");
   idle_flags_[p] = 0;
   --idle_count_;
+  if (sleep_active_) sleep_on_claim(p);
   if (fast_placement_) {
     const std::size_t r = rank_of_proc_[p];
     idle_rank_bits_[r >> 6] &= ~(std::uint64_t{1} << (r & 63));
@@ -209,6 +213,12 @@ void DatacenterSim::accrue_to_now() {
   const double now = queue_.now();
   const Seconds dt{now - last_accrual_s_};
   if (dt.raw() > 0.0) {
+    if (extras_active_) {
+      // Breakdown accumulators (already inside demand_, so the meter's
+      // totals are untouched): CRAC draw and idle/sleep residency burn.
+      cooling_joules_ += cooling_power_.raw() * dt.raw();
+      idle_joules_ += std::max(0.0, idle_power_w_) * dt.raw();
+    }
     if (!battery_.present()) {
       meter_.accrue(demand_, segment_wind_, dt);
     } else {
@@ -332,7 +342,11 @@ void DatacenterSim::rematch() {
     }
   }
   // Active profiling scans draw power (and cooling) like any other load.
-  demand_ = match.demand + reserved_power_ * matcher_.cooling_factor();
+  last_compute_ = match.compute;
+  if (extras_active_)
+    recompute_demand();  // thermal COP billing and/or idle residency
+  else
+    demand_ = match.demand + reserved_power_ * matcher_.cooling_factor();
 
   // Apply levels; reschedule completion events where the level changed
   // (completion time is invariant when the level is unchanged).
@@ -391,12 +405,13 @@ void DatacenterSim::schedule_pass() {
   // `now`, which is fixed for the whole pass (abundance is still
   // re-evaluated per task as demand_ grows).
   const Watts wind_now = supply_->wind_available(Seconds{now});
-  // Only Fair reads the supply-side context fields; skipping them for
-  // Effi is observable-behavior-free (forecast_mean is a pure function of
-  // its arguments -- see NoisyForecaster -- and the legacy path keeps
-  // filling everything).
+  // Only Fair and Therm read the supply-side context fields (both defer
+  // on wind scarcity); skipping them for Effi is observable-behavior-free
+  // (forecast_mean is a pure function of its arguments -- see
+  // NoisyForecaster -- and the legacy path keeps filling everything).
   const bool want_supply_ctx =
-      !fast || policy_.rule() == PlacementRule::kFair;
+      !fast || policy_.rule() == PlacementRule::kFair ||
+      policy_.rule() == PlacementRule::kTherm;
 
   PlacementContext ctx;
   ctx.busy_time_s = &busy_time_s_;
@@ -498,12 +513,45 @@ void DatacenterSim::start_task(std::size_t idx, std::vector<std::size_t> procs) 
   ISCOPE_CHECK(t.state == TaskState::kWaiting, "start_task: bad state");
   const double now = queue_.now();
   t.procs = std::move(procs);
+  // Claim the gang. With sleep management on, the deepest claimed
+  // processor's C-state transition delays the whole gang's activation.
+  double wake_s = 0.0;
   for (const std::size_t p : t.procs) {
     ISCOPE_CHECK(proc_running_[p] == kNone, "start_task: processor busy");
     proc_running_[p] = idx;
+    if (sleep_active_ && sleep_state_[p] > 0)
+      wake_s = std::max(wake_s,
+                        config_.sleep.states[sleep_state_[p] - 1].wake_s);
     idle_remove(p);
   }
   waiting_cpus_ -= t.spec.cpus;
+  if (wake_s > 0.0) {
+    // Park the task until the slowest processor finishes waking. Demand
+    // still moves now -- the gang left the idle pool -- but compute power
+    // waits for activation.
+    t.state = TaskState::kWaking;
+    const std::uint64_t version = ++t.version;
+    ++sleep_wakes_;
+    log_event(TimelineKind::kTaskWaking, t.spec.id, wake_s);
+    queue_.schedule(now + wake_s,
+                    EventDesc{EventDesc::Kind::kWake, idx, version},
+                    [this, idx, version] { on_wake(idx, version); });
+    accrue_to_now();
+    recompute_demand();
+    return;
+  }
+  activate_task(idx);
+}
+
+void DatacenterSim::on_wake(std::size_t idx, std::uint64_t version) {
+  const SimTask& t = tasks_[idx];
+  if (t.state != TaskState::kWaking || t.version != version) return;  // stale
+  activate_task(idx);
+}
+
+void DatacenterSim::activate_task(std::size_t idx) {
+  SimTask& t = tasks_[idx];
+  const double now = queue_.now();
   t.state = TaskState::kRunning;
   t.start_s = now;
   t.last_update_s = now;
@@ -669,6 +717,12 @@ void DatacenterSim::fail_proc(std::size_t p, bool misprofile) {
     schedule_pass();
   } else if (!reserved_[p]) {
     idle_remove(p);
+    if (sleep_active_) {
+      // No rematch follows on this branch, but the idle residency power
+      // just changed; re-derive demand at this instant.
+      accrue_to_now();
+      recompute_demand();
+    }
   }
 }
 
@@ -678,28 +732,43 @@ void DatacenterSim::repair_proc(std::size_t p) {
   ++fault_counters_.cpu_repairs;
   knowledge_mut_->release(p);
   log_event(TimelineKind::kCpuRepair, -1, static_cast<double>(p));
-  if (proc_running_[p] == kNone && !reserved_[p]) idle_insert(p);
+  if (proc_running_[p] == kNone && !reserved_[p]) {
+    idle_insert(p);
+    if (sleep_active_) {
+      // schedule_pass may start nothing; demand must still absorb the
+      // repaired processor's idle residency now.
+      accrue_to_now();
+      recompute_demand();
+    }
+  }
   schedule_pass();  // restored capacity may admit waiting tasks
 }
 
 void DatacenterSim::requeue_task(std::size_t idx) {
   SimTask& t = tasks_[idx];
-  ISCOPE_CHECK(t.state == TaskState::kRunning, "requeue_task: bad state");
+  // A gang still waking from a C-state can lose a processor too; it made
+  // no progress, so only running victims charge lost seconds / busy time.
+  const bool was_running = t.state == TaskState::kRunning;
+  ISCOPE_CHECK(was_running || t.state == TaskState::kWaking,
+               "requeue_task: bad state");
   const double now = queue_.now();
   // All progress on the gang is discarded; the task restarts from scratch.
-  fault_counters_.lost_cpu_seconds +=
-      static_cast<double>(t.spec.cpus) * (now - t.start_s);
+  if (was_running)
+    fault_counters_.lost_cpu_seconds +=
+        static_cast<double>(t.spec.cpus) * (now - t.start_s);
   for (const std::size_t p : t.procs) {
     ISCOPE_CHECK(proc_running_[p] == idx, "requeue_task: processor mismatch");
     proc_running_[p] = kNone;
-    busy_time_s_[p] += now - t.start_s;
+    if (was_running) busy_time_s_[p] += now - t.start_s;
     ++misprofile_token_[p];
     if (!reserved_[p] && failed_[p] == 0) idle_insert(p);
   }
   t.procs.clear();
-  unlink_running(idx);
-  cols_remove(idx);
-  ++t.version;  // cancel the pending completion event
+  if (was_running) {
+    unlink_running(idx);
+    cols_remove(idx);
+  }
+  ++t.version;  // cancel the pending completion (or wake) event
   if (t.retries >= plan_->max_retries()) {
     t.state = TaskState::kFailed;
     ++failed_count_;
@@ -732,6 +801,195 @@ void DatacenterSim::on_misprofile_timer(std::size_t p, std::uint64_t token) {
   const double repair_at = queue_.now() + plan_->misprofile_repair_s(p);
   queue_.schedule(repair_at, EventDesc{EventDesc::Kind::kMisprofileRepair, p},
                   [this, p] { repair_proc(p); });
+}
+
+void DatacenterSim::sleep_on_idle(std::size_t p) {
+  const SleepConfig& sc = config_.sleep;
+  std::uint8_t depth = 0;
+  if (sc.policy == SleepPolicy::kImmediate) {
+    // One descent straight to the deepest state: the chip powers down the
+    // moment it idles (maximum residency savings, maximum wake latency).
+    depth = static_cast<std::uint8_t>(sc.states.size());
+    ++sleeping_count_;
+    ++sleep_enters_;
+    log_event(TimelineKind::kSleepEnter, -1, static_cast<double>(depth));
+  }
+  sleep_state_[p] = depth;
+  idle_power_w_ +=
+      (depth == 0 ? sc.active_idle_frac : sc.states[depth - 1].idle_frac) *
+      sleep_stock_w_[p];
+  if (sc.policy == SleepPolicy::kTimeout) {
+    const std::uint64_t token = sleep_token_[p];
+    queue_.schedule(queue_.now() + sc.timeout_s,
+                    EventDesc{EventDesc::Kind::kSleepEnter, p, token},
+                    [this, p, token] { on_sleep_enter(p, token); });
+  }
+}
+
+void DatacenterSim::sleep_on_claim(std::size_t p) {
+  const SleepConfig& sc = config_.sleep;
+  const std::uint8_t depth = sleep_state_[p];
+  idle_power_w_ -=
+      (depth == 0 ? sc.active_idle_frac : sc.states[depth - 1].idle_frac) *
+      sleep_stock_w_[p];
+  if (depth > 0) --sleeping_count_;
+  ++sleep_token_[p];  // stale any pending descent from this idle stint
+  // sleep_state_[p] deliberately survives the claim: start_task reads the
+  // depth right after claiming to derive the gang's wake latency.
+}
+
+void DatacenterSim::on_sleep_enter(std::size_t p, std::uint64_t token) {
+  if (sleep_token_[p] != token || idle_flags_[p] == 0) return;  // stale
+  const SleepConfig& sc = config_.sleep;
+  const std::uint8_t depth = sleep_state_[p];
+  if (depth >= sc.states.size()) return;  // already deepest
+  accrue_to_now();
+  const double old_frac =
+      depth == 0 ? sc.active_idle_frac : sc.states[depth - 1].idle_frac;
+  idle_power_w_ += (sc.states[depth].idle_frac - old_frac) * sleep_stock_w_[p];
+  sleep_state_[p] = static_cast<std::uint8_t>(depth + 1);
+  if (depth == 0) ++sleeping_count_;
+  ++sleep_enters_;
+  log_event(TimelineKind::kSleepEnter, -1, static_cast<double>(depth + 1));
+  recompute_demand();
+  if (depth + std::size_t{1} < sc.states.size())
+    queue_.schedule(queue_.now() + sc.timeout_s,
+                    EventDesc{EventDesc::Kind::kSleepEnter, p, token},
+                    [this, p, token] { on_sleep_enter(p, token); });
+}
+
+void DatacenterSim::recompute_demand() {
+  // IT power: matched compute + active scans + idle/sleep residency. Only
+  // ever called with thermal or sleep active; the off path keeps the
+  // legacy Eq-2 composition in rematch() verbatim.
+  const Watts it = last_compute_ + reserved_power_ +
+                   Watts{std::max(0.0, idle_power_w_)};
+  if (config_.thermal.enabled) {
+    // CRAC billing at the operating COP the thermal epochs resolve against
+    // the recirculation model (heat removed == IT heat dissipated).
+    cooling_power_ = Watts{it.raw() / cop_now_};
+  } else {
+    // Sleep-only runs keep the paper's flat Eq-2 cooling overhead.
+    cooling_power_ = it * (matcher_.cooling_factor() - 1.0);
+  }
+  demand_ = it + cooling_power_;
+}
+
+void DatacenterSim::schedule_thermal(double t) {
+  thermal_chain_live_ = true;
+  queue_.schedule(t, EventDesc{EventDesc::Kind::kThermal, 0, 0, t},
+                  [this, t] { on_thermal(t); });
+}
+
+void DatacenterSim::on_thermal(double t) {
+  accrue_to_now();
+  if (thermal_external_) {
+    // Sharded run: apply the solution the coordinator resolved at this
+    // barrier over every shard's rack power (reconcile_wind's pattern).
+    if (thermal_pending_) {
+      cop_now_ = pending_cop_;
+      supply_c_now_ = pending_supply_c_;
+      peak_inlet_c_ = std::max(peak_inlet_c_, pending_peak_c_);
+      thermal_pending_ = false;
+    }
+  } else {
+    rack_w_scratch_.assign(thermal_model_->matrix().racks(), 0.0);
+    collect_rack_power(rack_w_scratch_);
+    const ThermalSolution sol =
+        thermal_model_->solve(rack_w_scratch_, plan_->crac_factor(t));
+    cop_now_ = sol.cop;
+    supply_c_now_ = sol.supply_c;
+    peak_inlet_c_ = std::max(peak_inlet_c_, sol.peak_inlet_c);
+  }
+  recompute_demand();
+  if (!all_done())
+    schedule_thermal(t + config_.epoch_s);
+  else
+    thermal_chain_live_ = false;
+}
+
+void DatacenterSim::collect_rack_power(std::vector<double>& rack_w) const {
+  // One ascending-p pass. Per-rack sums are ordered by processor id and
+  // racks never straddle shards, so any rack-aligned partition of the
+  // facility produces bit-equal sums (the sharded coordinator relies on
+  // this when it merges shard contributions).
+  const std::size_t nprocs = knowledge_->procs();
+  const std::size_t per_rack = config_.topology.cpus_per_rack;
+  const std::size_t top = knowledge_->levels() - 1;
+  for (std::size_t p = 0; p < nprocs; ++p) {
+    double w = 0.0;
+    const std::size_t idx = proc_running_[p];
+    if (idx != kNone) {
+      // Waking gangs draw nothing until activation.
+      if (tasks_[idx].state == TaskState::kRunning)
+        w = knowledge_->power(p, tasks_[idx].level).raw();
+    } else if (reserved_[p]) {
+      w = knowledge_->cluster()
+              .power(knowledge_->global_proc(p), top,
+                     Volts{knowledge_->cluster().levels().vdd_nom[top]})
+              .raw();
+    } else if (sleep_active_ && idle_flags_[p] != 0) {
+      const std::uint8_t depth = sleep_state_[p];
+      const double frac = depth == 0
+                              ? config_.sleep.active_idle_frac
+                              : config_.sleep.states[depth - 1].idle_frac;
+      w = frac * sleep_stock_w_[p];
+    }
+    if (w != 0.0) rack_w[knowledge_->global_proc(p) / per_rack] += w;
+  }
+}
+
+void DatacenterSim::push_thermal(double cop, double supply_c,
+                                 double peak_inlet_c) {
+  pending_cop_ = cop;
+  pending_supply_c_ = supply_c;
+  pending_peak_c_ = peak_inlet_c;
+  thermal_pending_ = true;
+}
+
+void DatacenterSim::install_thermal_order(const RecirculationMatrix& matrix) {
+  // The key is a pure function of the knowledge and the topology, so
+  // every shard derives the same global order restricted to its slice.
+  const std::size_t nprocs = knowledge_->procs();
+  const std::size_t per_rack = config_.topology.cpus_per_rack;
+  // The CRAC bill is governed by the *hottest* inlet (solve() subtracts
+  // max_rise from the red line), and the matrix's diagonal dominates, so
+  // packing work into any one rack -- even a low-heat-weight one --
+  // concentrates rise and drags the supply colder. The min-max order is a
+  // stripe: racks sorted by ascending heat weight, chips within a rack by
+  // ascending believed efficiency (profiled where scanned, bin spec
+  // otherwise), emitted round-robin one chip per rack. At partial
+  // utilization that loads each rack's best silicon about evenly, keeping
+  // the worst inlet -- and the cooling overhead -- near the facility
+  // minimum while costing almost nothing on compute (chip quality is iid
+  // across racks, so per-rack-best ~ globally-best at matching depth).
+  std::vector<std::vector<std::size_t>> by_rack(matrix.racks());
+  for (std::size_t p = 0; p < nprocs; ++p)
+    by_rack[knowledge_->global_proc(p) / per_rack].push_back(p);
+  for (std::vector<std::size_t>& rack : by_rack)
+    std::sort(rack.begin(), rack.end(), [&](std::size_t a, std::size_t b) {
+      const double ea = knowledge_->efficiency(a).raw();
+      const double eb = knowledge_->efficiency(b).raw();
+      if (ea != eb) return ea < eb;
+      return a < b;  // ties fall back to processor id
+    });
+  std::vector<std::size_t> rack_ids;
+  rack_ids.reserve(matrix.racks());
+  for (std::size_t j = 0; j < matrix.racks(); ++j)
+    if (!by_rack[j].empty()) rack_ids.push_back(j);
+  std::sort(rack_ids.begin(), rack_ids.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (matrix.heat_weight(a) != matrix.heat_weight(b))
+                return matrix.heat_weight(a) < matrix.heat_weight(b);
+              return a < b;  // ties fall back to rack id
+            });
+  std::vector<std::size_t> order;
+  order.reserve(nprocs);
+  for (std::size_t depth = 0; order.size() < nprocs; ++depth)
+    for (const std::size_t j : rack_ids)
+      if (depth < by_rack[j].size()) order.push_back(by_rack[j][depth]);
+  policy_.override_order(std::move(order));
+  therm_order_installed_ = true;
 }
 
 void DatacenterSim::schedule_epoch(double t) {
@@ -832,6 +1090,27 @@ void DatacenterSim::telemetry_sample() {
   power_family.with({row.label, "wind"}).set(row.wind_w);
   power_family.with({row.label, "battery"}).set(row.battery_w);
   power_family.with({row.label, "utility"}).set(row.utility_w);
+
+  // Thermal/sleep gauges only exist when the subsystems are on, so a
+  // default run's telemetry output is byte-identical to the pre-thermal
+  // tree's.
+  if (config_.thermal.enabled) {
+    static telemetry::GaugeFamily& thermal_family =
+        telemetry::Registry::global().gauge(
+            "iscope_thermal", "Thermal model state at the latest sample",
+            {"run", "field"});
+    thermal_family.with({row.label, "supply_c"}).set(supply_c_now_);
+    thermal_family.with({row.label, "cop"}).set(cop_now_);
+    thermal_family.with({row.label, "cooling_w"}).set(cooling_power_.raw());
+    thermal_family.with({row.label, "peak_inlet_c"}).set(peak_inlet_c_);
+  }
+  if (sleep_active_) {
+    static telemetry::GaugeFamily& sleep_family =
+        telemetry::Registry::global().gauge(
+            "iscope_sleeping_procs",
+            "Processors in a C-state deeper than active idle", {"run"});
+    sleep_family.with({row.label}).set(static_cast<double>(sleeping_count_));
+  }
 }
 
 void DatacenterSim::publish_run_telemetry(std::size_t events) {
@@ -900,6 +1179,24 @@ void DatacenterSim::prepare(std::vector<Task> tasks,
     ISCOPE_CHECK_ARG(t.cpus <= nprocs,
                      "DatacenterSim: task wider than the cluster");
   sort_by_submit(tasks);
+
+  // Thermal/sleep staging. The model is built once (flat runs only; a
+  // shard's thermal_external_ flag is set by the coordinator before
+  // prepare, and the coordinator owns the facility-wide model). ScanTherm
+  // installs its recirculation-aware order before the rank tables below
+  // are derived from the policy.
+  sleep_active_ = config_.sleep.enabled();
+  extras_active_ = config_.thermal.enabled || sleep_active_;
+  if (config_.thermal.enabled && !thermal_external_ &&
+      thermal_model_ == nullptr) {
+    const std::size_t per_rack = config_.topology.cpus_per_rack;
+    const std::size_t racks = (nprocs + per_rack - 1) / per_rack;
+    thermal_model_ = std::make_unique<ThermalModel>(config_.thermal,
+                                                    config_.topology, racks);
+  }
+  if (policy_.rule() == PlacementRule::kTherm && config_.thermal.enabled &&
+      !therm_order_installed_ && thermal_model_ != nullptr)
+    install_thermal_order(thermal_model_->matrix());
 
   // Reset state. clear() (not reassignment) keeps warmed-up capacities, so
   // a reused simulator reaches steady state with no further allocations.
@@ -1017,6 +1314,41 @@ void DatacenterSim::prepare(std::vector<Task> tasks,
     schedule_fault_event(0);
   }
 
+  // Thermal & sleep state. cop/supply start at the idle-facility point
+  // (no rack rise => the CRAC runs at its warmest, most efficient supply).
+  cop_now_ = crac_cop(config_.thermal.max_supply_c);
+  supply_c_now_ = config_.thermal.max_supply_c;
+  peak_inlet_c_ = 0.0;
+  thermal_pending_ = false;
+  pending_cop_ = 0.0;
+  pending_supply_c_ = 0.0;
+  pending_peak_c_ = 0.0;
+  last_compute_ = Watts{};
+  cooling_power_ = Watts{};
+  cooling_joules_ = 0.0;
+  idle_joules_ = 0.0;
+  thermal_chain_live_ = false;
+  sleep_state_.assign(nprocs, 0);
+  sleep_token_.assign(nprocs, 0);
+  idle_power_w_ = 0.0;
+  sleeping_count_ = 0;
+  sleep_enters_ = 0;
+  sleep_wakes_ = 0;
+  if (sleep_active_) {
+    const std::size_t top = knowledge_->levels() - 1;
+    sleep_stock_w_.resize(nprocs);
+    for (std::size_t p = 0; p < nprocs; ++p)
+      sleep_stock_w_[p] =
+          knowledge_->cluster()
+              .power(knowledge_->global_proc(p), top,
+                     Volts{knowledge_->cluster().levels().vdd_nom[top]})
+              .raw();
+    // The whole facility starts idle: same entry path as a runtime idle
+    // insert (timeout descents get scheduled, immediate goes deep now).
+    for (std::size_t p = 0; p < nprocs; ++p) sleep_on_idle(p);
+  }
+  if (extras_active_) recompute_demand();
+
   for (std::size_t i = 0; i < tasks_.size(); ++i) {
     const double at = tasks_[i].spec.submit_s;
     queue_.schedule(at, EventDesc{EventDesc::Kind::kArrival, i},
@@ -1032,6 +1364,7 @@ void DatacenterSim::prepare(std::vector<Task> tasks,
   if (!tasks_.empty() || !profiling_.empty()) {
     schedule_epoch(0.0);
     if (config_.record_trace) schedule_sample(0.0);
+    if (config_.thermal.enabled) schedule_thermal(0.0);
   }
 }
 
@@ -1071,6 +1404,9 @@ std::size_t DatacenterSim::admit(Task task) {
   if (config_.record_trace && !sample_chain_live_)
     schedule_sample(std::ceil(queue_.now() / config_.sample_interval_s) *
                     config_.sample_interval_s);
+  if (config_.thermal.enabled && !thermal_chain_live_)
+    schedule_thermal(std::ceil(queue_.now() / config_.epoch_s) *
+                     config_.epoch_s);
   return i;
 }
 
@@ -1143,6 +1479,11 @@ SimResult DatacenterSim::finish() {
   result.profiling_procs_skipped = profiling_procs_skipped_;
   result.profiling_proc_seconds = profiling_proc_seconds_;
   result.faults = fault_counters_;
+  result.cooling_energy = Joules{cooling_joules_};
+  result.idle_energy = Joules{idle_joules_};
+  result.peak_inlet_c = peak_inlet_c_;
+  result.sleep_enters = sleep_enters_;
+  result.sleep_wakes = sleep_wakes_;
   result.dvfs_rematch_count = rematch_count_;
   result.events_processed = events;
   return result;
@@ -1157,6 +1498,15 @@ SimResult run_scheme(const Cluster& cluster, Scheme scheme,
   // sampler rows separate the five schemes out of the box.
   SimConfig tagged = config;
   if (tagged.telemetry_label.empty()) tagged.telemetry_label = scheme_name(scheme);
+  // Scheme-level feature requests: ScanTherm forces the thermal model on;
+  // the *Sleep variants enable C-state management (timeout policy unless
+  // the caller already picked one).
+  {
+    const SchemeInfo& info = SchemeRegistry::global().info(scheme);
+    if (info.thermal) tagged.thermal.enabled = true;
+    if (info.sleep && tagged.sleep.policy == SleepPolicy::kNone)
+      tagged.sleep.policy = SleepPolicy::kTimeout;
+  }
   SimResult result;
   if (tagged.topology.shards > 1) {
     // 100k+-CPU path: rack-partitioned shards with per-shard event loops

@@ -41,9 +41,11 @@
 #include "energy/forecast.hpp"
 #include "energy/hybrid_supply.hpp"
 #include "fault/fault.hpp"
+#include "hardware/sleep.hpp"
 #include "hardware/topology.hpp"
 #include "fault/noisy_forecast.hpp"
 #include "power/cooling.hpp"
+#include "thermal/thermal.hpp"
 #include "profiling/opportunistic.hpp"
 #include "power/cost.hpp"
 #include "power/energy_meter.hpp"
@@ -118,6 +120,16 @@ struct SimConfig {
   /// between barriers. 1 (default) = serial in the caller's thread; 0 =
   /// one per hardware thread. Results are bit-identical at any setting.
   std::size_t shard_workers = 1;
+
+  /// Thermal model (src/thermal/): per-rack heat recirculation + CRAC
+  /// cooling resolved at every supply epoch. Disabled by default; when
+  /// off the legacy Eq-2 flat cooling factor applies and the run is
+  /// bit-identical to a build without the subsystem (ThermalOffIdentity).
+  ThermalConfig thermal;
+  /// C-state sleep management (hardware/sleep.hpp). kNone (default) is
+  /// the legacy zero-idle-power, instant-wake model, bit-identical to a
+  /// build without sleep support.
+  SleepConfig sleep;
 
   void validate() const;
 };
@@ -232,6 +244,10 @@ class DatacenterSim {
 
  private:
   friend struct CheckpointAccess;
+  /// The sharded coordinator (sim/sharded.hpp) resolves the thermal model
+  /// once per epoch barrier across all shards and pushes the solution into
+  /// each shard (push_thermal), exactly like reconcile_wind.
+  friend class ShardedSim;
 
   static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
 
@@ -241,6 +257,9 @@ class DatacenterSim {
     kRunning,
     kDone,
     kFailed,  ///< abandoned after exhausting the fault-retry budget
+    /// Processors claimed but still waking from a C-state; the task
+    /// activates when its kWake event fires (sleep management only).
+    kWaking,
   };
 
   struct SimTask {
@@ -274,6 +293,12 @@ class DatacenterSim {
   /// pass so freed CPUs accumulate for it).
   void schedule_pass();
   void start_task(std::size_t idx, std::vector<std::size_t> procs);
+  /// Second half of start_task: the task begins running on its (already
+  /// claimed) processors. Called inline when no wake latency applies --
+  /// the only path when sleep management is off -- or from the kWake event
+  /// after the deepest claimed processor finished its transition.
+  void activate_task(std::size_t idx);
+  void on_wake(std::size_t idx, std::uint64_t version);
   void on_completion(std::size_t idx, std::uint64_t version);
   /// Integrate energy up to now, then re-run the power matcher and
   /// reschedule completion events whose level changed.
@@ -300,6 +325,36 @@ class DatacenterSim {
   /// survivors, requeue (bounded by the plan's retry budget) or abandon.
   void requeue_task(std::size_t idx);
   void on_misprofile_timer(std::size_t p, std::uint64_t token);
+  /// --- thermal model (src/thermal/) -------------------------------------
+  /// A self-rechaining kThermal event at every supply epoch re-solves the
+  /// recirculation + CRAC model against the facility's current rack power
+  /// map. kThermal occupies tie class 0, so at an epoch instant the flat
+  /// run resolves thermal state against exactly the pre-epoch state the
+  /// sharded coordinator sees at its barrier -- the two stay bit-identical.
+  void schedule_thermal(double t);
+  void on_thermal(double t);
+  /// Accumulate per-rack IT power (running + reserved + idle/sleep
+  /// residency) into `rack_w`, indexed by *global* rack id. The caller
+  /// zeroes the vector; racks never straddle shards, so per-rack sums are
+  /// identical however the facility is partitioned.
+  void collect_rack_power(std::vector<double>& rack_w) const;
+  /// Coordinator-push half of the sharded thermal step: stage a solution
+  /// for this shard's next kThermal event to apply.
+  void push_thermal(double cop, double supply_c, double peak_inlet_c);
+  /// Install the recirculation-aware placement order (ScanTherm): a
+  /// round-robin stripe over racks (ascending heat weight) of each
+  /// rack's chips (ascending believed efficiency) -- min-max inlet rise
+  /// at every fill depth.
+  void install_thermal_order(const RecirculationMatrix& matrix);
+  /// Recompose facility demand from the cached IT parts (last matcher
+  /// compute power + scans + idle residency) and the current cooling
+  /// model. Only ever called when thermal or sleep is active; the off path
+  /// keeps the legacy Eq-2 composition in rematch() verbatim.
+  void recompute_demand();
+  /// --- sleep management (hardware/sleep.hpp) ----------------------------
+  void sleep_on_idle(std::size_t p);    ///< processor entered the idle pool
+  void sleep_on_claim(std::size_t p);   ///< processor left the idle pool
+  void on_sleep_enter(std::size_t p, std::uint64_t token);
   /// Instantaneous wind -> battery -> utility waterfall (previews only;
   /// shared by the Fig. 7 trace recorder and the telemetry sampler).
   PowerSample power_waterfall_now() const;
@@ -462,6 +517,50 @@ class DatacenterSim {
   std::vector<std::uint64_t> misprofile_token_;
   std::size_t failed_count_ = 0;       ///< terminally failed tasks
   FaultCounters fault_counters_;
+
+  /// --- thermal model state (src/thermal/) --------------------------------
+  /// All of it is inert when config_.thermal.enabled is false: the model is
+  /// never built, no kThermal event is scheduled, and demand keeps the
+  /// legacy composition (ThermalOffIdentity pins this).
+  std::unique_ptr<ThermalModel> thermal_model_;  ///< flat runs only
+  /// Sharded: the coordinator owns the model and pushes solutions; this
+  /// shard's kThermal events apply them instead of solving.
+  bool thermal_external_ = false;
+  bool thermal_chain_live_ = false;
+  bool therm_order_installed_ = false;
+  double cop_now_ = 0.0;        ///< CRAC COP billing applies right now
+  double supply_c_now_ = 0.0;   ///< current CRAC supply temperature
+  double peak_inlet_c_ = 0.0;   ///< hottest rack inlet seen this run
+  bool thermal_pending_ = false;  ///< a pushed solution awaits application
+  double pending_cop_ = 0.0;
+  double pending_supply_c_ = 0.0;
+  double pending_peak_c_ = 0.0;
+  Watts last_compute_;          ///< IT compute power of the latest match
+  Watts cooling_power_;         ///< current CRAC (or Eq-2) draw
+  double cooling_joules_ = 0.0;
+  double idle_joules_ = 0.0;
+  std::vector<double> rack_w_scratch_;
+  /// config_.thermal.enabled || config_.sleep.enabled(): demand is composed
+  /// by recompute_demand() instead of the legacy rematch() line.
+  bool extras_active_ = false;
+
+  /// --- sleep management state (hardware/sleep.hpp) -----------------------
+  bool sleep_active_ = false;   ///< cached config_.sleep.enabled()
+  /// Current C-state depth of each *idle* processor (0 = active idle,
+  /// d > 0 = config_.sleep.states[d - 1]). Stale while the processor runs;
+  /// start_task reads it right after claiming to derive the wake latency.
+  std::vector<std::uint8_t> sleep_state_;
+  /// Bumped whenever the processor leaves the idle pool; stales any
+  /// pending kSleepEnter descent scheduled for the previous idle stint.
+  std::vector<std::uint64_t> sleep_token_;
+  std::vector<double> sleep_stock_w_;  ///< stock top-level watts per proc
+  /// Sum of (residency fraction x stock watts) over idle processors. Raw
+  /// accumulator: additions/removals replay exactly, so its FP history is
+  /// deterministic; clamped at >= 0 where it feeds demand.
+  double idle_power_w_ = 0.0;
+  std::size_t sleeping_count_ = 0;  ///< processors at depth > 0
+  std::size_t sleep_enters_ = 0;    ///< C-state descents taken
+  std::size_t sleep_wakes_ = 0;     ///< task starts delayed by a wake
 };
 
 /// Convenience wrapper: build knowledge for `scheme`, run the simulation,

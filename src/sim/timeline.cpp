@@ -21,6 +21,8 @@ const char* timeline_kind_name(TimelineKind kind) {
     case TimelineKind::kCpuRepair: return "cpu_repair";
     case TimelineKind::kTaskRequeue: return "task_requeue";
     case TimelineKind::kTaskAbandon: return "task_abandon";
+    case TimelineKind::kSleepEnter: return "sleep_enter";
+    case TimelineKind::kTaskWaking: return "task_waking";
   }
   return "?";
 }

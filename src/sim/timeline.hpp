@@ -26,6 +26,8 @@ enum class TimelineKind : std::uint8_t {
   kCpuRepair,    ///< processor returned to service
   kTaskRequeue,  ///< running task killed by a CPU failure, requeued
   kTaskAbandon,  ///< task exceeded its retry budget, terminally failed
+  kSleepEnter,   ///< processor descended one C-state (value = new depth)
+  kTaskWaking,   ///< gang claimed sleeping CPUs, start delayed by wake
 };
 
 const char* timeline_kind_name(TimelineKind kind);

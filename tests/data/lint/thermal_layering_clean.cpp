@@ -1,0 +1,13 @@
+// Fixture: the thermal module consuming only its allowed lower layers
+// (linted under a src/thermal/ path). Zero findings.
+#include "thermal/thermal.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "energy/hybrid_supply.hpp"
+#include "hardware/topology.hpp"
+
+namespace fixture {
+int x() { return 4; }
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: the thermal module reaching UP the DAG (linted under a
+// src/thermal/ path). thermal may see hardware/energy/power/variation/
+// common only, so both of these must fire.
+#include "sim/simulator.hpp"
+
+#include "common/units.hpp"
+#include "sched/policy.hpp"
+
+namespace fixture {
+int x() { return 3; }
+}  // namespace fixture

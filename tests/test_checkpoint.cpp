@@ -40,6 +40,11 @@ void expect_identical(const SimResult& a, const SimResult& b) {
   EXPECT_EQ(a.wind_curtailed.joules(), b.wind_curtailed.joules());
   EXPECT_EQ(a.battery_delivered.joules(), b.battery_delivered.joules());
   EXPECT_EQ(a.battery_losses.joules(), b.battery_losses.joules());
+  EXPECT_EQ(a.cooling_energy.joules(), b.cooling_energy.joules());
+  EXPECT_EQ(a.idle_energy.joules(), b.idle_energy.joules());
+  EXPECT_EQ(a.peak_inlet_c, b.peak_inlet_c);
+  EXPECT_EQ(a.sleep_enters, b.sleep_enters);
+  EXPECT_EQ(a.sleep_wakes, b.sleep_wakes);
   EXPECT_EQ(a.tasks_completed, b.tasks_completed);
   EXPECT_EQ(a.deadline_misses, b.deadline_misses);
   EXPECT_EQ(a.mean_wait.seconds(), b.mean_wait.seconds());
@@ -261,6 +266,82 @@ TEST(Checkpoint, EverythingAtOnce) {
                      spread_windows(24));
 }
 
+// --- format v2: thermal + sleep state across the checkpoint ---------------
+
+TEST(Checkpoint, ThermalAndSleepAllSchemesMidRun) {
+  // Pending kThermal/kSleepEnter/kWake events, per-processor C-state
+  // ladders and the CRAC operating point all cross the cut.
+  const Scenario sc(24, 41);
+  const std::vector<Task> tasks = sc.make_tasks(40, 6, 51);
+  const HybridSupply supply = sc.make_supply(61);
+  SimConfig cfg = base_config();
+  cfg.topology.cpus_per_rack = 2;
+  cfg.thermal.enabled = true;
+  cfg.sleep.policy = SleepPolicy::kTimeout;
+  cfg.sleep.timeout_s = 120.0;
+  for (const Scheme scheme : kAllSchemes)
+    sc.check_roundtrip(scheme, tasks, supply, cfg, 5000.0);
+}
+
+TEST(Checkpoint, ThermalSleepWithBatteryAndCracFault) {
+  const Scenario sc(24, 42);
+  const std::vector<Task> tasks = sc.make_tasks(40, 6, 52);
+  const HybridSupply supply = sc.make_supply(62);
+  SimConfig cfg = base_config();
+  cfg.topology.cpus_per_rack = 2;
+  cfg.thermal.enabled = true;
+  cfg.sleep.policy = SleepPolicy::kImmediate;
+  cfg.battery = BatteryConfig::make(2.0, 1.0);
+  // Cut inside the degraded-CRAC window so the derated operating point is
+  // the one that crosses the checkpoint.
+  cfg.faults = parse_fault_spec(
+      "mtbf=50000,repair=1200,crac=0.4,crac-start=3000,crac-duration=9000");
+  cfg.fault_seed = 7;
+  for (const Scheme scheme : {Scheme::kScanFair, Scheme::kBinEffi})
+    sc.check_roundtrip(scheme, tasks, supply, cfg, 5200.0);
+}
+
+TEST(Checkpoint, ScanThermSchemeRoundtrip) {
+  // The kTherm placement rule derives its order from the recirculation
+  // matrix; load() must reinstall it before the rank tables rebuild.
+  const Scheme scan_therm = ensure_extended_schemes_registered();
+  const Scenario sc(24, 43);
+  const std::vector<Task> tasks = sc.make_tasks(40, 6, 53);
+  const HybridSupply supply = sc.make_supply(63);
+  SimConfig cfg = base_config();
+  cfg.topology.cpus_per_rack = 2;
+  cfg.thermal.enabled = true;  // run_scheme would set this for ScanTherm
+  sc.check_roundtrip(scan_therm, tasks, supply, cfg, 5000.0);
+}
+
+TEST(Checkpoint, ShardedThermalRoundtrip) {
+  const Scenario sc(24, 44);
+  const std::vector<Task> tasks = sc.make_tasks(40, 3, 54);
+  const HybridSupply supply = sc.make_supply(64);
+  SimConfig cfg = base_config();
+  cfg.topology.cpus_per_rack = 2;
+  cfg.topology.shards = 4;
+  cfg.thermal.enabled = true;
+  cfg.sleep.policy = SleepPolicy::kTimeout;
+  cfg.sleep.timeout_s = 180.0;
+
+  ShardedSim batch(sc.cluster, Scheme::kScanFair, &sc.db, supply, cfg);
+  const SimResult expected = batch.run(tasks);
+  EXPECT_GT(expected.cooling_energy.joules(), 0.0);
+
+  ShardedSim sim1(sc.cluster, Scheme::kScanFair, &sc.db, supply, cfg);
+  sim1.prepare(tasks, {});
+  for (int round = 0; round < 8 && !sim1.drained(); ++round)
+    sim1.advance_round();
+  const std::vector<std::uint8_t> blob = checkpoint_bytes(sim1);
+
+  ShardedSim sim2(sc.cluster, Scheme::kScanFair, &sc.db, supply, cfg);
+  sim2.prepare({}, {});
+  restore_from_bytes(sim2, blob.data(), blob.size());
+  while (!sim2.drained()) sim2.advance_round();
+  expect_identical(expected, sim2.collect());
+}
+
 // --- randomized cut points over 50 seeds ----------------------------------
 
 TEST(Checkpoint, RandomizedEpochsFiftySeeds) {
@@ -363,6 +444,24 @@ struct Rejection : ::testing::Test {
                  CheckpointError);
   }
 
+  /// Same staging with the thermal + sleep subsystems live, so the v2
+  /// section carries real state.
+  std::vector<std::uint8_t> make_thermal_blob() {
+    cfg = base_config();
+    cfg.topology.cpus_per_rack = 2;
+    cfg.thermal.enabled = true;
+    cfg.sleep.policy = SleepPolicy::kTimeout;
+    cfg.sleep.timeout_s = 120.0;
+    k = std::make_unique<Knowledge>(&sc.cluster,
+                                    scheme_knowledge(Scheme::kScanFair),
+                                    &sc.db);
+    sim = std::make_unique<DatacenterSim>(
+        k.get(), scheme_rule(Scheme::kScanFair), &supply, cfg);
+    sim->prepare(sc.make_tasks(10, 3, 30), {});
+    sim->step_until(2000.0);
+    return checkpoint_bytes(*sim);
+  }
+
   Scenario sc;
   HybridSupply supply;
   SimConfig cfg;
@@ -411,6 +510,59 @@ TEST_F(Rejection, TruncationAtEveryPrefix) {
                                   blob.begin() + static_cast<std::ptrdiff_t>(len));
     expect_reject(cut);
   }
+}
+
+TEST_F(Rejection, ThermalConfigIdentityMismatch) {
+  const std::vector<std::uint8_t> blob = make_thermal_blob();
+  // thermal/sleep knobs are identity: a restore under a different COP
+  // curve regime or wake-latency ladder must refuse, not diverge.
+  for (const auto tweak : {+[](SimConfig& c) { c.thermal.enabled = false; },
+                           +[](SimConfig& c) { c.thermal.red_line_c = 35.0; },
+                           +[](SimConfig& c) {
+                             c.sleep.policy = SleepPolicy::kImmediate;
+                           },
+                           +[](SimConfig& c) { c.sleep.timeout_s = 60.0; }}) {
+    SimConfig other = cfg;
+    tweak(other);
+    Knowledge k2(&sc.cluster, scheme_knowledge(Scheme::kScanFair), &sc.db);
+    DatacenterSim sim2(&k2, scheme_rule(Scheme::kScanFair), &supply, other);
+    sim2.prepare({}, {});
+    EXPECT_THROW(restore_from_bytes(sim2, blob.data(), blob.size()),
+                 CheckpointError);
+  }
+}
+
+TEST_F(Rejection, TruncatedThermalSectionAtEveryPrefix) {
+  // The v2 blob ends ...thermal/sleep state, RNG string; cutting anywhere
+  // inside the new sections must reject cleanly, never restore a sim with
+  // half a C-state ladder.
+  const std::vector<std::uint8_t> blob = make_thermal_blob();
+  for (std::size_t len = 0; len < blob.size();
+       len += (len < 64 ? 1 : 89)) {
+    SCOPED_TRACE("prefix " + std::to_string(len));
+    std::vector<std::uint8_t> cut(
+        blob.begin(), blob.begin() + static_cast<std::ptrdiff_t>(len));
+    expect_reject(cut);
+  }
+  // And corrupt sleep depths (beyond the 3-rung ladder) are rejected even
+  // when the frame is well-formed: flip high bits over the tail of the
+  // blob until one lands on a depth byte -- every outcome must be a clean
+  // CheckpointError or a successful restore, never UB (the fuzz corpus
+  // pins the same property over random mutations).
+  std::size_t rejected = 0;
+  for (std::size_t i = blob.size() - 200; i < blob.size(); ++i) {
+    std::vector<std::uint8_t> mut = blob;
+    mut[i] ^= 0x80;
+    Knowledge k2(&sc.cluster, scheme_knowledge(Scheme::kScanFair), &sc.db);
+    DatacenterSim sim2(&k2, scheme_rule(Scheme::kScanFair), &supply, cfg);
+    sim2.prepare({}, {});
+    try {
+      restore_from_bytes(sim2, mut.data(), mut.size());
+    } catch (const CheckpointError&) {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0u);
 }
 
 TEST_F(Rejection, FileRoundtripAndMissingFile) {

@@ -95,6 +95,46 @@ TEST(EventQueue, RunUntilBudgetExhaustionHoldsClockAtLastEvent) {
   EXPECT_DOUBLE_EQ(q.now(), 10.0);
 }
 
+TEST(EventQueue, WakePendingAtSliceBoundarySurvivesBudgetStop) {
+  // Regression (extends the clock-vs-budget fix): a kWake event sitting
+  // exactly ON the slice boundary must not be skipped when max_events
+  // stops run_until before reaching it -- the clock stays behind it and
+  // the resumed slice delivers it.
+  EventQueue q;
+  std::vector<std::string> fired;
+  q.schedule(1.0, EventDesc{EventDesc::Kind::kSleepEnter, 3, 0},
+             [&fired] { fired.push_back("sleep"); });
+  q.schedule(2.0, EventDesc{EventDesc::Kind::kEpoch, 0, 0, 2.0},
+             [&fired] { fired.push_back("epoch"); });
+  q.schedule(5.0, EventDesc{EventDesc::Kind::kWake, 7, 1},
+             [&fired] { fired.push_back("wake"); });  // on the boundary
+  EXPECT_EQ(q.run_until(5.0, 2), 2u);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);  // held at the last processed event
+  ASSERT_EQ(q.pending(), 1u);
+  EXPECT_DOUBLE_EQ(q.peek_time(), 5.0);
+  // The resumed slice runs the wake; nothing was lost.
+  EXPECT_EQ(q.run_until(5.0), 1u);
+  EXPECT_EQ(fired, (std::vector<std::string>{"sleep", "epoch", "wake"}));
+  EXPECT_DOUBLE_EQ(q.now(), 5.0);
+}
+
+TEST(EventQueue, ThermalTiesRunBeforeSameInstantArrivals) {
+  // kThermal occupies tie class 0: at the same instant the epoch's
+  // thermal resolve must apply before arrivals and completions read the
+  // demand it recomputes, whatever the scheduling order was.
+  EventQueue q;
+  std::vector<std::string> fired;
+  q.schedule(600.0, EventDesc{EventDesc::Kind::kArrival, 0, 0},
+             [&fired] { fired.push_back("arrival"); });
+  q.schedule(600.0, EventDesc{EventDesc::Kind::kCompletion, 0, 1},
+             [&fired] { fired.push_back("completion"); });
+  q.schedule(600.0, EventDesc{EventDesc::Kind::kThermal, 0, 0, 600.0},
+             [&fired] { fired.push_back("thermal"); });
+  q.run();
+  EXPECT_EQ(fired, (std::vector<std::string>{"thermal", "arrival",
+                                             "completion"}));
+}
+
 TEST(EventQueue, PeekTime) {
   EventQueue q;
   q.schedule(7.0, [] {});

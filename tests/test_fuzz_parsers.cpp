@@ -300,7 +300,12 @@ TEST(FuzzCorpusService, HostileCheckpointsAreRejected) {
   service::SimHost host(opt);
   host.sim().prepare({}, {});
   for (const char* name :
-       {"service_ckpt_badmagic.bin", "service_ckpt_truncated.bin"}) {
+       {"service_ckpt_badmagic.bin", "service_ckpt_truncated.bin",
+        // Format-v1 envelope: the v2 reader must refuse old blobs with a
+        // version error, never misparse them as v2.
+        "service_ckpt_v1_version.bin",
+        // v2 blob cut inside the thermal/sleep identity section.
+        "service_ckpt_truncated_thermal.bin"}) {
     SCOPED_TRACE(name);
     const auto blob = slurp_bytes(data_path(name));
     EXPECT_THROW(

@@ -183,6 +183,32 @@ TEST(LintLayering, TelemetryFromHeaderFiresButCppIsFine) {
   EXPECT_TRUE(cpp.findings.empty());
 }
 
+TEST(LintLayering, ThermalMayNotReachUpIntoSimOrSched) {
+  const auto r = lint_as("src/thermal/thermal_layering_violation.cpp",
+                         "thermal_layering_violation.cpp");
+  EXPECT_EQ(count_check(r, "layering"), 2);
+  EXPECT_EQ(lines_of(r), (std::vector<int>{4, 7}));  // sim/, sched/
+}
+
+TEST(LintLayering, ThermalOverItsAllowedLayersIsQuiet) {
+  const auto r = lint_as("src/thermal/thermal_layering_clean.cpp",
+                         "thermal_layering_clean.cpp");
+  EXPECT_TRUE(r.findings.empty())
+      << r.findings[0].message << " at line " << r.findings[0].line;
+}
+
+TEST(LintLayering, OnlySimMayLookIntoThermal) {
+  // sim is the sole consumer of thermal in the DAG; the same include from
+  // a lower module fires.
+  const std::string src = "#include \"thermal/thermal.hpp\"\n";
+  EXPECT_TRUE(analyze_source("src/sim/x.cpp", src).findings.empty());
+  EXPECT_EQ(count_check(analyze_source("src/energy/x.cpp", src), "layering"),
+            1);
+  EXPECT_EQ(count_check(analyze_source("src/hardware/x.cpp", src),
+                        "layering"),
+            1);
+}
+
 TEST(LintLayering, NonModuleIncludesAreIgnored) {
   const auto r = analyze_source("src/power/x.cpp",
                                 "#include <vector>\n"

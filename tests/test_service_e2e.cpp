@@ -65,6 +65,11 @@ std::vector<std::string> to_args(const ServiceOptions& opt) {
     args.push_back("--faults");
     args.push_back(opt.fault_spec);
   }
+  if (opt.thermal) args.push_back("--thermal");
+  if (opt.sleep_policy != SleepPolicy::kNone) {
+    args.push_back("--sleep-policy");
+    args.push_back(sleep_policy_name(opt.sleep_policy));
+  }
   return args;
 }
 
@@ -167,6 +172,34 @@ TEST(ServiceE2E, StreamedDecisionsMatchBatch) {
   const ResultSummary again = client.result();
   EXPECT_EQ(summary.events_processed, again.events_processed);
   EXPECT_EQ(summary.cost_usd, again.cost_usd);
+  client.shutdown();
+
+  expect_decisions_match(decisions, batch.timeline);
+  expect_summary_matches(summary, batch);
+}
+
+TEST(ServiceE2E, ThermalSleepFlagsMatchBatch) {
+  // --thermal / --sleep-policy reach the daemon's SimConfig: the streamed
+  // run must match a batch twin built from the same options, and the
+  // thermal/sleep machinery must actually have fired (nonzero cooling).
+  ServiceOptions opt = base_options("therm");
+  opt.thermal = true;
+  opt.sleep_policy = SleepPolicy::kTimeout;
+  SimHost twin(opt);
+  const std::vector<Task> tasks = make_workload(twin);
+  const SimResult batch = twin.sim().run(tasks);
+  ASSERT_GT(batch.cooling_energy.joules(), 0.0);
+
+  ServeProcess proc(ISCOPE_SERVE_BIN, to_args(opt));
+  ASSERT_TRUE(proc.wait_ready());
+  Client client(opt.socket_path);
+  client.hello();
+  for (const Task& t : tasks)
+    ASSERT_EQ(client.admit(t).type, MsgType::kAdmitOk);
+  std::vector<TimelineEvent> decisions;
+  client.advance(5000.0, decisions);
+  client.drain(decisions);
+  const ResultSummary summary = client.result();
   client.shutdown();
 
   expect_decisions_match(decisions, batch.timeline);

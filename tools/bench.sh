@@ -12,6 +12,10 @@
 #   --label      e.g. -l faults-on for an ISCOPE_FAULTS run)
 #   --shards N   ISCOPE_SHARDS shard count          (default 1 = legacy loop)
 #   --shard-workers W  ISCOPE_SHARD_WORKERS         (default 1; 0 = hw threads)
+#   --thermal    ISCOPE_THERMAL=1 thermal/CRAC model (adds ScanTherm to the
+#                fig8 scheme set; pair with -l thermal_on)
+#   --sleep-policy P  ISCOPE_SLEEP_POLICY sleep governor
+#                (none|active-idle|immediate|timeout)
 #   --perf       arm the schema-v3 perf counter block (ISCOPE_BENCH_PERF=1;
 #                graceful -1 sentinels where perf_event_open is refused)
 #   --compare A B  diff two BENCH_*.json captures instead of running:
@@ -37,7 +41,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 usage() {
-  echo "usage: tools/bench.sh [-o outdir] [-s scale] [-r repeats] [-w warmup] [-l label] [--shards N] [--shard-workers W] [--perf] [bench...]" >&2
+  echo "usage: tools/bench.sh [-o outdir] [-s scale] [-r repeats] [-w warmup] [-l label] [--shards N] [--shard-workers W] [--thermal] [--sleep-policy P] [--perf] [bench...]" >&2
   echo "       tools/bench.sh --compare A.json B.json [--threshold pct]" >&2
   exit 2
 }
@@ -107,6 +111,8 @@ COMPARE_B=""
 THRESHOLD=5
 SHARDS="${ISCOPE_SHARDS:-1}"
 SHARD_WORKERS="${ISCOPE_SHARD_WORKERS:-1}"
+THERMAL="${ISCOPE_THERMAL:-0}"
+SLEEP_POLICY="${ISCOPE_SLEEP_POLICY:-}"
 while [ $# -gt 0 ]; do
   case "$1" in
     -o) [ $# -ge 2 ] || usage; OUT="$2"; shift 2 ;;
@@ -116,6 +122,8 @@ while [ $# -gt 0 ]; do
     -l|--label) [ $# -ge 2 ] || usage; LABEL="$2"; shift 2 ;;
     --shards) [ $# -ge 2 ] || usage; SHARDS="$2"; shift 2 ;;
     --shard-workers) [ $# -ge 2 ] || usage; SHARD_WORKERS="$2"; shift 2 ;;
+    --thermal) THERMAL=1; shift ;;
+    --sleep-policy) [ $# -ge 2 ] || usage; SLEEP_POLICY="$2"; shift 2 ;;
     --perf) PERF=1; shift ;;
     --compare) [ $# -ge 3 ] || usage; COMPARE_A="$2"; COMPARE_B="$3"; shift 3 ;;
     --threshold) [ $# -ge 2 ] || usage; THRESHOLD="$2"; shift 2 ;;
@@ -145,6 +153,7 @@ for bench in "${BENCHES[@]}"; do
   ISCOPE_BENCH_WARMUP="$WARMUP" ISCOPE_SCALE="$SCALE" ISCOPE_PARALLEL=1 \
   ISCOPE_BENCH_LABEL="$LABEL" ISCOPE_BENCH_PERF="$PERF" \
   ISCOPE_SHARDS="$SHARDS" ISCOPE_SHARD_WORKERS="$SHARD_WORKERS" \
+  ISCOPE_THERMAL="$THERMAL" ISCOPE_SLEEP_POLICY="$SLEEP_POLICY" \
       "build-bench/bench/$bench" | tail -1
 done
 

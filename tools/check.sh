@@ -32,6 +32,7 @@ STAGES=(
   "telemetry-smoke report bundle + registry/SimResult cross-check"
   "shard-identity  1-shard bit-identity + worker-count determinism"
   "service         iscope_serve daemon: checkpoint identity, e2e stream-vs-batch, wire fuzz"
+  "thermal         thermal/sleep off-identity + sharded thermal determinism (TSan smoke rides in the tsan stage)"
   "lint            iscope_lint project invariants (determinism/layering/quantity/telemetry)"
   "tidy            clang-tidy profile, warnings-as-errors (skips if not installed)"
   "ubsan           UBSan rebuild + full tests"
@@ -169,6 +170,22 @@ stage_service() {
       && echo "service ok: wire + checkpoint fuzz corpus"
 }
 
+stage_thermal() {
+  stage "thermal (off-identity + accounting + sharded determinism + sleep)"
+  [ -n "$ONLY_STAGE" ] && ensure_strict test_thermal > /dev/null
+  # The subsystem's hard invariant (DESIGN.md Sec. 16): thermal disabled +
+  # sleep off is bit-identical to the pre-subsystem tree, and N-shard
+  # thermal runs are worker-count independent (coordinator-resolved CRAC).
+  ./build-check/strict/tests/test_thermal \
+      --gtest_filter='ThermalOffIdentity.*:ThermalDeterminism.*' > /dev/null \
+      || { echo "thermal: identity/determinism suites failed" >&2; exit 1; }
+  echo "thermal ok: off-identity bitwise, sharded runs worker-independent"
+  ./build-check/strict/tests/test_thermal \
+      --gtest_filter='-ThermalOffIdentity.*:ThermalDeterminism.*' > /dev/null \
+      || { echo "thermal: model/accounting/scheme suites failed" >&2; exit 1; }
+  echo "thermal ok: CRAC model, cooling/sleep accounting, ScanTherm schemes"
+}
+
 stage_lint() {
   stage "lint (iscope_lint: determinism / layering / quantity / telemetry)"
   # The project linter (tools/lint/, DESIGN.md Sec. 13): the tree must be
@@ -234,6 +251,15 @@ stage_tsan() {
   ISCOPE_SCALE=0.5 ISCOPE_PARALLEL=1 ISCOPE_SHARDS=4 ISCOPE_SHARD_WORKERS=4 \
       ./build-check/tsan/bench/bench_fig8_energy_cost > /dev/null \
       && echo "tsan ok: bench_fig8_energy_cost sharded"
+  # Same partition with the thermal/CRAC model and the timeout sleep
+  # governor armed: the coordinator-resolved thermal step and the sleep
+  # event chains must survive real thread interleaving (thermal stage's
+  # TSan half).
+  TSAN_OPTIONS=halt_on_error=1 \
+  ISCOPE_SCALE=0.5 ISCOPE_PARALLEL=1 ISCOPE_SHARDS=4 ISCOPE_SHARD_WORKERS=4 \
+  ISCOPE_THERMAL=1 ISCOPE_SLEEP_POLICY=timeout \
+      ./build-check/tsan/bench/bench_fig8_energy_cost > /dev/null \
+      && echo "tsan ok: bench_fig8_energy_cost sharded thermal+sleep"
   # FaultSpec replay against the live daemon: the poll loop, the signal
   # flag, and the client interplay are raced-checked end to end.
   TSAN_OPTIONS=halt_on_error=1 \
@@ -299,6 +325,7 @@ want bench-smoke     && stage_bench_smoke
 want telemetry-smoke && stage_telemetry_smoke
 want shard-identity  && stage_shard_identity
 want service         && stage_service
+want thermal         && stage_thermal
 want lint            && stage_lint
 want tidy            && stage_tidy
 want ubsan           && stage_ubsan

@@ -50,14 +50,19 @@ const std::map<std::string, std::set<std::string>>& module_dag() {
       {"energy", {"energy", "common"}},
       {"hardware", {"hardware", "power", "variation", "common"}},
       {"fault", {"fault", "energy", "common"}},
+      // Thermal may look down at the hardware topology and energy/power
+      // types; only sim may look into thermal (the model is driven
+      // exclusively by the simulator's epoch events).
+      {"thermal",
+       {"thermal", "hardware", "energy", "power", "variation", "common"}},
       {"profiling",
        {"profiling", "energy", "hardware", "power", "variation", "common"}},
       {"sched",
        {"sched", "profiling", "hardware", "power", "variation", "energy",
         "common"}},
       {"sim",
-       {"sim", "sched", "profiling", "fault", "energy", "hardware", "power",
-        "variation", "workload", "common"}},
+       {"sim", "sched", "profiling", "fault", "thermal", "energy", "hardware",
+        "power", "variation", "workload", "common"}},
       {"core",
        {"core", "sim", "sched", "profiling", "fault", "energy", "hardware",
         "power", "variation", "workload", "common"}},
